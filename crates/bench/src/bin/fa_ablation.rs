@@ -1,0 +1,63 @@
+//! §4.4 ablation: separate set-associative L1 TLBs (the Intel baseline)
+//! versus a single fully associative mixed-size L1 (the SPARC/AMD
+//! organization), with and without Lite.
+//!
+//! Quantifies the paper's design rationale: "Separate set associative TLBs
+//! are generally more energy-efficient as compared to fully associative",
+//! and shows Lite's clustering applies to fully associative structures too.
+
+use eeat_bench::{experiment, norm};
+use eeat_core::{mean_normalized, Config, Table};
+use eeat_workloads::Workload;
+
+fn main() {
+    let exp = experiment();
+    let configs = [
+        Config::thp(),
+        Config::tlb_lite(),
+        Config::fa_thp(),
+        Config::fa_lite(),
+    ];
+    let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+
+    let mut table = Table::new(
+        "FA ablation: dynamic energy, normalized to THP",
+        &[&["workload"], &names[..], &["FA mean entries"]].concat(),
+    );
+    let mut results = Vec::new();
+    for &w in &Workload::TLB_INTENSIVE {
+        eprintln!("running {w}...");
+        let r = exp.run_workload(w, &configs);
+        let mut row = vec![w.name().to_string()];
+        for name in &names {
+            row.push(norm(r.normalized(name, "THP", |x| x.energy.total_pj())));
+        }
+        row.push(format!(
+            "{:.1}",
+            r.get("FA_Lite")
+                .expect("ran")
+                .result
+                .stats
+                .l1_fa_mean_entries()
+        ));
+        table.add_row(&row);
+        results.push(r);
+    }
+    println!("{table}");
+
+    for name in ["TLB_Lite", "FA", "FA_Lite"] {
+        let e = mean_normalized(&results, name, "THP", |x| x.energy.total_pj());
+        let c = mean_normalized(&results, name, "THP", |x| x.cycles.total() as f64);
+        println!(
+            "  {name:<9} energy {:+.1}%  miss-cycles {:+.1}% vs THP",
+            (e - 1.0) * 100.0,
+            (c - 1.0) * 100.0
+        );
+    }
+    println!("\nStructure-for-structure the FA search costs more than a same-capacity");
+    println!("set-associative lookup (8.1 vs 5.9 pJ at 64 entries) — the paper's");
+    println!("baseline rationale; the organization can still compete because it");
+    println!("probes one structure instead of two. Lite's power-of-two clustering");
+    println!("applies to it unchanged (§4.4), recovering energy when the working");
+    println!("set is small.");
+}

@@ -1,0 +1,32 @@
+//! Figure 11: L1 and L2 TLB misses per thousand instructions for every
+//! configuration on the TLB-intensive workloads.
+
+use eeat_bench::run_intensive_matrix;
+use eeat_core::{Config, Table};
+
+fn main() {
+    let configs = Config::all_six();
+    let results = run_intensive_matrix(&configs);
+    let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+
+    for (title, metric) in [
+        ("Figure 11 (top): L1 TLB MPKI", true),
+        ("Figure 11 (bottom): L2 TLB MPKI", false),
+    ] {
+        let mut table = Table::new(title, &[&["workload"], &names[..]].concat());
+        for r in &results {
+            let mut row = vec![r.workload.name().to_string()];
+            for name in &names {
+                let stats = &r.get(name).expect("config ran").result.stats;
+                let mpki = if metric {
+                    stats.l1_mpki()
+                } else {
+                    stats.l2_mpki()
+                };
+                row.push(format!("{mpki:.2}"));
+            }
+            table.add_row(&row);
+        }
+        println!("{table}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 12: dynamic-energy reduction for the remaining Spec2006 and
+//! Parsec workloads (the non-TLB-intensive set).
+
+use eeat_bench::{experiment, norm};
+use eeat_core::{mean_normalized, Config, Table, WorkloadResults};
+use eeat_workloads::Workload;
+
+fn run_set(title: &str, set: &[Workload]) -> Vec<WorkloadResults> {
+    let exp = experiment();
+    let configs = Config::all_six();
+    let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+
+    let mut table = Table::new(title, &[&["workload"], &names[..]].concat());
+    let mut results = Vec::new();
+    for &w in set {
+        eprintln!("running {w}...");
+        let r = exp.run_workload(w, &configs);
+        let mut row = vec![w.name().to_string()];
+        for name in &names {
+            row.push(norm(r.normalized(name, "4KB", |x| x.energy.total_pj())));
+        }
+        table.add_row(&row);
+        results.push(r);
+    }
+    println!("{table}");
+    results
+}
+
+fn main() {
+    let spec = run_set(
+        "Figure 12 (top/middle): remaining Spec2006 — energy normalized to 4KB",
+        &Workload::OTHER_SPEC,
+    );
+    let parsec = run_set(
+        "Figure 12 (bottom): remaining Parsec — energy normalized to 4KB",
+        &Workload::OTHER_PARSEC,
+    );
+
+    for (label, results, lite_target, rmml_target) in [
+        ("Spec2006", &spec, -26.0, -72.0),
+        ("Parsec", &parsec, -20.0, -66.0),
+    ] {
+        let lite = mean_normalized(results, "TLB_Lite", "THP", |x| x.energy.total_pj());
+        let rmml = mean_normalized(results, "RMM_Lite", "THP", |x| x.energy.total_pj());
+        println!(
+            "{label}: TLB_Lite {:+.0}% vs THP (paper {lite_target:+.0}%), RMM_Lite {:+.0}% (paper {rmml_target:+.0}%)",
+            (lite - 1.0) * 100.0,
+            (rmml - 1.0) * 100.0,
+        );
+    }
+}

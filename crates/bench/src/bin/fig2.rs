@@ -1,0 +1,66 @@
+//! Figure 2: (a) dynamic-energy breakdown and (b) TLB-miss cycles for the
+//! 4KB / THP / RMM configurations, normalized to 4KB per workload.
+
+use eeat_bench::{norm, run_intensive_matrix};
+use eeat_core::{mean_normalized, Config, Table};
+use eeat_energy::Structure;
+
+fn main() {
+    let configs = [Config::four_k(), Config::thp(), Config::rmm()];
+    let results = run_intensive_matrix(&configs);
+
+    let mut energy = Table::new(
+        "Figure 2a: dynamic energy, normalized to 4KB (with L1-TLB / L2 / walk shares)",
+        &[
+            "workload",
+            "4KB",
+            "THP",
+            "RMM",
+            "4KB:L1%",
+            "4KB:walk%",
+            "THP:L1%",
+            "THP:walk%",
+        ],
+    );
+    for r in &results {
+        let four_k = &r.get("4KB").expect("ran").result;
+        let thp = &r.get("THP").expect("ran").result;
+        let share =
+            |e: &eeat_energy::EnergyBreakdown, f: f64| format!("{:.0}", 100.0 * f / e.total_pj());
+        energy.add_row(&[
+            r.workload.name().to_string(),
+            norm(1.0),
+            norm(r.normalized("THP", "4KB", |x| x.energy.total_pj())),
+            norm(r.normalized("RMM", "4KB", |x| x.energy.total_pj())),
+            share(&four_k.energy, four_k.energy.l1_pj()),
+            share(&four_k.energy, four_k.energy.pj(Structure::PageWalk)),
+            share(&thp.energy, thp.energy.l1_pj()),
+            share(&thp.energy, thp.energy.pj(Structure::PageWalk)),
+        ]);
+    }
+    println!("{energy}");
+
+    let mut cycles = Table::new(
+        "Figure 2b: cycles in TLB misses, normalized to 4KB",
+        &["workload", "4KB", "THP", "RMM"],
+    );
+    for r in &results {
+        cycles.add_row(&[
+            r.workload.name().to_string(),
+            norm(1.0),
+            norm(r.normalized("THP", "4KB", |x| x.cycles.total() as f64)),
+            norm(r.normalized("RMM", "4KB", |x| x.cycles.total() as f64)),
+        ]);
+    }
+    println!("{cycles}");
+
+    let thp_e = mean_normalized(&results, "THP", "4KB", |x| x.energy.total_pj());
+    let thp_c = mean_normalized(&results, "THP", "4KB", |x| x.cycles.total() as f64);
+    let rmm_c = mean_normalized(&results, "RMM", "4KB", |x| x.cycles.total() as f64);
+    println!(
+        "Averages: THP energy {:+.0}% (paper +4%), THP cycles {:+.0}% (paper -83%), RMM cycles {:+.0}% (paper -96%)",
+        (thp_e - 1.0) * 100.0,
+        (thp_c - 1.0) * 100.0,
+        (rmm_c - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Ablation: paging-structure (MMU) cache geometry vs page-walk cost.
+//!
+//! The paper adopts the Intel-style PDE/PDPTE/PML4 caches of
+//! [Bhattacharjee 2013] (Table 2 geometry). This sweep shows how the PDE
+//! cache size drives the average memory references per walk — the `Mem`
+//! term of the walk-energy equation.
+
+use eeat_bench::{experiment, seed};
+use eeat_core::{Config, Table};
+use eeat_paging::{MmuCaches, PageWalker};
+use eeat_types::VirtAddr;
+use eeat_workloads::{TraceGenerator, Workload};
+
+fn main() {
+    let exp = experiment();
+    let pde_sizes = [(4usize, 2usize), (16, 2), (32, 2), (128, 4)];
+
+    let mut table = Table::new(
+        "avg memory references per 4 KiB page walk vs PDE-cache size",
+        &["workload", "PDE=4", "PDE=16", "PDE=32 (paper)", "PDE=128"],
+    );
+
+    for &w in &[
+        Workload::Mcf,
+        Workload::CactusADM,
+        Workload::Astar,
+        Workload::Canneal,
+    ] {
+        eprintln!("sweeping {w}...");
+        // Drive the raw walker with the workload's address stream under the
+        // 4 KiB policy: every L2-miss-like access walks.
+        let spec = w.spec();
+        let mut asp = eeat_os::AddressSpace::new(eeat_os::PagingPolicy::FourK, seed());
+        let regions: Vec<Vec<eeat_types::VirtRange>> = spec
+            .regions
+            .iter()
+            .map(|r| {
+                (0..r.count)
+                    .map(|_| asp.mmap(r.bytes, r.thp_eligible, r.name))
+                    .collect()
+            })
+            .collect();
+        let mut row = vec![w.name().to_string()];
+        for &(entries, ways) in &pde_sizes {
+            let mut generator = TraceGenerator::new(&spec, regions.clone(), seed());
+            let mut walker =
+                PageWalker::new(MmuCaches::with_geometry((entries, ways), (4, 4), (2, 2)));
+            // Walk a sample of the stream (every 16th access) to bound time.
+            let samples = (exp.instructions() / 160).max(10_000);
+            for i in 0..samples * 16 {
+                let acc = generator.next_access();
+                if i % 16 == 0 {
+                    let r = walker.walk(asp.page_table(), VirtAddr::new(acc.vaddr().raw()));
+                    assert!(r.translation.is_some());
+                }
+            }
+            row.push(format!("{:.2}", walker.avg_memory_refs()));
+        }
+        table.add_row(&row);
+    }
+    println!("{table}");
+    println!("Sequential scans keep even a tiny PDE cache warm (~1 ref/walk);");
+    println!("pointer chases over gigabytes defeat all realistic sizes, which is");
+    println!("why range translations (no walk at all) beat bigger MMU caches.");
+}

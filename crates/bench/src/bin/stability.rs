@@ -1,0 +1,48 @@
+//! Seed-stability check: the headline ratios across independent seeds.
+//!
+//! The models are stochastic (seeded); this harness reports mean ± spread
+//! of the normalized energies so every figure can be quoted with its
+//! run-to-run variation.
+
+use eeat_bench::{experiment, seed};
+use eeat_core::{mean_normalized, Config, Table};
+use eeat_workloads::Workload;
+
+fn main() {
+    let exp = experiment();
+    let seeds: Vec<u64> = (0..5).map(|i| seed() + i * 1000).collect();
+    let configs = Config::all_six();
+
+    let mut table = Table::new(
+        "Seed stability: mean energy vs THP across 5 seeds (min..max)",
+        &["config", "mean", "min", "max", "spread"],
+    );
+
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for &s in &seeds {
+        eprintln!("seed {s}...");
+        let results: Vec<_> = Workload::TLB_INTENSIVE
+            .iter()
+            .map(|&w| exp.with_seed(s).run_workload(w, &configs))
+            .collect();
+        for (i, config) in configs.iter().enumerate() {
+            per_config[i].push(mean_normalized(&results, config.name, "THP", |r| {
+                r.energy.total_pj()
+            }));
+        }
+    }
+
+    for (config, vals) in configs.iter().zip(&per_config) {
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        table.add_row(&[
+            config.name.to_string(),
+            format!("{mean:.3}"),
+            format!("{min:.3}"),
+            format!("{max:.3}"),
+            format!("{:.1}%", 100.0 * (max - min) / mean),
+        ]);
+    }
+    println!("{table}");
+}

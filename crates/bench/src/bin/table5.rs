@@ -1,0 +1,77 @@
+//! Table 5: (i) the share of L1 page-TLB lookups at 4/2/1 active ways and
+//! (ii) the share of L1 hits per structure, for TLB_Lite and RMM_Lite.
+
+use eeat_bench::{experiment, pct};
+use eeat_core::{Config, Table};
+use eeat_workloads::Workload;
+
+fn main() {
+    let exp = experiment();
+    let configs = [Config::tlb_lite(), Config::rmm_lite()];
+
+    let mut ways = Table::new(
+        "Table 5 (left): % of lookups at 4/2/1 active ways",
+        &[
+            "workload",
+            "Lite-4KB:4w",
+            "Lite-4KB:2w",
+            "Lite-4KB:1w",
+            "Lite-2MB:4w",
+            "Lite-2MB:2w",
+            "Lite-2MB:1w",
+            "RMML-4KB:4w",
+            "RMML-4KB:2w",
+            "RMML-4KB:1w",
+        ],
+    );
+    let mut hits = Table::new(
+        "Table 5 (right): % of L1 hits per structure",
+        &["workload", "Lite:4KB", "Lite:2MB", "RMML:4KB", "RMML:range"],
+    );
+
+    let mut way_sums = [0.0f64; 9];
+    let mut hit_sums = [0.0f64; 4];
+    for &workload in &Workload::TLB_INTENSIVE {
+        eprintln!("running {workload}...");
+        let results = exp.run_workload(workload, &configs);
+        let lite = &results.get("TLB_Lite").expect("ran").result.stats;
+        let rmml = &results.get("RMM_Lite").expect("ran").result.stats;
+
+        let (l4w4, l4w2, l4w1) = lite.l1_4k_way_shares();
+        let (l2w4, l2w2, l2w1) = lite.l1_2m_way_shares();
+        let (r4w4, r4w2, r4w1) = rmml.l1_4k_way_shares();
+        let way_vals = [l4w4, l4w2, l4w1, l2w4, l2w2, l2w1, r4w4, r4w2, r4w1];
+        let mut row = vec![workload.name().to_string()];
+        row.extend(way_vals.iter().map(|&v| pct(v)));
+        ways.add_row(&row);
+
+        let (lh4, lh2, _, _) = lite.l1_hit_shares();
+        let (rh4, _, _, rhr) = rmml.l1_hit_shares();
+        let hit_vals = [lh4, lh2, rh4, rhr];
+        let mut row = vec![workload.name().to_string()];
+        row.extend(hit_vals.iter().map(|&v| pct(v)));
+        hits.add_row(&row);
+
+        for (s, v) in way_sums.iter_mut().zip(way_vals) {
+            *s += v;
+        }
+        for (s, v) in hit_sums.iter_mut().zip(hit_vals) {
+            *s += v;
+        }
+    }
+
+    let n = Workload::TLB_INTENSIVE.len() as f64;
+    let mut row = vec!["average".to_string()];
+    row.extend(way_sums.iter().map(|&s| pct(s / n)));
+    ways.add_row(&row);
+    let mut row = vec!["average".to_string()];
+    row.extend(hit_sums.iter().map(|&s| pct(s / n)));
+    hits.add_row(&row);
+
+    println!("{ways}");
+    println!("{hits}");
+    println!(
+        "Paper averages: Lite-4KB 51.2/32.9/15.9, Lite-2MB 81.1/9.0/9.9, RMML-4KB 25.9/10.4/63.7;"
+    );
+    println!("hits: Lite 64.4% 4KB / 35.6% 2MB; RMM_Lite 15.9% 4KB / 84.1% range.");
+}

@@ -1,0 +1,84 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §5 for the index) and scales with two environment
+//! variables:
+//!
+//! * `EEAT_INSTRUCTIONS` — instructions simulated per (workload, config)
+//!   run. Default 20 000 000. The paper uses 50 G; the synthetic models
+//!   reach steady state well before 20 M, so the default keeps a full
+//!   matrix under a minute while preserving every reported trend.
+//! * `EEAT_SEED` — the deterministic seed shared by the OS layout and the
+//!   trace generator. Default 42.
+
+use eeat_core::{Config, Experiment, WorkloadResults};
+use eeat_workloads::Workload;
+
+/// Reads the instruction budget from `EEAT_INSTRUCTIONS` (default 20 M).
+pub fn instruction_budget() -> u64 {
+    std::env::var("EEAT_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(20_000_000)
+}
+
+/// Reads the seed from `EEAT_SEED` (default 42).
+pub fn seed() -> u64 {
+    std::env::var("EEAT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// An [`Experiment`] configured from the environment.
+pub fn experiment() -> Experiment {
+    Experiment::new()
+        .with_instructions(instruction_budget())
+        .with_seed(seed())
+}
+
+/// Runs the TLB-intensive set under the given configurations, printing a
+/// progress line per workload.
+pub fn run_intensive_matrix(configs: &[Config]) -> Vec<WorkloadResults> {
+    let exp = experiment();
+    Workload::TLB_INTENSIVE
+        .iter()
+        .map(|&w| {
+            eprintln!("running {w} ({} configs)...", configs.len());
+            exp.run_workload(w, configs)
+        })
+        .collect()
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats a normalized value with two decimals.
+pub fn norm(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        // Avoid mutating the environment (tests run in parallel): the
+        // defaults apply when the variables are unset.
+        if std::env::var("EEAT_INSTRUCTIONS").is_err() {
+            assert_eq!(instruction_budget(), 20_000_000);
+        }
+        if std::env::var("EEAT_SEED").is_err() {
+            assert_eq!(seed(), 42);
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.234), "23.4");
+        assert_eq!(norm(1.0), "1.00");
+    }
+}

@@ -1,0 +1,417 @@
+//! The simulated TLB organizations (the paper's Figure 9).
+
+use core::fmt;
+
+use eeat_os::PagingPolicy;
+
+/// Geometry of one set-associative TLB structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbGeometry {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity (equal to `entries` for fully associative).
+    pub ways: usize,
+}
+
+impl TlbGeometry {
+    /// Creates a geometry.
+    pub const fn new(entries: usize, ways: usize) -> Self {
+        Self { entries, ways }
+    }
+}
+
+impl fmt::Display for TlbGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries == self.ways {
+            write!(f, "{}e fully-assoc", self.entries)
+        } else {
+            write!(f, "{}e {}-way", self.entries, self.ways)
+        }
+    }
+}
+
+/// Lite's threshold ε for tolerated MPKI increase (paper §4.2.2).
+///
+/// A relative percentage suits high reference MPKI (TLB_Lite uses 12.5 %);
+/// an absolute increase suits near-zero reference MPKI (RMM_Lite uses 0.1,
+/// since the L1-range TLB pushes the reference close to zero where any
+/// relative threshold would block all downsizing).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThresholdEpsilon {
+    /// Tolerate `potential ≤ actual * (1 + fraction)`.
+    Relative(f64),
+    /// Tolerate `potential ≤ actual + mpki`.
+    Absolute(f64),
+}
+
+impl ThresholdEpsilon {
+    /// The largest potential MPKI tolerated for a reference value.
+    pub fn bound(&self, reference_mpki: f64) -> f64 {
+        match *self {
+            ThresholdEpsilon::Relative(f) => reference_mpki * (1.0 + f),
+            ThresholdEpsilon::Absolute(a) => reference_mpki + a,
+        }
+    }
+}
+
+impl fmt::Display for ThresholdEpsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ThresholdEpsilon::Relative(x) => write!(f, "+{:.1}% relative", x * 100.0),
+            ThresholdEpsilon::Absolute(x) => write!(f, "+{x} MPKI absolute"),
+        }
+    }
+}
+
+/// Parameters of the Lite mechanism (§5 defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LiteParams {
+    /// Monitoring interval in instructions (default 1 M; sensitivity 1–10 M).
+    pub interval_instructions: u64,
+    /// Tolerated MPKI increase from way-disabling.
+    pub epsilon: ThresholdEpsilon,
+    /// Per-interval probability of re-activating all ways to re-profile
+    /// (sensitivity 1/8 … 1/128).
+    pub reactivation_prob: f64,
+    /// Absolute MPKI slack added to the degradation guard: re-activation
+    /// fires only when the interval MPKI exceeds both ε *and* this floor
+    /// over the previous interval. Without it, a purely relative ε makes
+    /// near-zero-MPKI workloads flap on statistical noise (a handful of
+    /// misses per interval) — the same low-reference-value problem §4.2.2
+    /// raises for the disabling threshold.
+    pub degradation_floor_mpki: f64,
+}
+
+impl LiteParams {
+    /// TLB_Lite defaults: 1 M-instruction interval, ε = 12.5 % relative,
+    /// re-activation probability 1/32.
+    pub const fn tlb_lite() -> Self {
+        Self {
+            interval_instructions: 1_000_000,
+            epsilon: ThresholdEpsilon::Relative(0.125),
+            reactivation_prob: 1.0 / 32.0,
+            degradation_floor_mpki: 0.25,
+        }
+    }
+
+    /// RMM_Lite defaults: ε = 0.1 MPKI absolute.
+    pub const fn rmm_lite() -> Self {
+        Self {
+            interval_instructions: 1_000_000,
+            epsilon: ThresholdEpsilon::Absolute(0.1),
+            reactivation_prob: 1.0 / 32.0,
+            degradation_floor_mpki: 0.25,
+        }
+    }
+}
+
+/// One simulated configuration: which structures exist, their geometry, the
+/// paging policy backing the address space, and whether Lite runs.
+///
+/// Structures for page sizes the process never uses are statically disabled
+/// (paper §3.1) and are simply absent from the configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Display name as the figures label it.
+    pub name: &'static str,
+    /// How the OS backs memory.
+    pub policy: PagingPolicy,
+    /// The L1-4KB TLB (or the unified L1 under TLB_PP).
+    pub l1_4k: Option<TlbGeometry>,
+    /// The L1-2MB TLB.
+    pub l1_2m: Option<TlbGeometry>,
+    /// The L1-1GB TLB (present in hardware but statically disabled in every
+    /// experiment of the paper — no workload uses 1 GiB pages).
+    pub l1_1g: Option<TlbGeometry>,
+    /// Entries of the L1-range TLB (RMM_Lite).
+    pub l1_range_entries: Option<usize>,
+    /// The unified L2 page TLB.
+    pub l2_page: TlbGeometry,
+    /// Entries of the L2-range TLB (RMM / RMM_Lite).
+    pub l2_range_entries: Option<usize>,
+    /// TLB_PP: the L1 page TLB holds 4 KiB and 2 MiB entries mixed, indexed
+    /// with perfect page-size prediction.
+    pub unified_l1: bool,
+    /// Realizable TLB_Pred: size of the page-size prediction table. When
+    /// set (with `unified_l1`), lookups are indexed by the *predicted* page
+    /// size; a misprediction costs a second L1 probe before resolving.
+    /// `None` under `unified_l1` means perfect prediction (TLB_PP).
+    pub predictor_entries: Option<usize>,
+    /// §4.4 extension: replace the per-size L1 page TLBs with one fully
+    /// associative L1 of this many entries holding all page sizes (the
+    /// SPARC/AMD organization). When set, `l1_4k`/`l1_2m`/`l1_1g` are
+    /// ignored; Lite clusters LRU distances "as if there were ways" and
+    /// resizes the structure in powers of two.
+    pub l1_fa_entries: Option<usize>,
+    /// The Lite mechanism, if enabled.
+    pub lite: Option<LiteParams>,
+}
+
+impl Config {
+    /// The Sandy Bridge L1-4KB TLB: 64 entries, 4-way.
+    pub const L1_4K: TlbGeometry = TlbGeometry::new(64, 4);
+    /// The Sandy Bridge L1-2MB TLB: 32 entries, 4-way.
+    pub const L1_2M: TlbGeometry = TlbGeometry::new(32, 4);
+    /// The unified L2 TLB: 512 entries, 4-way.
+    pub const L2: TlbGeometry = TlbGeometry::new(512, 4);
+
+    /// *4KB*: base pages only (the normalization baseline of every figure).
+    pub fn four_k() -> Self {
+        Self {
+            name: "4KB",
+            policy: PagingPolicy::FourK,
+            l1_4k: Some(Self::L1_4K),
+            l1_2m: None,
+            l1_1g: None,
+            l1_range_entries: None,
+            l2_page: Self::L2,
+            l2_range_entries: None,
+            unified_l1: false,
+            predictor_entries: None,
+            l1_fa_entries: None,
+            lite: None,
+        }
+    }
+
+    /// *THP*: transparent huge pages — the state of practice.
+    pub fn thp() -> Self {
+        Self {
+            name: "THP",
+            policy: PagingPolicy::Thp,
+            l1_2m: Some(Self::L1_2M),
+            ..Self::four_k()
+        }
+    }
+
+    /// *TLB_Lite*: THP plus the Lite mechanism on the L1 page TLBs.
+    pub fn tlb_lite() -> Self {
+        Self {
+            name: "TLB_Lite",
+            lite: Some(LiteParams::tlb_lite()),
+            ..Self::thp()
+        }
+    }
+
+    /// *RMM*: THP plus a 32-entry L2-range TLB with eager paging.
+    pub fn rmm() -> Self {
+        Self {
+            name: "RMM",
+            policy: PagingPolicy::RmmThp,
+            l2_range_entries: Some(32),
+            ..Self::thp()
+        }
+    }
+
+    /// *TLB_PP*: perfect TLB_Pred — 4 KiB and 2 MiB entries mixed in single
+    /// L1 and L2 structures, page size predicted perfectly at no energy
+    /// cost.
+    pub fn tlb_pp() -> Self {
+        Self {
+            name: "TLB_PP",
+            policy: PagingPolicy::Thp,
+            l1_4k: Some(Self::L1_4K),
+            l1_2m: None,
+            unified_l1: true,
+            ..Self::four_k()
+        }
+    }
+
+    /// *RMM_Lite*: 4 KiB pages and range translations at both levels — a
+    /// 4-entry L1-range TLB replaces the huge-page L1 TLB — plus Lite.
+    pub fn rmm_lite() -> Self {
+        Self {
+            name: "RMM_Lite",
+            policy: PagingPolicy::Rmm4K,
+            l1_range_entries: Some(4),
+            l2_range_entries: Some(32),
+            lite: Some(LiteParams::rmm_lite()),
+            ..Self::four_k()
+        }
+    }
+
+    /// Realizable TLB_Pred: TLB_PP with an actual 256-entry page-size
+    /// predictor instead of the perfect oracle. Mispredicted lookups probe
+    /// the unified L1 twice.
+    pub fn tlb_pred() -> Self {
+        Self {
+            name: "TLB_Pred",
+            predictor_entries: Some(256),
+            ..Self::tlb_pp()
+        }
+    }
+
+    /// §4.4 extension: the SPARC/AMD-style organization — one 64-entry
+    /// fully associative L1 TLB holding all page sizes, under THP.
+    ///
+    /// Fully associative search costs more energy per lookup than the
+    /// separate set-associative structures (the paper's reason for choosing
+    /// the Intel organization as its baseline); this configuration lets the
+    /// claim be measured.
+    pub fn fa_thp() -> Self {
+        Self {
+            name: "FA",
+            policy: PagingPolicy::Thp,
+            l1_4k: None,
+            l1_2m: None,
+            l1_fa_entries: Some(64),
+            ..Self::four_k()
+        }
+    }
+
+    /// §4.4 extension: the fully associative organization with Lite
+    /// resizing the structure in powers of two.
+    pub fn fa_lite() -> Self {
+        Self {
+            name: "FA_Lite",
+            lite: Some(LiteParams::tlb_lite()),
+            ..Self::fa_thp()
+        }
+    }
+
+    /// A THP configuration with a fixed, smaller L1-4KB TLB — the *64/32/16*
+    /// configurations of Figure 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `(entries, ways)` is one of (64, 4), (32, 2), (16, 1) —
+    /// the sizes Table 2 provides energies for.
+    pub fn thp_with_l1_4k(entries: usize, ways: usize) -> Self {
+        assert!(
+            matches!((entries, ways), (64, 4) | (32, 2) | (16, 1)),
+            "Table 2 has no energy data for a {entries}-entry {ways}-way L1-4KB TLB"
+        );
+        Self {
+            name: match entries {
+                64 => "THP-64",
+                32 => "THP-32",
+                _ => "THP-16",
+            },
+            l1_4k: Some(TlbGeometry::new(entries, ways)),
+            ..Self::thp()
+        }
+    }
+
+    /// All six named configurations in the order Figure 10 plots them.
+    pub fn all_six() -> [Config; 6] {
+        [
+            Self::four_k(),
+            Self::thp(),
+            Self::tlb_lite(),
+            Self::rmm(),
+            Self::tlb_pp(),
+            Self::rmm_lite(),
+        ]
+    }
+
+    /// `true` when any range TLB exists.
+    pub fn uses_ranges(&self) -> bool {
+        self.l1_range_entries.is_some() || self.l2_range_entries.is_some()
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}", self.name, self.policy)?;
+        if let Some(g) = self.l1_4k {
+            write!(f, ", L1-4KB {g}")?;
+            if self.unified_l1 {
+                write!(f, " (mixed 4K/2M)")?;
+            }
+        }
+        if let Some(g) = self.l1_2m {
+            write!(f, ", L1-2MB {g}")?;
+        }
+        if let Some(n) = self.l1_range_entries {
+            write!(f, ", L1-range {n}e")?;
+        }
+        write!(f, ", L2 {}", self.l2_page)?;
+        if let Some(n) = self.l2_range_entries {
+            write!(f, ", L2-range {n}e")?;
+        }
+        if let Some(lite) = self.lite {
+            write!(f, ", Lite ε={}", lite.epsilon)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_configurations() {
+        let c = Config::four_k();
+        assert_eq!(c.policy, PagingPolicy::FourK);
+        assert!(c.l1_2m.is_none() && c.lite.is_none() && !c.uses_ranges());
+
+        let c = Config::thp();
+        assert_eq!(c.policy, PagingPolicy::Thp);
+        assert_eq!(c.l1_2m, Some(TlbGeometry::new(32, 4)));
+
+        let c = Config::tlb_lite();
+        assert!(matches!(
+            c.lite.unwrap().epsilon,
+            ThresholdEpsilon::Relative(f) if (f - 0.125).abs() < 1e-12
+        ));
+
+        let c = Config::rmm();
+        assert_eq!(c.policy, PagingPolicy::RmmThp);
+        assert_eq!(c.l2_range_entries, Some(32));
+        assert!(c.l1_range_entries.is_none());
+
+        let c = Config::tlb_pp();
+        assert!(c.unified_l1);
+        assert!(c.l1_2m.is_none());
+
+        let c = Config::rmm_lite();
+        assert_eq!(c.policy, PagingPolicy::Rmm4K);
+        assert_eq!(c.l1_range_entries, Some(4));
+        assert!(
+            c.l1_2m.is_none(),
+            "the L1-range TLB replaces the huge-page L1 TLB"
+        );
+        assert!(matches!(
+            c.lite.unwrap().epsilon,
+            ThresholdEpsilon::Absolute(a) if (a - 0.1).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn epsilon_bounds() {
+        assert!((ThresholdEpsilon::Relative(0.125).bound(8.0) - 9.0).abs() < 1e-12);
+        assert!((ThresholdEpsilon::Absolute(0.1).bound(0.05) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4_fixed_sizes() {
+        assert_eq!(Config::thp_with_l1_4k(64, 4).l1_4k.unwrap().ways, 4);
+        assert_eq!(Config::thp_with_l1_4k(32, 2).l1_4k.unwrap().entries, 32);
+        assert_eq!(Config::thp_with_l1_4k(16, 1).name, "THP-16");
+    }
+
+    #[test]
+    #[should_panic(expected = "no energy data")]
+    fn fig4_rejects_unknown_geometry() {
+        let _ = Config::thp_with_l1_4k(128, 8);
+    }
+
+    #[test]
+    fn six_configs_named_in_order() {
+        let names: Vec<&str> = Config::all_six().iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            ["4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite"]
+        );
+    }
+
+    #[test]
+    fn display_mentions_key_parts() {
+        let s = Config::rmm_lite().to_string();
+        assert!(s.contains("RMM_Lite"));
+        assert!(s.contains("L1-range 4e"));
+        assert!(s.contains("Lite"));
+        let s = Config::tlb_pp().to_string();
+        assert!(s.contains("mixed 4K/2M"));
+    }
+}

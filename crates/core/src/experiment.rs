@@ -1,0 +1,209 @@
+//! The experiment runner: workloads × configurations matrices.
+
+use core::fmt;
+
+use eeat_workloads::Workload;
+
+use crate::config::Config;
+use crate::simulator::{RunResult, Simulator};
+
+/// The result of one configuration on one workload.
+#[derive(Clone, Debug)]
+pub struct ConfigRun {
+    /// The configuration's display name (e.g. `"TLB_Lite"`).
+    pub config_name: &'static str,
+    /// The simulation outcome.
+    pub result: RunResult,
+}
+
+/// All configuration runs of one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadResults {
+    /// The workload.
+    pub workload: Workload,
+    /// One entry per configuration, in the order they were run.
+    pub runs: Vec<ConfigRun>,
+}
+
+impl WorkloadResults {
+    /// The run of a named configuration.
+    pub fn get(&self, config_name: &str) -> Option<&ConfigRun> {
+        self.runs.iter().find(|r| r.config_name == config_name)
+    }
+
+    /// `metric(config) / metric(baseline)` — the normalization every figure
+    /// of the paper uses (baseline is `4KB` in Figures 2/10/11).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either configuration is missing.
+    pub fn normalized<F>(&self, config_name: &str, baseline_name: &str, metric: F) -> f64
+    where
+        F: Fn(&RunResult) -> f64,
+    {
+        let config = self
+            .get(config_name)
+            .unwrap_or_else(|| panic!("missing config {config_name}"));
+        let baseline = self
+            .get(baseline_name)
+            .unwrap_or_else(|| panic!("missing baseline {baseline_name}"));
+        let base = metric(&baseline.result);
+        if base == 0.0 {
+            0.0
+        } else {
+            metric(&config.result) / base
+        }
+    }
+}
+
+impl fmt::Display for WorkloadResults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} configs", self.workload, self.runs.len())
+    }
+}
+
+/// Runs workloads × configurations at a fixed instruction budget and seed.
+///
+/// The paper simulates 50 G instructions after a 50 G fast-forward; the
+/// default here is 20 M, which reaches steady state for every synthetic
+/// model (structures warm up within the first million instructions) while
+/// keeping the full matrix fast. Scale with
+/// [`with_instructions`](Self::with_instructions) or the `EEAT_INSTRUCTIONS`
+/// environment variable in the benchmark binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Experiment {
+    instructions: u64,
+    seed: u64,
+}
+
+impl Experiment {
+    /// Default: 20 M instructions, seed 42.
+    pub fn new() -> Self {
+        Self {
+            instructions: 20_000_000,
+            seed: 42,
+        }
+    }
+
+    /// Sets the per-run instruction budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `instructions` is zero.
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        assert!(instructions > 0, "need a non-zero budget");
+        self.instructions = instructions;
+        self
+    }
+
+    /// Sets the seed shared by OS layout and trace generation.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The per-run instruction budget.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Runs one workload under each configuration.
+    pub fn run_workload(&self, workload: Workload, configs: &[Config]) -> WorkloadResults {
+        let runs = configs
+            .iter()
+            .map(|config| {
+                let mut sim = Simulator::from_workload(config.clone(), workload, self.seed);
+                ConfigRun {
+                    config_name: config.name,
+                    result: sim.run(self.instructions),
+                }
+            })
+            .collect();
+        WorkloadResults { workload, runs }
+    }
+
+    /// Runs the full matrix.
+    pub fn run_matrix(&self, workloads: &[Workload], configs: &[Config]) -> Vec<WorkloadResults> {
+        workloads
+            .iter()
+            .map(|&w| self.run_workload(w, configs))
+            .collect()
+    }
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Arithmetic mean of the per-workload normalized metric — how the paper
+/// reports its averages ("reduces the dynamic energy by 71% on average").
+///
+/// # Panics
+///
+/// Panics when `results` is empty or a configuration is missing.
+pub fn mean_normalized<F>(
+    results: &[WorkloadResults],
+    config_name: &str,
+    baseline_name: &str,
+    metric: F,
+) -> f64
+where
+    F: Fn(&RunResult) -> f64,
+{
+    assert!(!results.is_empty(), "no results to average");
+    results
+        .iter()
+        .map(|r| r.normalized(config_name, baseline_name, &metric))
+        .sum::<f64>()
+        / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Experiment {
+        Experiment::new().with_instructions(150_000).with_seed(3)
+    }
+
+    #[test]
+    fn run_workload_produces_all_configs() {
+        let results = quick().run_workload(Workload::Povray, &[Config::four_k(), Config::thp()]);
+        assert_eq!(results.runs.len(), 2);
+        assert!(results.get("4KB").is_some());
+        assert!(results.get("THP").is_some());
+        assert!(results.get("nope").is_none());
+        assert!(results.to_string().contains("povray"));
+    }
+
+    #[test]
+    fn normalization_against_self_is_one() {
+        let results = quick().run_workload(Workload::Povray, &[Config::four_k()]);
+        let n = results.normalized("4KB", "4KB", |r| r.energy.total_pj());
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_normalized_averages() {
+        let results = quick().run_matrix(
+            &[Workload::Povray, Workload::Swaptions],
+            &[Config::four_k(), Config::thp()],
+        );
+        let mean = mean_normalized(&results, "THP", "4KB", |r| r.energy.total_pj());
+        let manual: f64 = results
+            .iter()
+            .map(|r| r.normalized("THP", "4KB", |x| x.energy.total_pj()))
+            .sum::<f64>()
+            / 2.0;
+        assert!((mean - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing config")]
+    fn missing_config_panics() {
+        let results = quick().run_workload(Workload::Povray, &[Config::four_k()]);
+        let _ = results.normalized("THP", "4KB", |r| r.energy.total_pj());
+    }
+}

@@ -1,0 +1,278 @@
+//! The per-core TLB hierarchy built from a [`Config`].
+
+use core::fmt;
+
+use eeat_tlb::{FullyAssocTlb, RangeTlb, SetAssocTlb, TlbStats};
+use eeat_types::{PageSize, VirtAddr};
+
+use crate::config::Config;
+
+/// The concrete TLB structures of one simulated core.
+///
+/// Which structures exist follows the configuration (Figure 8 of the paper
+/// shows the RMM_Lite arrangement); the simulator probes all present L1
+/// structures on every memory operation and the L2 structures on L1 misses.
+#[derive(Clone, Debug)]
+pub struct TlbHierarchy {
+    pub(crate) l1_4k: Option<SetAssocTlb>,
+    pub(crate) l1_2m: Option<SetAssocTlb>,
+    pub(crate) l1_1g: Option<FullyAssocTlb>,
+    /// §4.4 extension: a single fully associative L1 for all page sizes.
+    pub(crate) l1_fa: Option<FullyAssocTlb>,
+    pub(crate) l1_range: Option<RangeTlb>,
+    pub(crate) l2_page: SetAssocTlb,
+    pub(crate) l2_range: Option<RangeTlb>,
+    unified_l1: bool,
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy a configuration describes.
+    pub fn from_config(config: &Config) -> Self {
+        let fa = config.l1_fa_entries;
+        Self {
+            l1_fa: fa.map(|n| FullyAssocTlb::new("L1-FA", n, PageSize::Size4K)),
+            l1_4k: config.l1_4k.filter(|_| fa.is_none()).map(|g| {
+                SetAssocTlb::new(
+                    if config.unified_l1 {
+                        "L1-unified"
+                    } else {
+                        "L1-4KB"
+                    },
+                    g.entries,
+                    g.ways,
+                    PageSize::Size4K,
+                )
+            }),
+            l1_2m: config
+                .l1_2m
+                .filter(|_| fa.is_none())
+                .map(|g| SetAssocTlb::new("L1-2MB", g.entries, g.ways, PageSize::Size2M)),
+            l1_1g: config
+                .l1_1g
+                .filter(|_| fa.is_none())
+                .map(|g| FullyAssocTlb::new("L1-1GB", g.entries, PageSize::Size1G)),
+            l1_range: config
+                .l1_range_entries
+                .map(|n| RangeTlb::new("L1-range", n)),
+            l2_page: SetAssocTlb::new(
+                "L2",
+                config.l2_page.entries,
+                config.l2_page.ways,
+                PageSize::Size4K,
+            ),
+            l2_range: config
+                .l2_range_entries
+                .map(|n| RangeTlb::new("L2-range", n)),
+            unified_l1: config.unified_l1,
+        }
+    }
+
+    /// Whether the L1 page TLB mixes 4 KiB and 2 MiB entries (TLB_PP).
+    pub fn unified_l1(&self) -> bool {
+        self.unified_l1
+    }
+
+    /// The L1-4KB TLB (or unified L1), if present.
+    pub fn l1_4k(&self) -> Option<&SetAssocTlb> {
+        self.l1_4k.as_ref()
+    }
+
+    /// The L1-2MB TLB, if present.
+    pub fn l1_2m(&self) -> Option<&SetAssocTlb> {
+        self.l1_2m.as_ref()
+    }
+
+    /// The L1-1GB TLB, if present.
+    pub fn l1_1g(&self) -> Option<&FullyAssocTlb> {
+        self.l1_1g.as_ref()
+    }
+
+    /// The fully associative mixed-size L1 TLB, if this is a §4.4
+    /// configuration.
+    pub fn l1_fa(&self) -> Option<&FullyAssocTlb> {
+        self.l1_fa.as_ref()
+    }
+
+    /// The L1-range TLB, if present.
+    pub fn l1_range(&self) -> Option<&RangeTlb> {
+        self.l1_range.as_ref()
+    }
+
+    /// The unified L2 page TLB.
+    pub fn l2_page(&self) -> &SetAssocTlb {
+        &self.l2_page
+    }
+
+    /// The L2-range TLB, if present.
+    pub fn l2_range(&self) -> Option<&RangeTlb> {
+        self.l2_range.as_ref()
+    }
+
+    /// Number of Lite-resizable L1 page TLBs, in controller order
+    /// (L1-4KB first, then L1-2MB).
+    pub fn resizable_ways(&self) -> Vec<usize> {
+        if let Some(t) = &self.l1_fa {
+            // Lite clusters the fully associative structure's LRU distances
+            // "as if there were ways" (§4.4): one monitor sized by entries.
+            return vec![t.capacity()];
+        }
+        let mut v = Vec::new();
+        if let Some(t) = &self.l1_4k {
+            v.push(t.ways());
+        }
+        if let Some(t) = &self.l1_2m {
+            v.push(t.ways());
+        }
+        v
+    }
+
+    /// Invalidates the entries covering `va` in every structure — the TLB
+    /// shootdown the OS issues when it changes a mapping (e.g. breaking a
+    /// huge page).
+    pub fn shootdown(&mut self, _va: VirtAddr) {
+        // Page structures: remove any entry of any size covering the page.
+        // Implemented as a flush of the matching entries via probe+reinsert
+        // being unavailable, the structures expose only flush; a precise
+        // shootdown is modelled by flushing all structures (rare event, the
+        // paper's Lite guard reacts to the resulting miss burst either way).
+        if let Some(t) = &mut self.l1_4k {
+            t.flush();
+        }
+        if let Some(t) = &mut self.l1_2m {
+            t.flush();
+        }
+        if let Some(t) = &mut self.l1_1g {
+            t.flush();
+        }
+        if let Some(t) = &mut self.l1_fa {
+            t.flush();
+        }
+        if let Some(t) = &mut self.l1_range {
+            t.flush();
+        }
+        self.l2_page.flush();
+        if let Some(t) = &mut self.l2_range {
+            t.flush();
+        }
+    }
+
+    /// Aggregate stats over every L1 structure.
+    pub fn l1_stats(&self) -> TlbStats {
+        let mut total = TlbStats::new();
+        if let Some(t) = &self.l1_4k {
+            total += *t.stats();
+        }
+        if let Some(t) = &self.l1_2m {
+            total += *t.stats();
+        }
+        if let Some(t) = &self.l1_1g {
+            total += *t.stats();
+        }
+        if let Some(t) = &self.l1_fa {
+            total += *t.stats();
+        }
+        if let Some(t) = &self.l1_range {
+            total += *t.stats();
+        }
+        total
+    }
+}
+
+impl fmt::Display for TlbHierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            Ok(())
+        };
+        if let Some(t) = &self.l1_4k {
+            sep(f)?;
+            write!(f, "{t}")?;
+        }
+        if let Some(t) = &self.l1_2m {
+            sep(f)?;
+            write!(f, "{t}")?;
+        }
+        if let Some(t) = &self.l1_fa {
+            sep(f)?;
+            write!(f, "{t}")?;
+        }
+        if let Some(t) = &self.l1_range {
+            sep(f)?;
+            write!(f, "{t}")?;
+        }
+        sep(f)?;
+        write!(f, "{}", self.l2_page)?;
+        if let Some(t) = &self.l2_range {
+            write!(f, "; {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_k_config_builds_minimal_hierarchy() {
+        let h = TlbHierarchy::from_config(&Config::four_k());
+        assert!(h.l1_4k().is_some());
+        assert!(h.l1_2m().is_none());
+        assert!(h.l1_range().is_none());
+        assert!(h.l2_range().is_none());
+        assert_eq!(h.l2_page().capacity(), 512);
+        assert_eq!(h.resizable_ways(), vec![4]);
+    }
+
+    #[test]
+    fn thp_adds_2m_tlb() {
+        let h = TlbHierarchy::from_config(&Config::thp());
+        let t = h.l1_2m().expect("THP has an L1-2MB TLB");
+        assert_eq!(t.capacity(), 32);
+        assert_eq!(t.ways(), 4);
+        assert_eq!(h.resizable_ways(), vec![4, 4]);
+    }
+
+    #[test]
+    fn rmm_lite_has_ranges_but_no_2m() {
+        let h = TlbHierarchy::from_config(&Config::rmm_lite());
+        assert!(h.l1_2m().is_none());
+        assert_eq!(h.l1_range().unwrap().capacity(), 4);
+        assert_eq!(h.l2_range().unwrap().capacity(), 32);
+        assert_eq!(h.resizable_ways(), vec![4]);
+    }
+
+    #[test]
+    fn tlb_pp_is_unified() {
+        let h = TlbHierarchy::from_config(&Config::tlb_pp());
+        assert!(h.unified_l1());
+        assert_eq!(h.l1_4k().unwrap().name(), "L1-unified");
+    }
+
+    #[test]
+    fn shootdown_empties_structures() {
+        let mut h = TlbHierarchy::from_config(&Config::rmm_lite());
+        use eeat_tlb::PageTranslation;
+        use eeat_types::{Pfn, Vpn};
+        h.l1_4k.as_mut().unwrap().insert(PageTranslation::new(
+            Vpn::new(5),
+            Pfn::new(6),
+            PageSize::Size4K,
+        ));
+        h.shootdown(VirtAddr::new(5 * 4096));
+        assert_eq!(h.l1_4k().unwrap().occupancy(), 0);
+    }
+
+    #[test]
+    fn display_lists_structures() {
+        let h = TlbHierarchy::from_config(&Config::rmm());
+        let s = h.to_string();
+        assert!(s.contains("L1-4KB"));
+        assert!(s.contains("L1-2MB"));
+        assert!(s.contains("L2-range"));
+    }
+}

@@ -1,0 +1,497 @@
+//! The Lite mechanism: monitoring, decision, reconfiguration (paper §4.2).
+
+use core::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::LiteParams;
+
+/// The LRU-distance monitor of one L1 TLB (the paper's Figure 6).
+///
+/// An *n*-way TLB needs ⌈log2(n)+1⌉ counters. A hit whose LRU recency rank
+/// is `r` (0 = MRU) increments counter `0` when `r = 0` and counter
+/// `⌊log2(r)⌋ + 1` otherwise; counter `k` then holds exactly the number of
+/// hits that would have been misses with `2^(k-1)` active ways — i.e. the
+/// misses the disabled ways would have caused.
+#[derive(Clone, Debug)]
+pub struct WayMonitor {
+    physical_ways: usize,
+    counters: Vec<u64>,
+}
+
+impl WayMonitor {
+    /// Creates a monitor for an `n`-way TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `physical_ways` is a power of two.
+    pub fn new(physical_ways: usize) -> Self {
+        assert!(
+            physical_ways.is_power_of_two() && physical_ways >= 1,
+            "ways must be a power of two"
+        );
+        Self {
+            physical_ways,
+            counters: vec![0; physical_ways.ilog2() as usize + 1],
+        }
+    }
+
+    /// The number of LRU-distance counters (`log2(ways) + 1`).
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Records a hit at LRU recency `rank` (0 = MRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `rank` is outside the physical ways.
+    #[inline]
+    pub fn record_hit(&mut self, rank: u8) {
+        debug_assert!(
+            (rank as usize) < self.physical_ways,
+            "rank outside structure"
+        );
+        let k = if rank == 0 {
+            0
+        } else {
+            rank.ilog2() as usize + 1
+        };
+        self.counters[k] += 1;
+    }
+
+    /// The extra misses the interval would have seen with only `ways`
+    /// active: the sum of all counters above `log2(ways)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is a power of two within the structure.
+    pub fn potential_extra_misses(&self, ways: usize) -> u64 {
+        assert!(
+            ways.is_power_of_two() && ways >= 1 && ways <= self.physical_ways,
+            "candidate ways outside structure"
+        );
+        let j = ways.ilog2() as usize;
+        self.counters[j + 1..].iter().sum()
+    }
+
+    /// Raw counter values (for inspection and tests).
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Zeroes the counters for the next interval.
+    pub fn reset(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+/// The outcome of one interval-end decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiteDecision {
+    /// Performance degraded beyond ε versus the previous interval —
+    /// activate all ways in all monitored TLBs (paper: phased behaviour or
+    /// THP breakdown under memory pressure).
+    ActivateAllDegraded,
+    /// The periodic random re-activation fired — activate all ways to
+    /// re-profile the full structures and escape 1-way blindness.
+    ActivateAllRandom,
+    /// Way counts chosen per monitored TLB (may equal the current counts).
+    Resize(Vec<usize>),
+}
+
+/// The Lite controller: one per core, monitoring every resizable L1 page
+/// TLB of the hierarchy.
+///
+/// The simulator feeds it hits (with LRU ranks) and global L1 misses, asks
+/// [`interval_due`](Self::interval_due) once per access, and applies the
+/// [`LiteDecision`] to the actual structures.
+#[derive(Clone, Debug)]
+pub struct LiteController {
+    params: LiteParams,
+    monitors: Vec<WayMonitor>,
+    current_ways: Vec<usize>,
+    actual_misses: u64,
+    prev_mpki: Option<f64>,
+    interval_start: u64,
+    rng: SmallRng,
+    intervals: u64,
+    random_reactivations: u64,
+    degradation_reactivations: u64,
+}
+
+impl LiteController {
+    /// Creates a controller for TLBs with the given physical way counts.
+    pub fn new(params: LiteParams, physical_ways: &[usize], seed: u64) -> Self {
+        assert!(
+            !physical_ways.is_empty(),
+            "Lite needs at least one TLB to manage"
+        );
+        assert!(
+            params.interval_instructions > 0,
+            "interval must be non-zero"
+        );
+        assert!(
+            (0.0..=1.0).contains(&params.reactivation_prob),
+            "reactivation probability out of range"
+        );
+        Self {
+            params,
+            monitors: physical_ways.iter().map(|&w| WayMonitor::new(w)).collect(),
+            current_ways: physical_ways.to_vec(),
+            actual_misses: 0,
+            prev_mpki: None,
+            interval_start: 0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x11fe_11fe_11fe_11fe),
+            intervals: 0,
+            random_reactivations: 0,
+            degradation_reactivations: 0,
+        }
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> &LiteParams {
+        &self.params
+    }
+
+    /// Current active ways of TLB `idx` as the controller believes them.
+    pub fn current_ways(&self, idx: usize) -> usize {
+        self.current_ways[idx]
+    }
+
+    /// Intervals completed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Random full re-activations performed.
+    pub fn random_reactivations(&self) -> u64 {
+        self.random_reactivations
+    }
+
+    /// Degradation-triggered full re-activations performed.
+    pub fn degradation_reactivations(&self) -> u64 {
+        self.degradation_reactivations
+    }
+
+    /// Records a hit in monitored TLB `idx` at LRU recency `rank`.
+    ///
+    /// The paper notes the monitoring circuitry is idle when a TLB runs at
+    /// its minimum 1-way configuration; recording is still cheap and
+    /// counter 0 is simply never consulted in that state.
+    #[inline]
+    pub fn record_hit(&mut self, idx: usize, rank: u8) {
+        self.monitors[idx].record_hit(rank);
+    }
+
+    /// Records a translation lookup that missed every L1 TLB (and therefore
+    /// accesses the L2 TLB) — the *actual-misses-counter*.
+    #[inline]
+    pub fn record_l1_miss(&mut self) {
+        self.actual_misses += 1;
+    }
+
+    /// `true` once the current interval has elapsed at `instructions`.
+    #[inline]
+    pub fn interval_due(&self, instructions: u64) -> bool {
+        instructions - self.interval_start >= self.params.interval_instructions
+    }
+
+    /// Ends the interval at `instructions`: runs the decision algorithm of
+    /// Figure 7 and returns what to reconfigure. Counters reset; the caller
+    /// must apply the decision to the actual structures (invalidation
+    /// happens there).
+    pub fn end_interval(&mut self, instructions: u64) -> LiteDecision {
+        let elapsed = (instructions - self.interval_start).max(1);
+        let kilo = elapsed as f64 / 1000.0;
+        let actual_mpki = self.actual_misses as f64 / kilo;
+
+        let decision = if self.prev_mpki.is_some_and(|prev| {
+            actual_mpki
+                > self
+                    .params
+                    .epsilon
+                    .bound(prev)
+                    .max(prev + self.params.degradation_floor_mpki)
+        }) {
+            // Performance degraded versus the previous interval: re-enable
+            // everything immediately.
+            self.degradation_reactivations += 1;
+            self.restore_all();
+            LiteDecision::ActivateAllDegraded
+        } else if self.params.reactivation_prob > 0.0
+            && self.rng.random_bool(self.params.reactivation_prob)
+        {
+            self.random_reactivations += 1;
+            self.restore_all();
+            LiteDecision::ActivateAllRandom
+        } else {
+            let bound = self.params.epsilon.bound(actual_mpki);
+            let choices: Vec<usize> = self
+                .monitors
+                .iter()
+                .zip(&self.current_ways)
+                .map(|(monitor, &current)| {
+                    // Smallest power-of-two way count whose predicted MPKI
+                    // stays within ε of the actual MPKI. The current count
+                    // always qualifies (zero extra misses).
+                    let mut choice = current;
+                    let mut w = 1;
+                    while w <= current {
+                        let potential =
+                            (self.actual_misses + monitor.potential_extra_misses(w)) as f64 / kilo;
+                        if potential <= bound {
+                            choice = w;
+                            break;
+                        }
+                        w *= 2;
+                    }
+                    choice
+                })
+                .collect();
+            self.current_ways.clone_from(&choices);
+            LiteDecision::Resize(choices)
+        };
+
+        self.prev_mpki = Some(actual_mpki);
+        self.actual_misses = 0;
+        for m in &mut self.monitors {
+            m.reset();
+        }
+        self.interval_start = instructions;
+        self.intervals += 1;
+        decision
+    }
+
+    fn restore_all(&mut self) {
+        for (w, m) in self.current_ways.iter_mut().zip(&self.monitors) {
+            *w = m.physical_ways;
+        }
+    }
+}
+
+impl fmt::Display for LiteController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Lite(ε={}, interval={}, p={:.4}): ways {:?}, {} intervals ({} random / {} degraded re-activations)",
+            self.params.epsilon,
+            self.params.interval_instructions,
+            self.params.reactivation_prob,
+            self.current_ways,
+            self.intervals,
+            self.random_reactivations,
+            self.degradation_reactivations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThresholdEpsilon;
+
+    fn no_random(epsilon: ThresholdEpsilon) -> LiteParams {
+        LiteParams {
+            interval_instructions: 1000,
+            epsilon,
+            reactivation_prob: 0.0,
+            degradation_floor_mpki: 0.0,
+        }
+    }
+
+    #[test]
+    fn monitor_counter_mapping_matches_figure6() {
+        // 8-way: distance-from-LRU 7 / 6 / 4-5 / 0-3 → counters 0/1/2/3,
+        // which in MRU-rank terms is rank 0 / 1 / 2-3 / 4-7.
+        let mut m = WayMonitor::new(8);
+        assert_eq!(m.counter_count(), 4);
+        for rank in 0..8u8 {
+            m.record_hit(rank);
+        }
+        assert_eq!(m.counters(), &[1, 1, 2, 4]);
+        // Disabling down to 4 ways would miss the rank 4-7 hits.
+        assert_eq!(m.potential_extra_misses(4), 4);
+        assert_eq!(m.potential_extra_misses(2), 6);
+        assert_eq!(m.potential_extra_misses(1), 7);
+        assert_eq!(m.potential_extra_misses(8), 0);
+    }
+
+    #[test]
+    fn monitor_reset() {
+        let mut m = WayMonitor::new(4);
+        m.record_hit(3);
+        m.reset();
+        assert_eq!(m.counters(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn downsizes_when_mru_dominates() {
+        // All hits at rank 0: even 1 way keeps the MPKI, so Lite goes to 1.
+        let mut lite = LiteController::new(no_random(ThresholdEpsilon::Relative(0.125)), &[4], 1);
+        for _ in 0..1000 {
+            lite.record_hit(0, 0);
+        }
+        for _ in 0..8 {
+            lite.record_l1_miss();
+        }
+        let d = lite.end_interval(1000);
+        assert_eq!(d, LiteDecision::Resize(vec![1]));
+        assert_eq!(lite.current_ways(0), 1);
+    }
+
+    #[test]
+    fn keeps_ways_when_lru_hits_matter() {
+        // Many hits at deep ranks: disabling would blow past ε.
+        let mut lite = LiteController::new(no_random(ThresholdEpsilon::Relative(0.125)), &[4], 1);
+        for _ in 0..500 {
+            lite.record_hit(0, 3);
+            lite.record_hit(0, 0);
+        }
+        for _ in 0..100 {
+            lite.record_l1_miss();
+        }
+        let d = lite.end_interval(1000);
+        assert_eq!(d, LiteDecision::Resize(vec![4]));
+    }
+
+    #[test]
+    fn picks_intermediate_way_count() {
+        // Rank 0-1 hits matter, rank 2-3 hits are rare: 2 ways suffice.
+        let mut lite = LiteController::new(no_random(ThresholdEpsilon::Relative(0.125)), &[4], 1);
+        for _ in 0..400 {
+            lite.record_hit(0, 0);
+            lite.record_hit(0, 1);
+        }
+        lite.record_hit(0, 3); // one deep hit, within ε of 100 misses
+        for _ in 0..100 {
+            lite.record_l1_miss();
+        }
+        let d = lite.end_interval(1000);
+        assert_eq!(d, LiteDecision::Resize(vec![2]));
+    }
+
+    #[test]
+    fn absolute_epsilon_enables_near_zero_downsizing() {
+        // 0.02 actual MPKI; disabling adds 0.05 MPKI — relative 12.5% would
+        // refuse, absolute 0.1 accepts (the RMM_Lite case).
+        let scale = 1_000_000;
+        let mut rel = LiteController::new(
+            LiteParams {
+                interval_instructions: scale,
+                epsilon: ThresholdEpsilon::Relative(0.125),
+                reactivation_prob: 0.0,
+                degradation_floor_mpki: 0.0,
+            },
+            &[4],
+            1,
+        );
+        let mut abs = LiteController::new(
+            LiteParams {
+                interval_instructions: scale,
+                epsilon: ThresholdEpsilon::Absolute(0.1),
+                reactivation_prob: 0.0,
+                degradation_floor_mpki: 0.0,
+            },
+            &[4],
+            1,
+        );
+        for lite in [&mut rel, &mut abs] {
+            for _ in 0..50 {
+                lite.record_hit(0, 1); // misses if 1-way
+            }
+            for _ in 0..20 {
+                lite.record_l1_miss();
+            }
+        }
+        // The rank-1 hits survive at 2 ways, so the relative controller
+        // stops there; the absolute one tolerates the extra 0.05 MPKI and
+        // goes all the way to 1 way.
+        assert_eq!(
+            rel.end_interval(scale as u64),
+            LiteDecision::Resize(vec![2])
+        );
+        assert_eq!(
+            abs.end_interval(scale as u64),
+            LiteDecision::Resize(vec![1])
+        );
+    }
+
+    #[test]
+    fn degradation_reactivates_all() {
+        let mut lite =
+            LiteController::new(no_random(ThresholdEpsilon::Relative(0.125)), &[4, 4], 1);
+        // Interval 1: quiet, downsizes.
+        for _ in 0..100 {
+            lite.record_hit(0, 0);
+            lite.record_hit(1, 0);
+        }
+        lite.record_l1_miss();
+        assert_eq!(lite.end_interval(1000), LiteDecision::Resize(vec![1, 1]));
+        // Interval 2: misses explode (e.g. THP breakdown) — activate all.
+        for _ in 0..200 {
+            lite.record_l1_miss();
+        }
+        assert_eq!(lite.end_interval(2000), LiteDecision::ActivateAllDegraded);
+        assert_eq!(lite.current_ways(0), 4);
+        assert_eq!(lite.current_ways(1), 4);
+        assert_eq!(lite.degradation_reactivations(), 1);
+    }
+
+    #[test]
+    fn random_reactivation_fires_at_probability_one() {
+        let mut lite = LiteController::new(
+            LiteParams {
+                interval_instructions: 1000,
+                epsilon: ThresholdEpsilon::Relative(0.125),
+                reactivation_prob: 1.0,
+                degradation_floor_mpki: 0.0,
+            },
+            &[4],
+            1,
+        );
+        lite.record_l1_miss();
+        assert_eq!(lite.end_interval(1000), LiteDecision::ActivateAllRandom);
+        assert_eq!(lite.random_reactivations(), 1);
+    }
+
+    #[test]
+    fn interval_scheduling() {
+        let lite = LiteController::new(no_random(ThresholdEpsilon::Relative(0.1)), &[4], 1);
+        assert!(!lite.interval_due(999));
+        assert!(lite.interval_due(1000));
+        let mut lite = lite;
+        lite.end_interval(1000);
+        assert!(!lite.interval_due(1999));
+        assert!(lite.interval_due(2000));
+        assert_eq!(lite.intervals(), 1);
+    }
+
+    #[test]
+    fn never_grows_without_reactivation() {
+        // Once at 1 way, resize decisions can only stay (candidates ≤ current).
+        let mut lite = LiteController::new(no_random(ThresholdEpsilon::Relative(0.125)), &[4], 1);
+        for _ in 0..100 {
+            lite.record_hit(0, 0);
+        }
+        lite.record_l1_miss();
+        lite.end_interval(1000);
+        assert_eq!(lite.current_ways(0), 1);
+        // Next interval: plenty of hits (all rank 0 — 1-way has no deeper
+        // ranks) and few misses: stays at 1.
+        for _ in 0..100 {
+            lite.record_hit(0, 0);
+        }
+        lite.record_l1_miss();
+        assert_eq!(lite.end_interval(2000), LiteDecision::Resize(vec![1]));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let lite = LiteController::new(no_random(ThresholdEpsilon::Absolute(0.1)), &[4], 1);
+        let s = lite.to_string();
+        assert!(s.contains("MPKI absolute"));
+        assert!(s.contains("[4]"));
+    }
+}

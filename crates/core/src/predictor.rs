@@ -1,0 +1,187 @@
+//! A page-size predictor — the realizable version of TLB_Pred.
+//!
+//! The paper evaluates `TLB_PP`, a *perfect* implementation of TLB_Pred
+//! [Papadopoulou et al., HPCA 2015]: the page size of every reference is
+//! known in advance at zero energy cost, so the unified set-associative TLB
+//! always uses the right index bits. This module adds the realizable
+//! variant: a small untagged prediction table indexed by hashed virtual-
+//! address bits. A misprediction costs a second probe of the L1 structure
+//! (extra dynamic energy) before the lookup can be declared a miss.
+
+use core::fmt;
+
+use eeat_types::{PageSize, VirtAddr};
+
+/// A direct-mapped, untagged page-size prediction table.
+///
+/// Indexed by a hash of the 2 MiB-region number of the address — the
+/// granularity at which page sizes can actually differ. Aliasing between
+/// regions of different sizes is the realistic error source for large
+/// footprints.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_core::SizePredictor;
+/// use eeat_types::{PageSize, VirtAddr};
+///
+/// let mut p = SizePredictor::new(256);
+/// let va = VirtAddr::new(0x4000_0000);
+/// assert_eq!(p.predict(va), PageSize::Size4K); // cold default
+/// p.update(va, PageSize::Size2M);
+/// assert_eq!(p.predict(va), PageSize::Size2M);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SizePredictor {
+    table: Vec<PageSize>,
+    mask: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl SizePredictor {
+    /// Creates a predictor with `entries` slots, all predicting 4 KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entries must be a power of two"
+        );
+        Self {
+            table: vec![PageSize::Size4K; entries],
+            mask: entries as u64 - 1,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, va: VirtAddr) -> usize {
+        // Fibonacci hash of the 2 MiB-region number.
+        let region = va.raw() >> 21;
+        ((region.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 43) & self.mask) as usize
+    }
+
+    /// Predicts the page size of a reference (counts a prediction).
+    #[inline]
+    pub fn predict(&mut self, va: VirtAddr) -> PageSize {
+        self.predictions += 1;
+        self.table[self.index(va)]
+    }
+
+    /// Trains the predictor with the resolved actual size; counts a
+    /// misprediction when the stored value differed.
+    #[inline]
+    pub fn update(&mut self, va: VirtAddr, actual: PageSize) {
+        let idx = self.index(va);
+        if self.table[idx] != actual {
+            self.mispredictions += 1;
+            self.table[idx] = actual;
+        }
+    }
+
+    /// Number of slots.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Predictions made so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Mispredictions observed at update time.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction ratio in `[0, 1]` (0 when nothing was predicted).
+    pub fn misprediction_ratio(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl fmt::Display for SizePredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-entry size predictor: {:.3}% mispredict ({} / {})",
+            self.entries(),
+            self.misprediction_ratio() * 100.0,
+            self.mispredictions,
+            self.predictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_per_region() {
+        let mut p = SizePredictor::new(64);
+        let a = VirtAddr::new(10 << 21);
+        let b = VirtAddr::new(11 << 21);
+        p.update(a, PageSize::Size2M);
+        assert_eq!(p.predict(a), PageSize::Size2M);
+        // Another address in the same 2 MiB region shares the slot.
+        assert_eq!(
+            p.predict(VirtAddr::new((10 << 21) + 0x12345)),
+            PageSize::Size2M
+        );
+        // A different region (different slot, usually) is independent.
+        let _ = p.predict(b);
+        p.update(b, PageSize::Size4K);
+        assert_eq!(p.predict(b), PageSize::Size4K);
+    }
+
+    #[test]
+    fn counts_mispredictions_on_update() {
+        let mut p = SizePredictor::new(16);
+        let va = VirtAddr::new(0x40_0000);
+        let _ = p.predict(va);
+        p.update(va, PageSize::Size2M); // cold slot said 4K
+        assert_eq!(p.mispredictions(), 1);
+        let _ = p.predict(va);
+        p.update(va, PageSize::Size2M); // now correct
+        assert_eq!(p.mispredictions(), 1);
+        assert_eq!(p.predictions(), 2);
+        assert!((p.misprediction_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aliasing_in_tiny_table() {
+        // A 1-entry table aliases every region: alternating sizes keep
+        // mispredicting.
+        let mut p = SizePredictor::new(1);
+        let a = VirtAddr::new(1 << 21);
+        let b = VirtAddr::new(2 << 21);
+        for _ in 0..10 {
+            let _ = p.predict(a);
+            p.update(a, PageSize::Size2M);
+            let _ = p.predict(b);
+            p.update(b, PageSize::Size4K);
+        }
+        assert!(p.misprediction_ratio() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = SizePredictor::new(100);
+    }
+
+    #[test]
+    fn display() {
+        let p = SizePredictor::new(256);
+        assert!(p.to_string().contains("256-entry"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text table formatting for the experiment harness.
+
+use core::fmt;
+
+/// A simple aligned text table, used by every figure/table regenerator.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_core::Table;
+///
+/// let mut t = Table::new("Figure X", &["workload", "energy"]);
+/// t.add_row(&["mcf".to_string(), "0.29".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("mcf"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn add_row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as CSV (header row first). Cells containing
+    /// commas or quotes are quoted per RFC 4180.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eeat_core::Table;
+    ///
+    /// let mut t = Table::new("demo", &["a", "b"]);
+    /// t.add_row(&["x".into(), "1,5".into()]);
+    /// assert_eq!(t.to_csv(), "a,b\nx,\"1,5\"\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        writeln!(f, "{}", format_row(&self.headers, &widths))?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            writeln!(f, "{}", format_row(row, &widths))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats one row with each cell left-padded to its column width
+/// (first column left-aligned, the rest right-aligned, numbers style).
+pub fn format_row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, (cell, width)) in cells.iter().zip(widths).enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        if i == 0 {
+            out.push_str(&format!("{cell:<width$}"));
+        } else {
+            out.push_str(&format!("{cell:>width$}"));
+        }
+    }
+    out
+}
+
+/// Formats a complete table in one call.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut t = Table::new(title, headers);
+    for row in rows {
+        t.add_row(row);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_content() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(&["a".into(), "1.00".into()]);
+        t.add_row(&["longer-name".into(), "12.34".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer-name"));
+        // Right-aligned numeric column.
+        assert!(s.contains(" 1.00"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.add_row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(&["plain".into(), "1".into()]);
+        t.add_row(&["with,comma".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn format_table_helper() {
+        let s = format_table("t", &["x"], &[vec!["1".to_string()]]);
+        assert!(s.contains("== t =="));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,158 @@
+//! Parameter sweeps: Figure 3, Figure 4, and the §6.2 sensitivity study.
+
+use eeat_energy::{EnergyModel, Structure};
+use eeat_workloads::Workload;
+
+use crate::config::{Config, LiteParams};
+use crate::simulator::{RunResult, Simulator};
+use crate::stats::Timeline;
+
+/// Figure 3: dynamic energy of the 4KB configuration as the L1-cache hit
+/// ratio of page-walk references sweeps from 1.0 down to 0.0.
+///
+/// The workload is simulated once; only the walk-reference energy is
+/// re-evaluated per ratio (the hit ratio is an energy-model parameter, not
+/// a behavioural one). Returns `(ratio, energy normalized to ratio = 1.0)`
+/// pairs.
+pub fn fig3_walk_locality(
+    workload: Workload,
+    instructions: u64,
+    seed: u64,
+    ratios: &[f64],
+) -> Vec<(f64, f64)> {
+    let mut sim = Simulator::from_workload(Config::four_k(), workload, seed);
+    let result = sim.run(instructions);
+    let base_total = result.energy.total_pj();
+    let non_walk = base_total - result.energy.pj(Structure::PageWalk);
+    let refs = result.stats.walk_memory_refs as f64;
+
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let model = EnergyModel::sandy_bridge().with_walk_l1_hit_ratio(ratio);
+            let total = non_walk + refs * model.walk_ref_pj();
+            (ratio, total / base_total)
+        })
+        .collect()
+}
+
+/// Figure 4: the L1 TLB MPKI timeline under the four fixed configurations —
+/// *Base* (4 KiB pages only), *64*, *32*, and *16* (THP with a 64/32/16-entry
+/// L1-4KB TLB).
+///
+/// Returns `(config name, timeline)` pairs sampled every
+/// `bucket_instructions`.
+pub fn fig4_fixed_sizes(
+    workload: Workload,
+    instructions: u64,
+    bucket_instructions: u64,
+    seed: u64,
+) -> Vec<(&'static str, Timeline)> {
+    let configs = [
+        ("Base", Config::four_k()),
+        ("64", Config::thp_with_l1_4k(64, 4)),
+        ("32", Config::thp_with_l1_4k(32, 2)),
+        ("16", Config::thp_with_l1_4k(16, 1)),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, config)| {
+            let mut sim = Simulator::from_workload(config, workload, seed);
+            let (_result, timeline) = sim.run_with_timeline(instructions, bucket_instructions);
+            (label, timeline)
+        })
+        .collect()
+}
+
+/// One point of the §6.2 Lite sensitivity study.
+#[derive(Clone, Debug)]
+pub struct SensitivityPoint {
+    /// Lite interval, instructions.
+    pub interval_instructions: u64,
+    /// Random re-activation probability.
+    pub reactivation_prob: f64,
+    /// The full run result at these parameters.
+    pub result: RunResult,
+}
+
+/// §6.2: sweeps Lite's interval size and random re-activation probability
+/// on a TLB_Lite-style configuration (the paper varies 1–10 M instructions
+/// and 1/8–1/128).
+pub fn lite_sensitivity(
+    workload: Workload,
+    instructions: u64,
+    seed: u64,
+    intervals: &[u64],
+    probs: &[f64],
+) -> Vec<SensitivityPoint> {
+    let mut points = Vec::with_capacity(intervals.len() * probs.len());
+    for &interval in intervals {
+        for &prob in probs {
+            let mut config = Config::tlb_lite();
+            config.lite = Some(LiteParams {
+                interval_instructions: interval,
+                reactivation_prob: prob,
+                ..LiteParams::tlb_lite()
+            });
+            let mut sim = Simulator::from_workload(config, workload, seed);
+            points.push(SensitivityPoint {
+                interval_instructions: interval,
+                reactivation_prob: prob,
+                result: sim.run(instructions),
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_monotone_in_miss_ratio() {
+        let points = fig3_walk_locality(Workload::Povray, 150_000, 1, &[1.0, 0.5, 0.0]);
+        assert_eq!(points.len(), 3);
+        assert!(
+            (points[0].1 - 1.0).abs() < 1e-12,
+            "ratio 1.0 is the baseline"
+        );
+        // Less L1-cache locality → more energy.
+        assert!(points[1].1 >= points[0].1);
+        assert!(points[2].1 >= points[1].1);
+    }
+
+    #[test]
+    fn fig4_produces_four_series() {
+        let series = fig4_fixed_sizes(Workload::Swaptions, 200_000, 50_000, 1);
+        assert_eq!(series.len(), 4);
+        let labels: Vec<&str> = series.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["Base", "64", "32", "16"]);
+        for (label, timeline) in &series {
+            assert!(!timeline.is_empty(), "{label} has samples");
+        }
+    }
+
+    #[test]
+    fn sensitivity_grid_is_complete() {
+        let points = lite_sensitivity(
+            Workload::Swaptions,
+            120_000,
+            1,
+            &[50_000, 100_000],
+            &[1.0 / 8.0, 1.0 / 32.0],
+        );
+        assert_eq!(points.len(), 4);
+        assert!(points
+            .iter()
+            .all(|p| p.result.stats.instructions >= 120_000));
+        // Every grid point is a distinct (interval, prob) pair.
+        let mut pairs: Vec<(u64, u64)> = points
+            .iter()
+            .map(|p| (p.interval_instructions, p.reactivation_prob.to_bits()))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 4);
+    }
+}

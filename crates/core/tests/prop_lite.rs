@@ -1,0 +1,132 @@
+//! Property tests for the Lite mechanism against brute-force oracles.
+
+use eeat_core::{Config, LiteController, LiteParams, Simulator, ThresholdEpsilon, WayMonitor};
+use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn monitor_counters_equal_bruteforce(ranks in prop::collection::vec(0u8..8, 1..500)) {
+        // counter[k] must equal the number of hits whose rank falls in the
+        // Figure 6 bucket; potential_extra_misses(w) the number of hits at
+        // rank >= w — for every power-of-two w.
+        let mut monitor = WayMonitor::new(8);
+        for &r in &ranks {
+            monitor.record_hit(r);
+        }
+        for (k, &counter) in monitor.counters().iter().enumerate() {
+            let expected = ranks
+                .iter()
+                .filter(|&&r| {
+                    let bucket = if r == 0 { 0 } else { r.ilog2() as usize + 1 };
+                    bucket == k
+                })
+                .count() as u64;
+            prop_assert_eq!(counter, expected, "counter {}", k);
+        }
+        for w in [1usize, 2, 4, 8] {
+            let expected = ranks.iter().filter(|&&r| (r as usize) >= w).count() as u64;
+            prop_assert_eq!(monitor.potential_extra_misses(w), expected, "w = {}", w);
+        }
+    }
+
+    #[test]
+    fn decision_is_smallest_safe_way_count(
+        rank_hits in prop::collection::vec((0u8..4, 1u64..200), 0..8),
+        misses in 0u64..500,
+    ) {
+        // The resize decision must pick the smallest power-of-two way count
+        // whose predicted MPKI stays within ε — verified by brute force.
+        let params = LiteParams {
+            interval_instructions: 100_000,
+            epsilon: ThresholdEpsilon::Relative(0.125),
+            reactivation_prob: 0.0,
+            degradation_floor_mpki: 0.0,
+        };
+        let mut lite = LiteController::new(params, &[4], 9);
+        let mut rank_counts = [0u64; 4];
+        for &(rank, count) in &rank_hits {
+            for _ in 0..count {
+                lite.record_hit(0, rank);
+            }
+            rank_counts[rank as usize] += count;
+        }
+        for _ in 0..misses {
+            lite.record_l1_miss();
+        }
+
+        let kilo = 100.0;
+        let actual = misses as f64 / kilo;
+        let bound = actual * 1.125;
+        let expected = [1usize, 2, 4]
+            .into_iter()
+            .find(|&w| {
+                let extra: u64 = (w..4).map(|r| rank_counts[r]).sum();
+                (misses + extra) as f64 / kilo <= bound
+            })
+            .unwrap_or(4);
+
+        match lite.end_interval(100_000) {
+            eeat_core::LiteDecision::Resize(ways) => {
+                prop_assert_eq!(ways[0], expected, "ranks {:?} misses {}", rank_counts, misses)
+            }
+            other => prop_assert!(false, "unexpected decision {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lite_never_loses_more_than_epsilon_would_allow(
+        seed in 0u64..50,
+        hot_pages in 1u64..40,
+    ) {
+        // End-to-end: for an arbitrary single-hotspot workload, TLB_Lite's
+        // final L1 misses never exceed THP's by more than a margin far
+        // above ε-per-interval (sanity for the whole control loop).
+        let spec = WorkloadSpec {
+            name: "prop",
+            mem_ops_per_kilo_instr: 300,
+            store_fraction: 0.2,
+            regions: vec![RegionSpec {
+                name: "r",
+                bytes: 64 << 20,
+                count: 1,
+                thp_eligible: false,
+            }],
+            streams: vec![StreamSpec {
+                region: 0,
+                pattern: Pattern::Hotspot {
+                    hot_fraction: hot_pages as f64 * 4096.0 / (64 << 20) as f64,
+                    hot_prob: 0.95,
+                },
+                region_switch_prob: 0.0,
+            }],
+            phases: vec![PhaseSpec { duration_units: 1, weights: vec![(0, 1.0)] }],
+            phase_unit_instructions: 100_000,
+        };
+        let instructions = 600_000;
+        let mut thp = Simulator::from_spec(Config::thp(), &spec, seed);
+        let base = thp.run(instructions);
+        let mut lite = Simulator::from_spec(Config::tlb_lite(), &spec, seed);
+        let adaptive = lite.run(instructions);
+
+        // Identical traces.
+        prop_assert_eq!(base.stats.accesses, adaptive.stats.accesses);
+        // Lite trades misses for energy but within a bounded factor: the
+        // 12.5% ε compounds per interval, so allow a generous 2x + slack.
+        prop_assert!(
+            adaptive.stats.l1_misses <= base.stats.l1_misses * 2 + 2_000,
+            "Lite misses {} vs THP {}",
+            adaptive.stats.l1_misses,
+            base.stats.l1_misses
+        );
+        // And it never spends more L1 energy than the fixed configuration.
+        prop_assert!(
+            adaptive.energy.l1_pj() <= base.energy.l1_pj() * 1.001,
+            "Lite L1 energy {} vs THP {}",
+            adaptive.energy.l1_pj(),
+            base.energy.l1_pj()
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Per-structure dynamic-energy accounting.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Every structure the energy model attributes dynamic energy to.
+///
+/// The first group are lookup/fill structures (`A * E_read + M * E_write`);
+/// the walk categories accumulate memory-reference energy directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// L1 TLB for 4 KiB pages.
+    L1Page4K,
+    /// L1 TLB for 2 MiB pages.
+    L1Page2M,
+    /// L1 TLB for 1 GiB pages.
+    L1Page1G,
+    /// Single fully associative mixed-size L1 TLB (§4.4 extension).
+    L1FullyAssoc,
+    /// L1-range TLB (RMM_Lite).
+    L1Range,
+    /// Unified L2 page TLB.
+    L2Page,
+    /// L2-range TLB (RMM).
+    L2Range,
+    /// MMU PDE paging-structure cache.
+    MmuPde,
+    /// MMU PDPTE paging-structure cache.
+    MmuPdpte,
+    /// MMU PML4 paging-structure cache.
+    MmuPml4,
+    /// Page-walk memory references into the cache hierarchy.
+    PageWalk,
+    /// Background range-table walk references (RMM).
+    RangeWalk,
+}
+
+impl Structure {
+    /// All categories, in report order.
+    pub const ALL: [Structure; 12] = [
+        Structure::L1Page4K,
+        Structure::L1Page2M,
+        Structure::L1Page1G,
+        Structure::L1FullyAssoc,
+        Structure::L1Range,
+        Structure::L2Page,
+        Structure::L2Range,
+        Structure::MmuPde,
+        Structure::MmuPdpte,
+        Structure::MmuPml4,
+        Structure::PageWalk,
+        Structure::RangeWalk,
+    ];
+
+    /// A short label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Structure::L1Page4K => "L1-4KB",
+            Structure::L1Page2M => "L1-2MB",
+            Structure::L1Page1G => "L1-1GB",
+            Structure::L1FullyAssoc => "L1-FA",
+            Structure::L1Range => "L1-range",
+            Structure::L2Page => "L2-page",
+            Structure::L2Range => "L2-range",
+            Structure::MmuPde => "MMU-PDE",
+            Structure::MmuPdpte => "MMU-PDPTE",
+            Structure::MmuPml4 => "MMU-PML4",
+            Structure::PageWalk => "page-walks",
+            Structure::RangeWalk => "range-walks",
+        }
+    }
+
+    /// `true` for the L1 TLB structures accessed on every memory operation.
+    pub const fn is_l1(self) -> bool {
+        matches!(
+            self,
+            Structure::L1Page4K
+                | Structure::L1Page2M
+                | Structure::L1Page1G
+                | Structure::L1FullyAssoc
+                | Structure::L1Range
+        )
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Structure::L1Page4K => 0,
+            Structure::L1Page2M => 1,
+            Structure::L1Page1G => 2,
+            Structure::L1FullyAssoc => 3,
+            Structure::L1Range => 4,
+            Structure::L2Page => 5,
+            Structure::L2Range => 6,
+            Structure::MmuPde => 7,
+            Structure::MmuPdpte => 8,
+            Structure::MmuPml4 => 9,
+            Structure::PageWalk => 10,
+            Structure::RangeWalk => 11,
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated dynamic energy per structure, in picojoules.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_energy::{EnergyBreakdown, Structure};
+///
+/// let mut e = EnergyBreakdown::new();
+/// e.add_reads(Structure::L2Page, 10, 8.078);
+/// assert!((e.pj(Structure::L2Page) - 80.78).abs() < 1e-9);
+/// assert!((e.total_pj() - 80.78).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    pj: [f64; 12],
+}
+
+impl EnergyBreakdown {
+    /// Creates a zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the energy of `count` reads at `read_pj` each to `structure`.
+    #[inline]
+    pub fn add_reads(&mut self, structure: Structure, count: u64, read_pj: f64) {
+        self.pj[structure.index()] += count as f64 * read_pj;
+    }
+
+    /// Adds the energy of `count` writes at `write_pj` each to `structure`.
+    #[inline]
+    pub fn add_writes(&mut self, structure: Structure, count: u64, write_pj: f64) {
+        self.pj[structure.index()] += count as f64 * write_pj;
+    }
+
+    /// Adds raw picojoules to `structure` (used for walk references).
+    #[inline]
+    pub fn add_pj(&mut self, structure: Structure, pj: f64) {
+        self.pj[structure.index()] += pj;
+    }
+
+    /// Energy accumulated by `structure`, pJ.
+    pub fn pj(&self, structure: Structure) -> f64 {
+        self.pj[structure.index()]
+    }
+
+    /// Total dynamic energy, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.pj.iter().sum()
+    }
+
+    /// Total dynamic energy, nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.total_pj() / 1e3
+    }
+
+    /// Energy of the L1 TLB structures only, pJ (the paper's dominant
+    /// component).
+    pub fn l1_pj(&self) -> f64 {
+        Structure::ALL
+            .iter()
+            .filter(|s| s.is_l1())
+            .map(|s| self.pj(*s))
+            .sum()
+    }
+
+    /// Energy of page walks plus range-table walks, pJ.
+    pub fn walks_pj(&self) -> f64 {
+        self.pj(Structure::PageWalk) + self.pj(Structure::RangeWalk)
+    }
+
+    /// This breakdown's total as a fraction of `baseline`'s total
+    /// (the normalization used by every energy figure in the paper).
+    ///
+    /// Returns 0 when the baseline total is zero.
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        let base = baseline.total_pj();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.total_pj() / base
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        for (a, b) in self.pj.iter_mut().zip(rhs.pj.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dynamic energy breakdown:")?;
+        for s in Structure::ALL {
+            let pj = self.pj(s);
+            if pj > 0.0 {
+                writeln!(
+                    f,
+                    "  {:<12} {:>14.1} pJ ({:>5.1}%)",
+                    s.label(),
+                    pj,
+                    100.0 * pj / self.total_pj()
+                )?;
+            }
+        }
+        write!(f, "  {:<12} {:>14.1} pJ", "total", self.total_pj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_per_structure() {
+        let mut e = EnergyBreakdown::new();
+        e.add_reads(Structure::L1Page4K, 100, 5.865);
+        e.add_writes(Structure::L1Page4K, 2, 6.858);
+        e.add_pj(Structure::PageWalk, 174.171);
+        assert!((e.pj(Structure::L1Page4K) - (586.5 + 13.716)).abs() < 1e-9);
+        assert!((e.pj(Structure::PageWalk) - 174.171).abs() < 1e-9);
+        assert_eq!(e.pj(Structure::L2Page), 0.0);
+        assert!((e.total_pj() - (586.5 + 13.716 + 174.171)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_and_walk_groupings() {
+        let mut e = EnergyBreakdown::new();
+        e.add_pj(Structure::L1Page4K, 10.0);
+        e.add_pj(Structure::L1Range, 5.0);
+        e.add_pj(Structure::L2Page, 100.0);
+        e.add_pj(Structure::PageWalk, 20.0);
+        e.add_pj(Structure::RangeWalk, 7.0);
+        assert!((e.l1_pj() - 15.0).abs() < 1e-12);
+        assert!((e.walks_pj() - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut a = EnergyBreakdown::new();
+        a.add_pj(Structure::L1Page4K, 50.0);
+        let mut b = EnergyBreakdown::new();
+        b.add_pj(Structure::L1Page4K, 100.0);
+        assert!((a.normalized_to(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.normalized_to(&EnergyBreakdown::new()), 0.0);
+    }
+
+    #[test]
+    fn addition_merges() {
+        let mut a = EnergyBreakdown::new();
+        a.add_pj(Structure::L1Page4K, 1.0);
+        let mut b = EnergyBreakdown::new();
+        b.add_pj(Structure::L2Page, 2.0);
+        let c = a + b;
+        assert!((c.total_pj() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = Structure::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Structure::ALL.len());
+    }
+
+    #[test]
+    fn display_lists_nonzero_components() {
+        let mut e = EnergyBreakdown::new();
+        e.add_pj(Structure::L1Page4K, 10.0);
+        let s = e.to_string();
+        assert!(s.contains("L1-4KB"));
+        assert!(!s.contains("L2-range"));
+        assert!(s.contains("total"));
+    }
+}

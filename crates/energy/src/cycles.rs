@@ -1,0 +1,162 @@
+//! The performance (cycle) model of the paper's Table 3.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Cycle costs of the TLB hierarchy.
+///
+/// * L1 TLB hits are free — the L1 TLBs are probed in parallel with the L1
+///   data cache.
+/// * Every L1 TLB miss costs one L2 TLB lookup: 7 cycles.
+/// * Every L2 TLB miss costs one page walk: 50 cycles.
+///
+/// `Cycles_TLBmisses = 7 * M_L1 + 50 * M_L2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Cycles per L2 TLB lookup (paid by every L1 miss).
+    pub l2_lookup_cycles: u64,
+    /// Cycles per page walk (paid by every L2 miss).
+    pub walk_cycles: u64,
+}
+
+impl CycleModel {
+    /// The paper's parameters: 7-cycle L2 lookup, 50-cycle walk.
+    pub const fn sandy_bridge() -> Self {
+        Self {
+            l2_lookup_cycles: 7,
+            walk_cycles: 50,
+        }
+    }
+
+    /// Total cycles spent in TLB misses for the given miss counts.
+    pub const fn miss_cycles(&self, l1_misses: u64, l2_misses: u64) -> CycleBreakdown {
+        CycleBreakdown {
+            l1_miss_cycles: l1_misses * self.l2_lookup_cycles,
+            l2_miss_cycles: l2_misses * self.walk_cycles,
+        }
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        Self::sandy_bridge()
+    }
+}
+
+/// Cycles spent in TLB misses, split by level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles from L1 TLB misses (L2 TLB lookups).
+    pub l1_miss_cycles: u64,
+    /// Cycles from L2 TLB misses (page walks).
+    pub l2_miss_cycles: u64,
+}
+
+impl CycleBreakdown {
+    /// Creates a zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cycles spent in TLB misses.
+    pub const fn total(&self) -> u64 {
+        self.l1_miss_cycles + self.l2_miss_cycles
+    }
+
+    /// This breakdown's total as a fraction of `baseline`'s (the
+    /// normalization used by the cycle figures). Returns 0 for a zero
+    /// baseline.
+    pub fn normalized_to(&self, baseline: &CycleBreakdown) -> f64 {
+        if baseline.total() == 0 {
+            0.0
+        } else {
+            self.total() as f64 / baseline.total() as f64
+        }
+    }
+
+    /// The fraction of `executed_cycles` spent in TLB misses, as the paper
+    /// quotes it (e.g. "from 16.6% to 17.2%"): `total / (executed + total)`.
+    pub fn overhead_fraction(&self, executed_cycles: u64) -> f64 {
+        let total = self.total() as f64;
+        if executed_cycles == 0 && self.total() == 0 {
+            0.0
+        } else {
+            total / (executed_cycles as f64 + total)
+        }
+    }
+}
+
+impl Add for CycleBreakdown {
+    type Output = Self;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.l1_miss_cycles += rhs.l1_miss_cycles;
+        self.l2_miss_cycles += rhs.l2_miss_cycles;
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} TLB-miss cycles ({} from L1 misses, {} from L2 misses)",
+            self.total(),
+            self.l1_miss_cycles,
+            self.l2_miss_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_equation() {
+        let m = CycleModel::sandy_bridge();
+        let c = m.miss_cycles(100, 10);
+        assert_eq!(c.l1_miss_cycles, 700);
+        assert_eq!(c.l2_miss_cycles, 500);
+        assert_eq!(c.total(), 1200);
+    }
+
+    #[test]
+    fn normalization() {
+        let m = CycleModel::sandy_bridge();
+        let a = m.miss_cycles(50, 5);
+        let b = m.miss_cycles(100, 10);
+        assert!((a.normalized_to(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.normalized_to(&CycleBreakdown::new()), 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let c = CycleBreakdown {
+            l1_miss_cycles: 100,
+            l2_miss_cycles: 100,
+        };
+        assert!((c.overhead_fraction(800) - 0.2).abs() < 1e-12);
+        assert_eq!(CycleBreakdown::new().overhead_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn addition() {
+        let m = CycleModel::sandy_bridge();
+        let c = m.miss_cycles(1, 1) + m.miss_cycles(1, 0);
+        assert_eq!(c.l1_miss_cycles, 14);
+        assert_eq!(c.l2_miss_cycles, 50);
+    }
+
+    #[test]
+    fn display() {
+        let c = CycleModel::sandy_bridge().miss_cycles(1, 1);
+        assert!(c.to_string().contains("57 TLB-miss cycles"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Dynamic-energy and performance models for address translation.
+//!
+//! The paper derives per-structure read/write energies from Cacti at 32 nm
+//! (its Table 2) and accounts energy with the equations of its Table 3:
+//!
+//! ```text
+//! E_structure  = lookups * E_read + fills * E_write
+//! E_page_walks = memory_refs * E_read(L1 cache)
+//! E_total      = Σ E_structure + E_page_walks
+//! ```
+//!
+//! and cycles with: L1 TLB hits are free (parallel with the L1 D-cache),
+//! L1 misses cost 7 cycles (L2 TLB lookup), L2 misses cost 50 cycles (walk).
+//!
+//! This crate embeds Table 2 verbatim ([`table2`]), adds a small calibrated
+//! surrogate for the few structures the paper does not tabulate
+//! ([`CacheEnergyModel`]), and provides the accounting types the simulator
+//! fills in ([`EnergyBreakdown`], [`CycleModel`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use eeat_energy::{EnergyBreakdown, EnergyModel, Structure};
+//!
+//! let model = EnergyModel::sandy_bridge();
+//! let mut e = EnergyBreakdown::new();
+//! // One lookup in a fully enabled L1-4KB TLB plus one fill:
+//! e.add_reads(Structure::L1Page4K, 1, model.l1_4k(4).read_pj);
+//! e.add_writes(Structure::L1Page4K, 1, model.l1_4k(4).write_pj);
+//! assert!((e.total_pj() - (5.865 + 6.858)).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod analytical;
+mod cycles;
+mod static_energy;
+pub mod table2;
+
+pub use accounting::{EnergyBreakdown, Structure};
+pub use analytical::{CacheEnergyModel, CamEnergyModel};
+pub use cycles::{CycleBreakdown, CycleModel};
+pub use static_energy::{PowerGating, StaticEnergy, DEFAULT_CLOCK_GHZ};
+pub use table2::{EnergyModel, ReadWritePj};

@@ -1,0 +1,178 @@
+//! Static (leakage) energy — the §6.2 extension.
+//!
+//! The paper focuses on dynamic energy but notes that Lite "can also reduce
+//! the static (leakage) energy of TLBs when combined with schemes that
+//! power-gate the disabled ways" (citing gated-Vdd and related techniques).
+//! This module provides that accounting: leakage power per structure comes
+//! from Table 2; way-disabled structures leak like the equivalently smaller
+//! structure when power-gating is on, and like the full structure when it
+//! is off.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Clock frequency used to convert cycles to seconds (the paper's
+/// Sandy Bridge era cores ran ~3 GHz; leakage comparisons are
+/// frequency-independent because every configuration uses the same value).
+pub const DEFAULT_CLOCK_GHZ: f64 = 3.0;
+
+/// Whether disabled ways are power-gated (gated-Vdd style) or merely
+/// clock-idle (still leaking).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PowerGating {
+    /// Disabled ways keep leaking — way-disabling saves no static energy.
+    #[default]
+    None,
+    /// Disabled ways are power-gated — leakage follows the active size.
+    Gated,
+}
+
+impl fmt::Display for PowerGating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PowerGating::None => "no power gating",
+            PowerGating::Gated => "gated-Vdd",
+        })
+    }
+}
+
+/// Accumulates leakage energy: `E = Σ P_leak(config) × time(config)`.
+///
+/// The simulator reports how many cycles each structure spent at each
+/// leakage power; this type integrates them.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_energy::StaticEnergy;
+///
+/// let mut e = StaticEnergy::new(3.0);
+/// e.add_cycles(0.3632, 3_000_000_000); // one second at 0.3632 mW
+/// assert!((e.total_uj() - 363.2).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StaticEnergy {
+    clock_ghz: f64,
+    microjoules: f64,
+}
+
+impl StaticEnergy {
+    /// Creates a zeroed accumulator for a core at `clock_ghz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clock_ghz` is positive.
+    pub fn new(clock_ghz: f64) -> Self {
+        assert!(clock_ghz > 0.0, "clock must be positive");
+        Self {
+            clock_ghz,
+            microjoules: 0.0,
+        }
+    }
+
+    /// The configured clock, GHz.
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+
+    /// Adds `cycles` of leakage at `leakage_mw`.
+    ///
+    /// `mW × s = mJ`; cycles convert to seconds via the clock.
+    pub fn add_cycles(&mut self, leakage_mw: f64, cycles: u64) {
+        let seconds = cycles as f64 / (self.clock_ghz * 1e9);
+        self.microjoules += leakage_mw * seconds * 1e3; // mW*s = mJ = 1e3 uJ
+    }
+
+    /// Total static energy, microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.microjoules
+    }
+
+    /// Total static energy, picojoules (comparable with
+    /// [`EnergyBreakdown::total_pj`](crate::EnergyBreakdown::total_pj)).
+    pub fn total_pj(&self) -> f64 {
+        self.microjoules * 1e6
+    }
+}
+
+impl Default for StaticEnergy {
+    fn default() -> Self {
+        Self::new(DEFAULT_CLOCK_GHZ)
+    }
+}
+
+impl Add for StaticEnergy {
+    type Output = Self;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for StaticEnergy {
+    fn add_assign(&mut self, rhs: Self) {
+        debug_assert!(
+            (self.clock_ghz - rhs.clock_ghz).abs() < 1e-12,
+            "mixing clock domains"
+        );
+        self.microjoules += rhs.microjoules;
+    }
+}
+
+impl fmt::Display for StaticEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} uJ static at {} GHz",
+            self.microjoules, self.clock_ghz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn milliwatt_second_is_millijoule() {
+        let mut e = StaticEnergy::new(1.0);
+        e.add_cycles(1.0, 1_000_000_000); // 1 mW for 1 s
+        assert!((e.total_uj() - 1000.0).abs() < 1e-9); // 1 mJ
+        assert!((e.total_pj() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn scales_with_clock() {
+        // The same cycle count at double the clock is half the time.
+        let mut slow = StaticEnergy::new(1.5);
+        let mut fast = StaticEnergy::new(3.0);
+        slow.add_cycles(2.0, 1_000_000);
+        fast.add_cycles(2.0, 1_000_000);
+        assert!((slow.total_uj() - 2.0 * fast.total_uj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulates_and_adds() {
+        let mut a = StaticEnergy::default();
+        a.add_cycles(0.5, 3_000_000_000);
+        let mut b = StaticEnergy::default();
+        b.add_cycles(0.5, 3_000_000_000);
+        let c = a + b;
+        assert!((c.total_uj() - 2.0 * a.total_uj()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_rejected() {
+        let _ = StaticEnergy::new(0.0);
+    }
+
+    #[test]
+    fn gating_display() {
+        assert_eq!(PowerGating::Gated.to_string(), "gated-Vdd");
+        assert_eq!(PowerGating::default(), PowerGating::None);
+        let e = StaticEnergy::default();
+        assert!(e.to_string().contains("3 GHz"));
+    }
+}

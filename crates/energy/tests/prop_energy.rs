@@ -1,0 +1,108 @@
+//! Property tests for the energy and cycle models.
+
+use eeat_energy::{
+    CamEnergyModel, CycleModel, EnergyBreakdown, EnergyModel, StaticEnergy, Structure,
+};
+use proptest::prelude::*;
+
+fn structures() -> impl Strategy<Value = Structure> {
+    prop::sample::select(Structure::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn breakdown_total_is_sum_of_parts(
+        ops in prop::collection::vec((structures(), 0u64..10_000, 0.0f64..100.0), 0..50),
+    ) {
+        let mut e = EnergyBreakdown::new();
+        let mut expected = 0.0;
+        for &(s, count, pj) in &ops {
+            e.add_reads(s, count, pj);
+            expected += count as f64 * pj;
+        }
+        prop_assert!((e.total_pj() - expected).abs() < expected.abs() * 1e-12 + 1e-9);
+        // Group views never exceed the total.
+        prop_assert!(e.l1_pj() <= e.total_pj() + 1e-9);
+        prop_assert!(e.walks_pj() <= e.total_pj() + 1e-9);
+    }
+
+    #[test]
+    fn breakdown_addition_is_commutative_monoid(
+        a_ops in prop::collection::vec((structures(), 1u64..100, 0.1f64..10.0), 0..20),
+        b_ops in prop::collection::vec((structures(), 1u64..100, 0.1f64..10.0), 0..20),
+    ) {
+        let build = |ops: &[(Structure, u64, f64)]| {
+            let mut e = EnergyBreakdown::new();
+            for &(s, n, pj) in ops {
+                e.add_reads(s, n, pj);
+            }
+            e
+        };
+        let a = build(&a_ops);
+        let b = build(&b_ops);
+        let ab = a + b;
+        let ba = b + a;
+        for s in Structure::ALL {
+            prop_assert!((ab.pj(s) - ba.pj(s)).abs() < 1e-9);
+        }
+        let zero = EnergyBreakdown::new();
+        let a_zero = a + zero;
+        prop_assert!((a_zero.total_pj() - a.total_pj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_model_is_linear(l1 in 0u64..1_000_000, l2 in 0u64..1_000_000) {
+        let m = CycleModel::sandy_bridge();
+        let c = m.miss_cycles(l1, l2);
+        prop_assert_eq!(c.total(), 7 * l1 + 50 * l2);
+        // Splitting the misses across two accounting periods changes nothing.
+        let split = m.miss_cycles(l1 / 2, l2 / 2) + m.miss_cycles(l1 - l1 / 2, l2 - l2 / 2);
+        prop_assert_eq!(split.total(), c.total());
+    }
+
+    #[test]
+    fn walk_energy_is_monotone_in_miss_ratio(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let m_more_hits = EnergyModel::sandy_bridge().with_walk_l1_hit_ratio(hi);
+        let m_fewer_hits = EnergyModel::sandy_bridge().with_walk_l1_hit_ratio(lo);
+        prop_assert!(m_fewer_hits.walk_ref_pj() >= m_more_hits.walk_ref_pj() - 1e-12);
+    }
+
+    #[test]
+    fn way_disabled_energy_ordering(ways in prop::sample::select(vec![1usize, 2, 4])) {
+        // Any active-way configuration costs at most the full structure and
+        // at least the 1-way structure, for reads and writes alike.
+        let m = EnergyModel::sandy_bridge();
+        for f in [EnergyModel::l1_4k as fn(&EnergyModel, usize) -> _, EnergyModel::l1_2m] {
+            let e = f(&m, ways);
+            let lo = f(&m, 1);
+            let hi = f(&m, 4);
+            prop_assert!(e.read_pj >= lo.read_pj && e.read_pj <= hi.read_pj);
+            prop_assert!(e.write_pj >= lo.write_pj && e.write_pj <= hi.write_pj);
+        }
+    }
+
+    #[test]
+    fn cam_model_scales_monotonically(log_a in 0u32..8, log_b in 0u32..8) {
+        let (small, big) = (1usize << log_a.min(log_b), 1usize << log_a.max(log_b));
+        let s = CamEnergyModel::page_tlb(small);
+        let b = CamEnergyModel::page_tlb(big);
+        prop_assert!(s.read_pj() <= b.read_pj() + 1e-12);
+        prop_assert!(s.write_pj() <= b.write_pj() + 1e-12);
+        prop_assert!(s.leakage_mw() <= b.leakage_mw() + 1e-12);
+    }
+
+    #[test]
+    fn static_energy_is_additive_in_time(
+        mw in 0.01f64..20.0,
+        c1 in 0u64..1 << 40,
+        c2 in 0u64..1 << 40,
+    ) {
+        let mut whole = StaticEnergy::default();
+        whole.add_cycles(mw, c1 + c2);
+        let mut parts = StaticEnergy::default();
+        parts.add_cycles(mw, c1);
+        parts.add_cycles(mw, c2);
+        prop_assert!((whole.total_uj() - parts.total_uj()).abs() < whole.total_uj() * 1e-9 + 1e-12);
+    }
+}

@@ -1,0 +1,506 @@
+//! The per-process address space: VMAs, page table, range table.
+
+use core::fmt;
+
+use eeat_paging::PageTable;
+use eeat_tlb::PageTranslation;
+use eeat_types::{PageSize, Pfn, RangeTranslation, VirtAddr, VirtRange, Vpn};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::frame_alloc::FrameAllocator;
+use crate::policy::PagingPolicy;
+use crate::range_table::RangeTable;
+use crate::vma::Vma;
+
+/// Default physical memory: 16 GiB, comfortably above the largest workload
+/// footprint of Table 4 (mcf, 1.7 GB).
+const DEFAULT_FRAMES: u64 = (16u64 << 30) >> 12;
+
+/// First address of the mmap area. Arbitrary but canonical-looking;
+/// 2 MiB-aligned so THP and eager ranges can align naturally.
+const MMAP_BASE: u64 = 0x5000_0000_0000;
+
+/// Guard gap left between consecutive VMAs.
+const GUARD_BYTES: u64 = 2 << 20;
+
+/// A simulated process address space under one [`PagingPolicy`].
+///
+/// Allocation requests ([`mmap`](Self::mmap)) install all mappings eagerly:
+/// page-table entries (4 KiB, or 2 MiB where THP applies) and — under the
+/// RMM policies — one range translation per request, backed by physically
+/// contiguous frames (*perfect eager paging*, the paper's assumption for RMM
+/// and RMM_Lite).
+///
+/// The per-VMA `thp_eligible` flag and the
+/// [`huge_success_prob`](Self::set_huge_success_prob) knob shape how much of
+/// the footprint huge pages actually cover, which drives the L1 hit mixes of
+/// Table 5.
+pub struct AddressSpace {
+    policy: PagingPolicy,
+    page_table: PageTable,
+    range_table: RangeTable,
+    frames: FrameAllocator,
+    vmas: Vec<Vma>,
+    next_mmap: VirtAddr,
+    rng: SmallRng,
+    huge_success_prob: f64,
+    huge_pages: u64,
+    base_pages: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space with 16 GiB of physical memory.
+    pub fn new(policy: PagingPolicy, seed: u64) -> Self {
+        Self::with_frames(policy, DEFAULT_FRAMES, seed)
+    }
+
+    /// Creates an address space managing `total_frames` physical frames.
+    pub fn with_frames(policy: PagingPolicy, total_frames: u64, seed: u64) -> Self {
+        Self {
+            policy,
+            page_table: PageTable::new(),
+            range_table: RangeTable::new(),
+            frames: FrameAllocator::new(total_frames),
+            vmas: Vec::new(),
+            next_mmap: VirtAddr::new(MMAP_BASE),
+            rng: SmallRng::seed_from_u64(seed ^ 0x05ce_a110_c871),
+            huge_success_prob: 1.0,
+            huge_pages: 0,
+            base_pages: 0,
+        }
+    }
+
+    /// Sets the probability that a 2 MiB THP allocation finds a free aligned
+    /// physical block (1.0 = no fragmentation, the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prob` is within `[0, 1]`.
+    pub fn set_huge_success_prob(&mut self, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.huge_success_prob = prob;
+    }
+
+    /// The paging policy in effect.
+    pub fn policy(&self) -> PagingPolicy {
+        self.policy
+    }
+
+    /// The process page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The process range table (empty unless the policy uses ranges).
+    pub fn range_table(&self) -> &RangeTable {
+        &self.range_table
+    }
+
+    /// Mutable access to the range table (the simulator counts walks on it).
+    pub fn range_table_mut(&mut self) -> &mut RangeTable {
+        &mut self.range_table
+    }
+
+    /// The VMAs created so far, in creation order.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// The physical frame allocator.
+    pub fn frames(&self) -> &FrameAllocator {
+        &self.frames
+    }
+
+    /// Huge (2 MiB) pages currently mapped.
+    pub fn huge_pages(&self) -> u64 {
+        self.huge_pages
+    }
+
+    /// Base (4 KiB) pages currently mapped.
+    pub fn base_pages(&self) -> u64 {
+        self.base_pages
+    }
+
+    /// Fraction of mapped bytes backed by huge pages.
+    pub fn huge_coverage(&self) -> f64 {
+        let huge = self.huge_pages * PageSize::Size2M.bytes();
+        let base = self.base_pages * PageSize::Size4K.bytes();
+        if huge + base == 0 {
+            0.0
+        } else {
+            huge as f64 / (huge + base) as f64
+        }
+    }
+
+    /// Allocates a new VMA of `len` bytes (rounded up to a page), installs
+    /// all mappings per the policy, and returns the virtual range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted or `len` is zero.
+    pub fn mmap(&mut self, len: u64, thp_eligible: bool, name: &'static str) -> VirtRange {
+        assert!(len > 0, "cannot map an empty region");
+        let len = len.next_multiple_of(PageSize::Size4K.bytes());
+        let start = self.next_mmap.align_up(PageSize::Size2M);
+        let range = VirtRange::new(start, len);
+        self.next_mmap = range.end().saturating_add(GUARD_BYTES);
+        self.vmas.push(Vma::new(range, thp_eligible, name));
+
+        if self.policy.uses_ranges() {
+            self.populate_eager(range, thp_eligible);
+        } else {
+            self.populate_demand(range, thp_eligible);
+        }
+        range
+    }
+
+    /// Maps a VMA at a fixed virtual address (trace replay: the addresses
+    /// are dictated by the recorded program). `start` must be page aligned;
+    /// regions that are not 2 MiB aligned are demoted to THP-ineligible,
+    /// since a huge mapping could not be placed there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start` is unaligned, the region overlaps an existing
+    /// VMA, or physical memory is exhausted.
+    pub fn mmap_at(
+        &mut self,
+        start: VirtAddr,
+        len: u64,
+        thp_eligible: bool,
+        name: &'static str,
+    ) -> VirtRange {
+        assert!(len > 0, "cannot map an empty region");
+        assert!(
+            start.is_aligned(PageSize::Size4K),
+            "start must be page aligned"
+        );
+        let len = len.next_multiple_of(PageSize::Size4K.bytes());
+        let range = VirtRange::new(start, len);
+        assert!(
+            self.vmas.iter().all(|v| !v.range().overlaps(range)),
+            "fixed mapping overlaps an existing VMA"
+        );
+        let eligible = thp_eligible && start.is_aligned(PageSize::Size2M);
+        self.vmas.push(Vma::new(range, eligible, name));
+        if self.policy.uses_ranges() {
+            self.populate_eager(range, eligible);
+        } else {
+            self.populate_demand(range, eligible);
+        }
+        range
+    }
+
+    /// Eager paging: one physically contiguous run backs the whole VMA, one
+    /// range translation covers it, and the page table redundantly maps the
+    /// same frames.
+    fn populate_eager(&mut self, range: VirtRange, thp_eligible: bool) {
+        let pages = range.len() >> 12;
+        let base_pfn = self
+            .frames
+            .alloc_contiguous(pages, PageSize::Size2M)
+            .expect("physical memory exhausted");
+        self.range_table
+            .insert(RangeTranslation::new(range, base_pfn.base_addr()))
+            .expect("VMAs never overlap");
+
+        let use_thp = self.policy.uses_thp() && thp_eligible;
+        let mut offset = 0u64;
+        while offset < pages {
+            let vpn = range.start().vpn().add(offset);
+            let pfn = Pfn::new(base_pfn.raw() + offset);
+            if use_thp
+                && vpn.is_aligned(PageSize::Size2M)
+                && offset + PageSize::Size2M.base_pages() <= pages
+            {
+                self.map_page(vpn, pfn, PageSize::Size2M);
+                offset += PageSize::Size2M.base_pages();
+            } else {
+                self.map_page(vpn, pfn, PageSize::Size4K);
+                offset += 1;
+            }
+        }
+    }
+
+    /// Demand-style paging (populated eagerly; see crate docs): huge pages
+    /// where the policy, eligibility, alignment, and fragmentation allow,
+    /// 4 KiB frames otherwise.
+    fn populate_demand(&mut self, range: VirtRange, thp_eligible: bool) {
+        let pages = range.len() >> 12;
+        let use_thp = self.policy.uses_thp() && thp_eligible;
+        let mut offset = 0u64;
+        while offset < pages {
+            let vpn = range.start().vpn().add(offset);
+            if use_thp
+                && vpn.is_aligned(PageSize::Size2M)
+                && offset + PageSize::Size2M.base_pages() <= pages
+                && self.huge_alloc_succeeds()
+            {
+                let pfn = self
+                    .frames
+                    .alloc_huge(PageSize::Size2M)
+                    .expect("physical memory exhausted");
+                self.map_page(vpn, pfn, PageSize::Size2M);
+                offset += PageSize::Size2M.base_pages();
+            } else {
+                let pfn = self
+                    .frames
+                    .alloc_frame()
+                    .expect("physical memory exhausted");
+                self.map_page(vpn, pfn, PageSize::Size4K);
+                offset += 1;
+            }
+        }
+    }
+
+    fn huge_alloc_succeeds(&mut self) -> bool {
+        self.huge_success_prob >= 1.0 || self.rng.random_bool(self.huge_success_prob)
+    }
+
+    fn map_page(&mut self, vpn: Vpn, pfn: Pfn, size: PageSize) {
+        self.page_table
+            .map(PageTranslation::new(vpn, pfn, size))
+            .expect("fresh VMA region cannot overlap");
+        match size {
+            PageSize::Size4K => self.base_pages += 1,
+            PageSize::Size2M => self.huge_pages += 1,
+            PageSize::Size1G => {}
+        }
+    }
+
+    /// Breaks the 2 MiB page covering `va` into 512 4 KiB pages over the
+    /// same frames — what Linux does under memory pressure, and the event
+    /// Lite's full-reactivation guard exists for (paper §4.2.2).
+    ///
+    /// Returns the demoted translation, or `None` when `va` is not backed by
+    /// a huge page. The caller (simulator) is responsible for shooting down
+    /// stale TLB entries.
+    pub fn break_huge_page(&mut self, va: VirtAddr) -> Option<PageTranslation> {
+        let t = self.page_table.translate(va)?;
+        if t.size() != PageSize::Size2M {
+            return None;
+        }
+        self.page_table.unmap(va)?;
+        self.huge_pages -= 1;
+        for i in 0..PageSize::Size2M.base_pages() {
+            self.map_page(
+                t.vpn().add(i),
+                Pfn::new(t.pfn().raw() + i),
+                PageSize::Size4K,
+            );
+        }
+        Some(t)
+    }
+
+    /// `true` when `va` is mapped by the page table.
+    pub fn is_mapped(&self, va: VirtAddr) -> bool {
+        self.page_table.translate(va).is_some()
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("policy", &self.policy)
+            .field("vmas", &self.vmas.len())
+            .field("huge_pages", &self.huge_pages)
+            .field("base_pages", &self.base_pages)
+            .field("ranges", &self.range_table.len())
+            .finish()
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} VMAs, {} huge + {} base pages ({:.1}% huge coverage), {} ranges",
+            self.policy,
+            self.vmas.len(),
+            self.huge_pages,
+            self.base_pages,
+            self.huge_coverage() * 100.0,
+            self.range_table.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_k_policy_maps_base_pages_only() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        let r = asp.mmap(8 << 20, true, "heap");
+        assert_eq!(asp.base_pages(), 2048);
+        assert_eq!(asp.huge_pages(), 0);
+        assert!(asp.range_table().is_empty());
+        let t = asp.page_table().translate(r.start()).unwrap();
+        assert_eq!(t.size(), PageSize::Size4K);
+    }
+
+    #[test]
+    fn thp_policy_maps_huge_pages() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        let r = asp.mmap(8 << 20, true, "heap");
+        assert_eq!(asp.huge_pages(), 4);
+        assert_eq!(asp.base_pages(), 0);
+        assert!((asp.huge_coverage() - 1.0).abs() < 1e-12);
+        let t = asp.page_table().translate(r.start()).unwrap();
+        assert_eq!(t.size(), PageSize::Size2M);
+    }
+
+    #[test]
+    fn thp_ineligible_vma_stays_4k() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        asp.mmap(8 << 20, false, "fragmented-heap");
+        assert_eq!(asp.huge_pages(), 0);
+        assert_eq!(asp.base_pages(), 2048);
+    }
+
+    #[test]
+    fn thp_tail_falls_back_to_4k() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        // 5 MiB: two 2 MiB pages + 256 base pages.
+        asp.mmap(5 << 20, true, "array");
+        assert_eq!(asp.huge_pages(), 2);
+        assert_eq!(asp.base_pages(), 256);
+    }
+
+    #[test]
+    fn fragmentation_prob_reduces_coverage() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 7);
+        asp.set_huge_success_prob(0.5);
+        asp.mmap(64 << 20, true, "heap"); // 32 possible huge pages
+        assert!(asp.huge_pages() > 0, "some huge pages expected");
+        assert!(asp.huge_pages() < 32, "some fallbacks expected");
+        assert_eq!(asp.huge_pages() * 512 + asp.base_pages(), (64 << 20) / 4096);
+    }
+
+    #[test]
+    fn eager_paging_creates_one_range_per_vma() {
+        let mut asp = AddressSpace::new(PagingPolicy::Rmm4K, 1);
+        let a = asp.mmap(8 << 20, true, "a");
+        let b = asp.mmap(3 << 20, true, "b");
+        assert_eq!(asp.range_table().len(), 2);
+        let ra = asp.range_table().lookup(a.start()).unwrap();
+        assert_eq!(ra.virt(), a);
+        let rb = asp.range_table().lookup(b.start()).unwrap();
+        assert_eq!(rb.virt(), b);
+        // 4 KiB pages underneath, translations agree with the range.
+        let va = VirtAddr::new(a.start().raw() + 0x5123);
+        let t = asp.page_table().translate(va).unwrap();
+        assert_eq!(t.size(), PageSize::Size4K);
+        assert_eq!(t.translate(va), ra.translate(va).unwrap());
+    }
+
+    #[test]
+    fn rmm_thp_mixes_huge_pages_and_ranges() {
+        let mut asp = AddressSpace::new(PagingPolicy::RmmThp, 1);
+        let r = asp.mmap(8 << 20, true, "heap");
+        assert_eq!(asp.huge_pages(), 4);
+        assert_eq!(asp.range_table().len(), 1);
+        let va = VirtAddr::new(r.start().raw() + (3 << 20) + 77);
+        let t = asp.page_table().translate(va).unwrap();
+        let range = asp.range_table().lookup(va).unwrap();
+        assert_eq!(t.translate(va), range.translate(va).unwrap());
+    }
+
+    #[test]
+    fn vmas_do_not_overlap_and_are_guarded() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        let a = asp.mmap(1 << 20, true, "a");
+        let b = asp.mmap(1 << 20, true, "b");
+        assert!(!a.overlaps(b));
+        assert!(b.start() - a.end() >= GUARD_BYTES);
+        assert!(a.start().is_aligned(PageSize::Size2M));
+        assert!(b.start().is_aligned(PageSize::Size2M));
+    }
+
+    #[test]
+    fn break_huge_page_demotes_in_place() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        let r = asp.mmap(2 << 20, true, "heap");
+        let va = VirtAddr::new(r.start().raw() + 0x1234);
+        let before = asp.page_table().translate(va).unwrap();
+        assert_eq!(before.size(), PageSize::Size2M);
+        let pa_before = before.translate(va);
+
+        let demoted = asp.break_huge_page(va).unwrap();
+        assert_eq!(demoted, before);
+        assert_eq!(asp.huge_pages(), 0);
+        assert_eq!(asp.base_pages(), 512);
+        let after = asp.page_table().translate(va).unwrap();
+        assert_eq!(after.size(), PageSize::Size4K);
+        // Same physical bytes.
+        assert_eq!(after.translate(va), pa_before);
+        // A second break is a no-op.
+        assert!(asp.break_huge_page(va).is_none());
+    }
+
+    #[test]
+    fn is_mapped_reflects_mmap() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        let r = asp.mmap(4096, true, "page");
+        assert!(asp.is_mapped(r.start()));
+        assert!(!asp.is_mapped(VirtAddr::new(r.end().raw() + (4 << 20))));
+    }
+
+    #[test]
+    fn mmap_at_fixed_addresses() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        // 2 MiB-aligned and eligible: huge pages.
+        let a = asp.mmap_at(VirtAddr::new(0x7f00_0000_0000), 4 << 20, true, "a");
+        assert_eq!(asp.huge_pages(), 2);
+        assert_eq!(a.start().raw(), 0x7f00_0000_0000);
+        // Unaligned start: demoted to 4 KiB even though eligible.
+        asp.mmap_at(VirtAddr::new(0x7f00_1230_1000), 2 << 20, true, "b");
+        assert_eq!(asp.huge_pages(), 2, "unaligned region cannot be huge");
+        assert!(asp.is_mapped(VirtAddr::new(0x7f00_1230_1000)));
+    }
+
+    #[test]
+    fn mmap_at_under_eager_paging() {
+        let mut asp = AddressSpace::new(PagingPolicy::Rmm4K, 1);
+        let r = asp.mmap_at(VirtAddr::new(0x6000_0000_1000), 1 << 20, false, "trace");
+        let rt = asp.range_table().lookup(r.start()).expect("range created");
+        let probe = VirtAddr::new(r.start().raw() + 0x2345 & !7);
+        assert_eq!(
+            asp.page_table().translate(probe).unwrap().translate(probe),
+            rt.translate(probe).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps an existing")]
+    fn mmap_at_overlap_rejected() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        asp.mmap_at(VirtAddr::new(0x10_0000), 1 << 20, false, "a");
+        asp.mmap_at(VirtAddr::new(0x10_0000 + 4096), 4096, false, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn mmap_at_unaligned_rejected() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        asp.mmap_at(VirtAddr::new(0x123), 4096, false, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_mmap_rejected() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        asp.mmap(0, true, "nothing");
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        asp.mmap(2 << 20, true, "x");
+        let s = asp.to_string();
+        assert!(s.contains("1 VMAs"));
+        assert!(s.contains("huge coverage"));
+    }
+}

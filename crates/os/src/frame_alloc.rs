@@ -1,0 +1,230 @@
+//! Physical frame allocation.
+
+use core::fmt;
+
+use eeat_types::{PageSize, Pfn};
+
+/// A physical-memory allocator handing out 4 KiB frames.
+///
+/// Supports three request shapes, matching what each paging policy needs:
+///
+/// * single frames (plain 4 KiB demand paging),
+/// * 2 MiB-aligned blocks of 512 frames (transparent huge pages),
+/// * arbitrarily long aligned contiguous runs (eager paging for RMM ranges).
+///
+/// Freed single frames and huge blocks are recycled LIFO. Contiguous runs
+/// always come from the bump frontier — physical layout beyond *contiguity
+/// and alignment* has no effect on any metric the simulator reports, so no
+/// compaction or buddy merging is modelled.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_os::FrameAllocator;
+/// use eeat_types::PageSize;
+///
+/// let mut fa = FrameAllocator::new(1 << 20); // 4 GiB of frames
+/// let huge = fa.alloc_huge(PageSize::Size2M).unwrap();
+/// assert!(huge.is_aligned(PageSize::Size2M));
+/// let run = fa.alloc_contiguous(10_000, PageSize::Size2M).unwrap();
+/// assert!(run.is_aligned(PageSize::Size2M));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    total_frames: u64,
+    next_free: u64,
+    free_4k: Vec<Pfn>,
+    free_2m: Vec<Pfn>,
+    allocated: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `total_frames` 4 KiB frames starting at
+    /// physical address 0.
+    pub fn new(total_frames: u64) -> Self {
+        Self {
+            total_frames,
+            next_free: 0,
+            free_4k: Vec::new(),
+            free_2m: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Frames managed in total.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Frames still available (free lists plus untouched frontier).
+    pub fn free_frames(&self) -> u64 {
+        self.total_frames - self.allocated
+    }
+
+    /// Allocates one 4 KiB frame.
+    pub fn alloc_frame(&mut self) -> Option<Pfn> {
+        let pfn = match self.free_4k.pop() {
+            Some(pfn) => pfn,
+            None => self.bump(1, 1)?,
+        };
+        self.allocated += 1;
+        Some(pfn)
+    }
+
+    /// Allocates an aligned block for one huge page of `size`
+    /// (512 frames for 2 MiB, 262 144 for 1 GiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is [`PageSize::Size4K`]; use
+    /// [`alloc_frame`](Self::alloc_frame) for single frames.
+    pub fn alloc_huge(&mut self, size: PageSize) -> Option<Pfn> {
+        assert!(size != PageSize::Size4K, "use alloc_frame for base pages");
+        let pages = size.base_pages();
+        let pfn = if size == PageSize::Size2M {
+            match self.free_2m.pop() {
+                Some(pfn) => pfn,
+                None => self.bump(pages, pages)?,
+            }
+        } else {
+            self.bump(pages, pages)?
+        };
+        self.allocated += pages;
+        Some(pfn)
+    }
+
+    /// Allocates `frames` physically contiguous frames aligned to `align`
+    /// (eager paging: the backing store of one range translation).
+    pub fn alloc_contiguous(&mut self, frames: u64, align: PageSize) -> Option<Pfn> {
+        let pfn = self.bump(frames, align.base_pages())?;
+        self.allocated += frames;
+        Some(pfn)
+    }
+
+    /// Returns a single frame to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when more frames are freed than allocated.
+    pub fn free_frame(&mut self, pfn: Pfn) {
+        debug_assert!(self.allocated >= 1, "free without matching alloc");
+        self.allocated -= 1;
+        self.free_4k.push(pfn);
+    }
+
+    /// Returns a 2 MiB block to the allocator.
+    pub fn free_huge(&mut self, pfn: Pfn, size: PageSize) {
+        assert!(size != PageSize::Size4K, "use free_frame for base pages");
+        let pages = size.base_pages();
+        debug_assert!(self.allocated >= pages, "free without matching alloc");
+        self.allocated -= pages;
+        if size == PageSize::Size2M {
+            self.free_2m.push(pfn);
+        }
+        // Freed 1 GiB blocks are simply dropped back to "allocated" space;
+        // no workload in this suite frees gigabyte pages.
+    }
+
+    fn bump(&mut self, frames: u64, align_pages: u64) -> Option<Pfn> {
+        let start = self.next_free.next_multiple_of(align_pages);
+        let end = start.checked_add(frames)?;
+        if end > self.total_frames {
+            return None;
+        }
+        self.next_free = end;
+        Some(Pfn::new(start))
+    }
+}
+
+impl fmt::Display for FrameAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frames: {}/{} allocated ({} free-listed 4K, {} free-listed 2M)",
+            self.allocated,
+            self.total_frames,
+            self.free_4k.len(),
+            self.free_2m.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frames_are_distinct() {
+        let mut fa = FrameAllocator::new(100);
+        let a = fa.alloc_frame().unwrap();
+        let b = fa.alloc_frame().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fa.allocated_frames(), 2);
+    }
+
+    #[test]
+    fn huge_blocks_are_aligned() {
+        let mut fa = FrameAllocator::new(10_000);
+        fa.alloc_frame().unwrap(); // misalign the frontier
+        let huge = fa.alloc_huge(PageSize::Size2M).unwrap();
+        assert!(huge.is_aligned(PageSize::Size2M));
+        assert_eq!(fa.allocated_frames(), 1 + 512);
+    }
+
+    #[test]
+    fn contiguous_run_alignment() {
+        let mut fa = FrameAllocator::new(1 << 22);
+        fa.alloc_frame().unwrap();
+        let run = fa.alloc_contiguous(100_000, PageSize::Size2M).unwrap();
+        assert!(run.is_aligned(PageSize::Size2M));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut fa = FrameAllocator::new(512);
+        assert!(fa.alloc_huge(PageSize::Size2M).is_some());
+        assert!(fa.alloc_frame().is_none());
+        assert!(fa.alloc_huge(PageSize::Size2M).is_none());
+        assert_eq!(fa.free_frames(), 0);
+    }
+
+    #[test]
+    fn freed_frames_recycle() {
+        let mut fa = FrameAllocator::new(4);
+        let a = fa.alloc_frame().unwrap();
+        let b = fa.alloc_frame().unwrap();
+        fa.free_frame(a);
+        fa.free_frame(b);
+        // LIFO recycling.
+        assert_eq!(fa.alloc_frame(), Some(b));
+        assert_eq!(fa.alloc_frame(), Some(a));
+        assert_eq!(fa.allocated_frames(), 2);
+    }
+
+    #[test]
+    fn freed_huge_recycles() {
+        let mut fa = FrameAllocator::new(2048);
+        let a = fa.alloc_huge(PageSize::Size2M).unwrap();
+        fa.free_huge(a, PageSize::Size2M);
+        assert_eq!(fa.alloc_huge(PageSize::Size2M), Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "use alloc_frame")]
+    fn alloc_huge_rejects_4k() {
+        let mut fa = FrameAllocator::new(100);
+        let _ = fa.alloc_huge(PageSize::Size4K);
+    }
+
+    #[test]
+    fn display_shows_occupancy() {
+        let mut fa = FrameAllocator::new(10);
+        fa.alloc_frame().unwrap();
+        assert!(fa.to_string().contains("1/10"));
+    }
+}

@@ -1,0 +1,49 @@
+//! OS memory-manager model: the software side of address translation.
+//!
+//! The paper reads the real Linux page table through `pagemap` and assumes
+//! *perfect eager paging* for RMM. This crate replaces both with an explicit
+//! model:
+//!
+//! * [`FrameAllocator`] — physical memory with aligned and contiguous
+//!   allocation (contiguity is what makes range translations possible).
+//! * [`Vma`] — a virtual memory area created by an allocation request, with
+//!   a per-VMA transparent-huge-page eligibility flag that models how
+//!   fragmented, small-object allocation behaviour defeats THP (the reason
+//!   canneal keeps hitting its L1-4KB TLB even with THP enabled).
+//! * [`RangeTable`] — the per-process software table of RMM range
+//!   translations, walked in the background on L2-range TLB misses.
+//! * [`AddressSpace`] — ties it together under a [`PagingPolicy`]: plain
+//!   4 KiB paging, transparent huge pages, or either combined with eager
+//!   paging ranges for RMM / RMM_Lite.
+//!
+//! Mappings are installed eagerly at `mmap` time: the paper fast-forwards
+//! 50 G instructions before measuring, so the measured window sees a fully
+//! populated address space; demand-fault order does not affect any metric
+//! this simulator reports (only page sizes and contiguity do).
+//!
+//! # Examples
+//!
+//! ```
+//! use eeat_os::{AddressSpace, PagingPolicy};
+//! use eeat_types::PageSize;
+//!
+//! let mut asp = AddressSpace::new(PagingPolicy::Thp, 42);
+//! let region = asp.mmap(8 << 20, true, "heap");
+//! let t = asp.page_table().translate(region.start()).unwrap();
+//! assert_eq!(t.size(), PageSize::Size2M); // THP backed the aligned region
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address_space;
+mod frame_alloc;
+mod policy;
+mod range_table;
+mod vma;
+
+pub use address_space::AddressSpace;
+pub use frame_alloc::FrameAllocator;
+pub use policy::PagingPolicy;
+pub use range_table::{RangeTable, RangeTableError, RANGE_TABLE_WALK_REFS};
+pub use vma::Vma;

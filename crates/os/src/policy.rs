@@ -1,0 +1,81 @@
+//! Paging policies.
+
+use core::fmt;
+
+/// How the OS backs virtual memory — one policy per simulated configuration
+/// of the paper (Figure 9):
+///
+/// | Policy      | Page sizes in the page table | Range translations |
+/// |-------------|------------------------------|--------------------|
+/// | `FourK`     | 4 KiB only                   | no                 |
+/// | `Thp`       | 4 KiB + 2 MiB (THP)          | no                 |
+/// | `RmmThp`    | 4 KiB + 2 MiB (THP)          | yes (eager paging) |
+/// | `Rmm4K`     | 4 KiB only                   | yes (eager paging) |
+///
+/// `FourK` backs the *4KB* configuration; `Thp` backs *THP*, *TLB_Lite* and
+/// *TLB_PP*; `RmmThp` backs *RMM* (ranges at L2 only, huge pages still used
+/// by the page TLBs); `Rmm4K` backs *RMM_Lite*, where the L1-range TLB
+/// replaces the L1 huge-page TLB and paging stays at 4 KiB (paper §4.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PagingPolicy {
+    /// Plain 4 KiB demand paging.
+    #[default]
+    FourK,
+    /// Transparent huge pages: eligible, aligned regions get 2 MiB pages.
+    Thp,
+    /// THP plus perfect eager paging (one range translation per request).
+    RmmThp,
+    /// 4 KiB paging plus perfect eager paging.
+    Rmm4K,
+}
+
+impl PagingPolicy {
+    /// Whether transparent huge pages back eligible VMAs.
+    pub const fn uses_thp(self) -> bool {
+        matches!(self, PagingPolicy::Thp | PagingPolicy::RmmThp)
+    }
+
+    /// Whether eager paging creates range translations.
+    pub const fn uses_ranges(self) -> bool {
+        matches!(self, PagingPolicy::RmmThp | PagingPolicy::Rmm4K)
+    }
+
+    /// A short label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PagingPolicy::FourK => "4KB",
+            PagingPolicy::Thp => "THP",
+            PagingPolicy::RmmThp => "RMM(THP)",
+            PagingPolicy::Rmm4K => "RMM(4KB)",
+        }
+    }
+}
+
+impl fmt::Display for PagingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix() {
+        assert!(!PagingPolicy::FourK.uses_thp());
+        assert!(!PagingPolicy::FourK.uses_ranges());
+        assert!(PagingPolicy::Thp.uses_thp());
+        assert!(!PagingPolicy::Thp.uses_ranges());
+        assert!(PagingPolicy::RmmThp.uses_thp());
+        assert!(PagingPolicy::RmmThp.uses_ranges());
+        assert!(!PagingPolicy::Rmm4K.uses_thp());
+        assert!(PagingPolicy::Rmm4K.uses_ranges());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PagingPolicy::FourK.to_string(), "4KB");
+        assert_eq!(PagingPolicy::Rmm4K.to_string(), "RMM(4KB)");
+    }
+}

@@ -1,0 +1,259 @@
+//! The per-process RMM range table.
+
+use core::fmt;
+
+use eeat_types::{RangeTranslation, VirtAddr};
+
+/// Memory references charged for one range-table walk.
+///
+/// RMM stores range translations in a B-tree; a lookup descends about three
+/// levels for the range counts seen here (tens to a few thousand ranges).
+/// The walk runs in the background and costs energy only, never cycles
+/// (paper §5, "Performance").
+pub const RANGE_TABLE_WALK_REFS: u32 = 3;
+
+/// Errors returned by [`RangeTable::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RangeTableError {
+    /// The new range overlaps an existing entry.
+    Overlap {
+        /// Start of the conflicting existing range.
+        existing_start: VirtAddr,
+    },
+}
+
+impl fmt::Display for RangeTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RangeTableError::Overlap { existing_start } => {
+                write!(f, "range overlaps existing entry at {existing_start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RangeTableError {}
+
+/// The software-managed, per-process table of range translations
+/// (RMM's counterpart of the page table).
+///
+/// Entries are kept sorted by virtual start and never overlap, so a lookup
+/// is a binary search. Eager paging inserts one entry per allocation
+/// request; the L2-range TLB misses into this table.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_os::RangeTable;
+/// use eeat_types::{PhysAddr, RangeTranslation, VirtAddr, VirtRange};
+///
+/// let mut rt = RangeTable::new();
+/// rt.insert(RangeTranslation::new(
+///     VirtRange::new(VirtAddr::new(0x10_0000), 0x40_0000),
+///     PhysAddr::new(0x800_0000),
+/// ))?;
+/// assert!(rt.lookup(VirtAddr::new(0x20_0000)).is_some());
+/// # Ok::<(), eeat_os::RangeTableError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RangeTable {
+    /// Sorted by virtual start address; ranges never overlap.
+    entries: Vec<RangeTranslation>,
+    walks: u64,
+}
+
+impl RangeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of range translations stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no ranges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of background walks performed so far.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Resets the walk counter.
+    pub fn reset_stats(&mut self) {
+        self.walks = 0;
+    }
+
+    /// Inserts a range translation, keeping the table sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeTableError::Overlap`] when the new range overlaps an
+    /// existing entry.
+    pub fn insert(&mut self, rt: RangeTranslation) -> Result<(), RangeTableError> {
+        let pos = self
+            .entries
+            .partition_point(|e| e.virt().start() < rt.virt().start());
+        if pos > 0 && self.entries[pos - 1].virt().overlaps(rt.virt()) {
+            return Err(RangeTableError::Overlap {
+                existing_start: self.entries[pos - 1].virt().start(),
+            });
+        }
+        if pos < self.entries.len() && self.entries[pos].virt().overlaps(rt.virt()) {
+            return Err(RangeTableError::Overlap {
+                existing_start: self.entries[pos].virt().start(),
+            });
+        }
+        self.entries.insert(pos, rt);
+        Ok(())
+    }
+
+    /// Removes the range containing `va`, returning it.
+    pub fn remove(&mut self, va: VirtAddr) -> Option<RangeTranslation> {
+        let idx = self.find(va)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Finds the range containing `va` without counting a walk.
+    pub fn lookup(&self, va: VirtAddr) -> Option<RangeTranslation> {
+        self.find(va).map(|i| self.entries[i])
+    }
+
+    /// Performs a background range-table walk for `va`: finds the containing
+    /// range (if any) and counts the walk. Returns the range and the memory
+    /// references charged ([`RANGE_TABLE_WALK_REFS`]).
+    pub fn walk(&mut self, va: VirtAddr) -> (Option<RangeTranslation>, u32) {
+        self.walks += 1;
+        (self.lookup(va), RANGE_TABLE_WALK_REFS)
+    }
+
+    fn find(&self, va: VirtAddr) -> Option<usize> {
+        let pos = self.entries.partition_point(|e| e.virt().start() <= va);
+        if pos == 0 {
+            return None;
+        }
+        let candidate = pos - 1;
+        self.entries[candidate]
+            .virt()
+            .contains(va)
+            .then_some(candidate)
+    }
+
+    /// Iterates over all ranges in virtual-address order.
+    pub fn iter(&self) -> impl Iterator<Item = &RangeTranslation> {
+        self.entries.iter()
+    }
+
+    /// Total bytes covered by all ranges.
+    pub fn covered_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.virt().len()).sum()
+    }
+}
+
+impl fmt::Display for RangeTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "range table: {} ranges covering {} MiB, {} walks",
+            self.len(),
+            self.covered_bytes() >> 20,
+            self.walks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::{PhysAddr, VirtRange};
+
+    fn rt(start_mb: u64, len_mb: u64) -> RangeTranslation {
+        RangeTranslation::new(
+            VirtRange::new(VirtAddr::new(start_mb << 20), len_mb << 20),
+            PhysAddr::new((start_mb + 4096) << 20),
+        )
+    }
+
+    #[test]
+    fn sorted_insert_and_lookup() {
+        let mut table = RangeTable::new();
+        table.insert(rt(100, 10)).unwrap();
+        table.insert(rt(0, 10)).unwrap();
+        table.insert(rt(50, 10)).unwrap();
+        let starts: Vec<u64> = table.iter().map(|e| e.virt().start().raw() >> 20).collect();
+        assert_eq!(starts, vec![0, 50, 100]);
+        assert!(table.lookup(VirtAddr::new(55 << 20)).is_some());
+        assert!(table.lookup(VirtAddr::new(65 << 20)).is_none());
+        assert_eq!(table.covered_bytes(), 30 << 20);
+    }
+
+    #[test]
+    fn overlap_rejected_both_sides() {
+        let mut table = RangeTable::new();
+        table.insert(rt(50, 10)).unwrap();
+        // Overlapping from below.
+        assert!(table.insert(rt(45, 10)).is_err());
+        // Overlapping from above.
+        assert!(table.insert(rt(55, 10)).is_err());
+        // Exactly adjacent is fine.
+        table.insert(rt(60, 5)).unwrap();
+        table.insert(rt(40, 10)).unwrap();
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn boundary_containment() {
+        let mut table = RangeTable::new();
+        table.insert(rt(10, 10)).unwrap();
+        assert!(table.lookup(VirtAddr::new(10 << 20)).is_some());
+        assert!(table.lookup(VirtAddr::new((20 << 20) - 1)).is_some());
+        assert!(table.lookup(VirtAddr::new(20 << 20)).is_none());
+        assert!(table.lookup(VirtAddr::new((10 << 20) - 1)).is_none());
+    }
+
+    #[test]
+    fn walk_counts_and_charges() {
+        let mut table = RangeTable::new();
+        table.insert(rt(0, 1)).unwrap();
+        let (hit, refs) = table.walk(VirtAddr::new(0));
+        assert!(hit.is_some());
+        assert_eq!(refs, RANGE_TABLE_WALK_REFS);
+        let (miss, _) = table.walk(VirtAddr::new(1 << 30));
+        assert!(miss.is_none());
+        assert_eq!(table.walks(), 2);
+        table.reset_stats();
+        assert_eq!(table.walks(), 0);
+    }
+
+    #[test]
+    fn remove_by_address() {
+        let mut table = RangeTable::new();
+        table.insert(rt(0, 10)).unwrap();
+        table.insert(rt(20, 10)).unwrap();
+        let removed = table.remove(VirtAddr::new(5 << 20)).unwrap();
+        assert_eq!(removed.virt().start().raw(), 0);
+        assert_eq!(table.len(), 1);
+        assert!(table.remove(VirtAddr::new(5 << 20)).is_none());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let table = RangeTable::new();
+        assert!(table.is_empty());
+        assert!(table.lookup(VirtAddr::new(0)).is_none());
+        assert_eq!(table.covered_bytes(), 0);
+    }
+
+    #[test]
+    fn display_and_error() {
+        let mut table = RangeTable::new();
+        table.insert(rt(0, 10)).unwrap();
+        assert!(table.to_string().contains("1 ranges"));
+        let err = table.insert(rt(5, 1)).unwrap_err();
+        assert!(err.to_string().contains("overlaps"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: OS memory-manager invariants.
+
+use eeat_os::{AddressSpace, PagingPolicy, RangeTable};
+use eeat_types::{PageSize, PhysAddr, RangeTranslation, VirtAddr, VirtRange};
+use proptest::prelude::*;
+
+fn policies() -> impl Strategy<Value = PagingPolicy> {
+    prop_oneof![
+        Just(PagingPolicy::FourK),
+        Just(PagingPolicy::Thp),
+        Just(PagingPolicy::RmmThp),
+        Just(PagingPolicy::Rmm4K),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_byte_of_every_vma_is_mapped(
+        policy in policies(),
+        sizes in prop::collection::vec((1u64..6_000, any::<bool>()), 1..8),
+        probes in prop::collection::vec((0usize..8, 0u64..1 << 22), 1..40),
+    ) {
+        let mut asp = AddressSpace::new(policy, 99);
+        let mut regions = Vec::new();
+        for &(kb, eligible) in &sizes {
+            regions.push(asp.mmap(kb << 10, eligible, "region"));
+        }
+        for &(idx, off) in &probes {
+            let r = regions[idx % regions.len()];
+            let va = VirtAddr::new(r.start().raw() + off % r.len());
+            let t = asp.page_table().translate(va);
+            prop_assert!(t.is_some(), "unmapped byte inside VMA under {policy}");
+            if policy.uses_ranges() {
+                // The range table covers the same byte and agrees on the
+                // physical address (the "redundant" in RMM).
+                let range = asp.range_table().lookup(va).expect("range covers VMA");
+                prop_assert_eq!(
+                    t.unwrap().translate(va),
+                    range.translate(va).unwrap(),
+                    "page table and range table disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn page_accounting_matches_footprint(
+        policy in policies(),
+        sizes in prop::collection::vec((1u64..4_000, any::<bool>()), 1..8),
+    ) {
+        let mut asp = AddressSpace::new(policy, 5);
+        let mut total_pages = 0u64;
+        for &(kb, eligible) in &sizes {
+            let r = asp.mmap(kb << 10, eligible, "region");
+            total_pages += r.len() >> 12;
+        }
+        prop_assert_eq!(
+            asp.huge_pages() * 512 + asp.base_pages(),
+            total_pages,
+            "every base page accounted exactly once"
+        );
+        if !policy.uses_thp() {
+            prop_assert_eq!(asp.huge_pages(), 0);
+        }
+        if policy.uses_ranges() {
+            prop_assert_eq!(asp.range_table().len(), sizes.len());
+            prop_assert_eq!(asp.range_table().covered_bytes(), total_pages << 12);
+        } else {
+            prop_assert!(asp.range_table().is_empty());
+        }
+    }
+
+    #[test]
+    fn distinct_vmas_get_distinct_physical_memory(
+        policy in policies(),
+        sizes in prop::collection::vec(1u64..2_000, 2..6),
+    ) {
+        // Translate the first page of every VMA; physical frames must be
+        // unique (no double mapping of a frame).
+        let mut asp = AddressSpace::new(policy, 3);
+        let mut first_frames = Vec::new();
+        for &kb in &sizes {
+            let r = asp.mmap(kb << 10, true, "region");
+            let t = asp.page_table().translate(r.start()).unwrap();
+            first_frames.push(t.pfn().raw());
+        }
+        let mut sorted = first_frames.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), first_frames.len());
+    }
+
+    #[test]
+    fn break_huge_preserves_physical_bytes(
+        chunk in 1u64..8,
+        offsets in prop::collection::vec(0u64..(2 << 20), 1..20),
+    ) {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 11);
+        let r = asp.mmap(chunk * (2 << 20), true, "heap");
+        prop_assert_eq!(asp.huge_pages(), chunk);
+        // Record physical addresses before demotion.
+        let victim = VirtAddr::new(r.start().raw() + (2 << 20) * (chunk / 2));
+        let before: Vec<PhysAddr> = offsets
+            .iter()
+            .map(|&o| {
+                let va = VirtAddr::new(victim.align_down(PageSize::Size2M).raw() + o);
+                asp.page_table().translate(va).unwrap().translate(va)
+            })
+            .collect();
+        asp.break_huge_page(victim).expect("was huge");
+        for (&o, &pa) in offsets.iter().zip(&before) {
+            let va = VirtAddr::new(victim.align_down(PageSize::Size2M).raw() + o);
+            let t = asp.page_table().translate(va).unwrap();
+            prop_assert_eq!(t.size(), PageSize::Size4K);
+            prop_assert_eq!(t.translate(va), pa);
+        }
+    }
+
+    #[test]
+    fn range_table_never_overlaps(
+        spans in prop::collection::vec((0u64..1000, 1u64..50), 1..40),
+    ) {
+        let mut table = RangeTable::new();
+        let mut accepted: Vec<VirtRange> = Vec::new();
+        for (i, &(start_mb, len_mb)) in spans.iter().enumerate() {
+            let virt = VirtRange::new(VirtAddr::new(start_mb << 20), len_mb << 20);
+            let rt = RangeTranslation::new(virt, PhysAddr::new((i as u64) << 40));
+            let should_fail = accepted.iter().any(|r| r.overlaps(virt));
+            prop_assert_eq!(table.insert(rt).is_err(), should_fail);
+            if !should_fail {
+                accepted.push(virt);
+            }
+        }
+        // Entries are sorted and pairwise disjoint.
+        let entries: Vec<VirtRange> = table.iter().map(|e| e.virt()).collect();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].end().raw() <= w[1].start().raw());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! x86-64 paging substrate: a four-level page table, the hardware page
+//! walker, and Intel-style paging-structure (MMU) caches.
+//!
+//! The paper's simulator consults the real kernel page table through
+//! `pagemap` and models "a per-core MMU cache based on Intel's Paging
+//! Structure Caches" to deduce how many memory references each page walk
+//! needs (1–4). This crate rebuilds both pieces:
+//!
+//! * [`PageTable`] — a software model of the x86-64 radix page table,
+//!   mapping 4 KiB / 2 MiB / 1 GiB pages at the proper levels.
+//! * [`MmuCaches`] — the PDE (32-entry 2-way), PDPTE (4-entry FA), and PML4
+//!   (2-entry FA) paging-structure caches of Table 2, all probed in parallel
+//!   on every walk.
+//! * [`PageWalker`] — executes a walk: probes the MMU caches, counts the
+//!   memory references actually needed, refills the caches, and returns the
+//!   terminal translation.
+//!
+//! # Examples
+//!
+//! ```
+//! use eeat_paging::{MmuCaches, PageTable, PageWalker};
+//! use eeat_tlb::PageTranslation;
+//! use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+//!
+//! let mut pt = PageTable::new();
+//! pt.map(PageTranslation::new(Vpn::new(5), Pfn::new(9), PageSize::Size4K))?;
+//! let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
+//! let walk = walker.walk(&pt, VirtAddr::new(5 * 4096));
+//! assert_eq!(walk.translation.unwrap().pfn(), Pfn::new(9));
+//! assert_eq!(walk.memory_refs, 4); // cold caches: full four-level walk
+//! let again = walker.walk(&pt, VirtAddr::new(5 * 4096 + 64));
+//! assert_eq!(again.memory_refs, 1); // PDE cache hit: PTE fetch only
+//! # Ok::<(), eeat_paging::MapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mmu_cache;
+mod page_table;
+mod tag_cache;
+mod walker;
+
+pub use mmu_cache::MmuCaches;
+pub use page_table::{MapError, PageTable};
+pub use tag_cache::TagCache;
+pub use walker::{PageWalker, WalkResult};

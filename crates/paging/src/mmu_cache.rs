@@ -1,0 +1,214 @@
+//! The per-core paging-structure (MMU) caches.
+
+use core::fmt;
+
+use eeat_types::VirtAddr;
+
+use crate::tag_cache::TagCache;
+
+/// The three Intel-style paging-structure caches probed in parallel after an
+/// L2 TLB miss (paper §5, configuration from Table 2 / [Bhattacharjee 2013]):
+///
+/// * **PDE cache** — 32 entries, 2-way; keyed by VA bits 47:21; a hit skips
+///   straight to the PTE fetch.
+/// * **PDPTE cache** — 4 entries, fully associative; keyed by VA bits 47:30.
+/// * **PML4 cache** — 2 entries, fully associative; keyed by VA bits 47:39.
+///
+/// Each cache holds *non-terminal* entries (pointers to the next level);
+/// terminal entries live in the TLBs.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_paging::MmuCaches;
+/// use eeat_types::VirtAddr;
+///
+/// let mut caches = MmuCaches::sandy_bridge();
+/// let va = VirtAddr::new(0x7000_1234_5678);
+/// assert_eq!(caches.deepest_cached_level(va), None);
+/// caches.fill_level(va, 4); // cache the PML4 entry
+/// caches.fill_level(va, 3); // cache the PDPTE
+/// assert_eq!(caches.deepest_cached_level(va), Some(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MmuCaches {
+    pde: TagCache,
+    pdpte: TagCache,
+    pml4: TagCache,
+}
+
+impl MmuCaches {
+    /// The Table 2 configuration: PDE 32×2-way, PDPTE 4 FA, PML4 2 FA.
+    pub fn sandy_bridge() -> Self {
+        Self {
+            pde: TagCache::new("MMU-PDE", 32, 2),
+            pdpte: TagCache::new("MMU-PDPTE", 4, 4),
+            pml4: TagCache::new("MMU-PML4", 2, 2),
+        }
+    }
+
+    /// Creates caches with custom geometries `(entries, ways)` for
+    /// sensitivity studies.
+    pub fn with_geometry(pde: (usize, usize), pdpte: (usize, usize), pml4: (usize, usize)) -> Self {
+        Self {
+            pde: TagCache::new("MMU-PDE", pde.0, pde.1),
+            pdpte: TagCache::new("MMU-PDPTE", pdpte.0, pdpte.1),
+            pml4: TagCache::new("MMU-PML4", pml4.0, pml4.1),
+        }
+    }
+
+    #[inline]
+    fn tag(va: VirtAddr, level: u32) -> u64 {
+        match level {
+            2 => va.raw() >> 21, // a PDE covers 2 MiB
+            3 => va.raw() >> 30, // a PDPTE covers 1 GiB
+            4 => va.raw() >> 39, // a PML4E covers 512 GiB
+            _ => unreachable!("no paging-structure cache at level {level}"),
+        }
+    }
+
+    /// Probes all three caches in parallel (as the hardware does) and
+    /// returns the level of the *deepest* cached non-terminal entry:
+    /// `Some(2)` = PDE hit, `Some(3)` = PDPTE hit, `Some(4)` = PML4 hit,
+    /// `None` = complete miss. Every probe counts one lookup in each cache
+    /// for the energy model.
+    pub fn deepest_cached_level(&mut self, va: VirtAddr) -> Option<u32> {
+        // All three structures are accessed in parallel, so all three incur
+        // lookup energy regardless of where (or whether) the hit lands.
+        let pde_hit = self.pde.lookup(Self::tag(va, 2));
+        let pdpte_hit = self.pdpte.lookup(Self::tag(va, 3));
+        let pml4_hit = self.pml4.lookup(Self::tag(va, 4));
+        if pde_hit {
+            Some(2)
+        } else if pdpte_hit {
+            Some(3)
+        } else if pml4_hit {
+            Some(4)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts the non-terminal entry covering `va` at `level` (2 = PDE,
+    /// 3 = PDPTE, 4 = PML4), as the walker does while descending.
+    pub fn fill_level(&mut self, va: VirtAddr, level: u32) {
+        match level {
+            2 => self.pde.insert(Self::tag(va, 2)),
+            3 => self.pdpte.insert(Self::tag(va, 3)),
+            4 => self.pml4.insert(Self::tag(va, 4)),
+            _ => panic!("no paging-structure cache at level {level}"),
+        }
+    }
+
+    /// The PDE cache.
+    pub fn pde(&self) -> &TagCache {
+        &self.pde
+    }
+
+    /// The PDPTE cache.
+    pub fn pdpte(&self) -> &TagCache {
+        &self.pdpte
+    }
+
+    /// The PML4 cache.
+    pub fn pml4(&self) -> &TagCache {
+        &self.pml4
+    }
+
+    /// Invalidates all three caches.
+    pub fn flush(&mut self) {
+        self.pde.flush();
+        self.pdpte.flush();
+        self.pml4.flush();
+    }
+
+    /// Resets the event counters of all three caches.
+    pub fn reset_stats(&mut self) {
+        self.pde.reset_stats();
+        self.pdpte.reset_stats();
+        self.pml4.reset_stats();
+    }
+}
+
+impl fmt::Display for MmuCaches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}; {}; {}", self.pde, self.pdpte, self.pml4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_probe_misses_everywhere() {
+        let mut c = MmuCaches::sandy_bridge();
+        assert_eq!(c.deepest_cached_level(VirtAddr::new(0x1234_5000)), None);
+        assert_eq!(c.pde().stats().misses(), 1);
+        assert_eq!(c.pdpte().stats().misses(), 1);
+        assert_eq!(c.pml4().stats().misses(), 1);
+    }
+
+    #[test]
+    fn deepest_level_priority() {
+        let mut c = MmuCaches::sandy_bridge();
+        let va = VirtAddr::new(0x40_0000);
+        c.fill_level(va, 4);
+        assert_eq!(c.deepest_cached_level(va), Some(4));
+        c.fill_level(va, 3);
+        assert_eq!(c.deepest_cached_level(va), Some(3));
+        c.fill_level(va, 2);
+        assert_eq!(c.deepest_cached_level(va), Some(2));
+    }
+
+    #[test]
+    fn pde_granularity_is_2mb() {
+        let mut c = MmuCaches::sandy_bridge();
+        let va = VirtAddr::new(0);
+        c.fill_level(va, 2);
+        // Same 2 MiB region → hit; next region → miss.
+        assert_eq!(c.deepest_cached_level(VirtAddr::new(0x1f_ffff)), Some(2));
+        assert_eq!(c.deepest_cached_level(VirtAddr::new(0x20_0000)), None);
+    }
+
+    #[test]
+    fn pml4_granularity_is_512gb() {
+        let mut c = MmuCaches::sandy_bridge();
+        c.fill_level(VirtAddr::new(0), 4);
+        assert_eq!(
+            c.deepest_cached_level(VirtAddr::new((1 << 39) - 1)),
+            Some(4)
+        );
+        assert_eq!(c.deepest_cached_level(VirtAddr::new(1 << 39)), None);
+    }
+
+    #[test]
+    fn every_probe_charges_all_three() {
+        let mut c = MmuCaches::sandy_bridge();
+        let va = VirtAddr::new(0x40_0000);
+        c.fill_level(va, 2);
+        c.deepest_cached_level(va);
+        // A PDE hit still performed a lookup in PDPTE and PML4.
+        assert_eq!(c.pde().stats().lookups(), 1);
+        assert_eq!(c.pdpte().stats().lookups(), 1);
+        assert_eq!(c.pml4().stats().lookups(), 1);
+    }
+
+    #[test]
+    fn flush_empties_all() {
+        let mut c = MmuCaches::sandy_bridge();
+        let va = VirtAddr::new(0x40_0000);
+        c.fill_level(va, 2);
+        c.fill_level(va, 3);
+        c.fill_level(va, 4);
+        c.flush();
+        assert_eq!(c.deepest_cached_level(va), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no paging-structure cache")]
+    fn fill_level_1_rejected() {
+        let mut c = MmuCaches::sandy_bridge();
+        c.fill_level(VirtAddr::new(0), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! A software model of the x86-64 four-level radix page table.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use eeat_tlb::PageTranslation;
+use eeat_types::{VirtAddr, Vpn};
+
+/// Index of a virtual address within each paging level (9 bits per level).
+#[inline]
+fn level_index(va: VirtAddr, level: u32) -> u64 {
+    debug_assert!((1..=4).contains(&level));
+    (va.raw() >> (12 + 9 * (level - 1))) & 0x1ff
+}
+
+/// Errors returned by [`PageTable::map`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The new mapping overlaps an existing one (same or different size).
+    Overlap {
+        /// The first base page of the conflicting region.
+        vpn: Vpn,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap { vpn } => write!(f, "mapping overlaps existing page at vpn {vpn}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// One node of the radix tree: 512 slots, each empty, a terminal mapping, or
+/// a pointer to the next-level table.
+#[derive(Debug, Default)]
+struct Node {
+    slots: HashMap<u64, Slot>,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// A terminal entry mapping a page (PTE at L1, huge PDE at L2, huge
+    /// PDPTE at L3).
+    Page(PageTranslation),
+    /// A non-terminal entry pointing at the next level down.
+    Table(Box<Node>),
+}
+
+/// A four-level x86-64 page table.
+///
+/// Stores terminal entries at the level matching their page size: 4 KiB at
+/// L1 (PTE), 2 MiB at L2 (PDE), 1 GiB at L3 (PDPTE). The structure exists so
+/// the [`PageWalker`](crate::PageWalker) can faithfully count walk memory
+/// references and so tests can validate translations against the OS model.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_paging::PageTable;
+/// use eeat_tlb::PageTranslation;
+/// use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(PageTranslation::new(Vpn::new(512), Pfn::new(1024), PageSize::Size2M))?;
+/// let t = pt.translate(VirtAddr::new(512 * 4096 + 5)).unwrap();
+/// assert_eq!(t.size(), PageSize::Size2M);
+/// # Ok::<(), eeat_paging::MapError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PageTable {
+    root: Node, // the PML4
+    mapped_pages: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of terminal mappings installed (each huge page counts once).
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Installs a terminal mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Overlap`] when any part of the new page is
+    /// already mapped, at any size — e.g. mapping a 2 MiB page over an
+    /// existing 4 KiB page, or a 4 KiB page inside an existing 1 GiB page.
+    pub fn map(&mut self, translation: PageTranslation) -> Result<(), MapError> {
+        let va = translation.vpn().base_addr();
+        let target_level = translation.size().mapping_level();
+        let mut node = &mut self.root;
+        for level in (target_level + 1..=4).rev() {
+            let idx = level_index(va, level);
+            let slot = node
+                .slots
+                .entry(idx)
+                .or_insert_with(|| Slot::Table(Box::default()));
+            node = match slot {
+                Slot::Table(next) => next,
+                Slot::Page(existing) => {
+                    return Err(MapError::Overlap {
+                        vpn: existing.vpn(),
+                    });
+                }
+            };
+        }
+        let idx = level_index(va, target_level);
+        match node.slots.get(&idx) {
+            None => {
+                node.slots.insert(idx, Slot::Page(translation));
+                self.mapped_pages += 1;
+                Ok(())
+            }
+            Some(Slot::Page(existing)) => Err(MapError::Overlap {
+                vpn: existing.vpn(),
+            }),
+            Some(Slot::Table(_)) => Err(MapError::Overlap {
+                vpn: translation.vpn(),
+            }),
+        }
+    }
+
+    /// Removes the terminal mapping covering `va`, returning it.
+    ///
+    /// Empty intermediate tables are left in place (as a real OS usually
+    /// does until teardown); they do not affect walks.
+    pub fn unmap(&mut self, va: VirtAddr) -> Option<PageTranslation> {
+        let path: Vec<u64> = (1..=4).rev().map(|l| level_index(va, l)).collect();
+        Self::unmap_rec(&mut self.root, &path, 0).inspect(|_| {
+            self.mapped_pages -= 1;
+        })
+    }
+
+    fn unmap_rec(node: &mut Node, path: &[u64], depth: usize) -> Option<PageTranslation> {
+        let idx = path[depth];
+        match node.slots.get_mut(&idx)? {
+            Slot::Page(t) => {
+                let t = *t;
+                node.slots.remove(&idx);
+                Some(t)
+            }
+            Slot::Table(next) => Self::unmap_rec(next, path, depth + 1),
+        }
+    }
+
+    /// Translates `va` by walking the radix tree (no MMU-cache modelling —
+    /// use [`PageWalker`](crate::PageWalker) for that).
+    pub fn translate(&self, va: VirtAddr) -> Option<PageTranslation> {
+        let mut node = &self.root;
+        for level in (1..=4u32).rev() {
+            match node.slots.get(&level_index(va, level))? {
+                Slot::Page(t) => {
+                    debug_assert!(t.covers(va));
+                    return Some(*t);
+                }
+                Slot::Table(next) => node = next,
+            }
+        }
+        None
+    }
+
+    /// The deepest level at which the walk for `va` finds its terminal
+    /// entry, or `None` if unmapped: 1 for 4 KiB, 2 for 2 MiB, 3 for 1 GiB.
+    pub fn terminal_level(&self, va: VirtAddr) -> Option<u32> {
+        self.translate(va).map(|t| t.size().mapping_level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::{PageSize, Pfn};
+
+    fn t(vpn: u64, size: PageSize) -> PageTranslation {
+        PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 0x10_0000), size)
+    }
+
+    #[test]
+    fn map_translate_4k() {
+        let mut pt = PageTable::new();
+        pt.map(t(5, PageSize::Size4K)).unwrap();
+        let got = pt.translate(VirtAddr::new(5 * 4096 + 17)).unwrap();
+        assert_eq!(got.vpn(), Vpn::new(5));
+        assert_eq!(got.size(), PageSize::Size4K);
+        assert!(pt.translate(VirtAddr::new(6 * 4096)).is_none());
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn map_translate_all_sizes() {
+        let mut pt = PageTable::new();
+        pt.map(t(0, PageSize::Size4K)).unwrap();
+        pt.map(t(512, PageSize::Size2M)).unwrap();
+        pt.map(t(512 * 512, PageSize::Size1G)).unwrap();
+        assert_eq!(pt.terminal_level(VirtAddr::new(0)), Some(1));
+        assert_eq!(pt.terminal_level(VirtAddr::new(512 * 4096)), Some(2));
+        assert_eq!(pt.terminal_level(VirtAddr::new(512 * 512 * 4096)), Some(3));
+        assert_eq!(pt.mapped_pages(), 3);
+    }
+
+    #[test]
+    fn overlap_smaller_inside_larger() {
+        let mut pt = PageTable::new();
+        pt.map(t(512, PageSize::Size2M)).unwrap();
+        let err = pt.map(t(512 + 3, PageSize::Size4K)).unwrap_err();
+        assert_eq!(err, MapError::Overlap { vpn: Vpn::new(512) });
+    }
+
+    #[test]
+    fn overlap_larger_over_smaller() {
+        let mut pt = PageTable::new();
+        pt.map(t(512 + 3, PageSize::Size4K)).unwrap();
+        let err = pt.map(t(512, PageSize::Size2M)).unwrap_err();
+        assert_eq!(err, MapError::Overlap { vpn: Vpn::new(512) });
+    }
+
+    #[test]
+    fn same_page_twice_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(t(9, PageSize::Size4K)).unwrap();
+        assert!(pt.map(t(9, PageSize::Size4K)).is_err());
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn unmap_then_remap() {
+        let mut pt = PageTable::new();
+        pt.map(t(512, PageSize::Size2M)).unwrap();
+        let removed = pt.unmap(VirtAddr::new(512 * 4096 + 99)).unwrap();
+        assert_eq!(removed.size(), PageSize::Size2M);
+        assert_eq!(pt.mapped_pages(), 0);
+        assert!(pt.translate(VirtAddr::new(512 * 4096)).is_none());
+        // THP breakdown: remap the region as 4 KiB pages.
+        for i in 0..512 {
+            pt.map(t(512 + i, PageSize::Size4K)).unwrap();
+        }
+        assert_eq!(pt.terminal_level(VirtAddr::new(512 * 4096)), Some(1));
+        assert_eq!(pt.mapped_pages(), 512);
+    }
+
+    #[test]
+    fn unmap_missing_is_none() {
+        let mut pt = PageTable::new();
+        assert!(pt.unmap(VirtAddr::new(0x1000)).is_none());
+    }
+
+    #[test]
+    fn distant_addresses_do_not_interfere() {
+        let mut pt = PageTable::new();
+        pt.map(t(0, PageSize::Size4K)).unwrap();
+        // Same PT index (0) in a different PML4 subtree.
+        let far = 1u64 << (39 - 12); // vpn with PML4 index 1
+        pt.map(t(far, PageSize::Size4K)).unwrap();
+        assert!(pt.translate(VirtAddr::new(0)).is_some());
+        assert!(pt.translate(VirtAddr::new(far << 12)).is_some());
+    }
+
+    #[test]
+    fn error_display() {
+        let err = MapError::Overlap { vpn: Vpn::new(5) };
+        assert!(err.to_string().contains("overlaps"));
+    }
+}

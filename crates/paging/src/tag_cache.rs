@@ -1,0 +1,241 @@
+//! A small set-associative tag cache with true LRU.
+//!
+//! The three paging-structure caches are tag-only: they answer "is the
+//! non-terminal entry for this VA region cached?". This generic structure
+//! backs all of them.
+
+use core::fmt;
+
+use eeat_tlb::TlbStats;
+
+/// A set-associative cache of `u64` tags with per-set true-LRU replacement.
+///
+/// A fully associative cache is the one-set special case.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_paging::TagCache;
+///
+/// let mut c = TagCache::new("PML4", 2, 2); // 2-entry fully associative
+/// assert!(!c.lookup(7));
+/// c.insert(7);
+/// assert!(c.lookup(7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TagCache {
+    name: &'static str,
+    tags: Vec<Option<u64>>,
+    recency: Vec<u8>,
+    sets: usize,
+    ways: usize,
+    stats: TlbStats,
+}
+
+impl TagCache {
+    /// Creates an empty cache with `entries` slots and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` and `entries / ways` are non-zero powers of two.
+    pub fn new(name: &'static str, entries: usize, ways: usize) -> Self {
+        assert!(
+            ways.is_power_of_two() && ways > 0,
+            "ways must be a power of two"
+        );
+        assert!(ways <= 128, "rank counters are u8");
+        assert!(entries % ways == 0, "entries must divide evenly into ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        Self {
+            name,
+            tags: vec![None; entries],
+            recency: (0..entries).map(|i| (i % ways) as u8).collect(),
+            sets,
+            ways,
+            stats: TlbStats::new(),
+        }
+    }
+
+    /// The structure's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets the event counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn base(&self, tag: u64) -> usize {
+        ((tag as usize) & (self.sets - 1)) * self.ways
+    }
+
+    /// Looks up `tag`; a hit is promoted to MRU.
+    pub fn lookup(&mut self, tag: u64) -> bool {
+        let base = self.base(tag);
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.tags[slot] == Some(tag) {
+                let rank = self.recency[slot];
+                self.touch(base, slot, rank);
+                self.stats.record_hit();
+                return true;
+            }
+        }
+        self.stats.record_miss();
+        false
+    }
+
+    /// Probes without disturbing LRU state or counters.
+    pub fn probe(&self, tag: u64) -> bool {
+        let base = self.base(tag);
+        (0..self.ways).any(|way| self.tags[base + way] == Some(tag))
+    }
+
+    /// Inserts `tag`, evicting the set's LRU entry when needed.
+    pub fn insert(&mut self, tag: u64) {
+        let base = self.base(tag);
+        let mut victim = None;
+        for way in 0..self.ways {
+            let slot = base + way;
+            match self.tags[slot] {
+                Some(t) if t == tag => {
+                    victim = Some(slot);
+                    break;
+                }
+                None if victim.is_none() => victim = Some(slot),
+                _ => {}
+            }
+        }
+        let slot = victim.unwrap_or_else(|| {
+            let lru = (self.ways - 1) as u8;
+            (base..base + self.ways)
+                .find(|&s| self.recency[s] == lru)
+                .expect("one slot always holds the LRU rank")
+        });
+        self.tags[slot] = Some(tag);
+        let rank = self.recency[slot];
+        self.touch(base, slot, rank);
+        self.stats.record_fill();
+    }
+
+    #[inline]
+    fn touch(&mut self, base: usize, slot: usize, rank: u8) {
+        for s in base..base + self.ways {
+            if self.recency[s] < rank {
+                self.recency[s] += 1;
+            }
+        }
+        self.recency[slot] = 0;
+    }
+
+    /// Invalidates every entry.
+    pub fn flush(&mut self) {
+        let valid = self.tags.iter().filter(|t| t.is_some()).count() as u64;
+        self.stats.record_invalidations(valid);
+        for (i, t) in self.tags.iter_mut().enumerate() {
+            *t = None;
+            self.recency[i] = (i % self.ways) as u8;
+        }
+    }
+
+    /// Number of valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+impl fmt::Display for TagCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} tags, {}", self.name, self.capacity(), self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut c = TagCache::new("t", 4, 4);
+        assert!(!c.lookup(1));
+        c.insert(1);
+        assert!(c.lookup(1));
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().fills(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_fully_assoc() {
+        let mut c = TagCache::new("t", 2, 2);
+        c.insert(1);
+        c.insert(2);
+        c.lookup(1); // protect
+        c.insert(3); // evicts 2
+        assert!(c.probe(1));
+        assert!(!c.probe(2));
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn set_indexing() {
+        // 32 entries 2-way => 16 sets; tags 0 and 16 collide.
+        let mut c = TagCache::new("PDE", 32, 2);
+        c.insert(0);
+        c.insert(16);
+        c.insert(32); // evicts 0 (LRU of the set)
+        assert!(!c.probe(0));
+        assert!(c.probe(16));
+        assert!(c.probe(32));
+        // A different set is untouched.
+        c.insert(1);
+        assert!(c.probe(1));
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_one() {
+        let mut c = TagCache::new("t", 4, 4);
+        c.insert(9);
+        c.insert(9);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn flush_counts_invalidations() {
+        let mut c = TagCache::new("t", 4, 4);
+        c.insert(1);
+        c.insert(2);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats().invalidations(), 2);
+    }
+
+    #[test]
+    fn probe_is_pure() {
+        let mut c = TagCache::new("t", 4, 4);
+        c.insert(5);
+        let before = *c.stats();
+        assert!(c.probe(5));
+        assert!(!c.probe(6));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = TagCache::new("t", 12, 3);
+    }
+}

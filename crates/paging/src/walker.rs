@@ -1,0 +1,265 @@
+//! The hardware page walker.
+
+use core::fmt;
+
+use eeat_tlb::PageTranslation;
+use eeat_types::VirtAddr;
+
+use crate::mmu_cache::MmuCaches;
+use crate::page_table::PageTable;
+
+/// The outcome of one page walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkResult {
+    /// The terminal translation, or `None` when the address is unmapped
+    /// (a page fault in a real system).
+    pub translation: Option<PageTranslation>,
+    /// Memory references the walk performed (1–4). This is `Mem` in the
+    /// paper's page-walk energy equation `E = Mem * E_read(L1 cache)`.
+    pub memory_refs: u32,
+    /// Level of the deepest MMU-cache hit that shortened the walk
+    /// (2 = PDE, 3 = PDPTE, 4 = PML4), or `None` for a full walk.
+    pub mmu_hit_level: Option<u32>,
+}
+
+impl fmt::Display for WalkResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.translation {
+            Some(t) => write!(f, "walk -> {t} ({} refs)", self.memory_refs),
+            None => write!(f, "walk -> fault ({} refs)", self.memory_refs),
+        }
+    }
+}
+
+/// The hardware state machine that walks the page table on an L2 TLB miss.
+///
+/// On every walk it probes the three [`MmuCaches`] in parallel, starts the
+/// descent below the deepest cached non-terminal entry, counts one memory
+/// reference per level actually fetched, and refills the caches with the
+/// non-terminal entries it read. A 4 KiB walk therefore costs between 1
+/// (PDE-cache hit) and 4 (all caches miss) memory references, a 2 MiB walk
+/// 1–3, and a 1 GiB walk 1–2 — matching §3.2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_paging::{MmuCaches, PageTable, PageWalker};
+/// use eeat_tlb::PageTranslation;
+/// use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(PageTranslation::new(Vpn::new(512), Pfn::new(512), PageSize::Size2M))?;
+/// let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
+/// assert_eq!(walker.walk(&pt, VirtAddr::new(0x20_0000)).memory_refs, 3);
+/// assert_eq!(walker.walk(&pt, VirtAddr::new(0x20_0000)).memory_refs, 1);
+/// # Ok::<(), eeat_paging::MapError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageWalker {
+    caches: MmuCaches,
+    walks: u64,
+    total_memory_refs: u64,
+}
+
+impl PageWalker {
+    /// Creates a walker backed by the given MMU caches.
+    pub fn new(caches: MmuCaches) -> Self {
+        Self {
+            caches,
+            walks: 0,
+            total_memory_refs: 0,
+        }
+    }
+
+    /// The MMU caches (for energy accounting of their lookups/fills).
+    pub fn caches(&self) -> &MmuCaches {
+        &self.caches
+    }
+
+    /// Mutable access to the MMU caches (e.g. to flush them).
+    pub fn caches_mut(&mut self) -> &mut MmuCaches {
+        &mut self.caches
+    }
+
+    /// Number of walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Total memory references across all walks.
+    pub fn total_memory_refs(&self) -> u64 {
+        self.total_memory_refs
+    }
+
+    /// Average memory references per walk (0 when no walks happened).
+    pub fn avg_memory_refs(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.total_memory_refs as f64 / self.walks as f64
+        }
+    }
+
+    /// Resets the walk counters (cache contents and their stats remain).
+    pub fn reset_stats(&mut self) {
+        self.walks = 0;
+        self.total_memory_refs = 0;
+        self.caches.reset_stats();
+    }
+
+    /// Walks the page table for `va`.
+    ///
+    /// Unmapped addresses are charged a walk from the deepest cached level
+    /// down to a not-present entry at the lowest level (the simulator's OS
+    /// model maps pages on first touch, so this only happens when a caller
+    /// bypasses the OS).
+    pub fn walk(&mut self, table: &PageTable, va: VirtAddr) -> WalkResult {
+        let hit_level = self.caches.deepest_cached_level(va);
+        // The first level fetched from memory: below the cached entry, or
+        // the PML4 root on a complete miss.
+        let start_level = hit_level.unwrap_or(5) - 1;
+
+        let translation = table.translate(va);
+        let terminal_level = translation
+            .map(|t| t.size().mapping_level())
+            // A fault costs a descent to the first not-present entry; we
+            // charge the worst case (level 1).
+            .unwrap_or(1);
+        debug_assert!(
+            start_level >= terminal_level,
+            "cached entry below terminal level"
+        );
+        let memory_refs = start_level - terminal_level + 1;
+
+        // Refill the paging-structure caches with the non-terminal entries
+        // this walk fetched (levels start..terminal, exclusive of terminal).
+        if translation.is_some() {
+            for level in (terminal_level + 1..=start_level).rev() {
+                self.caches.fill_level(va, level);
+            }
+        }
+
+        self.walks += 1;
+        self.total_memory_refs += u64::from(memory_refs);
+        WalkResult {
+            translation,
+            memory_refs,
+            mmu_hit_level: hit_level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::{PageSize, Pfn, Vpn};
+
+    fn table_with(vpn: u64, size: PageSize) -> PageTable {
+        let mut pt = PageTable::new();
+        pt.map(PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn), size))
+            .unwrap();
+        pt
+    }
+
+    #[test]
+    fn cold_walk_costs_by_size() {
+        for (size, expect) in [
+            (PageSize::Size4K, 4),
+            (PageSize::Size2M, 3),
+            (PageSize::Size1G, 2),
+        ] {
+            let pages = size.base_pages();
+            let pt = table_with(pages, size);
+            let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+            let r = w.walk(&pt, VirtAddr::new(pages * 4096));
+            assert_eq!(r.memory_refs, expect, "{size}");
+            assert_eq!(r.mmu_hit_level, None);
+            assert!(r.translation.is_some());
+        }
+    }
+
+    #[test]
+    fn warm_walk_hits_pde_cache() {
+        let pt = table_with(5, PageSize::Size4K);
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        w.walk(&pt, VirtAddr::new(5 * 4096));
+        let r = w.walk(&pt, VirtAddr::new(5 * 4096 + 8));
+        assert_eq!(r.memory_refs, 1);
+        assert_eq!(r.mmu_hit_level, Some(2));
+    }
+
+    #[test]
+    fn warm_2m_walk_hits_pdpte_cache() {
+        let pt = table_with(512, PageSize::Size2M);
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        w.walk(&pt, VirtAddr::new(0x20_0000));
+        // Second walk of the same 2 MiB page: PDPTE cache hit → 1 ref (the
+        // terminal PDE). No PDE-cache entry exists for terminal PDEs.
+        let r = w.walk(&pt, VirtAddr::new(0x20_0000 + 123));
+        assert_eq!(r.memory_refs, 1);
+        assert_eq!(r.mmu_hit_level, Some(3));
+    }
+
+    #[test]
+    fn neighbour_page_shares_pde_entry() {
+        let mut pt = PageTable::new();
+        for vpn in 0..4 {
+            pt.map(PageTranslation::new(
+                Vpn::new(vpn),
+                Pfn::new(vpn + 100),
+                PageSize::Size4K,
+            ))
+            .unwrap();
+        }
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        assert_eq!(w.walk(&pt, VirtAddr::new(0)).memory_refs, 4);
+        // All three sibling pages share the PDE: 1 ref each.
+        for vpn in 1..4u64 {
+            assert_eq!(w.walk(&pt, VirtAddr::new(vpn * 4096)).memory_refs, 1);
+        }
+        assert_eq!(w.walks(), 4);
+        assert_eq!(w.total_memory_refs(), 7);
+        assert!((w.avg_memory_refs() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distant_page_misses_pde_hits_pml4() {
+        let mut pt = PageTable::new();
+        pt.map(PageTranslation::new(
+            Vpn::new(0),
+            Pfn::new(1),
+            PageSize::Size4K,
+        ))
+        .unwrap();
+        // Same PML4 subtree (512 GiB), different PDPT region (1 GiB apart).
+        let far_vpn = (1u64 << 30 >> 12) * 3;
+        pt.map(PageTranslation::new(
+            Vpn::new(far_vpn),
+            Pfn::new(2),
+            PageSize::Size4K,
+        ))
+        .unwrap();
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        w.walk(&pt, VirtAddr::new(0));
+        let r = w.walk(&pt, VirtAddr::new(far_vpn * 4096));
+        assert_eq!(r.mmu_hit_level, Some(4));
+        assert_eq!(r.memory_refs, 3);
+    }
+
+    #[test]
+    fn unmapped_walk_reports_fault() {
+        let pt = PageTable::new();
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        let r = w.walk(&pt, VirtAddr::new(0x1000));
+        assert!(r.translation.is_none());
+        assert_eq!(r.memory_refs, 4);
+    }
+
+    #[test]
+    fn walk_result_display() {
+        let pt = table_with(5, PageSize::Size4K);
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        let r = w.walk(&pt, VirtAddr::new(5 * 4096));
+        assert!(r.to_string().contains("4 refs"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the page table and walker.
+
+use std::collections::BTreeMap;
+
+use eeat_paging::{MmuCaches, PageTable, PageWalker};
+use eeat_tlb::PageTranslation;
+use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+use proptest::prelude::*;
+
+fn page_sizes() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        4 => Just(PageSize::Size4K),
+        3 => Just(PageSize::Size2M),
+        1 => Just(PageSize::Size1G),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn page_table_matches_interval_oracle(
+        mappings in prop::collection::vec((0u64..1 << 22, page_sizes()), 1..60),
+        probes in prop::collection::vec(0u64..1 << 22, 1..60),
+    ) {
+        // Oracle: a flat interval map from base-vpn ranges to translations.
+        let mut pt = PageTable::new();
+        let mut oracle: BTreeMap<u64, PageTranslation> = BTreeMap::new(); // start vpn -> t
+
+        for (raw_vpn, size) in mappings {
+            let vpn = Vpn::new(raw_vpn).align_down(size);
+            let pages = size.base_pages();
+            let t = PageTranslation::new(vpn, Pfn::new(vpn.raw() + (1 << 30)), size);
+            let overlaps = oracle.iter().any(|(&s, e)| {
+                let e_pages = e.size().base_pages();
+                s < vpn.raw() + pages && vpn.raw() < s + e_pages
+            });
+            let res = pt.map(t);
+            prop_assert_eq!(res.is_err(), overlaps, "overlap detection diverged");
+            if res.is_ok() {
+                oracle.insert(vpn.raw(), t);
+            }
+        }
+
+        prop_assert_eq!(pt.mapped_pages(), oracle.len() as u64);
+
+        for probe in probes {
+            let va = Vpn::new(probe).base_addr();
+            let want = oracle
+                .range(..=probe)
+                .next_back()
+                .filter(|(&s, e)| probe < s + e.size().base_pages())
+                .map(|(_, e)| *e);
+            prop_assert_eq!(pt.translate(va), want);
+        }
+    }
+
+    #[test]
+    fn walk_refs_bounded_by_size(
+        mappings in prop::collection::vec((0u64..1 << 22, page_sizes()), 1..40),
+        lookups in prop::collection::vec((0usize..40, 0u64..4096), 1..200),
+    ) {
+        let mut pt = PageTable::new();
+        let mut installed = Vec::new();
+        for (raw_vpn, size) in mappings {
+            let vpn = Vpn::new(raw_vpn).align_down(size);
+            let t = PageTranslation::new(vpn, Pfn::new(vpn.raw() + (1 << 30)), size);
+            if pt.map(t).is_ok() {
+                installed.push(t);
+            }
+        }
+        prop_assume!(!installed.is_empty());
+
+        let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
+        for (idx, offset) in lookups {
+            let t = installed[idx % installed.len()];
+            let va = VirtAddr::new(t.vpn().base_addr().raw() + offset % t.size().bytes());
+            let r = walker.walk(&pt, va);
+            // The walk must find the right translation with a ref count in
+            // [1, full-walk-for-size].
+            prop_assert_eq!(r.translation, Some(t));
+            prop_assert!(r.memory_refs >= 1);
+            prop_assert!(r.memory_refs <= t.size().walk_memory_refs());
+        }
+        prop_assert_eq!(walker.walks(), 200.min(walker.walks()));
+    }
+
+    #[test]
+    fn repeated_walk_is_minimal(vpn in 0u64..1 << 22, size in page_sizes()) {
+        // Walking the same page twice: the second walk always costs exactly
+        // one memory reference (deepest cache hit).
+        let vpn = Vpn::new(vpn).align_down(size);
+        let mut pt = PageTable::new();
+        pt.map(PageTranslation::new(vpn, Pfn::new(vpn.raw()), size)).unwrap();
+        let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
+        let va = vpn.base_addr();
+        let first = walker.walk(&pt, va);
+        prop_assert_eq!(first.memory_refs, size.walk_memory_refs());
+        let second = walker.walk(&pt, va);
+        prop_assert_eq!(second.memory_refs, 1);
+    }
+
+    #[test]
+    fn unmap_restores_translation_absence(
+        vpns in prop::collection::vec(0u64..1 << 20, 1..50),
+    ) {
+        let mut pt = PageTable::new();
+        let mut live = BTreeMap::new();
+        for &vpn in &vpns {
+            let t = PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 7), PageSize::Size4K);
+            if pt.map(t).is_ok() {
+                live.insert(vpn, t);
+            }
+        }
+        // Unmap half of them.
+        let to_remove: Vec<u64> = live.keys().copied().step_by(2).collect();
+        for vpn in to_remove {
+            let removed = pt.unmap(Vpn::new(vpn).base_addr());
+            prop_assert_eq!(removed, live.remove(&vpn));
+        }
+        for (&vpn, &t) in &live {
+            prop_assert_eq!(pt.translate(Vpn::new(vpn).base_addr()), Some(t));
+        }
+        prop_assert_eq!(pt.mapped_pages(), live.len() as u64);
+    }
+}

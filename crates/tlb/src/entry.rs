@@ -1,0 +1,158 @@
+//! TLB entries and hit descriptors.
+
+use core::fmt;
+
+use eeat_types::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
+
+/// A cached page translation: one page-table entry as held by a TLB.
+///
+/// The virtual page number and physical frame number are stored aligned to
+/// the page size; a 2 MiB entry therefore translates all 512 base pages it
+/// covers.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_tlb::PageTranslation;
+/// use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+///
+/// let t = PageTranslation::new(Vpn::new(512), Pfn::new(1024), PageSize::Size2M);
+/// assert!(t.covers(VirtAddr::new(512 * 4096 + 123)));
+/// assert_eq!(t.translate(VirtAddr::new(512 * 4096)).raw(), 1024 * 4096);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageTranslation {
+    vpn: Vpn,
+    pfn: Pfn,
+    size: PageSize,
+}
+
+impl PageTranslation {
+    /// Creates a translation for the page of `size` starting at `vpn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` or `pfn` is not aligned to `size` — a misaligned huge
+    /// mapping cannot exist in an x86-64 page table.
+    pub fn new(vpn: Vpn, pfn: Pfn, size: PageSize) -> Self {
+        assert!(vpn.is_aligned(size), "vpn {vpn} not aligned to {size}");
+        assert!(pfn.is_aligned(size), "pfn {pfn} not aligned to {size}");
+        Self { vpn, pfn, size }
+    }
+
+    /// The first virtual page number of the mapped page.
+    #[inline]
+    pub const fn vpn(self) -> Vpn {
+        self.vpn
+    }
+
+    /// The first physical frame number of the mapped page.
+    #[inline]
+    pub const fn pfn(self) -> Pfn {
+        self.pfn
+    }
+
+    /// The page size of the mapping.
+    #[inline]
+    pub const fn size(self) -> PageSize {
+        self.size
+    }
+
+    /// `true` when `va` lies inside the mapped page.
+    #[inline]
+    pub fn covers(self, va: VirtAddr) -> bool {
+        va.vpn().align_down(self.size) == self.vpn
+    }
+
+    /// The tag a TLB compares for this translation: the size-aligned VPN.
+    #[inline]
+    pub fn tag_of(va: VirtAddr, size: PageSize) -> Vpn {
+        va.vpn().align_down(size)
+    }
+
+    /// Translates `va` through this entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `va` is outside the mapped page; a TLB only
+    /// calls this after a tag match.
+    #[inline]
+    pub fn translate(self, va: VirtAddr) -> PhysAddr {
+        debug_assert!(self.covers(va), "translate outside mapped page");
+        self.pfn.base_addr() + va.page_offset(self.size)
+    }
+}
+
+impl fmt::Display for PageTranslation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}->{}", self.size, self.vpn, self.pfn)
+    }
+}
+
+/// The result of a TLB hit.
+///
+/// `rank` is the recency rank of the hit entry among the *active* entries of
+/// its set (0 = most recently used, `active_ways - 1` = least recently used).
+/// The Lite monitor converts this rank into its `lru-distance-counters`
+/// (Figure 6 of the paper): a hit with rank `r` under `w` active ways would
+/// have missed had fewer than `r + 1` ways been enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hit {
+    /// The matching translation.
+    pub translation: PageTranslation,
+    /// LRU recency rank of the entry at lookup time (0 = MRU).
+    pub rank: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_and_translate_4k() {
+        let t = PageTranslation::new(Vpn::new(5), Pfn::new(9), PageSize::Size4K);
+        let inside = VirtAddr::new(5 * 4096 + 100);
+        assert!(t.covers(inside));
+        assert!(!t.covers(VirtAddr::new(6 * 4096)));
+        assert_eq!(t.translate(inside).raw(), 9 * 4096 + 100);
+    }
+
+    #[test]
+    fn covers_and_translate_2m() {
+        let t = PageTranslation::new(Vpn::new(1024), Pfn::new(2048), PageSize::Size2M);
+        for off in [0u64, 4096, 512 * 4096 - 1] {
+            let va = VirtAddr::new(1024 * 4096 + off);
+            assert!(t.covers(va));
+            assert_eq!(t.translate(va).raw(), 2048 * 4096 + off);
+        }
+        assert!(!t.covers(VirtAddr::new((1024 + 512) * 4096)));
+    }
+
+    #[test]
+    fn tag_of_masks_by_size() {
+        let va = VirtAddr::new(0x4030_2010);
+        assert_eq!(PageTranslation::tag_of(va, PageSize::Size4K), va.vpn());
+        assert_eq!(
+            PageTranslation::tag_of(va, PageSize::Size2M),
+            va.vpn().align_down(PageSize::Size2M)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_vpn_rejected() {
+        let _ = PageTranslation::new(Vpn::new(3), Pfn::new(512), PageSize::Size2M);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_pfn_rejected() {
+        let _ = PageTranslation::new(Vpn::new(512), Pfn::new(3), PageSize::Size2M);
+    }
+
+    #[test]
+    fn display() {
+        let t = PageTranslation::new(Vpn::new(1), Pfn::new(2), PageSize::Size4K);
+        assert_eq!(t.to_string(), "4KB 0x1->0x2");
+    }
+}

@@ -1,0 +1,49 @@
+//! TLB hardware structures for the `eeat` simulator.
+//!
+//! This crate models the translation-caching structures of the paper's
+//! Sandy Bridge baseline and of the proposed organizations:
+//!
+//! * [`SetAssocTlb`] — a set-associative page TLB with true per-set LRU and
+//!   **way-disabling** (Albonesi's selective ways), the structure the Lite
+//!   mechanism resizes. Lookups report the LRU-distance *rank* of each hit so
+//!   Lite's `lru-distance-counters` can be maintained outside the structure.
+//! * [`FullyAssocTlb`] — a fully associative page TLB (the 4-entry L1-1GB
+//!   TLB of Table 1), resizable in powers of two as §4.4 of the paper
+//!   describes for fully associative organizations.
+//! * [`RangeTlb`] — a fully associative cache of RMM range translations,
+//!   performing base/limit comparisons instead of tag equality (the L2-range
+//!   TLB of RMM and the 4-entry L1-range TLB of RMM_Lite).
+//! * [`TlbStats`] — lookup/hit/miss/fill accounting shared by all of them.
+//!
+//! All structures are deterministic and allocation-free on the lookup path.
+//!
+//! # Examples
+//!
+//! ```
+//! use eeat_tlb::{PageTranslation, SetAssocTlb};
+//! use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+//!
+//! // The Sandy Bridge L1-4KB TLB: 64 entries, 4-way.
+//! let mut tlb = SetAssocTlb::new("L1-4KB", 64, 4, PageSize::Size4K);
+//! let va = VirtAddr::new(0x1000);
+//! assert!(tlb.lookup(va).is_none());
+//! tlb.insert(PageTranslation::new(Vpn::new(1), Pfn::new(7), PageSize::Size4K));
+//! let hit = tlb.lookup(va).expect("just inserted");
+//! assert_eq!(hit.translation.translate(va).raw(), 7 * 4096);
+//! assert_eq!(hit.rank, 0); // most recently used
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entry;
+mod fully_assoc;
+mod range_tlb;
+mod set_assoc;
+mod stats;
+
+pub use entry::{Hit, PageTranslation};
+pub use fully_assoc::FullyAssocTlb;
+pub use range_tlb::RangeTlb;
+pub use set_assoc::SetAssocTlb;
+pub use stats::TlbStats;

@@ -1,0 +1,258 @@
+//! Fully associative TLB for RMM range translations.
+
+use core::fmt;
+
+use eeat_types::{RangeTranslation, VirtAddr};
+
+use crate::stats::TlbStats;
+
+/// A fully associative cache of [`RangeTranslation`] entries.
+///
+/// Unlike a page TLB, a hit requires a *range check* — two comparisons
+/// against the base and limit of each entry instead of one tag equality —
+/// which is why the energy model charges a range TLB as a page TLB with
+/// twice the tag bits (paper §5). Each entry maps an arbitrarily large
+/// range, giving small range TLBs (4 entries at L1, 32 at L2) very high hit
+/// ratios under eager paging.
+///
+/// Entries are replaced with true LRU.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_tlb::RangeTlb;
+/// use eeat_types::{PhysAddr, RangeTranslation, VirtAddr, VirtRange};
+///
+/// let mut tlb = RangeTlb::new("L1-range", 4);
+/// let rt = RangeTranslation::new(
+///     VirtRange::new(VirtAddr::new(0x10_0000), 0x100_0000),
+///     PhysAddr::new(0x8000_0000),
+/// );
+/// tlb.insert(rt);
+/// let pa = tlb.lookup(VirtAddr::new(0x55_1234)).expect("inside the range");
+/// assert_eq!(pa.translate(VirtAddr::new(0x55_1234)).unwrap().raw(),
+///            0x8000_0000 + 0x45_1234);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RangeTlb {
+    name: &'static str,
+    entries: Vec<Option<RangeTranslation>>,
+    /// `recency[i]` is the LRU rank of slot `i` (0 = MRU).
+    recency: Vec<u8>,
+    stats: TlbStats,
+}
+
+impl RangeTlb {
+    /// Creates an empty range TLB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or above 128.
+    pub fn new(name: &'static str, entries: usize) -> Self {
+        assert!(entries > 0, "a range TLB needs at least one entry");
+        assert!(
+            entries <= 128,
+            "rank counters are u8; entries above 128 unsupported"
+        );
+        Self {
+            name,
+            entries: vec![None; entries],
+            recency: (0..entries).map(|i| i as u8).collect(),
+            stats: TlbStats::new(),
+        }
+    }
+
+    /// The structure's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets the event counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Looks up the range containing `va`; a hit is promoted to MRU.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<RangeTranslation> {
+        for slot in 0..self.entries.len() {
+            if let Some(rt) = self.entries[slot] {
+                if rt.virt().contains(va) {
+                    let rank = self.recency[slot];
+                    self.touch(slot, rank);
+                    self.stats.record_hit();
+                    return Some(rt);
+                }
+            }
+        }
+        self.stats.record_miss();
+        None
+    }
+
+    /// Probes for the range containing `va` without disturbing LRU state or
+    /// counters.
+    pub fn probe(&self, va: VirtAddr) -> Option<RangeTranslation> {
+        self.entries
+            .iter()
+            .flatten()
+            .copied()
+            .find(|rt| rt.virt().contains(va))
+    }
+
+    /// Inserts `translation`, evicting the LRU entry when full.
+    ///
+    /// An entry with the same virtual range is overwritten in place, so the
+    /// structure never holds duplicates. (Overlapping-but-unequal ranges are
+    /// the range table's responsibility to prevent.)
+    pub fn insert(&mut self, translation: RangeTranslation) {
+        let mut victim = None;
+        for slot in 0..self.entries.len() {
+            match self.entries[slot] {
+                Some(rt) if rt.virt() == translation.virt() => {
+                    victim = Some(slot);
+                    break;
+                }
+                None if victim.is_none() => victim = Some(slot),
+                _ => {}
+            }
+        }
+        let slot = victim.unwrap_or_else(|| {
+            let lru_rank = (self.entries.len() - 1) as u8;
+            self.recency
+                .iter()
+                .position(|&r| r == lru_rank)
+                .expect("one slot always holds the LRU rank")
+        });
+        self.entries[slot] = Some(translation);
+        let rank = self.recency[slot];
+        self.touch(slot, rank);
+        self.stats.record_fill();
+    }
+
+    #[inline]
+    fn touch(&mut self, slot: usize, rank: u8) {
+        for r in self.recency.iter_mut() {
+            if *r < rank {
+                *r += 1;
+            }
+        }
+        self.recency[slot] = 0;
+    }
+
+    /// Invalidates every entry.
+    pub fn flush(&mut self) {
+        let valid = self.entries.iter().filter(|e| e.is_some()).count() as u64;
+        self.stats.record_invalidations(valid);
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            *e = None;
+            self.recency[i] = i as u8;
+        }
+    }
+
+    /// Number of valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+impl fmt::Display for RangeTlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} range entries, {}",
+            self.name,
+            self.capacity(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::{PhysAddr, VirtRange};
+
+    fn rt(start_mb: u64, len_mb: u64, phys_mb: u64) -> RangeTranslation {
+        RangeTranslation::new(
+            VirtRange::new(VirtAddr::new(start_mb << 20), len_mb << 20),
+            PhysAddr::new(phys_mb << 20),
+        )
+    }
+
+    #[test]
+    fn containment_hit() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.insert(rt(16, 64, 512));
+        assert!(tlb.lookup(VirtAddr::new(40 << 20)).is_some());
+        assert!(tlb.lookup(VirtAddr::new(80 << 20)).is_none());
+        assert_eq!(tlb.stats().hits(), 1);
+        assert_eq!(tlb.stats().misses(), 1);
+    }
+
+    #[test]
+    fn one_entry_maps_huge_span() {
+        let mut tlb = RangeTlb::new("t", 1);
+        tlb.insert(rt(0, 4096, 8192)); // a 4 GiB range in one entry
+        for mb in [0u64, 1000, 4095] {
+            assert!(tlb.lookup(VirtAddr::new(mb << 20)).is_some());
+        }
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut tlb = RangeTlb::new("t", 2);
+        tlb.insert(rt(0, 1, 100));
+        tlb.insert(rt(10, 1, 200));
+        tlb.lookup(VirtAddr::new(0)); // protect the first range
+        tlb.insert(rt(20, 1, 300)); // evicts the 10 MB range
+        assert!(tlb.probe(VirtAddr::new(0)).is_some());
+        assert!(tlb.probe(VirtAddr::new(10 << 20)).is_none());
+        assert!(tlb.probe(VirtAddr::new(20 << 20)).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_overwrites() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.insert(rt(0, 1, 100));
+        tlb.insert(rt(0, 1, 300));
+        assert_eq!(tlb.occupancy(), 1);
+        let hit = tlb.probe(VirtAddr::new(0)).unwrap();
+        assert_eq!(hit.phys_base().raw(), 300 << 20);
+    }
+
+    #[test]
+    fn flush_and_counters() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.insert(rt(0, 1, 100));
+        tlb.insert(rt(10, 1, 200));
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert_eq!(tlb.stats().invalidations(), 2);
+        assert!(tlb.lookup(VirtAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn probe_does_not_disturb() {
+        let mut tlb = RangeTlb::new("t", 2);
+        tlb.insert(rt(0, 1, 100));
+        let before = *tlb.stats();
+        tlb.probe(VirtAddr::new(0));
+        assert_eq!(*tlb.stats(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = RangeTlb::new("t", 0);
+    }
+}

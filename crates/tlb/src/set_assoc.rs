@@ -1,0 +1,539 @@
+//! Set-associative page TLB with true LRU and way-disabling.
+
+use core::fmt;
+
+use eeat_types::{PageSize, VirtAddr};
+
+use crate::entry::{Hit, PageTranslation};
+use crate::stats::TlbStats;
+
+/// A set-associative page TLB with per-set true-LRU replacement and
+/// Albonesi-style *way-disabling*.
+///
+/// The structure is partitioned into `ways` subarrays; at any time only
+/// `active_ways()` of them (a power of two, chosen by the Lite mechanism) are
+/// searched and filled. Disabling ways invalidates their entries — TLBs are
+/// read-only so no write-back is needed — and re-enabled ways come back
+/// empty, exactly as §4.2.3 of the paper requires.
+///
+/// Multiple page sizes may coexist in one structure (the unified L2 TLB and
+/// the TLB_PP organization); the lookup is then indexed by the actual page
+/// size of the reference, modelling a perfect page-size predictor.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_tlb::{PageTranslation, SetAssocTlb};
+/// use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+///
+/// let mut tlb = SetAssocTlb::new("L1-4KB", 64, 4, PageSize::Size4K);
+/// tlb.insert(PageTranslation::new(Vpn::new(3), Pfn::new(8), PageSize::Size4K));
+/// tlb.set_active_ways(1); // Lite downsizes to 16 entries direct-mapped
+/// assert_eq!(tlb.active_capacity(), 16);
+/// // The MRU entry of each set survives; conflicting fills now evict it.
+/// assert!(tlb.lookup(VirtAddr::new(3 * 4096)).is_some());
+/// tlb.insert(PageTranslation::new(Vpn::new(3 + 16), Pfn::new(9), PageSize::Size4K));
+/// assert!(tlb.lookup(VirtAddr::new(3 * 4096)).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocTlb {
+    name: &'static str,
+    entries: Vec<Option<PageTranslation>>,
+    /// `recency[i]` is the LRU rank of slot `i` among the active ways of its
+    /// set: 0 = MRU … `active_ways - 1` = LRU. Values of inactive ways are
+    /// meaningless.
+    recency: Vec<u8>,
+    sets: usize,
+    ways: usize,
+    active_ways: usize,
+    default_size: PageSize,
+    stats: TlbStats,
+}
+
+impl SetAssocTlb {
+    /// Creates an empty TLB with `entries` total slots and `ways`
+    /// associativity, all ways active.
+    ///
+    /// `default_size` is the page size used by [`lookup`](Self::lookup) and
+    /// determines the index bits of single-size structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` and `entries / ways` are non-zero powers of two
+    /// and `entries` is a multiple of `ways`.
+    pub fn new(name: &'static str, entries: usize, ways: usize, default_size: PageSize) -> Self {
+        assert!(
+            ways.is_power_of_two() && ways > 0,
+            "ways must be a power of two"
+        );
+        assert!(
+            ways <= 128,
+            "rank counters are u8; ways above 128 unsupported"
+        );
+        assert!(entries % ways == 0, "entries must divide evenly into ways");
+        let sets = entries / ways;
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
+        Self {
+            name,
+            entries: vec![None; entries],
+            recency: (0..entries).map(|i| (i % ways) as u8).collect(),
+            sets,
+            ways,
+            active_ways: ways,
+            default_size,
+            stats: TlbStats::new(),
+        }
+    }
+
+    /// The structure's display name (e.g. `"L1-4KB"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total number of slots (active or not).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of sets (constant across resizing).
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Physical associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Currently active (searched and filled) ways.
+    pub fn active_ways(&self) -> usize {
+        self.active_ways
+    }
+
+    /// Number of currently usable slots: `sets * active_ways`.
+    pub fn active_capacity(&self) -> usize {
+        self.sets * self.active_ways
+    }
+
+    /// The page size assumed by [`lookup`](Self::lookup).
+    pub fn default_size(&self) -> PageSize {
+        self.default_size
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets the event counters (the contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn set_index(&self, va: VirtAddr, size: PageSize) -> usize {
+        ((va.raw() >> size.shift()) as usize) & (self.sets - 1)
+    }
+
+    /// Looks up `va` assuming the structure's default page size.
+    ///
+    /// On a hit the entry is promoted to MRU and its pre-promotion recency
+    /// rank is reported for Lite's LRU-distance counters.
+    #[inline]
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<Hit> {
+        self.lookup_for_size(va, self.default_size)
+    }
+
+    /// Looks up `va` as a reference to a page of `size` (mixed-size
+    /// structures are indexed by the actual page size — the perfect
+    /// prediction assumption of TLB_PP).
+    pub fn lookup_for_size(&mut self, va: VirtAddr, size: PageSize) -> Option<Hit> {
+        let base = self.set_index(va, size) * self.ways;
+        for way in 0..self.active_ways {
+            let slot = base + way;
+            if let Some(entry) = self.entries[slot] {
+                if entry.size() == size && entry.covers(va) {
+                    let rank = self.recency[slot];
+                    self.touch(base, slot, rank);
+                    self.stats.record_hit();
+                    return Some(Hit {
+                        translation: entry,
+                        rank,
+                    });
+                }
+            }
+        }
+        self.stats.record_miss();
+        None
+    }
+
+    /// Looks up `va` matching entries of *any* page size — only meaningful
+    /// for fully associative structures, where no index bits depend on the
+    /// page size (the SPARC/AMD-style mixed L1 TLB of the paper's §4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the structure has more than one set: a set-associative
+    /// lookup cannot be size-agnostic (the index depends on the size).
+    pub fn lookup_any_size(&mut self, va: VirtAddr) -> Option<Hit> {
+        assert_eq!(
+            self.sets, 1,
+            "size-agnostic lookup requires full associativity"
+        );
+        for way in 0..self.active_ways {
+            if let Some(entry) = self.entries[way] {
+                if entry.covers(va) {
+                    let rank = self.recency[way];
+                    self.touch(0, way, rank);
+                    self.stats.record_hit();
+                    return Some(Hit {
+                        translation: entry,
+                        rank,
+                    });
+                }
+            }
+        }
+        self.stats.record_miss();
+        None
+    }
+
+    /// Probes for a matching entry without affecting LRU state or counters.
+    pub fn probe(&self, va: VirtAddr, size: PageSize) -> Option<PageTranslation> {
+        let base = self.set_index(va, size) * self.ways;
+        (0..self.active_ways)
+            .filter_map(|way| self.entries[base + way])
+            .find(|entry| entry.size() == size && entry.covers(va))
+    }
+
+    /// Inserts `translation`, evicting the set's LRU active entry if needed.
+    ///
+    /// If an entry with the same tag is already present it is overwritten in
+    /// place (and promoted), so the structure never holds duplicates.
+    pub fn insert(&mut self, translation: PageTranslation) {
+        let va = translation.vpn().base_addr();
+        let base = self.set_index(va, translation.size()) * self.ways;
+
+        // Overwrite a duplicate or pick an invalid slot, else evict true LRU.
+        let mut victim = None;
+        for way in 0..self.active_ways {
+            let slot = base + way;
+            match self.entries[slot] {
+                Some(e) if e.size() == translation.size() && e.vpn() == translation.vpn() => {
+                    victim = Some(slot);
+                    break;
+                }
+                None if victim.is_none() => victim = Some(slot),
+                _ => {}
+            }
+        }
+        let slot = victim.unwrap_or_else(|| {
+            let lru_rank = (self.active_ways - 1) as u8;
+            (base..base + self.active_ways)
+                .find(|&s| self.recency[s] == lru_rank)
+                .expect("one active slot always holds the LRU rank")
+        });
+
+        self.entries[slot] = Some(translation);
+        let rank = self.recency[slot];
+        self.touch(base, slot, rank);
+        self.stats.record_fill();
+    }
+
+    /// Promotes `slot` (with pre-promotion `rank`) to MRU within its set.
+    #[inline]
+    fn touch(&mut self, base: usize, slot: usize, rank: u8) {
+        for s in base..base + self.active_ways {
+            if self.recency[s] < rank {
+                self.recency[s] += 1;
+            }
+        }
+        self.recency[slot] = 0;
+    }
+
+    /// Resizes the structure to `ways` active ways (way-disabling /
+    /// re-enabling).
+    ///
+    /// Downsizing invalidates the entries of the disabled ways and compacts
+    /// the survivors' LRU ranks; re-enabled ways come back empty at the LRU
+    /// end. No-op when `ways == active_ways()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is a power of two in `1..=self.ways()`.
+    pub fn set_active_ways(&mut self, ways: usize) {
+        assert!(
+            ways.is_power_of_two() && ways >= 1 && ways <= self.ways,
+            "active ways must be a power of two within the physical ways"
+        );
+        if ways == self.active_ways {
+            return;
+        }
+        let old_active = self.active_ways;
+        let mut invalidated = 0u64;
+
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            if ways < old_active {
+                // Keep the `ways` most recently used survivors in physical
+                // ways 0..ways (hardware would keep the enabled subarrays;
+                // reordering slots is equivalent for a behavioural model).
+                let mut keep: Vec<(u8, Option<PageTranslation>)> = (0..old_active)
+                    .map(|w| (self.recency[base + w], self.entries[base + w]))
+                    .collect();
+                keep.sort_unstable_by_key(|&(rank, _)| rank);
+                for (w, &(_, entry)) in keep.iter().take(ways).enumerate() {
+                    self.entries[base + w] = entry;
+                    self.recency[base + w] = w as u8;
+                }
+                invalidated += keep
+                    .iter()
+                    .skip(ways)
+                    .filter(|&&(_, entry)| entry.is_some())
+                    .count() as u64;
+                for w in ways..self.ways {
+                    self.entries[base + w] = None;
+                    self.recency[base + w] = w as u8;
+                }
+            } else {
+                // Re-enable: fresh ways join empty at the LRU end.
+                for w in old_active..ways {
+                    self.entries[base + w] = None;
+                    self.recency[base + w] = w as u8;
+                }
+            }
+        }
+        self.stats.record_invalidations(invalidated);
+        self.active_ways = ways;
+    }
+
+    /// Invalidates every entry (active ways stay as configured).
+    pub fn flush(&mut self) {
+        let valid = self.entries.iter().filter(|e| e.is_some()).count() as u64;
+        self.stats.record_invalidations(valid);
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            *entry = None;
+            self.recency[i] = (i % self.ways) as u8;
+        }
+    }
+
+    /// Number of valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Checks internal invariants; meant for tests and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the active ways of any set do not hold a permutation of the
+    /// LRU ranks `0..active_ways`, or an inactive way holds a valid entry.
+    pub fn assert_invariants(&self) {
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            let mut seen = vec![false; self.active_ways];
+            for w in 0..self.active_ways {
+                let rank = self.recency[base + w] as usize;
+                assert!(rank < self.active_ways, "rank out of range in set {set}");
+                assert!(!seen[rank], "duplicate rank in set {set}");
+                seen[rank] = true;
+            }
+            for w in self.active_ways..self.ways {
+                assert!(
+                    self.entries[base + w].is_none(),
+                    "inactive way {w} of set {set} holds a valid entry"
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Display for SetAssocTlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} entries, {}/{} ways active, {}",
+            self.name,
+            self.capacity(),
+            self.active_ways,
+            self.ways,
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::{Pfn, Vpn};
+
+    fn t4k(vpn: u64) -> PageTranslation {
+        PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 1000), PageSize::Size4K)
+    }
+
+    fn va4k(vpn: u64) -> VirtAddr {
+        Vpn::new(vpn).base_addr()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        assert!(tlb.lookup(va4k(5)).is_none());
+        tlb.insert(t4k(5));
+        let hit = tlb.lookup(va4k(5)).expect("hit after fill");
+        assert_eq!(hit.translation, t4k(5));
+        assert_eq!(tlb.stats().hits(), 1);
+        assert_eq!(tlb.stats().misses(), 1);
+        assert_eq!(tlb.stats().fills(), 1);
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn lru_ranks_reported() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        // Four pages mapping to the same set (16 sets => stride 16 pages).
+        for i in 0..4 {
+            tlb.insert(t4k(16 * i));
+        }
+        // Most recent insert is MRU; the first one is LRU (rank 3).
+        assert_eq!(tlb.lookup(va4k(48)).unwrap().rank, 0);
+        assert_eq!(tlb.lookup(va4k(0)).unwrap().rank, 3);
+        // After touching page 0 it becomes MRU.
+        assert_eq!(tlb.lookup(va4k(0)).unwrap().rank, 0);
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn true_lru_eviction() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        for i in 0..4 {
+            tlb.insert(t4k(16 * i));
+        }
+        tlb.lookup(va4k(0)); // protect the oldest entry
+        tlb.insert(t4k(16 * 4)); // evicts vpn 16 (now LRU)
+        assert!(tlb.probe(va4k(0), PageSize::Size4K).is_some());
+        assert!(tlb.probe(va4k(16), PageSize::Size4K).is_none());
+        assert!(tlb.probe(va4k(64), PageSize::Size4K).is_some());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn duplicate_insert_overwrites() {
+        let mut tlb = SetAssocTlb::new("t", 16, 4, PageSize::Size4K);
+        tlb.insert(t4k(8));
+        let newer = PageTranslation::new(Vpn::new(8), Pfn::new(99), PageSize::Size4K);
+        tlb.insert(newer);
+        assert_eq!(tlb.occupancy(), 1);
+        assert_eq!(tlb.probe(va4k(8), PageSize::Size4K), Some(newer));
+    }
+
+    #[test]
+    fn way_disabling_invalidates() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        for i in 0..4 {
+            tlb.insert(t4k(16 * i));
+        }
+        tlb.set_active_ways(2);
+        assert_eq!(tlb.active_ways(), 2);
+        // The two MRU entries survive.
+        assert!(tlb.probe(va4k(32), PageSize::Size4K).is_some());
+        assert!(tlb.probe(va4k(48), PageSize::Size4K).is_some());
+        assert!(tlb.probe(va4k(0), PageSize::Size4K).is_none());
+        assert!(tlb.probe(va4k(16), PageSize::Size4K).is_none());
+        assert_eq!(tlb.stats().invalidations(), 2);
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn reenabling_comes_back_empty() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        for i in 0..4 {
+            tlb.insert(t4k(16 * i));
+        }
+        tlb.set_active_ways(1);
+        tlb.set_active_ways(4);
+        // Only the single survivor of the 1-way period remains.
+        assert_eq!(tlb.occupancy(), 1);
+        assert!(tlb.probe(va4k(48), PageSize::Size4K).is_some());
+        tlb.assert_invariants();
+        // And the structure is fully usable again.
+        for i in 0..4 {
+            tlb.insert(t4k(16 * i));
+        }
+        assert_eq!(tlb.occupancy(), 4);
+    }
+
+    #[test]
+    fn one_way_behaves_direct_mapped() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_active_ways(1);
+        tlb.insert(t4k(0));
+        tlb.insert(t4k(16)); // same set, conflicts
+        assert!(tlb.probe(va4k(0), PageSize::Size4K).is_none());
+        assert!(tlb.probe(va4k(16), PageSize::Size4K).is_some());
+        assert_eq!(tlb.active_capacity(), 16);
+    }
+
+    #[test]
+    fn mixed_sizes_coexist() {
+        let mut tlb = SetAssocTlb::new("L2", 512, 4, PageSize::Size4K);
+        tlb.insert(t4k(7));
+        let huge = PageTranslation::new(Vpn::new(512), Pfn::new(1024), PageSize::Size2M);
+        tlb.insert(huge);
+        assert!(tlb.lookup_for_size(va4k(7), PageSize::Size4K).is_some());
+        assert!(tlb
+            .lookup_for_size(VirtAddr::new(512 * 4096 + 555), PageSize::Size2M)
+            .is_some());
+        // A 4 KiB-indexed lookup of the huge-page region misses: sizes differ.
+        assert!(tlb
+            .lookup_for_size(VirtAddr::new(512 * 4096), PageSize::Size4K)
+            .is_none());
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        for i in 0..10 {
+            tlb.insert(t4k(i));
+        }
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert_eq!(tlb.stats().invalidations(), 10);
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let tlb = SetAssocTlb::new("L1-4KB", 64, 4, PageSize::Size4K);
+        assert_eq!(tlb.sets(), 16);
+        assert_eq!(tlb.ways(), 4);
+        assert_eq!(tlb.capacity(), 64);
+        assert_eq!(tlb.name(), "L1-4KB");
+        assert_eq!(tlb.default_size(), PageSize::Size4K);
+        assert!(tlb.to_string().contains("4/4 ways"));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = SetAssocTlb::new("t", 48, 3, PageSize::Size4K);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_resize_rejected() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_active_ways(3);
+    }
+
+    #[test]
+    fn probe_does_not_disturb() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.insert(t4k(0));
+        let before = *tlb.stats();
+        tlb.probe(va4k(0), PageSize::Size4K);
+        assert_eq!(*tlb.stats(), before);
+    }
+}

@@ -1,0 +1,197 @@
+//! Lookup/hit/miss accounting shared by all TLB structures.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Event counters of one TLB structure.
+///
+/// `lookups = hits + misses` always holds; `fills` counts insertions (the
+/// write operations of the paper's energy model, `M * E_write` in Table 3),
+/// and `invalidations` counts entries dropped by way-disabling or flushes.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_tlb::TlbStats;
+///
+/// let mut s = TlbStats::default();
+/// s.record_hit();
+/// s.record_miss();
+/// assert_eq!(s.lookups(), 2);
+/// assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    hits: u64,
+    misses: u64,
+    fills: u64,
+    invalidations: u64,
+}
+
+impl TlbStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a lookup that hit.
+    #[inline]
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a lookup that missed.
+    #[inline]
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records an insertion (a write in the energy model).
+    #[inline]
+    pub fn record_fill(&mut self) {
+        self.fills += 1;
+    }
+
+    /// Records `n` entries invalidated by resizing or flushing.
+    #[inline]
+    pub fn record_invalidations(&mut self, n: u64) {
+        self.invalidations += n;
+    }
+
+    /// Total lookups performed.
+    #[inline]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Lookups that hit.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Insertions performed.
+    #[inline]
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Entries invalidated by way-disabling or flushes.
+    #[inline]
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl Add for TlbStats {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            fills: self.fills + rhs.fills,
+            invalidations: self.invalidations + rhs.invalidations,
+        }
+    }
+}
+
+impl AddAssign for TlbStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for TlbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lookups, {} hits ({:.2}%), {} fills",
+            self.lookups(),
+            self.hits,
+            self.hit_ratio() * 100.0,
+            self.fills
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TlbStats::new();
+        for _ in 0..3 {
+            s.record_hit();
+        }
+        s.record_miss();
+        s.record_fill();
+        s.record_invalidations(5);
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.lookups(), 4);
+        assert_eq!(s.fills(), 1);
+        assert_eq!(s.invalidations(), 5);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_ratio_is_zero() {
+        assert_eq!(TlbStats::new().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn add_merges_componentwise() {
+        let mut a = TlbStats::new();
+        a.record_hit();
+        a.record_fill();
+        let mut b = TlbStats::new();
+        b.record_miss();
+        b.record_invalidations(2);
+        let c = a + b;
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.fills(), 1);
+        assert_eq!(c.invalidations(), 2);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = TlbStats::new();
+        s.record_hit();
+        s.reset();
+        assert_eq!(s, TlbStats::default());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = TlbStats::new();
+        s.record_hit();
+        assert!(s.to_string().contains("1 lookups"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Property tests: the TLB structures against an oracle LRU model.
+//!
+//! The oracle is a per-set `Vec` kept in MRU→LRU order with the same
+//! capacity policy; every hit/miss decision, reported rank, and eviction of
+//! the real structures must agree with it across arbitrary operation
+//! sequences, including way resizing.
+
+use eeat_tlb::{FullyAssocTlb, PageTranslation, RangeTlb, SetAssocTlb};
+use eeat_types::{PageSize, Pfn, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
+use proptest::prelude::*;
+
+/// An oracle for one TLB set: entries in MRU→LRU order.
+#[derive(Default, Clone)]
+struct OracleSet {
+    order: Vec<u64>, // tags, MRU first
+}
+
+impl OracleSet {
+    /// Returns the pre-promotion rank on hit, and promotes.
+    fn lookup(&mut self, tag: u64) -> Option<usize> {
+        let pos = self.order.iter().position(|&t| t == tag)?;
+        let t = self.order.remove(pos);
+        self.order.insert(0, t);
+        Some(pos)
+    }
+
+    fn insert(&mut self, tag: u64, capacity: usize) {
+        if let Some(pos) = self.order.iter().position(|&t| t == tag) {
+            self.order.remove(pos);
+        }
+        self.order.insert(0, tag);
+        self.order.truncate(capacity);
+    }
+
+    fn resize(&mut self, capacity: usize) {
+        self.order.truncate(capacity);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Lookup(u64),
+    Insert(u64),
+    Resize(usize),
+}
+
+fn ops(max_vpn: u64) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_vpn).prop_map(Op::Lookup),
+            (0..max_vpn).prop_map(Op::Insert),
+            (0usize..3).prop_map(|i| Op::Resize(1 << i)),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_assoc_matches_oracle(ops in ops(256)) {
+        let sets = 16usize;
+        let ways = 4usize;
+        let mut tlb = SetAssocTlb::new("t", sets * ways, ways, PageSize::Size4K);
+        let mut oracle: Vec<OracleSet> = vec![OracleSet::default(); sets];
+        let mut active = ways;
+
+        for op in ops {
+            match op {
+                Op::Lookup(vpn) => {
+                    let set = (vpn as usize) % sets;
+                    let got = tlb.lookup(Vpn::new(vpn).base_addr());
+                    let want = oracle[set].lookup(vpn);
+                    match (got, want) {
+                        (Some(hit), Some(rank)) => prop_assert_eq!(hit.rank as usize, rank),
+                        (None, None) => {}
+                        (g, w) => prop_assert!(false, "hit mismatch: got {:?}, want {:?}", g.is_some(), w),
+                    }
+                }
+                Op::Insert(vpn) => {
+                    let set = (vpn as usize) % sets;
+                    tlb.insert(PageTranslation::new(
+                        Vpn::new(vpn),
+                        Pfn::new(vpn + 10_000),
+                        PageSize::Size4K,
+                    ));
+                    oracle[set].insert(vpn, active);
+                }
+                Op::Resize(w) => {
+                    tlb.set_active_ways(w);
+                    if w < active {
+                        for set in oracle.iter_mut() {
+                            set.resize(w);
+                        }
+                    }
+                    active = w;
+                }
+            }
+            tlb.assert_invariants();
+        }
+
+        // Final contents agree.
+        for (set_idx, set) in oracle.iter().enumerate() {
+            for &vpn in &set.order {
+                prop_assert!(
+                    tlb.probe(Vpn::new(vpn).base_addr(), PageSize::Size4K).is_some(),
+                    "oracle holds vpn {vpn} in set {set_idx} but TLB lost it"
+                );
+            }
+        }
+        prop_assert_eq!(
+            tlb.occupancy(),
+            oracle.iter().map(|s| s.order.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn fully_assoc_matches_oracle(ops in ops(64)) {
+        let capacity = 4usize;
+        let mut tlb = FullyAssocTlb::new("t", capacity, PageSize::Size4K);
+        let mut oracle = OracleSet::default();
+        let mut active = capacity;
+
+        for op in ops {
+            match op {
+                Op::Lookup(vpn) => {
+                    let got = tlb.lookup(Vpn::new(vpn).base_addr());
+                    let want = oracle.lookup(vpn);
+                    prop_assert_eq!(got.map(|h| h.rank as usize), want);
+                }
+                Op::Insert(vpn) => {
+                    tlb.insert(PageTranslation::new(
+                        Vpn::new(vpn),
+                        Pfn::new(vpn + 10_000),
+                        PageSize::Size4K,
+                    ));
+                    oracle.insert(vpn, active);
+                }
+                Op::Resize(n) => {
+                    tlb.set_active_entries(n);
+                    if n < active {
+                        oracle.resize(n);
+                    }
+                    active = n;
+                }
+            }
+            tlb.assert_invariants();
+        }
+        prop_assert_eq!(tlb.occupancy(), oracle.order.len());
+    }
+
+    #[test]
+    fn stats_balance(lookups in prop::collection::vec(0u64..64, 1..300)) {
+        // hits + misses == lookups, and a miss followed by a fill always hits.
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        for &vpn in &lookups {
+            let va = Vpn::new(vpn).base_addr();
+            if tlb.lookup(va).is_none() {
+                tlb.insert(PageTranslation::new(
+                    Vpn::new(vpn),
+                    Pfn::new(vpn + 1),
+                    PageSize::Size4K,
+                ));
+                prop_assert!(tlb.probe(va, PageSize::Size4K).is_some());
+            }
+        }
+        prop_assert_eq!(tlb.stats().lookups(), lookups.len() as u64);
+        prop_assert_eq!(
+            tlb.stats().hits() + tlb.stats().misses(),
+            tlb.stats().lookups()
+        );
+        prop_assert_eq!(tlb.stats().fills(), tlb.stats().misses());
+    }
+
+    #[test]
+    fn rank_semantics_vs_smaller_tlb(
+        trace in prop::collection::vec(0u64..128, 50..400),
+    ) {
+        // The defining property behind Lite's lru-distance-counters: a hit
+        // with rank r in a w-way TLB occurs iff the same lookup hits in a
+        // TLB with w' > r ways (same sets) under an identical trace.
+        // Simulate 4-way and 2-way side by side; every 4-way hit with
+        // rank < 2 must hit in the 2-way, and every rank >= 2 hit must miss.
+        let mut big = SetAssocTlb::new("big", 64, 4, PageSize::Size4K);
+        let mut small = SetAssocTlb::new("small", 32, 2, PageSize::Size4K);
+        for &vpn in &trace {
+            let va = Vpn::new(vpn).base_addr();
+            let big_hit = big.lookup(va);
+            let small_hit = small.lookup(va);
+            match big_hit {
+                Some(hit) if hit.rank < 2 => {
+                    prop_assert!(small_hit.is_some(), "rank {} should hit 2-way", hit.rank)
+                }
+                Some(hit) => {
+                    prop_assert!(small_hit.is_none(), "rank {} should miss 2-way", hit.rank)
+                }
+                None => prop_assert!(small_hit.is_none(), "big miss implies small miss"),
+            }
+            let entry =
+                PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 1), PageSize::Size4K);
+            if big_hit.is_none() {
+                big.insert(entry);
+            }
+            if small_hit.is_none() {
+                small.insert(entry);
+            }
+        }
+    }
+
+    #[test]
+    fn range_tlb_matches_linear_scan(
+        ranges in prop::collection::vec((0u64..64, 1u64..8), 1..20),
+        probes in prop::collection::vec(0u64..72, 1..50),
+    ) {
+        // Build disjoint ranges on a 16 MiB grid so overlap never occurs.
+        let mut tlb = RangeTlb::new("t", 8);
+        let mut inserted: Vec<RangeTranslation> = Vec::new();
+        for (i, &(slot, len)) in ranges.iter().enumerate() {
+            let start = slot * (64 << 20); // 64 MiB grid, len <= 8 MiB
+            let rt = RangeTranslation::new(
+                VirtRange::new(VirtAddr::new(start), len << 20),
+                PhysAddr::new((i as u64 + 1) << 32),
+            );
+            // Mirror the TLB capacity policy: dedupe + LRU truncate to 8.
+            inserted.retain(|r| r.virt() != rt.virt());
+            inserted.insert(0, rt);
+            inserted.truncate(8);
+            tlb.insert(rt);
+        }
+        for &p in &probes {
+            let va = VirtAddr::new(p << 20);
+            let got = tlb.lookup(va).is_some();
+            let pos = inserted.iter().position(|r| r.virt().contains(va));
+            prop_assert_eq!(got, pos.is_some());
+            if let Some(pos) = pos {
+                let r = inserted.remove(pos);
+                inserted.insert(0, r);
+            }
+        }
+    }
+}

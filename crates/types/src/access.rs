@@ -1,0 +1,144 @@
+//! Memory accesses as produced by a workload trace.
+
+use core::fmt;
+
+use crate::addr::VirtAddr;
+
+/// Whether a memory operation reads or writes.
+///
+/// The paper's simulator instruments all memory operations with Pin; reads
+/// and writes are translated identically, but the distinction is kept for
+/// workload realism and future extensions (e.g. dirty-bit modelling).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load (data read).
+    #[default]
+    Load,
+    /// A store (data write).
+    Store,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        })
+    }
+}
+
+/// One memory operation of a simulated instruction stream.
+///
+/// `instructions` carries the number of instructions the workload executed
+/// *since the previous memory operation* (including the one performing this
+/// access), which lets the simulator maintain an instruction counter — the
+/// denominator of every MPKI figure in the paper — without generating a full
+/// instruction trace.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_types::{AccessKind, MemAccess, VirtAddr};
+///
+/// let acc = MemAccess::new(VirtAddr::new(0x1000), AccessKind::Load, 3);
+/// assert_eq!(acc.vaddr().raw(), 0x1000);
+/// assert_eq!(acc.instructions(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    vaddr: VirtAddr,
+    kind: AccessKind,
+    instructions: u32,
+}
+
+impl MemAccess {
+    /// Creates a memory access at `vaddr` accounting for `instructions`
+    /// executed instructions (at least 1 — the accessing instruction itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `instructions == 0`.
+    #[inline]
+    pub fn new(vaddr: VirtAddr, kind: AccessKind, instructions: u32) -> Self {
+        debug_assert!(instructions >= 1, "an access implies one instruction");
+        Self {
+            vaddr,
+            kind,
+            instructions,
+        }
+    }
+
+    /// A load with a 1-instruction gap — convenient in tests.
+    #[inline]
+    pub fn load(vaddr: VirtAddr) -> Self {
+        Self::new(vaddr, AccessKind::Load, 1)
+    }
+
+    /// A store with a 1-instruction gap — convenient in tests.
+    #[inline]
+    pub fn store(vaddr: VirtAddr) -> Self {
+        Self::new(vaddr, AccessKind::Store, 1)
+    }
+
+    /// The accessed virtual address.
+    #[inline]
+    pub const fn vaddr(self) -> VirtAddr {
+        self.vaddr
+    }
+
+    /// Load or store.
+    #[inline]
+    pub const fn kind(self) -> AccessKind {
+        self.kind
+    }
+
+    /// Instructions executed since the previous access, inclusive.
+    #[inline]
+    pub const fn instructions(self) -> u32 {
+        self.instructions
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} (+{} insns)",
+            self.kind, self.vaddr, self.instructions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let l = MemAccess::load(VirtAddr::new(0x10));
+        assert_eq!(l.kind(), AccessKind::Load);
+        assert_eq!(l.instructions(), 1);
+        let s = MemAccess::store(VirtAddr::new(0x20));
+        assert_eq!(s.kind(), AccessKind::Store);
+    }
+
+    #[test]
+    fn instruction_gap_preserved() {
+        let a = MemAccess::new(VirtAddr::new(0x30), AccessKind::Load, 7);
+        assert_eq!(a.instructions(), 7);
+    }
+
+    #[test]
+    fn display() {
+        let a = MemAccess::new(VirtAddr::new(0x40), AccessKind::Store, 2);
+        assert_eq!(a.to_string(), "store 0x40 (+2 insns)");
+        assert_eq!(AccessKind::Load.to_string(), "load");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "one instruction")]
+    fn zero_instruction_gap_rejected() {
+        let _ = MemAccess::new(VirtAddr::new(0x50), AccessKind::Load, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Core virtual-memory types shared by every crate of the `eeat` workspace.
+//!
+//! This crate defines the vocabulary of the simulator reproduced from
+//! *Energy-Efficient Address Translation* (HPCA 2016):
+//!
+//! * [`VirtAddr`] / [`PhysAddr`] — 64-bit addresses as distinct newtypes, so a
+//!   physical address can never be fed back into a TLB lookup by accident.
+//! * [`Vpn`] / [`Pfn`] — virtual page numbers and physical frame numbers in
+//!   the 4 KiB base granule used by the x86-64 page table.
+//! * [`PageSize`] — the three x86-64 translation sizes (4 KiB, 2 MiB, 1 GiB).
+//! * [`VirtRange`] / [`RangeTranslation`] — arbitrarily large ranges of pages
+//!   that are contiguous in both address spaces, the representation behind
+//!   Redundant Memory Mappings (RMM).
+//! * [`MemAccess`] — one memory operation of a simulated trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use eeat_types::{PageSize, VirtAddr};
+//!
+//! let va = VirtAddr::new(0x7f00_1234_5678);
+//! assert_eq!(va.page_offset(PageSize::Size4K), 0x678);
+//! assert_eq!(va.vpn().base_addr(), VirtAddr::new(0x7f00_1234_5000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod page;
+mod range;
+
+pub use access::{AccessKind, MemAccess};
+pub use addr::{PhysAddr, VirtAddr};
+pub use page::{PageSize, Pfn, Vpn, PAGE_SHIFT_4K, PAGE_SIZE_4K};
+pub use range::{RangeTranslation, VirtRange};

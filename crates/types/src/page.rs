@@ -1,0 +1,256 @@
+//! Page sizes and page/frame numbers.
+
+use core::fmt;
+
+use crate::addr::{PhysAddr, VirtAddr};
+
+/// Log2 of the base (4 KiB) page size.
+pub const PAGE_SHIFT_4K: u32 = 12;
+
+/// The base page size in bytes (4 KiB).
+pub const PAGE_SIZE_4K: u64 = 1 << PAGE_SHIFT_4K;
+
+/// The three page sizes supported by x86-64 address translation.
+///
+/// The per-size separate L1 TLBs of the paper's Sandy Bridge baseline map
+/// exactly these sizes (Figure 1 / Table 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use eeat_types::PageSize;
+///
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size2M.base_pages(), 512);
+/// assert_eq!(PageSize::Size1G.walk_memory_refs(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB base page, mapped by a PTE (level-1 entry).
+    Size4K,
+    /// 2 MiB huge page, mapped by a PDE (level-2 entry).
+    Size2M,
+    /// 1 GiB huge page, mapped by a PDPTE (level-3 entry).
+    Size1G,
+}
+
+impl PageSize {
+    /// All sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// Log2 of the page size in bytes.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// Number of 4 KiB base pages covered by one page of this size.
+    #[inline]
+    pub const fn base_pages(self) -> u64 {
+        self.bytes() >> PAGE_SHIFT_4K
+    }
+
+    /// Memory references needed by a page walk that misses every MMU cache:
+    /// 4 for a 4 KiB page, 3 for 2 MiB, 2 for 1 GiB (paper §3.2).
+    #[inline]
+    pub const fn walk_memory_refs(self) -> u32 {
+        match self {
+            PageSize::Size4K => 4,
+            PageSize::Size2M => 3,
+            PageSize::Size1G => 2,
+        }
+    }
+
+    /// The page-table level whose entry maps a page of this size
+    /// (1 = PTE, 2 = PDE, 3 = PDPTE).
+    #[inline]
+    pub const fn mapping_level(self) -> u32 {
+        match self {
+            PageSize::Size4K => 1,
+            PageSize::Size2M => 2,
+            PageSize::Size1G => 3,
+        }
+    }
+
+    /// A short human-readable label (`"4KB"`, `"2MB"`, `"1GB"`) matching the
+    /// paper's figure annotations.
+    #[inline]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PageSize::Size4K => "4KB",
+            PageSize::Size2M => "2MB",
+            PageSize::Size1G => "1GB",
+        }
+    }
+}
+
+impl Default for PageSize {
+    fn default() -> Self {
+        PageSize::Size4K
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+macro_rules! page_num_common {
+    ($ty:ident, $addr:ident, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Always expressed in the 4 KiB base granule; a 2 MiB page owns 512
+        /// consecutive numbers and its mapping is identified by the first.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $ty(u64);
+
+        impl $ty {
+            /// Creates a page number from its raw 4 KiB-granule value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Raw 4 KiB-granule page number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// First byte address of the page.
+            #[inline]
+            pub const fn base_addr(self) -> $addr {
+                $addr::new(self.0 << PAGE_SHIFT_4K)
+            }
+
+            /// Rounds the page number down to a `size` page boundary, yielding
+            /// the number that identifies the enclosing page of that size.
+            #[inline]
+            pub const fn align_down(self, size: PageSize) -> Self {
+                let pages = size.base_pages();
+                Self(self.0 & !(pages - 1))
+            }
+
+            /// Returns `true` when the page number is the first base page of a
+            /// `size`-aligned page.
+            #[inline]
+            pub const fn is_aligned(self, size: PageSize) -> bool {
+                self.0 & (size.base_pages() - 1) == 0
+            }
+
+            /// The page number `n` base pages above this one.
+            #[inline]
+            pub const fn add(self, n: u64) -> Self {
+                Self(self.0 + n)
+            }
+
+            /// Base-page distance from `origin` to `self`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `origin > self`.
+            #[inline]
+            pub fn offset_from(self, origin: Self) -> u64 {
+                debug_assert!(origin.0 <= self.0);
+                self.0 - origin.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(n: $ty) -> u64 {
+                n.0
+            }
+        }
+    };
+}
+
+page_num_common!(Vpn, VirtAddr, "A virtual page number.");
+page_num_common!(Pfn, PhysAddr, "A physical frame number.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_constants() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 2 << 20);
+        assert_eq!(PageSize::Size1G.bytes(), 1 << 30);
+        assert_eq!(PageSize::Size4K.base_pages(), 1);
+        assert_eq!(PageSize::Size2M.base_pages(), 512);
+        assert_eq!(PageSize::Size1G.base_pages(), 512 * 512);
+    }
+
+    #[test]
+    fn walk_refs_match_paper() {
+        // Paper §3.2: "4, 3, and 2 memory accesses for 4 KB, 2 MB, and 1 GB".
+        assert_eq!(PageSize::Size4K.walk_memory_refs(), 4);
+        assert_eq!(PageSize::Size2M.walk_memory_refs(), 3);
+        assert_eq!(PageSize::Size1G.walk_memory_refs(), 2);
+    }
+
+    #[test]
+    fn mapping_levels() {
+        assert_eq!(PageSize::Size4K.mapping_level(), 1);
+        assert_eq!(PageSize::Size2M.mapping_level(), 2);
+        assert_eq!(PageSize::Size1G.mapping_level(), 3);
+    }
+
+    #[test]
+    fn labels_display() {
+        assert_eq!(PageSize::Size4K.to_string(), "4KB");
+        assert_eq!(PageSize::Size2M.to_string(), "2MB");
+        assert_eq!(PageSize::Size1G.to_string(), "1GB");
+    }
+
+    #[test]
+    fn vpn_round_trip() {
+        let vpn = Vpn::new(0x1234);
+        assert_eq!(vpn.base_addr().raw(), 0x1234 << 12);
+        assert_eq!(vpn.base_addr().vpn(), vpn);
+    }
+
+    #[test]
+    fn vpn_alignment() {
+        let vpn = Vpn::new(512 + 17);
+        assert_eq!(vpn.align_down(PageSize::Size2M), Vpn::new(512));
+        assert!(!vpn.is_aligned(PageSize::Size2M));
+        assert!(Vpn::new(1024).is_aligned(PageSize::Size2M));
+        assert!(vpn.is_aligned(PageSize::Size4K));
+    }
+
+    #[test]
+    fn pfn_arithmetic() {
+        let pfn = Pfn::new(100);
+        assert_eq!(pfn.add(5), Pfn::new(105));
+        assert_eq!(pfn.add(5).offset_from(pfn), 5);
+    }
+
+    #[test]
+    fn ordering_all_smallest_first() {
+        assert!(PageSize::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,320 @@
+//! Virtual ranges and RMM range translations.
+
+use core::fmt;
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::page::{PageSize, Pfn, Vpn};
+
+/// A half-open range `[start, start + len)` of virtual address space.
+///
+/// Used for VMAs in the OS model and as the virtual side of a
+/// [`RangeTranslation`]. `len` is in bytes and must be non-zero for a useful
+/// range; an empty range contains nothing.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_types::{VirtAddr, VirtRange};
+///
+/// let r = VirtRange::new(VirtAddr::new(0x1000), 0x2000);
+/// assert!(r.contains(VirtAddr::new(0x2fff)));
+/// assert!(!r.contains(VirtAddr::new(0x3000)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct VirtRange {
+    start: VirtAddr,
+    len: u64,
+}
+
+impl VirtRange {
+    /// Creates a range from its first address and byte length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` overflows a `u64`.
+    pub fn new(start: VirtAddr, len: u64) -> Self {
+        assert!(
+            start.checked_add(len).is_some(),
+            "virtual range wraps the address space"
+        );
+        Self { start, len }
+    }
+
+    /// Creates the range covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn from_bounds(start: VirtAddr, end: VirtAddr) -> Self {
+        assert!(end >= start, "range end below start");
+        Self {
+            start,
+            len: end - start,
+        }
+    }
+
+    /// First address of the range.
+    #[inline]
+    pub const fn start(self) -> VirtAddr {
+        self.start
+    }
+
+    /// One past the last address of the range.
+    #[inline]
+    pub const fn end(self) -> VirtAddr {
+        VirtAddr::new(self.start.raw() + self.len)
+    }
+
+    /// Byte length.
+    #[inline]
+    pub const fn len(self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the range covers no addresses.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 4 KiB base pages covered, counting partial pages.
+    #[inline]
+    pub fn base_pages(self) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let first = self.start.align_down(PageSize::Size4K).raw();
+        let last = (self.start.raw() + self.len - 1) >> 12 << 12;
+        ((last - first) >> 12) + 1
+    }
+
+    /// `true` when `addr` lies inside the range.
+    #[inline]
+    pub const fn contains(self, addr: VirtAddr) -> bool {
+        addr.raw() >= self.start.raw() && addr.raw() < self.start.raw() + self.len
+    }
+
+    /// `true` when `other` lies completely inside `self`.
+    #[inline]
+    pub fn contains_range(self, other: VirtRange) -> bool {
+        other.is_empty() || (other.start >= self.start && other.end().raw() <= self.end().raw())
+    }
+
+    /// `true` when the two ranges share at least one address.
+    #[inline]
+    pub fn overlaps(self, other: VirtRange) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start.raw() < other.end().raw()
+            && other.start.raw() < self.end().raw()
+    }
+
+    /// The first virtual page number of the range.
+    #[inline]
+    pub fn first_vpn(self) -> Vpn {
+        self.start.vpn()
+    }
+
+    /// The last virtual page number of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn last_vpn(self) -> Vpn {
+        assert!(!self.is_empty(), "empty range has no last page");
+        VirtAddr::new(self.start.raw() + self.len - 1).vpn()
+    }
+}
+
+impl fmt::Display for VirtRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+/// A range translation in the sense of Redundant Memory Mappings: an
+/// arbitrarily large range of pages contiguous in *both* virtual and physical
+/// address space with uniform protection.
+///
+/// A single entry translates any address inside its virtual range with a
+/// base-plus-offset computation, which is what makes the 4-entry L1-range TLB
+/// of RMM_Lite so effective.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_types::{PhysAddr, RangeTranslation, VirtAddr, VirtRange};
+///
+/// let rt = RangeTranslation::new(
+///     VirtRange::new(VirtAddr::new(0x10_0000), 0x8000),
+///     PhysAddr::new(0x90_0000),
+/// );
+/// assert_eq!(rt.translate(VirtAddr::new(0x10_2abc)), Some(PhysAddr::new(0x90_2abc)));
+/// assert_eq!(rt.translate(VirtAddr::new(0x18_0000)), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RangeTranslation {
+    virt: VirtRange,
+    phys_base: PhysAddr,
+}
+
+impl RangeTranslation {
+    /// Creates a range translation mapping `virt` onto the physically
+    /// contiguous region starting at `phys_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the virtual start and physical base do not agree in their
+    /// page offset (a range translation must be page aligned on both sides).
+    pub fn new(virt: VirtRange, phys_base: PhysAddr) -> Self {
+        assert_eq!(
+            virt.start().page_offset(PageSize::Size4K),
+            phys_base.page_offset(PageSize::Size4K),
+            "range translation sides must share the page offset"
+        );
+        Self { virt, phys_base }
+    }
+
+    /// The virtual range covered.
+    #[inline]
+    pub const fn virt(self) -> VirtRange {
+        self.virt
+    }
+
+    /// The first physical address of the mapping.
+    #[inline]
+    pub const fn phys_base(self) -> PhysAddr {
+        self.phys_base
+    }
+
+    /// First physical frame of the mapping.
+    #[inline]
+    pub fn first_pfn(self) -> Pfn {
+        self.phys_base.pfn()
+    }
+
+    /// Translates `va`, or `None` when it lies outside the range.
+    #[inline]
+    pub fn translate(self, va: VirtAddr) -> Option<PhysAddr> {
+        if self.virt.contains(va) {
+            Some(self.phys_base + va.offset_from(self.virt.start()))
+        } else {
+            None
+        }
+    }
+
+    /// Translates a virtual page number, or `None` when outside the range.
+    #[inline]
+    pub fn translate_vpn(self, vpn: Vpn) -> Option<Pfn> {
+        self.translate(vpn.base_addr()).map(|pa| pa.pfn())
+    }
+}
+
+impl fmt::Display for RangeTranslation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.virt, self.phys_base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u64, len: u64) -> VirtRange {
+        VirtRange::new(VirtAddr::new(start), len)
+    }
+
+    #[test]
+    fn bounds_and_len() {
+        let range = r(0x1000, 0x3000);
+        assert_eq!(range.start().raw(), 0x1000);
+        assert_eq!(range.end().raw(), 0x4000);
+        assert_eq!(range.len(), 0x3000);
+        assert!(!range.is_empty());
+        assert!(r(0x1000, 0).is_empty());
+    }
+
+    #[test]
+    fn from_bounds_round_trips() {
+        let range = VirtRange::from_bounds(VirtAddr::new(0x2000), VirtAddr::new(0x5000));
+        assert_eq!(range, r(0x2000, 0x3000));
+    }
+
+    #[test]
+    #[should_panic(expected = "end below start")]
+    fn from_bounds_rejects_inverted() {
+        let _ = VirtRange::from_bounds(VirtAddr::new(0x5000), VirtAddr::new(0x2000));
+    }
+
+    #[test]
+    fn containment() {
+        let range = r(0x1000, 0x1000);
+        assert!(range.contains(VirtAddr::new(0x1000)));
+        assert!(range.contains(VirtAddr::new(0x1fff)));
+        assert!(!range.contains(VirtAddr::new(0x2000)));
+        assert!(!range.contains(VirtAddr::new(0xfff)));
+    }
+
+    #[test]
+    fn contains_range_and_overlaps() {
+        let outer = r(0x1000, 0x4000);
+        assert!(outer.contains_range(r(0x2000, 0x1000)));
+        assert!(outer.contains_range(r(0x1000, 0x4000)));
+        assert!(!outer.contains_range(r(0x4000, 0x2000)));
+        assert!(outer.contains_range(r(0x0, 0))); // empty ranges are everywhere
+        assert!(outer.overlaps(r(0x4fff, 0x10)));
+        assert!(!outer.overlaps(r(0x5000, 0x10)));
+        assert!(!outer.overlaps(r(0x800, 0x800)));
+        assert!(outer.overlaps(r(0x800, 0x801)));
+    }
+
+    #[test]
+    fn base_pages_counts_partials() {
+        assert_eq!(r(0x1000, 0x1000).base_pages(), 1);
+        assert_eq!(r(0x1800, 0x1000).base_pages(), 2);
+        assert_eq!(r(0x1000, 0x1001).base_pages(), 2);
+        assert_eq!(r(0, 0).base_pages(), 0);
+    }
+
+    #[test]
+    fn vpn_endpoints() {
+        let range = r(0x3000, 0x2000);
+        assert_eq!(range.first_vpn(), Vpn::new(3));
+        assert_eq!(range.last_vpn(), Vpn::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps")]
+    fn wrapping_range_rejected() {
+        let _ = VirtRange::new(VirtAddr::new(u64::MAX - 10), 100);
+    }
+
+    #[test]
+    fn translation_offsets() {
+        let rt = RangeTranslation::new(r(0x10_0000, 0x20_0000), PhysAddr::new(0x70_0000));
+        assert_eq!(
+            rt.translate(VirtAddr::new(0x10_0000)),
+            Some(PhysAddr::new(0x70_0000))
+        );
+        assert_eq!(
+            rt.translate(VirtAddr::new(0x2f_ffff)),
+            Some(PhysAddr::new(0x8f_ffff))
+        );
+        assert_eq!(rt.translate(VirtAddr::new(0x30_0000)), None);
+        assert_eq!(rt.translate_vpn(Vpn::new(0x101)), Some(Pfn::new(0x701)));
+    }
+
+    #[test]
+    #[should_panic(expected = "page offset")]
+    fn misaligned_translation_rejected() {
+        let _ = RangeTranslation::new(r(0x1000, 0x1000), PhysAddr::new(0x2800));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(r(0x1000, 0x1000).to_string(), "[0x1000, 0x2000)");
+        let rt = RangeTranslation::new(r(0x1000, 0x1000), PhysAddr::new(0x9000));
+        assert_eq!(rt.to_string(), "[0x1000, 0x2000) -> 0x9000");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the core virtual-memory types.
+
+use eeat_types::{PageSize, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
+use proptest::prelude::*;
+
+fn page_sizes() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        Just(PageSize::Size4K),
+        Just(PageSize::Size2M),
+        Just(PageSize::Size1G),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn align_down_is_aligned_and_below(raw in 0u64..1 << 48, size in page_sizes()) {
+        let va = VirtAddr::new(raw);
+        let down = va.align_down(size);
+        prop_assert!(down.is_aligned(size));
+        prop_assert!(down <= va);
+        prop_assert!(va.raw() - down.raw() < size.bytes());
+    }
+
+    #[test]
+    fn align_up_is_aligned_and_above(raw in 0u64..1 << 48, size in page_sizes()) {
+        let va = VirtAddr::new(raw);
+        let up = va.align_up(size);
+        prop_assert!(up.is_aligned(size));
+        prop_assert!(up >= va);
+        prop_assert!(up.raw() - va.raw() < size.bytes());
+    }
+
+    #[test]
+    fn offset_decomposition(raw in 0u64..1 << 48, size in page_sizes()) {
+        // Any address is exactly its aligned base plus its page offset.
+        let va = VirtAddr::new(raw);
+        prop_assert_eq!(
+            va.align_down(size).raw() + va.page_offset(size),
+            va.raw()
+        );
+    }
+
+    #[test]
+    fn vpn_base_addr_round_trip(raw in 0u64..1 << 36) {
+        let vpn = Vpn::new(raw);
+        prop_assert_eq!(vpn.base_addr().vpn(), vpn);
+    }
+
+    #[test]
+    fn vpn_align_matches_addr_align(raw in 0u64..1 << 48, size in page_sizes()) {
+        let va = VirtAddr::new(raw);
+        prop_assert_eq!(
+            va.vpn().align_down(size).base_addr(),
+            va.align_down(size).align_down(PageSize::Size4K)
+        );
+    }
+
+    #[test]
+    fn range_contains_iff_in_bounds(
+        start in 0u64..1 << 40,
+        len in 1u64..1 << 24,
+        probe in 0u64..1 << 41,
+    ) {
+        let r = VirtRange::new(VirtAddr::new(start), len);
+        let inside = probe >= start && probe < start + len;
+        prop_assert_eq!(r.contains(VirtAddr::new(probe)), inside);
+    }
+
+    #[test]
+    fn range_overlap_is_symmetric(
+        a_start in 0u64..1 << 30, a_len in 1u64..1 << 20,
+        b_start in 0u64..1 << 30, b_len in 1u64..1 << 20,
+    ) {
+        let a = VirtRange::new(VirtAddr::new(a_start), a_len);
+        let b = VirtRange::new(VirtAddr::new(b_start), b_len);
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        // Two ranges overlap exactly when neither is fully on one side.
+        let disjoint = a_start + a_len <= b_start || b_start + b_len <= a_start;
+        prop_assert_eq!(a.overlaps(b), !disjoint);
+    }
+
+    #[test]
+    fn range_base_pages_bounds(start in 0u64..1 << 40, len in 1u64..1 << 24) {
+        let r = VirtRange::new(VirtAddr::new(start), len);
+        let pages = r.base_pages();
+        // A range of `len` bytes touches at least ceil(len/4K) pages and at
+        // most one extra page for misalignment.
+        prop_assert!(pages >= len.div_ceil(4096));
+        prop_assert!(pages <= len.div_ceil(4096) + 1);
+    }
+
+    #[test]
+    fn range_translation_preserves_offsets(
+        start_page in 1u64..1 << 30,
+        pages in 1u64..1 << 16,
+        phys_page in 1u64..1 << 30,
+        probe in 0u64..1 << 28,
+    ) {
+        let virt = VirtRange::new(VirtAddr::new(start_page << 12), pages << 12);
+        let rt = RangeTranslation::new(virt, PhysAddr::new(phys_page << 12));
+        let va = VirtAddr::new((start_page << 12) + (probe % (pages << 12)));
+        let pa = rt.translate(va).expect("inside range");
+        prop_assert_eq!(pa.offset_from(rt.phys_base()), va.offset_from(virt.start()));
+        // Page offsets must be identical — the defining property of a
+        // contiguity-preserving mapping.
+        prop_assert_eq!(pa.page_offset(PageSize::Size4K), va.page_offset(PageSize::Size4K));
+    }
+
+    #[test]
+    fn range_translation_rejects_outside(
+        start_page in 1u64..1 << 20,
+        pages in 1u64..1 << 10,
+        phys_page in 1u64..1 << 20,
+    ) {
+        let virt = VirtRange::new(VirtAddr::new(start_page << 12), pages << 12);
+        let rt = RangeTranslation::new(virt, PhysAddr::new(phys_page << 12));
+        prop_assert_eq!(rt.translate(VirtAddr::new((start_page << 12) - 1)), None);
+        prop_assert_eq!(rt.translate(virt.end()), None);
+    }
+}

@@ -1,0 +1,405 @@
+//! Access patterns within a memory region.
+
+use core::fmt;
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// How a stream walks the bytes of one region.
+///
+/// Patterns are the TLB-relevant skeletons of real program behaviour:
+/// a sequential scan touches each page many times before moving on (high
+/// TLB locality), a page-sized stride touches a new page on every access
+/// (defeats the TLB as soon as the region outgrows its reach), a hotspot
+/// mixes a small hot working set with occasional cold excursions, and a
+/// pointer chase jumps uniformly with a dependent-load flavour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pattern {
+    /// Sequential scan with a fixed byte stride, wrapping at the region end.
+    Stream {
+        /// Bytes between consecutive accesses (e.g. 64 for a cache-line
+        /// scan, 4096+ to touch a new page every time).
+        stride: u64,
+    },
+    /// Uniformly random accesses over the whole region.
+    Random,
+    /// With probability `hot_prob` access the hot prefix
+    /// (`hot_fraction` of the region), otherwise anywhere.
+    Hotspot {
+        /// Fraction of the region forming the hot set, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Probability of accessing the hot set, in `[0, 1]`.
+        hot_prob: f64,
+    },
+    /// A dependent-load random walk: each access determines the next slot,
+    /// TLB-equivalent to `Random` but with a single trajectory.
+    PointerChase,
+    /// Hotspot jumps followed by short sequential bursts: every `burst`
+    /// accesses pick a new base (hot with probability `hot_prob`), then walk
+    /// `burst_stride` bytes at a time from it.
+    ///
+    /// This is the page-locality signature of pointer codes like mcf: the
+    /// jump misses a small TLB, but the burst re-uses the page it landed on,
+    /// so the 4 KiB miss ratio is ≈ 1/burst while huge pages also capture
+    /// the jumps whenever the hot set spans few 2 MiB pages.
+    HotspotBurst {
+        /// Fraction of the region forming the hot set, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Probability a jump lands in the hot set, in `[0, 1]`.
+        hot_prob: f64,
+        /// Accesses per burst (≥ 1; 1 degenerates to `Hotspot`).
+        burst: u32,
+        /// Bytes between consecutive burst accesses.
+        burst_stride: u64,
+    },
+}
+
+impl Pattern {
+    /// Validates the pattern's parameters.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        match *self {
+            Pattern::Stream { stride } if stride == 0 => {
+                Err("stream stride must be non-zero".into())
+            }
+            Pattern::Hotspot {
+                hot_fraction,
+                hot_prob,
+            } => validate_hotspot(hot_fraction, hot_prob),
+            Pattern::HotspotBurst {
+                hot_fraction,
+                hot_prob,
+                burst,
+                burst_stride,
+            } => {
+                validate_hotspot(hot_fraction, hot_prob)?;
+                if burst == 0 {
+                    Err("burst must be at least 1".into())
+                } else if burst_stride == 0 {
+                    Err("burst_stride must be non-zero".into())
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+fn validate_hotspot(hot_fraction: f64, hot_prob: f64) -> Result<(), String> {
+    if !(hot_fraction > 0.0 && hot_fraction <= 1.0) {
+        Err(format!("hot_fraction {hot_fraction} out of (0, 1]"))
+    } else if !(0.0..=1.0).contains(&hot_prob) {
+        Err(format!("hot_prob {hot_prob} out of [0, 1]"))
+    } else {
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Pattern::Stream { stride } => write!(f, "stream(+{stride}B)"),
+            Pattern::Random => write!(f, "random"),
+            Pattern::Hotspot {
+                hot_fraction,
+                hot_prob,
+            } => {
+                write!(
+                    f,
+                    "hotspot({:.0}% @ p={:.2})",
+                    hot_fraction * 100.0,
+                    hot_prob
+                )
+            }
+            Pattern::PointerChase => write!(f, "pointer-chase"),
+            Pattern::HotspotBurst {
+                hot_fraction,
+                hot_prob,
+                burst,
+                burst_stride,
+            } => write!(
+                f,
+                "hotspot-burst({:.1}% @ p={:.2}, {}x{}B)",
+                hot_fraction * 100.0,
+                hot_prob,
+                burst,
+                burst_stride
+            ),
+        }
+    }
+}
+
+/// Per-region cursor state for one stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Cursor {
+    pub offset: u64,
+    /// Remaining accesses in the current burst (`HotspotBurst` only).
+    pub burst_left: u32,
+    /// Start of the hot region within this instance (lazily drawn so the
+    /// hot objects of different arenas do not alias in the same TLB sets,
+    /// as identical allocation layouts otherwise would).
+    pub hot_base: u64,
+    pub hot_init: bool,
+}
+
+/// Returns the start of the instance's hot region, drawing it on first use.
+#[inline]
+fn hot_base(cursor: &mut Cursor, len: u64, hot_len: u64, rng: &mut SmallRng) -> u64 {
+    if !cursor.hot_init {
+        let slack = len - hot_len;
+        cursor.hot_base = if slack == 0 {
+            0
+        } else {
+            rng.random_range(0..=slack) & !4095
+        };
+        cursor.hot_init = true;
+    }
+    cursor.hot_base
+}
+
+impl Pattern {
+    /// Produces the next byte offset within a region of `len` bytes,
+    /// advancing `cursor` and drawing randomness from `rng`.
+    ///
+    /// Offsets are aligned down to 8 bytes (a word access never straddles a
+    /// page in this model; sub-word behaviour is irrelevant to the TLB).
+    pub(crate) fn next_offset(&self, len: u64, cursor: &mut Cursor, rng: &mut SmallRng) -> u64 {
+        debug_assert!(len > 0);
+        let offset = match *self {
+            Pattern::Stream { stride } => {
+                let at = cursor.offset % len;
+                cursor.offset = (cursor.offset + stride) % len;
+                at
+            }
+            Pattern::Random => rng.random_range(0..len),
+            Pattern::Hotspot {
+                hot_fraction,
+                hot_prob,
+            } => {
+                let hot_len = ((len as f64 * hot_fraction) as u64).max(1);
+                let base = hot_base(cursor, len, hot_len, rng);
+                if rng.random_bool(hot_prob) {
+                    base + rng.random_range(0..hot_len)
+                } else {
+                    rng.random_range(0..len)
+                }
+            }
+            Pattern::PointerChase => {
+                // Dependent jump: hash the current offset into the next.
+                let mixed = cursor
+                    .offset
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(rng.random_range(0..64));
+                let next = mixed % len;
+                cursor.offset = next;
+                next
+            }
+            Pattern::HotspotBurst {
+                hot_fraction,
+                hot_prob,
+                burst,
+                burst_stride,
+            } => {
+                if cursor.burst_left == 0 {
+                    let hot_len = ((len as f64 * hot_fraction) as u64).max(1);
+                    let base = hot_base(cursor, len, hot_len, rng);
+                    cursor.offset = if rng.random_bool(hot_prob) {
+                        base + rng.random_range(0..hot_len)
+                    } else {
+                        rng.random_range(0..len)
+                    };
+                    cursor.burst_left = burst - 1;
+                } else {
+                    cursor.burst_left -= 1;
+                    cursor.offset = (cursor.offset + burst_stride) % len;
+                }
+                cursor.offset
+            }
+        };
+        offset & !7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn stream_wraps_and_is_sequential() {
+        let p = Pattern::Stream { stride: 64 };
+        let mut c = Cursor::default();
+        let mut r = rng();
+        let len = 256;
+        let offs: Vec<u64> = (0..6).map(|_| p.next_offset(len, &mut c, &mut r)).collect();
+        assert_eq!(offs, vec![0, 64, 128, 192, 0, 64]);
+    }
+
+    #[test]
+    fn random_is_in_bounds_and_varied() {
+        let p = Pattern::Random;
+        let mut c = Cursor::default();
+        let mut r = rng();
+        let len = 1 << 20;
+        let offs: Vec<u64> = (0..100)
+            .map(|_| p.next_offset(len, &mut c, &mut r))
+            .collect();
+        assert!(offs.iter().all(|&o| o < len));
+        let distinct_pages: std::collections::HashSet<u64> = offs.iter().map(|o| o >> 12).collect();
+        assert!(
+            distinct_pages.len() > 50,
+            "random should spread across pages"
+        );
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let p = Pattern::Hotspot {
+            hot_fraction: 0.01,
+            hot_prob: 0.9,
+        };
+        let mut c = Cursor::default();
+        let mut r = rng();
+        let len = 1u64 << 24;
+        let hot_len = (len as f64 * 0.01) as u64;
+        // Hot region sits at a per-instance random base.
+        let mut offsets = Vec::new();
+        for _ in 0..1000 {
+            offsets.push(p.next_offset(len, &mut c, &mut r));
+        }
+        let base = c.hot_base;
+        assert!(base + hot_len <= len, "hot region inside the instance");
+        let hits = offsets
+            .iter()
+            .filter(|&&o| o >= base && o < base + hot_len)
+            .count();
+        assert!(
+            hits > 850,
+            "about 90% (+ cold overlaps) should land hot, got {hits}"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_is_deterministic_per_seed() {
+        let p = Pattern::PointerChase;
+        let run = || {
+            let mut c = Cursor::default();
+            let mut r = rng();
+            (0..20)
+                .map(|_| p.next_offset(1 << 20, &mut c, &mut r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn offsets_are_word_aligned() {
+        let mut c = Cursor::default();
+        let mut r = rng();
+        for p in [
+            Pattern::Stream { stride: 13 },
+            Pattern::Random,
+            Pattern::PointerChase,
+        ] {
+            for _ in 0..50 {
+                assert_eq!(p.next_offset(4096, &mut c, &mut r) % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_burst_reuses_pages() {
+        let p = Pattern::HotspotBurst {
+            hot_fraction: 0.01,
+            hot_prob: 0.5,
+            burst: 4,
+            burst_stride: 64,
+        };
+        let mut c = Cursor::default();
+        let mut r = rng();
+        let len = 1u64 << 30;
+        // Count accesses landing on the same 4 KiB page as their predecessor:
+        // with burst 4 and stride 64 roughly 3 in 4 accesses stay on-page.
+        let mut same_page = 0;
+        let mut last_page = u64::MAX;
+        let n = 4000;
+        for _ in 0..n {
+            let page = p.next_offset(len, &mut c, &mut r) >> 12;
+            if page == last_page {
+                same_page += 1;
+            }
+            last_page = page;
+        }
+        let frac = same_page as f64 / n as f64;
+        assert!((0.6..0.85).contains(&frac), "on-page fraction {frac}");
+    }
+
+    #[test]
+    fn hotspot_burst_validation() {
+        let good = Pattern::HotspotBurst {
+            hot_fraction: 0.1,
+            hot_prob: 0.5,
+            burst: 4,
+            burst_stride: 64,
+        };
+        assert!(good.validate().is_ok());
+        assert!(Pattern::HotspotBurst {
+            hot_fraction: 0.1,
+            hot_prob: 0.5,
+            burst: 0,
+            burst_stride: 64
+        }
+        .validate()
+        .is_err());
+        assert!(Pattern::HotspotBurst {
+            hot_fraction: 0.1,
+            hot_prob: 0.5,
+            burst: 4,
+            burst_stride: 0
+        }
+        .validate()
+        .is_err());
+        assert!(good.to_string().contains("4x64B"));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Pattern::Stream { stride: 0 }.validate().is_err());
+        assert!(Pattern::Stream { stride: 64 }.validate().is_ok());
+        assert!(Pattern::Hotspot {
+            hot_fraction: 0.0,
+            hot_prob: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(Pattern::Hotspot {
+            hot_fraction: 0.5,
+            hot_prob: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(Pattern::Hotspot {
+            hot_fraction: 0.5,
+            hot_prob: 0.5
+        }
+        .validate()
+        .is_ok());
+        assert!(Pattern::Random.validate().is_ok());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pattern::Random.to_string(), "random");
+        assert_eq!(Pattern::Stream { stride: 64 }.to_string(), "stream(+64B)");
+        assert!(Pattern::Hotspot {
+            hot_fraction: 0.1,
+            hot_prob: 0.9
+        }
+        .to_string()
+        .contains("10%"));
+    }
+}

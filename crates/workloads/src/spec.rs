@@ -1,0 +1,268 @@
+//! Declarative workload specifications.
+
+use core::fmt;
+
+use crate::pattern::Pattern;
+
+/// One class of memory regions a workload allocates.
+///
+/// `count > 1` creates that many separate allocation requests (VMAs) of
+/// `bytes` each — how a workload spreads its footprint across requests
+/// determines how many range translations eager paging creates, and thereby
+/// the hit ratio of the 4-entry L1-range TLB (Table 5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// Region label (for reports).
+    pub name: &'static str,
+    /// Bytes per region instance.
+    pub bytes: u64,
+    /// Number of instances (separate VMAs).
+    pub count: u32,
+    /// Whether transparent huge pages can back these regions (large, densely
+    /// used arrays: yes; fragmented small-object heaps: no).
+    pub thp_eligible: bool,
+}
+
+/// One access stream: a pattern applied to the instances of one region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamSpec {
+    /// Index into [`WorkloadSpec::regions`].
+    pub region: usize,
+    /// The pattern applied within the selected region instance.
+    pub pattern: Pattern,
+    /// Per-access probability of jumping to a different region instance
+    /// (0 = stay forever on one instance; higher values spread accesses
+    /// across the VMAs of the region class). Irrelevant when `count == 1`.
+    pub region_switch_prob: f64,
+}
+
+/// One program phase: relative duration and the mix of active streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSpec {
+    /// Duration in units of [`WorkloadSpec::phase_unit_instructions`].
+    pub duration_units: u32,
+    /// `(stream index, weight)` pairs; weights are normalized per phase.
+    pub weights: Vec<(usize, f64)>,
+}
+
+/// A complete synthetic workload description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name as the paper spells it (e.g. `"cactusADM"`).
+    pub name: &'static str,
+    /// Memory operations per 1000 instructions (sets the MPKI denominator;
+    /// typical compute codes run 250–450).
+    pub mem_ops_per_kilo_instr: u32,
+    /// Fraction of memory operations that are stores.
+    pub store_fraction: f64,
+    /// The memory regions allocated at startup.
+    pub regions: Vec<RegionSpec>,
+    /// The access streams.
+    pub streams: Vec<StreamSpec>,
+    /// The phase schedule, cycled for the whole run.
+    pub phases: Vec<PhaseSpec>,
+    /// Instructions per phase duration unit.
+    pub phase_unit_instructions: u64,
+}
+
+/// Validation errors for a [`WorkloadSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl WorkloadSpec {
+    /// Total footprint across all regions, bytes (Table 4's "Memory").
+    pub fn footprint_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.bytes * u64::from(r.count))
+            .sum()
+    }
+
+    /// Total number of allocation requests (VMAs, and under eager paging,
+    /// range translations).
+    pub fn vma_count(&self) -> u32 {
+        self.regions.iter().map(|r| r.count).sum()
+    }
+
+    /// Mean instructions per memory operation.
+    pub fn mean_gap(&self) -> f64 {
+        1000.0 / f64::from(self.mem_ops_per_kilo_instr)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first problem found: empty
+    /// region/stream/phase lists, out-of-range indices, invalid pattern
+    /// parameters, zero sizes, or non-positive phase weights.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.regions.is_empty() {
+            return Err(SpecError("no regions".into()));
+        }
+        if self.streams.is_empty() {
+            return Err(SpecError("no streams".into()));
+        }
+        if self.phases.is_empty() {
+            return Err(SpecError("no phases".into()));
+        }
+        if self.mem_ops_per_kilo_instr == 0 || self.mem_ops_per_kilo_instr > 1000 {
+            return Err(SpecError(format!(
+                "mem_ops_per_kilo_instr {} out of (0, 1000]",
+                self.mem_ops_per_kilo_instr
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.store_fraction) {
+            return Err(SpecError("store_fraction out of [0, 1]".into()));
+        }
+        if self.phase_unit_instructions == 0 {
+            return Err(SpecError("phase_unit_instructions must be non-zero".into()));
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.bytes == 0 {
+                return Err(SpecError(format!("region {i} ({}) has zero size", r.name)));
+            }
+            if r.count == 0 {
+                return Err(SpecError(format!("region {i} ({}) has zero count", r.name)));
+            }
+        }
+        for (i, s) in self.streams.iter().enumerate() {
+            if s.region >= self.regions.len() {
+                return Err(SpecError(format!(
+                    "stream {i} names missing region {}",
+                    s.region
+                )));
+            }
+            if !(0.0..=1.0).contains(&s.region_switch_prob) {
+                return Err(SpecError(format!("stream {i} switch prob out of [0, 1]")));
+            }
+            s.pattern
+                .validate()
+                .map_err(|e| SpecError(format!("stream {i}: {e}")))?;
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.duration_units == 0 {
+                return Err(SpecError(format!("phase {i} has zero duration")));
+            }
+            if p.weights.is_empty() {
+                return Err(SpecError(format!("phase {i} has no active streams")));
+            }
+            for &(s, w) in &p.weights {
+                if s >= self.streams.len() {
+                    return Err(SpecError(format!("phase {i} names missing stream {s}")));
+                }
+                if !(w > 0.0) {
+                    return Err(SpecError(format!("phase {i} has non-positive weight {w}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} MiB across {} VMAs, {} streams, {} phases",
+            self.name,
+            self.footprint_bytes() >> 20,
+            self.vma_count(),
+            self.streams.len(),
+            self.phases.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            mem_ops_per_kilo_instr: 300,
+            store_fraction: 0.3,
+            regions: vec![RegionSpec {
+                name: "heap",
+                bytes: 1 << 20,
+                count: 2,
+                thp_eligible: true,
+            }],
+            streams: vec![StreamSpec {
+                region: 0,
+                pattern: Pattern::Random,
+                region_switch_prob: 0.1,
+            }],
+            phases: vec![PhaseSpec {
+                duration_units: 1,
+                weights: vec![(0, 1.0)],
+            }],
+            phase_unit_instructions: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn minimal_is_valid() {
+        minimal().validate().unwrap();
+        assert_eq!(minimal().footprint_bytes(), 2 << 20);
+        assert_eq!(minimal().vma_count(), 2);
+        assert!((minimal().mean_gap() - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_structural_problems() {
+        let mut s = minimal();
+        s.regions.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.streams[0].region = 5;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.phases[0].weights[0] = (3, 1.0);
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.phases[0].weights[0] = (0, 0.0);
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.regions[0].bytes = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.mem_ops_per_kilo_instr = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.store_fraction = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.streams[0].pattern = Pattern::Stream { stride: 0 };
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.phases[0].duration_units = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn error_and_display() {
+        let mut s = minimal();
+        s.phases.clear();
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("no phases"));
+        assert!(minimal().to_string().contains("2 MiB across 2 VMAs"));
+    }
+}

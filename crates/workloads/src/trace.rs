@@ -1,0 +1,378 @@
+//! Turning a workload spec into a concrete memory-access trace.
+
+use eeat_types::{AccessKind, MemAccess, VirtAddr, VirtRange};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::pattern::Cursor;
+use crate::spec::WorkloadSpec;
+
+/// Per-stream runtime state.
+#[derive(Clone, Debug)]
+struct StreamState {
+    /// Which region instance the stream currently works in.
+    current_instance: usize,
+    /// One cursor per region instance (streams resume where they left off).
+    cursors: Vec<Cursor>,
+}
+
+/// One phase, preprocessed for fast sampling.
+#[derive(Clone, Debug)]
+struct PhaseState {
+    /// Length of the phase in instructions.
+    instructions: u64,
+    /// Active streams with cumulative (unnormalized) weights for sampling.
+    cumulative: Vec<(usize, f64)>,
+    total_weight: f64,
+}
+
+/// A deterministic generator of [`MemAccess`]es for one workload.
+///
+/// Construction binds the abstract region classes of the spec to the
+/// concrete [`VirtRange`]s the OS model allocated for them; iteration then
+/// follows the phase schedule, picking a stream per access by phase weight
+/// and advancing that stream's pattern.
+///
+/// The generator is infinite — callers decide how many instructions to
+/// simulate (the paper runs 50 G after a 50 G fast-forward; the experiment
+/// harness scales this down).
+#[derive(Clone, Debug)]
+pub struct TraceGenerator {
+    /// Ranges per region class, in spec order.
+    regions: Vec<Vec<VirtRange>>,
+    streams: Vec<StreamState>,
+    stream_specs: Vec<(usize, crate::Pattern, f64)>,
+    phases: Vec<PhaseState>,
+    phase_idx: usize,
+    instructions_in_phase: u64,
+    store_fraction: f64,
+    /// Mean instructions per access, dithered to an integer per access.
+    mean_gap: f64,
+    gap_carry: f64,
+    instructions: u64,
+    rng: SmallRng,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec` over the allocated `regions`
+    /// (one `Vec<VirtRange>` per region class, with `count` entries each).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid or `regions` does not match the
+    /// spec's region classes (wrong class count, instance count, or sizes
+    /// smaller than the spec requests).
+    pub fn new(spec: &WorkloadSpec, regions: Vec<Vec<VirtRange>>, seed: u64) -> Self {
+        spec.validate().expect("workload spec must validate");
+        assert_eq!(
+            regions.len(),
+            spec.regions.len(),
+            "one range list per region class"
+        );
+        for (class, (rspec, ranges)) in spec.regions.iter().zip(&regions).enumerate() {
+            assert_eq!(
+                ranges.len(),
+                rspec.count as usize,
+                "region class {class} instance count mismatch"
+            );
+            for r in ranges {
+                assert!(
+                    r.len() >= rspec.bytes,
+                    "region class {class} instance smaller than spec"
+                );
+            }
+        }
+
+        let streams = spec
+            .streams
+            .iter()
+            .map(|s| StreamState {
+                current_instance: 0,
+                cursors: vec![Cursor::default(); spec.regions[s.region].count as usize],
+            })
+            .collect();
+
+        let phases = spec
+            .phases
+            .iter()
+            .map(|p| {
+                let mut cumulative = Vec::with_capacity(p.weights.len());
+                let mut acc = 0.0;
+                for &(stream, w) in &p.weights {
+                    acc += w;
+                    cumulative.push((stream, acc));
+                }
+                PhaseState {
+                    instructions: u64::from(p.duration_units) * spec.phase_unit_instructions,
+                    cumulative,
+                    total_weight: acc,
+                }
+            })
+            .collect();
+
+        Self {
+            regions,
+            streams,
+            stream_specs: spec
+                .streams
+                .iter()
+                .map(|s| (s.region, s.pattern, s.region_switch_prob))
+                .collect(),
+            phases,
+            phase_idx: 0,
+            instructions_in_phase: 0,
+            store_fraction: spec.store_fraction,
+            mean_gap: spec.mean_gap(),
+            gap_carry: 0.0,
+            instructions: 0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x7ace_57a7_e5ee_d000),
+        }
+    }
+
+    /// Total instructions generated so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Index of the current phase in the spec's schedule.
+    pub fn current_phase(&self) -> usize {
+        self.phase_idx
+    }
+
+    /// Generates the next memory access.
+    pub fn next_access(&mut self) -> MemAccess {
+        // Dither the instruction gap so the long-run mean matches the spec.
+        let want = self.mean_gap + self.gap_carry;
+        let gap = (want.floor() as u32).max(1);
+        self.gap_carry = want - f64::from(gap);
+
+        // Advance the phase schedule.
+        self.instructions += u64::from(gap);
+        self.instructions_in_phase += u64::from(gap);
+        while self.instructions_in_phase >= self.phases[self.phase_idx].instructions {
+            self.instructions_in_phase -= self.phases[self.phase_idx].instructions;
+            self.phase_idx = (self.phase_idx + 1) % self.phases.len();
+        }
+
+        // Pick a stream by phase weight.
+        let phase = &self.phases[self.phase_idx];
+        let stream_idx = if phase.cumulative.len() == 1 {
+            phase.cumulative[0].0
+        } else {
+            let draw = self.rng.random_range(0.0..phase.total_weight);
+            phase
+                .cumulative
+                .iter()
+                .find(|&&(_, acc)| draw < acc)
+                .map(|&(s, _)| s)
+                .unwrap_or(phase.cumulative[phase.cumulative.len() - 1].0)
+        };
+
+        // Possibly migrate the stream to another region instance.
+        let (region_class, pattern, switch_prob) = self.stream_specs[stream_idx];
+        let instances = self.regions[region_class].len();
+        let state = &mut self.streams[stream_idx];
+        if instances > 1 && switch_prob > 0.0 && self.rng.random_bool(switch_prob) {
+            state.current_instance = self.rng.random_range(0..instances);
+        }
+        let instance = state.current_instance;
+        let range = self.regions[region_class][instance];
+
+        // Advance the pattern within the instance.
+        let offset = pattern.next_offset(range.len(), &mut state.cursors[instance], &mut self.rng);
+        let vaddr = VirtAddr::new(range.start().raw() + offset);
+
+        let kind = if self.store_fraction > 0.0 && self.rng.random_bool(self.store_fraction) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        MemAccess::new(vaddr, kind, gap)
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        Some(self.next_access())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PhaseSpec, RegionSpec, StreamSpec};
+    use crate::Pattern;
+
+    fn layout(spec: &WorkloadSpec) -> Vec<Vec<VirtRange>> {
+        let mut at = 0x10_0000_0000u64;
+        spec.regions
+            .iter()
+            .map(|r| {
+                (0..r.count)
+                    .map(|_| {
+                        let range = VirtRange::new(VirtAddr::new(at), r.bytes);
+                        at += r.bytes + (2 << 20);
+                        range
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn two_phase_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "two-phase",
+            mem_ops_per_kilo_instr: 250,
+            store_fraction: 0.25,
+            regions: vec![
+                RegionSpec {
+                    name: "a",
+                    bytes: 1 << 20,
+                    count: 1,
+                    thp_eligible: true,
+                },
+                RegionSpec {
+                    name: "b",
+                    bytes: 4 << 20,
+                    count: 4,
+                    thp_eligible: false,
+                },
+            ],
+            streams: vec![
+                StreamSpec {
+                    region: 0,
+                    pattern: Pattern::Stream { stride: 64 },
+                    region_switch_prob: 0.0,
+                },
+                StreamSpec {
+                    region: 1,
+                    pattern: Pattern::Random,
+                    region_switch_prob: 0.05,
+                },
+            ],
+            phases: vec![
+                PhaseSpec {
+                    duration_units: 2,
+                    weights: vec![(0, 1.0)],
+                },
+                PhaseSpec {
+                    duration_units: 1,
+                    weights: vec![(0, 0.2), (1, 0.8)],
+                },
+            ],
+            phase_unit_instructions: 10_000,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = two_phase_spec();
+        let a: Vec<MemAccess> = TraceGenerator::new(&spec, layout(&spec), 3)
+            .take(500)
+            .collect();
+        let b: Vec<MemAccess> = TraceGenerator::new(&spec, layout(&spec), 3)
+            .take(500)
+            .collect();
+        let c: Vec<MemAccess> = TraceGenerator::new(&spec, layout(&spec), 4)
+            .take(500)
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn addresses_stay_inside_regions() {
+        let spec = two_phase_spec();
+        let regions = layout(&spec);
+        let all: Vec<VirtRange> = regions.iter().flatten().copied().collect();
+        for acc in TraceGenerator::new(&spec, regions, 1).take(5_000) {
+            assert!(
+                all.iter().any(|r| r.contains(acc.vaddr())),
+                "access {acc} outside all regions"
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_rate_matches_spec() {
+        let spec = two_phase_spec();
+        let mut generator = TraceGenerator::new(&spec, layout(&spec), 1);
+        let n = 40_000;
+        for _ in 0..n {
+            generator.next_access();
+        }
+        let per_kilo = n as f64 / (generator.instructions() as f64 / 1000.0);
+        let target = f64::from(spec.mem_ops_per_kilo_instr);
+        assert!(
+            (per_kilo - target).abs() / target < 0.02,
+            "mem ops per kilo-instruction {per_kilo} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn phases_cycle_with_schedule() {
+        let spec = two_phase_spec();
+        let mut generator = TraceGenerator::new(&spec, layout(&spec), 1);
+        let mut seen = Vec::new();
+        for _ in 0..30_000 {
+            generator.next_access();
+            if seen.last() != Some(&generator.current_phase()) {
+                seen.push(generator.current_phase());
+            }
+        }
+        // Phase 0 (2 units) then phase 1 (1 unit), cycling.
+        assert!(seen.len() >= 3, "phases should cycle, saw {seen:?}");
+        assert_eq!(seen[0], 0);
+        assert_eq!(seen[1], 1);
+        assert_eq!(seen[2], 0);
+    }
+
+    #[test]
+    fn phase_weights_steer_streams() {
+        let spec = two_phase_spec();
+        let regions = layout(&spec);
+        let region_a = regions[0][0];
+        let mut generator = TraceGenerator::new(&spec, regions, 1);
+        // Classify each access by the phase it was generated in (the phase
+        // advances before the access is produced).
+        let mut counts = [[0u64; 2]; 2]; // [phase][in region a?]
+        for _ in 0..40_000 {
+            let acc = generator.next_access();
+            let phase = generator.current_phase();
+            counts[phase][usize::from(region_a.contains(acc.vaddr()))] += 1;
+        }
+        // Phase 0: only stream 0 (region a).
+        assert_eq!(counts[0][0], 0, "phase 0 only touches region a");
+        assert!(counts[0][1] > 1_000);
+        // Phase 1: ~20% stream 0.
+        let total1 = counts[1][0] + counts[1][1];
+        assert!(total1 > 1_000, "phase 1 reached");
+        let frac = counts[1][1] as f64 / total1 as f64;
+        assert!(
+            (0.05..0.5).contains(&frac),
+            "phase 1 ~20% in region a, got {frac}"
+        );
+    }
+
+    #[test]
+    fn store_fraction_roughly_respected() {
+        let spec = two_phase_spec();
+        let stores = TraceGenerator::new(&spec, layout(&spec), 9)
+            .take(10_000)
+            .filter(|a| a.kind() == AccessKind::Store)
+            .count();
+        let frac = stores as f64 / 10_000.0;
+        assert!((0.2..0.3).contains(&frac), "store fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "instance count mismatch")]
+    fn region_binding_checked() {
+        let spec = two_phase_spec();
+        let mut regions = layout(&spec);
+        regions[1].pop();
+        let _ = TraceGenerator::new(&spec, regions, 1);
+    }
+}

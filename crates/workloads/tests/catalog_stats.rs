@@ -1,0 +1,187 @@
+//! Statistical tests of the workload generators: page-level access
+//! characteristics each model must exhibit, measured directly on the
+//! generated traces (no simulator involved).
+
+use std::collections::{HashMap, HashSet};
+
+use eeat_types::{MemAccess, VirtAddr, VirtRange};
+use eeat_workloads::{TraceGenerator, Workload};
+
+/// Lays the spec's regions out and returns (generator, regions).
+fn generator(w: Workload, seed: u64) -> (TraceGenerator, Vec<Vec<VirtRange>>) {
+    let spec = w.spec();
+    let mut at = 0x100_0000_0000u64;
+    let regions: Vec<Vec<VirtRange>> = spec
+        .regions
+        .iter()
+        .map(|r| {
+            (0..r.count)
+                .map(|_| {
+                    let range = VirtRange::new(VirtAddr::new(at), r.bytes);
+                    // 2 MiB-aligned starts with a guard, like the OS model.
+                    at = (at + r.bytes + (4 << 20)) & !((2u64 << 20) - 1);
+                    range
+                })
+                .collect()
+        })
+        .collect();
+    (TraceGenerator::new(&spec, regions.clone(), seed), regions)
+}
+
+fn sample(w: Workload, n: usize) -> Vec<MemAccess> {
+    let (generator, _) = generator(w, 42);
+    generator.take(n).collect()
+}
+
+/// Distinct 4 KiB pages touched per window of `window` accesses, averaged.
+fn mean_page_working_set(accesses: &[MemAccess], window: usize) -> f64 {
+    let mut totals = 0usize;
+    let mut windows = 0usize;
+    for chunk in accesses.chunks(window) {
+        if chunk.len() < window {
+            break;
+        }
+        let pages: HashSet<u64> = chunk.iter().map(|a| a.vaddr().raw() >> 12).collect();
+        totals += pages.len();
+        windows += 1;
+    }
+    totals as f64 / windows as f64
+}
+
+#[test]
+fn page_reuse_distinguishes_streaming_from_chasing() {
+    // cactusADM's dominant table stream re-uses few pages per window;
+    // canneal's random element picks touch many more.
+    let cactus = sample(Workload::CactusADM, 60_000);
+    let canneal = sample(Workload::Canneal, 60_000);
+    let cactus_ws = mean_page_working_set(&cactus, 1000);
+    let canneal_ws = mean_page_working_set(&canneal, 1000);
+    assert!(
+        canneal_ws > 2.0 * cactus_ws,
+        "canneal {canneal_ws:.0} pages/window vs cactusADM {cactus_ws:.0}"
+    );
+}
+
+#[test]
+fn mcf_touches_gigabytes_canneal_never_leaves_its_arenas() {
+    let mcf = sample(Workload::Mcf, 120_000);
+    let lo = mcf.iter().map(|a| a.vaddr().raw()).min().unwrap();
+    let hi = mcf.iter().map(|a| a.vaddr().raw()).max().unwrap();
+    assert!(hi - lo > 1 << 30, "mcf span {} MiB", (hi - lo) >> 20);
+}
+
+#[test]
+fn accesses_respect_region_weights() {
+    // omnetpp: about 68% of accesses go to the event heap (region class 0).
+    let (generator, regions) = generator(Workload::Omnetpp, 7);
+    let heap: Vec<VirtRange> = regions[0].clone();
+    let total = 60_000;
+    let in_heap = generator
+        .take(total)
+        .filter(|a| heap.iter().any(|r| r.contains(a.vaddr())))
+        .count();
+    let frac = in_heap as f64 / total as f64;
+    assert!((0.6..0.76).contains(&frac), "heap fraction {frac:.2}");
+}
+
+#[test]
+fn arena_hopping_rates_match_range_tlb_design() {
+    // The per-access probability of switching arenas is the knob that sets
+    // the L1-range TLB hit ratio; verify the realized rates are ordered:
+    // omnetpp (rapid) >> mummer (sticky).
+    let rate = |w: Workload, region_class: usize| {
+        let (generator, regions) = generator(w, 3);
+        let arenas = &regions[region_class];
+        let mut last: Option<usize> = None;
+        let mut switches = 0u64;
+        let mut samples = 0u64;
+        for a in generator.take(80_000) {
+            if let Some(idx) = arenas.iter().position(|r| r.contains(a.vaddr())) {
+                if let Some(prev) = last {
+                    samples += 1;
+                    if prev != idx {
+                        switches += 1;
+                    }
+                }
+                last = Some(idx);
+            }
+        }
+        switches as f64 / samples as f64
+    };
+    // cactusADM's coefficient tables are served by a single sticky stream
+    // (switch probability 0.12); omnetpp's event objects hop arenas on most
+    // accesses. (Workloads with several streams over one region class, like
+    // mummer, interleave streams and sit in between.)
+    let omnetpp = rate(Workload::Omnetpp, 0);
+    let cactus = rate(Workload::CactusADM, 1);
+    assert!(
+        omnetpp > 3.0 * cactus,
+        "omnetpp hops {omnetpp:.3}, cactusADM tables {cactus:.3}"
+    );
+}
+
+#[test]
+fn store_fractions_are_plausible() {
+    for w in [Workload::Mcf, Workload::GemsFDTD, Workload::Canneal] {
+        let accesses = sample(w, 30_000);
+        let stores = accesses
+            .iter()
+            .filter(|a| a.kind() == eeat_types::AccessKind::Store)
+            .count();
+        let frac = stores as f64 / accesses.len() as f64;
+        let spec_frac = w.spec().store_fraction;
+        assert!(
+            (frac - spec_frac).abs() < 0.03,
+            "{w}: stores {frac:.2} vs spec {spec_frac:.2}"
+        );
+    }
+}
+
+#[test]
+fn hot_pages_concentrate_hits() {
+    // Every TLB-intensive model must have a heavy-hitter page set: the top
+    // 64 pages absorb a large share of accesses (that is what makes L1
+    // TLBs worth having), while the total touched set is much larger.
+    for &w in &Workload::TLB_INTENSIVE {
+        let accesses = sample(w, 100_000);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for a in &accesses {
+            *counts.entry(a.vaddr().raw() >> 12).or_default() += 1;
+        }
+        let mut by_count: Vec<u64> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let top64: u64 = by_count.iter().take(64).sum();
+        let share = top64 as f64 / accesses.len() as f64;
+        assert!(
+            share > 0.25,
+            "{w}: top-64 pages absorb only {share:.2} of accesses"
+        );
+        assert!(
+            counts.len() > 200,
+            "{w}: touches only {} distinct pages",
+            counts.len()
+        );
+    }
+}
+
+#[test]
+fn traces_differ_across_workloads() {
+    // No two models generate the same page stream (guards against
+    // copy-paste profiles collapsing into identical behaviour).
+    let mut signatures = Vec::new();
+    for &w in &Workload::TLB_INTENSIVE {
+        let pages: Vec<u64> = sample(w, 2_000)
+            .iter()
+            .map(|a| a.vaddr().raw() >> 12)
+            .collect();
+        signatures.push(pages);
+    }
+    for i in 0..signatures.len() {
+        for j in i + 1..signatures.len() {
+            assert_ne!(
+                signatures[i], signatures[j],
+                "workloads {i} and {j} identical"
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Define your own workload model and evaluate it across configurations —
+//! the public API a downstream user would drive.
+//!
+//! Models a toy in-memory key-value store: a big hash index (eligible for
+//! huge pages), value arenas (fragmented), and a write-ahead-log buffer.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use eeat::core::{Config, Simulator};
+use eeat::workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
+
+fn kv_store() -> WorkloadSpec {
+    const MB: u64 = 1 << 20;
+    WorkloadSpec {
+        name: "kv-store",
+        mem_ops_per_kilo_instr: 320,
+        store_fraction: 0.35,
+        regions: vec![
+            // The hash index: one large, densely probed allocation.
+            RegionSpec {
+                name: "index",
+                bytes: 512 * MB,
+                count: 1,
+                thp_eligible: true,
+            },
+            // Value arenas: many medium allocations, defeating THP.
+            RegionSpec {
+                name: "values",
+                bytes: 16 * MB,
+                count: 24,
+                thp_eligible: false,
+            },
+            // The WAL buffer: appended sequentially.
+            RegionSpec {
+                name: "wal",
+                bytes: 64 * MB,
+                count: 1,
+                thp_eligible: true,
+            },
+        ],
+        streams: vec![
+            // GET path: hash probe (random page in the index) then the value.
+            StreamSpec {
+                region: 0,
+                pattern: Pattern::HotspotBurst {
+                    hot_fraction: 0.02,
+                    hot_prob: 0.8,
+                    burst: 2,
+                    burst_stride: 64,
+                },
+                region_switch_prob: 0.0,
+            },
+            StreamSpec {
+                region: 1,
+                pattern: Pattern::HotspotBurst {
+                    hot_fraction: 0.01,
+                    hot_prob: 0.9,
+                    burst: 4,
+                    burst_stride: 64,
+                },
+                region_switch_prob: 0.3,
+            },
+            // PUT path: WAL append.
+            StreamSpec {
+                region: 2,
+                pattern: Pattern::Stream { stride: 256 },
+                region_switch_prob: 0.0,
+            },
+        ],
+        phases: vec![
+            // Read-heavy phase, then a write burst.
+            PhaseSpec {
+                duration_units: 3,
+                weights: vec![(0, 0.45), (1, 0.45), (2, 0.10)],
+            },
+            PhaseSpec {
+                duration_units: 1,
+                weights: vec![(0, 0.20), (1, 0.20), (2, 0.60)],
+            },
+        ],
+        phase_unit_instructions: 5_000_000,
+    }
+}
+
+fn main() {
+    let spec = kv_store();
+    spec.validate().expect("spec is well-formed");
+    println!("workload: {spec}\n");
+
+    let instructions = 5_000_000;
+    println!(
+        "{:<9}  {:>8}  {:>8}  {:>12}  {:>12}",
+        "config", "L1 MPKI", "L2 MPKI", "energy (uJ)", "miss cycles"
+    );
+    for config in Config::all_six() {
+        let name = config.name;
+        let mut sim = Simulator::from_spec(config, &spec, 7);
+        let r = sim.run(instructions);
+        println!(
+            "{name:<9}  {:>8.2}  {:>8.2}  {:>12.2}  {:>12}",
+            r.stats.l1_mpki(),
+            r.stats.l2_mpki(),
+            r.energy.total_pj() / 1e6,
+            r.cycles.total()
+        );
+    }
+    println!("\nTry editing the spec: region sizes, THP eligibility, phase mix —");
+    println!("then watch which TLB organization wins for your workload.");
+}

@@ -1,0 +1,68 @@
+//! Full per-structure dynamic-energy breakdown of one workload across the
+//! six simulated configurations (the data behind Figures 2 and 10).
+//!
+//! ```sh
+//! cargo run --release --example energy_report [workload]
+//! ```
+
+use eeat::core::{Config, Simulator, Table};
+use eeat::energy::Structure;
+use eeat::workloads::Workload;
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .and_then(|name| Workload::by_name(&name))
+        .unwrap_or(Workload::CactusADM);
+    let instructions = 5_000_000;
+
+    println!(
+        "per-structure dynamic energy, {workload}, {} M instructions\n",
+        instructions / 1_000_000
+    );
+
+    let configs = Config::all_six();
+    let mut headers = vec!["structure"];
+    headers.extend(configs.iter().map(|c| c.name));
+    let mut table = Table::new("energy by structure (nJ)", &headers);
+
+    let results: Vec<_> = configs
+        .iter()
+        .map(|config| {
+            let mut sim = Simulator::from_workload(config.clone(), workload, 42);
+            sim.run(instructions)
+        })
+        .collect();
+
+    for structure in Structure::ALL {
+        let mut row = vec![structure.label().to_string()];
+        let mut any = false;
+        for result in &results {
+            let nj = result.energy.pj(structure) / 1e3;
+            if nj > 0.0 {
+                any = true;
+            }
+            row.push(if nj > 0.0 {
+                format!("{nj:.1}")
+            } else {
+                "-".into()
+            });
+        }
+        if any {
+            table.add_row(&row);
+        }
+    }
+    let mut total = vec!["TOTAL".to_string()];
+    total.extend(
+        results
+            .iter()
+            .map(|r| format!("{:.1}", r.energy.total_nj())),
+    );
+    table.add_row(&total);
+    println!("{table}");
+
+    println!("cycles in TLB misses:");
+    for (config, result) in configs.iter().zip(&results) {
+        println!("  {:<9} {}", config.name, result.cycles);
+    }
+}

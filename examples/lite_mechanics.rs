@@ -1,0 +1,79 @@
+//! The Lite mechanism in slow motion — drives the monitor and controller
+//! directly (no simulator) to show exactly how Figures 6 and 7 of the
+//! paper work.
+//!
+//! ```sh
+//! cargo run --release --example lite_mechanics
+//! ```
+
+use eeat::core::{LiteController, LiteDecision, LiteParams, ThresholdEpsilon, WayMonitor};
+
+fn main() {
+    println!("== Figure 6: the lru-distance-counters of an 8-way TLB ==\n");
+    let mut monitor = WayMonitor::new(8);
+    println!("an 8-way TLB needs log2(8)+1 = {} counters", monitor.counter_count());
+
+    // Simulate one interval of hits: MRU-heavy with a tail.
+    let hits: &[(u8, u64)] = &[(0, 700), (1, 150), (2, 60), (3, 40), (5, 30), (7, 20)];
+    for &(rank, count) in hits {
+        for _ in 0..count {
+            monitor.record_hit(rank);
+        }
+    }
+    println!("hits by MRU rank: {hits:?}");
+    println!("counters (Figure 6 buckets): {:?}", monitor.counters());
+    for ways in [8usize, 4, 2, 1] {
+        println!(
+            "  with {ways} active way(s): {:>4} of these hits would have missed",
+            monitor.potential_extra_misses(ways)
+        );
+    }
+
+    println!("\n== Figure 7: the decision algorithm over four intervals ==\n");
+    let params = LiteParams {
+        interval_instructions: 1_000_000,
+        epsilon: ThresholdEpsilon::Relative(0.125), // the TLB_Lite setting
+        reactivation_prob: 0.0,                     // determinism for the demo
+        degradation_floor_mpki: 0.25,
+    };
+    let mut lite = LiteController::new(params, &[4], 1);
+    println!("managing one 4-way L1 TLB, ε = {}\n", params.epsilon);
+
+    // Interval 1: MRU-dominated hits, some misses -> aggressive downsizing.
+    feed(&mut lite, &[(0, 5000), (1, 40)], 400);
+    show(1, "MRU-dominated traffic", lite.end_interval(1_000_000));
+
+    // Interval 2: quiet, stays small.
+    feed(&mut lite, &[(0, 5000)], 420);
+    show(2, "steady state", lite.end_interval(2_000_000));
+
+    // Interval 3: the program changes phase - misses explode.
+    feed(&mut lite, &[(0, 2000)], 4000);
+    show(3, "phase change (MPKI x10)", lite.end_interval(3_000_000));
+
+    // Interval 4: with all ways back, deep ranks are visible again.
+    feed(&mut lite, &[(0, 3000), (1, 800), (3, 700)], 3800);
+    show(4, "re-profiled at full width", lite.end_interval(4_000_000));
+
+    println!("\ncontroller summary: {lite}");
+}
+
+fn feed(lite: &mut LiteController, hits: &[(u8, u64)], misses: u64) {
+    for &(rank, count) in hits {
+        for _ in 0..count {
+            lite.record_hit(0, rank);
+        }
+    }
+    for _ in 0..misses {
+        lite.record_l1_miss();
+    }
+}
+
+fn show(interval: u32, label: &str, decision: LiteDecision) {
+    let text = match decision {
+        LiteDecision::Resize(ways) => format!("resize to {} way(s)", ways[0]),
+        LiteDecision::ActivateAllDegraded => "DEGRADED -> activate all ways".to_string(),
+        LiteDecision::ActivateAllRandom => "random re-activation".to_string(),
+    };
+    println!("interval {interval} ({label:<28}) -> {text}");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: simulate one workload under the baseline and the paper's
+//! best configuration, and compare energy and performance.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eeat::core::{Config, Simulator};
+use eeat::workloads::Workload;
+
+fn main() {
+    let instructions = 5_000_000;
+    let workload = Workload::Mcf;
+
+    println!(
+        "simulating {workload} for {} M instructions...\n",
+        instructions / 1_000_000
+    );
+
+    for config in [Config::thp(), Config::rmm_lite()] {
+        let name = config.name;
+        let mut sim = Simulator::from_workload(config, workload, 42);
+        let result = sim.run(instructions);
+
+        println!("== {name} ==");
+        println!("  address space: {}", sim.address_space());
+        println!(
+            "  L1 MPKI {:.2}, L2 MPKI {:.2}",
+            result.stats.l1_mpki(),
+            result.stats.l2_mpki()
+        );
+        println!("  {}", result.cycles);
+        println!(
+            "  dynamic energy: {:.2} uJ  ({:.2} pJ per memory operation)",
+            result.energy.total_pj() / 1e6,
+            result.energy.total_pj() / result.stats.accesses as f64
+        );
+        if let Some(lite) = sim.lite() {
+            println!("  {lite}");
+        }
+        println!();
+    }
+
+    println!("RMM_Lite pairs a 4-entry L1-range TLB with Lite way-disabling:");
+    println!("range translations serve most lookups, so the L1-4KB TLB can run");
+    println!("with a single active way at a fraction of the lookup energy.");
+}

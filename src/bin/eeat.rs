@@ -1,0 +1,226 @@
+//! `eeat` — command-line front end to the simulator.
+//!
+//! ```text
+//! eeat list
+//! eeat run --workload mcf --config rmm_lite [--instructions N] [--seed S] [--breakdown]
+//! eeat compare --workload mcf [--instructions N] [--seed S]
+//! eeat replay --trace FILE --config thp [--seed S] [--breakdown]
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use eeat::core::{Config, Simulator};
+use eeat::workloads::Workload;
+
+fn config_by_name(name: &str) -> Option<Config> {
+    let named = [
+        Config::four_k(),
+        Config::thp(),
+        Config::tlb_lite(),
+        Config::rmm(),
+        Config::tlb_pp(),
+        Config::tlb_pred(),
+        Config::rmm_lite(),
+        Config::fa_thp(),
+        Config::fa_lite(),
+    ];
+    named.into_iter().find(|c| {
+        c.name.eq_ignore_ascii_case(name) || c.name.replace('_', "-").eq_ignore_ascii_case(name)
+    })
+}
+
+struct Args {
+    workload: Option<Workload>,
+    config: Option<Config>,
+    trace: Option<String>,
+    instructions: u64,
+    seed: u64,
+    breakdown: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        workload: None,
+        config: None,
+        trace: None,
+        instructions: 10_000_000,
+        seed: 42,
+        breakdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" | "-w" => {
+                let name = it.next().ok_or("--workload needs a value")?;
+                parsed.workload = Some(
+                    Workload::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?,
+                );
+            }
+            "--config" | "-c" => {
+                let name = it.next().ok_or("--config needs a value")?;
+                parsed.config =
+                    Some(config_by_name(name).ok_or_else(|| format!("unknown config {name}"))?);
+            }
+            "--instructions" | "-n" => {
+                let v = it.next().ok_or("--instructions needs a value")?;
+                parsed.instructions = v
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| format!("bad instruction count {v}"))?;
+            }
+            "--seed" | "-s" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                parsed.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--trace" | "-t" => {
+                parsed.trace = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
+            "--breakdown" | "-b" => parsed.breakdown = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn cmd_list() {
+    // Write through a fallible handle so piping into `head` (broken pipe)
+    // exits quietly instead of panicking.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "workloads (TLB-intensive set first):");
+    for w in Workload::all() {
+        let spec = w.spec();
+        if writeln!(
+            out,
+            "  {:<14} {:>6} MiB  {:>3} VMAs  [{}]",
+            w.name(),
+            spec.footprint_bytes() >> 20,
+            spec.vma_count(),
+            w.suite()
+        )
+        .is_err()
+        {
+            return;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nconfigs: 4KB THP TLB_Lite RMM TLB_PP TLB_Pred RMM_Lite FA FA_Lite"
+    );
+}
+
+fn cmd_run(args: Args) -> Result<(), String> {
+    let workload = args.workload.ok_or("run needs --workload")?;
+    let config = args.config.ok_or("run needs --config")?;
+    println!("{config}");
+    let mut sim = Simulator::from_workload(config, workload, args.seed);
+    let r = sim.run(args.instructions);
+    println!("{}", r.stats);
+    println!("{}", r.cycles);
+    println!(
+        "dynamic energy: {:.3} uJ ({:.2} pJ/op)",
+        r.energy.total_pj() / 1e6,
+        r.energy.total_pj() / r.stats.accesses as f64
+    );
+    if let Some(lite) = sim.lite() {
+        println!("{lite}");
+    }
+    if let Some(p) = sim.predictor() {
+        println!("{p}");
+    }
+    if args.breakdown {
+        println!("{}", r.energy);
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: Args) -> Result<(), String> {
+    let workload = args.workload.ok_or("compare needs --workload")?;
+    println!(
+        "{workload}: {} M instructions, seed {}\n",
+        args.instructions / 1_000_000,
+        args.seed
+    );
+    println!(
+        "{:<9}  {:>8}  {:>8}  {:>11}  {:>12}  {:>10}",
+        "config", "L1 MPKI", "L2 MPKI", "energy (uJ)", "miss cycles", "vs 4KB"
+    );
+    let mut baseline = None;
+    for config in Config::all_six() {
+        let name = config.name;
+        let mut sim = Simulator::from_workload(config, workload, args.seed);
+        let r = sim.run(args.instructions);
+        let energy = r.energy.total_pj();
+        let base = *baseline.get_or_insert(energy);
+        println!(
+            "{name:<9}  {:>8.2}  {:>8.2}  {:>11.2}  {:>12}  {:>9.2}x",
+            r.stats.l1_mpki(),
+            r.stats.l2_mpki(),
+            energy / 1e6,
+            r.cycles.total(),
+            energy / base
+        );
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: Args) -> Result<(), String> {
+    use eeat::workloads::trace_file;
+    let path = args.trace.ok_or("replay needs --trace")?;
+    let config = args.config.unwrap_or_else(Config::thp);
+    let file = std::fs::File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+    let accesses =
+        trace_file::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    if accesses.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let one_pass: u64 = accesses.iter().map(|a| u64::from(a.instructions())).sum();
+    println!(
+        "{}: {} accesses, {} instructions per pass",
+        path,
+        accesses.len(),
+        one_pass
+    );
+    println!("{config}");
+    let mut sim = Simulator::from_trace(config, accesses, args.seed);
+    let r = sim.run(one_pass);
+    println!("{}", r.stats);
+    println!("{}", r.cycles);
+    println!(
+        "dynamic energy: {:.3} uJ ({:.2} pJ/op)",
+        r.energy.total_pj() / 1e6,
+        r.energy.total_pj() / r.stats.accesses as f64
+    );
+    if args.breakdown {
+        println!("{}", r.energy);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: eeat <list|run|compare|replay> [--workload W] [--config C] \
+                 [--trace FILE] [--instructions N] [--seed S] [--breakdown]";
+    let Some(command) = argv.first() else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => parse_args(&argv[1..]).and_then(cmd_run),
+        "compare" => parse_args(&argv[1..]).and_then(cmd_compare),
+        "replay" => parse_args(&argv[1..]).and_then(cmd_replay),
+        other => Err(format!("unknown command {other}\n{usage}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

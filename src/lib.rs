@@ -1,0 +1,41 @@
+//! # eeat — Energy-Efficient Address Translation
+//!
+//! A full Rust reproduction of *Energy-Efficient Address Translation*
+//! (Karakostas et al., HPCA 2016): the **Lite** way-disabling mechanism for
+//! L1 TLBs, the **RMM_Lite** organization with an L1-range TLB, and the whole
+//! simulation substrate the paper was evaluated on (TLB hierarchy, x86-64
+//! page walker with MMU caches, an OS memory-manager model with transparent
+//! huge pages and eager paging, a Cacti-derived energy model, and synthetic
+//! workload generators).
+//!
+//! This facade crate re-exports every workspace crate under one roof:
+//!
+//! * [`types`] — addresses, page sizes, ranges.
+//! * [`tlb`] — set-associative / fully associative / range TLB structures.
+//! * [`paging`] — page table, page walker, MMU caches.
+//! * [`os`] — VMAs, frame allocation, THP, eager paging, range table.
+//! * [`energy`] — the paper's Table 2/3 energy and cycle models.
+//! * [`workloads`] — deterministic synthetic benchmark traces.
+//! * [`core`] — the Lite mechanism, the six TLB organizations, the simulator,
+//!   and the experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eeat::core::{Config, Simulator};
+//! use eeat::workloads::Workload;
+//!
+//! // Simulate 200k instructions of the mcf model under TLB_Lite.
+//! let mut sim = Simulator::from_workload(Config::tlb_lite(), Workload::Mcf, 42);
+//! let result = sim.run(200_000);
+//! assert!(result.stats.instructions >= 200_000);
+//! println!("energy: {:.3} uJ", result.energy.total_nj() / 1000.0);
+//! ```
+
+pub use eeat_core as core;
+pub use eeat_energy as energy;
+pub use eeat_os as os;
+pub use eeat_paging as paging;
+pub use eeat_tlb as tlb;
+pub use eeat_types as types;
+pub use eeat_workloads as workloads;

@@ -1,0 +1,165 @@
+//! Integration tests: the paper's qualitative claims hold end-to-end.
+//!
+//! These run the real simulator across crates at a reduced instruction
+//! budget; they assert the *shape* of every headline result (who wins, in
+//! which direction), not absolute numbers.
+
+use eeat::core::{Config, Simulator};
+use eeat::workloads::Workload;
+
+const INSTR: u64 = 1_000_000;
+
+fn run(config: Config, workload: Workload) -> eeat::core::RunResult {
+    let mut sim = Simulator::from_workload(config, workload, 42);
+    sim.run(INSTR)
+}
+
+/// Steady-state energy per kilo-instruction: 2 M instructions of warmup
+/// (structure fills, Lite convergence), then 2 M measured by differencing
+/// the cumulative results.
+fn steady_energy(config: Config, workload: Workload) -> f64 {
+    let mut sim = Simulator::from_workload(config, workload, 42);
+    let warm = sim.run(2_000_000);
+    let done = sim.run(2_000_000);
+    (done.energy.total_pj() - warm.energy.total_pj())
+        / ((done.stats.instructions - warm.stats.instructions) as f64 / 1000.0)
+}
+
+#[test]
+fn thp_cuts_miss_cycles_for_huge_page_friendly_workloads() {
+    // §3.3: THP reduces TLB-miss cycles dramatically where the footprint is
+    // huge-page friendly (astar's map, mcf's arc arrays).
+    for workload in [Workload::Astar, Workload::Mcf] {
+        let four_k = run(Config::four_k(), workload);
+        let thp = run(Config::thp(), workload);
+        assert!(
+            (thp.cycles.total() as f64) < 0.5 * four_k.cycles.total() as f64,
+            "{workload}: THP {} vs 4KB {}",
+            thp.cycles.total(),
+            four_k.cycles.total()
+        );
+    }
+}
+
+#[test]
+fn thp_increases_energy_for_fragmented_workloads() {
+    // §3.3: canneal's fragmented heap defeats THP, so the extra L1-2MB
+    // lookups raise dynamic energy (paper: +43%).
+    let four_k = run(Config::four_k(), Workload::Canneal);
+    let thp = run(Config::thp(), Workload::Canneal);
+    assert!(
+        thp.energy.total_pj() > 1.05 * four_k.energy.total_pj(),
+        "canneal THP {} vs 4KB {}",
+        thp.energy.total_pj(),
+        four_k.energy.total_pj()
+    );
+}
+
+#[test]
+fn tlb_lite_saves_energy_with_negligible_cycle_cost() {
+    // §6.1: TLB_Lite reduces dynamic energy versus THP while adding only a
+    // few percent of TLB-miss cycles.
+    let mut saved = 0;
+    for workload in [Workload::CactusADM, Workload::GemsFDTD, Workload::Zeusmp] {
+        let thp = steady_energy(Config::thp(), workload);
+        let lite = steady_energy(Config::tlb_lite(), workload);
+        if lite < 0.95 * thp {
+            saved += 1;
+        }
+        let thp_cycles = run(Config::thp(), workload).cycles.total();
+        let lite_cycles = run(Config::tlb_lite(), workload).cycles.total();
+        assert!(
+            (lite_cycles as f64) < 1.25 * thp_cycles as f64 + 1000.0,
+            "{workload}: Lite cycle overhead too high ({lite_cycles} vs {thp_cycles})"
+        );
+    }
+    assert!(saved >= 2, "TLB_Lite should save energy on most workloads");
+}
+
+#[test]
+fn rmm_eliminates_l2_misses() {
+    // §3.4 / §6.1: the 32-entry L2-range TLB reduces page walks to near
+    // zero under perfect eager paging.
+    for workload in [Workload::Mcf, Workload::CactusADM, Workload::Canneal] {
+        let rmm = run(Config::rmm(), workload);
+        assert!(
+            rmm.stats.l2_mpki() < 0.1,
+            "{workload}: RMM L2 MPKI {}",
+            rmm.stats.l2_mpki()
+        );
+    }
+}
+
+#[test]
+fn rmm_lite_wins_overall() {
+    // §6.1: RMM_Lite reduces dynamic energy the most among realizable
+    // configurations and nearly eliminates L1-miss overhead.
+    for workload in [Workload::Mcf, Workload::CactusADM, Workload::GemsFDTD] {
+        let thp = steady_energy(Config::thp(), workload);
+        let rmm = steady_energy(Config::rmm(), workload);
+        let rmm_lite = steady_energy(Config::rmm_lite(), workload);
+
+        assert!(
+            rmm_lite < 0.5 * thp,
+            "{workload}: RMM_Lite energy {rmm_lite} vs THP {thp}"
+        );
+        assert!(rmm_lite < rmm, "{workload}: RMM_Lite must beat RMM");
+        let rmm_run = run(Config::rmm(), workload);
+        let rmml_run = run(Config::rmm_lite(), workload);
+        assert!(
+            rmml_run.stats.l1_misses < rmm_run.stats.l1_misses,
+            "{workload}: the L1-range TLB removes L1 misses on top of RMM"
+        );
+    }
+}
+
+#[test]
+fn rmm_lite_downsizes_more_aggressively_than_tlb_lite() {
+    // §4.3: the L1-range TLB's hit ratio lets Lite disable more ways in the
+    // L1-4KB TLB than under TLB_Lite.
+    let workload = Workload::CactusADM;
+    let mut lite_sim = Simulator::from_workload(Config::tlb_lite(), workload, 42);
+    lite_sim.run(3 * INSTR);
+    let mut rmml_sim = Simulator::from_workload(Config::rmm_lite(), workload, 42);
+    rmml_sim.run(3 * INSTR);
+
+    let lite_ways = lite_sim.hierarchy().l1_4k().unwrap().active_ways();
+    let rmml_ways = rmml_sim.hierarchy().l1_4k().unwrap().active_ways();
+    assert!(
+        rmml_ways <= lite_ways,
+        "RMM_Lite at {rmml_ways} ways vs TLB_Lite at {lite_ways}"
+    );
+    assert!(
+        rmml_ways == 1,
+        "cactusADM runs 1-way under RMM_Lite (Table 5)"
+    );
+}
+
+#[test]
+fn tlb_pp_sits_between_thp_and_rmm_lite() {
+    // §6.1: perfect TLB_Pred saves the separate-structure energy but cannot
+    // exploit range translations.
+    let workload = Workload::GemsFDTD;
+    let thp = steady_energy(Config::thp(), workload);
+    let pp = steady_energy(Config::tlb_pp(), workload);
+    let rmm_lite = steady_energy(Config::rmm_lite(), workload);
+    assert!(pp < thp, "TLB_PP {pp} vs THP {thp}");
+    assert!(rmm_lite < pp, "RMM_Lite {rmm_lite} vs TLB_PP {pp}");
+}
+
+#[test]
+fn range_tlb_hit_shares_follow_allocation_granularity() {
+    // Table 5: workloads whose footprint sits in few allocation requests
+    // hit the L1-range TLB almost always (zeusmp); many-arena workloads
+    // split their hits (omnetpp).
+    let zeusmp = run(Config::rmm_lite(), Workload::Zeusmp);
+    let (_, _, _, zeus_range) = zeusmp.stats.l1_hit_shares();
+    assert!(zeus_range > 0.9, "zeusmp range share {zeus_range}");
+
+    let omnetpp = run(Config::rmm_lite(), Workload::Omnetpp);
+    let (omnet_4k, _, _, omnet_range) = omnetpp.stats.l1_hit_shares();
+    assert!(
+        omnet_range < 0.75 && omnet_4k > 0.25,
+        "omnetpp splits hits: 4K {omnet_4k}, range {omnet_range}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration tests: accounting invariants that must hold for every
+//! configuration and workload combination.
+
+use eeat::core::{Config, Simulator};
+use eeat::energy::Structure;
+use eeat::workloads::Workload;
+
+const INSTR: u64 = 400_000;
+
+fn check_invariants(config: Config, workload: Workload) {
+    let name = config.name;
+    let mut sim = Simulator::from_workload(config, workload, 11);
+    let r = sim.run(INSTR);
+
+    // Event conservation.
+    assert_eq!(
+        r.stats.l1_hits() + r.stats.l1_misses,
+        r.stats.accesses,
+        "{name}/{workload}: every access hits or misses L1"
+    );
+    assert_eq!(
+        r.stats.l2_hits_page + r.stats.l2_hits_range + r.stats.l2_misses,
+        r.stats.l1_misses,
+        "{name}/{workload}: every L1 miss resolves at L2 or walks"
+    );
+
+    // Cycle model (Table 3).
+    assert_eq!(r.cycles.l1_miss_cycles, 7 * r.stats.l1_misses);
+    assert_eq!(r.cycles.l2_miss_cycles, 50 * r.stats.l2_misses);
+
+    // Walk bounds: 1-4 refs per walk.
+    if r.stats.l2_misses > 0 {
+        let avg = r.stats.avg_walk_refs();
+        assert!(
+            (1.0..=4.0).contains(&avg),
+            "{name}/{workload}: avg walk refs {avg}"
+        );
+    } else {
+        assert_eq!(r.stats.walk_memory_refs, 0);
+    }
+
+    // Energy sanity: total positive, and absent structures contribute zero.
+    assert!(r.energy.total_pj() > 0.0);
+    let hierarchy = sim.hierarchy();
+    if hierarchy.l1_2m().is_none() {
+        assert_eq!(r.energy.pj(Structure::L1Page2M), 0.0, "{name}/{workload}");
+    }
+    if hierarchy.l1_range().is_none() {
+        assert_eq!(r.energy.pj(Structure::L1Range), 0.0, "{name}/{workload}");
+    }
+    if hierarchy.l2_range().is_none() {
+        assert_eq!(r.energy.pj(Structure::L2Range), 0.0, "{name}/{workload}");
+        assert_eq!(r.energy.pj(Structure::RangeWalk), 0.0, "{name}/{workload}");
+        assert_eq!(r.stats.range_table_walks, 0, "{name}/{workload}");
+    }
+
+    // MMU caches are only touched by walks.
+    if r.stats.l2_misses == 0 {
+        assert_eq!(r.energy.pj(Structure::MmuPde), 0.0, "{name}/{workload}");
+    }
+
+    // Lite structures stay internally consistent.
+    sim.hierarchy().l1_4k().unwrap().assert_invariants();
+    if let Some(t) = sim.hierarchy().l1_2m() {
+        t.assert_invariants();
+    }
+}
+
+#[test]
+fn invariants_hold_across_the_matrix() {
+    // A fast but broad slice of the (workload, config) matrix.
+    for workload in [Workload::Omnetpp, Workload::Gromacs, Workload::Swaptions] {
+        for config in Config::all_six() {
+            check_invariants(config, workload);
+        }
+    }
+}
+
+#[test]
+fn same_trace_different_configs() {
+    // Every config sees the identical access stream for a (workload, seed):
+    // access counts and instruction counts agree across configs.
+    let mut counts = Vec::new();
+    for config in Config::all_six() {
+        let mut sim = Simulator::from_workload(config, Workload::Povray, 5);
+        let r = sim.run(INSTR);
+        counts.push((r.stats.accesses, r.stats.instructions));
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "configs disagree on the trace: {counts:?}"
+    );
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let run = || {
+        let mut sim = Simulator::from_workload(Config::rmm_lite(), Workload::Hmmer, 99);
+        let r = sim.run(INSTR);
+        (
+            r.stats,
+            r.cycles,
+            r.energy.total_pj().to_bits(),
+            sim.hierarchy().l1_4k().unwrap().active_ways(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn seeds_change_traces_but_not_shapes() {
+    let mut totals = Vec::new();
+    for seed in [1, 2, 3] {
+        let mut sim = Simulator::from_workload(Config::thp(), Workload::Povray, seed);
+        let r = sim.run(INSTR);
+        totals.push(r.energy.total_pj());
+    }
+    // Different seeds: not bit-identical...
+    assert!(totals.windows(2).any(|w| w[0] != w[1]));
+    // ...but statistically stable (within 20% of each other).
+    let max = totals.iter().cloned().fold(f64::MIN, f64::max);
+    let min = totals.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min < 1.2, "seed variance too high: {totals:?}");
+}
