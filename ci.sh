@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Offline CI gate: format, lint, build, test. No network access required —
+# the workspace has zero external dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q"
+cargo test --workspace -q --offline
+
+echo "==> ci.sh: all checks passed"

@@ -1,8 +1,8 @@
-//! Criterion microbenchmarks of the simulator's building blocks, plus
+//! Std-only microbenchmarks of the simulator's building blocks, plus
 //! ablation benches for the design choices DESIGN.md calls out (true-LRU
 //! cost, range-check vs tag-check lookup, walk caching).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eeat_bench::timing::Harness;
 use eeat_core::{Config, Simulator};
 use eeat_paging::{MmuCaches, PageTable, PageWalker};
 use eeat_tlb::{PageTranslation, RangeTlb, SetAssocTlb};
@@ -10,7 +10,7 @@ use eeat_types::{PageSize, Pfn, PhysAddr, RangeTranslation, VirtAddr, VirtRange,
 use eeat_workloads::Workload;
 use std::hint::black_box;
 
-fn bench_set_assoc_lookup(c: &mut Criterion) {
+fn bench_set_assoc_lookup(h: &mut Harness) {
     let mut tlb = SetAssocTlb::new("bench", 64, 4, PageSize::Size4K);
     for vpn in 0..64u64 {
         tlb.insert(PageTranslation::new(
@@ -19,30 +19,23 @@ fn bench_set_assoc_lookup(c: &mut Criterion) {
             PageSize::Size4K,
         ));
     }
-    let mut group = c.benchmark_group("tlb");
-    group.throughput(Throughput::Elements(64));
-    group.bench_function("set_assoc_lookup_hit", |b| {
-        b.iter(|| {
-            for vpn in 0..64u64 {
-                black_box(tlb.lookup(Vpn::new(vpn).base_addr()));
-            }
-        })
+    h.bench("tlb/set_assoc_lookup_hit", || {
+        for vpn in 0..64u64 {
+            black_box(tlb.lookup(Vpn::new(vpn).base_addr()));
+        }
     });
     // Ablation: the same structure searched at 1 active way (Lite's
     // minimum) — shows the model cost is flat while the *energy* model is
     // what changes.
     tlb.set_active_ways(1);
-    group.bench_function("set_assoc_lookup_1way", |b| {
-        b.iter(|| {
-            for vpn in 0..64u64 {
-                black_box(tlb.lookup(Vpn::new(vpn).base_addr()));
-            }
-        })
+    h.bench("tlb/set_assoc_lookup_1way", || {
+        for vpn in 0..64u64 {
+            black_box(tlb.lookup(Vpn::new(vpn).base_addr()));
+        }
     });
-    group.finish();
 }
 
-fn bench_range_tlb_lookup(c: &mut Criterion) {
+fn bench_range_tlb_lookup(h: &mut Harness) {
     let mut tlb = RangeTlb::new("bench", 32);
     for i in 0..32u64 {
         tlb.insert(RangeTranslation::new(
@@ -50,16 +43,14 @@ fn bench_range_tlb_lookup(c: &mut Criterion) {
             PhysAddr::new((i + 100) << 30),
         ));
     }
-    c.bench_function("range_tlb_lookup", |b| {
-        b.iter(|| {
-            for i in 0..32u64 {
-                black_box(tlb.lookup(VirtAddr::new((i << 30) + 12345)));
-            }
-        })
+    h.bench("range_tlb_lookup", || {
+        for i in 0..32u64 {
+            black_box(tlb.lookup(VirtAddr::new((i << 30) + 12345)));
+        }
     });
 }
 
-fn bench_page_walk(c: &mut Criterion) {
+fn bench_page_walk(h: &mut Harness) {
     let mut pt = PageTable::new();
     for vpn in 0..4096u64 {
         pt.map(PageTranslation::new(
@@ -69,57 +60,42 @@ fn bench_page_walk(c: &mut Criterion) {
         ))
         .unwrap();
     }
-    let mut group = c.benchmark_group("walker");
     // Warm walks: the PDE cache serves repeated locality.
-    group.bench_function("walk_warm", |b| {
-        let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
-        b.iter(|| {
-            for vpn in 0..64u64 {
-                black_box(walker.walk(&pt, Vpn::new(vpn).base_addr()));
-            }
-        })
+    let mut warm_walker = PageWalker::new(MmuCaches::sandy_bridge());
+    h.bench("walker/walk_warm", || {
+        for vpn in 0..64u64 {
+            black_box(warm_walker.walk(&pt, Vpn::new(vpn).base_addr()));
+        }
     });
     // Ablation: walks with the MMU caches flushed every round (the
     // cost/benefit of the paging-structure caches).
-    group.bench_function("walk_cold", |b| {
-        let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
-        b.iter(|| {
-            walker.caches_mut().flush();
-            for vpn in (0..4096u64).step_by(64) {
-                black_box(walker.walk(&pt, Vpn::new(vpn).base_addr()));
-            }
-        })
+    let mut cold_walker = PageWalker::new(MmuCaches::sandy_bridge());
+    h.bench("walker/walk_cold", || {
+        cold_walker.caches_mut().flush();
+        for vpn in (0..4096u64).step_by(64) {
+            black_box(cold_walker.walk(&pt, Vpn::new(vpn).base_addr()));
+        }
     });
-    group.finish();
 }
 
-fn bench_simulator_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn bench_simulator_throughput(h: &mut Harness) {
     for (name, config) in [
-        ("step_thp", Config::thp()),
-        ("step_tlb_lite", Config::tlb_lite()),
-        ("step_rmm_lite", Config::rmm_lite()),
+        ("simulator/step_thp", Config::thp()),
+        ("simulator/step_tlb_lite", Config::tlb_lite()),
+        ("simulator/step_rmm_lite", Config::rmm_lite()),
     ] {
-        group.throughput(Throughput::Elements(100_000));
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || Simulator::from_workload(config.clone(), Workload::Omnetpp, 3),
-                |mut sim| black_box(sim.run(100_000 * 3)), // ~100k accesses
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        h.bench_batched(
+            name,
+            || Simulator::from_workload(config.clone(), Workload::Omnetpp, 3),
+            |mut sim| black_box(sim.run(100_000 * 3)), // ~100k accesses
+        );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = components;
-    config = Criterion::default();
-    targets =
-        bench_set_assoc_lookup,
-        bench_range_tlb_lookup,
-        bench_page_walk,
-        bench_simulator_throughput,
+fn main() {
+    let mut h = Harness::new();
+    bench_set_assoc_lookup(&mut h);
+    bench_range_tlb_lookup(&mut h);
+    bench_page_walk(&mut h);
+    bench_simulator_throughput(&mut h);
 }
-criterion_main!(components);

@@ -1,125 +1,85 @@
-//! Criterion benches — one target per table/figure of the paper.
+//! Std-only benches — one target per table/figure of the paper.
 //!
 //! These measure the wall-clock cost of regenerating each experiment at a
 //! reduced instruction budget (the printable versions live in `src/bin/`);
 //! they double as end-to-end smoke tests that every experiment path stays
 //! healthy under `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eeat_bench::timing::Harness;
 use eeat_core::{fig3_walk_locality, fig4_fixed_sizes, lite_sensitivity, Config, Experiment};
 use eeat_workloads::Workload;
 use std::hint::black_box;
 
-/// Small budget so each Criterion sample stays fast.
+/// Small budget so each sample stays fast.
 const INSTR: u64 = 400_000;
 
 fn quick() -> Experiment {
     Experiment::new().with_instructions(INSTR).with_seed(7)
 }
 
-fn bench_fig2_energy_breakdown(c: &mut Criterion) {
-    let configs = [Config::four_k(), Config::thp(), Config::rmm()];
-    c.bench_function("fig2_energy_breakdown", |b| {
-        b.iter(|| black_box(quick().run_workload(Workload::Mcf, &configs)))
-    });
-}
+fn main() {
+    let mut h = Harness::new();
 
-fn bench_fig3_walk_locality(c: &mut Criterion) {
-    c.bench_function("fig3_walk_locality", |b| {
-        b.iter(|| {
-            black_box(fig3_walk_locality(
-                Workload::Mcf,
-                INSTR,
-                7,
-                &[1.0, 0.5, 0.0],
-            ))
-        })
+    let fig2_configs = [Config::four_k(), Config::thp(), Config::rmm()];
+    h.bench("fig2_energy_breakdown", || {
+        black_box(quick().run_workload(Workload::Mcf, &fig2_configs))
     });
-}
 
-fn bench_fig4_fixed_sizes(c: &mut Criterion) {
-    c.bench_function("fig4_fixed_sizes", |b| {
-        b.iter(|| black_box(fig4_fixed_sizes(Workload::Astar, INSTR, INSTR / 10, 7)))
+    h.bench("fig3_walk_locality", || {
+        black_box(fig3_walk_locality(
+            Workload::Mcf,
+            INSTR,
+            7,
+            &[1.0, 0.5, 0.0],
+        ))
     });
-}
 
-fn bench_fig10_main_result(c: &mut Criterion) {
-    let configs = Config::all_six();
-    c.bench_function("fig10_main_result", |b| {
-        b.iter(|| black_box(quick().run_workload(Workload::CactusADM, &configs)))
+    h.bench("fig4_fixed_sizes", || {
+        black_box(fig4_fixed_sizes(Workload::Astar, INSTR, INSTR / 10, 7))
     });
-}
 
-fn bench_fig11_mpki(c: &mut Criterion) {
-    let configs = [Config::four_k(), Config::rmm_lite()];
-    c.bench_function("fig11_mpki", |b| {
-        b.iter(|| {
-            let r = quick().run_workload(Workload::GemsFDTD, &configs);
-            let s = &r.runs[1].result.stats;
-            black_box((s.l1_mpki(), s.l2_mpki()))
-        })
+    let fig10_configs = Config::all_six();
+    h.bench("fig10_main_result", || {
+        black_box(quick().run_workload(Workload::CactusADM, &fig10_configs))
     });
-}
 
-fn bench_fig12_other_workloads(c: &mut Criterion) {
-    let configs = [Config::thp(), Config::tlb_lite(), Config::rmm_lite()];
-    c.bench_function("fig12_other_workloads", |b| {
-        b.iter(|| black_box(quick().run_workload(Workload::Povray, &configs)))
+    let fig11_configs = [Config::four_k(), Config::rmm_lite()];
+    h.bench("fig11_mpki", || {
+        let r = quick().run_workload(Workload::GemsFDTD, &fig11_configs);
+        let s = &r.runs[1].result.stats;
+        black_box((s.l1_mpki(), s.l2_mpki()))
     });
-}
 
-fn bench_table2_energy_model(c: &mut Criterion) {
+    let fig12_configs = [Config::thp(), Config::tlb_lite(), Config::rmm_lite()];
+    h.bench("fig12_other_workloads", || {
+        black_box(quick().run_workload(Workload::Povray, &fig12_configs))
+    });
+
     let model = eeat_energy::EnergyModel::sandy_bridge();
-    c.bench_function("table2_energy_model", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for ways in [1usize, 2, 4] {
-                total += black_box(model.l1_4k(ways).read_pj);
-                total += black_box(model.l1_2m(ways).read_pj);
-            }
-            total += model.l1_range().read_pj + model.l2_page().read_pj;
-            black_box(total)
-        })
+    h.bench("table2_energy_model", || {
+        let mut total = 0.0;
+        for ways in [1usize, 2, 4] {
+            total += black_box(model.l1_4k(ways).read_pj);
+            total += black_box(model.l1_2m(ways).read_pj);
+        }
+        total += model.l1_range().read_pj + model.l2_page().read_pj;
+        black_box(total)
+    });
+
+    let table5_configs = [Config::tlb_lite(), Config::rmm_lite()];
+    h.bench("table5_way_residency", || {
+        let r = quick().run_workload(Workload::Zeusmp, &table5_configs);
+        let s = &r.runs[1].result.stats;
+        black_box((s.l1_4k_way_shares(), s.l1_hit_shares()))
+    });
+
+    h.bench("sensitivity_lite_params", || {
+        black_box(lite_sensitivity(
+            Workload::Astar,
+            INSTR,
+            7,
+            &[100_000, 200_000],
+            &[1.0 / 32.0],
+        ))
     });
 }
-
-fn bench_table5_way_residency(c: &mut Criterion) {
-    let configs = [Config::tlb_lite(), Config::rmm_lite()];
-    c.bench_function("table5_way_residency", |b| {
-        b.iter(|| {
-            let r = quick().run_workload(Workload::Zeusmp, &configs);
-            let s = &r.runs[1].result.stats;
-            black_box((s.l1_4k_way_shares(), s.l1_hit_shares()))
-        })
-    });
-}
-
-fn bench_sensitivity_lite_params(c: &mut Criterion) {
-    c.bench_function("sensitivity_lite_params", |b| {
-        b.iter(|| {
-            black_box(lite_sensitivity(
-                Workload::Astar,
-                INSTR,
-                7,
-                &[100_000, 200_000],
-                &[1.0 / 32.0],
-            ))
-        })
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_fig2_energy_breakdown,
-        bench_fig3_walk_locality,
-        bench_fig4_fixed_sizes,
-        bench_fig10_main_result,
-        bench_fig11_mpki,
-        bench_fig12_other_workloads,
-        bench_table2_energy_model,
-        bench_table5_way_residency,
-        bench_sensitivity_lite_params,
-}
-criterion_main!(figures);

@@ -1,0 +1,82 @@
+//! Wall-clock speedup of the parallel experiment matrix.
+//!
+//! Times `Experiment::run_matrix` on a 4-workload × 4-config matrix with
+//! one worker (the sequential path) and with all hardware threads, checks
+//! the results are bit-identical, and reports the speedup. On a machine
+//! with ≥ 4 cores the fan-out is expected to be ≥ 2× faster.
+
+use std::time::Instant;
+
+use eeat_bench::timing::fmt_duration;
+use eeat_core::{Config, Experiment, WorkloadResults};
+use eeat_workloads::Workload;
+
+fn total_energy(results: &[WorkloadResults]) -> f64 {
+    results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|run| run.result.energy.total_pj())
+        .sum()
+}
+
+fn main() {
+    let workloads = [
+        Workload::Mcf,
+        Workload::Astar,
+        Workload::CactusADM,
+        Workload::Canneal,
+    ];
+    let configs = [
+        Config::four_k(),
+        Config::thp(),
+        Config::tlb_lite(),
+        Config::rmm_lite(),
+    ];
+    let instructions = std::env::var("EEAT_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(2_000_000);
+    let exp = Experiment::new()
+        .with_instructions(instructions)
+        .with_seed(42);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm-up (page tables, allocator) outside the timed region.
+    let _ = exp
+        .with_instructions((instructions / 10).max(1))
+        .run_matrix(&workloads, &configs);
+
+    let t = Instant::now();
+    let sequential = exp.with_threads(1).run_matrix(&workloads, &configs);
+    let seq_time = t.elapsed();
+
+    let t = Instant::now();
+    let parallel = exp.run_matrix(&workloads, &configs);
+    let par_time = t.elapsed();
+
+    // The fan-out must not change a single bit of any result.
+    for (s, p) in sequential.iter().zip(&parallel) {
+        for (sr, pr) in s.runs.iter().zip(&p.runs) {
+            assert_eq!(sr.config_name, pr.config_name);
+            assert_eq!(
+                sr.result.energy.total_pj().to_bits(),
+                pr.result.energy.total_pj().to_bits(),
+                "{} / {} diverged under parallel execution",
+                s.workload,
+                sr.config_name,
+            );
+            assert_eq!(sr.result.stats.l1_misses, pr.result.stats.l1_misses);
+        }
+    }
+    assert!(total_energy(&parallel) > 0.0);
+
+    let speedup = seq_time.as_secs_f64() / par_time.as_secs_f64();
+    println!("run_matrix 4x4 @ {instructions} instructions on {cores} threads:");
+    println!("  sequential {:>12}", fmt_duration(seq_time));
+    println!("  parallel   {:>12}", fmt_duration(par_time));
+    println!("  speedup    {speedup:>11.2}x");
+    if cores >= 4 && speedup < 2.0 {
+        eprintln!("warning: expected >= 2x speedup on {cores} threads, measured {speedup:.2}x");
+        std::process::exit(1);
+    }
+}

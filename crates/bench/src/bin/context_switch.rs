@@ -3,16 +3,17 @@
 //! interacts with each organization — and that range translations refill
 //! far faster than page entries (one entry re-covers a whole VMA).
 
-use eeat_bench::{experiment, seed};
+use eeat_bench::Cli;
 use eeat_core::{Config, Simulator, Table};
 use eeat_workloads::Workload;
 
 fn main() {
-    let exp = experiment();
+    let cli = Cli::parse("Extension: context-switch flush pressure vs timeslice length");
     // Timeslices in instructions; None = no multiprogramming.
     let slices: [Option<u64>; 4] = [None, Some(5_000_000), Some(1_000_000), Some(200_000)];
 
-    for &w in &[Workload::Mcf, Workload::Omnetpp, Workload::GemsFDTD] {
+    let default = [Workload::Mcf, Workload::Omnetpp, Workload::GemsFDTD];
+    for w in cli.workloads(&default) {
         eprintln!("running {w}...");
         let mut table = Table::new(
             &format!("{w}: context-switch flush pressure"),
@@ -26,11 +27,11 @@ fn main() {
             ],
         );
         for &slice in &slices {
-            for config in [Config::tlb_lite(), Config::rmm_lite()] {
+            for config in cli.configs(&[Config::tlb_lite(), Config::rmm_lite()]) {
                 let name = config.name;
-                let mut sim = Simulator::from_workload(config, w, seed());
+                let mut sim = Simulator::from_workload(config, w, cli.seed);
                 sim.set_flush_interval(slice);
-                let r = sim.run(exp.instructions());
+                let r = sim.run(cli.instructions);
                 table.add_row(&[
                     slice
                         .map(|s| format!("{:.1}M", s as f64 / 1e6))

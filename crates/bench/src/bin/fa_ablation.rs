@@ -6,12 +6,12 @@
 //! are generally more energy-efficient as compared to fully associative",
 //! and shows Lite's clustering applies to fully associative structures too.
 
-use eeat_bench::{experiment, norm};
+use eeat_bench::{norm, Cli};
 use eeat_core::{mean_normalized, Config, Table};
 use eeat_workloads::Workload;
 
 fn main() {
-    let exp = experiment();
+    let cli = Cli::parse("§4.4 ablation: set-associative vs fully associative L1, with Lite");
     let configs = [
         Config::thp(),
         Config::tlb_lite(),
@@ -24,11 +24,10 @@ fn main() {
         "FA ablation: dynamic energy, normalized to THP",
         &[&["workload"], &names[..], &["FA mean entries"]].concat(),
     );
-    let mut results = Vec::new();
-    for &w in &Workload::TLB_INTENSIVE {
-        eprintln!("running {w}...");
-        let r = exp.run_workload(w, &configs);
-        let mut row = vec![w.name().to_string()];
+    let workloads = cli.workloads(&Workload::TLB_INTENSIVE);
+    let results = cli.experiment().run_matrix(&workloads, &configs);
+    for r in &results {
+        let mut row = vec![r.workload.name().to_string()];
         for name in &names {
             row.push(norm(r.normalized(name, "THP", |x| x.energy.total_pj())));
         }
@@ -41,7 +40,6 @@ fn main() {
                 .l1_fa_mean_entries()
         ));
         table.add_row(&row);
-        results.push(r);
     }
     println!("{table}");
 

@@ -3,34 +3,37 @@
 //!
 //! Also prints the Figure 9 configuration summary as a header.
 
-use eeat_bench::{norm, run_intensive_matrix};
+use eeat_bench::{baseline, norm, Cli};
 use eeat_core::{mean_normalized, Config, Table};
+use eeat_workloads::Workload;
 
 fn main() {
+    let cli = Cli::parse("Figure 10: dynamic energy and TLB-miss cycles, normalized to 4KB");
+    let configs = cli.configs(&Config::all_six());
     println!("Simulated configurations (Figure 9):");
-    for config in Config::all_six() {
+    for config in &configs {
         println!("  {config}");
     }
     println!();
 
-    let configs = Config::all_six();
-    let results = run_intensive_matrix(&configs);
+    let results = cli.run_matrix(&Workload::TLB_INTENSIVE, &configs);
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+    let base = baseline(&names);
 
     let mut energy = Table::new(
-        "Figure 10 (top): dynamic energy, normalized to 4KB",
+        &format!("Figure 10 (top): dynamic energy, normalized to {base}"),
         &[&["workload"], &names[..]].concat(),
     );
     for r in &results {
         let mut row = vec![r.workload.name().to_string()];
         for name in &names {
-            row.push(norm(r.normalized(name, "4KB", |x| x.energy.total_pj())));
+            row.push(norm(r.normalized(name, base, |x| x.energy.total_pj())));
         }
         energy.add_row(&row);
     }
     let mut avg = vec!["average".to_string()];
     for name in &names {
-        avg.push(norm(mean_normalized(&results, name, "4KB", |x| {
+        avg.push(norm(mean_normalized(&results, name, base, |x| {
             x.energy.total_pj()
         })));
     }
@@ -38,34 +41,40 @@ fn main() {
     println!("{energy}");
 
     let mut cycles = Table::new(
-        "Figure 10 (bottom): cycles spent in TLB misses, normalized to 4KB",
+        &format!("Figure 10 (bottom): cycles spent in TLB misses, normalized to {base}"),
         &[&["workload"], &names[..]].concat(),
     );
     for r in &results {
         let mut row = vec![r.workload.name().to_string()];
         for name in &names {
-            row.push(norm(r.normalized(name, "4KB", |x| x.cycles.total() as f64)));
+            row.push(norm(r.normalized(name, base, |x| x.cycles.total() as f64)));
         }
         cycles.add_row(&row);
     }
     let mut avg = vec!["average".to_string()];
     for name in &names {
-        avg.push(norm(mean_normalized(&results, name, "4KB", |x| {
+        avg.push(norm(mean_normalized(&results, name, base, |x| {
             x.cycles.total() as f64
         })));
     }
     cycles.add_row(&avg);
     println!("{cycles}");
 
-    // The paper's headline comparisons are against THP.
-    println!("Headline numbers (vs THP; paper: TLB_Lite -23% energy, RMM -8%, TLB_PP -43%, RMM_Lite -71%):");
-    for name in ["TLB_Lite", "RMM", "TLB_PP", "RMM_Lite"] {
-        let e = mean_normalized(&results, name, "THP", |x| x.energy.total_pj());
-        let c = mean_normalized(&results, name, "THP", |x| x.cycles.total() as f64);
-        println!(
-            "  {name:<9} energy {:+.1}%  miss-cycles {:+.1}%",
-            (e - 1.0) * 100.0,
-            (c - 1.0) * 100.0
-        );
+    // The paper's headline comparisons are against THP (skipped when a
+    // --configs subset leaves either side out).
+    if names.contains(&"THP") {
+        println!("Headline numbers (vs THP; paper: TLB_Lite -23% energy, RMM -8%, TLB_PP -43%, RMM_Lite -71%):");
+        for name in ["TLB_Lite", "RMM", "TLB_PP", "RMM_Lite"] {
+            if !names.contains(&name) {
+                continue;
+            }
+            let e = mean_normalized(&results, name, "THP", |x| x.energy.total_pj());
+            let c = mean_normalized(&results, name, "THP", |x| x.cycles.total() as f64);
+            println!(
+                "  {name:<9} energy {:+.1}%  miss-cycles {:+.1}%",
+                (e - 1.0) * 100.0,
+                (c - 1.0) * 100.0
+            );
+        }
     }
 }

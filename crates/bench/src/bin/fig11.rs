@@ -1,12 +1,14 @@
 //! Figure 11: L1 and L2 TLB misses per thousand instructions for every
 //! configuration on the TLB-intensive workloads.
 
-use eeat_bench::run_intensive_matrix;
+use eeat_bench::Cli;
 use eeat_core::{Config, Table};
+use eeat_workloads::Workload;
 
 fn main() {
-    let configs = Config::all_six();
-    let results = run_intensive_matrix(&configs);
+    let cli = Cli::parse("Figure 11: L1 and L2 TLB MPKI for every configuration");
+    let configs = cli.configs(&Config::all_six());
+    let results = cli.run_matrix(&Workload::TLB_INTENSIVE, &configs);
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
 
     for (title, metric) in [

@@ -1,51 +1,67 @@
 //! Figure 12: dynamic-energy reduction for the remaining Spec2006 and
 //! Parsec workloads (the non-TLB-intensive set).
 
-use eeat_bench::{experiment, norm};
+use eeat_bench::{baseline, norm, Cli};
 use eeat_core::{mean_normalized, Config, Table, WorkloadResults};
 use eeat_workloads::Workload;
 
-fn run_set(title: &str, set: &[Workload]) -> Vec<WorkloadResults> {
-    let exp = experiment();
-    let configs = Config::all_six();
+fn run_set(cli: &Cli, title: &str, set: &[Workload]) -> Vec<WorkloadResults> {
+    let configs = cli.configs(&Config::all_six());
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
 
+    // The Spec/Parsec split is the figure's structure, so the workload
+    // sets stay fixed here (--workloads does not apply).
+    eprintln!(
+        "running {} workloads x {} configs...",
+        set.len(),
+        names.len()
+    );
+    let results = cli.experiment().run_matrix(set, &configs);
+    let base = baseline(&names);
     let mut table = Table::new(title, &[&["workload"], &names[..]].concat());
-    let mut results = Vec::new();
-    for &w in set {
-        eprintln!("running {w}...");
-        let r = exp.run_workload(w, &configs);
-        let mut row = vec![w.name().to_string()];
+    for r in &results {
+        let mut row = vec![r.workload.name().to_string()];
         for name in &names {
-            row.push(norm(r.normalized(name, "4KB", |x| x.energy.total_pj())));
+            row.push(norm(r.normalized(name, base, |x| x.energy.total_pj())));
         }
         table.add_row(&row);
-        results.push(r);
     }
     println!("{table}");
     results
 }
 
 fn main() {
+    let cli = Cli::parse("Figure 12: energy reduction for the non-TLB-intensive workloads");
     let spec = run_set(
+        &cli,
         "Figure 12 (top/middle): remaining Spec2006 — energy normalized to 4KB",
         &Workload::OTHER_SPEC,
     );
     let parsec = run_set(
+        &cli,
         "Figure 12 (bottom): remaining Parsec — energy normalized to 4KB",
         &Workload::OTHER_PARSEC,
     );
 
-    for (label, results, lite_target, rmml_target) in [
-        ("Spec2006", &spec, -26.0, -72.0),
-        ("Parsec", &parsec, -20.0, -66.0),
-    ] {
-        let lite = mean_normalized(results, "TLB_Lite", "THP", |x| x.energy.total_pj());
-        let rmml = mean_normalized(results, "RMM_Lite", "THP", |x| x.energy.total_pj());
-        println!(
-            "{label}: TLB_Lite {:+.0}% vs THP (paper {lite_target:+.0}%), RMM_Lite {:+.0}% (paper {rmml_target:+.0}%)",
-            (lite - 1.0) * 100.0,
-            (rmml - 1.0) * 100.0,
-        );
+    // The paper's summary compares against THP (skipped when a --configs
+    // subset leaves either side out).
+    let names: Vec<&str> = cli
+        .configs(&Config::all_six())
+        .iter()
+        .map(|c| c.name)
+        .collect();
+    if names.contains(&"THP") && names.contains(&"TLB_Lite") && names.contains(&"RMM_Lite") {
+        for (label, results, lite_target, rmml_target) in [
+            ("Spec2006", &spec, -26.0, -72.0),
+            ("Parsec", &parsec, -20.0, -66.0),
+        ] {
+            let lite = mean_normalized(results, "TLB_Lite", "THP", |x| x.energy.total_pj());
+            let rmml = mean_normalized(results, "RMM_Lite", "THP", |x| x.energy.total_pj());
+            println!(
+                "{label}: TLB_Lite {:+.0}% vs THP (paper {lite_target:+.0}%), RMM_Lite {:+.0}% (paper {rmml_target:+.0}%)",
+                (lite - 1.0) * 100.0,
+                (rmml - 1.0) * 100.0,
+            );
+        }
     }
 }

@@ -1,13 +1,24 @@
 //! Figure 2: (a) dynamic-energy breakdown and (b) TLB-miss cycles for the
 //! 4KB / THP / RMM configurations, normalized to 4KB per workload.
 
-use eeat_bench::{norm, run_intensive_matrix};
+use eeat_bench::{norm, Cli};
 use eeat_core::{mean_normalized, Config, Table};
 use eeat_energy::Structure;
+use eeat_workloads::Workload;
 
 fn main() {
+    let cli = Cli::parse("Figure 2: energy breakdown and TLB-miss cycles for 4KB/THP/RMM");
+    // The 4KB/THP/RMM comparison is the figure's structure, so the
+    // configuration set stays fixed here (--configs does not apply).
     let configs = [Config::four_k(), Config::thp(), Config::rmm()];
-    let results = run_intensive_matrix(&configs);
+    let workloads = cli.workloads(&Workload::TLB_INTENSIVE);
+    eprintln!(
+        "running {} workloads x {} configs at {} instructions...",
+        workloads.len(),
+        configs.len(),
+        cli.instructions,
+    );
+    let results = cli.experiment().run_matrix(&workloads, &configs);
 
     let mut energy = Table::new(
         "Figure 2a: dynamic energy, normalized to 4KB (with L1-TLB / L2 / walk shares)",

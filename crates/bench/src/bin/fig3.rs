@@ -1,13 +1,13 @@
 //! Figure 3: sensitivity of 4KB-page dynamic energy to the L1-cache hit
 //! ratio of page-walk references (100 % → 0 %).
 
-use eeat_bench::{experiment, instruction_budget, norm, seed};
+use eeat_bench::{norm, Cli};
 use eeat_core::{fig3_walk_locality, Table};
 use eeat_workloads::Workload;
 
 fn main() {
+    let cli = Cli::parse("Figure 3: energy sensitivity to page-walk L1-cache locality");
     let ratios = [1.0, 0.75, 0.5, 0.25, 0.0];
-    let _ = experiment(); // validates env parsing early
 
     let mut headers: Vec<String> = vec!["workload".into()];
     headers.extend(ratios.iter().map(|r| format!("{:.0}%", r * 100.0)));
@@ -17,9 +17,9 @@ fn main() {
         &header_refs,
     );
 
-    for &workload in &Workload::TLB_INTENSIVE {
+    for workload in cli.workloads(&Workload::TLB_INTENSIVE) {
         eprintln!("running {workload}...");
-        let points = fig3_walk_locality(workload, instruction_budget(), seed(), &ratios);
+        let points = fig3_walk_locality(workload, cli.instructions, cli.seed, &ratios);
         let mut row = vec![workload.name().to_string()];
         row.extend(points.iter().map(|&(_, e)| norm(e)));
         table.add_row(&row);

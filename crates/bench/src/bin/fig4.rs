@@ -1,17 +1,17 @@
 //! Figure 4: aggregate L1 TLB MPKI over execution time under fixed L1-4KB
 //! TLB sizes — *Base* (4 KiB pages), *64*, *32*, *16* (THP).
 
-use eeat_bench::{instruction_budget, seed};
+use eeat_bench::Cli;
 use eeat_core::fig4_fixed_sizes;
 use eeat_workloads::Workload;
 
 fn main() {
-    let instructions = instruction_budget();
-    let bucket = (instructions / 20).max(1_000_000);
+    let cli = Cli::parse("Figure 4: L1 TLB MPKI timeline under fixed L1-4KB TLB sizes");
+    let bucket = (cli.instructions / 20).max(1_000_000);
 
-    for &workload in &Workload::TLB_INTENSIVE {
+    for workload in cli.workloads(&Workload::TLB_INTENSIVE) {
         eprintln!("running {workload}...");
-        let series = fig4_fixed_sizes(workload, instructions, bucket, seed());
+        let series = fig4_fixed_sizes(workload, cli.instructions, bucket, cli.seed);
         println!("== Figure 4: {workload} — L1 MPKI timeline ==");
         print!("{:>14}", "instr (M)");
         for (label, _) in &series {

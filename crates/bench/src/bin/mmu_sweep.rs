@@ -5,14 +5,14 @@
 //! cache size drives the average memory references per walk — the `Mem`
 //! term of the walk-energy equation.
 
-use eeat_bench::{experiment, seed};
-use eeat_core::{Config, Table};
+use eeat_bench::Cli;
+use eeat_core::Table;
 use eeat_paging::{MmuCaches, PageWalker};
 use eeat_types::VirtAddr;
 use eeat_workloads::{TraceGenerator, Workload};
 
 fn main() {
-    let exp = experiment();
+    let cli = Cli::parse("Ablation: MMU (PDE) cache geometry vs memory references per walk");
     let pde_sizes = [(4usize, 2usize), (16, 2), (32, 2), (128, 4)];
 
     let mut table = Table::new(
@@ -20,17 +20,18 @@ fn main() {
         &["workload", "PDE=4", "PDE=16", "PDE=32 (paper)", "PDE=128"],
     );
 
-    for &w in &[
+    let default = [
         Workload::Mcf,
         Workload::CactusADM,
         Workload::Astar,
         Workload::Canneal,
-    ] {
+    ];
+    for w in cli.workloads(&default) {
         eprintln!("sweeping {w}...");
         // Drive the raw walker with the workload's address stream under the
         // 4 KiB policy: every L2-miss-like access walks.
         let spec = w.spec();
-        let mut asp = eeat_os::AddressSpace::new(eeat_os::PagingPolicy::FourK, seed());
+        let mut asp = eeat_os::AddressSpace::new(eeat_os::PagingPolicy::FourK, cli.seed);
         let regions: Vec<Vec<eeat_types::VirtRange>> = spec
             .regions
             .iter()
@@ -42,11 +43,11 @@ fn main() {
             .collect();
         let mut row = vec![w.name().to_string()];
         for &(entries, ways) in &pde_sizes {
-            let mut generator = TraceGenerator::new(&spec, regions.clone(), seed());
+            let mut generator = TraceGenerator::new(&spec, regions.clone(), cli.seed);
             let mut walker =
                 PageWalker::new(MmuCaches::with_geometry((entries, ways), (4, 4), (2, 2)));
             // Walk a sample of the stream (every 16th access) to bound time.
-            let samples = (exp.instructions() / 160).max(10_000);
+            let samples = (cli.instructions / 160).max(10_000);
             for i in 0..samples * 16 {
                 let acc = generator.next_access();
                 if i % 16 == 0 {

@@ -3,12 +3,12 @@
 //! requirements") and the L2-range TLB at 32. This sweep quantifies what
 //! those choices cost and buy.
 
-use eeat_bench::{experiment, norm, seed};
+use eeat_bench::{norm, Cli};
 use eeat_core::{Config, Simulator, Table};
 use eeat_workloads::Workload;
 
 fn main() {
-    let exp = experiment();
+    let cli = Cli::parse("Ablation: L1/L2 range-TLB sizing for RMM_Lite");
     let l1_sizes = [2usize, 4, 8, 16];
     let l2_sizes = [8usize, 32, 128];
 
@@ -21,14 +21,14 @@ fn main() {
         &header_refs,
     );
 
-    for &w in &Workload::TLB_INTENSIVE {
+    for w in cli.workloads(&Workload::TLB_INTENSIVE) {
         eprintln!("sweeping L1-range for {w}...");
         let mut energies = Vec::new();
         for &n in &l1_sizes {
             let mut config = Config::rmm_lite();
             config.l1_range_entries = Some(n);
-            let mut sim = Simulator::from_workload(config, w, seed());
-            energies.push(sim.run(exp.instructions()).energy.total_pj());
+            let mut sim = Simulator::from_workload(config, w, cli.seed);
+            energies.push(sim.run(cli.instructions).energy.total_pj());
         }
         let baseline = energies[1]; // 4 entries
         let mut row = vec![w.name().to_string()];
@@ -45,8 +45,8 @@ fn main() {
     for &n in &l2_sizes {
         let mut config = Config::rmm_lite();
         config.l2_range_entries = Some(n);
-        let mut sim = Simulator::from_workload(config, Workload::Omnetpp, seed());
-        let r = sim.run(exp.instructions());
+        let mut sim = Simulator::from_workload(config, Workload::Omnetpp, cli.seed);
+        let r = sim.run(cli.instructions);
         l2_table.add_row(&[
             n.to_string(),
             format!("{:.3}", r.stats.l2_mpki()),

@@ -1,22 +1,22 @@
 //! §6.2 sensitivity analysis: Lite's interval size (1–10 M instructions)
 //! and random re-activation probability (1/8 – 1/128).
 
-use eeat_bench::{instruction_budget, seed};
+use eeat_bench::Cli;
 use eeat_core::{lite_sensitivity, Table};
 use eeat_workloads::Workload;
 
 fn main() {
-    let instructions = instruction_budget();
+    let cli = Cli::parse("Lite sensitivity (§6.2): interval size x re-activation probability");
     let intervals = [1_000_000u64, 2_000_000, 5_000_000, 10_000_000];
     let probs = [1.0 / 8.0, 1.0 / 32.0, 1.0 / 128.0];
 
-    // A representative subset keeps the grid affordable; override the
-    // budget via EEAT_INSTRUCTIONS for a fuller sweep.
-    let workloads = [Workload::Astar, Workload::Mcf, Workload::CactusADM];
+    // A representative subset keeps the grid affordable; widen with
+    // --workloads or deepen with --instructions.
+    let default = [Workload::Astar, Workload::Mcf, Workload::CactusADM];
 
-    for workload in workloads {
+    for workload in cli.workloads(&default) {
         eprintln!("sweeping {workload}...");
-        let points = lite_sensitivity(workload, instructions, seed(), &intervals, &probs);
+        let points = lite_sensitivity(workload, cli.instructions, cli.seed, &intervals, &probs);
         let mut t = Table::new(
             &format!("Lite sensitivity — {workload} (TLB_Lite)"),
             &[

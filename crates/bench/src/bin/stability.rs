@@ -4,29 +4,34 @@
 //! of the normalized energies so every figure can be quoted with its
 //! run-to-run variation.
 
-use eeat_bench::{experiment, seed};
+use eeat_bench::{baseline, Cli};
 use eeat_core::{mean_normalized, Config, Table};
 use eeat_workloads::Workload;
 
 fn main() {
-    let exp = experiment();
-    let seeds: Vec<u64> = (0..5).map(|i| seed() + i * 1000).collect();
-    let configs = Config::all_six();
+    let cli = Cli::parse("Seed stability: headline ratios across 5 independent seeds");
+    let exp = cli.experiment();
+    let seeds: Vec<u64> = (0..5).map(|i| cli.seed + i * 1000).collect();
+    let configs = cli.configs(&Config::all_six());
+    let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+    let base = if names.contains(&"THP") {
+        "THP"
+    } else {
+        baseline(&names)
+    };
 
     let mut table = Table::new(
-        "Seed stability: mean energy vs THP across 5 seeds (min..max)",
+        &format!("Seed stability: mean energy vs {base} across 5 seeds (min..max)"),
         &["config", "mean", "min", "max", "spread"],
     );
 
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let workloads = cli.workloads(&Workload::TLB_INTENSIVE);
     for &s in &seeds {
         eprintln!("seed {s}...");
-        let results: Vec<_> = Workload::TLB_INTENSIVE
-            .iter()
-            .map(|&w| exp.with_seed(s).run_workload(w, &configs))
-            .collect();
+        let results = exp.with_seed(s).run_matrix(&workloads, &configs);
         for (i, config) in configs.iter().enumerate() {
-            per_config[i].push(mean_normalized(&results, config.name, "THP", |r| {
+            per_config[i].push(mean_normalized(&results, config.name, base, |r| {
                 r.energy.total_pj()
             }));
         }

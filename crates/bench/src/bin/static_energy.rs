@@ -1,14 +1,13 @@
 //! §6.2 extension: static (leakage) energy of the translation structures,
 //! with and without power-gating of Lite-disabled ways.
 
-use eeat_bench::{experiment, instruction_budget, seed};
+use eeat_bench::Cli;
 use eeat_core::{Config, Simulator, Table};
 use eeat_energy::PowerGating;
 use eeat_workloads::Workload;
 
 fn main() {
-    let instructions = instruction_budget();
-    let _ = experiment();
+    let cli = Cli::parse("Static energy (§6.2): leakage with and without power-gating");
     let configs = [Config::thp(), Config::tlb_lite(), Config::rmm_lite()];
 
     let mut table = Table::new(
@@ -23,11 +22,11 @@ fn main() {
             "gated saves",
         ],
     );
-    for &w in &Workload::TLB_INTENSIVE {
+    for w in cli.workloads(&Workload::TLB_INTENSIVE) {
         eprintln!("running {w}...");
         let static_of = |config: Config, gating: PowerGating| {
-            let mut sim = Simulator::from_workload(config, w, seed());
-            sim.run(instructions);
+            let mut sim = Simulator::from_workload(config, w, cli.seed);
+            sim.run(cli.instructions);
             sim.static_energy(gating)
         };
         let thp = static_of(Config::thp(), PowerGating::None);

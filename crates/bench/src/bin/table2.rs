@@ -1,10 +1,13 @@
 //! Table 2: the energy model — per-structure read/write energies and
 //! leakage, plus the calibrated surrogate values this reproduction adds.
 
+use eeat_bench::Cli;
 use eeat_core::Table;
 use eeat_energy::{table2, CacheEnergyModel, EnergyModel};
 
 fn main() {
+    // No simulation here, but parse anyway so --help works uniformly.
+    let _ = Cli::parse("Table 2: the per-operation energy model");
     let mut t = Table::new(
         "Table 2: dynamic energy per operation (32 nm, from the paper)",
         &[

@@ -1,12 +1,12 @@
 //! Table 5: (i) the share of L1 page-TLB lookups at 4/2/1 active ways and
 //! (ii) the share of L1 hits per structure, for TLB_Lite and RMM_Lite.
 
-use eeat_bench::{experiment, pct};
+use eeat_bench::{pct, Cli};
 use eeat_core::{Config, Table};
 use eeat_workloads::Workload;
 
 fn main() {
-    let exp = experiment();
+    let cli = Cli::parse("Table 5: lookup shares by active ways and L1 hit shares");
     let configs = [Config::tlb_lite(), Config::rmm_lite()];
 
     let mut ways = Table::new(
@@ -31,9 +31,9 @@ fn main() {
 
     let mut way_sums = [0.0f64; 9];
     let mut hit_sums = [0.0f64; 4];
-    for &workload in &Workload::TLB_INTENSIVE {
-        eprintln!("running {workload}...");
-        let results = exp.run_workload(workload, &configs);
+    let workloads = cli.workloads(&Workload::TLB_INTENSIVE);
+    for results in cli.experiment().run_matrix(&workloads, &configs) {
+        let workload = results.workload;
         let lite = &results.get("TLB_Lite").expect("ran").result.stats;
         let rmml = &results.get("RMM_Lite").expect("ran").result.stats;
 
@@ -60,7 +60,7 @@ fn main() {
         }
     }
 
-    let n = Workload::TLB_INTENSIVE.len() as f64;
+    let n = workloads.len() as f64;
     let mut row = vec!["average".to_string()];
     row.extend(way_sums.iter().map(|&s| pct(s / n)));
     ways.add_row(&row);

@@ -6,12 +6,12 @@
 //! binary quantifies the gap with an actual region-hashed predictor whose
 //! first-probe misses cost a second L1 access.
 
-use eeat_bench::{experiment, norm, seed};
+use eeat_bench::{norm, Cli};
 use eeat_core::{Config, Simulator, Table};
 use eeat_workloads::Workload;
 
 fn main() {
-    let exp = experiment();
+    let cli = Cli::parse("Extension: perfect TLB_PP vs realizable TLB_Pred by predictor size");
     let table_sizes = [64usize, 256, 1024];
 
     let mut table = Table::new(
@@ -26,23 +26,23 @@ fn main() {
         ],
     );
 
-    for &w in &Workload::TLB_INTENSIVE {
+    for w in cli.workloads(&Workload::TLB_INTENSIVE) {
         eprintln!("running {w}...");
         let thp = {
-            let mut sim = Simulator::from_workload(Config::thp(), w, seed());
-            sim.run(exp.instructions()).energy.total_pj()
+            let mut sim = Simulator::from_workload(Config::thp(), w, cli.seed);
+            sim.run(cli.instructions).energy.total_pj()
         };
         let pp = {
-            let mut sim = Simulator::from_workload(Config::tlb_pp(), w, seed());
-            sim.run(exp.instructions()).energy.total_pj()
+            let mut sim = Simulator::from_workload(Config::tlb_pp(), w, cli.seed);
+            sim.run(cli.instructions).energy.total_pj()
         };
         let mut row = vec![w.name().to_string(), norm(pp / thp)];
         let mut mispredict = String::new();
         for &entries in &table_sizes {
             let mut config = Config::tlb_pred();
             config.predictor_entries = Some(entries);
-            let mut sim = Simulator::from_workload(config, w, seed());
-            let r = sim.run(exp.instructions());
+            let mut sim = Simulator::from_workload(config, w, cli.seed);
+            let r = sim.run(cli.instructions);
             row.push(norm(r.energy.total_pj() / thp));
             if entries == 256 {
                 mispredict = format!(

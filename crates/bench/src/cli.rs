@@ -1,0 +1,227 @@
+//! The shared command-line runner behind every `src/bin/` driver.
+//!
+//! All ~16 figure/table binaries share the same knobs — instruction
+//! budget, seed, worker threads, and which configurations/workloads to
+//! simulate — so the flag parsing, set selection, and matrix running live
+//! here once. Flags override the `EEAT_*` environment variables:
+//!
+//! ```text
+//! fig10 --instructions 5_000_000 --seed 7 --threads 4 \
+//!       --configs 4KB,THP,RMM_Lite --workloads mcf,astar
+//! ```
+
+use eeat_core::{Config, Experiment, WorkloadResults};
+use eeat_workloads::Workload;
+
+use crate::{instruction_budget, seed};
+
+/// Parsed command-line options shared by every bench binary.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Instructions simulated per (workload, config) cell.
+    pub instructions: u64,
+    /// Deterministic seed shared by OS layout and trace generation.
+    pub seed: u64,
+    /// Worker-thread cap for matrix fan-out (`None` = hardware threads).
+    pub threads: Option<usize>,
+    configs: Option<Vec<Config>>,
+    workloads: Option<Vec<Workload>>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, printing usage and exiting on `--help` or
+    /// an unknown flag. `about` is the binary's one-line description.
+    pub fn parse(about: &str) -> Self {
+        let mut cli = Self {
+            instructions: instruction_budget(),
+            seed: seed(),
+            threads: None,
+            configs: None,
+            workloads: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--help" | "-h" => {
+                    print_usage(about);
+                    std::process::exit(0);
+                }
+                "--instructions" | "-n" => {
+                    cli.instructions = parse_count(&value("--instructions"));
+                }
+                "--seed" | "-s" => {
+                    cli.seed = parse_count(&value("--seed"));
+                }
+                "--threads" | "-t" => {
+                    cli.threads = Some(parse_count(&value("--threads")).max(1) as usize);
+                }
+                "--configs" | "-c" => {
+                    cli.configs = Some(value("--configs").split(',').map(config_by_name).collect());
+                }
+                "--workloads" | "-w" => {
+                    cli.workloads = Some(
+                        value("--workloads")
+                            .split(',')
+                            .map(workload_by_name)
+                            .collect(),
+                    );
+                }
+                other => {
+                    eprintln!("unknown flag `{other}`; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// An [`Experiment`] at this budget, seed, and thread cap.
+    pub fn experiment(&self) -> Experiment {
+        let exp = Experiment::new()
+            .with_instructions(self.instructions)
+            .with_seed(self.seed);
+        match self.threads {
+            Some(t) => exp.with_threads(t),
+            None => exp,
+        }
+    }
+
+    /// The configuration set: `--configs` when given, else `default`.
+    pub fn configs(&self, default: &[Config]) -> Vec<Config> {
+        self.configs.clone().unwrap_or_else(|| default.to_vec())
+    }
+
+    /// The workload set: `--workloads` when given, else `default`.
+    pub fn workloads(&self, default: &[Workload]) -> Vec<Workload> {
+        self.workloads.clone().unwrap_or_else(|| default.to_vec())
+    }
+
+    /// Runs the selected workloads × configurations (defaults applied per
+    /// [`configs`](Self::configs)/[`workloads`](Self::workloads)) with a
+    /// progress line, fanning the cells out over worker threads.
+    pub fn run_matrix(
+        &self,
+        default_workloads: &[Workload],
+        default_configs: &[Config],
+    ) -> Vec<WorkloadResults> {
+        let workloads = self.workloads(default_workloads);
+        let configs = self.configs(default_configs);
+        eprintln!(
+            "running {} workloads x {} configs at {} instructions...",
+            workloads.len(),
+            configs.len(),
+            self.instructions,
+        );
+        self.experiment().run_matrix(&workloads, &configs)
+    }
+}
+
+fn print_usage(about: &str) {
+    println!("{about}");
+    println!();
+    println!("Options (flags override EEAT_INSTRUCTIONS / EEAT_SEED / EEAT_THREADS):");
+    println!("  -n, --instructions N   instructions per run (default 20M; underscores ok)");
+    println!("  -s, --seed N           deterministic seed (default 42)");
+    println!("  -t, --threads N        worker threads for the matrix (default: all cores)");
+    println!("  -c, --configs A,B      configuration subset, from:");
+    println!("                           {}", config_names().join(", "));
+    println!("  -w, --workloads a,b    workload subset (paper spellings, e.g. mcf,astar)");
+    println!("  -h, --help             this message");
+}
+
+fn parse_count(text: &str) -> u64 {
+    text.replace('_', "").parse().unwrap_or_else(|_| {
+        eprintln!("`{text}` is not a number");
+        std::process::exit(2);
+    })
+}
+
+/// Every named configuration the CLI can select.
+fn catalog() -> Vec<Config> {
+    vec![
+        Config::four_k(),
+        Config::thp(),
+        Config::tlb_lite(),
+        Config::rmm(),
+        Config::rmm_lite(),
+        Config::tlb_pp(),
+        Config::tlb_pred(),
+        Config::fa_thp(),
+        Config::fa_lite(),
+    ]
+}
+
+/// The selectable configuration names.
+pub fn config_names() -> Vec<&'static str> {
+    catalog().iter().map(|c| c.name).collect()
+}
+
+/// The normalization baseline for a selected configuration set: `4KB`
+/// when present (the paper's baseline), else the first selection — so a
+/// `--configs` subset without `4KB` still produces a well-defined table.
+pub fn baseline<'a>(names: &[&'a str]) -> &'a str {
+    names
+        .iter()
+        .copied()
+        .find(|n| *n == "4KB")
+        .unwrap_or_else(|| names.first().copied().unwrap_or("4KB"))
+}
+
+/// Looks a configuration up by its display name (case-insensitive); exits
+/// with the valid names on failure.
+pub fn config_by_name(name: &str) -> Config {
+    catalog()
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown config `{name}`; valid: {}",
+                config_names().join(", ")
+            );
+            std::process::exit(2);
+        })
+}
+
+/// Looks a workload up by its paper spelling (case-insensitive); exits
+/// with the valid names on failure.
+pub fn workload_by_name(name: &str) -> Workload {
+    Workload::all()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = Workload::all().iter().map(|w| w.name()).collect();
+            eprintln!("unknown workload `{name}`; valid: {}", names.join(", "));
+            std::process::exit(2);
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        assert_eq!(config_by_name("rmm_lite").name, "RMM_Lite");
+        assert_eq!(workload_by_name("MCF").name(), "mcf");
+    }
+
+    #[test]
+    fn catalog_covers_all_six() {
+        let names = config_names();
+        for config in Config::all_six() {
+            assert!(names.contains(&config.name), "{} missing", config.name);
+        }
+    }
+
+    #[test]
+    fn count_parsing_allows_underscores() {
+        assert_eq!(parse_count("5_000_000"), 5_000_000);
+        assert_eq!(parse_count("42"), 42);
+    }
+}

@@ -11,8 +11,12 @@
 //! * `EEAT_SEED` — the deterministic seed shared by the OS layout and the
 //!   trace generator. Default 42.
 
-use eeat_core::{Config, Experiment, WorkloadResults};
-use eeat_workloads::Workload;
+pub mod cli;
+pub mod timing;
+
+use eeat_core::Experiment;
+
+pub use cli::{baseline, Cli};
 
 /// Reads the instruction budget from `EEAT_INSTRUCTIONS` (default 20 M).
 pub fn instruction_budget() -> u64 {
@@ -35,19 +39,6 @@ pub fn experiment() -> Experiment {
     Experiment::new()
         .with_instructions(instruction_budget())
         .with_seed(seed())
-}
-
-/// Runs the TLB-intensive set under the given configurations, printing a
-/// progress line per workload.
-pub fn run_intensive_matrix(configs: &[Config]) -> Vec<WorkloadResults> {
-    let exp = experiment();
-    Workload::TLB_INTENSIVE
-        .iter()
-        .map(|&w| {
-            eprintln!("running {w} ({} configs)...", configs.len());
-            exp.run_workload(w, configs)
-        })
-        .collect()
 }
 
 /// Formats a fraction as a percentage with one decimal.

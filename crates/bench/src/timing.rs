@@ -1,0 +1,171 @@
+//! A minimal std-only timing harness (the workspace's criterion stand-in).
+//!
+//! Each target is auto-calibrated so one sample lasts roughly
+//! `EEAT_BENCH_MS` milliseconds (default 20), then timed for
+//! `EEAT_BENCH_SAMPLES` samples (default 10); the harness reports the
+//! median and minimum per-iteration time. Medians over calibrated batches
+//! are stable enough to spot regressions of a few percent without any
+//! external dependency.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Target name as printed.
+    pub name: String,
+    /// Median per-iteration time across samples.
+    pub median: Duration,
+    /// Minimum per-iteration time across samples (least-noise estimate).
+    pub min: Duration,
+    /// Iterations per sample chosen by calibration.
+    pub iters: u32,
+}
+
+/// The harness: owns the sample policy and collects [`Measurement`]s.
+pub struct Harness {
+    samples: usize,
+    target_sample: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Builds a harness configured from `EEAT_BENCH_SAMPLES` /
+    /// `EEAT_BENCH_MS`.
+    pub fn new() -> Self {
+        let samples = std::env::var("EEAT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        let ms = std::env::var("EEAT_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20u64);
+        Self {
+            samples: samples.max(1),
+            target_sample: Duration::from_millis(ms.max(1)),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, calibrating the per-sample iteration count first.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Calibration run (also warms caches).
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed() / iters
+            })
+            .collect();
+        per_iter.sort();
+        self.record(name, per_iter, iters);
+    }
+
+    /// Times `routine` over fresh state from `setup`; setup cost is
+    /// excluded. One iteration per sample — use for targets whose single
+    /// run is already milliseconds (e.g. whole simulations).
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        // Warm-up (not recorded).
+        black_box(routine(setup()));
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let state = setup();
+                let t = Instant::now();
+                black_box(routine(state));
+                t.elapsed()
+            })
+            .collect();
+        per_iter.sort();
+        self.record(name, per_iter, 1);
+    }
+
+    fn record(&mut self, name: &str, sorted: Vec<Duration>, iters: u32) {
+        let m = Measurement {
+            name: name.to_string(),
+            median: sorted[sorted.len() / 2],
+            min: sorted[0],
+            iters,
+        };
+        println!(
+            "{:<40} median {:>12}  min {:>12}  ({} iters x {} samples)",
+            m.name,
+            fmt_duration(m.median),
+            fmt_duration(m.min),
+            m.iters,
+            sorted.len(),
+        );
+        self.results.push(m);
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Human-readable duration with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_records() {
+        let mut h = Harness {
+            samples: 3,
+            target_sample: Duration::from_micros(50),
+            results: Vec::new(),
+        };
+        let mut acc = 0u64;
+        h.bench("spin", || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        h.bench_batched("batched", || vec![1u64; 64], |v| v.iter().sum::<u64>());
+        assert_eq!(h.results().len(), 2);
+        assert!(h.results()[0].median > Duration::ZERO);
+        assert_eq!(h.results()[1].iters, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

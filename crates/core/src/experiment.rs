@@ -5,6 +5,7 @@ use core::fmt;
 use eeat_workloads::Workload;
 
 use crate::config::Config;
+use crate::par;
 use crate::simulator::{RunResult, Simulator};
 
 /// The result of one configuration on one workload.
@@ -70,18 +71,27 @@ impl fmt::Display for WorkloadResults {
 /// keeping the full matrix fast. Scale with
 /// [`with_instructions`](Self::with_instructions) or the `EEAT_INSTRUCTIONS`
 /// environment variable in the benchmark binaries.
+///
+/// Matrix cells are independent (each builds its own simulator from the
+/// shared seed), so [`run_matrix`](Self::run_matrix) and
+/// [`run_workload`](Self::run_workload) fan the cells out over scoped
+/// threads. Results are bit-identical to a sequential run and come back in
+/// input order; [`with_threads`](Self::with_threads) or the `EEAT_THREADS`
+/// environment variable pin the worker count (1 forces sequential).
 #[derive(Clone, Copy, Debug)]
 pub struct Experiment {
     instructions: u64,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Experiment {
-    /// Default: 20 M instructions, seed 42.
+    /// Default: 20 M instructions, seed 42, one worker per hardware thread.
     pub fn new() -> Self {
         Self {
             instructions: 20_000_000,
             seed: 42,
+            threads: None,
         }
     }
 
@@ -102,6 +112,17 @@ impl Experiment {
         self
     }
 
+    /// Caps the worker threads used by the matrix runners (1 = sequential).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        self.threads = Some(threads);
+        self
+    }
+
     /// The per-run instruction budget.
     pub fn instructions(&self) -> u64 {
         self.instructions
@@ -109,25 +130,37 @@ impl Experiment {
 
     /// Runs one workload under each configuration.
     pub fn run_workload(&self, workload: Workload, configs: &[Config]) -> WorkloadResults {
-        let runs = configs
-            .iter()
-            .map(|config| {
-                let mut sim = Simulator::from_workload(config.clone(), workload, self.seed);
-                ConfigRun {
-                    config_name: config.name,
-                    result: sim.run(self.instructions),
-                }
-            })
-            .collect();
+        let threads = par::thread_count(configs.len(), self.threads);
+        let runs = par::parallel_map(configs, threads, |config| self.run_cell(workload, config));
         WorkloadResults { workload, runs }
     }
 
-    /// Runs the full matrix.
+    /// Runs the full matrix, fanning the workload × configuration cells out
+    /// over scoped worker threads.
     pub fn run_matrix(&self, workloads: &[Workload], configs: &[Config]) -> Vec<WorkloadResults> {
+        let cells: Vec<(Workload, &Config)> = workloads
+            .iter()
+            .flat_map(|&w| configs.iter().map(move |c| (w, c)))
+            .collect();
+        let threads = par::thread_count(cells.len(), self.threads);
+        let runs = par::parallel_map(&cells, threads, |&(w, config)| self.run_cell(w, config));
+        let mut runs = runs.into_iter();
         workloads
             .iter()
-            .map(|&w| self.run_workload(w, configs))
+            .map(|&w| WorkloadResults {
+                workload: w,
+                runs: runs.by_ref().take(configs.len()).collect(),
+            })
             .collect()
+    }
+
+    /// One matrix cell: a fresh simulator, run to the budget.
+    fn run_cell(&self, workload: Workload, config: &Config) -> ConfigRun {
+        let mut sim = Simulator::from_workload(config.clone(), workload, self.seed);
+        ConfigRun {
+            config_name: config.name,
+            result: sim.run(self.instructions),
+        }
     }
 }
 

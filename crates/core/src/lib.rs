@@ -36,8 +36,11 @@ mod config;
 mod experiment;
 mod hierarchy;
 mod lite;
+mod par;
+mod pipeline;
 mod predictor;
 mod report;
+mod setup;
 mod simulator;
 mod stats;
 mod sweep;

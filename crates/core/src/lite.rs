@@ -2,8 +2,7 @@
 
 use core::fmt;
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
 
 use crate::config::LiteParams;
 
@@ -408,14 +407,8 @@ mod tests {
         // The rank-1 hits survive at 2 ways, so the relative controller
         // stops there; the absolute one tolerates the extra 0.05 MPKI and
         // goes all the way to 1 way.
-        assert_eq!(
-            rel.end_interval(scale as u64),
-            LiteDecision::Resize(vec![2])
-        );
-        assert_eq!(
-            abs.end_interval(scale as u64),
-            LiteDecision::Resize(vec![1])
-        );
+        assert_eq!(rel.end_interval(scale), LiteDecision::Resize(vec![2]));
+        assert_eq!(abs.end_interval(scale), LiteDecision::Resize(vec![1]));
     }
 
     #[test]

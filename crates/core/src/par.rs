@@ -1,0 +1,102 @@
+//! Minimal scoped-thread parallelism for embarrassingly parallel
+//! simulation matrices (no external thread-pool dependency).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// The number of worker threads to use for `items` independent jobs:
+/// `available_parallelism` capped by the job count, or `requested` when
+/// given. `EEAT_THREADS` overrides both (useful for benchmarks).
+pub(crate) fn thread_count(items: usize, requested: Option<usize>) -> usize {
+    let hw = || {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let wanted = std::env::var("EEAT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .or(requested)
+        .unwrap_or_else(hw);
+    wanted.clamp(1, items.max(1))
+}
+
+/// Maps `f` over `items` on `threads` scoped worker threads, preserving
+/// input order in the output.
+///
+/// Each item is an independent job pulled from a shared atomic cursor
+/// (work stealing), so uneven per-item cost still balances. With
+/// `threads <= 1` this degenerates to a plain sequential map — results are
+/// bit-identical either way because jobs share no state.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub(crate) fn parallel_map<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, O)> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| match w.join() {
+                Ok(out) => out,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, o)| o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9e37_79b9));
+        let par = parallel_map(&items, 4, |&x| x.wrapping_mul(0x9e37_79b9));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_by_items() {
+        assert_eq!(thread_count(1, Some(16)), 1);
+        assert_eq!(thread_count(100, Some(3)), 3);
+        assert!(thread_count(100, None) >= 1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Epoch stage: context-switch flush scheduling and the Lite interval
+//! decision, including the settle events that let energy observers charge
+//! resizable-L1 operations at their outgoing sizes.
+
+use eeat_types::events::TranslationEvent;
+use eeat_types::VirtAddr;
+
+use crate::hierarchy::TlbHierarchy;
+use crate::lite::LiteDecision;
+use crate::simulator::Simulator;
+
+/// Performs the periodic ASID-less context switch when due: every TLB and
+/// MMU cache is flushed.
+pub(crate) fn context_switch_if_due(sim: &mut Simulator) {
+    if sim.clock < sim.next_flush_at {
+        return;
+    }
+    // Context switch: everything translation-related is lost.
+    sim.hierarchy.shootdown(VirtAddr::new(0));
+    sim.walker.caches_mut().flush();
+    sim.flushes += 1;
+    sim.next_flush_at = sim.clock + sim.flush_interval.expect("armed only when set");
+    sim.sinks.emit(TranslationEvent::ContextSwitch);
+}
+
+/// The settle event describing the hierarchy's current resizable-L1 sizes.
+///
+/// Emitted before any resize is applied (and when results are collected),
+/// so pending operations are always charged at the sizes they ran at.
+pub(crate) fn settle_event(hierarchy: &TlbHierarchy) -> TranslationEvent {
+    TranslationEvent::EpochSettle {
+        l1_4k_ways: hierarchy.l1_4k().map(|t| t.active_ways() as u32),
+        l1_2m_ways: hierarchy.l1_2m().map(|t| t.active_ways() as u32),
+        l1_fa_entries: hierarchy.l1_fa().map(|t| t.active_entries() as u32),
+    }
+}
+
+/// Runs the Lite decision at interval boundaries and applies resizes.
+pub(crate) fn interval_check(sim: &mut Simulator) {
+    let Some(lite) = sim.lite.as_mut() else {
+        return;
+    };
+    if !lite.interval_due(sim.clock) {
+        return;
+    }
+    let decision = lite.end_interval(sim.clock);
+    // The per-operation L1 energies are about to change: settle the
+    // pending operations at the outgoing way configuration.
+    let settle = settle_event(&sim.hierarchy);
+    sim.sinks.emit(settle);
+
+    let mut reactivated = false;
+    let mut new_ways = Vec::new();
+    match decision {
+        LiteDecision::ActivateAllDegraded | LiteDecision::ActivateAllRandom => {
+            reactivated = true;
+            if let Some(t) = &sim.hierarchy.l1_fa {
+                new_ways.push(t.capacity());
+            } else {
+                if let Some(t) = &sim.hierarchy.l1_4k {
+                    new_ways.push(t.ways());
+                }
+                if let Some(t) = &sim.hierarchy.l1_2m {
+                    new_ways.push(t.ways());
+                }
+            }
+        }
+        LiteDecision::Resize(ways) => new_ways = ways,
+    }
+    let mut it = new_ways.into_iter();
+    if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
+        t.set_active_entries(it.next().expect("one size per resizable TLB"));
+    } else {
+        if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
+            t.set_active_ways(it.next().expect("one way count per resizable TLB"));
+        }
+        if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
+            t.set_active_ways(it.next().expect("one way count per resizable TLB"));
+        }
+    }
+    sim.sinks.emit(TranslationEvent::EpochEnd {
+        reactivated,
+        l1_4k_ways: sim.hierarchy.l1_4k().map(|t| t.active_ways() as u32),
+    });
+}

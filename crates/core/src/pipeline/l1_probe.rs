@@ -1,0 +1,150 @@
+//! L1 stage: every present L1 structure is probed in parallel.
+
+use eeat_types::events::{FixedUnit, HitColumn, ResizableUnit, TranslationEvent};
+use eeat_types::{PageSize, VirtAddr};
+
+use crate::simulator::Simulator;
+
+/// The L1 stage's outcome.
+pub(crate) enum L1Outcome {
+    /// The L1-range TLB served the translation.
+    RangeHit,
+    /// An L1 page structure served the translation.
+    PageHit {
+        /// The stats column the hit reports under (mixed structures report
+        /// 2 MiB hits in the 4KB column).
+        column: HitColumn,
+        /// LRU recency of the hit way/entry.
+        rank: u8,
+        /// Lite monitor index covering the structure, when monitored.
+        monitor: Option<usize>,
+    },
+    /// Every L1 structure missed.
+    Miss,
+}
+
+/// Probes every present L1 structure for `va`.
+///
+/// All probes happen (and cost energy) regardless of where the hit lands —
+/// the structures are searched in parallel in hardware.
+pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
+    let range_hit = sim.hierarchy.l1_range.as_mut().and_then(|t| t.lookup(va));
+    if sim.hierarchy.l1_range.is_some() {
+        sim.sinks.emit(TranslationEvent::FixedOps {
+            unit: FixedUnit::L1Range,
+            lookups: 1,
+            fills: 0,
+        });
+    }
+
+    // The unified L1 of TLB_PP is indexed with the (perfectly predicted)
+    // actual page size; per-size L1s use their own size.
+    let unified = sim.hierarchy.unified_l1();
+    // (page size of the hit, LRU rank, Lite monitor index if monitored)
+    let mut page_hit: Option<(PageSize, u8, Option<usize>)> = None;
+    if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
+        // §4.4: one fully associative structure for all sizes; the lookup
+        // needs no page size at all.
+        let entries = t.active_entries();
+        let hit = t.lookup_any_size(va);
+        sim.sinks.emit(TranslationEvent::Probe {
+            unit: ResizableUnit::L1FullyAssoc,
+            active: entries as u32,
+        });
+        if let Some(h) = hit {
+            page_hit = Some((h.translation.size(), h.rank, Some(0)));
+        }
+    }
+    if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
+        let ways = t.active_ways();
+        let hit = if unified {
+            let actual = sim
+                .size_oracle
+                .get(&(va.raw() >> 21))
+                .copied()
+                .expect("trace addresses are always mapped");
+            if let Some(predictor) = sim.predictor.as_mut() {
+                // Realizable TLB_Pred: probe with the predicted index; a
+                // first-probe miss cannot be declared an L1 miss until the
+                // other size's index has been checked, so it always costs a
+                // second probe.
+                let guess = predictor.predict(va);
+                let mut hit = t.lookup_for_size(va, guess);
+                if hit.is_none() {
+                    let alternate = if guess == PageSize::Size4K {
+                        PageSize::Size2M
+                    } else {
+                        PageSize::Size4K
+                    };
+                    sim.sinks.emit(TranslationEvent::SecondProbe {
+                        unit: ResizableUnit::L1FourK,
+                    });
+                    hit = t.lookup_for_size(va, alternate);
+                }
+                predictor.update(va, actual);
+                hit
+            } else {
+                // TLB_PP: the perfect predictor always indexes right.
+                t.lookup_for_size(va, actual)
+            }
+        } else {
+            t.lookup(va)
+        };
+        sim.sinks.emit(TranslationEvent::Probe {
+            unit: ResizableUnit::L1FourK,
+            active: ways as u32,
+        });
+        if let Some(h) = hit {
+            page_hit = Some((h.translation.size(), h.rank, Some(0)));
+        }
+    }
+    if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
+        let ways = t.active_ways();
+        let hit = t.lookup(va);
+        sim.sinks.emit(TranslationEvent::Probe {
+            unit: ResizableUnit::L1TwoM,
+            active: ways as u32,
+        });
+        if let Some(h) = hit {
+            debug_assert!(page_hit.is_none(), "page sizes are disjoint");
+            page_hit = Some((PageSize::Size2M, h.rank, Some(1)));
+        }
+    }
+    if let Some(t) = sim.hierarchy.l1_1g.as_mut() {
+        let hit = t.lookup(va);
+        sim.sinks.emit(TranslationEvent::FixedOps {
+            unit: FixedUnit::L1OneG,
+            lookups: 1,
+            fills: 0,
+        });
+        if let Some(h) = hit {
+            debug_assert!(page_hit.is_none(), "page sizes are disjoint");
+            page_hit = Some((PageSize::Size1G, h.rank, None));
+        }
+    }
+
+    if range_hit.is_some() {
+        return L1Outcome::RangeHit;
+    }
+    if let Some((size, rank, monitor)) = page_hit {
+        let column = match size {
+            PageSize::Size4K => HitColumn::FourK,
+            PageSize::Size2M => {
+                // Mixed structures (unified / FA) report under the 4K
+                // column; the separate L1-2MB TLB under its own.
+                if unified || sim.hierarchy.l1_fa.is_some() {
+                    HitColumn::FourK
+                } else {
+                    HitColumn::TwoM
+                }
+            }
+            PageSize::Size1G => HitColumn::OneG,
+        };
+        return L1Outcome::PageHit {
+            column,
+            rank,
+            monitor,
+        };
+    }
+    L1Outcome::Miss
+}

@@ -1,0 +1,40 @@
+//! L2 stage: on an all-L1 miss, the L2 page and range TLBs are probed.
+
+use eeat_tlb::PageTranslation;
+use eeat_types::events::{FixedUnit, TranslationEvent};
+use eeat_types::{PageSize, RangeTranslation, VirtAddr};
+
+use crate::simulator::Simulator;
+
+/// The L2 stage's outcome. Both structures are probed in parallel, so both
+/// hits can be present at once; the page hit takes precedence for the
+/// refill, but a range hit still installs into the L1-range TLB.
+pub(crate) struct L2Outcome {
+    /// The L2 page TLB's translation, when it hit.
+    pub(crate) page: Option<PageTranslation>,
+    /// The L2-range TLB's translation, when it hit.
+    pub(crate) range: Option<RangeTranslation>,
+}
+
+/// Probes the L2 structures for `va` (backed by a page of `size`).
+pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr, size: PageSize) -> L2Outcome {
+    let page = sim
+        .hierarchy
+        .l2_page
+        .lookup_for_size(va, size)
+        .map(|h| h.translation);
+    sim.sinks.emit(TranslationEvent::FixedOps {
+        unit: FixedUnit::L2Page,
+        lookups: 1,
+        fills: 0,
+    });
+    let range = sim.hierarchy.l2_range.as_mut().and_then(|t| t.lookup(va));
+    if sim.hierarchy.l2_range.is_some() {
+        sim.sinks.emit(TranslationEvent::FixedOps {
+            unit: FixedUnit::L2Range,
+            lookups: 1,
+            fills: 0,
+        });
+    }
+    L2Outcome { page, range }
+}

@@ -1,0 +1,125 @@
+//! The staged translation pipeline.
+//!
+//! One memory access flows through the stages in order, each consuming the
+//! previous stage's typed outcome:
+//!
+//! ```text
+//! epoch::context_switch_if_due   (flush scheduling)
+//!   -> l1_probe::probe           -> L1Outcome
+//!   -> l2_probe::probe           -> L2Outcome      (on L1 miss)
+//!   -> walk::translate           -> PageTranslation (on L2 miss)
+//!   -> refill::*                 (structure refills)
+//!   -> epoch::interval_check     (Lite decision + resize)
+//! ```
+//!
+//! Stages mutate only simulation state (TLB contents, LRU/monitor state,
+//! the walker's caches); every countable side effect is emitted as a
+//! [`TranslationEvent`] into the simulator's [`Sinks`]. Observers are pure
+//! accumulators, so the simulation is identical for any set of sinks.
+
+pub(crate) mod epoch;
+pub(crate) mod l1_probe;
+pub(crate) mod l2_probe;
+pub(crate) mod refill;
+pub(crate) mod walk;
+
+use eeat_energy::{CycleObserver, EnergyObserver};
+use eeat_types::events::{HitColumn, Observer, TranslationEvent};
+use eeat_types::MemAccess;
+
+use crate::simulator::Simulator;
+use crate::stats::{StatsObserver, TimelineObserver};
+
+/// How one access ultimately resolved (the pipeline's end-to-end outcome).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TranslationOutcome {
+    /// Served by an L1 structure (0 cycles).
+    L1Hit(HitColumn),
+    /// Served by an L2 structure after missing every L1 (7 cycles).
+    L2Hit {
+        /// `true` when the L2-range TLB served it.
+        range: bool,
+    },
+    /// Resolved by a page walk (50 cycles).
+    Walked,
+}
+
+/// The simulator's accounting sinks, fanned out per event.
+pub(crate) struct Sinks {
+    pub(crate) stats: StatsObserver,
+    pub(crate) energy: EnergyObserver,
+    pub(crate) cycles: CycleObserver,
+    /// Installed only inside `run_with_timeline`.
+    pub(crate) timeline: Option<TimelineObserver>,
+}
+
+impl Sinks {
+    #[inline]
+    pub(crate) fn emit(&mut self, event: TranslationEvent) {
+        self.stats.on_event(&event);
+        self.energy.on_event(&event);
+        self.cycles.on_event(&event);
+        if let Some(timeline) = &mut self.timeline {
+            timeline.on_event(&event);
+        }
+    }
+}
+
+/// Runs one access through every stage.
+pub(crate) fn step(sim: &mut Simulator, access: MemAccess) -> TranslationOutcome {
+    let va = access.vaddr();
+    sim.clock += u64::from(access.instructions());
+    sim.sinks.emit(TranslationEvent::Access {
+        instruction_gap: access.instructions(),
+    });
+    epoch::context_switch_if_due(sim);
+
+    let outcome = match l1_probe::probe(sim, va) {
+        l1_probe::L1Outcome::RangeHit => {
+            // The range TLB serves the translation; a redundant page-TLB
+            // hit adds no utility (disabling those ways would not create an
+            // L2 access), so Lite's monitors are not credited.
+            sim.sinks.emit(TranslationEvent::L1Hit {
+                column: HitColumn::Range,
+            });
+            TranslationOutcome::L1Hit(HitColumn::Range)
+        }
+        l1_probe::L1Outcome::PageHit {
+            column,
+            rank,
+            monitor,
+        } => {
+            sim.sinks.emit(TranslationEvent::L1Hit { column });
+            if let (Some(lite), Some(idx)) = (sim.lite.as_mut(), monitor) {
+                lite.record_hit(idx, rank);
+            }
+            TranslationOutcome::L1Hit(column)
+        }
+        l1_probe::L1Outcome::Miss => {
+            // All L1 structures missed: access the L2 TLBs (7 cycles).
+            sim.sinks.emit(TranslationEvent::L1Miss);
+            if let Some(lite) = sim.lite.as_mut() {
+                lite.record_l1_miss();
+            }
+            let size = sim.actual_size(va);
+            let l2 = l2_probe::probe(sim, va, size);
+            if l2.page.is_some() || l2.range.is_some() {
+                let range = l2.page.is_none();
+                sim.sinks.emit(TranslationEvent::L2Hit { range });
+                refill::after_l2_hit(sim, &l2, va, size);
+                TranslationOutcome::L2Hit { range }
+            } else {
+                // L2 miss: page walk (50 cycles).
+                sim.sinks.emit(TranslationEvent::L2Miss);
+                let translation = walk::translate(sim, va);
+                refill::after_walk(sim, translation);
+                walk::range_walk_background(sim, va);
+                TranslationOutcome::Walked
+            }
+        }
+    };
+
+    epoch::interval_check(sim);
+    sim.sinks.emit(TranslationEvent::StepEnd);
+    outcome
+}

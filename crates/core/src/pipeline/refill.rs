@@ -1,0 +1,124 @@
+//! Refill stage: installs translations into the structures on the way back
+//! from an L2 hit or a page walk.
+
+use eeat_tlb::PageTranslation;
+use eeat_types::events::{FixedUnit, ResizableUnit, TranslationEvent};
+use eeat_types::{PageSize, RangeTranslation, VirtAddr};
+
+use crate::pipeline::l2_probe::L2Outcome;
+use crate::simulator::Simulator;
+
+/// Refills after an L2 hit: the page hit (or a page entry derived from the
+/// range hit) goes to the L1 page structure; a range hit also installs
+/// into the L1-range TLB.
+pub(crate) fn after_l2_hit(sim: &mut Simulator, l2: &L2Outcome, va: VirtAddr, size: PageSize) {
+    if let Some(translation) = l2.page {
+        fill_l1_page(sim, translation);
+    } else if let Some(rt) = &l2.range {
+        // Derive the page-table entry from the range translation
+        // (base + offset) and refill the L1 page TLB, as RMM does.
+        fill_l1_page(sim, derive_page_entry(rt, va, size));
+    }
+    if let Some(rt) = l2.range {
+        if let Some(l1r) = sim.hierarchy.l1_range.as_mut() {
+            l1r.insert(rt);
+            sim.sinks.emit(TranslationEvent::FixedOps {
+                unit: FixedUnit::L1Range,
+                lookups: 0,
+                fills: 1,
+            });
+        }
+    }
+}
+
+/// Refills after a page walk: the walked entry goes to the L2 page TLB and
+/// the L1 page structure.
+pub(crate) fn after_walk(sim: &mut Simulator, translation: PageTranslation) {
+    sim.hierarchy.l2_page.insert(translation);
+    sim.sinks.emit(TranslationEvent::FixedOps {
+        unit: FixedUnit::L2Page,
+        lookups: 0,
+        fills: 1,
+    });
+    fill_l1_page(sim, translation);
+}
+
+/// Installs a range found by the background range-table walk into both
+/// range TLBs.
+pub(crate) fn after_range_walk(sim: &mut Simulator, rt: RangeTranslation) {
+    if let Some(t) = sim.hierarchy.l2_range.as_mut() {
+        t.insert(rt);
+        sim.sinks.emit(TranslationEvent::FixedOps {
+            unit: FixedUnit::L2Range,
+            lookups: 0,
+            fills: 1,
+        });
+    }
+    if let Some(t) = sim.hierarchy.l1_range.as_mut() {
+        t.insert(rt);
+        sim.sinks.emit(TranslationEvent::FixedOps {
+            unit: FixedUnit::L1Range,
+            lookups: 0,
+            fills: 1,
+        });
+    }
+}
+
+/// Inserts a translation into the L1 page structure for its size.
+fn fill_l1_page(sim: &mut Simulator, translation: PageTranslation) {
+    if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
+        t.insert(translation);
+        sim.sinks.emit(TranslationEvent::Fill {
+            unit: ResizableUnit::L1FullyAssoc,
+        });
+        return;
+    }
+    match translation.size() {
+        PageSize::Size4K => {
+            if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
+                t.insert(translation);
+                sim.sinks.emit(TranslationEvent::Fill {
+                    unit: ResizableUnit::L1FourK,
+                });
+            }
+        }
+        PageSize::Size2M => {
+            if sim.hierarchy.unified_l1() {
+                if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
+                    t.insert(translation);
+                    sim.sinks.emit(TranslationEvent::Fill {
+                        unit: ResizableUnit::L1FourK,
+                    });
+                }
+            } else if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
+                t.insert(translation);
+                sim.sinks.emit(TranslationEvent::Fill {
+                    unit: ResizableUnit::L1TwoM,
+                });
+            }
+        }
+        PageSize::Size1G => {
+            if let Some(t) = sim.hierarchy.l1_1g.as_mut() {
+                t.insert(translation);
+                sim.sinks.emit(TranslationEvent::FixedOps {
+                    unit: FixedUnit::L1OneG,
+                    lookups: 0,
+                    fills: 1,
+                });
+            }
+        }
+    }
+}
+
+/// Derives the page-table entry covering `va` from a range translation.
+pub(crate) fn derive_page_entry(
+    rt: &RangeTranslation,
+    va: VirtAddr,
+    size: PageSize,
+) -> PageTranslation {
+    let vpn = va.vpn().align_down(size);
+    let pfn = rt
+        .translate_vpn(vpn)
+        .expect("range TLB hit implies containment");
+    PageTranslation::new(vpn, pfn, size)
+}

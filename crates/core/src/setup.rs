@@ -1,0 +1,169 @@
+//! Simulator construction: access sources, address-space assembly, and the
+//! page-size oracle. The run/result API lives in [`crate::simulator`].
+
+use std::collections::HashMap;
+
+use eeat_energy::{CycleModel, CycleObserver, EnergyModel, EnergyObserver};
+use eeat_os::AddressSpace;
+use eeat_paging::{MmuCaches, PageWalker};
+use eeat_types::{MemAccess, VirtAddr, VirtRange};
+use eeat_workloads::{trace_file, TraceGenerator, Workload, WorkloadSpec};
+
+use crate::config::Config;
+use crate::hierarchy::TlbHierarchy;
+use crate::lite::LiteController;
+use crate::pipeline::Sinks;
+use crate::predictor::SizePredictor;
+use crate::simulator::Simulator;
+use crate::stats::StatsObserver;
+
+/// Where the simulator's accesses come from: a synthetic generator or a
+/// replayed trace (looped when shorter than the run).
+pub(crate) enum AccessSource {
+    Synthetic(TraceGenerator),
+    Replay {
+        accesses: Vec<MemAccess>,
+        position: usize,
+    },
+}
+
+impl AccessSource {
+    pub(crate) fn next_access(&mut self) -> MemAccess {
+        match self {
+            AccessSource::Synthetic(generator) => generator.next_access(),
+            AccessSource::Replay { accesses, position } => {
+                let access = accesses[*position];
+                *position = (*position + 1) % accesses.len();
+                access
+            }
+        }
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator for a catalogued workload.
+    pub fn from_workload(config: Config, workload: Workload, seed: u64) -> Self {
+        Self::from_spec(config, &workload.spec(), seed)
+    }
+
+    /// Builds a simulator for an arbitrary workload spec (tests, custom
+    /// studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid or exceeds physical memory.
+    pub fn from_spec(config: Config, spec: &WorkloadSpec, seed: u64) -> Self {
+        let mut address_space = AddressSpace::new(config.policy, seed);
+        let regions: Vec<Vec<VirtRange>> = spec
+            .regions
+            .iter()
+            .map(|r| {
+                (0..r.count)
+                    .map(|_| address_space.mmap(r.bytes, r.thp_eligible, r.name))
+                    .collect()
+            })
+            .collect();
+        let generator = TraceGenerator::new(spec, regions, seed);
+        Self::assemble(config, address_space, generator, seed)
+    }
+
+    /// Builds a simulator that replays a recorded trace (see
+    /// [`eeat_workloads::trace_file`] for the format). The address space is
+    /// constructed to cover every touched page, with regions of at least
+    /// 4 MiB treated as THP-eligible; traces shorter than the run loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `accesses` is empty or exceeds physical memory.
+    pub fn from_trace(config: Config, accesses: Vec<MemAccess>, seed: u64) -> Self {
+        assert!(!accesses.is_empty(), "cannot replay an empty trace");
+        let mut address_space = AddressSpace::new(config.policy, seed);
+        // Cover the trace with VMAs; merge touches within 16 MiB so a
+        // sparse heap becomes a few arenas rather than thousands.
+        for (start, len) in trace_file::covering_regions(&accesses, 16 << 20) {
+            let eligible = len >= (4 << 20);
+            address_space.mmap_at(VirtAddr::new(start), len, eligible, "trace");
+        }
+        let source = AccessSource::Replay {
+            accesses,
+            position: 0,
+        };
+        assemble_with_source(config, address_space, source, seed)
+    }
+
+    /// Builds a simulator over an existing address space and generator
+    /// (advanced use: failure injection, custom layouts).
+    pub fn assemble(
+        config: Config,
+        address_space: AddressSpace,
+        generator: TraceGenerator,
+        seed: u64,
+    ) -> Self {
+        assemble_with_source(
+            config,
+            address_space,
+            AccessSource::Synthetic(generator),
+            seed,
+        )
+    }
+}
+
+fn assemble_with_source(
+    config: Config,
+    address_space: AddressSpace,
+    source: AccessSource,
+    seed: u64,
+) -> Simulator {
+    let hierarchy = TlbHierarchy::from_config(&config);
+    let lite = config
+        .lite
+        .map(|params| LiteController::new(params, &hierarchy.resizable_ways(), seed));
+    let predictor = config
+        .predictor_entries
+        .filter(|_| config.unified_l1)
+        .map(SizePredictor::new);
+
+    // Build the page-size oracle: one entry per 2 MiB-aligned region of
+    // every VMA (sizes are uniform within such regions by construction).
+    let mut size_oracle = HashMap::new();
+    for vma in address_space.vmas() {
+        let start = vma.range().start().raw();
+        let end = vma.range().end().raw();
+        let mut at = start;
+        while at < end {
+            let size = address_space
+                .page_table()
+                .translate(VirtAddr::new(at))
+                .expect("VMAs are fully mapped")
+                .size();
+            size_oracle.insert(at >> 21, size);
+            at = (at & !((2 << 20) - 1)) + (2 << 20);
+        }
+    }
+
+    let sinks = Sinks {
+        stats: StatsObserver::new(),
+        energy: EnergyObserver::new(
+            EnergyModel::sandy_bridge(),
+            hierarchy.l1_1g().map(|t| t.active_entries()),
+        ),
+        cycles: CycleObserver::new(CycleModel::sandy_bridge()),
+        timeline: None,
+    };
+
+    Simulator {
+        config,
+        hierarchy,
+        walker: PageWalker::new(MmuCaches::sandy_bridge()),
+        address_space,
+        source,
+        lite,
+        predictor,
+        size_oracle,
+        sinks,
+        clock: 0,
+        flush_interval: None,
+        next_flush_at: u64::MAX,
+        flushes: 0,
+    }
+}

@@ -1,19 +1,23 @@
-//! The per-access MMU simulation loop.
+//! The MMU simulator facade over the staged translation pipeline.
+//!
+//! The per-access logic lives in [`crate::pipeline`]; this type owns the
+//! simulation state (structures, workload source, Lite controller) and the
+//! accounting sinks, and exposes the run/result API.
 
 use std::collections::HashMap;
 
-use eeat_energy::{CycleBreakdown, CycleModel, EnergyBreakdown, EnergyModel, Structure};
+use eeat_energy::{CycleBreakdown, EnergyBreakdown, EnergyModel, LeakageInputs};
 use eeat_os::AddressSpace;
-use eeat_paging::{MmuCaches, PageWalker};
-use eeat_tlb::PageTranslation;
-use eeat_types::{MemAccess, PageSize, VirtAddr, VirtRange};
-use eeat_workloads::{trace_file, TraceGenerator, Workload, WorkloadSpec};
+use eeat_paging::PageWalker;
+use eeat_types::{PageSize, VirtAddr};
 
 use crate::config::Config;
 use crate::hierarchy::TlbHierarchy;
-use crate::lite::{LiteController, LiteDecision};
+use crate::lite::LiteController;
+use crate::pipeline::{self, epoch, Sinks};
 use crate::predictor::SizePredictor;
-use crate::stats::{SimStats, Timeline, TimelinePoint};
+use crate::setup::AccessSource;
+use crate::stats::{SimStats, Timeline, TimelineObserver};
 
 /// The result of a simulation run.
 #[derive(Clone, Debug)]
@@ -26,33 +30,10 @@ pub struct RunResult {
     pub cycles: CycleBreakdown,
 }
 
-/// Where the simulator's accesses come from: a synthetic generator or a
-/// replayed trace (looped when shorter than the run).
-enum AccessSource {
-    Synthetic(TraceGenerator),
-    Replay {
-        accesses: Vec<MemAccess>,
-        position: usize,
-    },
-}
-
-impl AccessSource {
-    fn next_access(&mut self) -> MemAccess {
-        match self {
-            AccessSource::Synthetic(generator) => generator.next_access(),
-            AccessSource::Replay { accesses, position } => {
-                let access = accesses[*position];
-                *position = (*position + 1) % accesses.len();
-                access
-            }
-        }
-    }
-}
-
 /// The full MMU simulator: one core's TLB hierarchy and MMU caches, an OS
 /// address space, and a workload trace, under one [`Config`].
 ///
-/// Per memory operation the simulator
+/// Per memory operation the staged pipeline
 ///
 /// 1. probes every present L1 structure in parallel (each probe costs its
 ///    Table 2 read energy at the structure's *current* Lite size),
@@ -63,162 +44,34 @@ impl AccessSource {
 /// 4. refills structures on the way back, and
 /// 5. at Lite interval boundaries runs the decision algorithm and resizes
 ///    the L1 page TLBs.
+///
+/// Every countable side effect is emitted as a
+/// [`eeat_types::events::TranslationEvent`] and accumulated by observer
+/// sinks; the simulator itself carries no accounting state.
 pub struct Simulator {
-    config: Config,
-    hierarchy: TlbHierarchy,
-    walker: PageWalker,
-    address_space: AddressSpace,
-    source: AccessSource,
-    lite: Option<LiteController>,
+    pub(crate) config: Config,
+    pub(crate) hierarchy: TlbHierarchy,
+    pub(crate) walker: PageWalker,
+    pub(crate) address_space: AddressSpace,
+    pub(crate) source: AccessSource,
+    pub(crate) lite: Option<LiteController>,
     /// Realizable TLB_Pred: predicts the index size of unified-L1 lookups.
-    predictor: Option<SizePredictor>,
-    energy_model: EnergyModel,
-    cycle_model: CycleModel,
+    pub(crate) predictor: Option<SizePredictor>,
     /// Actual page size per 2 MiB-aligned virtual region — the simulator's
     /// `pagemap` (page sizes are uniform per region in the OS model).
-    size_oracle: HashMap<u64, PageSize>,
-    stats: SimStats,
-    /// L1 page-TLB energy flushed at each resize point (their per-operation
-    /// cost depends on the active ways at the time of the operation).
-    l1_energy: EnergyBreakdown,
-    pend_4k_lookups: u64,
-    pend_4k_fills: u64,
-    pend_2m_lookups: u64,
-    pend_2m_fills: u64,
-    pend_fa_lookups: u64,
-    pend_fa_fills: u64,
+    pub(crate) size_oracle: HashMap<u64, PageSize>,
+    /// Accounting sinks fed by the pipeline's event stream.
+    pub(crate) sinks: Sinks,
+    /// Instructions simulated (the pipeline's clock).
+    pub(crate) clock: u64,
     /// Optional multiprogramming model: full TLB + MMU-cache flush every
     /// this many instructions (an ASID-less context switch).
-    flush_interval: Option<u64>,
-    next_flush_at: u64,
-    flushes: u64,
+    pub(crate) flush_interval: Option<u64>,
+    pub(crate) next_flush_at: u64,
+    pub(crate) flushes: u64,
 }
 
 impl Simulator {
-    /// Builds a simulator for a catalogued workload.
-    pub fn from_workload(config: Config, workload: Workload, seed: u64) -> Self {
-        Self::from_spec(config, &workload.spec(), seed)
-    }
-
-    /// Builds a simulator for an arbitrary workload spec (tests, custom
-    /// studies).
-    ///
-    /// # Panics
-    ///
-    /// Panics when the spec is invalid or exceeds physical memory.
-    pub fn from_spec(config: Config, spec: &WorkloadSpec, seed: u64) -> Self {
-        let mut address_space = AddressSpace::new(config.policy, seed);
-        let regions: Vec<Vec<VirtRange>> = spec
-            .regions
-            .iter()
-            .map(|r| {
-                (0..r.count)
-                    .map(|_| address_space.mmap(r.bytes, r.thp_eligible, r.name))
-                    .collect()
-            })
-            .collect();
-        let generator = TraceGenerator::new(spec, regions, seed);
-        Self::assemble(config, address_space, generator, seed)
-    }
-
-    /// Builds a simulator that replays a recorded trace (see
-    /// [`eeat_workloads::trace_file`] for the format). The address space is
-    /// constructed to cover every touched page, with regions of at least
-    /// 4 MiB treated as THP-eligible; traces shorter than the run loop.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `accesses` is empty or exceeds physical memory.
-    pub fn from_trace(config: Config, accesses: Vec<MemAccess>, seed: u64) -> Self {
-        assert!(!accesses.is_empty(), "cannot replay an empty trace");
-        let mut address_space = AddressSpace::new(config.policy, seed);
-        // Cover the trace with VMAs; merge touches within 16 MiB so a
-        // sparse heap becomes a few arenas rather than thousands.
-        for (start, len) in trace_file::covering_regions(&accesses, 16 << 20) {
-            let eligible = len >= (4 << 20);
-            address_space.mmap_at(VirtAddr::new(start), len, eligible, "trace");
-        }
-        let source = AccessSource::Replay {
-            accesses,
-            position: 0,
-        };
-        Self::assemble_with_source(config, address_space, source, seed)
-    }
-
-    /// Builds a simulator over an existing address space and generator
-    /// (advanced use: failure injection, custom layouts).
-    pub fn assemble(
-        config: Config,
-        address_space: AddressSpace,
-        generator: TraceGenerator,
-        seed: u64,
-    ) -> Self {
-        Self::assemble_with_source(
-            config,
-            address_space,
-            AccessSource::Synthetic(generator),
-            seed,
-        )
-    }
-
-    fn assemble_with_source(
-        config: Config,
-        address_space: AddressSpace,
-        source: AccessSource,
-        seed: u64,
-    ) -> Self {
-        let hierarchy = TlbHierarchy::from_config(&config);
-        let lite = config
-            .lite
-            .map(|params| LiteController::new(params, &hierarchy.resizable_ways(), seed));
-        let predictor = config
-            .predictor_entries
-            .filter(|_| config.unified_l1)
-            .map(SizePredictor::new);
-
-        // Build the page-size oracle: one entry per 2 MiB-aligned region of
-        // every VMA (sizes are uniform within such regions by construction).
-        let mut size_oracle = HashMap::new();
-        for vma in address_space.vmas() {
-            let start = vma.range().start().raw();
-            let end = vma.range().end().raw();
-            let mut at = start;
-            while at < end {
-                let size = address_space
-                    .page_table()
-                    .translate(VirtAddr::new(at))
-                    .expect("VMAs are fully mapped")
-                    .size();
-                size_oracle.insert(at >> 21, size);
-                at = (at & !((2 << 20) - 1)) + (2 << 20);
-            }
-        }
-
-        Self {
-            config,
-            hierarchy,
-            walker: PageWalker::new(MmuCaches::sandy_bridge()),
-            address_space,
-            source,
-            lite,
-            predictor,
-            energy_model: EnergyModel::sandy_bridge(),
-            cycle_model: CycleModel::sandy_bridge(),
-            size_oracle,
-            stats: SimStats::default(),
-            l1_energy: EnergyBreakdown::new(),
-            pend_4k_lookups: 0,
-            pend_4k_fills: 0,
-            pend_2m_lookups: 0,
-            pend_2m_fills: 0,
-            pend_fa_lookups: 0,
-            pend_fa_fills: 0,
-            flush_interval: None,
-            next_flush_at: u64::MAX,
-            flushes: 0,
-        }
-    }
-
     /// Models multiprogramming on a core without ASIDs: every `instructions`
     /// a context switch flushes all TLBs and MMU caches. `None` disables.
     ///
@@ -228,7 +81,7 @@ impl Simulator {
     pub fn set_flush_interval(&mut self, instructions: Option<u64>) {
         if let Some(n) = instructions {
             assert!(n > 0, "flush interval must be non-zero");
-            self.next_flush_at = self.stats.instructions + n;
+            self.next_flush_at = self.clock + n;
         } else {
             self.next_flush_at = u64::MAX;
         }
@@ -242,7 +95,7 @@ impl Simulator {
 
     /// Replaces the energy model (e.g. a Figure 3 walk-locality variant).
     pub fn set_energy_model(&mut self, model: EnergyModel) {
-        self.energy_model = model;
+        self.sinks.energy.set_model(model);
     }
 
     /// The configuration being simulated.
@@ -272,12 +125,12 @@ impl Simulator {
 
     /// Counters so far.
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        self.sinks.stats.stats()
     }
 
     /// The actual page size backing `va` (the simulator's `pagemap` query).
     #[inline]
-    fn actual_size(&self, va: VirtAddr) -> PageSize {
+    pub(crate) fn actual_size(&self, va: VirtAddr) -> PageSize {
         self.size_oracle
             .get(&(va.raw() >> 21))
             .copied()
@@ -287,10 +140,10 @@ impl Simulator {
     /// Runs until at least `instructions` more instructions have executed;
     /// returns cumulative results.
     pub fn run(&mut self, instructions: u64) -> RunResult {
-        let target = self.stats.instructions + instructions;
-        while self.stats.instructions < target {
+        let target = self.clock + instructions;
+        while self.clock < target {
             let access = self.source.next_access();
-            self.step(access);
+            pipeline::step(self, access);
         }
         self.result()
     }
@@ -303,104 +156,49 @@ impl Simulator {
         bucket_instructions: u64,
     ) -> (RunResult, Timeline) {
         assert!(bucket_instructions > 0, "bucket must be non-zero");
-        let target = self.stats.instructions + instructions;
-        let mut timeline = Vec::new();
-        let mut bucket_end = self.stats.instructions + bucket_instructions;
-        let mut last = self.stats;
-        while self.stats.instructions < target {
-            let access = self.source.next_access();
-            self.step(access);
-            if self.stats.instructions >= bucket_end {
-                let delta_instr = self.stats.instructions - last.instructions;
-                let kilo = delta_instr as f64 / 1000.0;
-                timeline.push(TimelinePoint {
-                    instructions: self.stats.instructions,
-                    l1_mpki: (self.stats.l1_misses - last.l1_misses) as f64 / kilo,
-                    l2_mpki: (self.stats.l2_misses - last.l2_misses) as f64 / kilo,
-                    l1_4k_ways: self.hierarchy.l1_4k().map(|t| t.active_ways()).unwrap_or(0),
-                });
-                last = self.stats;
-                bucket_end += bucket_instructions;
-            }
-        }
-        (self.result(), timeline)
+        let initial_ways = self.hierarchy.l1_4k().map(|t| t.active_ways()).unwrap_or(0);
+        self.sinks.timeline = Some(TimelineObserver::new(
+            self.clock,
+            bucket_instructions,
+            initial_ways,
+        ));
+        let result = self.run(instructions);
+        let timeline = self
+            .sinks
+            .timeline
+            .take()
+            .expect("installed above")
+            .into_timeline();
+        (result, timeline)
     }
 
     /// Static (leakage) energy of the translation structures over the run —
     /// the §6.2 extension.
     ///
     /// Execution time is modelled as `instructions × CPI_base(=1) +
-    /// TLB-miss cycles` at [`eeat_energy::DEFAULT_CLOCK_GHZ`]. With
-    /// [`PowerGating::Gated`](eeat_energy::PowerGating::Gated), way-disabled structures leak like the
-    /// equivalently smaller structure (time at each size is apportioned by
-    /// the lookup counts, which track wall time closely at a uniform access
-    /// rate); with [`PowerGating::None`](eeat_energy::PowerGating::None), way-disabling saves no leakage.
+    /// TLB-miss cycles` at [`eeat_energy::DEFAULT_CLOCK_GHZ`]; see
+    /// [`eeat_energy::leakage_energy`] for the gating model.
     pub fn static_energy(&self, gating: eeat_energy::PowerGating) -> eeat_energy::StaticEnergy {
-        use eeat_energy::PowerGating;
-        let mut e = eeat_energy::StaticEnergy::default();
-        let cycles = self.stats.instructions
-            + self
-                .cycle_model
-                .miss_cycles(self.stats.l1_misses, self.stats.l2_misses)
-                .total();
-
-        // Apportions a structure's time across its size configurations by
-        // lookup share, then charges each size's leakage.
-        let mut charge_buckets = |buckets: &[u64], leak_of: &dyn Fn(usize) -> f64, full: usize| {
-            let total: u64 = buckets.iter().sum();
-            if total == 0 {
-                return;
-            }
-            match gating {
-                PowerGating::None => e.add_cycles(leak_of(full), cycles),
-                PowerGating::Gated => {
-                    for (log, &n) in buckets.iter().enumerate() {
-                        if n > 0 {
-                            let share = (cycles as f64 * n as f64 / total as f64) as u64;
-                            e.add_cycles(leak_of(1 << log), share);
-                        }
-                    }
-                }
-            }
+        let stats = self.sinks.stats.stats();
+        let inputs = LeakageInputs {
+            cycles: stats.instructions + self.sinks.cycles.snapshot().total(),
+            l1_4k_lookups_by_ways: self
+                .hierarchy
+                .l1_4k()
+                .map(|_| &stats.l1_4k_lookups_by_ways[..]),
+            l1_2m_lookups_by_ways: self
+                .hierarchy
+                .l1_2m()
+                .map(|_| &stats.l1_2m_lookups_by_ways[..]),
+            l1_fa_lookups_by_entries: self
+                .hierarchy
+                .l1_fa()
+                .map(|_| &stats.l1_fa_lookups_by_entries[..]),
+            has_l1_1g: self.hierarchy.l1_1g().is_some(),
+            has_l1_range: self.hierarchy.l1_range().is_some(),
+            has_l2_range: self.hierarchy.l2_range().is_some(),
         };
-
-        let m = &self.energy_model;
-        if self.hierarchy.l1_4k().is_some() {
-            charge_buckets(
-                &self.stats.l1_4k_lookups_by_ways,
-                &|w| m.l1_4k(w).leakage_mw,
-                4,
-            );
-        }
-        if self.hierarchy.l1_2m().is_some() {
-            charge_buckets(
-                &self.stats.l1_2m_lookups_by_ways,
-                &|w| m.l1_2m(w).leakage_mw,
-                4,
-            );
-        }
-        if self.hierarchy.l1_fa().is_some() {
-            charge_buckets(
-                &self.stats.l1_fa_lookups_by_entries,
-                &|n| eeat_energy::CamEnergyModel::page_tlb(n).leakage_mw(),
-                64,
-            );
-        }
-        // Fixed-size structures leak for the whole run regardless of gating.
-        if self.hierarchy.l1_1g().is_some() {
-            e.add_cycles(m.l1_1g(4).leakage_mw, cycles);
-        }
-        if self.hierarchy.l1_range().is_some() {
-            e.add_cycles(m.l1_range().leakage_mw, cycles);
-        }
-        e.add_cycles(m.l2_page().leakage_mw, cycles);
-        if self.hierarchy.l2_range().is_some() {
-            e.add_cycles(m.l2_range().leakage_mw, cycles);
-        }
-        e.add_cycles(m.mmu_pde().leakage_mw, cycles);
-        e.add_cycles(m.mmu_pdpte().leakage_mw, cycles);
-        e.add_cycles(m.mmu_pml4().leakage_mw, cycles);
-        e
+        eeat_energy::leakage_energy(self.sinks.energy.model(), gating, &inputs)
     }
 
     /// Failure injection: breaks up to `max_pages` huge pages back into
@@ -432,737 +230,15 @@ impl Simulator {
         broken
     }
 
-    /// Simulates one memory access.
-    fn step(&mut self, access: MemAccess) {
-        let va = access.vaddr();
-        self.stats.instructions += u64::from(access.instructions());
-        self.stats.accesses += 1;
-
-        if self.stats.instructions >= self.next_flush_at {
-            // Context switch: everything translation-related is lost.
-            self.hierarchy.shootdown(VirtAddr::new(0));
-            self.walker.caches_mut().flush();
-            self.flushes += 1;
-            self.next_flush_at =
-                self.stats.instructions + self.flush_interval.expect("armed only when set");
-        }
-
-        // --- L1: all present structures are probed in parallel. ---
-        let range_hit = self.hierarchy.l1_range.as_mut().and_then(|t| t.lookup(va));
-
-        // The unified L1 of TLB_PP is indexed with the (perfectly
-        // predicted) actual page size; per-size L1s use their own size.
-        let unified = self.hierarchy.unified_l1();
-        // (page size of the hit, LRU rank, Lite monitor index if monitored)
-        let mut page_hit: Option<(PageSize, u8, Option<usize>)> = None;
-        if let Some(t) = self.hierarchy.l1_fa.as_mut() {
-            // §4.4: one fully associative structure for all sizes; the
-            // lookup needs no page size at all.
-            self.pend_fa_lookups += 1;
-            let n = t.active_entries();
-            self.stats.l1_fa_lookups_by_entries[n.ilog2() as usize] += 1;
-            if let Some(h) = t.lookup_any_size(va) {
-                page_hit = Some((h.translation.size(), h.rank, Some(0)));
-            }
-        }
-        if let Some(t) = self.hierarchy.l1_4k.as_mut() {
-            self.pend_4k_lookups += 1;
-            let ways = t.active_ways();
-            self.stats.l1_4k_lookups_by_ways[ways.ilog2() as usize] += 1;
-            let hit = if unified {
-                let actual = self
-                    .size_oracle
-                    .get(&(va.raw() >> 21))
-                    .copied()
-                    .expect("trace addresses are always mapped");
-                if let Some(predictor) = &mut self.predictor {
-                    // Realizable TLB_Pred: probe with the predicted index;
-                    // a first-probe miss cannot be declared an L1 miss
-                    // until the other size's index has been checked, so it
-                    // always costs a second probe.
-                    let guess = predictor.predict(va);
-                    let mut hit = t.lookup_for_size(va, guess);
-                    if hit.is_none() {
-                        let alternate = if guess == PageSize::Size4K {
-                            PageSize::Size2M
-                        } else {
-                            PageSize::Size4K
-                        };
-                        self.pend_4k_lookups += 1;
-                        self.stats.predictor_second_probes += 1;
-                        hit = t.lookup_for_size(va, alternate);
-                    }
-                    predictor.update(va, actual);
-                    hit
-                } else {
-                    // TLB_PP: the perfect predictor always indexes right.
-                    t.lookup_for_size(va, actual)
-                }
-            } else {
-                t.lookup(va)
-            };
-            if let Some(h) = hit {
-                page_hit = Some((h.translation.size(), h.rank, Some(0)));
-            }
-        }
-        if let Some(t) = self.hierarchy.l1_2m.as_mut() {
-            self.pend_2m_lookups += 1;
-            let ways = t.active_ways();
-            self.stats.l1_2m_lookups_by_ways[ways.ilog2() as usize] += 1;
-            if let Some(h) = t.lookup(va) {
-                debug_assert!(page_hit.is_none(), "page sizes are disjoint");
-                page_hit = Some((PageSize::Size2M, h.rank, Some(1)));
-            }
-        }
-        if let Some(t) = self.hierarchy.l1_1g.as_mut() {
-            if let Some(h) = t.lookup(va) {
-                debug_assert!(page_hit.is_none(), "page sizes are disjoint");
-                page_hit = Some((PageSize::Size1G, h.rank, None));
-            }
-        }
-
-        if range_hit.is_some() {
-            // The range TLB serves the translation; a redundant page-TLB
-            // hit adds no utility (disabling those ways would not create an
-            // L2 access), so Lite's monitors are not credited.
-            self.stats.l1_hits_range += 1;
-            self.lite_interval_check();
-            return;
-        }
-        if let Some((size, rank, monitor)) = page_hit {
-            match size {
-                PageSize::Size4K => self.stats.l1_hits_4k += 1,
-                PageSize::Size2M => {
-                    // Mixed structures (unified / FA) report under the 4K
-                    // column; the separate L1-2MB TLB under its own.
-                    if unified || self.hierarchy.l1_fa.is_some() {
-                        self.stats.l1_hits_4k += 1;
-                    } else {
-                        self.stats.l1_hits_2m += 1;
-                    }
-                }
-                PageSize::Size1G => self.stats.l1_hits_1g += 1,
-            }
-            if let (Some(lite), Some(idx)) = (&mut self.lite, monitor) {
-                lite.record_hit(idx, rank);
-            }
-            self.lite_interval_check();
-            return;
-        }
-
-        // --- All L1 structures missed: access the L2 TLBs (7 cycles). ---
-        self.stats.l1_misses += 1;
-        if let Some(lite) = &mut self.lite {
-            lite.record_l1_miss();
-        }
-        let size = self.actual_size(va);
-        let l2_page_hit = self.hierarchy.l2_page.lookup_for_size(va, size);
-        let l2_range_hit = self.hierarchy.l2_range.as_mut().and_then(|t| t.lookup(va));
-
-        if l2_page_hit.is_some() || l2_range_hit.is_some() {
-            if let Some(hit) = l2_page_hit {
-                self.stats.l2_hits_page += 1;
-                self.fill_l1_page(hit.translation);
-            } else if let Some(rt) = l2_range_hit {
-                self.stats.l2_hits_range += 1;
-                // Derive the page-table entry from the range translation
-                // (base + offset) and refill the L1 page TLB, as RMM does.
-                self.fill_l1_page(derive_page_entry(&rt, va, size));
-            }
-            if let (Some(rt), Some(l1r)) = (l2_range_hit, self.hierarchy.l1_range.as_mut()) {
-                l1r.insert(rt);
-            }
-            self.lite_interval_check();
-            return;
-        }
-
-        // --- L2 miss: page walk (50 cycles). ---
-        self.stats.l2_misses += 1;
-        let walk = self.walker.walk(self.address_space.page_table(), va);
-        self.stats.walk_memory_refs += u64::from(walk.memory_refs);
-        let translation = walk.translation.expect("trace addresses are always mapped");
-        self.hierarchy.l2_page.insert(translation);
-        self.fill_l1_page(translation);
-
-        if self.config.uses_ranges() {
-            // The range-table walk proceeds in the background: no cycles,
-            // only energy (paper §5, Performance).
-            let (range, _refs) = self.address_space.range_table_mut().walk(va);
-            self.stats.range_table_walks += 1;
-            if let Some(rt) = range {
-                if let Some(t) = self.hierarchy.l2_range.as_mut() {
-                    t.insert(rt);
-                }
-                if let Some(t) = self.hierarchy.l1_range.as_mut() {
-                    t.insert(rt);
-                }
-            }
-        }
-        self.lite_interval_check();
-    }
-
-    /// Inserts a translation into the L1 page structure for its size.
-    fn fill_l1_page(&mut self, translation: PageTranslation) {
-        if let Some(t) = self.hierarchy.l1_fa.as_mut() {
-            t.insert(translation);
-            self.pend_fa_fills += 1;
-            return;
-        }
-        match translation.size() {
-            PageSize::Size4K => {
-                if let Some(t) = self.hierarchy.l1_4k.as_mut() {
-                    t.insert(translation);
-                    self.pend_4k_fills += 1;
-                }
-            }
-            PageSize::Size2M => {
-                if self.hierarchy.unified_l1() {
-                    if let Some(t) = self.hierarchy.l1_4k.as_mut() {
-                        t.insert(translation);
-                        self.pend_4k_fills += 1;
-                    }
-                } else if let Some(t) = self.hierarchy.l1_2m.as_mut() {
-                    t.insert(translation);
-                    self.pend_2m_fills += 1;
-                }
-            }
-            PageSize::Size1G => {
-                if let Some(t) = self.hierarchy.l1_1g.as_mut() {
-                    t.insert(translation);
-                }
-            }
-        }
-    }
-
-    /// Runs the Lite decision at interval boundaries and applies resizes.
-    fn lite_interval_check(&mut self) {
-        let Some(lite) = &mut self.lite else { return };
-        if !lite.interval_due(self.stats.instructions) {
-            return;
-        }
-        // The per-operation L1 energies are about to change: settle the
-        // pending operations at the outgoing way configuration.
-        let decision = lite.end_interval(self.stats.instructions);
-        self.flush_l1_energy();
-        self.stats.lite_intervals += 1;
-
-        let mut new_ways = Vec::new();
-        match decision {
-            LiteDecision::ActivateAllDegraded | LiteDecision::ActivateAllRandom => {
-                self.stats.lite_reactivations += 1;
-                if let Some(t) = &self.hierarchy.l1_fa {
-                    new_ways.push(t.capacity());
-                } else {
-                    if let Some(t) = &self.hierarchy.l1_4k {
-                        new_ways.push(t.ways());
-                    }
-                    if let Some(t) = &self.hierarchy.l1_2m {
-                        new_ways.push(t.ways());
-                    }
-                }
-            }
-            LiteDecision::Resize(ways) => new_ways = ways,
-        }
-        let mut it = new_ways.into_iter();
-        if let Some(t) = self.hierarchy.l1_fa.as_mut() {
-            t.set_active_entries(it.next().expect("one size per resizable TLB"));
-            return;
-        }
-        if let Some(t) = self.hierarchy.l1_4k.as_mut() {
-            t.set_active_ways(it.next().expect("one way count per resizable TLB"));
-        }
-        if let Some(t) = self.hierarchy.l1_2m.as_mut() {
-            t.set_active_ways(it.next().expect("one way count per resizable TLB"));
-        }
-    }
-
-    /// Settles pending L1 page-TLB operations at the current way counts.
-    fn flush_l1_energy(&mut self) {
-        if let Some(t) = &self.hierarchy.l1_4k {
-            let e = self.energy_model.l1_4k(t.active_ways());
-            self.l1_energy
-                .add_reads(Structure::L1Page4K, self.pend_4k_lookups, e.read_pj);
-            self.l1_energy
-                .add_writes(Structure::L1Page4K, self.pend_4k_fills, e.write_pj);
-        }
-        self.pend_4k_lookups = 0;
-        self.pend_4k_fills = 0;
-        if let Some(t) = &self.hierarchy.l1_2m {
-            let e = self.energy_model.l1_2m(t.active_ways());
-            self.l1_energy
-                .add_reads(Structure::L1Page2M, self.pend_2m_lookups, e.read_pj);
-            self.l1_energy
-                .add_writes(Structure::L1Page2M, self.pend_2m_fills, e.write_pj);
-        }
-        self.pend_2m_lookups = 0;
-        self.pend_2m_fills = 0;
-        if let Some(t) = &self.hierarchy.l1_fa {
-            let e = eeat_energy::CamEnergyModel::page_tlb(t.active_entries());
-            self.l1_energy
-                .add_reads(Structure::L1FullyAssoc, self.pend_fa_lookups, e.read_pj());
-            self.l1_energy
-                .add_writes(Structure::L1FullyAssoc, self.pend_fa_fills, e.write_pj());
-        }
-        self.pend_fa_lookups = 0;
-        self.pend_fa_fills = 0;
-    }
-
-    /// Assembles the cumulative result: flushes pending L1 energy and adds
-    /// the fixed-geometry structures from their event counters.
+    /// Assembles the cumulative result: settles pending resizable-L1 energy
+    /// at the current sizes and snapshots every sink.
     fn result(&mut self) -> RunResult {
-        self.flush_l1_energy();
-        let mut energy = self.l1_energy;
-        let m = &self.energy_model;
-
-        if let Some(t) = self.hierarchy.l1_1g() {
-            let e = m.l1_1g(t.active_entries());
-            energy.add_reads(Structure::L1Page1G, t.stats().lookups(), e.read_pj);
-            energy.add_writes(Structure::L1Page1G, t.stats().fills(), e.write_pj);
-        }
-        if let Some(t) = self.hierarchy.l1_range() {
-            let e = m.l1_range();
-            energy.add_reads(Structure::L1Range, t.stats().lookups(), e.read_pj);
-            energy.add_writes(Structure::L1Range, t.stats().fills(), e.write_pj);
-        }
-        {
-            let t = self.hierarchy.l2_page();
-            let e = m.l2_page();
-            energy.add_reads(Structure::L2Page, t.stats().lookups(), e.read_pj);
-            energy.add_writes(Structure::L2Page, t.stats().fills(), e.write_pj);
-        }
-        if let Some(t) = self.hierarchy.l2_range() {
-            let e = m.l2_range();
-            energy.add_reads(Structure::L2Range, t.stats().lookups(), e.read_pj);
-            energy.add_writes(Structure::L2Range, t.stats().fills(), e.write_pj);
-        }
-        let caches = self.walker.caches();
-        for (structure, cache, e) in [
-            (Structure::MmuPde, caches.pde(), m.mmu_pde()),
-            (Structure::MmuPdpte, caches.pdpte(), m.mmu_pdpte()),
-            (Structure::MmuPml4, caches.pml4(), m.mmu_pml4()),
-        ] {
-            energy.add_reads(structure, cache.stats().lookups(), e.read_pj);
-            energy.add_writes(structure, cache.stats().fills(), e.write_pj);
-        }
-        energy.add_pj(
-            Structure::PageWalk,
-            self.stats.walk_memory_refs as f64 * m.walk_ref_pj(),
-        );
-        energy.add_pj(
-            Structure::RangeWalk,
-            (self.stats.range_table_walks * u64::from(eeat_os::RANGE_TABLE_WALK_REFS)) as f64
-                * m.walk_ref_pj(),
-        );
-
-        if let Some(lite) = &self.lite {
-            self.stats.lite_intervals = lite.intervals();
-        }
-
+        let settle = epoch::settle_event(&self.hierarchy);
+        self.sinks.emit(settle);
         RunResult {
-            stats: self.stats,
-            energy,
-            cycles: self
-                .cycle_model
-                .miss_cycles(self.stats.l1_misses, self.stats.l2_misses),
+            stats: *self.sinks.stats.stats(),
+            energy: self.sinks.energy.snapshot(),
+            cycles: self.sinks.cycles.snapshot(),
         }
-    }
-}
-
-/// Derives the page-table entry covering `va` from a range translation.
-fn derive_page_entry(
-    rt: &eeat_types::RangeTranslation,
-    va: VirtAddr,
-    size: PageSize,
-) -> PageTranslation {
-    let vpn = va.vpn().align_down(size);
-    let pfn = rt
-        .translate_vpn(vpn)
-        .expect("range TLB hit implies containment");
-    PageTranslation::new(vpn, pfn, size)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
-
-    /// A small, fast workload: 2 MiB hot region + 64 MiB cold region.
-    fn small_spec() -> WorkloadSpec {
-        WorkloadSpec {
-            name: "unit",
-            mem_ops_per_kilo_instr: 300,
-            store_fraction: 0.2,
-            regions: vec![
-                RegionSpec {
-                    name: "hot",
-                    bytes: 128 << 10,
-                    count: 1,
-                    thp_eligible: false,
-                },
-                RegionSpec {
-                    name: "cold",
-                    bytes: 64 << 20,
-                    count: 1,
-                    thp_eligible: true,
-                },
-            ],
-            streams: vec![
-                StreamSpec {
-                    region: 0,
-                    pattern: Pattern::Hotspot {
-                        hot_fraction: 0.5,
-                        hot_prob: 0.9,
-                    },
-                    region_switch_prob: 0.0,
-                },
-                StreamSpec {
-                    region: 1,
-                    pattern: Pattern::Random,
-                    region_switch_prob: 0.0,
-                },
-            ],
-            phases: vec![PhaseSpec {
-                duration_units: 1,
-                weights: vec![(0, 0.8), (1, 0.2)],
-            }],
-            phase_unit_instructions: 100_000,
-        }
-    }
-
-    #[test]
-    fn counters_are_consistent() {
-        let mut sim = Simulator::from_spec(Config::four_k(), &small_spec(), 1);
-        let r = sim.run(200_000);
-        assert!(r.stats.instructions >= 200_000);
-        assert!(r.stats.accesses > 0);
-        // Hits + misses == accesses.
-        assert_eq!(r.stats.l1_hits() + r.stats.l1_misses, r.stats.accesses);
-        // L2 misses never exceed L1 misses.
-        assert!(r.stats.l2_misses <= r.stats.l1_misses);
-        assert_eq!(
-            r.stats.l2_hits_page + r.stats.l2_hits_range + r.stats.l2_misses,
-            r.stats.l1_misses
-        );
-        // Cycles follow Table 3 exactly.
-        assert_eq!(r.cycles.l1_miss_cycles, 7 * r.stats.l1_misses);
-        assert_eq!(r.cycles.l2_miss_cycles, 50 * r.stats.l2_misses);
-        // Energy is positive and includes L1 lookups.
-        assert!(r.energy.pj(Structure::L1Page4K) > 0.0);
-        assert!(r.energy.total_pj() > 0.0);
-    }
-
-    #[test]
-    fn four_k_has_no_2m_energy() {
-        let mut sim = Simulator::from_spec(Config::four_k(), &small_spec(), 1);
-        let r = sim.run(100_000);
-        assert_eq!(r.energy.pj(Structure::L1Page2M), 0.0);
-        assert_eq!(r.energy.pj(Structure::L1Range), 0.0);
-        assert_eq!(r.energy.pj(Structure::L2Range), 0.0);
-        assert_eq!(r.stats.l1_hits_2m, 0);
-    }
-
-    #[test]
-    fn thp_reduces_misses_but_adds_l1_energy() {
-        let mut four_k = Simulator::from_spec(Config::four_k(), &small_spec(), 1);
-        let mut thp = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        let a = four_k.run(400_000);
-        let b = thp.run(400_000);
-        // The cold region is THP-backed: fewer L2 misses (walks).
-        assert!(
-            b.stats.l2_mpki() < a.stats.l2_mpki(),
-            "THP should reduce walks: {} vs {}",
-            b.stats.l2_mpki(),
-            a.stats.l2_mpki()
-        );
-        // But the second L1 structure costs energy on every access.
-        assert!(b.energy.pj(Structure::L1Page2M) > 0.0);
-        assert!(b.stats.l1_hits_2m > 0, "cold region hits the 2M TLB");
-    }
-
-    #[test]
-    fn rmm_eliminates_walks() {
-        let mut rmm = Simulator::from_spec(Config::rmm(), &small_spec(), 1);
-        let r = rmm.run(400_000);
-        // After warmup both VMAs sit in the 32-entry L2-range TLB: walks
-        // only happen before the first fills.
-        assert!(
-            r.stats.l2_misses < 10,
-            "L2-range covers both VMAs: {}",
-            r.stats.l2_misses
-        );
-        assert!(r.stats.l2_hits_range > 0);
-        assert!(r.energy.pj(Structure::L2Range) > 0.0);
-    }
-
-    #[test]
-    fn rmm_lite_hits_l1_range_and_downsizes() {
-        let mut sim = Simulator::from_spec(Config::rmm_lite(), &small_spec(), 1);
-        let r = sim.run(3_000_000);
-        assert!(r.stats.l1_hits_range > 0, "L1-range TLB serves hits");
-        // With two VMAs in a 4-entry L1-range TLB nearly everything hits
-        // there; Lite should have downsized the L1-4KB TLB.
-        let ways = sim.hierarchy().l1_4k().unwrap().active_ways();
-        assert!(ways < 4, "Lite should downsize, still at {ways} ways");
-        assert!(r.stats.lite_intervals >= 2);
-        // Way-time accounting: some lookups ran at a reduced size.
-        let (w4, _w2, _w1) = r.stats.l1_4k_way_shares();
-        assert!(w4 < 1.0);
-    }
-
-    #[test]
-    fn tlb_pp_uses_single_l1_structure() {
-        let mut sim = Simulator::from_spec(Config::tlb_pp(), &small_spec(), 1);
-        let r = sim.run(300_000);
-        assert_eq!(r.energy.pj(Structure::L1Page2M), 0.0);
-        // 2 MiB-backed accesses hit the unified structure.
-        assert!(r.stats.l1_hits_4k > 0);
-        assert_eq!(r.stats.l1_hits_2m, 0);
-        // Reach advantage: fewer L1 misses than THP for the same trace.
-        let mut thp = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        let t = thp.run(300_000);
-        assert!(r.energy.total_pj() < t.energy.total_pj());
-    }
-
-    #[test]
-    fn timeline_sampling() {
-        let mut sim = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        let (r, timeline) = sim.run_with_timeline(500_000, 50_000);
-        assert!(timeline.len() >= 9, "got {} buckets", timeline.len());
-        assert!(timeline.iter().all(|p| p.l1_mpki >= 0.0));
-        assert!(timeline
-            .windows(2)
-            .all(|w| w[0].instructions < w[1].instructions));
-        assert!(r.stats.instructions >= 500_000);
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let run = || {
-            let mut sim = Simulator::from_spec(Config::tlb_lite(), &small_spec(), 7);
-            let r = sim.run(400_000);
-            (r.stats, r.energy.total_pj().to_bits(), r.cycles)
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn trace_replay_round_trip() {
-        use eeat_types::AccessKind;
-        // A tiny hand-written trace: two hot pages plus one far page.
-        let mut accesses = Vec::new();
-        for i in 0..600u64 {
-            let va = match i % 3 {
-                0 => 0x10_0000_0000 + (i % 2) * 4096,
-                1 => 0x10_0000_2000,
-                _ => 0x20_0000_0000,
-            };
-            accesses.push(MemAccess::new(
-                VirtAddr::new(va),
-                if i % 4 == 0 {
-                    AccessKind::Store
-                } else {
-                    AccessKind::Load
-                },
-                3,
-            ));
-        }
-        let mut sim = Simulator::from_trace(Config::thp(), accesses.clone(), 1);
-        let r = sim.run(600 * 3);
-        assert_eq!(r.stats.accesses, 600);
-        // Three hot pages + one far page: after warmup everything hits.
-        assert!(r.stats.l1_misses <= 8, "misses {}", r.stats.l1_misses);
-        // The trace loops when the run is longer than the recording.
-        let r2 = sim.run(600 * 3);
-        assert_eq!(r2.stats.accesses, 1200);
-
-        // And the file format round-trips into the same simulation.
-        let mut buf = Vec::new();
-        trace_file::write_trace(&mut buf, accesses).unwrap();
-        let parsed = trace_file::read_trace(buf.as_slice()).unwrap();
-        let mut sim2 = Simulator::from_trace(Config::thp(), parsed, 1);
-        let q = sim2.run(600 * 3);
-        assert_eq!(q.stats.l1_misses, r.stats.l1_misses);
-    }
-
-    #[test]
-    fn context_switch_flushes_cost_misses() {
-        let mut quiet = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        let base = quiet.run(600_000);
-
-        let mut noisy = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        noisy.set_flush_interval(Some(50_000));
-        let flushed = noisy.run(600_000);
-
-        assert!(noisy.flushes() >= 11, "{} flushes", noisy.flushes());
-        assert_eq!(base.stats.accesses, flushed.stats.accesses, "same trace");
-        assert!(
-            flushed.stats.l1_misses > base.stats.l1_misses,
-            "cold-start misses after each switch"
-        );
-        assert!(flushed.stats.l2_misses > base.stats.l2_misses);
-        // Disabling the interval stops further flushes.
-        noisy.set_flush_interval(None);
-        let before = noisy.flushes();
-        noisy.run(200_000);
-        assert_eq!(noisy.flushes(), before);
-    }
-
-    #[test]
-    fn tlb_pred_pays_for_second_probes() {
-        // The realizable predictor: same behaviour as TLB_PP (both resolve
-        // every lookup) but mispredicted/missing first probes cost a second
-        // L1 read.
-        let mut pp = Simulator::from_spec(Config::tlb_pp(), &small_spec(), 1);
-        let mut pred = Simulator::from_spec(Config::tlb_pred(), &small_spec(), 1);
-        let a = pp.run(400_000);
-        let b = pred.run(400_000);
-        // Identical traces, identical hit/miss outcomes (the retry checks
-        // the alternate index, so no hit is ever lost).
-        assert_eq!(a.stats.accesses, b.stats.accesses);
-        assert_eq!(a.stats.l1_misses, b.stats.l1_misses);
-        assert_eq!(a.stats.l2_misses, b.stats.l2_misses);
-        // But TLB_Pred paid extra probes — at least one per L1 miss.
-        assert!(b.stats.predictor_second_probes >= b.stats.l1_misses);
-        assert!(a.stats.predictor_second_probes == 0);
-        assert!(
-            b.energy.total_pj() > a.energy.total_pj(),
-            "realizable prediction costs energy over the perfect oracle"
-        );
-        let p = pred.predictor().expect("TLB_Pred has a predictor");
-        assert!(p.predictions() > 0);
-        // The region-hashed predictor learns quickly: mispredicts are rare.
-        assert!(
-            p.misprediction_ratio() < 0.05,
-            "ratio {}",
-            p.misprediction_ratio()
-        );
-    }
-
-    #[test]
-    fn static_energy_gating_saves_leakage() {
-        use eeat_energy::PowerGating;
-        // A workload that downsizes under TLB_Lite: gated leakage < ungated.
-        let mut sim = Simulator::from_spec(Config::tlb_lite(), &small_spec(), 1);
-        sim.run(3_000_000);
-        let gated = sim.static_energy(PowerGating::Gated);
-        let ungated = sim.static_energy(PowerGating::None);
-        assert!(gated.total_uj() > 0.0);
-        assert!(
-            gated.total_uj() <= ungated.total_uj(),
-            "gating can only reduce leakage"
-        );
-        // Without Lite, gating changes nothing (always full size).
-        let mut plain = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        plain.run(1_000_000);
-        let a = plain.static_energy(PowerGating::Gated);
-        let b = plain.static_energy(PowerGating::None);
-        assert!((a.total_uj() - b.total_uj()).abs() < 1e-9);
-    }
-
-    #[test]
-    fn fully_assoc_l1_organization() {
-        // §4.4 extension: one FA structure serves both page sizes.
-        let mut sim = Simulator::from_spec(Config::fa_thp(), &small_spec(), 1);
-        let r = sim.run(300_000);
-        assert!(sim.hierarchy().l1_fa().is_some());
-        assert!(sim.hierarchy().l1_4k().is_none());
-        assert!(sim.hierarchy().l1_2m().is_none());
-        // Hits from both page sizes land in the FA structure.
-        assert!(r.stats.l1_hits_4k > 0);
-        assert_eq!(
-            r.stats.l1_hits_2m, 0,
-            "mixed structure reports in one column"
-        );
-        assert!(r.energy.pj(Structure::L1FullyAssoc) > 0.0);
-        assert_eq!(r.energy.pj(Structure::L1Page4K), 0.0);
-        assert_eq!(r.energy.pj(Structure::L1Page2M), 0.0);
-        // The paper's premise: the 64-entry FA search costs more per lookup
-        // than the separate set-associative structures.
-        let mut thp = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        let t = thp.run(300_000);
-        assert!(
-            r.energy.pj(Structure::L1FullyAssoc) > t.energy.pj(Structure::L1Page4K),
-            "FA lookups should cost more than the 4K-way structure alone"
-        );
-        assert_eq!(r.stats.accesses, t.stats.accesses, "same trace");
-    }
-
-    #[test]
-    fn fa_lite_downsizes_in_powers_of_two() {
-        // A near-resident working set: four hot pages dominate, so Lite can
-        // shrink the 64-entry FA structure far below full size.
-        let spec = WorkloadSpec {
-            name: "tiny-hot",
-            mem_ops_per_kilo_instr: 300,
-            store_fraction: 0.2,
-            regions: vec![RegionSpec {
-                name: "hot",
-                bytes: 16 << 20,
-                count: 1,
-                thp_eligible: false,
-            }],
-            streams: vec![StreamSpec {
-                region: 0,
-                pattern: Pattern::HotspotBurst {
-                    hot_fraction: 0.001, // ~4 pages
-                    hot_prob: 0.995,
-                    burst: 4,
-                    burst_stride: 64,
-                },
-                region_switch_prob: 0.0,
-            }],
-            phases: vec![PhaseSpec {
-                duration_units: 1,
-                weights: vec![(0, 1.0)],
-            }],
-            phase_unit_instructions: 100_000,
-        };
-        let mut sim = Simulator::from_spec(Config::fa_lite(), &spec, 1);
-        let r = sim.run(2_000_000);
-        let fa = sim.hierarchy().l1_fa().unwrap();
-        assert!(fa.active_entries() <= 64);
-        assert!(fa.active_entries().is_power_of_two());
-        assert!(r.stats.lite_intervals >= 2);
-        // Lite found a smaller size for this small-working-set workload.
-        assert!(
-            r.stats.l1_fa_mean_entries() < 64.0,
-            "mean active entries {}",
-            r.stats.l1_fa_mean_entries()
-        );
-        // Energy accounting went to the FA category only.
-        assert!(r.energy.pj(Structure::L1FullyAssoc) > 0.0);
-        assert_eq!(r.energy.pj(Structure::L1Page4K), 0.0);
-    }
-
-    #[test]
-    fn thp_breakdown_demotes_and_shoots_down() {
-        let mut sim = Simulator::from_spec(Config::tlb_lite(), &small_spec(), 1);
-        sim.run(200_000);
-        let huge_before = sim.address_space().huge_pages();
-        assert!(huge_before > 0, "the cold region is THP-backed");
-        let broken = sim.break_huge_pages(4);
-        assert_eq!(broken, 4);
-        assert_eq!(sim.address_space().huge_pages(), huge_before - 4);
-        // The shootdown emptied the structures.
-        assert_eq!(sim.hierarchy().l2_page().occupancy(), 0);
-        // Simulation continues and the demoted regions now walk as 4 KiB.
-        let r = sim.run(200_000);
-        assert!(r.stats.instructions >= 400_000);
-        // Nothing was broken beyond what existed.
-        assert_eq!(sim.break_huge_pages(0), 0);
-    }
-
-    #[test]
-    fn energy_accumulates_across_run_calls() {
-        let mut sim = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        let first = sim.run(100_000);
-        let second = sim.run(100_000);
-        assert!(second.energy.total_pj() > first.energy.total_pj());
-        assert!(second.stats.instructions >= 2 * 100_000);
-        // A single long run matches the two-part run exactly.
-        let mut sim2 = Simulator::from_spec(Config::thp(), &small_spec(), 1);
-        let long = sim2.run(second.stats.instructions - sim2.stats().instructions);
-        assert_eq!(long.stats.accesses, second.stats.accesses);
-        assert!((long.energy.total_pj() - second.energy.total_pj()).abs() < 1e-6);
     }
 }

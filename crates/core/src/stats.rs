@@ -1,6 +1,9 @@
-//! Simulation statistics and result types.
+//! Simulation statistics and result types, and the observers that build
+//! them from the translation-event stream.
 
 use core::fmt;
+
+use eeat_types::events::{HitColumn, Observer, ResizableUnit, TranslationEvent};
 
 /// Aggregate counters of one simulation run.
 ///
@@ -169,6 +172,147 @@ pub struct TimelinePoint {
 /// A run's MPKI timeline (Figure 4's x-axis is execution time in
 /// instructions).
 pub type Timeline = Vec<TimelinePoint>;
+
+/// Builds a [`SimStats`] from the translation-event stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsObserver {
+    stats: SimStats,
+}
+
+impl StatsObserver {
+    /// Creates a zeroed observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+}
+
+impl Observer for StatsObserver {
+    fn on_event(&mut self, event: &TranslationEvent) {
+        let s = &mut self.stats;
+        match *event {
+            TranslationEvent::Access { instruction_gap } => {
+                s.instructions += u64::from(instruction_gap);
+                s.accesses += 1;
+            }
+            TranslationEvent::Probe { unit, active } => {
+                let log = active.ilog2() as usize;
+                match unit {
+                    ResizableUnit::L1FourK => s.l1_4k_lookups_by_ways[log] += 1,
+                    ResizableUnit::L1TwoM => s.l1_2m_lookups_by_ways[log] += 1,
+                    ResizableUnit::L1FullyAssoc => s.l1_fa_lookups_by_entries[log] += 1,
+                }
+            }
+            // A second probe re-reads the same structure at the same size;
+            // it is an extra energy event, not a second way-residency
+            // sample, so the ways histogram is not credited.
+            TranslationEvent::SecondProbe { .. } => s.predictor_second_probes += 1,
+            TranslationEvent::L1Hit { column } => match column {
+                HitColumn::FourK => s.l1_hits_4k += 1,
+                HitColumn::TwoM => s.l1_hits_2m += 1,
+                HitColumn::OneG => s.l1_hits_1g += 1,
+                HitColumn::Range => s.l1_hits_range += 1,
+            },
+            TranslationEvent::L1Miss => s.l1_misses += 1,
+            TranslationEvent::L2Hit { range: false } => s.l2_hits_page += 1,
+            TranslationEvent::L2Hit { range: true } => s.l2_hits_range += 1,
+            TranslationEvent::L2Miss => s.l2_misses += 1,
+            TranslationEvent::PageWalk { memory_refs } => {
+                s.walk_memory_refs += u64::from(memory_refs);
+            }
+            TranslationEvent::RangeTableWalk { .. } => s.range_table_walks += 1,
+            TranslationEvent::EpochEnd { reactivated, .. } => {
+                s.lite_intervals += 1;
+                if reactivated {
+                    s.lite_reactivations += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Samples a Figure 4 MPKI timeline from the event stream: one point per
+/// `bucket` instructions, finalized at step boundaries like the paper's
+/// per-interval sampling.
+#[derive(Clone, Debug)]
+pub struct TimelineObserver {
+    bucket: u64,
+    bucket_end: u64,
+    instructions: u64,
+    l1_misses: u64,
+    l2_misses: u64,
+    last_instructions: u64,
+    last_l1_misses: u64,
+    last_l2_misses: u64,
+    l1_4k_ways: usize,
+    points: Timeline,
+}
+
+impl TimelineObserver {
+    /// Creates an observer sampling every `bucket` instructions, starting
+    /// from `start_instructions` with the L1-4KB TLB at `l1_4k_ways`
+    /// (0 when the hierarchy has none).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket` is zero.
+    pub fn new(start_instructions: u64, bucket: u64, l1_4k_ways: usize) -> Self {
+        assert!(bucket > 0, "bucket must be non-zero");
+        Self {
+            bucket,
+            bucket_end: start_instructions + bucket,
+            instructions: start_instructions,
+            l1_misses: 0,
+            l2_misses: 0,
+            last_instructions: start_instructions,
+            last_l1_misses: 0,
+            last_l2_misses: 0,
+            l1_4k_ways,
+            points: Vec::new(),
+        }
+    }
+
+    /// The finished timeline.
+    pub fn into_timeline(self) -> Timeline {
+        self.points
+    }
+}
+
+impl Observer for TimelineObserver {
+    fn on_event(&mut self, event: &TranslationEvent) {
+        match *event {
+            TranslationEvent::Access { instruction_gap } => {
+                self.instructions += u64::from(instruction_gap);
+            }
+            TranslationEvent::L1Miss => self.l1_misses += 1,
+            TranslationEvent::L2Miss => self.l2_misses += 1,
+            TranslationEvent::EpochEnd {
+                l1_4k_ways: Some(ways),
+                ..
+            } => self.l1_4k_ways = ways as usize,
+            TranslationEvent::StepEnd if self.instructions >= self.bucket_end => {
+                let delta_instr = self.instructions - self.last_instructions;
+                let kilo = delta_instr as f64 / 1000.0;
+                self.points.push(TimelinePoint {
+                    instructions: self.instructions,
+                    l1_mpki: (self.l1_misses - self.last_l1_misses) as f64 / kilo,
+                    l2_mpki: (self.l2_misses - self.last_l2_misses) as f64 / kilo,
+                    l1_4k_ways: self.l1_4k_ways,
+                });
+                self.last_instructions = self.instructions;
+                self.last_l1_misses = self.l1_misses;
+                self.last_l2_misses = self.l2_misses;
+                self.bucket_end += self.bucket;
+            }
+            _ => {}
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

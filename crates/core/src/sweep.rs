@@ -4,6 +4,7 @@ use eeat_energy::{EnergyModel, Structure};
 use eeat_workloads::Workload;
 
 use crate::config::{Config, LiteParams};
+use crate::par;
 use crate::simulator::{RunResult, Simulator};
 use crate::stats::Timeline;
 
@@ -54,14 +55,16 @@ pub fn fig4_fixed_sizes(
         ("32", Config::thp_with_l1_4k(32, 2)),
         ("16", Config::thp_with_l1_4k(16, 1)),
     ];
-    configs
-        .into_iter()
-        .map(|(label, config)| {
-            let mut sim = Simulator::from_workload(config, workload, seed);
+    // The four series are independent simulations: one worker each.
+    par::parallel_map(
+        &configs,
+        par::thread_count(configs.len(), None),
+        |(label, config)| {
+            let mut sim = Simulator::from_workload(config.clone(), workload, seed);
             let (_result, timeline) = sim.run_with_timeline(instructions, bucket_instructions);
-            (label, timeline)
-        })
-        .collect()
+            (*label, timeline)
+        },
+    )
 }
 
 /// One point of the §6.2 Lite sensitivity study.
@@ -85,9 +88,16 @@ pub fn lite_sensitivity(
     intervals: &[u64],
     probs: &[f64],
 ) -> Vec<SensitivityPoint> {
-    let mut points = Vec::with_capacity(intervals.len() * probs.len());
-    for &interval in intervals {
-        for &prob in probs {
+    let grid: Vec<(u64, f64)> = intervals
+        .iter()
+        .flat_map(|&interval| probs.iter().map(move |&prob| (interval, prob)))
+        .collect();
+    // Every grid point is an independent simulation; sweep them in
+    // parallel (results come back in grid order).
+    par::parallel_map(
+        &grid,
+        par::thread_count(grid.len(), None),
+        |&(interval, prob)| {
             let mut config = Config::tlb_lite();
             config.lite = Some(LiteParams {
                 interval_instructions: interval,
@@ -95,14 +105,13 @@ pub fn lite_sensitivity(
                 ..LiteParams::tlb_lite()
             });
             let mut sim = Simulator::from_workload(config, workload, seed);
-            points.push(SensitivityPoint {
+            SensitivityPoint {
                 interval_instructions: interval,
                 reactivation_prob: prob,
                 result: sim.run(instructions),
-            });
-        }
-    }
-    points
+            }
+        },
+    )
 }
 
 #[cfg(test)]

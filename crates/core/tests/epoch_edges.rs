@@ -1,0 +1,172 @@
+//! Edge cases of the epoch stage: a Lite resize landing on the same
+//! instruction as a context-switch flush, and pending-L1 energy settling
+//! across a resize boundary.
+
+use eeat_core::{Config, Simulator};
+use eeat_energy::{EnergyModel, EnergyObserver, Structure};
+use eeat_types::events::{Observer, ResizableUnit, TranslationEvent};
+use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
+
+/// A hot/cold workload that gives Lite room to resize.
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "epoch-edges",
+        mem_ops_per_kilo_instr: 300,
+        store_fraction: 0.2,
+        regions: vec![
+            RegionSpec {
+                name: "hot",
+                bytes: 128 << 10,
+                count: 1,
+                thp_eligible: false,
+            },
+            RegionSpec {
+                name: "cold",
+                bytes: 64 << 20,
+                count: 1,
+                thp_eligible: true,
+            },
+        ],
+        streams: vec![
+            StreamSpec {
+                region: 0,
+                pattern: Pattern::Hotspot {
+                    hot_fraction: 0.5,
+                    hot_prob: 0.9,
+                },
+                region_switch_prob: 0.0,
+            },
+            StreamSpec {
+                region: 1,
+                pattern: Pattern::Random,
+                region_switch_prob: 0.0,
+            },
+        ],
+        phases: vec![PhaseSpec {
+            duration_units: 1,
+            weights: vec![(0, 0.8), (1, 0.2)],
+        }],
+        phase_unit_instructions: 100_000,
+    }
+}
+
+#[test]
+fn resize_and_flush_on_the_same_instruction() {
+    // Arm the context-switch flush at exactly the Lite interval: every
+    // epoch boundary coincides with a full TLB flush on the same
+    // instruction. The flush runs at step start (before the probes), the
+    // Lite decision at step end — both must fire and the books must stay
+    // consistent.
+    let interval = Config::tlb_lite()
+        .lite
+        .expect("TLB_Lite has Lite parameters")
+        .interval_instructions;
+    let mut sim = Simulator::from_spec(Config::tlb_lite(), &spec(), 5);
+    sim.set_flush_interval(Some(interval));
+    let r = sim.run(8 * interval);
+
+    assert!(sim.flushes() >= 7, "{} flushes", sim.flushes());
+    assert!(r.stats.lite_intervals >= 7, "{}", r.stats.lite_intervals);
+    // The coincidence loses no accesses and breaks no invariants.
+    assert_eq!(r.stats.l1_hits() + r.stats.l1_misses, r.stats.accesses);
+    assert_eq!(
+        r.stats.l2_hits_page + r.stats.l2_hits_range + r.stats.l2_misses,
+        r.stats.l1_misses
+    );
+    // Every L1-4KB probe landed in exactly one way-residency bucket.
+    let probes: u64 = r.stats.l1_4k_lookups_by_ways.iter().sum();
+    assert_eq!(
+        probes,
+        sim.hierarchy().l1_4k().expect("present").stats().lookups()
+    );
+    assert!(r.energy.total_pj().is_finite());
+
+    // And the coincidence is deterministic: an identical simulation
+    // reproduces the result bit-for-bit.
+    let mut again = Simulator::from_spec(Config::tlb_lite(), &spec(), 5);
+    again.set_flush_interval(Some(interval));
+    let r2 = again.run(8 * interval);
+    assert_eq!(r.stats, r2.stats);
+    assert_eq!(
+        r.energy.total_pj().to_bits(),
+        r2.energy.total_pj().to_bits()
+    );
+}
+
+#[test]
+fn pending_energy_settles_at_outgoing_sizes_across_resize() {
+    // Pending probe/fill counts must be charged at the size they ran at —
+    // the settle event at the resize boundary, not the snapshot at the
+    // end, fixes the per-operation energy.
+    let mut obs = EnergyObserver::new(EnergyModel::sandy_bridge(), None);
+    let read4 = obs.model().l1_4k(4).read_pj;
+    let read2 = obs.model().l1_4k(2).read_pj;
+    let write2 = obs.model().l1_4k(2).write_pj;
+
+    let probe = TranslationEvent::Probe {
+        unit: ResizableUnit::L1FourK,
+        active: 4,
+    };
+    for _ in 0..10 {
+        obs.on_event(&probe);
+    }
+    // A context switch in the same step must not disturb pending counts.
+    obs.on_event(&TranslationEvent::ContextSwitch);
+    // Epoch boundary: settle at the outgoing 4 ways, then resize to 2.
+    obs.on_event(&TranslationEvent::EpochSettle {
+        l1_4k_ways: Some(4),
+        l1_2m_ways: None,
+        l1_fa_entries: None,
+    });
+
+    let probe2 = TranslationEvent::Probe {
+        unit: ResizableUnit::L1FourK,
+        active: 2,
+    };
+    for _ in 0..7 {
+        obs.on_event(&probe2);
+    }
+    for _ in 0..3 {
+        obs.on_event(&TranslationEvent::Fill {
+            unit: ResizableUnit::L1FourK,
+        });
+    }
+    obs.on_event(&TranslationEvent::EpochSettle {
+        l1_4k_ways: Some(2),
+        l1_2m_ways: None,
+        l1_fa_entries: None,
+    });
+
+    // Identical arithmetic to the settle path: one count × pJ multiply
+    // per settle, accumulated in event order.
+    let mut expected = 0.0f64;
+    expected += 10.0 * read4;
+    expected += 7.0 * read2;
+    expected += 3.0 * write2;
+    let charged = obs.snapshot().pj(Structure::L1Page4K);
+    assert_eq!(charged.to_bits(), expected.to_bits());
+}
+
+#[test]
+fn settled_energy_stays_within_size_bounds_end_to_end() {
+    // End-to-end cross-check of the same property: after a run in which
+    // Lite resized, the charged L1-4KB lookup energy must lie strictly
+    // between the all-at-1-way and all-at-4-ways extremes.
+    let mut sim = Simulator::from_spec(Config::tlb_lite(), &spec(), 1);
+    let r = sim.run(3_000_000);
+    let by_ways = r.stats.l1_4k_lookups_by_ways; // [1-way, 2-way, 4-way]
+    assert!(
+        by_ways[2] > 0 && (by_ways[0] > 0 || by_ways[1] > 0),
+        "run must cross a resize boundary: {by_ways:?}"
+    );
+
+    let model = EnergyModel::sandy_bridge();
+    let probes: u64 = by_ways.iter().sum();
+    let floor = probes as f64 * model.l1_4k(1).read_pj;
+    let ceiling = probes as f64 * model.l1_4k(4).read_pj;
+    let charged = r.energy.pj(Structure::L1Page4K);
+    assert!(
+        charged > floor && charged < ceiling,
+        "charged {charged} pJ outside ({floor}, {ceiling})"
+    );
+}

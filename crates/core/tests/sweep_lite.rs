@@ -1,17 +1,22 @@
-//! Property tests for the Lite mechanism against brute-force oracles.
+//! Seeded sweeps for the Lite mechanism against brute-force oracles.
 
 use eeat_core::{Config, LiteController, LiteParams, Simulator, ThresholdEpsilon, WayMonitor};
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
 use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x117e_ca5e ^ salt)
+}
 
-    #[test]
-    fn monitor_counters_equal_bruteforce(ranks in prop::collection::vec(0u8..8, 1..500)) {
-        // counter[k] must equal the number of hits whose rank falls in the
-        // Figure 6 bucket; potential_extra_misses(w) the number of hits at
-        // rank >= w — for every power-of-two w.
+#[test]
+fn monitor_counters_equal_bruteforce() {
+    // counter[k] must equal the number of hits whose rank falls in the
+    // Figure 6 bucket; potential_extra_misses(w) the number of hits at
+    // rank >= w — for every power-of-two w.
+    let mut rng = rng(1);
+    for _ in 0..64 {
+        let n = rng.random_range(1..500usize);
+        let ranks: Vec<u8> = (0..n).map(|_| rng.random_range(0..8u32) as u8).collect();
         let mut monitor = WayMonitor::new(8);
         for &r in &ranks {
             monitor.record_hit(r);
@@ -24,21 +29,27 @@ proptest! {
                     bucket == k
                 })
                 .count() as u64;
-            prop_assert_eq!(counter, expected, "counter {}", k);
+            assert_eq!(counter, expected, "counter {}", k);
         }
         for w in [1usize, 2, 4, 8] {
             let expected = ranks.iter().filter(|&&r| (r as usize) >= w).count() as u64;
-            prop_assert_eq!(monitor.potential_extra_misses(w), expected, "w = {}", w);
+            assert_eq!(monitor.potential_extra_misses(w), expected, "w = {}", w);
         }
     }
+}
 
-    #[test]
-    fn decision_is_smallest_safe_way_count(
-        rank_hits in prop::collection::vec((0u8..4, 1u64..200), 0..8),
-        misses in 0u64..500,
-    ) {
-        // The resize decision must pick the smallest power-of-two way count
-        // whose predicted MPKI stays within ε — verified by brute force.
+#[test]
+fn decision_is_smallest_safe_way_count() {
+    // The resize decision must pick the smallest power-of-two way count
+    // whose predicted MPKI stays within ε — verified by brute force.
+    let mut rng = rng(2);
+    for _ in 0..64 {
+        let n_rank_hits = rng.random_range(0..8usize);
+        let rank_hits: Vec<(u8, u64)> = (0..n_rank_hits)
+            .map(|_| (rng.random_range(0..4u32) as u8, rng.random_range(1..200u64)))
+            .collect();
+        let misses = rng.random_range(0..500u64);
+
         let params = LiteParams {
             interval_instructions: 100_000,
             epsilon: ThresholdEpsilon::Relative(0.125),
@@ -70,20 +81,26 @@ proptest! {
 
         match lite.end_interval(100_000) {
             eeat_core::LiteDecision::Resize(ways) => {
-                prop_assert_eq!(ways[0], expected, "ranks {:?} misses {}", rank_counts, misses)
+                assert_eq!(
+                    ways[0], expected,
+                    "ranks {:?} misses {}",
+                    rank_counts, misses
+                )
             }
-            other => prop_assert!(false, "unexpected decision {other:?}"),
+            other => panic!("unexpected decision {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn lite_never_loses_more_than_epsilon_would_allow(
-        seed in 0u64..50,
-        hot_pages in 1u64..40,
-    ) {
-        // End-to-end: for an arbitrary single-hotspot workload, TLB_Lite's
-        // final L1 misses never exceed THP's by more than a margin far
-        // above ε-per-interval (sanity for the whole control loop).
+#[test]
+fn lite_never_loses_more_than_epsilon_would_allow() {
+    // End-to-end: for an arbitrary single-hotspot workload, TLB_Lite's
+    // final L1 misses never exceed THP's by more than a margin far
+    // above ε-per-interval (sanity for the whole control loop).
+    let mut rng = rng(3);
+    for _ in 0..12 {
+        let seed = rng.random_range(0..50u64);
+        let hot_pages = rng.random_range(1..40u64);
         let spec = WorkloadSpec {
             name: "prop",
             mem_ops_per_kilo_instr: 300,
@@ -102,7 +119,10 @@ proptest! {
                 },
                 region_switch_prob: 0.0,
             }],
-            phases: vec![PhaseSpec { duration_units: 1, weights: vec![(0, 1.0)] }],
+            phases: vec![PhaseSpec {
+                duration_units: 1,
+                weights: vec![(0, 1.0)],
+            }],
             phase_unit_instructions: 100_000,
         };
         let instructions = 600_000;
@@ -112,17 +132,17 @@ proptest! {
         let adaptive = lite.run(instructions);
 
         // Identical traces.
-        prop_assert_eq!(base.stats.accesses, adaptive.stats.accesses);
+        assert_eq!(base.stats.accesses, adaptive.stats.accesses);
         // Lite trades misses for energy but within a bounded factor: the
         // 12.5% ε compounds per interval, so allow a generous 2x + slack.
-        prop_assert!(
+        assert!(
             adaptive.stats.l1_misses <= base.stats.l1_misses * 2 + 2_000,
             "Lite misses {} vs THP {}",
             adaptive.stats.l1_misses,
             base.stats.l1_misses
         );
         // And it never spends more L1 energy than the fixed configuration.
-        prop_assert!(
+        assert!(
             adaptive.energy.l1_pj() <= base.energy.l1_pj() * 1.001,
             "Lite L1 energy {} vs THP {}",
             adaptive.energy.l1_pj(),

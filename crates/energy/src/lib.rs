@@ -36,11 +36,15 @@
 mod accounting;
 mod analytical;
 mod cycles;
+mod observers;
 mod static_energy;
 pub mod table2;
 
 pub use accounting::{EnergyBreakdown, Structure};
 pub use analytical::{CacheEnergyModel, CamEnergyModel};
 pub use cycles::{CycleBreakdown, CycleModel};
-pub use static_energy::{PowerGating, StaticEnergy, DEFAULT_CLOCK_GHZ};
+pub use observers::{CycleObserver, EnergyObserver};
+pub use static_energy::{
+    leakage_energy, LeakageInputs, PowerGating, StaticEnergy, DEFAULT_CLOCK_GHZ,
+};
 pub use table2::{EnergyModel, ReadWritePj};

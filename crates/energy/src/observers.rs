@@ -1,0 +1,355 @@
+//! Accounting sinks for the translation-event stream.
+//!
+//! The simulator's pipeline emits [`TranslationEvent`]s; these observers
+//! turn the stream into the paper's Table 3 accounting without the pipeline
+//! carrying any energy or cycle state itself:
+//!
+//! * [`EnergyObserver`] — dynamic energy. Resizable L1 operations are held
+//!   as pending counts and *settled* at [`TranslationEvent::EpochSettle`]
+//!   (their per-operation cost depends on the active ways at the time);
+//!   fixed-geometry operations accumulate as counts and convert to energy
+//!   only in [`EnergyObserver::snapshot`], so the arithmetic (one
+//!   `count × pJ` multiply per structure) is identical to accounting from
+//!   cumulative structure counters.
+//! * [`CycleObserver`] — the 7-cycle / 50-cycle miss model.
+
+use eeat_types::events::{FixedUnit, Observer, ResizableUnit, TranslationEvent};
+
+use crate::accounting::{EnergyBreakdown, Structure};
+use crate::analytical::CamEnergyModel;
+use crate::cycles::{CycleBreakdown, CycleModel};
+use crate::table2::EnergyModel;
+
+/// Pending (unsettled) operations of one resizable L1 structure.
+#[derive(Clone, Copy, Debug, Default)]
+struct PendingOps {
+    lookups: u64,
+    fills: u64,
+}
+
+/// Cumulative operations of one fixed-geometry structure.
+#[derive(Clone, Copy, Debug, Default)]
+struct FixedCounts {
+    lookups: u64,
+    fills: u64,
+}
+
+fn resizable_index(unit: ResizableUnit) -> usize {
+    match unit {
+        ResizableUnit::L1FourK => 0,
+        ResizableUnit::L1TwoM => 1,
+        ResizableUnit::L1FullyAssoc => 2,
+    }
+}
+
+const FIXED_UNITS: [(FixedUnit, Structure); 7] = [
+    (FixedUnit::L1OneG, Structure::L1Page1G),
+    (FixedUnit::L1Range, Structure::L1Range),
+    (FixedUnit::L2Page, Structure::L2Page),
+    (FixedUnit::L2Range, Structure::L2Range),
+    (FixedUnit::MmuPde, Structure::MmuPde),
+    (FixedUnit::MmuPdpte, Structure::MmuPdpte),
+    (FixedUnit::MmuPml4, Structure::MmuPml4),
+];
+
+fn fixed_index(unit: FixedUnit) -> usize {
+    FIXED_UNITS
+        .iter()
+        .position(|&(u, _)| u == unit)
+        .expect("every fixed unit is catalogued")
+}
+
+/// Accumulates the dynamic-energy breakdown from the event stream.
+#[derive(Clone, Debug)]
+pub struct EnergyObserver {
+    model: EnergyModel,
+    /// Active entries of the L1-1GB TLB (`None` when the hierarchy has
+    /// none); its per-operation cost scales with this geometry.
+    one_g_entries: Option<usize>,
+    /// Resizable-L1 energy settled at epoch boundaries.
+    settled: EnergyBreakdown,
+    pending: [PendingOps; 3],
+    fixed: [FixedCounts; 7],
+    walk_refs: u64,
+    range_walk_refs: u64,
+}
+
+impl EnergyObserver {
+    /// Creates an observer charging operations under `model`.
+    ///
+    /// `one_g_entries` is the active-entry count of the L1-1GB TLB when the
+    /// simulated hierarchy has one (its CAM energy scales with size).
+    pub fn new(model: EnergyModel, one_g_entries: Option<usize>) -> Self {
+        Self {
+            model,
+            one_g_entries,
+            settled: EnergyBreakdown::new(),
+            pending: [PendingOps::default(); 3],
+            fixed: [FixedCounts::default(); 7],
+            walk_refs: 0,
+            range_walk_refs: 0,
+        }
+    }
+
+    /// Replaces the energy model. Already-settled resizable-L1 energy keeps
+    /// its original costs; unsettled and fixed-structure operations are
+    /// charged under the new model.
+    pub fn set_model(&mut self, model: EnergyModel) {
+        self.model = model;
+    }
+
+    /// The model in effect.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// The cumulative dynamic-energy breakdown.
+    ///
+    /// Call only after an [`TranslationEvent::EpochSettle`] has settled the
+    /// resizable structures; pending (unsettled) operations are not
+    /// included.
+    pub fn snapshot(&self) -> EnergyBreakdown {
+        let mut energy = self.settled;
+        let m = &self.model;
+        if let Some(entries) = self.one_g_entries {
+            let ops = self.fixed[fixed_index(FixedUnit::L1OneG)];
+            let e = m.l1_1g(entries);
+            energy.add_reads(Structure::L1Page1G, ops.lookups, e.read_pj);
+            energy.add_writes(Structure::L1Page1G, ops.fills, e.write_pj);
+        }
+        for (unit, structure, e) in [
+            (FixedUnit::L1Range, Structure::L1Range, m.l1_range()),
+            (FixedUnit::L2Page, Structure::L2Page, m.l2_page()),
+            (FixedUnit::L2Range, Structure::L2Range, m.l2_range()),
+            (FixedUnit::MmuPde, Structure::MmuPde, m.mmu_pde()),
+            (FixedUnit::MmuPdpte, Structure::MmuPdpte, m.mmu_pdpte()),
+            (FixedUnit::MmuPml4, Structure::MmuPml4, m.mmu_pml4()),
+        ] {
+            let ops = self.fixed[fixed_index(unit)];
+            energy.add_reads(structure, ops.lookups, e.read_pj);
+            energy.add_writes(structure, ops.fills, e.write_pj);
+        }
+        energy.add_pj(Structure::PageWalk, self.walk_refs as f64 * m.walk_ref_pj());
+        energy.add_pj(
+            Structure::RangeWalk,
+            self.range_walk_refs as f64 * m.walk_ref_pj(),
+        );
+        energy
+    }
+
+    /// Settles pending resizable-L1 operations at the given outgoing sizes.
+    fn settle(
+        &mut self,
+        l1_4k_ways: Option<u32>,
+        l1_2m_ways: Option<u32>,
+        fa_entries: Option<u32>,
+    ) {
+        let p = &mut self.pending[resizable_index(ResizableUnit::L1FourK)];
+        if let Some(ways) = l1_4k_ways {
+            let e = self.model.l1_4k(ways as usize);
+            self.settled
+                .add_reads(Structure::L1Page4K, p.lookups, e.read_pj);
+            self.settled
+                .add_writes(Structure::L1Page4K, p.fills, e.write_pj);
+        }
+        *p = PendingOps::default();
+        let p = &mut self.pending[resizable_index(ResizableUnit::L1TwoM)];
+        if let Some(ways) = l1_2m_ways {
+            let e = self.model.l1_2m(ways as usize);
+            self.settled
+                .add_reads(Structure::L1Page2M, p.lookups, e.read_pj);
+            self.settled
+                .add_writes(Structure::L1Page2M, p.fills, e.write_pj);
+        }
+        *p = PendingOps::default();
+        let p = &mut self.pending[resizable_index(ResizableUnit::L1FullyAssoc)];
+        if let Some(entries) = fa_entries {
+            let e = CamEnergyModel::page_tlb(entries as usize);
+            self.settled
+                .add_reads(Structure::L1FullyAssoc, p.lookups, e.read_pj());
+            self.settled
+                .add_writes(Structure::L1FullyAssoc, p.fills, e.write_pj());
+        }
+        *p = PendingOps::default();
+    }
+}
+
+impl Observer for EnergyObserver {
+    fn on_event(&mut self, event: &TranslationEvent) {
+        match *event {
+            TranslationEvent::Probe { unit, .. } | TranslationEvent::SecondProbe { unit } => {
+                self.pending[resizable_index(unit)].lookups += 1;
+            }
+            TranslationEvent::Fill { unit } => {
+                self.pending[resizable_index(unit)].fills += 1;
+            }
+            TranslationEvent::FixedOps {
+                unit,
+                lookups,
+                fills,
+            } => {
+                let ops = &mut self.fixed[fixed_index(unit)];
+                ops.lookups += lookups;
+                ops.fills += fills;
+            }
+            TranslationEvent::PageWalk { memory_refs } => {
+                self.walk_refs += u64::from(memory_refs);
+            }
+            TranslationEvent::RangeTableWalk { memory_refs } => {
+                self.range_walk_refs += u64::from(memory_refs);
+            }
+            TranslationEvent::EpochSettle {
+                l1_4k_ways,
+                l1_2m_ways,
+                l1_fa_entries,
+            } => self.settle(l1_4k_ways, l1_2m_ways, l1_fa_entries),
+            _ => {}
+        }
+    }
+}
+
+/// Accumulates the TLB-miss cycle breakdown from the event stream.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleObserver {
+    model: CycleModel,
+    l1_misses: u64,
+    l2_misses: u64,
+}
+
+impl CycleObserver {
+    /// Creates an observer charging misses under `model`.
+    pub fn new(model: CycleModel) -> Self {
+        Self {
+            model,
+            l1_misses: 0,
+            l2_misses: 0,
+        }
+    }
+
+    /// The cumulative miss-cycle breakdown.
+    pub fn snapshot(&self) -> CycleBreakdown {
+        self.model.miss_cycles(self.l1_misses, self.l2_misses)
+    }
+}
+
+impl Observer for CycleObserver {
+    fn on_event(&mut self, event: &TranslationEvent) {
+        match event {
+            TranslationEvent::L1Miss => self.l1_misses += 1,
+            TranslationEvent::L2Miss => self.l2_misses += 1,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_ops_settle_at_epoch_sizes() {
+        let model = EnergyModel::sandy_bridge();
+        let mut obs = EnergyObserver::new(model, None);
+        for _ in 0..10 {
+            obs.on_event(&TranslationEvent::Probe {
+                unit: ResizableUnit::L1FourK,
+                active: 4,
+            });
+        }
+        obs.on_event(&TranslationEvent::Fill {
+            unit: ResizableUnit::L1FourK,
+        });
+        // Nothing charged until the settle event.
+        assert_eq!(obs.snapshot().pj(Structure::L1Page4K), 0.0);
+        obs.on_event(&TranslationEvent::EpochSettle {
+            l1_4k_ways: Some(2),
+            l1_2m_ways: None,
+            l1_fa_entries: None,
+        });
+        let e = model.l1_4k(2);
+        let want = 10.0 * e.read_pj + e.write_pj;
+        assert!((obs.snapshot().pj(Structure::L1Page4K) - want).abs() < 1e-12);
+        // A second settle has nothing left to charge.
+        obs.on_event(&TranslationEvent::EpochSettle {
+            l1_4k_ways: Some(1),
+            l1_2m_ways: None,
+            l1_fa_entries: None,
+        });
+        assert!((obs.snapshot().pj(Structure::L1Page4K) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_ops_charge_as_single_multiply() {
+        let model = EnergyModel::sandy_bridge();
+        let mut obs = EnergyObserver::new(model, Some(4));
+        for _ in 0..3 {
+            obs.on_event(&TranslationEvent::FixedOps {
+                unit: FixedUnit::L2Page,
+                lookups: 1,
+                fills: 0,
+            });
+        }
+        obs.on_event(&TranslationEvent::FixedOps {
+            unit: FixedUnit::L2Page,
+            lookups: 0,
+            fills: 2,
+        });
+        let e = model.l2_page();
+        // Bit-for-bit the cumulative-count arithmetic, not a sum of
+        // per-event adds.
+        let mut want = EnergyBreakdown::new();
+        want.add_reads(Structure::L2Page, 3, e.read_pj);
+        want.add_writes(Structure::L2Page, 2, e.write_pj);
+        assert_eq!(
+            obs.snapshot().pj(Structure::L2Page).to_bits(),
+            want.pj(Structure::L2Page).to_bits()
+        );
+    }
+
+    #[test]
+    fn walk_refs_accumulate() {
+        let model = EnergyModel::sandy_bridge();
+        let mut obs = EnergyObserver::new(model, None);
+        obs.on_event(&TranslationEvent::PageWalk { memory_refs: 4 });
+        obs.on_event(&TranslationEvent::PageWalk { memory_refs: 1 });
+        obs.on_event(&TranslationEvent::RangeTableWalk { memory_refs: 3 });
+        let s = obs.snapshot();
+        assert!((s.pj(Structure::PageWalk) - 5.0 * model.walk_ref_pj()).abs() < 1e-12);
+        assert!((s.pj(Structure::RangeWalk) - 3.0 * model.walk_ref_pj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_probe_costs_a_lookup() {
+        let model = EnergyModel::sandy_bridge();
+        let mut obs = EnergyObserver::new(model, None);
+        obs.on_event(&TranslationEvent::Probe {
+            unit: ResizableUnit::L1FourK,
+            active: 4,
+        });
+        obs.on_event(&TranslationEvent::SecondProbe {
+            unit: ResizableUnit::L1FourK,
+        });
+        obs.on_event(&TranslationEvent::EpochSettle {
+            l1_4k_ways: Some(4),
+            l1_2m_ways: None,
+            l1_fa_entries: None,
+        });
+        let want = 2.0 * model.l1_4k(4).read_pj;
+        assert!((obs.snapshot().pj(Structure::L1Page4K) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_observer_matches_model() {
+        let mut obs = CycleObserver::new(CycleModel::sandy_bridge());
+        for _ in 0..100 {
+            obs.on_event(&TranslationEvent::L1Miss);
+        }
+        for _ in 0..10 {
+            obs.on_event(&TranslationEvent::L2Miss);
+        }
+        obs.on_event(&TranslationEvent::StepEnd);
+        let c = obs.snapshot();
+        assert_eq!(c.l1_miss_cycles, 700);
+        assert_eq!(c.l2_miss_cycles, 500);
+    }
+}

@@ -11,6 +11,9 @@
 use core::fmt;
 use core::ops::{Add, AddAssign};
 
+use crate::analytical::CamEnergyModel;
+use crate::table2::EnergyModel;
+
 /// Clock frequency used to convert cycles to seconds (the paper's
 /// Sandy Bridge era cores ran ~3 GHz; leakage comparisons are
 /// frequency-independent because every configuration uses the same value).
@@ -99,6 +102,90 @@ impl Default for StaticEnergy {
     fn default() -> Self {
         Self::new(DEFAULT_CLOCK_GHZ)
     }
+}
+
+/// What the leakage model needs to know about a finished run: how long it
+/// ran and which structures existed, with the resizable L1 structures
+/// described by their lookup histograms (lookup share tracks wall-time
+/// share at a uniform access rate).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeakageInputs<'a> {
+    /// Execution cycles of the run (`instructions × CPI_base + miss cycles`).
+    pub cycles: u64,
+    /// L1-4KB lookups by active ways (`[log2(ways)]`), when present.
+    pub l1_4k_lookups_by_ways: Option<&'a [u64]>,
+    /// L1-2MB lookups by active ways, when present.
+    pub l1_2m_lookups_by_ways: Option<&'a [u64]>,
+    /// Fully associative L1 lookups by active entries, when present.
+    pub l1_fa_lookups_by_entries: Option<&'a [u64]>,
+    /// Whether the hierarchy has an L1-1GB TLB.
+    pub has_l1_1g: bool,
+    /// Whether the hierarchy has an L1-range TLB.
+    pub has_l1_range: bool,
+    /// Whether the hierarchy has an L2-range TLB.
+    pub has_l2_range: bool,
+}
+
+/// Static (leakage) energy of the translation structures over a run — the
+/// §6.2 extension.
+///
+/// With [`PowerGating::Gated`], way-disabled structures leak like the
+/// equivalently smaller structure (time at each size is apportioned by the
+/// lookup counts); with [`PowerGating::None`], way-disabling saves no
+/// leakage. Fixed-geometry structures (and the always-present L2 page TLB
+/// and MMU caches) leak for the whole run regardless.
+pub fn leakage_energy(
+    model: &EnergyModel,
+    gating: PowerGating,
+    inputs: &LeakageInputs<'_>,
+) -> StaticEnergy {
+    let mut e = StaticEnergy::default();
+    let cycles = inputs.cycles;
+
+    // Apportions a structure's time across its size configurations by
+    // lookup share, then charges each size's leakage.
+    let mut charge_buckets = |buckets: &[u64], leak_of: &dyn Fn(usize) -> f64, full: usize| {
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return;
+        }
+        match gating {
+            PowerGating::None => e.add_cycles(leak_of(full), cycles),
+            PowerGating::Gated => {
+                for (log, &n) in buckets.iter().enumerate() {
+                    if n > 0 {
+                        let share = (cycles as f64 * n as f64 / total as f64) as u64;
+                        e.add_cycles(leak_of(1 << log), share);
+                    }
+                }
+            }
+        }
+    };
+
+    if let Some(buckets) = inputs.l1_4k_lookups_by_ways {
+        charge_buckets(buckets, &|w| model.l1_4k(w).leakage_mw, 4);
+    }
+    if let Some(buckets) = inputs.l1_2m_lookups_by_ways {
+        charge_buckets(buckets, &|w| model.l1_2m(w).leakage_mw, 4);
+    }
+    if let Some(buckets) = inputs.l1_fa_lookups_by_entries {
+        charge_buckets(buckets, &|n| CamEnergyModel::page_tlb(n).leakage_mw(), 64);
+    }
+    // Fixed-size structures leak for the whole run regardless of gating.
+    if inputs.has_l1_1g {
+        e.add_cycles(model.l1_1g(4).leakage_mw, cycles);
+    }
+    if inputs.has_l1_range {
+        e.add_cycles(model.l1_range().leakage_mw, cycles);
+    }
+    e.add_cycles(model.l2_page().leakage_mw, cycles);
+    if inputs.has_l2_range {
+        e.add_cycles(model.l2_range().leakage_mw, cycles);
+    }
+    e.add_cycles(model.mmu_pde().leakage_mw, cycles);
+    e.add_cycles(model.mmu_pdpte().leakage_mw, cycles);
+    e.add_cycles(model.mmu_pml4().leakage_mw, cycles);
+    e
 }
 
 impl Add for StaticEnergy {

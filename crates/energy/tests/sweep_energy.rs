@@ -1,0 +1,152 @@
+//! Seeded sweeps for the energy and cycle models.
+
+use eeat_energy::{
+    CamEnergyModel, CycleModel, EnergyBreakdown, EnergyModel, StaticEnergy, Structure,
+};
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
+
+const CASES: u32 = 256;
+
+fn rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0xe4e9_05de ^ salt)
+}
+
+fn any_structure(rng: &mut SmallRng) -> Structure {
+    Structure::ALL[rng.random_range(0..Structure::ALL.len())]
+}
+
+#[test]
+fn breakdown_total_is_sum_of_parts() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let n = rng.random_range(0..50usize);
+        let mut e = EnergyBreakdown::new();
+        let mut expected = 0.0;
+        for _ in 0..n {
+            let s = any_structure(&mut rng);
+            let count = rng.random_range(0..10_000u64);
+            let pj = rng.random_range(0.0..100.0);
+            e.add_reads(s, count, pj);
+            expected += count as f64 * pj;
+        }
+        assert!((e.total_pj() - expected).abs() < expected.abs() * 1e-12 + 1e-9);
+        // Group views never exceed the total.
+        assert!(e.l1_pj() <= e.total_pj() + 1e-9);
+        assert!(e.walks_pj() <= e.total_pj() + 1e-9);
+    }
+}
+
+#[test]
+fn breakdown_addition_is_commutative_monoid() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let draw_ops = |rng: &mut SmallRng| -> Vec<(Structure, u64, f64)> {
+            let n = rng.random_range(0..20usize);
+            (0..n)
+                .map(|_| {
+                    (
+                        any_structure(rng),
+                        rng.random_range(1..100u64),
+                        rng.random_range(0.1..10.0),
+                    )
+                })
+                .collect()
+        };
+        let a_ops = draw_ops(&mut rng);
+        let b_ops = draw_ops(&mut rng);
+        let build = |ops: &[(Structure, u64, f64)]| {
+            let mut e = EnergyBreakdown::new();
+            for &(s, n, pj) in ops {
+                e.add_reads(s, n, pj);
+            }
+            e
+        };
+        let a = build(&a_ops);
+        let b = build(&b_ops);
+        let ab = a + b;
+        let ba = b + a;
+        for s in Structure::ALL {
+            assert!((ab.pj(s) - ba.pj(s)).abs() < 1e-9);
+        }
+        let zero = EnergyBreakdown::new();
+        let a_zero = a + zero;
+        assert!((a_zero.total_pj() - a.total_pj()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn cycle_model_is_linear() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let l1 = rng.random_range(0..1_000_000u64);
+        let l2 = rng.random_range(0..1_000_000u64);
+        let m = CycleModel::sandy_bridge();
+        let c = m.miss_cycles(l1, l2);
+        assert_eq!(c.total(), 7 * l1 + 50 * l2);
+        // Splitting the misses across two accounting periods changes nothing.
+        let split = m.miss_cycles(l1 / 2, l2 / 2) + m.miss_cycles(l1 - l1 / 2, l2 - l2 / 2);
+        assert_eq!(split.total(), c.total());
+    }
+}
+
+#[test]
+fn walk_energy_is_monotone_in_miss_ratio() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let a = rng.random_range(0.0..1.0);
+        let b = rng.random_range(0.0..1.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let m_more_hits = EnergyModel::sandy_bridge().with_walk_l1_hit_ratio(hi);
+        let m_fewer_hits = EnergyModel::sandy_bridge().with_walk_l1_hit_ratio(lo);
+        assert!(m_fewer_hits.walk_ref_pj() >= m_more_hits.walk_ref_pj() - 1e-12);
+    }
+}
+
+#[test]
+fn way_disabled_energy_ordering() {
+    // Any active-way configuration costs at most the full structure and
+    // at least the 1-way structure, for reads and writes alike.
+    let m = EnergyModel::sandy_bridge();
+    for ways in [1usize, 2, 4] {
+        for f in [
+            EnergyModel::l1_4k as fn(&EnergyModel, usize) -> _,
+            EnergyModel::l1_2m,
+        ] {
+            let e = f(&m, ways);
+            let lo = f(&m, 1);
+            let hi = f(&m, 4);
+            assert!(e.read_pj >= lo.read_pj && e.read_pj <= hi.read_pj);
+            assert!(e.write_pj >= lo.write_pj && e.write_pj <= hi.write_pj);
+        }
+    }
+}
+
+#[test]
+fn cam_model_scales_monotonically() {
+    for log_a in 0u32..8 {
+        for log_b in 0u32..8 {
+            let (small, big) = (1usize << log_a.min(log_b), 1usize << log_a.max(log_b));
+            let s = CamEnergyModel::page_tlb(small);
+            let b = CamEnergyModel::page_tlb(big);
+            assert!(s.read_pj() <= b.read_pj() + 1e-12);
+            assert!(s.write_pj() <= b.write_pj() + 1e-12);
+            assert!(s.leakage_mw() <= b.leakage_mw() + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn static_energy_is_additive_in_time() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let mw = rng.random_range(0.01..20.0);
+        let c1 = rng.random_range(0..1u64 << 40);
+        let c2 = rng.random_range(0..1u64 << 40);
+        let mut whole = StaticEnergy::default();
+        whole.add_cycles(mw, c1 + c2);
+        let mut parts = StaticEnergy::default();
+        parts.add_cycles(mw, c1);
+        parts.add_cycles(mw, c2);
+        assert!((whole.total_uj() - parts.total_uj()).abs() < whole.total_uj() * 1e-9 + 1e-12);
+    }
+}

@@ -4,9 +4,8 @@ use core::fmt;
 
 use eeat_paging::PageTable;
 use eeat_tlb::PageTranslation;
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
 use eeat_types::{PageSize, Pfn, RangeTranslation, VirtAddr, VirtRange, Vpn};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::frame_alloc::FrameAllocator;
 use crate::policy::PagingPolicy;
@@ -466,7 +465,7 @@ mod tests {
         let mut asp = AddressSpace::new(PagingPolicy::Rmm4K, 1);
         let r = asp.mmap_at(VirtAddr::new(0x6000_0000_1000), 1 << 20, false, "trace");
         let rt = asp.range_table().lookup(r.start()).expect("range created");
-        let probe = VirtAddr::new(r.start().raw() + 0x2345 & !7);
+        let probe = VirtAddr::new((r.start().raw() + 0x2345) & !7);
         assert_eq!(
             asp.page_table().translate(probe).unwrap().translate(probe),
             rt.translate(probe).unwrap()

@@ -1,42 +1,48 @@
-//! Property tests: OS memory-manager invariants.
+//! Seeded sweeps: OS memory-manager invariants.
 
 use eeat_os::{AddressSpace, PagingPolicy, RangeTable};
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
 use eeat_types::{PageSize, PhysAddr, RangeTranslation, VirtAddr, VirtRange};
-use proptest::prelude::*;
 
-fn policies() -> impl Strategy<Value = PagingPolicy> {
-    prop_oneof![
-        Just(PagingPolicy::FourK),
-        Just(PagingPolicy::Thp),
-        Just(PagingPolicy::RmmThp),
-        Just(PagingPolicy::Rmm4K),
-    ]
+const CASES: u32 = 24;
+
+const POLICIES: [PagingPolicy; 4] = [
+    PagingPolicy::FourK,
+    PagingPolicy::Thp,
+    PagingPolicy::RmmThp,
+    PagingPolicy::Rmm4K,
+];
+
+fn rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x005e_ed05 ^ salt)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_byte_of_every_vma_is_mapped(
-        policy in policies(),
-        sizes in prop::collection::vec((1u64..6_000, any::<bool>()), 1..8),
-        probes in prop::collection::vec((0usize..8, 0u64..1 << 22), 1..40),
-    ) {
+#[test]
+fn every_byte_of_every_vma_is_mapped() {
+    let mut rng = rng(1);
+    for case in 0..CASES {
+        let policy = POLICIES[case as usize % POLICIES.len()];
+        let n_regions = rng.random_range(1..8usize);
         let mut asp = AddressSpace::new(policy, 99);
         let mut regions = Vec::new();
-        for &(kb, eligible) in &sizes {
+        for _ in 0..n_regions {
+            let kb = rng.random_range(1..6_000u64);
+            let eligible = rng.random_bool(0.5);
             regions.push(asp.mmap(kb << 10, eligible, "region"));
         }
-        for &(idx, off) in &probes {
-            let r = regions[idx % regions.len()];
+        let n_probes = rng.random_range(1..40usize);
+        for _ in 0..n_probes {
+            let idx = rng.random_range(0..regions.len());
+            let off = rng.random_range(0..1u64 << 22);
+            let r = regions[idx];
             let va = VirtAddr::new(r.start().raw() + off % r.len());
             let t = asp.page_table().translate(va);
-            prop_assert!(t.is_some(), "unmapped byte inside VMA under {policy}");
+            assert!(t.is_some(), "unmapped byte inside VMA under {policy}");
             if policy.uses_ranges() {
                 // The range table covers the same byte and agrees on the
                 // physical address (the "redundant" in RMM).
                 let range = asp.range_table().lookup(va).expect("range covers VMA");
-                prop_assert_eq!(
+                assert_eq!(
                     t.unwrap().translate(va),
                     range.translate(va).unwrap(),
                     "page table and range table disagree"
@@ -44,44 +50,51 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn page_accounting_matches_footprint(
-        policy in policies(),
-        sizes in prop::collection::vec((1u64..4_000, any::<bool>()), 1..8),
-    ) {
+#[test]
+fn page_accounting_matches_footprint() {
+    let mut rng = rng(2);
+    for case in 0..CASES {
+        let policy = POLICIES[case as usize % POLICIES.len()];
+        let n_regions = rng.random_range(1..8usize);
         let mut asp = AddressSpace::new(policy, 5);
         let mut total_pages = 0u64;
-        for &(kb, eligible) in &sizes {
+        for _ in 0..n_regions {
+            let kb = rng.random_range(1..4_000u64);
+            let eligible = rng.random_bool(0.5);
             let r = asp.mmap(kb << 10, eligible, "region");
             total_pages += r.len() >> 12;
         }
-        prop_assert_eq!(
+        assert_eq!(
             asp.huge_pages() * 512 + asp.base_pages(),
             total_pages,
             "every base page accounted exactly once"
         );
         if !policy.uses_thp() {
-            prop_assert_eq!(asp.huge_pages(), 0);
+            assert_eq!(asp.huge_pages(), 0);
         }
         if policy.uses_ranges() {
-            prop_assert_eq!(asp.range_table().len(), sizes.len());
-            prop_assert_eq!(asp.range_table().covered_bytes(), total_pages << 12);
+            assert_eq!(asp.range_table().len(), n_regions);
+            assert_eq!(asp.range_table().covered_bytes(), total_pages << 12);
         } else {
-            prop_assert!(asp.range_table().is_empty());
+            assert!(asp.range_table().is_empty());
         }
     }
+}
 
-    #[test]
-    fn distinct_vmas_get_distinct_physical_memory(
-        policy in policies(),
-        sizes in prop::collection::vec(1u64..2_000, 2..6),
-    ) {
-        // Translate the first page of every VMA; physical frames must be
-        // unique (no double mapping of a frame).
+#[test]
+fn distinct_vmas_get_distinct_physical_memory() {
+    // Translate the first page of every VMA; physical frames must be
+    // unique (no double mapping of a frame).
+    let mut rng = rng(3);
+    for case in 0..CASES {
+        let policy = POLICIES[case as usize % POLICIES.len()];
+        let n_regions = rng.random_range(2..6usize);
         let mut asp = AddressSpace::new(policy, 3);
         let mut first_frames = Vec::new();
-        for &kb in &sizes {
+        for _ in 0..n_regions {
+            let kb = rng.random_range(1..2_000u64);
             let r = asp.mmap(kb << 10, true, "region");
             let t = asp.page_table().translate(r.start()).unwrap();
             first_frames.push(t.pfn().raw());
@@ -89,17 +102,22 @@ proptest! {
         let mut sorted = first_frames.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), first_frames.len());
+        assert_eq!(sorted.len(), first_frames.len());
     }
+}
 
-    #[test]
-    fn break_huge_preserves_physical_bytes(
-        chunk in 1u64..8,
-        offsets in prop::collection::vec(0u64..(2 << 20), 1..20),
-    ) {
+#[test]
+fn break_huge_preserves_physical_bytes() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let chunk = rng.random_range(1..8u64);
+        let n_offsets = rng.random_range(1..20usize);
+        let offsets: Vec<u64> = (0..n_offsets)
+            .map(|_| rng.random_range(0..2u64 << 20))
+            .collect();
         let mut asp = AddressSpace::new(PagingPolicy::Thp, 11);
         let r = asp.mmap(chunk * (2 << 20), true, "heap");
-        prop_assert_eq!(asp.huge_pages(), chunk);
+        assert_eq!(asp.huge_pages(), chunk);
         // Record physical addresses before demotion.
         let victim = VirtAddr::new(r.start().raw() + (2 << 20) * (chunk / 2));
         let before: Vec<PhysAddr> = offsets
@@ -113,22 +131,26 @@ proptest! {
         for (&o, &pa) in offsets.iter().zip(&before) {
             let va = VirtAddr::new(victim.align_down(PageSize::Size2M).raw() + o);
             let t = asp.page_table().translate(va).unwrap();
-            prop_assert_eq!(t.size(), PageSize::Size4K);
-            prop_assert_eq!(t.translate(va), pa);
+            assert_eq!(t.size(), PageSize::Size4K);
+            assert_eq!(t.translate(va), pa);
         }
     }
+}
 
-    #[test]
-    fn range_table_never_overlaps(
-        spans in prop::collection::vec((0u64..1000, 1u64..50), 1..40),
-    ) {
+#[test]
+fn range_table_never_overlaps() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let n_spans = rng.random_range(1..40usize);
         let mut table = RangeTable::new();
         let mut accepted: Vec<VirtRange> = Vec::new();
-        for (i, &(start_mb, len_mb)) in spans.iter().enumerate() {
+        for i in 0..n_spans {
+            let start_mb = rng.random_range(0..1000u64);
+            let len_mb = rng.random_range(1..50u64);
             let virt = VirtRange::new(VirtAddr::new(start_mb << 20), len_mb << 20);
             let rt = RangeTranslation::new(virt, PhysAddr::new((i as u64) << 40));
             let should_fail = accepted.iter().any(|r| r.overlaps(virt));
-            prop_assert_eq!(table.insert(rt).is_err(), should_fail);
+            assert_eq!(table.insert(rt).is_err(), should_fail);
             if !should_fail {
                 accepted.push(virt);
             }
@@ -136,7 +158,7 @@ proptest! {
         // Entries are sorted and pairwise disjoint.
         let entries: Vec<VirtRange> = table.iter().map(|e| e.virt()).collect();
         for w in entries.windows(2) {
-            prop_assert!(w[0].end().raw() <= w[1].start().raw());
+            assert!(w[0].end().raw() <= w[1].start().raw());
         }
     }
 }

@@ -44,7 +44,10 @@ impl TagCache {
             "ways must be a power of two"
         );
         assert!(ways <= 128, "rank counters are u8");
-        assert!(entries % ways == 0, "entries must divide evenly into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide evenly into ways"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         Self {

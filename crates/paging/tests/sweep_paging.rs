@@ -1,0 +1,159 @@
+//! Seeded sweeps for the page table and walker.
+
+use std::collections::BTreeMap;
+
+use eeat_paging::{MmuCaches, PageTable, PageWalker};
+use eeat_tlb::PageTranslation;
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
+use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+
+const CASES: u32 = 48;
+
+fn rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x9a91_1175 ^ salt)
+}
+
+/// Size distribution weighted toward 4K (4:3:1), as the original suite used.
+fn any_page_size(rng: &mut SmallRng) -> PageSize {
+    match rng.random_range(0..8usize) {
+        0..=3 => PageSize::Size4K,
+        4..=6 => PageSize::Size2M,
+        _ => PageSize::Size1G,
+    }
+}
+
+#[test]
+fn page_table_matches_interval_oracle() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let n_map = rng.random_range(1..60usize);
+        let mappings: Vec<(u64, PageSize)> = (0..n_map)
+            .map(|_| {
+                let vpn = rng.random_range(0..1u64 << 22);
+                let size = any_page_size(&mut rng);
+                (vpn, size)
+            })
+            .collect();
+        let n_probe = rng.random_range(1..60usize);
+        let probes: Vec<u64> = (0..n_probe)
+            .map(|_| rng.random_range(0..1u64 << 22))
+            .collect();
+
+        // Oracle: a flat interval map from base-vpn ranges to translations.
+        let mut pt = PageTable::new();
+        let mut oracle: BTreeMap<u64, PageTranslation> = BTreeMap::new(); // start vpn -> t
+
+        for (raw_vpn, size) in mappings {
+            let vpn = Vpn::new(raw_vpn).align_down(size);
+            let pages = size.base_pages();
+            let t = PageTranslation::new(vpn, Pfn::new(vpn.raw() + (1 << 30)), size);
+            let overlaps = oracle.iter().any(|(&s, e)| {
+                let e_pages = e.size().base_pages();
+                s < vpn.raw() + pages && vpn.raw() < s + e_pages
+            });
+            let res = pt.map(t);
+            assert_eq!(res.is_err(), overlaps, "overlap detection diverged");
+            if res.is_ok() {
+                oracle.insert(vpn.raw(), t);
+            }
+        }
+
+        assert_eq!(pt.mapped_pages(), oracle.len() as u64);
+
+        for probe in probes {
+            let va = Vpn::new(probe).base_addr();
+            let want = oracle
+                .range(..=probe)
+                .next_back()
+                .filter(|(&s, e)| probe < s + e.size().base_pages())
+                .map(|(_, e)| *e);
+            assert_eq!(pt.translate(va), want);
+        }
+    }
+}
+
+#[test]
+fn walk_refs_bounded_by_size() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let n_map = rng.random_range(1..40usize);
+        let mut pt = PageTable::new();
+        let mut installed = Vec::new();
+        for _ in 0..n_map {
+            let raw_vpn = rng.random_range(0..1u64 << 22);
+            let size = any_page_size(&mut rng);
+            let vpn = Vpn::new(raw_vpn).align_down(size);
+            let t = PageTranslation::new(vpn, Pfn::new(vpn.raw() + (1 << 30)), size);
+            if pt.map(t).is_ok() {
+                installed.push(t);
+            }
+        }
+        if installed.is_empty() {
+            continue;
+        }
+
+        let n_look = rng.random_range(1..200usize);
+        let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
+        for _ in 0..n_look {
+            let idx = rng.random_range(0..installed.len());
+            let offset = rng.random_range(0..4096u64);
+            let t = installed[idx];
+            let va = VirtAddr::new(t.vpn().base_addr().raw() + offset % t.size().bytes());
+            let r = walker.walk(&pt, va);
+            // The walk must find the right translation with a ref count in
+            // [1, full-walk-for-size].
+            assert_eq!(r.translation, Some(t));
+            assert!(r.memory_refs >= 1);
+            assert!(r.memory_refs <= t.size().walk_memory_refs());
+        }
+        assert_eq!(walker.walks(), 200.min(walker.walks()));
+    }
+}
+
+#[test]
+fn repeated_walk_is_minimal() {
+    // Walking the same page twice: the second walk always costs exactly
+    // one memory reference (deepest cache hit).
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let raw_vpn = rng.random_range(0..1u64 << 22);
+        let size = any_page_size(&mut rng);
+        let vpn = Vpn::new(raw_vpn).align_down(size);
+        let mut pt = PageTable::new();
+        pt.map(PageTranslation::new(vpn, Pfn::new(vpn.raw()), size))
+            .unwrap();
+        let mut walker = PageWalker::new(MmuCaches::sandy_bridge());
+        let va = vpn.base_addr();
+        let first = walker.walk(&pt, va);
+        assert_eq!(first.memory_refs, size.walk_memory_refs());
+        let second = walker.walk(&pt, va);
+        assert_eq!(second.memory_refs, 1);
+    }
+}
+
+#[test]
+fn unmap_restores_translation_absence() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let n = rng.random_range(1..50usize);
+        let vpns: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << 20)).collect();
+        let mut pt = PageTable::new();
+        let mut live = BTreeMap::new();
+        for &vpn in &vpns {
+            let t = PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 7), PageSize::Size4K);
+            if pt.map(t).is_ok() {
+                live.insert(vpn, t);
+            }
+        }
+        // Unmap half of them.
+        let to_remove: Vec<u64> = live.keys().copied().step_by(2).collect();
+        for vpn in to_remove {
+            let removed = pt.unmap(Vpn::new(vpn).base_addr());
+            assert_eq!(removed, live.remove(&vpn));
+        }
+        for (&vpn, &t) in &live {
+            assert_eq!(pt.translate(Vpn::new(vpn).base_addr()), Some(t));
+        }
+        assert_eq!(pt.mapped_pages(), live.len() as u64);
+    }
+}

@@ -70,7 +70,10 @@ impl SetAssocTlb {
             ways <= 128,
             "rank counters are u8; ways above 128 unsupported"
         );
-        assert!(entries % ways == 0, "entries must divide evenly into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide evenly into ways"
+        );
         let sets = entries / ways;
         assert!(
             sets.is_power_of_two() && sets > 0,

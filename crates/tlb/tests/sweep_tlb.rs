@@ -1,13 +1,19 @@
-//! Property tests: the TLB structures against an oracle LRU model.
+//! Seeded sweeps: the TLB structures against an oracle LRU model.
 //!
 //! The oracle is a per-set `Vec` kept in MRU→LRU order with the same
 //! capacity policy; every hit/miss decision, reported rank, and eviction of
-//! the real structures must agree with it across arbitrary operation
-//! sequences, including way resizing.
+//! the real structures must agree with it across randomized operation
+//! sequences (fixed seed, deterministic), including way resizing.
 
 use eeat_tlb::{FullyAssocTlb, PageTranslation, RangeTlb, SetAssocTlb};
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
 use eeat_types::{PageSize, Pfn, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
-use proptest::prelude::*;
+
+const CASES: u32 = 64;
+
+fn rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x71b5_ca5e ^ salt)
+}
 
 /// An oracle for one TLB set: entries in MRU→LRU order.
 #[derive(Default, Clone)]
@@ -44,22 +50,22 @@ enum Op {
     Resize(usize),
 }
 
-fn ops(max_vpn: u64) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..max_vpn).prop_map(Op::Lookup),
-            (0..max_vpn).prop_map(Op::Insert),
-            (0usize..3).prop_map(|i| Op::Resize(1 << i)),
-        ],
-        1..200,
-    )
+fn ops(rng: &mut SmallRng, max_vpn: u64) -> Vec<Op> {
+    let n = rng.random_range(1..200usize);
+    (0..n)
+        .map(|_| match rng.random_range(0..3usize) {
+            0 => Op::Lookup(rng.random_range(0..max_vpn)),
+            1 => Op::Insert(rng.random_range(0..max_vpn)),
+            _ => Op::Resize(1 << rng.random_range(0..3usize)),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn set_assoc_matches_oracle(ops in ops(256)) {
+#[test]
+fn set_assoc_matches_oracle() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let ops = ops(&mut rng, 256);
         let sets = 16usize;
         let ways = 4usize;
         let mut tlb = SetAssocTlb::new("t", sets * ways, ways, PageSize::Size4K);
@@ -73,9 +79,9 @@ proptest! {
                     let got = tlb.lookup(Vpn::new(vpn).base_addr());
                     let want = oracle[set].lookup(vpn);
                     match (got, want) {
-                        (Some(hit), Some(rank)) => prop_assert_eq!(hit.rank as usize, rank),
+                        (Some(hit), Some(rank)) => assert_eq!(hit.rank as usize, rank),
                         (None, None) => {}
-                        (g, w) => prop_assert!(false, "hit mismatch: got {:?}, want {:?}", g.is_some(), w),
+                        (g, w) => panic!("hit mismatch: got {:?}, want {:?}", g.is_some(), w),
                     }
                 }
                 Op::Insert(vpn) => {
@@ -103,20 +109,25 @@ proptest! {
         // Final contents agree.
         for (set_idx, set) in oracle.iter().enumerate() {
             for &vpn in &set.order {
-                prop_assert!(
-                    tlb.probe(Vpn::new(vpn).base_addr(), PageSize::Size4K).is_some(),
+                assert!(
+                    tlb.probe(Vpn::new(vpn).base_addr(), PageSize::Size4K)
+                        .is_some(),
                     "oracle holds vpn {vpn} in set {set_idx} but TLB lost it"
                 );
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             tlb.occupancy(),
             oracle.iter().map(|s| s.order.len()).sum::<usize>()
         );
     }
+}
 
-    #[test]
-    fn fully_assoc_matches_oracle(ops in ops(64)) {
+#[test]
+fn fully_assoc_matches_oracle() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let ops = ops(&mut rng, 64);
         let capacity = 4usize;
         let mut tlb = FullyAssocTlb::new("t", capacity, PageSize::Size4K);
         let mut oracle = OracleSet::default();
@@ -127,7 +138,7 @@ proptest! {
                 Op::Lookup(vpn) => {
                     let got = tlb.lookup(Vpn::new(vpn).base_addr());
                     let want = oracle.lookup(vpn);
-                    prop_assert_eq!(got.map(|h| h.rank as usize), want);
+                    assert_eq!(got.map(|h| h.rank as usize), want);
                 }
                 Op::Insert(vpn) => {
                     tlb.insert(PageTranslation::new(
@@ -147,12 +158,17 @@ proptest! {
             }
             tlb.assert_invariants();
         }
-        prop_assert_eq!(tlb.occupancy(), oracle.order.len());
+        assert_eq!(tlb.occupancy(), oracle.order.len());
     }
+}
 
-    #[test]
-    fn stats_balance(lookups in prop::collection::vec(0u64..64, 1..300)) {
-        // hits + misses == lookups, and a miss followed by a fill always hits.
+#[test]
+fn stats_balance() {
+    // hits + misses == lookups, and a miss followed by a fill always hits.
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let n = rng.random_range(1..300usize);
+        let lookups: Vec<u64> = (0..n).map(|_| rng.random_range(0..64u64)).collect();
         let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
         for &vpn in &lookups {
             let va = Vpn::new(vpn).base_addr();
@@ -162,26 +178,29 @@ proptest! {
                     Pfn::new(vpn + 1),
                     PageSize::Size4K,
                 ));
-                prop_assert!(tlb.probe(va, PageSize::Size4K).is_some());
+                assert!(tlb.probe(va, PageSize::Size4K).is_some());
             }
         }
-        prop_assert_eq!(tlb.stats().lookups(), lookups.len() as u64);
-        prop_assert_eq!(
+        assert_eq!(tlb.stats().lookups(), lookups.len() as u64);
+        assert_eq!(
             tlb.stats().hits() + tlb.stats().misses(),
             tlb.stats().lookups()
         );
-        prop_assert_eq!(tlb.stats().fills(), tlb.stats().misses());
+        assert_eq!(tlb.stats().fills(), tlb.stats().misses());
     }
+}
 
-    #[test]
-    fn rank_semantics_vs_smaller_tlb(
-        trace in prop::collection::vec(0u64..128, 50..400),
-    ) {
-        // The defining property behind Lite's lru-distance-counters: a hit
-        // with rank r in a w-way TLB occurs iff the same lookup hits in a
-        // TLB with w' > r ways (same sets) under an identical trace.
-        // Simulate 4-way and 2-way side by side; every 4-way hit with
-        // rank < 2 must hit in the 2-way, and every rank >= 2 hit must miss.
+#[test]
+fn rank_semantics_vs_smaller_tlb() {
+    // The defining property behind Lite's lru-distance-counters: a hit
+    // with rank r in a w-way TLB occurs iff the same lookup hits in a
+    // TLB with w' > r ways (same sets) under an identical trace.
+    // Simulate 4-way and 2-way side by side; every 4-way hit with
+    // rank < 2 must hit in the 2-way, and every rank >= 2 hit must miss.
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let n = rng.random_range(50..400usize);
+        let trace: Vec<u64> = (0..n).map(|_| rng.random_range(0..128u64)).collect();
         let mut big = SetAssocTlb::new("big", 64, 4, PageSize::Size4K);
         let mut small = SetAssocTlb::new("small", 32, 2, PageSize::Size4K);
         for &vpn in &trace {
@@ -190,15 +209,14 @@ proptest! {
             let small_hit = small.lookup(va);
             match big_hit {
                 Some(hit) if hit.rank < 2 => {
-                    prop_assert!(small_hit.is_some(), "rank {} should hit 2-way", hit.rank)
+                    assert!(small_hit.is_some(), "rank {} should hit 2-way", hit.rank)
                 }
                 Some(hit) => {
-                    prop_assert!(small_hit.is_none(), "rank {} should miss 2-way", hit.rank)
+                    assert!(small_hit.is_none(), "rank {} should miss 2-way", hit.rank)
                 }
-                None => prop_assert!(small_hit.is_none(), "big miss implies small miss"),
+                None => assert!(small_hit.is_none(), "big miss implies small miss"),
             }
-            let entry =
-                PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 1), PageSize::Size4K);
+            let entry = PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 1), PageSize::Size4K);
             if big_hit.is_none() {
                 big.insert(entry);
             }
@@ -207,13 +225,20 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn range_tlb_matches_linear_scan(
-        ranges in prop::collection::vec((0u64..64, 1u64..8), 1..20),
-        probes in prop::collection::vec(0u64..72, 1..50),
-    ) {
-        // Build disjoint ranges on a 16 MiB grid so overlap never occurs.
+#[test]
+fn range_tlb_matches_linear_scan() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let n_ranges = rng.random_range(1..20usize);
+        let ranges: Vec<(u64, u64)> = (0..n_ranges)
+            .map(|_| (rng.random_range(0..64u64), rng.random_range(1..8u64)))
+            .collect();
+        let n_probes = rng.random_range(1..50usize);
+        let probes: Vec<u64> = (0..n_probes).map(|_| rng.random_range(0..72u64)).collect();
+
+        // Build disjoint ranges on a 64 MiB grid so overlap never occurs.
         let mut tlb = RangeTlb::new("t", 8);
         let mut inserted: Vec<RangeTranslation> = Vec::new();
         for (i, &(slot, len)) in ranges.iter().enumerate() {
@@ -232,7 +257,7 @@ proptest! {
             let va = VirtAddr::new(p << 20);
             let got = tlb.lookup(va).is_some();
             let pos = inserted.iter().position(|r| r.virt().contains(va));
-            prop_assert_eq!(got, pos.is_some());
+            assert_eq!(got, pos.is_some());
             if let Some(pos) = pos {
                 let r = inserted.remove(pos);
                 inserted.insert(0, r);

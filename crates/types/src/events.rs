@@ -1,0 +1,208 @@
+//! The translation-event stream: the seam between the MMU pipeline and its
+//! accounting sinks.
+//!
+//! The simulator's staged pipeline (`eeat-core`) emits one
+//! [`TranslationEvent`] per countable micro-operation — structure probes,
+//! hits, misses, walks, fills, epoch boundaries — and every form of side
+//! accounting (event counters, dynamic energy, cycles, MPKI timelines)
+//! lives in an [`Observer`] that consumes the stream. Adding a new metric
+//! means writing a new observer, not threading another counter through the
+//! translation loop.
+//!
+//! Two families of structures appear in the stream:
+//!
+//! * **Resizable L1 page TLBs** ([`ResizableUnit`]) — their per-operation
+//!   energy depends on the active way/entry count chosen by Lite, so their
+//!   operations are reported as raw probe/fill events and *settled* at
+//!   epoch boundaries ([`TranslationEvent::EpochSettle`]), when the outgoing
+//!   size is known to have covered every pending operation.
+//! * **Fixed-geometry structures** ([`FixedUnit`]) — per-operation cost is
+//!   constant, so lookups and fills are reported as ready-to-charge counts
+//!   ([`TranslationEvent::FixedOps`]).
+
+/// The Lite-resizable L1 page structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResizableUnit {
+    /// The set-associative L1-4KB TLB (also the unified L1 of TLB_PP).
+    L1FourK,
+    /// The set-associative L1-2MB TLB.
+    L1TwoM,
+    /// The single fully associative mixed-size L1 TLB (§4.4 extension).
+    L1FullyAssoc,
+}
+
+/// The fixed-geometry translation structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FixedUnit {
+    /// The fully associative L1-1GB TLB.
+    L1OneG,
+    /// The L1-range TLB (RMM_Lite).
+    L1Range,
+    /// The unified L2 page TLB.
+    L2Page,
+    /// The L2-range TLB (RMM).
+    L2Range,
+    /// The PDE paging-structure cache.
+    MmuPde,
+    /// The PDPTE paging-structure cache.
+    MmuPdpte,
+    /// The PML4 paging-structure cache.
+    MmuPml4,
+}
+
+/// The stats column an L1 hit is reported under.
+///
+/// Mixed structures (the unified L1 of TLB_PP and the fully associative L1)
+/// report all page hits under the 4KB column, as the paper's Table 5 does;
+/// the pipeline resolves that mapping before emitting the event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HitColumn {
+    /// Served by the L1-4KB (or unified / fully associative) TLB.
+    FourK,
+    /// Served by the separate L1-2MB TLB.
+    TwoM,
+    /// Served by the L1-1GB TLB.
+    OneG,
+    /// Served by the L1-range TLB.
+    Range,
+}
+
+/// One micro-event of the translation pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TranslationEvent {
+    /// A memory operation entered the pipeline, `instruction_gap`
+    /// instructions after the previous one.
+    Access {
+        /// Instructions executed since the previous access (≥ 1).
+        instruction_gap: u32,
+    },
+    /// An ASID-less context switch flushed every TLB and MMU cache.
+    ContextSwitch,
+    /// A resizable L1 structure was probed at its current size.
+    Probe {
+        /// The structure probed.
+        unit: ResizableUnit,
+        /// Active ways (set-associative) or entries (fully associative) at
+        /// probe time.
+        active: u32,
+    },
+    /// The TLB_Pred predictor's first probe missed and the alternate index
+    /// was probed too (an extra read, not a second way-time sample).
+    SecondProbe {
+        /// The structure probed again.
+        unit: ResizableUnit,
+    },
+    /// A translation was inserted into a resizable L1 structure.
+    Fill {
+        /// The structure filled.
+        unit: ResizableUnit,
+    },
+    /// Lookups/fills performed on a fixed-geometry structure.
+    FixedOps {
+        /// The structure accessed.
+        unit: FixedUnit,
+        /// Lookups performed.
+        lookups: u64,
+        /// Fills performed.
+        fills: u64,
+    },
+    /// The access hit in an L1 structure (translation resolved, 0 cycles).
+    L1Hit {
+        /// The stats column the hit is reported under.
+        column: HitColumn,
+    },
+    /// The access missed every L1 structure (the 7-cycle event).
+    L1Miss,
+    /// An L2 structure served the translation after an L1 miss.
+    L2Hit {
+        /// `true` when the L2-range TLB served it (the page L2 missed).
+        range: bool,
+    },
+    /// The access missed the L2 structures too (the 50-cycle walk event).
+    L2Miss,
+    /// A page walk fetched `memory_refs` page-table entries from memory.
+    PageWalk {
+        /// Memory references performed (1–4).
+        memory_refs: u32,
+    },
+    /// A background range-table walk performed `memory_refs` references
+    /// (RMM; energy only, no cycles).
+    RangeTableWalk {
+        /// Memory references performed.
+        memory_refs: u32,
+    },
+    /// A Lite interval is ending: settle pending resizable-L1 operations at
+    /// the *outgoing* sizes (`None` for absent structures). Also emitted
+    /// when results are collected, so accounting is always settled.
+    EpochSettle {
+        /// Active ways of the L1-4KB TLB, if present.
+        l1_4k_ways: Option<u32>,
+        /// Active ways of the L1-2MB TLB, if present.
+        l1_2m_ways: Option<u32>,
+        /// Active entries of the fully associative L1, if present.
+        l1_fa_entries: Option<u32>,
+    },
+    /// A Lite interval ended and its decision has been applied.
+    EpochEnd {
+        /// `true` when the decision re-activated all ways (degradation
+        /// guard or random re-profiling).
+        reactivated: bool,
+        /// Active ways of the L1-4KB TLB after the decision (`None` when
+        /// the hierarchy has no L1-4KB TLB).
+        l1_4k_ways: Option<u32>,
+    },
+    /// The memory operation left the pipeline (all events for it are out).
+    StepEnd,
+}
+
+/// A sink consuming the pipeline's event stream.
+///
+/// Implementations must be pure accumulators: the pipeline's behaviour
+/// never depends on observer state, so any set of observers — including
+/// none — sees the same simulation.
+pub trait Observer {
+    /// Consumes one event.
+    fn on_event(&mut self, event: &TranslationEvent);
+}
+
+impl Observer for () {
+    fn on_event(&mut self, _event: &TranslationEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl Observer for Counter {
+        fn on_event(&mut self, _event: &TranslationEvent) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn observers_consume_events() {
+        let mut c = Counter(0);
+        c.on_event(&TranslationEvent::L1Miss);
+        c.on_event(&TranslationEvent::StepEnd);
+        assert_eq!(c.0, 2);
+        // The unit observer is a valid no-op sink.
+        ().on_event(&TranslationEvent::L1Miss);
+    }
+
+    #[test]
+    fn events_are_comparable() {
+        assert_eq!(
+            TranslationEvent::Probe {
+                unit: ResizableUnit::L1FourK,
+                active: 4
+            },
+            TranslationEvent::Probe {
+                unit: ResizableUnit::L1FourK,
+                active: 4
+            }
+        );
+        assert_ne!(TranslationEvent::L1Miss, TranslationEvent::L2Miss);
+    }
+}

@@ -28,8 +28,10 @@
 
 mod access;
 mod addr;
+pub mod events;
 mod page;
 mod range;
+pub mod rng;
 
 pub use access::{AccessKind, MemAccess};
 pub use addr::{PhysAddr, VirtAddr};

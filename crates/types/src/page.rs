@@ -24,9 +24,10 @@ pub const PAGE_SIZE_4K: u64 = 1 << PAGE_SHIFT_4K;
 /// assert_eq!(PageSize::Size2M.base_pages(), 512);
 /// assert_eq!(PageSize::Size1G.walk_memory_refs(), 2);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PageSize {
     /// 4 KiB base page, mapped by a PTE (level-1 entry).
+    #[default]
     Size4K,
     /// 2 MiB huge page, mapped by a PDE (level-2 entry).
     Size2M,
@@ -91,12 +92,6 @@ impl PageSize {
             PageSize::Size2M => "2MB",
             PageSize::Size1G => "1GB",
         }
-    }
-}
-
-impl Default for PageSize {
-    fn default() -> Self {
-        PageSize::Size4K
     }
 }
 

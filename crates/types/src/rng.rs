@@ -1,0 +1,313 @@
+//! In-repo deterministic pseudo-random number generation.
+//!
+//! The simulator needs reproducible randomness (every run is keyed by a
+//! `u64` seed) but no cryptographic strength, so the workspace carries its
+//! own tiny generators instead of an external crate:
+//!
+//! * [`SplitMix64`] — Steele/Lea/Flood's 64-bit mixer. One multiply and a
+//!   few shifts per draw; used to expand a `u64` seed into generator state.
+//! * [`Xoshiro256PlusPlus`] — Blackman/Vigna's xoshiro256++ 1.0, the same
+//!   algorithm small-rng crates use as their default. 256 bits of state,
+//!   period 2^256 − 1, excellent equidistribution for simulation use.
+//!
+//! The API mirrors the subset of the `rand` crate the workspace used, so
+//! call sites read identically: [`SeedableRng::seed_from_u64`],
+//! [`RngExt::random_range`], and [`RngExt::random_bool`].
+//!
+//! # Examples
+//!
+//! ```
+//! use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let a = rng.random_range(0..100u64);
+//! assert!(a < 100);
+//! let again = SmallRng::seed_from_u64(42).random_range(0..100u64);
+//! assert_eq!(a, again, "same seed, same draws");
+//! ```
+
+use core::ops::{Range, RangeInclusive};
+
+/// The workspace's default generator: [`Xoshiro256PlusPlus`].
+pub type SmallRng = Xoshiro256PlusPlus;
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire state is derived from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produces a uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits scaled by 2^-53: every representable step in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience draws on top of [`RngCore`], mirroring the `rand` crate's
+/// method names so call sites stay idiomatic.
+pub trait RngExt: RngCore {
+    /// Draws a uniform value from `range` (see [`SampleRange`] for the
+    /// supported range types).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// A range that [`RngExt::random_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform value from the range.
+    fn sample<G: RngCore>(self, rng: &mut G) -> Self::Output;
+}
+
+/// Unbiased-enough bounded draw via 128-bit multiply-shift (Lemire's
+/// method without the rejection step; the bias is ≤ n/2^64, irrelevant for
+/// simulation workloads).
+#[inline]
+fn bounded(rng: &mut impl RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+
+    #[inline]
+    fn sample<G: RngCore>(self, rng: &mut G) -> u64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + bounded(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+
+    #[inline]
+    fn sample<G: RngCore>(self, rng: &mut G) -> u64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample an empty range");
+        let span = end - start;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        start + bounded(rng, span + 1)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+
+    #[inline]
+    fn sample<G: RngCore>(self, rng: &mut G) -> u32 {
+        (u64::from(self.start)..u64::from(self.end)).sample(rng) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+
+    #[inline]
+    fn sample<G: RngCore>(self, rng: &mut G) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    #[inline]
+    fn sample<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// SplitMix64: one multiply-xor-shift chain per draw.
+///
+/// Primarily the seed expander for [`Xoshiro256PlusPlus`], but a valid
+/// standalone generator for throwaway draws.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator at `seed`.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    /// Expands `seed` through [`SplitMix64`], as the algorithm's authors
+    /// recommend (an all-zero state would be a fixed point and SplitMix64
+    /// cannot produce four zero outputs in a row).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Known first outputs for seed 0 (Vigna's reference implementation).
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(rng.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn bounded_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(rng.random_range(0..17u64) < 17);
+            let v = rng.random_range(5..=9u64);
+            assert!((5..=9).contains(&v));
+            assert!(rng.random_range(0..3usize) < 3);
+            let f = rng.random_range(2.0..4.0);
+            assert!((2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bounded_draws_cover_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values reachable: {seen:?}");
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_sane() {
+        // 64 buckets x 64k draws: every bucket within ±25% of the mean.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buckets = [0u32; 64];
+        let n = 65_536;
+        for _ in 0..n {
+            buckets[rng.random_range(0..64usize)] += 1;
+        }
+        let mean = n as f64 / 64.0;
+        for (i, &b) in buckets.iter().enumerate() {
+            let dev = (f64::from(b) - mean).abs() / mean;
+            assert!(dev < 0.25, "bucket {i} deviates {dev:.2}");
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&frac), "p=0.3 drew {frac}");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.random_range(5..5u64);
+    }
+}

@@ -1,0 +1,165 @@
+//! Seeded randomized sweeps over the core virtual-memory types.
+//!
+//! Each test draws a few thousand cases from the in-repo PRNG with a fixed
+//! seed, so the suite is fully deterministic and dependency-free while still
+//! exercising the same properties the original property-based suite did.
+
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
+use eeat_types::{PageSize, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
+
+const CASES: u32 = 2_000;
+
+fn rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0xeea7_17b5 ^ salt)
+}
+
+fn any_page_size(rng: &mut SmallRng) -> PageSize {
+    match rng.random_range(0..3usize) {
+        0 => PageSize::Size4K,
+        1 => PageSize::Size2M,
+        _ => PageSize::Size1G,
+    }
+}
+
+#[test]
+fn align_down_is_aligned_and_below() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let raw = rng.random_range(0..1u64 << 48);
+        let size = any_page_size(&mut rng);
+        let va = VirtAddr::new(raw);
+        let down = va.align_down(size);
+        assert!(down.is_aligned(size));
+        assert!(down <= va);
+        assert!(va.raw() - down.raw() < size.bytes());
+    }
+}
+
+#[test]
+fn align_up_is_aligned_and_above() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let raw = rng.random_range(0..1u64 << 48);
+        let size = any_page_size(&mut rng);
+        let va = VirtAddr::new(raw);
+        let up = va.align_up(size);
+        assert!(up.is_aligned(size));
+        assert!(up >= va);
+        assert!(up.raw() - va.raw() < size.bytes());
+    }
+}
+
+#[test]
+fn offset_decomposition() {
+    // Any address is exactly its aligned base plus its page offset.
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let raw = rng.random_range(0..1u64 << 48);
+        let size = any_page_size(&mut rng);
+        let va = VirtAddr::new(raw);
+        assert_eq!(va.align_down(size).raw() + va.page_offset(size), va.raw());
+    }
+}
+
+#[test]
+fn vpn_base_addr_round_trip() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let vpn = Vpn::new(rng.random_range(0..1u64 << 36));
+        assert_eq!(vpn.base_addr().vpn(), vpn);
+    }
+}
+
+#[test]
+fn vpn_align_matches_addr_align() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let va = VirtAddr::new(rng.random_range(0..1u64 << 48));
+        let size = any_page_size(&mut rng);
+        assert_eq!(
+            va.vpn().align_down(size).base_addr(),
+            va.align_down(size).align_down(PageSize::Size4K)
+        );
+    }
+}
+
+#[test]
+fn range_contains_iff_in_bounds() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let start = rng.random_range(0..1u64 << 40);
+        let len = rng.random_range(1..1u64 << 24);
+        let probe = rng.random_range(0..1u64 << 41);
+        let r = VirtRange::new(VirtAddr::new(start), len);
+        let inside = probe >= start && probe < start + len;
+        assert_eq!(r.contains(VirtAddr::new(probe)), inside);
+    }
+}
+
+#[test]
+fn range_overlap_is_symmetric() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let a_start = rng.random_range(0..1u64 << 30);
+        let a_len = rng.random_range(1..1u64 << 20);
+        let b_start = rng.random_range(0..1u64 << 30);
+        let b_len = rng.random_range(1..1u64 << 20);
+        let a = VirtRange::new(VirtAddr::new(a_start), a_len);
+        let b = VirtRange::new(VirtAddr::new(b_start), b_len);
+        assert_eq!(a.overlaps(b), b.overlaps(a));
+        // Two ranges overlap exactly when neither is fully on one side.
+        let disjoint = a_start + a_len <= b_start || b_start + b_len <= a_start;
+        assert_eq!(a.overlaps(b), !disjoint);
+    }
+}
+
+#[test]
+fn range_base_pages_bounds() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let start = rng.random_range(0..1u64 << 40);
+        let len = rng.random_range(1..1u64 << 24);
+        let r = VirtRange::new(VirtAddr::new(start), len);
+        let pages = r.base_pages();
+        // A range of `len` bytes touches at least ceil(len/4K) pages and at
+        // most one extra page for misalignment.
+        assert!(pages >= len.div_ceil(4096));
+        assert!(pages <= len.div_ceil(4096) + 1);
+    }
+}
+
+#[test]
+fn range_translation_preserves_offsets() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let start_page = rng.random_range(1..1u64 << 30);
+        let pages = rng.random_range(1..1u64 << 16);
+        let phys_page = rng.random_range(1..1u64 << 30);
+        let probe = rng.random_range(0..1u64 << 28);
+        let virt = VirtRange::new(VirtAddr::new(start_page << 12), pages << 12);
+        let rt = RangeTranslation::new(virt, PhysAddr::new(phys_page << 12));
+        let va = VirtAddr::new((start_page << 12) + (probe % (pages << 12)));
+        let pa = rt.translate(va).expect("inside range");
+        assert_eq!(pa.offset_from(rt.phys_base()), va.offset_from(virt.start()));
+        // Page offsets must be identical — the defining property of a
+        // contiguity-preserving mapping.
+        assert_eq!(
+            pa.page_offset(PageSize::Size4K),
+            va.page_offset(PageSize::Size4K)
+        );
+    }
+}
+
+#[test]
+fn range_translation_rejects_outside() {
+    let mut rng = rng(10);
+    for _ in 0..CASES {
+        let start_page = rng.random_range(1..1u64 << 20);
+        let pages = rng.random_range(1..1u64 << 10);
+        let phys_page = rng.random_range(1..1u64 << 20);
+        let virt = VirtRange::new(VirtAddr::new(start_page << 12), pages << 12);
+        let rt = RangeTranslation::new(virt, PhysAddr::new(phys_page << 12));
+        assert_eq!(rt.translate(VirtAddr::new((start_page << 12) - 1)), None);
+        assert_eq!(rt.translate(virt.end()), None);
+    }
+}

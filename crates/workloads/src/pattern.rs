@@ -2,8 +2,7 @@
 
 use core::fmt;
 
-use rand::rngs::SmallRng;
-use rand::RngExt;
+use eeat_types::rng::{RngExt, SmallRng};
 
 /// How a stream walks the bytes of one region.
 ///
@@ -58,9 +57,7 @@ impl Pattern {
     /// Validates the pattern's parameters.
     pub(crate) fn validate(&self) -> Result<(), String> {
         match *self {
-            Pattern::Stream { stride } if stride == 0 => {
-                Err("stream stride must be non-zero".into())
-            }
+            Pattern::Stream { stride: 0 } => Err("stream stride must be non-zero".into()),
             Pattern::Hotspot {
                 hot_fraction,
                 hot_prob,
@@ -189,7 +186,7 @@ impl Pattern {
                 let mixed = cursor
                     .offset
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(rng.random_range(0..64));
+                    .wrapping_add(rng.random_range(0..64u64));
                 let next = mixed % len;
                 cursor.offset = next;
                 next
@@ -223,7 +220,7 @@ impl Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use eeat_types::rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(7)

@@ -159,7 +159,7 @@ impl WorkloadSpec {
                 if s >= self.streams.len() {
                     return Err(SpecError(format!("phase {i} names missing stream {s}")));
                 }
-                if !(w > 0.0) {
+                if w <= 0.0 || w.is_nan() {
                     return Err(SpecError(format!("phase {i} has non-positive weight {w}")));
                 }
             }

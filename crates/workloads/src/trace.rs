@@ -1,8 +1,7 @@
 //! Turning a workload spec into a concrete memory-access trace.
 
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
 use eeat_types::{AccessKind, MemAccess, VirtAddr, VirtRange};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::pattern::Cursor;
 use crate::spec::WorkloadSpec;

@@ -15,8 +15,8 @@ fn main() {
 
     println!("Lite on {workload}: way counts sampled every 2 M instructions\n");
     println!(
-        "{:>10}  {:>9}  {:>9}  {:>8}  {}",
-        "instr (M)", "L1-4KB", "L1-2MB", "L1 MPKI", "note"
+        "{:>10}  {:>9}  {:>9}  {:>8}  note",
+        "instr (M)", "L1-4KB", "L1-2MB", "L1 MPKI"
     );
 
     let mut note = "";

@@ -11,7 +11,10 @@ use eeat::core::{LiteController, LiteDecision, LiteParams, ThresholdEpsilon, Way
 fn main() {
     println!("== Figure 6: the lru-distance-counters of an 8-way TLB ==\n");
     let mut monitor = WayMonitor::new(8);
-    println!("an 8-way TLB needs log2(8)+1 = {} counters", monitor.counter_count());
+    println!(
+        "an 8-way TLB needs log2(8)+1 = {} counters",
+        monitor.counter_count()
+    );
 
     // Simulate one interval of hits: MRU-heavy with a tail.
     let hits: &[(u8, u64)] = &[(0, 700), (1, 150), (2, 60), (3, 40), (5, 30), (7, 20)];

@@ -1,0 +1,146 @@
+//! Golden-fixture parity: bit-for-bit `RunResult` snapshots.
+//!
+//! Each canonical configuration runs a fixed workload/seed/budget and the
+//! full `RunResult` — every stats counter, every per-structure energy
+//! accumulator (as raw `f64` bit patterns), and the cycle split — is
+//! compared against a committed fixture under `tests/fixtures/golden/`.
+//! Any behavioural drift in the translation pipeline, however small,
+//! changes at least one line.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! EEAT_BLESS=1 cargo test --test golden_parity
+//! ```
+//!
+//! and commit the rewritten fixtures together with the change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use eeat_core::{Config, RunResult, Simulator};
+use eeat_energy::Structure;
+use eeat_workloads::Workload;
+
+const INSTRUCTIONS: u64 = 1_000_000;
+const SEED: u64 = 42;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Renders a `RunResult` as stable `key = value` lines; floats are stored
+/// as their IEEE-754 bit patterns so equality is exact, with a readable
+/// decimal echo in a trailing comment.
+fn dump(r: &RunResult) -> String {
+    let mut out = String::new();
+    let s = &r.stats;
+    let mut kv = |k: &str, v: u64| writeln!(out, "{k} = {v}").unwrap();
+    kv("stats.instructions", s.instructions);
+    kv("stats.accesses", s.accesses);
+    kv("stats.l1_misses", s.l1_misses);
+    kv("stats.l2_misses", s.l2_misses);
+    kv("stats.l1_hits_4k", s.l1_hits_4k);
+    kv("stats.l1_hits_2m", s.l1_hits_2m);
+    kv("stats.l1_hits_1g", s.l1_hits_1g);
+    kv("stats.l1_hits_range", s.l1_hits_range);
+    kv("stats.l2_hits_page", s.l2_hits_page);
+    kv("stats.l2_hits_range", s.l2_hits_range);
+    kv("stats.walk_memory_refs", s.walk_memory_refs);
+    kv("stats.range_table_walks", s.range_table_walks);
+    for (i, &n) in s.l1_4k_lookups_by_ways.iter().enumerate() {
+        kv(&format!("stats.l1_4k_lookups_by_ways[{i}]"), n);
+    }
+    for (i, &n) in s.l1_2m_lookups_by_ways.iter().enumerate() {
+        kv(&format!("stats.l1_2m_lookups_by_ways[{i}]"), n);
+    }
+    for (i, &n) in s.l1_fa_lookups_by_entries.iter().enumerate() {
+        kv(&format!("stats.l1_fa_lookups_by_entries[{i}]"), n);
+    }
+    kv("stats.predictor_second_probes", s.predictor_second_probes);
+    kv("stats.lite_intervals", s.lite_intervals);
+    kv("stats.lite_reactivations", s.lite_reactivations);
+    for structure in Structure::ALL {
+        let pj = r.energy.pj(structure);
+        writeln!(
+            out,
+            "energy.{} = {:016x}  # {pj:.6} pJ",
+            structure.label(),
+            pj.to_bits()
+        )
+        .unwrap();
+    }
+    writeln!(out, "cycles.l1_miss_cycles = {}", r.cycles.l1_miss_cycles).unwrap();
+    writeln!(out, "cycles.l2_miss_cycles = {}", r.cycles.l2_miss_cycles).unwrap();
+    out
+}
+
+/// The canonical runs: name → freshly configured simulator.
+fn cases() -> Vec<(&'static str, Simulator)> {
+    let sim = |config: Config| Simulator::from_workload(config, Workload::Mcf, SEED);
+    let mut with_flush = sim(Config::tlb_lite());
+    // A flush cadence co-prime-ish with the 100k Lite interval, so flushes
+    // land mid-interval and the flush/epoch interaction is pinned too.
+    with_flush.set_flush_interval(Some(230_000));
+    vec![
+        ("four_k", sim(Config::four_k())),
+        ("thp", sim(Config::thp())),
+        ("tlb_lite", sim(Config::tlb_lite())),
+        ("rmm", sim(Config::rmm())),
+        ("rmm_lite", sim(Config::rmm_lite())),
+        ("tlb_pp", sim(Config::tlb_pp())),
+        ("tlb_pred", sim(Config::tlb_pred())),
+        ("fa_lite", sim(Config::fa_lite())),
+        ("tlb_lite_flush", with_flush),
+    ]
+}
+
+#[test]
+fn run_results_match_golden_fixtures() {
+    let bless = std::env::var_os("EEAT_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for (name, mut sim) in cases() {
+        let result = sim.run(INSTRUCTIONS);
+        let got = dump(&result);
+        let path = fixture_path(name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run `EEAT_BLESS=1 cargo test --test golden_parity`",
+                path.display()
+            )
+        });
+        if got != want {
+            let diff: Vec<String> = want
+                .lines()
+                .zip(got.lines())
+                .filter(|(w, g)| w != g)
+                .map(|(w, g)| format!("  - {w}\n  + {g}"))
+                .collect();
+            mismatches.push(format!("[{name}] diverged:\n{}", diff.join("\n")));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden parity broken:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_runs_are_reproducible_in_process() {
+    // The fixture premise: two identical runs in the same process agree
+    // bit-for-bit.
+    for (name, mut sim) in cases() {
+        let first = dump(&sim.run(INSTRUCTIONS));
+        let (_, mut again) = cases().into_iter().find(|(n, _)| *n == name).unwrap();
+        let second = dump(&again.run(INSTRUCTIONS));
+        assert_eq!(first, second, "[{name}] not deterministic");
+    }
+}
