@@ -17,4 +17,8 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q"
 cargo test --workspace -q --offline
 
+echo "==> differential fuzz smoke (8 seeds x 10k steps per target)"
+EEAT_FUZZ_SEEDS=8 cargo run --release --offline -p eeat-bench --bin fuzz -- \
+    --instructions 10_000 --seed 1
+
 echo "==> ci.sh: all checks passed"

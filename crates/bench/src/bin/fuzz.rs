@@ -1,0 +1,38 @@
+//! Long-run differential fuzzing of the TLB structures against the
+//! `eeat-oracle` reference models.
+//!
+//! `--instructions` is reinterpreted as fuzz steps per (seed, target) and
+//! `--seed` as the first seed; `EEAT_FUZZ_SEEDS` (default 8) sets how many
+//! consecutive seeds run. Any divergence prints a minimized replay —
+//! check it in under `crates/oracle/replays/` — and exits non-zero.
+//!
+//! CI runs `--instructions 10_000 --seed 1` with `EEAT_FUZZ_SEEDS=8`; the
+//! default 20 M budget is the overnight setting.
+
+use eeat_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse(
+        "Differential fuzz of production TLB/MMU/Lite structures vs the eeat-oracle \
+         reference models (--instructions = steps per seed and target; --seed = first \
+         seed; EEAT_FUZZ_SEEDS = seed count, default 8)",
+    );
+    let seeds: u64 = std::env::var("EEAT_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let steps = usize::try_from(cli.instructions).unwrap_or(usize::MAX);
+    eprintln!(
+        "fuzzing seeds {}..{} at {steps} steps per target...",
+        cli.seed,
+        cli.seed + seeds
+    );
+    for seed in cli.seed..cli.seed + seeds {
+        if let Err(failure) = eeat_oracle::fuzz_seed(seed, steps) {
+            eprintln!("{failure}");
+            std::process::exit(1);
+        }
+        eprintln!("seed {seed}: clean");
+    }
+    println!("fuzz: {seeds} seeds x {steps} steps per target, zero divergences");
+}

@@ -7,6 +7,22 @@ use eeat_types::{PageSize, VirtAddr};
 
 use crate::config::Config;
 
+/// Dense Lite monitor/decision indices of the resizable L1 structures, in
+/// the same order [`TlbHierarchy::resizable_ways`] reports them.
+///
+/// At most one of the three is meaningful per configuration kind: the §4.4
+/// fully associative L1 owns the only slot when present; otherwise L1-4KB
+/// (when present) takes slot 0 and L1-2MB the next free slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MonitorIndices {
+    /// Slot of the fully associative mixed-size L1, if present.
+    pub l1_fa: Option<usize>,
+    /// Slot of the L1-4KB (or unified) TLB, if present and resizable.
+    pub l1_4k: Option<usize>,
+    /// Slot of the L1-2MB TLB, if present and resizable.
+    pub l1_2m: Option<usize>,
+}
+
 /// The concrete TLB structures of one simulated core.
 ///
 /// Which structures exist follows the configuration (Figure 8 of the paper
@@ -126,15 +142,66 @@ impl TlbHierarchy {
         v
     }
 
-    /// Invalidates the entries covering `va` in every structure — the TLB
-    /// shootdown the OS issues when it changes a mapping (e.g. breaking a
-    /// huge page).
-    pub fn shootdown(&mut self, _va: VirtAddr) {
-        // Page structures: remove any entry of any size covering the page.
-        // Implemented as a flush of the matching entries via probe+reinsert
-        // being unavailable, the structures expose only flush; a precise
-        // shootdown is modelled by flushing all structures (rare event, the
-        // paper's Lite guard reacts to the resulting miss burst either way).
+    /// Positions of the resizable L1 structures within the dense
+    /// [`resizable_ways`](Self::resizable_ways) order. This is the single
+    /// source of truth tying a structure to its Lite monitor/decision slot;
+    /// the probe and resize paths must both use it so a configuration with,
+    /// say, only an L1-2MB TLB credits monitor 0, not a hard-coded 1.
+    pub fn monitor_indices(&self) -> MonitorIndices {
+        if self.l1_fa.is_some() {
+            return MonitorIndices {
+                l1_fa: Some(0),
+                l1_4k: None,
+                l1_2m: None,
+            };
+        }
+        let mut next = 0usize;
+        let mut claim = |present: bool| {
+            present.then(|| {
+                let i = next;
+                next += 1;
+                i
+            })
+        };
+        MonitorIndices {
+            l1_fa: None,
+            l1_4k: claim(self.l1_4k.is_some()),
+            l1_2m: claim(self.l1_2m.is_some()),
+        }
+    }
+
+    /// Invalidates only the entries covering `va` — the precise TLB
+    /// shootdown (`invlpg`) the OS issues when it changes a single mapping,
+    /// e.g. breaking a huge page. Entries for other pages survive. Returns
+    /// the total number of entries removed across all structures.
+    pub fn shootdown(&mut self, va: VirtAddr) -> u64 {
+        let mut removed = 0u64;
+        if let Some(t) = &mut self.l1_4k {
+            removed += t.invalidate(va);
+        }
+        if let Some(t) = &mut self.l1_2m {
+            removed += t.invalidate(va);
+        }
+        if let Some(t) = &mut self.l1_1g {
+            removed += t.invalidate(va);
+        }
+        if let Some(t) = &mut self.l1_fa {
+            removed += t.invalidate(va);
+        }
+        if let Some(t) = &mut self.l1_range {
+            removed += t.invalidate(va);
+        }
+        removed += self.l2_page.invalidate(va);
+        if let Some(t) = &mut self.l2_range {
+            removed += t.invalidate(va);
+        }
+        removed
+    }
+
+    /// Flushes every structure — the full-context invalidation of an
+    /// address-space switch without ASIDs. Per-page shootdowns use the
+    /// precise [`shootdown`](Self::shootdown) instead.
+    pub fn flush_all(&mut self) {
         if let Some(t) = &mut self.l1_4k {
             t.flush();
         }
@@ -254,7 +321,43 @@ mod tests {
     }
 
     #[test]
-    fn shootdown_empties_structures() {
+    fn shootdown_is_precise() {
+        let mut h = TlbHierarchy::from_config(&Config::rmm_lite());
+        use eeat_tlb::PageTranslation;
+        use eeat_types::{Pfn, Vpn};
+        for vpn in [5u64, 6, 7] {
+            h.l1_4k.as_mut().unwrap().insert(PageTranslation::new(
+                Vpn::new(vpn),
+                Pfn::new(vpn + 100),
+                PageSize::Size4K,
+            ));
+            h.l2_page.insert(PageTranslation::new(
+                Vpn::new(vpn),
+                Pfn::new(vpn + 100),
+                PageSize::Size4K,
+            ));
+        }
+        // Shooting down page 5 removes it from the L1 and the L2 but leaves
+        // the neighbouring pages alone.
+        assert_eq!(h.shootdown(VirtAddr::new(5 * 4096)), 2);
+        assert_eq!(h.l1_4k().unwrap().occupancy(), 2);
+        assert_eq!(h.l2_page().occupancy(), 2);
+        assert!(h
+            .l1_4k()
+            .unwrap()
+            .probe(VirtAddr::new(5 * 4096), PageSize::Size4K)
+            .is_none());
+        assert!(h
+            .l1_4k()
+            .unwrap()
+            .probe(VirtAddr::new(6 * 4096), PageSize::Size4K)
+            .is_some());
+        // A repeated shootdown of the same page finds nothing.
+        assert_eq!(h.shootdown(VirtAddr::new(5 * 4096)), 0);
+    }
+
+    #[test]
+    fn flush_all_empties_structures() {
         let mut h = TlbHierarchy::from_config(&Config::rmm_lite());
         use eeat_tlb::PageTranslation;
         use eeat_types::{Pfn, Vpn};
@@ -263,8 +366,33 @@ mod tests {
             Pfn::new(6),
             PageSize::Size4K,
         ));
-        h.shootdown(VirtAddr::new(5 * 4096));
+        h.flush_all();
         assert_eq!(h.l1_4k().unwrap().occupancy(), 0);
+    }
+
+    #[test]
+    fn monitor_indices_follow_dense_order() {
+        // THP: both L1-4KB and L1-2MB resizable.
+        let h = TlbHierarchy::from_config(&Config::thp());
+        let idx = h.monitor_indices();
+        assert_eq!(idx.l1_4k, Some(0));
+        assert_eq!(idx.l1_2m, Some(1));
+        assert_eq!(idx.l1_fa, None);
+
+        // 4K-only: single slot.
+        let h = TlbHierarchy::from_config(&Config::four_k());
+        let idx = h.monitor_indices();
+        assert_eq!(idx.l1_4k, Some(0));
+        assert_eq!(idx.l1_2m, None);
+
+        // 2MB-only: the 2MB TLB must own slot 0, not a hard-coded 1.
+        let mut config = Config::thp();
+        config.l1_4k = None;
+        let h = TlbHierarchy::from_config(&config);
+        let idx = h.monitor_indices();
+        assert_eq!(idx.l1_4k, None);
+        assert_eq!(idx.l1_2m, Some(0));
+        assert_eq!(h.resizable_ways().len(), 1);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod sweep;
 
 pub use config::{Config, LiteParams, ThresholdEpsilon, TlbGeometry};
 pub use experiment::{mean_normalized, ConfigRun, Experiment, WorkloadResults};
-pub use hierarchy::TlbHierarchy;
+pub use hierarchy::{MonitorIndices, TlbHierarchy};
 pub use lite::{LiteController, LiteDecision, WayMonitor};
 pub use predictor::SizePredictor;
 pub use report::{format_row, format_table, Table};

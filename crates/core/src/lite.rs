@@ -45,12 +45,16 @@ impl WayMonitor {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds when `rank` is outside the physical ways.
+    /// Panics when `rank` is outside the physical ways — in every build: a
+    /// rank that is out of range but lands on an existing counter (possible
+    /// for non-power-of-two gaps) would otherwise corrupt the counters
+    /// silently.
     #[inline]
     pub fn record_hit(&mut self, rank: u8) {
-        debug_assert!(
+        assert!(
             (rank as usize) < self.physical_ways,
-            "rank outside structure"
+            "LRU rank {rank} outside the {}-way monitored structure",
+            self.physical_ways
         );
         let k = if rank == 0 {
             0

@@ -3,7 +3,6 @@
 //! resizable-L1 operations at their outgoing sizes.
 
 use eeat_types::events::TranslationEvent;
-use eeat_types::VirtAddr;
 
 use crate::hierarchy::TlbHierarchy;
 use crate::lite::LiteDecision;
@@ -16,10 +15,16 @@ pub(crate) fn context_switch_if_due(sim: &mut Simulator) {
         return;
     }
     // Context switch: everything translation-related is lost.
-    sim.hierarchy.shootdown(VirtAddr::new(0));
+    sim.hierarchy.flush_all();
     sim.walker.caches_mut().flush();
     sim.flushes += 1;
-    sim.next_flush_at = sim.clock + sim.flush_interval.expect("armed only when set");
+    // Advance on the fixed grid, not from the (possibly late) flush
+    // instruction, so flush counts depend only on instructions executed.
+    let interval = sim.flush_interval.expect("armed only when set");
+    sim.next_flush_at += interval;
+    while sim.next_flush_at <= sim.clock {
+        sim.next_flush_at += interval;
+    }
     sim.sinks.emit(TranslationEvent::ContextSwitch);
 }
 
@@ -67,16 +72,18 @@ pub(crate) fn interval_check(sim: &mut Simulator) {
         }
         LiteDecision::Resize(ways) => new_ways = ways,
     }
-    let mut it = new_ways.into_iter();
-    if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
-        t.set_active_entries(it.next().expect("one size per resizable TLB"));
-    } else {
-        if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
-            t.set_active_ways(it.next().expect("one way count per resizable TLB"));
-        }
-        if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
-            t.set_active_ways(it.next().expect("one way count per resizable TLB"));
-        }
+    // One source of truth for which decision slot belongs to which
+    // structure: the hierarchy's dense monitor order (shared with the L1
+    // probe stage).
+    let idx = sim.hierarchy.monitor_indices();
+    if let (Some(i), Some(t)) = (idx.l1_fa, sim.hierarchy.l1_fa.as_mut()) {
+        t.set_active_entries(new_ways[i]);
+    }
+    if let (Some(i), Some(t)) = (idx.l1_4k, sim.hierarchy.l1_4k.as_mut()) {
+        t.set_active_ways(new_ways[i]);
+    }
+    if let (Some(i), Some(t)) = (idx.l1_2m, sim.hierarchy.l1_2m.as_mut()) {
+        t.set_active_ways(new_ways[i]);
     }
     sim.sinks.emit(TranslationEvent::EpochEnd {
         reactivated,

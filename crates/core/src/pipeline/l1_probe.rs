@@ -40,6 +40,9 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
     // The unified L1 of TLB_PP is indexed with the (perfectly predicted)
     // actual page size; per-size L1s use their own size.
     let unified = sim.hierarchy.unified_l1();
+    // Monitor slots come from the hierarchy's dense order (shared with the
+    // epoch resize path) — a 2MB-only resizable config owns slot 0.
+    let monitors = sim.hierarchy.monitor_indices();
     // (page size of the hit, LRU rank, Lite monitor index if monitored)
     let mut page_hit: Option<(PageSize, u8, Option<usize>)> = None;
     if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
@@ -52,7 +55,7 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
             active: entries as u32,
         });
         if let Some(h) = hit {
-            page_hit = Some((h.translation.size(), h.rank, Some(0)));
+            page_hit = Some((h.translation.size(), h.rank, monitors.l1_fa));
         }
     }
     if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
@@ -95,7 +98,7 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
             active: ways as u32,
         });
         if let Some(h) = hit {
-            page_hit = Some((h.translation.size(), h.rank, Some(0)));
+            page_hit = Some((h.translation.size(), h.rank, monitors.l1_4k));
         }
     }
     if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
@@ -107,7 +110,7 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
         });
         if let Some(h) = hit {
             debug_assert!(page_hit.is_none(), "page sizes are disjoint");
-            page_hit = Some((PageSize::Size2M, h.rank, Some(1)));
+            page_hit = Some((PageSize::Size2M, h.rank, monitors.l1_2m));
         }
     }
     if let Some(t) = sim.hierarchy.l1_1g.as_mut() {

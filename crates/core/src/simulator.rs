@@ -202,30 +202,35 @@ impl Simulator {
     }
 
     /// Failure injection: breaks up to `max_pages` huge pages back into
-    /// 4 KiB pages (what Linux does under memory pressure) and performs the
-    /// TLB shootdown. Returns how many pages were demoted.
+    /// 4 KiB pages (what Linux does under memory pressure) and performs a
+    /// precise per-page TLB shootdown for each demoted mapping. Returns how
+    /// many pages were demoted.
     ///
     /// The resulting miss burst is the event Lite's degradation guard
     /// responds to by re-activating all ways (paper §4.2.2).
     pub fn break_huge_pages(&mut self, max_pages: u64) -> u64 {
-        let victims: Vec<u64> = self
+        // Lowest-addressed huge pages first, so victim choice does not
+        // depend on HashMap iteration order.
+        let mut victims: Vec<u64> = self
             .size_oracle
             .iter()
             .filter(|&(_, &size)| size == PageSize::Size2M)
             .map(|(&key, _)| key)
-            .take(max_pages as usize)
             .collect();
+        victims.sort_unstable();
+        victims.truncate(max_pages as usize);
         let mut broken = 0;
         for key in victims {
             let va = VirtAddr::new(key << 21);
             if self.address_space.break_huge_page(va).is_some() {
                 self.size_oracle.insert(key, PageSize::Size4K);
+                // invlpg semantics: only the demoted mapping (and its
+                // cached paging-structure entries) is shot down; unrelated
+                // translations survive.
+                self.hierarchy.shootdown(va);
+                self.walker.caches_mut().invalidate(va);
                 broken += 1;
             }
-        }
-        if broken > 0 {
-            self.hierarchy.shootdown(VirtAddr::new(0));
-            self.walker.caches_mut().flush();
         }
         broken
     }

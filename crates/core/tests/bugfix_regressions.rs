@@ -1,0 +1,132 @@
+//! One test per fixed bug, exercising only the public API.
+//!
+//! Each test fails when its fix is reverted: monitor indices derived from
+//! the configuration (not hard-coded), precise single-page shootdowns,
+//! the LRU-rank bounds assert, and fixed-grid context-switch scheduling.
+
+use eeat_core::{Config, LiteParams, Simulator, ThresholdEpsilon, WayMonitor};
+use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
+
+/// A workload whose traffic is mostly 2 MiB pages (one THP-eligible hot
+/// region) plus a small 4 KiB-backed region.
+fn thp_heavy_spec(mem_ops_per_kilo_instr: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "regress",
+        mem_ops_per_kilo_instr,
+        store_fraction: 0.2,
+        regions: vec![
+            RegionSpec {
+                name: "huge",
+                bytes: 64 << 20,
+                count: 1,
+                thp_eligible: true,
+            },
+            RegionSpec {
+                name: "base",
+                bytes: 256 << 10,
+                count: 1,
+                thp_eligible: false,
+            },
+        ],
+        streams: vec![
+            StreamSpec {
+                region: 0,
+                pattern: Pattern::Hotspot {
+                    hot_fraction: 0.25,
+                    hot_prob: 0.9,
+                },
+                region_switch_prob: 0.0,
+            },
+            StreamSpec {
+                region: 1,
+                pattern: Pattern::Random,
+                region_switch_prob: 0.0,
+            },
+        ],
+        phases: vec![PhaseSpec {
+            duration_units: 1,
+            weights: vec![(0, 0.85), (1, 0.15)],
+        }],
+        phase_unit_instructions: 100_000,
+    }
+}
+
+/// Lite on a configuration whose *only* resizable L1 is the 2 MiB TLB.
+/// The monitor index of each structure must come from the configuration;
+/// with the old hard-coded `Some(1)` for the 2 MiB TLB this paniced (the
+/// lone monitor is index 0) or silently monitored the wrong structure.
+#[test]
+fn lite_monitors_follow_configuration_without_a_4k_tlb() {
+    let config = Config {
+        name: "2MB_only_Lite",
+        l1_4k: None,
+        lite: Some(LiteParams {
+            interval_instructions: 20_000,
+            epsilon: ThresholdEpsilon::Relative(0.125),
+            reactivation_prob: 0.0,
+            degradation_floor_mpki: 0.0,
+        }),
+        ..Config::thp()
+    };
+    let mut sim = Simulator::from_spec(config, &thp_heavy_spec(300), 11);
+    let result = sim.run(200_000);
+    assert!(result.stats.accesses > 0);
+    let lite = sim.lite().expect("Lite is enabled");
+    assert!(lite.intervals() > 0, "intervals must have elapsed");
+    // The lone monitored structure is the 2 MiB TLB at index 0.
+    assert_eq!(lite.current_ways(0), Config::L1_2M.ways);
+}
+
+/// Huge-page demotion shoots down exactly the demoted mapping; every
+/// unrelated L1 entry survives. The old `TlbHierarchy::shootdown` flushed
+/// every structure, dropping the L1 occupancy to zero here.
+#[test]
+fn thp_demotion_preserves_unrelated_l1_entries() {
+    let mut sim = Simulator::from_spec(Config::thp(), &thp_heavy_spec(300), 3);
+    sim.run(200_000);
+    let occupancy = |sim: &Simulator| {
+        let h = sim.hierarchy();
+        h.l1_4k().map_or(0, |t| t.occupancy()) + h.l1_2m().map_or(0, |t| t.occupancy())
+    };
+    let before = occupancy(&sim);
+    assert!(
+        before > 8,
+        "warm-up must populate the L1 TLBs, got {before}"
+    );
+    let demoted = sim.break_huge_pages(1);
+    assert_eq!(demoted, 1, "one huge page demoted");
+    let after = occupancy(&sim);
+    assert!(
+        after >= before - 1,
+        "precise shootdown removes at most the covering entry: {before} -> {after}"
+    );
+}
+
+/// Recording an LRU rank outside the monitored structure is a caller bug
+/// and must fail loudly in every build, not just with debug assertions.
+#[test]
+#[should_panic(expected = "LRU rank")]
+fn way_monitor_rejects_out_of_range_ranks() {
+    let mut monitor = WayMonitor::new(4);
+    monitor.record_hit(7);
+}
+
+/// Context switches run on a fixed instruction grid: the flush count
+/// depends only on instructions executed. The old scheduling re-anchored
+/// each deadline at the (late) flushing instruction, so sparse-access
+/// workloads drifted and lost flushes.
+#[test]
+fn context_switch_flushes_stay_on_the_fixed_grid() {
+    // Sparse accesses (avg. gap ~100 instructions) against a 1 000-
+    // instruction flush interval: late-anchored scheduling would drift by
+    // ~5 % per interval and lose several flushes over 100 intervals.
+    let mut sim = Simulator::from_spec(Config::thp(), &thp_heavy_spec(10), 5);
+    sim.set_flush_interval(Some(1_000));
+    let result = sim.run(100_000);
+    let expected = result.stats.instructions / 1_000;
+    let got = sim.flushes();
+    assert!(
+        got.abs_diff(expected) <= 1,
+        "flushes must track the grid: got {got}, expected ~{expected}"
+    );
+}

@@ -360,11 +360,15 @@ fn thp_breakdown_demotes_and_shoots_down() {
     sim.run(200_000);
     let huge_before = sim.address_space().huge_pages();
     assert!(huge_before > 0, "the cold region is THP-backed");
+    let occupancy_before = sim.hierarchy().l2_page().occupancy();
     let broken = sim.break_huge_pages(4);
     assert_eq!(broken, 4);
     assert_eq!(sim.address_space().huge_pages(), huge_before - 4);
-    // The shootdown emptied the structures.
-    assert_eq!(sim.hierarchy().l2_page().occupancy(), 0);
+    // The shootdown is precise: at most the four demoted mappings left the
+    // L2, everything else survived the demotion.
+    let occupancy_after = sim.hierarchy().l2_page().occupancy();
+    assert!(occupancy_after + 4 >= occupancy_before);
+    assert!(occupancy_after > 0, "unrelated entries survive");
     // Simulation continues and the demoted regions now walk as 4 KiB.
     let r = sim.run(200_000);
     assert!(r.stats.instructions >= 400_000);

@@ -1,0 +1,1138 @@
+//! The deterministic differential fuzz driver.
+//!
+//! [`fuzz_seed`] (or [`fuzz_target`] for one structure) generates a
+//! seed-addressable random operation sequence, applies it to a production
+//! structure and its oracle side by side, and cross-checks every observable
+//! after every step: hit/miss outcome, returned translation, reported LRU
+//! rank, stats counters, occupancy, the full contents (via side-effect-free
+//! probes over the operand universe), and the production structure's own
+//! `assert_invariants`.
+//!
+//! On a divergence the failing sequence is [`minimize`]d to a (locally)
+//! minimal repro and rendered as a textual replay with [`format_replay`].
+//! Replays are self-contained — [`run_replay`] re-executes them against
+//! freshly built structures — so a divergence found once can be checked in
+//! under `replays/` as a permanent regression test.
+
+use std::fmt;
+
+use eeat_core::{LiteController, LiteParams, ThresholdEpsilon};
+use eeat_paging::{MmuCaches, PageTable, PageWalker};
+use eeat_tlb::{FullyAssocTlb, PageTranslation, RangeTlb, SetAssocTlb, TlbStats};
+use eeat_types::rng::{RngCore, RngExt, SeedableRng, SmallRng, SplitMix64};
+use eeat_types::{PageSize, Pfn, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
+
+use crate::lite::OracleLite;
+use crate::model::{OraclePageTlb, OracleRangeTlb, OracleStats, OracleWalker};
+
+/// The production structure a fuzz run drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// [`SetAssocTlb`], 256 entries × 4 ways, mixed 4 KiB / 2 MiB entries.
+    SetAssoc,
+    /// [`FullyAssocTlb`], 8 entries, mixed sizes, entry-count resizing.
+    FullyAssoc,
+    /// [`RangeTlb`], 4 entries over 8 disjoint ranges.
+    Range,
+    /// [`PageWalker`] + [`MmuCaches`] over a fixed page table.
+    Mmu,
+    /// [`LiteController`] versus the full-log [`OracleLite`].
+    Lite,
+}
+
+impl Target {
+    /// Every target, in the order [`fuzz_seed`] drives them.
+    pub const ALL: [Target; 5] = [
+        Target::SetAssoc,
+        Target::FullyAssoc,
+        Target::Range,
+        Target::Mmu,
+        Target::Lite,
+    ];
+
+    /// The replay-file token naming this target.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::SetAssoc => "set_assoc",
+            Target::FullyAssoc => "fully_assoc",
+            Target::Range => "range",
+            Target::Mmu => "mmu",
+            Target::Lite => "lite",
+        }
+    }
+
+    fn parse(token: &str) -> Option<Target> {
+        Target::ALL.iter().copied().find(|t| t.name() == token)
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fuzz operation. Each target accepts the subset that makes sense for
+/// it; applying an inapplicable op is a harness bug and panics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Size-aware lookup of `va`.
+    Lookup {
+        /// Raw virtual address.
+        va: u64,
+        /// Page size assumed by the lookup (index bits depend on it).
+        size: PageSize,
+    },
+    /// Size-agnostic lookup of `va` (fully associative and range targets).
+    LookupAny {
+        /// Raw virtual address.
+        va: u64,
+    },
+    /// Insert the translation of the page of `size` starting at `vpn`
+    /// (the frame is derived: `pfn = vpn + 2^20`).
+    Insert {
+        /// First virtual page number of the page.
+        vpn: u64,
+        /// Page size of the mapping.
+        size: PageSize,
+    },
+    /// Insert range number `index` of the fixed range pool.
+    InsertRange {
+        /// Index into the 8-entry range pool.
+        index: usize,
+    },
+    /// Resize to `ways` active ways (or entries, for fully associative).
+    Resize {
+        /// New power-of-two way/entry count.
+        ways: usize,
+    },
+    /// Invalidate everything (context switch).
+    Flush,
+    /// Precise shootdown of the page(s) covering `va`.
+    Invalidate {
+        /// Raw virtual address.
+        va: u64,
+    },
+    /// Shootdown of every entry overlapping `[start, start + len)`.
+    InvalidateRange {
+        /// Raw start address.
+        start: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Page-walk `va` through the MMU caches.
+    Walk {
+        /// Raw virtual address.
+        va: u64,
+    },
+    /// Record a hit at LRU `rank` in Lite monitor `monitor`.
+    LiteHit {
+        /// Monitor index.
+        monitor: usize,
+        /// Pre-promotion LRU rank of the hit.
+        rank: u8,
+    },
+    /// Record an all-L1 miss with the Lite controller.
+    LiteMiss,
+    /// Advance the clock by one interval plus `extra` instructions and run
+    /// the interval-end decision.
+    EndInterval {
+        /// Instructions past the interval boundary.
+        extra: u64,
+    },
+    /// (Re)build both Lite controllers with these parameters.
+    LiteConfig {
+        /// Relative (`true`) or absolute (`false`) ε threshold.
+        relative: bool,
+        /// The ε value.
+        eps: f64,
+        /// Random re-activation probability.
+        prob: f64,
+        /// Degradation floor in MPKI.
+        floor: f64,
+        /// Controller RNG seed.
+        seed: u64,
+    },
+}
+
+/// A step where production and oracle disagreed.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the diverging op in the sequence.
+    pub step: usize,
+    /// What disagreed, with both sides' values.
+    pub detail: String,
+}
+
+/// A reproduced, minimized fuzz failure.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// The structure that diverged.
+    pub target: Target,
+    /// Seed of the generating run.
+    pub seed: u64,
+    /// Diverging step within the *minimized* sequence.
+    pub step: usize,
+    /// What disagreed.
+    pub detail: String,
+    /// Minimized replay text; feed to [`run_replay`] or check in under
+    /// `replays/`.
+    pub replay: String,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} diverged (seed {}) at step {} of the minimized replay: {}\n--- replay ---\n{}",
+            self.target, self.seed, self.step, self.detail, self.replay
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operand universes (fixed per target so replays are self-contained)
+// ---------------------------------------------------------------------------
+
+const KB4: u64 = 4096;
+const MB2: u64 = 1 << 21;
+
+/// The derived frame for an inserted page: far enough to never collide with
+/// the virtual numbers, aligned for every page size used.
+fn translation_for(vpn: u64, size: PageSize) -> PageTranslation {
+    PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + (1 << 20)), size)
+}
+
+/// The fixed pool the range target inserts from: 8 disjoint 16 MiB ranges,
+/// 32 MiB apart, mapped to distinct physical gigabytes.
+fn range_pool(index: usize) -> RangeTranslation {
+    assert!(index < 8, "range pool has 8 entries");
+    let i = index as u64;
+    RangeTranslation::new(
+        VirtRange::new(VirtAddr::new(i * (32 << 20)), 16 << 20),
+        PhysAddr::new((i + 1) << 30),
+    )
+}
+
+/// The fixed page table of the MMU target: a 4 KiB cluster, pages one
+/// gigabyte apart, a 2 MiB run, and a 1 GiB page — so walks exercise every
+/// terminal level and every paging-structure cache.
+fn mmu_mappings() -> Vec<PageTranslation> {
+    let mut m = Vec::new();
+    for vpn in 0..16 {
+        m.push(translation_for(vpn, PageSize::Size4K));
+    }
+    for gb in 1..4u64 {
+        m.push(translation_for(gb * 262_144, PageSize::Size4K));
+    }
+    for region in 8..16u64 {
+        m.push(translation_for(region * 512, PageSize::Size2M));
+    }
+    m.push(translation_for(8 * 262_144, PageSize::Size1G));
+    m
+}
+
+// ---------------------------------------------------------------------------
+// Sequence generation
+// ---------------------------------------------------------------------------
+
+fn gen_page_va(rng: &mut SmallRng) -> (u64, PageSize) {
+    if rng.random_range(0..4u64) < 3 {
+        let vpn = rng.random_range(0..128u64);
+        (vpn * KB4 + rng.random_range(0..KB4), PageSize::Size4K)
+    } else {
+        let region = rng.random_range(8..20u64);
+        (region * MB2 + rng.random_range(0..MB2), PageSize::Size2M)
+    }
+}
+
+fn gen_set_assoc(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u64) {
+            0..35 => {
+                let (va, size) = gen_page_va(rng);
+                Op::Lookup { va, size }
+            }
+            35..70 => {
+                if rng.random_range(0..10u64) < 7 {
+                    Op::Insert {
+                        vpn: rng.random_range(0..96u64),
+                        size: PageSize::Size4K,
+                    }
+                } else {
+                    Op::Insert {
+                        vpn: rng.random_range(8..16u64) * 512,
+                        size: PageSize::Size2M,
+                    }
+                }
+            }
+            70..78 => Op::Invalidate {
+                va: gen_page_va(rng).0,
+            },
+            78..84 => Op::InvalidateRange {
+                start: rng.random_range(0..12_288u64) * KB4,
+                len: (1 + rng.random_range(0..2048u64)) * KB4,
+            },
+            84..92 => Op::Resize {
+                ways: 1 << rng.random_range(0..3u64),
+            },
+            92..96 => Op::Flush,
+            _ => {
+                let (va, size) = gen_page_va(rng);
+                Op::Lookup { va, size }
+            }
+        })
+        .collect()
+}
+
+fn gen_fa_va(rng: &mut SmallRng) -> (u64, PageSize) {
+    if rng.random_range(0..4u64) < 3 {
+        let vpn = rng.random_range(0..16u64);
+        (vpn * KB4 + rng.random_range(0..KB4), PageSize::Size4K)
+    } else {
+        let region = rng.random_range(8..12u64);
+        (region * MB2 + rng.random_range(0..MB2), PageSize::Size2M)
+    }
+}
+
+fn gen_fully_assoc(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u64) {
+            0..25 => Op::LookupAny {
+                va: gen_fa_va(rng).0,
+            },
+            25..40 => {
+                let (va, size) = gen_fa_va(rng);
+                Op::Lookup { va, size }
+            }
+            40..70 => {
+                if rng.random_range(0..10u64) < 7 {
+                    Op::Insert {
+                        vpn: rng.random_range(0..12u64),
+                        size: PageSize::Size4K,
+                    }
+                } else {
+                    Op::Insert {
+                        vpn: rng.random_range(8..12u64) * 512,
+                        size: PageSize::Size2M,
+                    }
+                }
+            }
+            70..78 => Op::Invalidate {
+                va: gen_fa_va(rng).0,
+            },
+            78..83 => Op::InvalidateRange {
+                start: rng.random_range(0..6144u64) * KB4,
+                len: (1 + rng.random_range(0..1024u64)) * KB4,
+            },
+            83..91 => Op::Resize {
+                ways: 1 << rng.random_range(0..4u64),
+            },
+            91..95 => Op::Flush,
+            _ => Op::LookupAny {
+                va: gen_fa_va(rng).0,
+            },
+        })
+        .collect()
+}
+
+fn gen_range(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    let span = 256u64 << 20;
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u64) {
+            0..45 => Op::LookupAny {
+                va: rng.random_range(0..span),
+            },
+            45..80 => Op::InsertRange {
+                index: rng.random_range(0..8usize),
+            },
+            80..88 => Op::Invalidate {
+                va: rng.random_range(0..span),
+            },
+            88..93 => Op::InvalidateRange {
+                start: rng.random_range(0..span / KB4) * KB4,
+                len: (1 + rng.random_range(0..8192u64)) * KB4,
+            },
+            93..97 => Op::Flush,
+            _ => Op::LookupAny {
+                va: rng.random_range(0..span),
+            },
+        })
+        .collect()
+}
+
+fn gen_mmu_va(rng: &mut SmallRng) -> u64 {
+    match rng.random_range(0..6u64) {
+        // The 4 KiB cluster.
+        0 => rng.random_range(0..16u64) * KB4 + rng.random_range(0..KB4),
+        // The 2 MiB run.
+        1 => (8 + rng.random_range(0..8u64)) * MB2 + rng.random_range(0..MB2),
+        // Gigabyte-spaced 4 KiB pages.
+        2 => (rng.random_range(1..4u64) << 30) + rng.random_range(0..KB4),
+        // Inside the 1 GiB page at 8 GiB.
+        3 => (8u64 << 30) + rng.random_range(0..(1u64 << 30)),
+        // Unmapped: the 10–16 MiB hole and an untouched gigabyte.
+        4 => (10u64 << 20) + rng.random_range(0..(6u64 << 20)),
+        _ => (5u64 << 30) + rng.random_range(0..(1u64 << 30)),
+    }
+}
+
+fn gen_mmu(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u64) {
+            0..80 => Op::Walk {
+                va: gen_mmu_va(rng),
+            },
+            80..95 => Op::Invalidate {
+                va: gen_mmu_va(rng),
+            },
+            _ => Op::Flush,
+        })
+        .collect()
+}
+
+fn gen_lite(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    let relative = rng.random_bool(0.5);
+    let mut ops = vec![Op::LiteConfig {
+        relative,
+        eps: if relative { 0.125 } else { 0.1 },
+        prob: [0.0, 0.25, 1.0][rng.random_range(0..3usize)],
+        floor: [0.0, 0.5][rng.random_range(0..2usize)],
+        seed: rng.next_u64(),
+    }];
+    ops.extend((0..steps).map(|_| match rng.random_range(0..100u64) {
+        0..55 => Op::LiteHit {
+            monitor: rng.random_range(0..2usize),
+            rank: rng.random_range(0..4u64) as u8,
+        },
+        55..85 => Op::LiteMiss,
+        _ => Op::EndInterval {
+            extra: rng.random_range(0..500u64),
+        },
+    }));
+    ops
+}
+
+fn gen_ops(target: Target, seed: u64, steps: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match target {
+        Target::SetAssoc => gen_set_assoc(&mut rng, steps),
+        Target::FullyAssoc => gen_fully_assoc(&mut rng, steps),
+        Target::Range => gen_range(&mut rng, steps),
+        Target::Mmu => gen_mmu(&mut rng, steps),
+        Target::Lite => gen_lite(&mut rng, steps),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential execution
+// ---------------------------------------------------------------------------
+
+fn check(cond: bool, detail: impl FnOnce() -> String) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(detail())
+    }
+}
+
+fn check_stats(oracle: &OracleStats, prod: &TlbStats, what: &str) -> Result<(), String> {
+    check(oracle.matches(prod), || {
+        format!("{what} stats diverged: {}", oracle.diff(prod))
+    })
+}
+
+fn sa_probe_sweep(
+    prod: &SetAssocTlb,
+    oracle: &OraclePageTlb,
+    vpns_4k: u64,
+    regions_2m: std::ops::Range<u64>,
+) -> Result<(), String> {
+    for vpn in 0..vpns_4k {
+        let va = VirtAddr::new(vpn * KB4);
+        check(
+            prod.probe(va, PageSize::Size4K) == oracle.probe(va, PageSize::Size4K),
+            || format!("contents diverged at 4K vpn {vpn}"),
+        )?;
+    }
+    for region in regions_2m {
+        let va = VirtAddr::new(region * MB2);
+        check(
+            prod.probe(va, PageSize::Size2M) == oracle.probe(va, PageSize::Size2M),
+            || format!("contents diverged at 2M region {region}"),
+        )?;
+    }
+    Ok(())
+}
+
+fn occupancy_check(prod: usize, oracle: usize) -> Result<(), String> {
+    check(prod == oracle, || {
+        format!("occupancy diverged: prod {prod} vs oracle {oracle}")
+    })
+}
+
+fn sa_step(prod: &mut SetAssocTlb, oracle: &mut OraclePageTlb, op: Op) -> Result<(), String> {
+    match op {
+        Op::Lookup { va, size } => {
+            let va = VirtAddr::new(va);
+            let p = prod
+                .lookup_for_size(va, size)
+                .map(|h| (h.translation, h.rank));
+            let o = oracle.lookup_for_size(va, size);
+            check(p == o, || {
+                format!("lookup diverged: prod {p:?} vs oracle {o:?}")
+            })?;
+        }
+        Op::Insert { vpn, size } => {
+            let t = translation_for(vpn, size);
+            prod.insert(t);
+            oracle.insert(t);
+        }
+        Op::Resize { ways } => {
+            prod.set_active_ways(ways);
+            oracle.set_active_ways(ways);
+        }
+        Op::Flush => {
+            prod.flush();
+            oracle.flush();
+        }
+        Op::Invalidate { va } => {
+            let va = VirtAddr::new(va);
+            let p = prod.invalidate(va);
+            let o = oracle.invalidate(va);
+            check(p == o, || {
+                format!("invalidate removed prod {p} vs oracle {o}")
+            })?;
+        }
+        Op::InvalidateRange { start, len } => {
+            let r = VirtRange::new(VirtAddr::new(start), len);
+            let p = prod.invalidate_range(r);
+            let o = oracle.invalidate_range(r);
+            check(p == o, || {
+                format!("invalidate_range removed prod {p} vs oracle {o}")
+            })?;
+        }
+        other => panic!("op {other:?} not applicable to set_assoc"),
+    }
+    prod.assert_invariants();
+    check_stats(&oracle.stats, prod.stats(), "set_assoc")?;
+    occupancy_check(prod.occupancy(), oracle.occupancy())?;
+    sa_probe_sweep(prod, oracle, 128, 8..20)
+}
+
+fn fa_step(prod: &mut FullyAssocTlb, oracle: &mut OraclePageTlb, op: Op) -> Result<(), String> {
+    match op {
+        Op::Lookup { va, size } => {
+            let va = VirtAddr::new(va);
+            let p = prod
+                .lookup_for_size(va, size)
+                .map(|h| (h.translation, h.rank));
+            let o = oracle.lookup_for_size(va, size);
+            check(p == o, || {
+                format!("lookup diverged: prod {p:?} vs oracle {o:?}")
+            })?;
+        }
+        Op::LookupAny { va } => {
+            let va = VirtAddr::new(va);
+            let p = prod.lookup_any_size(va).map(|h| (h.translation, h.rank));
+            let o = oracle.lookup_any_size(va);
+            check(p == o, || {
+                format!("lookup_any diverged: prod {p:?} vs oracle {o:?}")
+            })?;
+        }
+        Op::Insert { vpn, size } => {
+            let t = translation_for(vpn, size);
+            prod.insert(t);
+            oracle.insert(t);
+        }
+        Op::Resize { ways } => {
+            prod.set_active_entries(ways);
+            oracle.set_active_ways(ways);
+        }
+        Op::Flush => {
+            prod.flush();
+            oracle.flush();
+        }
+        Op::Invalidate { va } => {
+            let va = VirtAddr::new(va);
+            let p = prod.invalidate(va);
+            let o = oracle.invalidate(va);
+            check(p == o, || {
+                format!("invalidate removed prod {p} vs oracle {o}")
+            })?;
+        }
+        Op::InvalidateRange { start, len } => {
+            let r = VirtRange::new(VirtAddr::new(start), len);
+            let p = prod.invalidate_range(r);
+            let o = oracle.invalidate_range(r);
+            check(p == o, || {
+                format!("invalidate_range removed prod {p} vs oracle {o}")
+            })?;
+        }
+        other => panic!("op {other:?} not applicable to fully_assoc"),
+    }
+    prod.assert_invariants();
+    check_stats(&oracle.stats, prod.stats(), "fully_assoc")?;
+    occupancy_check(prod.occupancy(), oracle.occupancy())?;
+    for vpn in 0..16u64 {
+        let va = VirtAddr::new(vpn * KB4);
+        check(
+            prod.probe(va, PageSize::Size4K) == oracle.probe(va, PageSize::Size4K),
+            || format!("contents diverged at 4K vpn {vpn}"),
+        )?;
+    }
+    for region in 8..12u64 {
+        let va = VirtAddr::new(region * MB2);
+        check(
+            prod.probe(va, PageSize::Size2M) == oracle.probe(va, PageSize::Size2M),
+            || format!("contents diverged at 2M region {region}"),
+        )?;
+    }
+    Ok(())
+}
+
+fn range_step(prod: &mut RangeTlb, oracle: &mut OracleRangeTlb, op: Op) -> Result<(), String> {
+    match op {
+        Op::LookupAny { va } => {
+            let va = VirtAddr::new(va);
+            let p = prod.lookup(va);
+            let o = oracle.lookup(va);
+            check(p == o, || {
+                format!("lookup diverged: prod {p:?} vs oracle {o:?}")
+            })?;
+        }
+        Op::InsertRange { index } => {
+            let rt = range_pool(index);
+            prod.insert(rt);
+            oracle.insert(rt);
+        }
+        Op::Flush => {
+            prod.flush();
+            oracle.flush();
+        }
+        Op::Invalidate { va } => {
+            let va = VirtAddr::new(va);
+            let p = prod.invalidate(va);
+            let o = oracle.invalidate(va);
+            check(p == o, || {
+                format!("invalidate removed prod {p} vs oracle {o}")
+            })?;
+        }
+        Op::InvalidateRange { start, len } => {
+            let r = VirtRange::new(VirtAddr::new(start), len);
+            let p = prod.invalidate_range(r);
+            let o = oracle.invalidate_range(r);
+            check(p == o, || {
+                format!("invalidate_range removed prod {p} vs oracle {o}")
+            })?;
+        }
+        other => panic!("op {other:?} not applicable to range"),
+    }
+    check_stats(&oracle.stats, prod.stats(), "range")?;
+    occupancy_check(prod.occupancy(), oracle.occupancy())?;
+    for i in 0..8u64 {
+        for off in [0, 8 << 20, (16 << 20) - KB4, 24 << 20] {
+            let va = VirtAddr::new(i * (32 << 20) + off);
+            check(prod.probe(va) == oracle.probe(va), || {
+                format!("contents diverged at range {i} offset {off:#x}")
+            })?;
+        }
+    }
+    Ok(())
+}
+
+struct MmuHarness {
+    table: PageTable,
+    prod: PageWalker,
+    oracle: OracleWalker,
+}
+
+impl MmuHarness {
+    fn new() -> Self {
+        let mut table = PageTable::new();
+        for t in mmu_mappings() {
+            table.map(t).expect("fixed mappings are disjoint");
+        }
+        Self {
+            table,
+            prod: PageWalker::new(MmuCaches::sandy_bridge()),
+            oracle: OracleWalker::new(mmu_mappings()),
+        }
+    }
+
+    fn step(&mut self, op: Op) -> Result<(), String> {
+        match op {
+            Op::Walk { va } => {
+                let va = VirtAddr::new(va);
+                let r = self.prod.walk(&self.table, va);
+                let (ot, orefs) = self.oracle.walk(va);
+                check(r.translation == ot, || {
+                    format!(
+                        "walk translation diverged: prod {:?} vs oracle {ot:?}",
+                        r.translation
+                    )
+                })?;
+                check(r.memory_refs == orefs, || {
+                    format!(
+                        "walk refs diverged: prod {} vs oracle {orefs}",
+                        r.memory_refs
+                    )
+                })?;
+            }
+            Op::Invalidate { va } => {
+                let va = VirtAddr::new(va);
+                let p = self.prod.caches_mut().invalidate(va);
+                let o = self.oracle.caches.invalidate(va);
+                check(p == o, || {
+                    format!("invalidate removed prod {p} vs oracle {o}")
+                })?;
+            }
+            Op::Flush => {
+                self.prod.caches_mut().flush();
+                self.oracle.caches.flush();
+            }
+            other => panic!("op {other:?} not applicable to mmu"),
+        }
+        let prod = self.prod.caches();
+        let oracle = &self.oracle.caches;
+        let pairs = [
+            ("pde", prod.pde(), &oracle.pde),
+            ("pdpte", prod.pdpte(), &oracle.pdpte),
+            ("pml4", prod.pml4(), &oracle.pml4),
+        ];
+        for (name, p, o) in pairs {
+            check_stats(&o.stats, p.stats(), name)?;
+            occupancy_check(p.occupancy(), o.occupancy())?;
+        }
+        Ok(())
+    }
+}
+
+const LITE_MONITORS: [usize; 2] = [4, 4];
+
+struct LiteHarness {
+    prod: LiteController,
+    oracle: OracleLite,
+    interval: u64,
+    clock: u64,
+}
+
+impl LiteHarness {
+    fn new(params: LiteParams, seed: u64) -> Self {
+        Self {
+            prod: LiteController::new(params, &LITE_MONITORS, seed),
+            oracle: OracleLite::new(params, &LITE_MONITORS, seed),
+            interval: params.interval_instructions,
+            clock: 0,
+        }
+    }
+
+    fn default() -> Self {
+        Self::new(
+            LiteParams {
+                interval_instructions: 1000,
+                epsilon: ThresholdEpsilon::Relative(0.125),
+                reactivation_prob: 0.0,
+                degradation_floor_mpki: 0.0,
+            },
+            1,
+        )
+    }
+
+    fn step(&mut self, op: Op) -> Result<(), String> {
+        match op {
+            Op::LiteConfig {
+                relative,
+                eps,
+                prob,
+                floor,
+                seed,
+            } => {
+                let params = LiteParams {
+                    interval_instructions: 1000,
+                    epsilon: if relative {
+                        ThresholdEpsilon::Relative(eps)
+                    } else {
+                        ThresholdEpsilon::Absolute(eps)
+                    },
+                    reactivation_prob: prob,
+                    degradation_floor_mpki: floor,
+                };
+                *self = Self::new(params, seed);
+            }
+            Op::LiteHit { monitor, rank } => {
+                self.prod.record_hit(monitor, rank);
+                self.oracle.record_hit(monitor, rank);
+            }
+            Op::LiteMiss => {
+                self.prod.record_l1_miss();
+                self.oracle.record_l1_miss();
+            }
+            Op::EndInterval { extra } => {
+                self.clock += self.interval + extra;
+                let p = self.prod.end_interval(self.clock);
+                let o = self.oracle.end_interval(self.clock);
+                check(p == o, || {
+                    format!("decision diverged: prod {p:?} vs oracle {o:?}")
+                })?;
+                for idx in 0..LITE_MONITORS.len() {
+                    check(
+                        self.prod.current_ways(idx) == self.oracle.current_ways(idx),
+                        || {
+                            format!(
+                                "current_ways[{idx}] diverged: prod {} vs oracle {}",
+                                self.prod.current_ways(idx),
+                                self.oracle.current_ways(idx)
+                            )
+                        },
+                    )?;
+                }
+                check(
+                    self.prod.intervals() == self.oracle.intervals()
+                        && self.prod.random_reactivations() == self.oracle.random_reactivations()
+                        && self.prod.degradation_reactivations()
+                            == self.oracle.degradation_reactivations(),
+                    || {
+                        format!(
+                            "counters diverged: prod {}/{}/{} vs oracle {}/{}/{}",
+                            self.prod.intervals(),
+                            self.prod.random_reactivations(),
+                            self.prod.degradation_reactivations(),
+                            self.oracle.intervals(),
+                            self.oracle.random_reactivations(),
+                            self.oracle.degradation_reactivations()
+                        )
+                    },
+                )?;
+            }
+            other => panic!("op {other:?} not applicable to lite"),
+        }
+        Ok(())
+    }
+}
+
+fn wrap(step: usize, op: Op, result: Result<(), String>) -> Result<(), Divergence> {
+    result.map_err(|detail| Divergence {
+        step,
+        detail: format!("{detail} (after {op:?})"),
+    })
+}
+
+/// Runs `ops` against freshly built production + oracle structures for
+/// `target`, cross-checking after every step.
+///
+/// # Panics
+///
+/// Panics when an op is not applicable to the target — that is a harness
+/// (or hand-written replay) bug, not a divergence.
+pub fn run_ops(target: Target, ops: &[Op]) -> Result<(), Divergence> {
+    match target {
+        Target::SetAssoc => {
+            let mut prod = SetAssocTlb::new("fuzz-sa", 256, 4, PageSize::Size4K);
+            let mut oracle = OraclePageTlb::new(256, 4);
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, sa_step(&mut prod, &mut oracle, op))?;
+            }
+        }
+        Target::FullyAssoc => {
+            let mut prod = FullyAssocTlb::new("fuzz-fa", 8, PageSize::Size4K);
+            let mut oracle = OraclePageTlb::new(8, 8);
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, fa_step(&mut prod, &mut oracle, op))?;
+            }
+        }
+        Target::Range => {
+            let mut prod = RangeTlb::new("fuzz-range", 4);
+            let mut oracle = OracleRangeTlb::new(4);
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, range_step(&mut prod, &mut oracle, op))?;
+            }
+        }
+        Target::Mmu => {
+            let mut h = MmuHarness::new();
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, h.step(op))?;
+            }
+        }
+        Target::Lite => {
+            let mut h = LiteHarness::default();
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, h.step(op))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Greedily shrinks a failing sequence: repeatedly drops chunks (halving
+/// the chunk size down to single ops) while the result still diverges,
+/// until a fixed point. The result is locally minimal — removing any single
+/// remaining op makes the divergence disappear.
+pub fn minimize(target: Target, ops: &[Op]) -> Vec<Op> {
+    let mut current = ops.to_vec();
+    loop {
+        let mut improved = false;
+        let mut chunk = (current.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < current.len() {
+                let end = (i + chunk).min(current.len());
+                let mut candidate = current.clone();
+                candidate.drain(i..end);
+                if !candidate.is_empty() && run_ops(target, &candidate).is_err() {
+                    current = candidate;
+                    improved = true;
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+// ---------------------------------------------------------------------------
+// Replay files
+// ---------------------------------------------------------------------------
+
+fn size_token(size: PageSize) -> &'static str {
+    match size {
+        PageSize::Size4K => "4k",
+        PageSize::Size2M => "2m",
+        PageSize::Size1G => "1g",
+    }
+}
+
+fn parse_size(token: &str) -> Result<PageSize, String> {
+    match token {
+        "4k" => Ok(PageSize::Size4K),
+        "2m" => Ok(PageSize::Size2M),
+        "1g" => Ok(PageSize::Size1G),
+        other => Err(format!("unknown page size {other:?}")),
+    }
+}
+
+/// Renders a sequence as a self-contained textual replay.
+pub fn format_replay(target: Target, ops: &[Op]) -> String {
+    let mut out = format!("target {}\n", target.name());
+    for op in ops {
+        let line = match *op {
+            Op::Lookup { va, size } => format!("lookup {va:#x} {}", size_token(size)),
+            Op::LookupAny { va } => format!("lookup_any {va:#x}"),
+            Op::Insert { vpn, size } => format!("insert {vpn} {}", size_token(size)),
+            Op::InsertRange { index } => format!("insert_range {index}"),
+            Op::Resize { ways } => format!("resize {ways}"),
+            Op::Flush => "flush".to_string(),
+            Op::Invalidate { va } => format!("invalidate {va:#x}"),
+            Op::InvalidateRange { start, len } => {
+                format!("invalidate_range {start:#x} {len:#x}")
+            }
+            Op::Walk { va } => format!("walk {va:#x}"),
+            Op::LiteHit { monitor, rank } => format!("lite_hit {monitor} {rank}"),
+            Op::LiteMiss => "lite_miss".to_string(),
+            Op::EndInterval { extra } => format!("end_interval {extra}"),
+            Op::LiteConfig {
+                relative,
+                eps,
+                prob,
+                floor,
+                seed,
+            } => format!(
+                "lite_config {} {eps} {prob} {floor} {seed}",
+                if relative { "rel" } else { "abs" }
+            ),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_u64(token: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        token.parse()
+    };
+    parsed.map_err(|_| format!("bad number {token:?}"))
+}
+
+fn parse_f64(token: &str) -> Result<f64, String> {
+    token.parse().map_err(|_| format!("bad float {token:?}"))
+}
+
+/// Parses a replay produced by [`format_replay`] (or written by hand).
+/// Blank lines and `#` comments are ignored.
+pub fn parse_replay(text: &str) -> Result<(Target, Vec<Op>), String> {
+    let mut target = None;
+    let mut ops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let head = tokens[0];
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let arg = |i: usize| -> Result<&str, String> {
+            tokens
+                .get(i + 1)
+                .copied()
+                .ok_or_else(|| format!("line {}: missing operand {i}", lineno + 1))
+        };
+        if head == "target" {
+            let name = arg(0)?;
+            target =
+                Some(Target::parse(name).ok_or_else(|| fail(format!("unknown target {name:?}")))?);
+            continue;
+        }
+        let op = match head {
+            "lookup" => Op::Lookup {
+                va: parse_u64(arg(0)?).map_err(&fail)?,
+                size: parse_size(arg(1)?).map_err(&fail)?,
+            },
+            "lookup_any" => Op::LookupAny {
+                va: parse_u64(arg(0)?).map_err(&fail)?,
+            },
+            "insert" => Op::Insert {
+                vpn: parse_u64(arg(0)?).map_err(&fail)?,
+                size: parse_size(arg(1)?).map_err(&fail)?,
+            },
+            "insert_range" => Op::InsertRange {
+                index: parse_u64(arg(0)?).map_err(&fail)? as usize,
+            },
+            "resize" => Op::Resize {
+                ways: parse_u64(arg(0)?).map_err(&fail)? as usize,
+            },
+            "flush" => Op::Flush,
+            "invalidate" => Op::Invalidate {
+                va: parse_u64(arg(0)?).map_err(&fail)?,
+            },
+            "invalidate_range" => Op::InvalidateRange {
+                start: parse_u64(arg(0)?).map_err(&fail)?,
+                len: parse_u64(arg(1)?).map_err(&fail)?,
+            },
+            "walk" => Op::Walk {
+                va: parse_u64(arg(0)?).map_err(&fail)?,
+            },
+            "lite_hit" => Op::LiteHit {
+                monitor: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                rank: parse_u64(arg(1)?).map_err(&fail)? as u8,
+            },
+            "lite_miss" => Op::LiteMiss,
+            "end_interval" => Op::EndInterval {
+                extra: parse_u64(arg(0)?).map_err(&fail)?,
+            },
+            "lite_config" => Op::LiteConfig {
+                relative: match arg(0)? {
+                    "rel" => true,
+                    "abs" => false,
+                    other => return Err(fail(format!("bad epsilon kind {other:?}"))),
+                },
+                eps: parse_f64(arg(1)?).map_err(&fail)?,
+                prob: parse_f64(arg(2)?).map_err(&fail)?,
+                floor: parse_f64(arg(3)?).map_err(&fail)?,
+                seed: parse_u64(arg(4)?).map_err(&fail)?,
+            },
+            other => return Err(fail(format!("unknown op {other:?}"))),
+        };
+        ops.push(op);
+    }
+    let target = target.ok_or("replay has no `target` line")?;
+    Ok((target, ops))
+}
+
+/// Parses and runs a replay; `Err` carries either a parse error or the
+/// divergence description.
+pub fn run_replay(text: &str) -> Result<(), String> {
+    let (target, ops) = parse_replay(text)?;
+    run_ops(target, &ops)
+        .map_err(|d| format!("{} diverged at step {}: {}", target, d.step, d.detail))
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Fuzzes one target for `steps` operations derived from `seed`; on a
+/// divergence returns the minimized, replayable failure.
+pub fn fuzz_target(target: Target, seed: u64, steps: usize) -> Result<(), FuzzFailure> {
+    let ops = gen_ops(target, seed, steps);
+    let Err(first) = run_ops(target, &ops) else {
+        return Ok(());
+    };
+    let minimal = minimize(target, &ops);
+    let last = run_ops(target, &minimal).err().unwrap_or(first);
+    Err(FuzzFailure {
+        target,
+        seed,
+        step: last.step,
+        detail: last.detail,
+        replay: format_replay(target, &minimal),
+    })
+}
+
+/// Fuzzes every target with sub-seeds derived from `seed`, `steps`
+/// operations each. Stops at the first failure.
+pub fn fuzz_seed(seed: u64, steps: usize) -> Result<(), FuzzFailure> {
+    let mut mix = SplitMix64::new(seed);
+    for &target in &Target::ALL {
+        let sub = mix.next_u64();
+        fuzz_target(target, sub, steps)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_round_trips() {
+        for &target in &Target::ALL {
+            let ops = gen_ops(target, 42, 200);
+            let text = format_replay(target, &ops);
+            let (parsed_target, parsed_ops) = parse_replay(&text).expect("parses");
+            assert_eq!(parsed_target, target);
+            assert_eq!(parsed_ops, ops, "{target}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_replay("target set_assoc\nfrobnicate 1").is_err());
+        assert!(parse_replay("lookup 0x1000 4k").is_err(), "no target line");
+        assert!(parse_replay("target set_assoc\nlookup 0x1000 3k").is_err());
+        assert!(parse_replay("target set_assoc\nlookup").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# a comment\n\ntarget range\n  insert_range 3\nlookup_any 0x6000000\n";
+        let (t, ops) = parse_replay(text).unwrap();
+        assert_eq!(t, Target::Range);
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn quick_fuzz_is_clean() {
+        // A short pass over every target; the real smoke lives in
+        // tests/fuzz_smoke.rs and CI.
+        for seed in [1u64, 2] {
+            if let Err(f) = fuzz_seed(seed, 300) {
+                panic!("unexpected divergence:\n{f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Differential-testing oracles for the production TLB structures.
+//!
+//! Every performance-oriented structure in the workspace (rank-permutation
+//! LRU, way-disabling, paging-structure caches, Lite's compressed
+//! LRU-distance counters) has a small, obviously-correct reference model
+//! here that trades all cleverness for clarity:
+//!
+//! * [`OraclePageTlb`] — set-associative/fully-associative page TLB with
+//!   timestamp LRU: each entry remembers when it was last used; the LRU
+//!   victim is the oldest timestamp and an entry's reported rank is simply
+//!   the number of more recently used valid entries in its set.
+//! * [`OracleRangeTlb`] — a linear list of range translations with the same
+//!   timestamp LRU.
+//! * [`OracleTagCache`] / [`OracleMmuCaches`] / [`OracleWalker`] — the
+//!   paging-structure caches and a page walker whose memory-reference count
+//!   is one arithmetic expression over the deepest cached level.
+//! * [`OracleLite`] — recomputes the Lite interval decision from the *full
+//!   log* of per-hit LRU ranks instead of the production controller's
+//!   compressed power-of-two counters.
+//!
+//! The [`fuzz`] module drives production and oracle side by side through
+//! deterministic, seed-addressable random operation sequences and
+//! cross-checks every observable (hit/miss, translation, reported rank,
+//! stats counters, occupancy, full contents, internal invariants). On a
+//! divergence it shrinks the sequence to a minimal repro and renders a
+//! textual replay; checked-in replays under `replays/` are permanent
+//! regression tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzz;
+mod lite;
+mod model;
+
+pub use fuzz::{
+    format_replay, fuzz_seed, fuzz_target, minimize, parse_replay, run_ops, run_replay, Divergence,
+    FuzzFailure, Op, Target,
+};
+pub use lite::OracleLite;
+pub use model::{
+    OracleMmuCaches, OraclePageTlb, OracleRangeTlb, OracleStats, OracleTagCache, OracleWalker,
+};

@@ -1,0 +1,230 @@
+//! Full-log reference model of the Lite controller.
+
+use eeat_core::{LiteDecision, LiteParams, ThresholdEpsilon};
+use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
+
+/// Recomputes every Lite interval decision from the *complete* log of
+/// per-hit LRU ranks, instead of the production controller's compressed
+/// power-of-two `lru-distance-counters`.
+///
+/// For a power-of-two candidate way count `w`, the hits that would have
+/// missed are exactly those whose recorded rank is `>= w` — counted here by
+/// scanning the log, while production sums its counters above `log2(w)`.
+/// The decision arithmetic (MPKI, ε bound, degradation guard, random
+/// re-activation) uses the identical `f64` expressions in the identical
+/// order, and the re-activation RNG mirrors production's stream (same seed
+/// derivation, same draw structure), so the two must agree bit for bit.
+#[derive(Clone, Debug)]
+pub struct OracleLite {
+    params: LiteParams,
+    physical_ways: Vec<usize>,
+    /// One full rank log per monitored TLB for the current interval.
+    rank_logs: Vec<Vec<u8>>,
+    current_ways: Vec<usize>,
+    actual_misses: u64,
+    prev_mpki: Option<f64>,
+    interval_start: u64,
+    rng: SmallRng,
+    intervals: u64,
+    random_reactivations: u64,
+    degradation_reactivations: u64,
+}
+
+impl OracleLite {
+    /// Creates a model controller for TLBs with the given physical ways,
+    /// mirroring [`eeat_core::LiteController::new`].
+    pub fn new(params: LiteParams, physical_ways: &[usize], seed: u64) -> Self {
+        Self {
+            params,
+            physical_ways: physical_ways.to_vec(),
+            rank_logs: vec![Vec::new(); physical_ways.len()],
+            current_ways: physical_ways.to_vec(),
+            actual_misses: 0,
+            prev_mpki: None,
+            interval_start: 0,
+            // Production derives its stream from the same constant.
+            rng: SmallRng::seed_from_u64(seed ^ 0x11fe_11fe_11fe_11fe),
+            intervals: 0,
+            random_reactivations: 0,
+            degradation_reactivations: 0,
+        }
+    }
+
+    /// Logs a hit in monitored TLB `idx` at LRU recency `rank`.
+    pub fn record_hit(&mut self, idx: usize, rank: u8) {
+        assert!(
+            (rank as usize) < self.physical_ways[idx],
+            "rank outside structure"
+        );
+        self.rank_logs[idx].push(rank);
+    }
+
+    /// Records an all-L1 miss.
+    pub fn record_l1_miss(&mut self) {
+        self.actual_misses += 1;
+    }
+
+    /// Hits of the interval that become misses with only `ways` active:
+    /// counted directly off the full log.
+    fn extra_misses(&self, idx: usize, ways: usize) -> u64 {
+        self.rank_logs[idx]
+            .iter()
+            .filter(|&&r| r as usize >= ways)
+            .count() as u64
+    }
+
+    fn bound(epsilon: ThresholdEpsilon, reference: f64) -> f64 {
+        match epsilon {
+            ThresholdEpsilon::Relative(f) => reference * (1.0 + f),
+            ThresholdEpsilon::Absolute(a) => reference + a,
+        }
+    }
+
+    /// Ends the interval at `instructions` and returns the recomputed
+    /// decision; mirrors [`eeat_core::LiteController::end_interval`].
+    pub fn end_interval(&mut self, instructions: u64) -> LiteDecision {
+        let elapsed = (instructions - self.interval_start).max(1);
+        let kilo = elapsed as f64 / 1000.0;
+        let actual_mpki = self.actual_misses as f64 / kilo;
+
+        let decision = if self.prev_mpki.is_some_and(|prev| {
+            actual_mpki
+                > Self::bound(self.params.epsilon, prev)
+                    .max(prev + self.params.degradation_floor_mpki)
+        }) {
+            self.degradation_reactivations += 1;
+            self.restore_all();
+            LiteDecision::ActivateAllDegraded
+        } else if self.params.reactivation_prob > 0.0
+            && self.rng.random_bool(self.params.reactivation_prob)
+        {
+            self.random_reactivations += 1;
+            self.restore_all();
+            LiteDecision::ActivateAllRandom
+        } else {
+            let bound = Self::bound(self.params.epsilon, actual_mpki);
+            let choices: Vec<usize> = (0..self.rank_logs.len())
+                .map(|idx| {
+                    let current = self.current_ways[idx];
+                    let mut choice = current;
+                    let mut w = 1;
+                    while w <= current {
+                        let potential =
+                            (self.actual_misses + self.extra_misses(idx, w)) as f64 / kilo;
+                        if potential <= bound {
+                            choice = w;
+                            break;
+                        }
+                        w *= 2;
+                    }
+                    choice
+                })
+                .collect();
+            self.current_ways.clone_from(&choices);
+            LiteDecision::Resize(choices)
+        };
+
+        self.prev_mpki = Some(actual_mpki);
+        self.actual_misses = 0;
+        for log in &mut self.rank_logs {
+            log.clear();
+        }
+        self.interval_start = instructions;
+        self.intervals += 1;
+        decision
+    }
+
+    fn restore_all(&mut self) {
+        self.current_ways.clone_from(&self.physical_ways);
+    }
+
+    /// Current active ways of TLB `idx` as the model believes them.
+    pub fn current_ways(&self, idx: usize) -> usize {
+        self.current_ways[idx]
+    }
+
+    /// Intervals completed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Random full re-activations performed.
+    pub fn random_reactivations(&self) -> u64 {
+        self.random_reactivations
+    }
+
+    /// Degradation-triggered full re-activations performed.
+    pub fn degradation_reactivations(&self) -> u64 {
+        self.degradation_reactivations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_core::LiteController;
+
+    fn params(prob: f64) -> LiteParams {
+        LiteParams {
+            interval_instructions: 1000,
+            epsilon: ThresholdEpsilon::Relative(0.125),
+            reactivation_prob: prob,
+            degradation_floor_mpki: 0.0,
+        }
+    }
+
+    #[test]
+    fn log_counting_equals_counter_sums() {
+        let mut oracle = OracleLite::new(params(0.0), &[8], 7);
+        let mut prod = LiteController::new(params(0.0), &[8], 7);
+        for rank in [0u8, 0, 1, 2, 3, 3, 5, 7, 7, 7] {
+            oracle.record_hit(0, rank);
+            prod.record_hit(0, rank);
+        }
+        for _ in 0..42 {
+            oracle.record_l1_miss();
+            prod.record_l1_miss();
+        }
+        assert_eq!(oracle.end_interval(1000), prod.end_interval(1000));
+        assert_eq!(oracle.current_ways(0), prod.current_ways(0));
+    }
+
+    #[test]
+    fn random_reactivation_stream_matches_production() {
+        let mut oracle = OracleLite::new(params(0.25), &[4], 99);
+        let mut prod = LiteController::new(params(0.25), &[4], 99);
+        for interval in 1..=50u64 {
+            oracle.record_l1_miss();
+            prod.record_l1_miss();
+            assert_eq!(
+                oracle.end_interval(interval * 1000),
+                prod.end_interval(interval * 1000),
+                "interval {interval}"
+            );
+        }
+        assert_eq!(oracle.random_reactivations(), prod.random_reactivations());
+    }
+
+    #[test]
+    fn degradation_guard_matches_production() {
+        let mut oracle = OracleLite::new(params(0.0), &[4], 3);
+        let mut prod = LiteController::new(params(0.0), &[4], 3);
+        // Quiet interval downsizes, miss burst re-activates.
+        for _ in 0..100 {
+            oracle.record_hit(0, 0);
+            prod.record_hit(0, 0);
+        }
+        oracle.record_l1_miss();
+        prod.record_l1_miss();
+        assert_eq!(oracle.end_interval(1000), prod.end_interval(1000));
+        for _ in 0..500 {
+            oracle.record_l1_miss();
+            prod.record_l1_miss();
+        }
+        assert_eq!(oracle.end_interval(2000), prod.end_interval(2000));
+        assert_eq!(
+            oracle.degradation_reactivations(),
+            prod.degradation_reactivations()
+        );
+    }
+}

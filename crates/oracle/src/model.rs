@@ -1,0 +1,697 @@
+//! Timestamp-LRU reference models of the production structures.
+//!
+//! The production structures maintain per-set rank *permutations* that are
+//! updated incrementally on every touch/insert/resize/invalidate — fast,
+//! but easy to get subtly wrong. The models here store one timestamp per
+//! entry instead; every derived quantity (rank, victim, survivor set) is
+//! recomputed from scratch on demand, so each operation is a few lines of
+//! obviously-correct code.
+
+use eeat_tlb::{PageTranslation, TlbStats};
+use eeat_types::{PageSize, RangeTranslation, VirtAddr, VirtRange};
+
+/// Mirror of [`TlbStats`] with public fields, so tests can compare counter
+/// by counter and print a readable diff.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Insertions (including duplicate overwrites, as in production).
+    pub fills: u64,
+    /// Entries dropped by flushes, downsizing, or targeted invalidation
+    /// (evictions do **not** count, matching production).
+    pub invalidations: u64,
+}
+
+impl OracleStats {
+    /// `true` when every counter matches the production stats.
+    pub fn matches(&self, s: &TlbStats) -> bool {
+        self.hits == s.hits()
+            && self.misses == s.misses()
+            && self.fills == s.fills()
+            && self.invalidations == s.invalidations()
+    }
+
+    /// Human-readable comparison against production stats.
+    pub fn diff(&self, s: &TlbStats) -> String {
+        format!(
+            "oracle h/m/f/i {}/{}/{}/{} vs production {}/{}/{}/{}",
+            self.hits,
+            self.misses,
+            self.fills,
+            self.invalidations,
+            s.hits(),
+            s.misses(),
+            s.fills(),
+            s.invalidations()
+        )
+    }
+}
+
+/// One cached translation plus the tick at which it was last used.
+#[derive(Clone, Copy, Debug)]
+struct TimedEntry {
+    translation: PageTranslation,
+    last_used: u64,
+}
+
+/// Timestamp-LRU reference model of [`eeat_tlb::SetAssocTlb`] (and, with
+/// one set, of [`eeat_tlb::FullyAssocTlb`]).
+///
+/// Each set is an unordered list of valid entries; the reported LRU rank of
+/// an entry is the count of same-set entries used more recently, and the
+/// eviction victim is the oldest entry. This matches the production rank
+/// permutation because production keeps its valid entries packed into the
+/// lowest ranks of every set.
+#[derive(Clone, Debug)]
+pub struct OraclePageTlb {
+    sets: Vec<Vec<TimedEntry>>,
+    ways: usize,
+    active_ways: usize,
+    tick: u64,
+    /// Event counters, mirroring the production structure's stats.
+    pub stats: OracleStats,
+}
+
+impl OraclePageTlb {
+    /// Creates a model with `entries` slots and `ways` associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries.is_multiple_of(ways));
+        Self {
+            sets: vec![Vec::new(); entries / ways],
+            ways,
+            active_ways: ways,
+            tick: 0,
+            stats: OracleStats::default(),
+        }
+    }
+
+    fn set_index(&self, va: VirtAddr, size: PageSize) -> usize {
+        ((va.raw() >> size.shift()) as usize) & (self.sets.len() - 1)
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `va` as a page of `size`; hits report `(translation, rank)`
+    /// and are promoted to most recently used.
+    pub fn lookup_for_size(
+        &mut self,
+        va: VirtAddr,
+        size: PageSize,
+    ) -> Option<(PageTranslation, u8)> {
+        let s = self.set_index(va, size);
+        let tick = self.next_tick();
+        let set = &mut self.sets[s];
+        let hit = set
+            .iter_mut()
+            .find(|e| e.translation.size() == size && e.translation.covers(va))
+            .map(|e| {
+                let old = e.last_used;
+                e.last_used = tick;
+                (e.translation, old)
+            });
+        match hit {
+            Some((t, old)) => {
+                // Rank before promotion: entries newer than the hit's old
+                // timestamp, minus itself (now carrying the fresh tick).
+                let rank = set
+                    .iter()
+                    .filter(|e| e.last_used > old && e.last_used != tick)
+                    .count() as u8;
+                self.stats.hits += 1;
+                Some((t, rank))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Size-agnostic lookup; only valid for a single-set (fully
+    /// associative) model, like production.
+    pub fn lookup_any_size(&mut self, va: VirtAddr) -> Option<(PageTranslation, u8)> {
+        assert_eq!(self.sets.len(), 1, "size-agnostic lookup needs one set");
+        let tick = self.next_tick();
+        let set = &mut self.sets[0];
+        let hit = set.iter_mut().find(|e| e.translation.covers(va)).map(|e| {
+            let old = e.last_used;
+            e.last_used = tick;
+            (e.translation, old)
+        });
+        match hit {
+            Some((t, old)) => {
+                let rank = set
+                    .iter()
+                    .filter(|e| e.last_used > old && e.last_used != tick)
+                    .count() as u8;
+                self.stats.hits += 1;
+                Some((t, rank))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probes for a matching entry without touching LRU state or counters.
+    pub fn probe(&self, va: VirtAddr, size: PageSize) -> Option<PageTranslation> {
+        let s = self.set_index(va, size);
+        self.sets[s]
+            .iter()
+            .map(|e| e.translation)
+            .find(|t| t.size() == size && t.covers(va))
+    }
+
+    /// Inserts `translation`: overwrites a duplicate, else fills a free
+    /// active slot, else evicts the oldest entry of the set.
+    pub fn insert(&mut self, translation: PageTranslation) {
+        let va = translation.vpn().base_addr();
+        let s = self.set_index(va, translation.size());
+        let tick = self.next_tick();
+        let active = self.active_ways;
+        let set = &mut self.sets[s];
+        if let Some(e) = set.iter_mut().find(|e| {
+            e.translation.size() == translation.size() && e.translation.vpn() == translation.vpn()
+        }) {
+            e.translation = translation;
+            e.last_used = tick;
+        } else {
+            if set.len() >= active {
+                // Evict the least recently used entry.
+                let oldest = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("set is non-empty when full");
+                set.swap_remove(oldest);
+            }
+            set.push(TimedEntry {
+                translation,
+                last_used: tick,
+            });
+        }
+        self.stats.fills += 1;
+    }
+
+    /// Resizes to `ways` active ways; downsizing keeps the most recently
+    /// used `ways` entries of each set and counts the rest as invalidated.
+    pub fn set_active_ways(&mut self, ways: usize) {
+        assert!(ways >= 1 && ways <= self.ways);
+        if ways < self.active_ways {
+            let mut dropped = 0u64;
+            for set in &mut self.sets {
+                while set.len() > ways {
+                    let oldest = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    set.swap_remove(oldest);
+                    dropped += 1;
+                }
+            }
+            self.stats.invalidations += dropped;
+        }
+        self.active_ways = ways;
+    }
+
+    /// Removes every entry covering `va`, any size. Returns the count.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        self.remove_matching(|t| t.covers(va))
+    }
+
+    /// Removes every entry overlapping `range`. Returns the count.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.remove_matching(|t| {
+            VirtRange::new(t.vpn().base_addr(), t.size().bytes()).overlaps(range)
+        })
+    }
+
+    fn remove_matching(&mut self, pred: impl Fn(&PageTranslation) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|e| !pred(&e.translation));
+            removed += (before - set.len()) as u64;
+        }
+        self.stats.invalidations += removed;
+        removed
+    }
+
+    /// Empties the model, counting every valid entry as invalidated.
+    pub fn flush(&mut self) {
+        let valid: u64 = self.sets.iter().map(|s| s.len() as u64).sum();
+        self.stats.invalidations += valid;
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// One cached range translation plus its last-used tick.
+#[derive(Clone, Copy, Debug)]
+struct TimedRange {
+    translation: RangeTranslation,
+    last_used: u64,
+}
+
+/// Timestamp-LRU reference model of [`eeat_tlb::RangeTlb`].
+#[derive(Clone, Debug)]
+pub struct OracleRangeTlb {
+    entries: Vec<TimedRange>,
+    capacity: usize,
+    tick: u64,
+    /// Event counters, mirroring the production structure's stats.
+    pub stats: OracleStats,
+}
+
+impl OracleRangeTlb {
+    /// Creates a model with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            entries: Vec::new(),
+            capacity,
+            tick: 0,
+            stats: OracleStats::default(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up the range containing `va`; hits are promoted.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<RangeTranslation> {
+        let tick = self.next_tick();
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.translation.virt().contains(va))
+        {
+            Some(e) => {
+                e.last_used = tick;
+                self.stats.hits += 1;
+                Some(e.translation)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probes without touching LRU state or counters.
+    pub fn probe(&self, va: VirtAddr) -> Option<RangeTranslation> {
+        self.entries
+            .iter()
+            .map(|e| e.translation)
+            .find(|t| t.virt().contains(va))
+    }
+
+    /// Inserts `translation`: overwrites an entry with the same virtual
+    /// range, else fills a free slot, else evicts the oldest entry.
+    pub fn insert(&mut self, translation: RangeTranslation) {
+        let tick = self.next_tick();
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.translation.virt() == translation.virt())
+        {
+            e.translation = translation;
+            e.last_used = tick;
+        } else {
+            if self.entries.len() >= self.capacity {
+                let oldest = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("non-empty when full");
+                self.entries.swap_remove(oldest);
+            }
+            self.entries.push(TimedRange {
+                translation,
+                last_used: tick,
+            });
+        }
+        self.stats.fills += 1;
+    }
+
+    /// Removes every range containing `va`. Returns the count.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        self.remove_matching(|t| t.virt().contains(va))
+    }
+
+    /// Removes every range overlapping `range`. Returns the count.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.remove_matching(|t| t.virt().overlaps(range))
+    }
+
+    fn remove_matching(&mut self, pred: impl Fn(&RangeTranslation) -> bool) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|e| !pred(&e.translation));
+        let removed = (before - self.entries.len()) as u64;
+        self.stats.invalidations += removed;
+        removed
+    }
+
+    /// Empties the model, counting every entry as invalidated.
+    pub fn flush(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One cached tag plus its last-used tick.
+#[derive(Clone, Copy, Debug)]
+struct TimedTag {
+    tag: u64,
+    last_used: u64,
+}
+
+/// Timestamp-LRU reference model of [`eeat_paging::TagCache`].
+#[derive(Clone, Debug)]
+pub struct OracleTagCache {
+    sets: Vec<Vec<TimedTag>>,
+    ways: usize,
+    tick: u64,
+    /// Event counters, mirroring the production cache's stats.
+    pub stats: OracleStats,
+}
+
+impl OracleTagCache {
+    /// Creates a model with `entries` slots and `ways` associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries.is_multiple_of(ways));
+        Self {
+            sets: vec![Vec::new(); entries / ways],
+            ways,
+            tick: 0,
+            stats: OracleStats::default(),
+        }
+    }
+
+    fn set_index(&self, tag: u64) -> usize {
+        (tag as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up `tag`; a hit is promoted.
+    pub fn lookup(&mut self, tag: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let s = self.set_index(tag);
+        match self.sets[s].iter_mut().find(|e| e.tag == tag) {
+            Some(e) => {
+                e.last_used = tick;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts `tag`, evicting the set's oldest entry when full.
+    pub fn insert(&mut self, tag: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let s = self.set_index(tag);
+        let set = &mut self.sets[s];
+        if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
+            e.last_used = tick;
+        } else {
+            if set.len() >= ways {
+                let oldest = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("non-empty when full");
+                set.swap_remove(oldest);
+            }
+            set.push(TimedTag {
+                tag,
+                last_used: tick,
+            });
+        }
+        self.stats.fills += 1;
+    }
+
+    /// Removes `tag` if present. Returns whether it was.
+    pub fn invalidate(&mut self, tag: u64) -> bool {
+        let s = self.set_index(tag);
+        let set = &mut self.sets[s];
+        let before = set.len();
+        set.retain(|e| e.tag != tag);
+        if set.len() < before {
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the model, counting every tag as invalidated.
+    pub fn flush(&mut self) {
+        let valid: u64 = self.sets.iter().map(|s| s.len() as u64).sum();
+        self.stats.invalidations += valid;
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Valid tags currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// Reference model of [`eeat_paging::MmuCaches`]: the Table 2 geometry over
+/// three [`OracleTagCache`]s.
+#[derive(Clone, Debug)]
+pub struct OracleMmuCaches {
+    /// PDE cache model (32 entries, 2-way).
+    pub pde: OracleTagCache,
+    /// PDPTE cache model (4 entries, fully associative).
+    pub pdpte: OracleTagCache,
+    /// PML4 cache model (2 entries, fully associative).
+    pub pml4: OracleTagCache,
+}
+
+impl OracleMmuCaches {
+    /// The Table 2 configuration matching
+    /// [`eeat_paging::MmuCaches::sandy_bridge`].
+    pub fn sandy_bridge() -> Self {
+        Self {
+            pde: OracleTagCache::new(32, 2),
+            pdpte: OracleTagCache::new(4, 4),
+            pml4: OracleTagCache::new(2, 2),
+        }
+    }
+
+    fn tag(va: VirtAddr, level: u32) -> u64 {
+        match level {
+            2 => va.raw() >> 21,
+            3 => va.raw() >> 30,
+            4 => va.raw() >> 39,
+            _ => unreachable!("no paging-structure cache at level {level}"),
+        }
+    }
+
+    /// Probes all three caches (each counts a lookup) and returns the level
+    /// of the deepest cached non-terminal entry.
+    pub fn deepest_cached_level(&mut self, va: VirtAddr) -> Option<u32> {
+        let pde = self.pde.lookup(Self::tag(va, 2));
+        let pdpte = self.pdpte.lookup(Self::tag(va, 3));
+        let pml4 = self.pml4.lookup(Self::tag(va, 4));
+        if pde {
+            Some(2)
+        } else if pdpte {
+            Some(3)
+        } else if pml4 {
+            Some(4)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts the non-terminal entry covering `va` at `level`.
+    pub fn fill_level(&mut self, va: VirtAddr, level: u32) {
+        match level {
+            2 => self.pde.insert(Self::tag(va, 2)),
+            3 => self.pdpte.insert(Self::tag(va, 3)),
+            4 => self.pml4.insert(Self::tag(va, 4)),
+            _ => panic!("no paging-structure cache at level {level}"),
+        }
+    }
+
+    /// Removes the tags covering `va` from all three caches.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        u64::from(self.pde.invalidate(Self::tag(va, 2)))
+            + u64::from(self.pdpte.invalidate(Self::tag(va, 3)))
+            + u64::from(self.pml4.invalidate(Self::tag(va, 4)))
+    }
+
+    /// Empties all three caches.
+    pub fn flush(&mut self) {
+        self.pde.flush();
+        self.pdpte.flush();
+        self.pml4.flush();
+    }
+}
+
+/// Reference page walker: translation by linear scan over a fixed mapping
+/// list, memory references by one arithmetic expression.
+///
+/// `memory_refs = start_level − terminal_level + 1` where `start_level` is
+/// just below the deepest cached non-terminal entry (or the PML4 root, 4,
+/// on a complete MMU-cache miss) and `terminal_level` comes from the page
+/// size (4 KiB → 1, 2 MiB → 2, 1 GiB → 3; unmapped charges a full descent
+/// to level 1).
+#[derive(Clone, Debug)]
+pub struct OracleWalker {
+    /// The MMU cache models refilled by walks.
+    pub caches: OracleMmuCaches,
+    mappings: Vec<PageTranslation>,
+}
+
+impl OracleWalker {
+    /// Creates a walker over a fixed set of mappings.
+    pub fn new(mappings: Vec<PageTranslation>) -> Self {
+        Self {
+            caches: OracleMmuCaches::sandy_bridge(),
+            mappings,
+        }
+    }
+
+    /// The mapping covering `va`, if any.
+    pub fn translate(&self, va: VirtAddr) -> Option<PageTranslation> {
+        self.mappings.iter().copied().find(|m| m.covers(va))
+    }
+
+    /// Walks `va`: returns the translation (if mapped) and the number of
+    /// memory references charged, refilling the cache models like the
+    /// production walker does.
+    pub fn walk(&mut self, va: VirtAddr) -> (Option<PageTranslation>, u32) {
+        let hit_level = self.caches.deepest_cached_level(va);
+        let start_level = hit_level.unwrap_or(5) - 1;
+        let translation = self.translate(va);
+        let terminal_level = translation.map(|t| t.size().mapping_level()).unwrap_or(1);
+        let memory_refs = start_level - terminal_level + 1;
+        if translation.is_some() {
+            for level in (terminal_level + 1..=start_level).rev() {
+                self.caches.fill_level(va, level);
+            }
+        }
+        (translation, memory_refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::{Pfn, Vpn};
+
+    fn t4k(vpn: u64) -> PageTranslation {
+        PageTranslation::new(Vpn::new(vpn), Pfn::new(vpn + 1000), PageSize::Size4K)
+    }
+
+    #[test]
+    fn ranks_count_more_recent_entries() {
+        let mut o = OraclePageTlb::new(4, 4);
+        for vpn in 0..4 {
+            o.insert(t4k(vpn));
+        }
+        // Insert order 0..4: vpn 3 is MRU (rank 0), vpn 0 LRU (rank 3).
+        let (_, r) = o
+            .lookup_for_size(Vpn::new(0).base_addr(), PageSize::Size4K)
+            .unwrap();
+        assert_eq!(r, 3);
+        // After the touch, vpn 0 is MRU.
+        let (_, r) = o
+            .lookup_for_size(Vpn::new(0).base_addr(), PageSize::Size4K)
+            .unwrap();
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn eviction_takes_oldest() {
+        let mut o = OraclePageTlb::new(4, 4);
+        for vpn in 0..4 {
+            o.insert(t4k(vpn));
+        }
+        o.lookup_for_size(Vpn::new(0).base_addr(), PageSize::Size4K);
+        o.insert(t4k(9)); // evicts vpn 1, the oldest untouched entry
+        assert!(o.probe(Vpn::new(0).base_addr(), PageSize::Size4K).is_some());
+        assert!(o.probe(Vpn::new(1).base_addr(), PageSize::Size4K).is_none());
+        assert_eq!(o.occupancy(), 4);
+    }
+
+    #[test]
+    fn downsizing_keeps_most_recent() {
+        let mut o = OraclePageTlb::new(4, 4);
+        for vpn in 0..4 {
+            o.insert(t4k(vpn));
+        }
+        o.set_active_ways(2);
+        assert_eq!(o.occupancy(), 2);
+        assert!(o.probe(Vpn::new(2).base_addr(), PageSize::Size4K).is_some());
+        assert!(o.probe(Vpn::new(3).base_addr(), PageSize::Size4K).is_some());
+        assert_eq!(o.stats.invalidations, 2);
+    }
+
+    #[test]
+    fn range_model_basics() {
+        use eeat_types::PhysAddr;
+        let mut o = OracleRangeTlb::new(2);
+        let rt = |mb: u64| {
+            RangeTranslation::new(
+                VirtRange::new(VirtAddr::new(mb << 20), 1 << 20),
+                PhysAddr::new((mb + 512) << 20),
+            )
+        };
+        o.insert(rt(0));
+        o.insert(rt(10));
+        o.lookup(VirtAddr::new(0));
+        o.insert(rt(20)); // evicts the 10 MB range (oldest)
+        assert!(o.probe(VirtAddr::new(0)).is_some());
+        assert!(o.probe(VirtAddr::new(10 << 20)).is_none());
+        assert_eq!(o.invalidate(VirtAddr::new(5)), 1);
+        assert_eq!(o.occupancy(), 1);
+    }
+
+    #[test]
+    fn walker_ref_counts() {
+        let mut w = OracleWalker::new(vec![t4k(5)]);
+        let (t, refs) = w.walk(VirtAddr::new(5 * 4096));
+        assert!(t.is_some());
+        assert_eq!(refs, 4);
+        let (_, refs) = w.walk(VirtAddr::new(5 * 4096 + 8));
+        assert_eq!(refs, 1, "PDE cache hit");
+    }
+}

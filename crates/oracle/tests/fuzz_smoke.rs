@@ -1,0 +1,14 @@
+//! A bounded multi-seed differential fuzz pass.
+//!
+//! Four seeds at 2 000 steps per target keep `cargo test` fast; the full
+//! CI smoke (8 seeds × 10 000 steps) runs through the `fuzz` bench binary,
+//! and open-ended runs through the same binary with a larger budget.
+
+#[test]
+fn multi_seed_fuzz_smoke() {
+    for seed in 1..=4u64 {
+        if let Err(failure) = eeat_oracle::fuzz_seed(seed, 2_000) {
+            panic!("unexpected divergence:\n{failure}");
+        }
+    }
+}

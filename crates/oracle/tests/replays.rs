@@ -1,0 +1,30 @@
+//! Checked-in replays are permanent regression tests.
+//!
+//! Every `replays/*.replay` file is a divergence repro (minimized by the
+//! fuzzer or written by hand for a fixed bug) that must run clean — i.e.
+//! production and oracle must agree on every step — forever after.
+
+use std::fs;
+use std::path::PathBuf;
+
+#[test]
+fn all_checked_in_replays_pass() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("replays");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("replays directory exists")
+        .map(|entry| entry.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "replay"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 5,
+        "expected the checked-in replay fixtures, found {}",
+        paths.len()
+    );
+    for path in paths {
+        let text = fs::read_to_string(&path).expect("readable replay");
+        if let Err(err) = eeat_oracle::run_replay(&text) {
+            panic!("{} failed: {err}", path.display());
+        }
+    }
+}

@@ -115,6 +115,17 @@ impl MmuCaches {
         &self.pml4
     }
 
+    /// Invalidates the cached non-terminal entries covering `va` in all
+    /// three caches — the paging-structure side of an `invlpg`-style
+    /// shootdown. Returns the number of entries removed.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        let mut removed = 0u64;
+        removed += u64::from(self.pde.invalidate(Self::tag(va, 2)));
+        removed += u64::from(self.pdpte.invalidate(Self::tag(va, 3)));
+        removed += u64::from(self.pml4.invalidate(Self::tag(va, 4)));
+        removed
+    }
+
     /// Invalidates all three caches.
     pub fn flush(&mut self) {
         self.pde.flush();
@@ -203,6 +214,21 @@ mod tests {
         c.fill_level(va, 4);
         c.flush();
         assert_eq!(c.deepest_cached_level(va), None);
+    }
+
+    #[test]
+    fn invalidate_covers_one_region_only() {
+        let mut c = MmuCaches::sandy_bridge();
+        let va = VirtAddr::new(0x40_0000);
+        let other = VirtAddr::new(0x8000_0000); // different PDE and PDPTE
+        c.fill_level(va, 2);
+        c.fill_level(va, 3);
+        c.fill_level(va, 4);
+        c.fill_level(other, 2);
+        assert_eq!(c.invalidate(va), 3);
+        assert_eq!(c.deepest_cached_level(va), None);
+        // `other` shares the PML4 region with nothing cached; its PDE stays.
+        assert_eq!(c.deepest_cached_level(other), Some(2));
     }
 
     #[test]

@@ -144,6 +144,29 @@ impl TagCache {
         self.recency[slot] = 0;
     }
 
+    /// Invalidates `tag` if present, demoting the vacated slot to the LRU
+    /// end of its set. Returns `true` when an entry was removed.
+    pub fn invalidate(&mut self, tag: u64) -> bool {
+        let base = self.base(tag);
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.tags[slot] != Some(tag) {
+                continue;
+            }
+            self.tags[slot] = None;
+            let rank = self.recency[slot];
+            for s in base..base + self.ways {
+                if self.recency[s] > rank {
+                    self.recency[s] -= 1;
+                }
+            }
+            self.recency[slot] = (self.ways - 1) as u8;
+            self.stats.record_invalidations(1);
+            return true;
+        }
+        false
+    }
+
     /// Invalidates every entry.
     pub fn flush(&mut self) {
         let valid = self.tags.iter().filter(|t| t.is_some()).count() as u64;
@@ -224,6 +247,23 @@ mod tests {
         c.flush();
         assert_eq!(c.occupancy(), 0);
         assert_eq!(c.stats().invalidations(), 2);
+    }
+
+    #[test]
+    fn invalidate_targets_one_tag() {
+        let mut c = TagCache::new("t", 4, 4);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        assert!(c.invalidate(2));
+        assert!(!c.invalidate(2)); // already gone
+        assert!(c.probe(1));
+        assert!(!c.probe(2));
+        assert!(c.probe(3));
+        assert_eq!(c.stats().invalidations(), 1);
+        // The vacated slot is the next fill victim: no live tag is evicted.
+        c.insert(4);
+        assert!(c.probe(1) && c.probe(3) && c.probe(4));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use eeat_types::{PageSize, VirtAddr};
+use eeat_types::{PageSize, VirtAddr, VirtRange};
 
 use crate::entry::{Hit, PageTranslation};
 use crate::set_assoc::SetAssocTlb;
@@ -112,6 +112,18 @@ impl FullyAssocTlb {
     /// Panics unless `entries` is a power of two in `1..=capacity()`.
     pub fn set_active_entries(&mut self, entries: usize) {
         self.inner.set_active_ways(entries);
+    }
+
+    /// Invalidates every entry covering `va`, regardless of page size.
+    /// Returns the number of entries removed.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        self.inner.invalidate(va)
+    }
+
+    /// Invalidates every entry whose page overlaps `range`. Returns the
+    /// number of entries removed.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.inner.invalidate_range(range)
     }
 
     /// Invalidates every entry.
@@ -239,6 +251,20 @@ mod tests {
             .expect("2M entry covers");
         assert_eq!(hit.translation.size(), PageSize::Size2M);
         assert!(tlb.lookup_any_size(VirtAddr::new(9 * 4096)).is_none());
+    }
+
+    #[test]
+    fn invalidate_targets_one_entry() {
+        let mut tlb = FullyAssocTlb::new("t", 4, PageSize::Size1G);
+        for i in 0..4 {
+            tlb.insert(t1g(i));
+        }
+        assert_eq!(tlb.invalidate(va1g(2)), 1);
+        assert!(tlb.probe(va1g(2), PageSize::Size1G).is_none());
+        for i in [0, 1, 3] {
+            assert!(tlb.probe(va1g(i), PageSize::Size1G).is_some());
+        }
+        tlb.assert_invariants();
     }
 
     #[test]

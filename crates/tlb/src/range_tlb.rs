@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use eeat_types::{RangeTranslation, VirtAddr};
+use eeat_types::{RangeTranslation, VirtAddr, VirtRange};
 
 use crate::stats::TlbStats;
 
@@ -148,6 +148,45 @@ impl RangeTlb {
         self.recency[slot] = 0;
     }
 
+    /// Invalidates every entry whose range contains `va` (the shootdown of a
+    /// single page unmaps any range covering it). Returns the number of
+    /// entries removed.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        self.invalidate_matching(|rt| rt.virt().contains(va))
+    }
+
+    /// Invalidates every entry whose range overlaps `range`. Returns the
+    /// number of entries removed.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.invalidate_matching(|rt| rt.virt().overlaps(range))
+    }
+
+    /// Removes every entry matching `pred`, demoting each vacated slot to
+    /// the LRU end so the ranks stay a permutation.
+    fn invalidate_matching(&mut self, mut pred: impl FnMut(&RangeTranslation) -> bool) -> u64 {
+        let mut removed = 0u64;
+        let n = self.entries.len();
+        for slot in 0..n {
+            let Some(rt) = self.entries[slot] else {
+                continue;
+            };
+            if !pred(&rt) {
+                continue;
+            }
+            self.entries[slot] = None;
+            let rank = self.recency[slot];
+            for r in self.recency.iter_mut() {
+                if *r > rank {
+                    *r -= 1;
+                }
+            }
+            self.recency[slot] = (n - 1) as u8;
+            removed += 1;
+        }
+        self.stats.record_invalidations(removed);
+        removed
+    }
+
     /// Invalidates every entry.
     pub fn flush(&mut self) {
         let valid = self.entries.iter().filter(|e| e.is_some()).count() as u64;
@@ -239,6 +278,35 @@ mod tests {
         assert_eq!(tlb.occupancy(), 0);
         assert_eq!(tlb.stats().invalidations(), 2);
         assert!(tlb.lookup(VirtAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn invalidate_hits_only_covering_ranges() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.insert(rt(0, 16, 100));
+        tlb.insert(rt(32, 16, 200));
+        assert_eq!(tlb.invalidate(VirtAddr::new(40 << 20)), 1);
+        assert!(tlb.probe(VirtAddr::new(0)).is_some());
+        assert!(tlb.probe(VirtAddr::new(40 << 20)).is_none());
+        assert_eq!(tlb.stats().invalidations(), 1);
+        // The vacated slot is reused before any eviction.
+        tlb.insert(rt(64, 1, 300));
+        tlb.insert(rt(80, 1, 400));
+        tlb.insert(rt(96, 1, 500));
+        assert!(tlb.probe(VirtAddr::new(0)).is_some());
+    }
+
+    #[test]
+    fn invalidate_range_takes_overlaps() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.insert(rt(0, 16, 100));
+        tlb.insert(rt(32, 16, 200));
+        tlb.insert(rt(64, 16, 300));
+        // [40 MB, 72 MB) overlaps the second and third ranges.
+        let shot = VirtRange::new(VirtAddr::new(40 << 20), 32 << 20);
+        assert_eq!(tlb.invalidate_range(shot), 2);
+        assert!(tlb.probe(VirtAddr::new(0)).is_some());
+        assert_eq!(tlb.occupancy(), 1);
     }
 
     #[test]

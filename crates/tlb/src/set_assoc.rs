@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use eeat_types::{PageSize, VirtAddr};
+use eeat_types::{PageSize, VirtAddr, VirtRange};
 
 use crate::entry::{Hit, PageTranslation};
 use crate::stats::TlbStats;
@@ -312,6 +312,53 @@ impl SetAssocTlb {
         self.active_ways = ways;
     }
 
+    /// Invalidates every entry covering `va`, regardless of page size — the
+    /// per-page TLB shootdown (`invlpg`). Entries of any size whose page
+    /// contains `va` are removed; everything else survives. Returns the
+    /// number of entries removed (counted as invalidations in the stats).
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        self.invalidate_matching(|e| e.covers(va))
+    }
+
+    /// Invalidates every entry whose page overlaps `range` (the multi-page
+    /// shootdown of e.g. an `munmap`). Returns the number of entries
+    /// removed.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.invalidate_matching(|e| {
+            VirtRange::new(e.vpn().base_addr(), e.size().bytes()).overlaps(range)
+        })
+    }
+
+    /// Removes every active entry matching `pred`, keeping each set's LRU
+    /// ranks a permutation: the vacated slot is demoted to the LRU end and
+    /// the survivors close ranks.
+    fn invalidate_matching(&mut self, mut pred: impl FnMut(&PageTranslation) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            for way in 0..self.active_ways {
+                let slot = base + way;
+                let Some(entry) = self.entries[slot] else {
+                    continue;
+                };
+                if !pred(&entry) {
+                    continue;
+                }
+                self.entries[slot] = None;
+                let rank = self.recency[slot];
+                for s in base..base + self.active_ways {
+                    if self.recency[s] > rank {
+                        self.recency[s] -= 1;
+                    }
+                }
+                self.recency[slot] = (self.active_ways - 1) as u8;
+                removed += 1;
+            }
+        }
+        self.stats.record_invalidations(removed);
+        removed
+    }
+
     /// Invalidates every entry (active ways stay as configured).
     pub fn flush(&mut self) {
         let valid = self.entries.iter().filter(|e| e.is_some()).count() as u64;
@@ -493,6 +540,71 @@ mod tests {
         assert!(tlb
             .lookup_for_size(VirtAddr::new(512 * 4096), PageSize::Size4K)
             .is_none());
+    }
+
+    #[test]
+    fn invalidate_removes_only_the_covering_entry() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        for i in 0..4 {
+            tlb.insert(t4k(16 * i));
+        }
+        assert_eq!(tlb.invalidate(va4k(16)), 1);
+        assert!(tlb.probe(va4k(16), PageSize::Size4K).is_none());
+        for vpn in [0, 32, 48] {
+            assert!(tlb.probe(va4k(vpn), PageSize::Size4K).is_some());
+        }
+        assert_eq!(tlb.stats().invalidations(), 1);
+        tlb.assert_invariants();
+        // The vacated slot is the next eviction victim: filling the set again
+        // evicts nobody.
+        tlb.insert(t4k(16 * 4));
+        assert_eq!(tlb.occupancy(), 4);
+        for vpn in [0, 32, 48, 64] {
+            assert!(tlb.probe(va4k(vpn), PageSize::Size4K).is_some());
+        }
+    }
+
+    #[test]
+    fn invalidate_matches_any_page_size() {
+        let mut tlb = SetAssocTlb::new("L2", 512, 4, PageSize::Size4K);
+        tlb.insert(t4k(7));
+        let huge = PageTranslation::new(Vpn::new(512), Pfn::new(1024), PageSize::Size2M);
+        tlb.insert(huge);
+        // An address in the middle of the 2 MiB page takes out the huge entry
+        // but not the unrelated 4 KiB one.
+        assert_eq!(tlb.invalidate(VirtAddr::new(512 * 4096 + 12345)), 1);
+        assert!(tlb
+            .probe(VirtAddr::new(512 * 4096), PageSize::Size2M)
+            .is_none());
+        assert!(tlb.probe(va4k(7), PageSize::Size4K).is_some());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_range_takes_overlapping_pages() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        for vpn in [3u64, 4, 5, 40] {
+            tlb.insert(t4k(vpn));
+        }
+        // A range covering pages 4..6 removes vpn 4 and 5 only.
+        let range = VirtRange::new(va4k(4), 2 * 4096);
+        assert_eq!(tlb.invalidate_range(range), 2);
+        assert!(tlb.probe(va4k(3), PageSize::Size4K).is_some());
+        assert!(tlb.probe(va4k(4), PageSize::Size4K).is_none());
+        assert!(tlb.probe(va4k(5), PageSize::Size4K).is_none());
+        assert!(tlb.probe(va4k(40), PageSize::Size4K).is_some());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_miss_is_a_no_op() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.insert(t4k(1));
+        let stats_before = *tlb.stats();
+        assert_eq!(tlb.invalidate(va4k(99)), 0);
+        assert_eq!(tlb.stats().invalidations(), stats_before.invalidations());
+        assert_eq!(tlb.occupancy(), 1);
+        tlb.assert_invariants();
     }
 
     #[test]
