@@ -17,8 +17,15 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q"
 cargo test --workspace -q --offline
 
+echo "==> golden-fixture parity (fails on any drift in simulation results)"
+cargo test --release -q --offline --test golden_parity --test block_equivalence
+
 echo "==> differential fuzz smoke (8 seeds x 10k steps per target)"
 EEAT_FUZZ_SEEDS=8 cargo run --release --offline -p eeat-bench --bin fuzz -- \
     --instructions 10_000 --seed 1
+
+echo "==> throughput harness smoke"
+cargo run --release --offline -p eeat-bench --bin throughput -- \
+    --smoke --out BENCH_throughput_smoke.json
 
 echo "==> ci.sh: all checks passed"

@@ -1,0 +1,226 @@
+//! Single-thread throughput harness for the batched hot loop.
+//!
+//! Measures accesses/sec of the simulator on the Figure 2 mix
+//! (`TLB_INTENSIVE` workloads × {4KB, THP, RMM}) and attributes wall time
+//! to each pipeline stage, writing machine-readable results to
+//! `BENCH_throughput.json`.
+//!
+//! The headline accesses/sec number comes from *unprofiled* runs (the
+//! `()`-monomorphized pipeline, zero instrumentation); the per-stage
+//! breakdown comes from separate profiled runs, whose own throughput is
+//! pessimistic by the cost of two clock reads per stage boundary and is
+//! reported only as relative shares.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p eeat-bench --bin throughput [-- --smoke] [--out PATH] [--best-of N]
+//! EEAT_INSTRUCTIONS=2_000_000 cargo run --release -p eeat-bench --bin throughput
+//! ```
+//!
+//! `--best-of N` (default 5 full / 1 smoke) repeats each unprofiled cell N
+//! times and keeps the minimum wall time — the standard estimator on hosts
+//! with background load, since noise only ever adds time.
+//!
+//! `--smoke` runs a small instruction budget for CI: it validates the
+//! harness end to end but its accesses/sec are not comparable to the
+//! committed baseline, so the speedup fields are omitted.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use eeat_core::{Config, Simulator, Stage, DEFAULT_BLOCK};
+use eeat_workloads::Workload;
+
+/// Pre-batching baseline, measured on this machine at the parent commit of
+/// the hot-loop refactor (per-access loop, AoS TLB storage,
+/// `Option<TimelineObserver>` branch in the sink, pre-refactor release
+/// profile): same workload mix, 5 M instructions per cell, single thread.
+///
+/// Methodology: the build host is a noisy single-CPU box, so baseline and
+/// refactored binaries were run interleaved over many rounds and each
+/// config's entry is the *best* observed baseline rate (min-of-N wall time)
+/// — the estimate least disturbed by background load, and the one most
+/// favorable to the baseline.
+const BASELINE_ACC_PER_SEC: [(&str, f64); 3] = [
+    ("4KB", 9_113_113.0),
+    ("THP", 9_624_173.0),
+    ("RMM", 9_486_958.0),
+];
+
+const SEED: u64 = 42;
+const FULL_INSTRUCTIONS: u64 = 5_000_000;
+const SMOKE_INSTRUCTIONS: u64 = 200_000;
+
+struct ConfigResult {
+    name: &'static str,
+    accesses: u64,
+    seconds: f64,
+    stage_seconds: [f64; 5],
+}
+
+fn measure(config: &Config, instructions: u64, best_of: u32) -> ConfigResult {
+    // Headline throughput: unprofiled batched runs. Per workload the wall
+    // time is the *minimum* over `best_of` repeats — on a host with
+    // background load, the fastest repeat is the one least disturbed by
+    // noise, and every reported rate is still an actually-achieved run.
+    let mut accesses = 0u64;
+    let mut seconds = 0.0f64;
+    for &workload in &Workload::TLB_INTENSIVE {
+        let mut best = f64::INFINITY;
+        let mut cell_accesses = 0u64;
+        for _ in 0..best_of.max(1) {
+            let mut sim = Simulator::from_workload(config.clone(), workload, SEED);
+            let t = Instant::now();
+            let r = sim.run(instructions);
+            best = best.min(t.elapsed().as_secs_f64());
+            cell_accesses = r.stats.accesses;
+        }
+        seconds += best;
+        accesses += cell_accesses;
+    }
+    // Per-stage attribution: separate profiled runs (fresh simulators, so
+    // the profiled run sees the identical access stream).
+    let mut stage_seconds = [0.0f64; 5];
+    for &workload in &Workload::TLB_INTENSIVE {
+        let mut sim = Simulator::from_workload(config.clone(), workload, SEED);
+        let (_, profile) = sim.run_block_profiled(instructions, DEFAULT_BLOCK);
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            stage_seconds[i] += profile.seconds(stage);
+        }
+    }
+    ConfigResult {
+        name: config.name,
+        accesses,
+        seconds,
+        stage_seconds,
+    }
+}
+
+fn baseline_for(name: &str) -> Option<f64> {
+    BASELINE_ACC_PER_SEC
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, v)| v)
+}
+
+fn render_json(results: &[ConfigResult], instructions: u64, smoke: bool, best_of: u32) -> String {
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"bench\": \"throughput\",").unwrap();
+    writeln!(out, "  \"workload_mix\": \"TLB_INTENSIVE\",").unwrap();
+    writeln!(out, "  \"instructions_per_cell\": {instructions},").unwrap();
+    writeln!(out, "  \"block\": {DEFAULT_BLOCK},").unwrap();
+    writeln!(out, "  \"seed\": {SEED},").unwrap();
+    writeln!(out, "  \"smoke\": {smoke},").unwrap();
+    writeln!(out, "  \"best_of\": {best_of},").unwrap();
+    writeln!(out, "  \"configs\": [").unwrap();
+    for (ci, r) in results.iter().enumerate() {
+        let acc_per_sec = r.accesses as f64 / r.seconds;
+        writeln!(out, "    {{").unwrap();
+        writeln!(out, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(out, "      \"accesses\": {},", r.accesses).unwrap();
+        writeln!(out, "      \"seconds\": {:.6},", r.seconds).unwrap();
+        writeln!(out, "      \"accesses_per_sec\": {acc_per_sec:.0},").unwrap();
+        if !smoke {
+            if let Some(before) = baseline_for(r.name) {
+                writeln!(out, "      \"baseline_accesses_per_sec\": {before:.0},").unwrap();
+                writeln!(out, "      \"speedup\": {:.3},", acc_per_sec / before).unwrap();
+            }
+        }
+        let total: f64 = r.stage_seconds.iter().sum();
+        writeln!(out, "      \"stage_seconds\": {{").unwrap();
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            let comma = if i + 1 < Stage::ALL.len() { "," } else { "" };
+            writeln!(
+                out,
+                "        \"{}\": {:.6}{comma}",
+                stage.name(),
+                r.stage_seconds[i]
+            )
+            .unwrap();
+        }
+        writeln!(out, "      }},").unwrap();
+        writeln!(out, "      \"stage_share\": {{").unwrap();
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            let comma = if i + 1 < Stage::ALL.len() { "," } else { "" };
+            let share = if total > 0.0 {
+                r.stage_seconds[i] / total
+            } else {
+                0.0
+            };
+            writeln!(out, "        \"{}\": {share:.4}{comma}", stage.name()).unwrap();
+        }
+        writeln!(out, "      }}").unwrap();
+        let comma = if ci + 1 < results.len() { "," } else { "" };
+        writeln!(out, "    }}{comma}").unwrap();
+    }
+    writeln!(out, "  ]").unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let best_of: u32 = args
+        .iter()
+        .position(|a| a == "--best-of")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 5 });
+    let instructions: u64 = std::env::var("EEAT_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(if smoke {
+            SMOKE_INSTRUCTIONS
+        } else {
+            FULL_INSTRUCTIONS
+        });
+
+    let configs = [Config::four_k(), Config::thp(), Config::rmm()];
+    let mut results = Vec::new();
+    for config in &configs {
+        let r = measure(config, instructions, best_of);
+        let acc_per_sec = r.accesses as f64 / r.seconds;
+        let speedup = if smoke {
+            String::new()
+        } else {
+            baseline_for(r.name)
+                .map(|b| format!("  {:>5.2}x vs baseline", acc_per_sec / b))
+                .unwrap_or_default()
+        };
+        let total: f64 = r.stage_seconds.iter().sum();
+        let shares: Vec<String> = Stage::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "{} {:.0}%",
+                    s.name(),
+                    100.0 * r.stage_seconds[i] / total.max(f64::MIN_POSITIVE)
+                )
+            })
+            .collect();
+        println!(
+            "{:4} {:>12} accesses  {:>8.3} s  {:>12.0} acc/s{}  [{}]",
+            r.name,
+            r.accesses,
+            r.seconds,
+            acc_per_sec,
+            speedup,
+            shares.join(", ")
+        );
+        results.push(r);
+    }
+
+    let json = render_json(&results, instructions, smoke, best_of);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -39,6 +39,7 @@ mod lite;
 mod par;
 mod pipeline;
 mod predictor;
+mod profile;
 mod report;
 mod setup;
 mod simulator;
@@ -50,7 +51,8 @@ pub use experiment::{mean_normalized, ConfigRun, Experiment, WorkloadResults};
 pub use hierarchy::{MonitorIndices, TlbHierarchy};
 pub use lite::{LiteController, LiteDecision, WayMonitor};
 pub use predictor::SizePredictor;
+pub use profile::{Stage, StageProfile};
 pub use report::{format_row, format_table, Table};
-pub use simulator::{RunResult, Simulator};
+pub use simulator::{RunResult, Simulator, DEFAULT_BLOCK};
 pub use stats::{SimStats, Timeline, TimelinePoint};
 pub use sweep::{fig3_walk_locality, fig4_fixed_sizes, lite_sensitivity, SensitivityPoint};

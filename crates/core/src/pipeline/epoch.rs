@@ -2,15 +2,17 @@
 //! decision, including the settle events that let energy observers charge
 //! resizable-L1 operations at their outgoing sizes.
 
-use eeat_types::events::TranslationEvent;
+use eeat_types::events::{Observer, TranslationEvent};
 
 use crate::hierarchy::TlbHierarchy;
 use crate::lite::LiteDecision;
+use crate::pipeline::StepCtx;
 use crate::simulator::Simulator;
 
 /// Performs the periodic ASID-less context switch when due: every TLB and
 /// MMU cache is flushed.
-pub(crate) fn context_switch_if_due(sim: &mut Simulator) {
+#[inline]
+pub(crate) fn context_switch_if_due<E: Observer>(sim: &mut Simulator, extra: &mut E) {
     if sim.clock < sim.next_flush_at {
         return;
     }
@@ -25,7 +27,7 @@ pub(crate) fn context_switch_if_due(sim: &mut Simulator) {
     while sim.next_flush_at <= sim.clock {
         sim.next_flush_at += interval;
     }
-    sim.sinks.emit(TranslationEvent::ContextSwitch);
+    sim.sinks.emit(extra, TranslationEvent::ContextSwitch);
 }
 
 /// The settle event describing the hierarchy's current resizable-L1 sizes.
@@ -41,7 +43,8 @@ pub(crate) fn settle_event(hierarchy: &TlbHierarchy) -> TranslationEvent {
 }
 
 /// Runs the Lite decision at interval boundaries and applies resizes.
-pub(crate) fn interval_check(sim: &mut Simulator) {
+#[inline]
+pub(crate) fn interval_check<E: Observer>(sim: &mut Simulator, ctx: &StepCtx, extra: &mut E) {
     let Some(lite) = sim.lite.as_mut() else {
         return;
     };
@@ -52,7 +55,7 @@ pub(crate) fn interval_check(sim: &mut Simulator) {
     // The per-operation L1 energies are about to change: settle the
     // pending operations at the outgoing way configuration.
     let settle = settle_event(&sim.hierarchy);
-    sim.sinks.emit(settle);
+    sim.sinks.emit(extra, settle);
 
     let mut reactivated = false;
     let mut new_ways = Vec::new();
@@ -74,8 +77,8 @@ pub(crate) fn interval_check(sim: &mut Simulator) {
     }
     // One source of truth for which decision slot belongs to which
     // structure: the hierarchy's dense monitor order (shared with the L1
-    // probe stage).
-    let idx = sim.hierarchy.monitor_indices();
+    // probe stage via the precomputed step context).
+    let idx = ctx.monitors;
     if let (Some(i), Some(t)) = (idx.l1_fa, sim.hierarchy.l1_fa.as_mut()) {
         t.set_active_entries(new_ways[i]);
     }
@@ -85,8 +88,11 @@ pub(crate) fn interval_check(sim: &mut Simulator) {
     if let (Some(i), Some(t)) = (idx.l1_2m, sim.hierarchy.l1_2m.as_mut()) {
         t.set_active_ways(new_ways[i]);
     }
-    sim.sinks.emit(TranslationEvent::EpochEnd {
-        reactivated,
-        l1_4k_ways: sim.hierarchy.l1_4k().map(|t| t.active_ways() as u32),
-    });
+    sim.sinks.emit(
+        extra,
+        TranslationEvent::EpochEnd {
+            reactivated,
+            l1_4k_ways: sim.hierarchy.l1_4k().map(|t| t.active_ways() as u32),
+        },
+    );
 }

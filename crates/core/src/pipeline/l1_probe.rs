@@ -1,8 +1,9 @@
 //! L1 stage: every present L1 structure is probed in parallel.
 
-use eeat_types::events::{FixedUnit, HitColumn, ResizableUnit, TranslationEvent};
+use eeat_types::events::{FixedUnit, HitColumn, Observer, ResizableUnit, TranslationEvent};
 use eeat_types::{PageSize, VirtAddr};
 
+use crate::pipeline::StepCtx;
 use crate::simulator::Simulator;
 
 /// The L1 stage's outcome.
@@ -26,23 +27,33 @@ pub(crate) enum L1Outcome {
 /// Probes every present L1 structure for `va`.
 ///
 /// All probes happen (and cost energy) regardless of where the hit lands —
-/// the structures are searched in parallel in hardware.
-pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
+/// the structures are searched in parallel in hardware. The per-run
+/// invariants (unified indexing, monitor slots) come precomputed in `ctx`.
+#[inline]
+pub(crate) fn probe<E: Observer>(
+    sim: &mut Simulator,
+    ctx: &StepCtx,
+    va: VirtAddr,
+    extra: &mut E,
+) -> L1Outcome {
     let range_hit = sim.hierarchy.l1_range.as_mut().and_then(|t| t.lookup(va));
     if sim.hierarchy.l1_range.is_some() {
-        sim.sinks.emit(TranslationEvent::FixedOps {
-            unit: FixedUnit::L1Range,
-            lookups: 1,
-            fills: 0,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::FixedOps {
+                unit: FixedUnit::L1Range,
+                lookups: 1,
+                fills: 0,
+            },
+        );
     }
 
     // The unified L1 of TLB_PP is indexed with the (perfectly predicted)
     // actual page size; per-size L1s use their own size.
-    let unified = sim.hierarchy.unified_l1();
+    let unified = ctx.unified;
     // Monitor slots come from the hierarchy's dense order (shared with the
     // epoch resize path) — a 2MB-only resizable config owns slot 0.
-    let monitors = sim.hierarchy.monitor_indices();
+    let monitors = ctx.monitors;
     // (page size of the hit, LRU rank, Lite monitor index if monitored)
     let mut page_hit: Option<(PageSize, u8, Option<usize>)> = None;
     if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
@@ -50,10 +61,13 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
         // needs no page size at all.
         let entries = t.active_entries();
         let hit = t.lookup_any_size(va);
-        sim.sinks.emit(TranslationEvent::Probe {
-            unit: ResizableUnit::L1FullyAssoc,
-            active: entries as u32,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::Probe {
+                unit: ResizableUnit::L1FullyAssoc,
+                active: entries as u32,
+            },
+        );
         if let Some(h) = hit {
             page_hit = Some((h.translation.size(), h.rank, monitors.l1_fa));
         }
@@ -61,11 +75,7 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
     if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
         let ways = t.active_ways();
         let hit = if unified {
-            let actual = sim
-                .size_oracle
-                .get(&(va.raw() >> 21))
-                .copied()
-                .expect("trace addresses are always mapped");
+            let actual = sim.size_oracle.get(va);
             if let Some(predictor) = sim.predictor.as_mut() {
                 // Realizable TLB_Pred: probe with the predicted index; a
                 // first-probe miss cannot be declared an L1 miss until the
@@ -79,9 +89,12 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
                     } else {
                         PageSize::Size4K
                     };
-                    sim.sinks.emit(TranslationEvent::SecondProbe {
-                        unit: ResizableUnit::L1FourK,
-                    });
+                    sim.sinks.emit(
+                        extra,
+                        TranslationEvent::SecondProbe {
+                            unit: ResizableUnit::L1FourK,
+                        },
+                    );
                     hit = t.lookup_for_size(va, alternate);
                 }
                 predictor.update(va, actual);
@@ -93,10 +106,13 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
         } else {
             t.lookup(va)
         };
-        sim.sinks.emit(TranslationEvent::Probe {
-            unit: ResizableUnit::L1FourK,
-            active: ways as u32,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::Probe {
+                unit: ResizableUnit::L1FourK,
+                active: ways as u32,
+            },
+        );
         if let Some(h) = hit {
             page_hit = Some((h.translation.size(), h.rank, monitors.l1_4k));
         }
@@ -104,10 +120,13 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
     if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
         let ways = t.active_ways();
         let hit = t.lookup(va);
-        sim.sinks.emit(TranslationEvent::Probe {
-            unit: ResizableUnit::L1TwoM,
-            active: ways as u32,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::Probe {
+                unit: ResizableUnit::L1TwoM,
+                active: ways as u32,
+            },
+        );
         if let Some(h) = hit {
             debug_assert!(page_hit.is_none(), "page sizes are disjoint");
             page_hit = Some((PageSize::Size2M, h.rank, monitors.l1_2m));
@@ -115,11 +134,14 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
     }
     if let Some(t) = sim.hierarchy.l1_1g.as_mut() {
         let hit = t.lookup(va);
-        sim.sinks.emit(TranslationEvent::FixedOps {
-            unit: FixedUnit::L1OneG,
-            lookups: 1,
-            fills: 0,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::FixedOps {
+                unit: FixedUnit::L1OneG,
+                lookups: 1,
+                fills: 0,
+            },
+        );
         if let Some(h) = hit {
             debug_assert!(page_hit.is_none(), "page sizes are disjoint");
             page_hit = Some((PageSize::Size1G, h.rank, None));
@@ -135,7 +157,7 @@ pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr) -> L1Outcome {
             PageSize::Size2M => {
                 // Mixed structures (unified / FA) report under the 4K
                 // column; the separate L1-2MB TLB under its own.
-                if unified || sim.hierarchy.l1_fa.is_some() {
+                if unified || ctx.has_l1_fa {
                     HitColumn::FourK
                 } else {
                     HitColumn::TwoM

@@ -1,7 +1,7 @@
 //! L2 stage: on an all-L1 miss, the L2 page and range TLBs are probed.
 
 use eeat_tlb::PageTranslation;
-use eeat_types::events::{FixedUnit, TranslationEvent};
+use eeat_types::events::{FixedUnit, Observer, TranslationEvent};
 use eeat_types::{PageSize, RangeTranslation, VirtAddr};
 
 use crate::simulator::Simulator;
@@ -17,24 +17,36 @@ pub(crate) struct L2Outcome {
 }
 
 /// Probes the L2 structures for `va` (backed by a page of `size`).
-pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr, size: PageSize) -> L2Outcome {
+#[inline]
+pub(crate) fn probe<E: Observer>(
+    sim: &mut Simulator,
+    va: VirtAddr,
+    size: PageSize,
+    extra: &mut E,
+) -> L2Outcome {
     let page = sim
         .hierarchy
         .l2_page
         .lookup_for_size(va, size)
         .map(|h| h.translation);
-    sim.sinks.emit(TranslationEvent::FixedOps {
-        unit: FixedUnit::L2Page,
-        lookups: 1,
-        fills: 0,
-    });
-    let range = sim.hierarchy.l2_range.as_mut().and_then(|t| t.lookup(va));
-    if sim.hierarchy.l2_range.is_some() {
-        sim.sinks.emit(TranslationEvent::FixedOps {
-            unit: FixedUnit::L2Range,
+    sim.sinks.emit(
+        extra,
+        TranslationEvent::FixedOps {
+            unit: FixedUnit::L2Page,
             lookups: 1,
             fills: 0,
-        });
+        },
+    );
+    let range = sim.hierarchy.l2_range.as_mut().and_then(|t| t.lookup(va));
+    if sim.hierarchy.l2_range.is_some() {
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::FixedOps {
+                unit: FixedUnit::L2Range,
+                lookups: 1,
+                fills: 0,
+            },
+        );
     }
     L2Outcome { page, range }
 }

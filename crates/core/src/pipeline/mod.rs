@@ -16,6 +16,17 @@
 //! the walker's caches); every countable side effect is emitted as a
 //! [`TranslationEvent`] into the simulator's [`Sinks`]. Observers are pure
 //! accumulators, so the simulation is identical for any set of sinks.
+//!
+//! Every stage is generic over one *extra* [`Observer`] `E` beyond the
+//! always-on sinks. Ordinary runs instantiate `E = ()` — a no-op whose
+//! `on_event` monomorphizes away entirely — while
+//! [`Simulator::run_with_timeline`](crate::Simulator::run_with_timeline)
+//! instantiates `E = TimelineObserver`. The optional observer therefore
+//! costs timeline-off runs nothing, not even a branch per event.
+//!
+//! Per-access invariants (which structures exist, the Lite monitor slots,
+//! whether the config uses ranges) are hoisted into a [`StepCtx`] computed
+//! once per run, not re-derived per access.
 
 pub(crate) mod epoch;
 pub(crate) mod l1_probe;
@@ -27,8 +38,10 @@ use eeat_energy::{CycleObserver, EnergyObserver};
 use eeat_types::events::{HitColumn, Observer, TranslationEvent};
 use eeat_types::MemAccess;
 
+use crate::hierarchy::MonitorIndices;
+use crate::profile::{Stage, StageProfiler};
 use crate::simulator::Simulator;
-use crate::stats::{StatsObserver, TimelineObserver};
+use crate::stats::StatsObserver;
 
 /// How one access ultimately resolved (the pipeline's end-to-end outcome).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,44 +57,79 @@ pub(crate) enum TranslationOutcome {
     Walked,
 }
 
-/// The simulator's accounting sinks, fanned out per event.
+/// Per-access invariant state, hoisted out of the hot loop.
+///
+/// Everything here is fixed for the lifetime of a run: the set of present
+/// structures never changes after construction (Lite resizes *active ways*,
+/// not presence), and the monitor slots and range-usage flag derive from
+/// the config. Recomputing them per access was measurable overhead.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StepCtx {
+    /// Whether the L1 page TLB mixes 4 KiB and 2 MiB entries (TLB_PP).
+    pub(crate) unified: bool,
+    /// Dense Lite monitor slots of the resizable L1 structures.
+    pub(crate) monitors: MonitorIndices,
+    /// Whether the configuration performs background range-table walks.
+    pub(crate) uses_ranges: bool,
+    /// `sim.hierarchy.l1_fa.is_some()`, for the hit-column mapping.
+    pub(crate) has_l1_fa: bool,
+}
+
+/// The simulator's always-on accounting sinks, fanned out per event
+/// together with one generic extra observer.
 pub(crate) struct Sinks {
     pub(crate) stats: StatsObserver,
     pub(crate) energy: EnergyObserver,
     pub(crate) cycles: CycleObserver,
-    /// Installed only inside `run_with_timeline`.
-    pub(crate) timeline: Option<TimelineObserver>,
 }
 
 impl Sinks {
+    /// Fans `event` out to every sink, then to `extra`. With `E = ()` the
+    /// extra call compiles to nothing.
     #[inline]
-    pub(crate) fn emit(&mut self, event: TranslationEvent) {
+    pub(crate) fn emit<E: Observer>(&mut self, extra: &mut E, event: TranslationEvent) {
         self.stats.on_event(&event);
         self.energy.on_event(&event);
         self.cycles.on_event(&event);
-        if let Some(timeline) = &mut self.timeline {
-            timeline.on_event(&event);
-        }
+        extra.on_event(&event);
     }
 }
 
 /// Runs one access through every stage.
-pub(crate) fn step(sim: &mut Simulator, access: MemAccess) -> TranslationOutcome {
+#[inline]
+pub(crate) fn step<E: Observer, P: StageProfiler>(
+    sim: &mut Simulator,
+    ctx: &StepCtx,
+    access: MemAccess,
+    extra: &mut E,
+    profiler: &mut P,
+) -> TranslationOutcome {
     let va = access.vaddr();
     sim.clock += u64::from(access.instructions());
-    sim.sinks.emit(TranslationEvent::Access {
-        instruction_gap: access.instructions(),
-    });
-    epoch::context_switch_if_due(sim);
+    sim.sinks.emit(
+        extra,
+        TranslationEvent::Access {
+            instruction_gap: access.instructions(),
+        },
+    );
+    profiler.enter(Stage::Epoch);
+    epoch::context_switch_if_due(sim, extra);
+    profiler.exit(Stage::Epoch);
 
-    let outcome = match l1_probe::probe(sim, va) {
+    profiler.enter(Stage::L1Probe);
+    let l1 = l1_probe::probe(sim, ctx, va, extra);
+    profiler.exit(Stage::L1Probe);
+    let outcome = match l1 {
         l1_probe::L1Outcome::RangeHit => {
             // The range TLB serves the translation; a redundant page-TLB
             // hit adds no utility (disabling those ways would not create an
             // L2 access), so Lite's monitors are not credited.
-            sim.sinks.emit(TranslationEvent::L1Hit {
-                column: HitColumn::Range,
-            });
+            sim.sinks.emit(
+                extra,
+                TranslationEvent::L1Hit {
+                    column: HitColumn::Range,
+                },
+            );
             TranslationOutcome::L1Hit(HitColumn::Range)
         }
         l1_probe::L1Outcome::PageHit {
@@ -89,7 +137,7 @@ pub(crate) fn step(sim: &mut Simulator, access: MemAccess) -> TranslationOutcome
             rank,
             monitor,
         } => {
-            sim.sinks.emit(TranslationEvent::L1Hit { column });
+            sim.sinks.emit(extra, TranslationEvent::L1Hit { column });
             if let (Some(lite), Some(idx)) = (sim.lite.as_mut(), monitor) {
                 lite.record_hit(idx, rank);
             }
@@ -97,29 +145,41 @@ pub(crate) fn step(sim: &mut Simulator, access: MemAccess) -> TranslationOutcome
         }
         l1_probe::L1Outcome::Miss => {
             // All L1 structures missed: access the L2 TLBs (7 cycles).
-            sim.sinks.emit(TranslationEvent::L1Miss);
+            sim.sinks.emit(extra, TranslationEvent::L1Miss);
             if let Some(lite) = sim.lite.as_mut() {
                 lite.record_l1_miss();
             }
             let size = sim.actual_size(va);
-            let l2 = l2_probe::probe(sim, va, size);
+            profiler.enter(Stage::L2Probe);
+            let l2 = l2_probe::probe(sim, va, size, extra);
+            profiler.exit(Stage::L2Probe);
             if l2.page.is_some() || l2.range.is_some() {
                 let range = l2.page.is_none();
-                sim.sinks.emit(TranslationEvent::L2Hit { range });
-                refill::after_l2_hit(sim, &l2, va, size);
+                sim.sinks.emit(extra, TranslationEvent::L2Hit { range });
+                profiler.enter(Stage::Refill);
+                refill::after_l2_hit(sim, &l2, va, size, extra);
+                profiler.exit(Stage::Refill);
                 TranslationOutcome::L2Hit { range }
             } else {
                 // L2 miss: page walk (50 cycles).
-                sim.sinks.emit(TranslationEvent::L2Miss);
-                let translation = walk::translate(sim, va);
-                refill::after_walk(sim, translation);
-                walk::range_walk_background(sim, va);
+                sim.sinks.emit(extra, TranslationEvent::L2Miss);
+                profiler.enter(Stage::Walk);
+                let translation = walk::translate(sim, va, extra);
+                profiler.exit(Stage::Walk);
+                profiler.enter(Stage::Refill);
+                refill::after_walk(sim, translation, extra);
+                profiler.exit(Stage::Refill);
+                profiler.enter(Stage::Walk);
+                walk::range_walk_background(sim, ctx, va, extra);
+                profiler.exit(Stage::Walk);
                 TranslationOutcome::Walked
             }
         }
     };
 
-    epoch::interval_check(sim);
-    sim.sinks.emit(TranslationEvent::StepEnd);
+    profiler.enter(Stage::Epoch);
+    epoch::interval_check(sim, ctx, extra);
+    profiler.exit(Stage::Epoch);
+    sim.sinks.emit(extra, TranslationEvent::StepEnd);
     outcome
 }

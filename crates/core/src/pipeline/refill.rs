@@ -2,7 +2,7 @@
 //! from an L2 hit or a page walk.
 
 use eeat_tlb::PageTranslation;
-use eeat_types::events::{FixedUnit, ResizableUnit, TranslationEvent};
+use eeat_types::events::{FixedUnit, Observer, ResizableUnit, TranslationEvent};
 use eeat_types::{PageSize, RangeTranslation, VirtAddr};
 
 use crate::pipeline::l2_probe::L2Outcome;
@@ -11,100 +11,144 @@ use crate::simulator::Simulator;
 /// Refills after an L2 hit: the page hit (or a page entry derived from the
 /// range hit) goes to the L1 page structure; a range hit also installs
 /// into the L1-range TLB.
-pub(crate) fn after_l2_hit(sim: &mut Simulator, l2: &L2Outcome, va: VirtAddr, size: PageSize) {
+#[inline]
+pub(crate) fn after_l2_hit<E: Observer>(
+    sim: &mut Simulator,
+    l2: &L2Outcome,
+    va: VirtAddr,
+    size: PageSize,
+    extra: &mut E,
+) {
     if let Some(translation) = l2.page {
-        fill_l1_page(sim, translation);
+        fill_l1_page(sim, translation, extra);
     } else if let Some(rt) = &l2.range {
         // Derive the page-table entry from the range translation
         // (base + offset) and refill the L1 page TLB, as RMM does.
-        fill_l1_page(sim, derive_page_entry(rt, va, size));
+        fill_l1_page(sim, derive_page_entry(rt, va, size), extra);
     }
     if let Some(rt) = l2.range {
         if let Some(l1r) = sim.hierarchy.l1_range.as_mut() {
             l1r.insert(rt);
-            sim.sinks.emit(TranslationEvent::FixedOps {
-                unit: FixedUnit::L1Range,
-                lookups: 0,
-                fills: 1,
-            });
+            sim.sinks.emit(
+                extra,
+                TranslationEvent::FixedOps {
+                    unit: FixedUnit::L1Range,
+                    lookups: 0,
+                    fills: 1,
+                },
+            );
         }
     }
 }
 
 /// Refills after a page walk: the walked entry goes to the L2 page TLB and
 /// the L1 page structure.
-pub(crate) fn after_walk(sim: &mut Simulator, translation: PageTranslation) {
+#[inline]
+pub(crate) fn after_walk<E: Observer>(
+    sim: &mut Simulator,
+    translation: PageTranslation,
+    extra: &mut E,
+) {
     sim.hierarchy.l2_page.insert(translation);
-    sim.sinks.emit(TranslationEvent::FixedOps {
-        unit: FixedUnit::L2Page,
-        lookups: 0,
-        fills: 1,
-    });
-    fill_l1_page(sim, translation);
+    sim.sinks.emit(
+        extra,
+        TranslationEvent::FixedOps {
+            unit: FixedUnit::L2Page,
+            lookups: 0,
+            fills: 1,
+        },
+    );
+    fill_l1_page(sim, translation, extra);
 }
 
 /// Installs a range found by the background range-table walk into both
 /// range TLBs.
-pub(crate) fn after_range_walk(sim: &mut Simulator, rt: RangeTranslation) {
+pub(crate) fn after_range_walk<E: Observer>(
+    sim: &mut Simulator,
+    rt: RangeTranslation,
+    extra: &mut E,
+) {
     if let Some(t) = sim.hierarchy.l2_range.as_mut() {
         t.insert(rt);
-        sim.sinks.emit(TranslationEvent::FixedOps {
-            unit: FixedUnit::L2Range,
-            lookups: 0,
-            fills: 1,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::FixedOps {
+                unit: FixedUnit::L2Range,
+                lookups: 0,
+                fills: 1,
+            },
+        );
     }
     if let Some(t) = sim.hierarchy.l1_range.as_mut() {
         t.insert(rt);
-        sim.sinks.emit(TranslationEvent::FixedOps {
-            unit: FixedUnit::L1Range,
-            lookups: 0,
-            fills: 1,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::FixedOps {
+                unit: FixedUnit::L1Range,
+                lookups: 0,
+                fills: 1,
+            },
+        );
     }
 }
 
 /// Inserts a translation into the L1 page structure for its size.
-fn fill_l1_page(sim: &mut Simulator, translation: PageTranslation) {
+#[inline]
+fn fill_l1_page<E: Observer>(sim: &mut Simulator, translation: PageTranslation, extra: &mut E) {
     if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
         t.insert(translation);
-        sim.sinks.emit(TranslationEvent::Fill {
-            unit: ResizableUnit::L1FullyAssoc,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::Fill {
+                unit: ResizableUnit::L1FullyAssoc,
+            },
+        );
         return;
     }
     match translation.size() {
         PageSize::Size4K => {
             if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
                 t.insert(translation);
-                sim.sinks.emit(TranslationEvent::Fill {
-                    unit: ResizableUnit::L1FourK,
-                });
+                sim.sinks.emit(
+                    extra,
+                    TranslationEvent::Fill {
+                        unit: ResizableUnit::L1FourK,
+                    },
+                );
             }
         }
         PageSize::Size2M => {
             if sim.hierarchy.unified_l1() {
                 if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
                     t.insert(translation);
-                    sim.sinks.emit(TranslationEvent::Fill {
-                        unit: ResizableUnit::L1FourK,
-                    });
+                    sim.sinks.emit(
+                        extra,
+                        TranslationEvent::Fill {
+                            unit: ResizableUnit::L1FourK,
+                        },
+                    );
                 }
             } else if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
                 t.insert(translation);
-                sim.sinks.emit(TranslationEvent::Fill {
-                    unit: ResizableUnit::L1TwoM,
-                });
+                sim.sinks.emit(
+                    extra,
+                    TranslationEvent::Fill {
+                        unit: ResizableUnit::L1TwoM,
+                    },
+                );
             }
         }
         PageSize::Size1G => {
             if let Some(t) = sim.hierarchy.l1_1g.as_mut() {
                 t.insert(translation);
-                sim.sinks.emit(TranslationEvent::FixedOps {
-                    unit: FixedUnit::L1OneG,
-                    lookups: 0,
-                    fills: 1,
-                });
+                sim.sinks.emit(
+                    extra,
+                    TranslationEvent::FixedOps {
+                        unit: FixedUnit::L1OneG,
+                        lookups: 0,
+                        fills: 1,
+                    },
+                );
             }
         }
     }

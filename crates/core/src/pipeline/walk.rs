@@ -2,48 +2,68 @@
 //! background range-table walk under RMM.
 
 use eeat_tlb::PageTranslation;
-use eeat_types::events::{FixedUnit, TranslationEvent};
+use eeat_types::events::{FixedUnit, Observer, TranslationEvent};
 use eeat_types::VirtAddr;
 
+use crate::pipeline::StepCtx;
 use crate::simulator::Simulator;
 
 /// Walks the page table for `va` through the MMU paging-structure caches
 /// and emits the walk's energy events (memory references plus the
 /// per-cache lookup/fill deltas).
-pub(crate) fn translate(sim: &mut Simulator, va: VirtAddr) -> PageTranslation {
+#[inline]
+pub(crate) fn translate<E: Observer>(
+    sim: &mut Simulator,
+    va: VirtAddr,
+    extra: &mut E,
+) -> PageTranslation {
     let before = mmu_ops(sim);
     let walk = sim.walker.walk(sim.address_space.page_table(), va);
     let after = mmu_ops(sim);
-    sim.sinks.emit(TranslationEvent::PageWalk {
-        memory_refs: walk.memory_refs,
-    });
+    sim.sinks.emit(
+        extra,
+        TranslationEvent::PageWalk {
+            memory_refs: walk.memory_refs,
+        },
+    );
     for (unit, (lookups, fills), (prev_lookups, prev_fills)) in [
         (FixedUnit::MmuPde, after[0], before[0]),
         (FixedUnit::MmuPdpte, after[1], before[1]),
         (FixedUnit::MmuPml4, after[2], before[2]),
     ] {
-        sim.sinks.emit(TranslationEvent::FixedOps {
-            unit,
-            lookups: lookups - prev_lookups,
-            fills: fills - prev_fills,
-        });
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::FixedOps {
+                unit,
+                lookups: lookups - prev_lookups,
+                fills: fills - prev_fills,
+            },
+        );
     }
     walk.translation.expect("trace addresses are always mapped")
 }
 
 /// Performs the background range-table walk of RMM (energy only, no
 /// cycles) and installs the found range into the range TLBs.
-pub(crate) fn range_walk_background(sim: &mut Simulator, va: VirtAddr) {
-    if !sim.config.uses_ranges() {
+#[inline]
+pub(crate) fn range_walk_background<E: Observer>(
+    sim: &mut Simulator,
+    ctx: &StepCtx,
+    va: VirtAddr,
+    extra: &mut E,
+) {
+    if !ctx.uses_ranges {
         return;
     }
     // The range-table walk proceeds in the background: no cycles, only
     // energy (paper §5, Performance).
     let (range, refs) = sim.address_space.range_table_mut().walk(va);
-    sim.sinks
-        .emit(TranslationEvent::RangeTableWalk { memory_refs: refs });
+    sim.sinks.emit(
+        extra,
+        TranslationEvent::RangeTableWalk { memory_refs: refs },
+    );
     if let Some(rt) = range {
-        super::refill::after_range_walk(sim, rt);
+        super::refill::after_range_walk(sim, rt, extra);
     }
 }
 

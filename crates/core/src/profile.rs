@@ -1,0 +1,154 @@
+//! Per-stage wall-clock profiling of the translation pipeline.
+//!
+//! The pipeline's [`step`](crate::pipeline::step) is generic over a
+//! [`StageProfiler`]; ordinary runs instantiate the no-op `()` implementation
+//! (zero overhead — the enter/exit calls monomorphize away), while
+//! [`Simulator::run_block_profiled`](crate::Simulator::run_block_profiled)
+//! instruments every stage boundary with a wall clock and returns a
+//! [`StageProfile`].
+//!
+//! Profiled runs pay two `Instant::now()` calls per stage boundary, so a
+//! profiled run's *absolute* throughput is pessimistic; use an unprofiled
+//! run for the headline accesses/sec number and a profiled run only for the
+//! relative per-stage breakdown (this is what the `throughput` bench bin
+//! does).
+
+use std::time::{Duration, Instant};
+
+/// The pipeline stages the throughput harness attributes time to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Parallel probes of every present L1 structure.
+    L1Probe,
+    /// L2 page + range TLB probes on an all-L1 miss.
+    L2Probe,
+    /// Page walks through the MMU caches, plus RMM's background
+    /// range-table walk (including the range refills it performs).
+    Walk,
+    /// Structure refills on the way back from an L2 hit or a page walk.
+    Refill,
+    /// Context-switch flush scheduling and the Lite interval decision.
+    Epoch,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::L1Probe,
+        Stage::L2Probe,
+        Stage::Walk,
+        Stage::Refill,
+        Stage::Epoch,
+    ];
+
+    /// Stable snake_case name, used as the JSON key in `BENCH_throughput.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::L1Probe => "l1_probe",
+            Stage::L2Probe => "l2_probe",
+            Stage::Walk => "walk",
+            Stage::Refill => "refill",
+            Stage::Epoch => "epoch",
+        }
+    }
+}
+
+/// Receives stage enter/exit notifications from the pipeline.
+///
+/// The default methods are no-ops so `impl StageProfiler for ()` costs
+/// nothing when monomorphized.
+pub(crate) trait StageProfiler {
+    /// Called when the pipeline enters `stage`.
+    #[inline]
+    fn enter(&mut self, _stage: Stage) {}
+    /// Called when the pipeline leaves `stage`.
+    #[inline]
+    fn exit(&mut self, _stage: Stage) {}
+}
+
+/// The no-op profiler of ordinary (unprofiled) runs.
+impl StageProfiler for () {}
+
+/// Wall-clock time attributed to each pipeline stage over a profiled run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageProfile {
+    seconds: [f64; 5],
+}
+
+impl StageProfile {
+    /// Seconds spent inside `stage`.
+    pub fn seconds(&self, stage: Stage) -> f64 {
+        self.seconds[stage as usize]
+    }
+
+    /// Total seconds attributed to any stage (excludes loop overhead and
+    /// trace generation, so it is below the run's wall time).
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+}
+
+/// Accumulates wall time per stage. Stages never nest in the pipeline, so a
+/// single "last enter" timestamp suffices.
+pub(crate) struct WallProfiler {
+    entered: Instant,
+    totals: [Duration; 5],
+}
+
+impl WallProfiler {
+    pub(crate) fn new() -> Self {
+        Self {
+            entered: Instant::now(),
+            totals: [Duration::ZERO; 5],
+        }
+    }
+
+    pub(crate) fn finish(self) -> StageProfile {
+        StageProfile {
+            seconds: self.totals.map(|d| d.as_secs_f64()),
+        }
+    }
+}
+
+impl StageProfiler for WallProfiler {
+    #[inline]
+    fn enter(&mut self, _stage: Stage) {
+        self.entered = Instant::now();
+    }
+
+    #[inline]
+    fn exit(&mut self, stage: Stage) {
+        self.totals[stage as usize] += self.entered.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_profiler_compiles_away() {
+        let mut p = ();
+        p.enter(Stage::L1Probe);
+        p.exit(Stage::L1Probe);
+    }
+
+    #[test]
+    fn wall_profiler_accumulates() {
+        let mut p = WallProfiler::new();
+        p.enter(Stage::Walk);
+        p.exit(Stage::Walk);
+        p.enter(Stage::Walk);
+        p.exit(Stage::Walk);
+        let profile = p.finish();
+        assert!(profile.seconds(Stage::Walk) >= 0.0);
+        assert_eq!(profile.seconds(Stage::Refill), 0.0);
+        assert!(profile.total_seconds() >= profile.seconds(Stage::Walk));
+    }
+
+    #[test]
+    fn stage_names_are_stable_json_keys() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["l1_probe", "l2_probe", "walk", "refill", "epoch"]);
+    }
+}

@@ -1,8 +1,6 @@
 //! Simulator construction: access sources, address-space assembly, and the
 //! page-size oracle. The run/result API lives in [`crate::simulator`].
 
-use std::collections::HashMap;
-
 use eeat_energy::{CycleModel, CycleObserver, EnergyModel, EnergyObserver};
 use eeat_os::AddressSpace;
 use eeat_paging::{MmuCaches, PageWalker};
@@ -14,7 +12,7 @@ use crate::hierarchy::TlbHierarchy;
 use crate::lite::LiteController;
 use crate::pipeline::Sinks;
 use crate::predictor::SizePredictor;
-use crate::simulator::Simulator;
+use crate::simulator::{Simulator, SizeOracle};
 use crate::stats::StatsObserver;
 
 /// Where the simulator's accesses come from: a synthetic generator or a
@@ -35,6 +33,23 @@ impl AccessSource {
                 let access = accesses[*position];
                 *position = (*position + 1) % accesses.len();
                 access
+            }
+        }
+    }
+
+    /// Fills `buf` with the next `buf.len()` accesses of the stream —
+    /// identical to `buf.len()` consecutive [`next_access`](Self::next_access)
+    /// calls. Returns the number of accesses written (always `buf.len()`;
+    /// both sources are infinite).
+    pub(crate) fn fill_block(&mut self, buf: &mut [MemAccess]) -> usize {
+        match self {
+            AccessSource::Synthetic(generator) => generator.fill(buf),
+            AccessSource::Replay { accesses, position } => {
+                for slot in buf.iter_mut() {
+                    *slot = accesses[*position];
+                    *position = (*position + 1) % accesses.len();
+                }
+                buf.len()
             }
         }
     }
@@ -125,7 +140,7 @@ fn assemble_with_source(
 
     // Build the page-size oracle: one entry per 2 MiB-aligned region of
     // every VMA (sizes are uniform within such regions by construction).
-    let mut size_oracle = HashMap::new();
+    let mut size_pairs = Vec::new();
     for vma in address_space.vmas() {
         let start = vma.range().start().raw();
         let end = vma.range().end().raw();
@@ -136,10 +151,11 @@ fn assemble_with_source(
                 .translate(VirtAddr::new(at))
                 .expect("VMAs are fully mapped")
                 .size();
-            size_oracle.insert(at >> 21, size);
+            size_pairs.push((at >> 21, size));
             at = (at & !((2 << 20) - 1)) + (2 << 20);
         }
     }
+    let size_oracle = SizeOracle::new(size_pairs);
 
     let sinks = Sinks {
         stats: StatsObserver::new(),
@@ -148,7 +164,6 @@ fn assemble_with_source(
             hierarchy.l1_1g().map(|t| t.active_entries()),
         ),
         cycles: CycleObserver::new(CycleModel::sandy_bridge()),
-        timeline: None,
     };
 
     Simulator {
@@ -165,5 +180,7 @@ fn assemble_with_source(
         flush_interval: None,
         next_flush_at: u64::MAX,
         flushes: 0,
+        block_buf: Vec::new(),
+        block_pos: 0,
     }
 }

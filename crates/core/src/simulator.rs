@@ -3,21 +3,108 @@
 //! The per-access logic lives in [`crate::pipeline`]; this type owns the
 //! simulation state (structures, workload source, Lite controller) and the
 //! accounting sinks, and exposes the run/result API.
-
-use std::collections::HashMap;
+//!
+//! # Hot loop & batching
+//!
+//! The public [`run`](Simulator::run) drives the pipeline over *blocks* of
+//! accesses: the workload source fills a reusable caller-owned buffer
+//! ([`TraceGenerator::fill`](eeat_workloads::TraceGenerator::fill) /
+//! trace-replay copy) and the pipeline then consumes it access by access.
+//! Per-run invariants are hoisted into a [`StepCtx`] once, and the
+//! unprofiled/untraced instantiations of the generic pipeline monomorphize
+//! the optional observer and profiler away. Block state survives across
+//! `run` calls: leftover buffered accesses are consumed first, which is
+//! sound because the access stream is a pure function of the source's
+//! state, independent of simulation state.
+//!
+//! [`run_per_access`](Simulator::run_per_access) is the unbatched reference
+//! implementation used by the equivalence tests.
 
 use eeat_energy::{CycleBreakdown, EnergyBreakdown, EnergyModel, LeakageInputs};
 use eeat_os::AddressSpace;
 use eeat_paging::PageWalker;
-use eeat_types::{PageSize, VirtAddr};
+use eeat_types::events::Observer;
+use eeat_types::{MemAccess, PageSize, VirtAddr};
 
 use crate::config::Config;
 use crate::hierarchy::TlbHierarchy;
 use crate::lite::LiteController;
-use crate::pipeline::{self, epoch, Sinks};
+use crate::pipeline::{self, epoch, Sinks, StepCtx};
 use crate::predictor::SizePredictor;
+use crate::profile::{StageProfile, StageProfiler, WallProfiler};
 use crate::setup::AccessSource;
 use crate::stats::{SimStats, Timeline, TimelineObserver};
+
+/// Default number of accesses generated per block by [`Simulator::run`].
+///
+/// Large enough to amortize the per-block dispatch, small enough that the
+/// buffer (24 KiB) stays cache-resident.
+pub const DEFAULT_BLOCK: usize = 1024;
+
+/// The actual page size per 2 MiB-aligned virtual region — the simulator's
+/// `pagemap` (page sizes are uniform per such region in the OS model).
+///
+/// Stored as two parallel sorted vectors and queried by binary search: the
+/// hot unified-L1 path reads it per access, and a flat sorted layout both
+/// probes faster than a `HashMap` at this size (a few hundred regions) and
+/// keeps iteration order deterministic for free.
+pub(crate) struct SizeOracle {
+    keys: Vec<u64>,
+    sizes: Vec<PageSize>,
+}
+
+impl SizeOracle {
+    /// Builds the oracle from `(region key, size)` pairs in insertion
+    /// order; on duplicate keys the last write wins (`HashMap::insert`
+    /// semantics).
+    pub(crate) fn new(mut pairs: Vec<(u64, PageSize)>) -> Self {
+        // Stable sort preserves insertion order within equal keys.
+        pairs.sort_by_key(|&(key, _)| key);
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut sizes = Vec::with_capacity(pairs.len());
+        for (key, size) in pairs {
+            if keys.last() == Some(&key) {
+                *sizes.last_mut().expect("parallel to keys") = size;
+            } else {
+                keys.push(key);
+                sizes.push(size);
+            }
+        }
+        Self { keys, sizes }
+    }
+
+    /// The size of the page backing `va`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `va` falls outside every mapped region — workload traces
+    /// only touch mapped memory.
+    #[inline]
+    pub(crate) fn get(&self, va: VirtAddr) -> PageSize {
+        match self.keys.binary_search(&(va.raw() >> 21)) {
+            Ok(i) => self.sizes[i],
+            Err(_) => panic!("trace addresses are always mapped"),
+        }
+    }
+
+    /// Rewrites the size of an existing region (huge-page demotion).
+    fn set(&mut self, key: u64, size: PageSize) {
+        let i = self
+            .keys
+            .binary_search(&key)
+            .expect("demotion targets a mapped region");
+        self.sizes[i] = size;
+    }
+
+    /// Region keys currently backed by 2 MiB pages, ascending.
+    fn huge_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.sizes)
+            .filter(|&(_, &size)| size == PageSize::Size2M)
+            .map(|(&key, _)| key)
+    }
+}
 
 /// The result of a simulation run.
 #[derive(Clone, Debug)]
@@ -57,9 +144,8 @@ pub struct Simulator {
     pub(crate) lite: Option<LiteController>,
     /// Realizable TLB_Pred: predicts the index size of unified-L1 lookups.
     pub(crate) predictor: Option<SizePredictor>,
-    /// Actual page size per 2 MiB-aligned virtual region — the simulator's
-    /// `pagemap` (page sizes are uniform per region in the OS model).
-    pub(crate) size_oracle: HashMap<u64, PageSize>,
+    /// Actual page size per 2 MiB-aligned virtual region.
+    pub(crate) size_oracle: SizeOracle,
     /// Accounting sinks fed by the pipeline's event stream.
     pub(crate) sinks: Sinks,
     /// Instructions simulated (the pipeline's clock).
@@ -69,6 +155,10 @@ pub struct Simulator {
     pub(crate) flush_interval: Option<u64>,
     pub(crate) next_flush_at: u64,
     pub(crate) flushes: u64,
+    /// Reusable block of generated accesses; `block_pos..block_buf.len()`
+    /// are pending (leftovers survive across `run` calls).
+    pub(crate) block_buf: Vec<MemAccess>,
+    pub(crate) block_pos: usize,
 }
 
 impl Simulator {
@@ -131,25 +221,115 @@ impl Simulator {
     /// The actual page size backing `va` (the simulator's `pagemap` query).
     #[inline]
     pub(crate) fn actual_size(&self, va: VirtAddr) -> PageSize {
-        self.size_oracle
-            .get(&(va.raw() >> 21))
-            .copied()
-            .expect("trace addresses are always mapped")
+        self.size_oracle.get(va)
+    }
+
+    /// The per-run invariant step context (structure presence, monitor
+    /// slots, range usage) — all fixed after construction.
+    fn step_ctx(&self) -> StepCtx {
+        StepCtx {
+            unified: self.hierarchy.unified_l1(),
+            monitors: self.hierarchy.monitor_indices(),
+            uses_ranges: self.config.uses_ranges(),
+            has_l1_fa: self.hierarchy.l1_fa.is_some(),
+        }
+    }
+
+    /// Refills the block buffer with the next `block` accesses.
+    fn refill_block(&mut self, block: usize) {
+        debug_assert!(block > 0, "block size must be non-zero");
+        self.block_buf
+            .resize(block, MemAccess::load(VirtAddr::new(0)));
+        let filled = self.source.fill_block(&mut self.block_buf);
+        self.block_buf.truncate(filled);
+        self.block_pos = 0;
+    }
+
+    /// The batched run loop shared by every public run flavour.
+    fn run_inner<E: Observer, P: StageProfiler>(
+        &mut self,
+        instructions: u64,
+        block: usize,
+        extra: &mut E,
+        profiler: &mut P,
+    ) {
+        let ctx = self.step_ctx();
+        let target = self.clock.saturating_add(instructions);
+        while self.clock < target {
+            if self.block_pos == self.block_buf.len() {
+                self.refill_block(block);
+            }
+            // Consume buffered accesses until the buffer drains or the
+            // instruction target is reached (leftovers persist).
+            while self.block_pos < self.block_buf.len() && self.clock < target {
+                let access = self.block_buf[self.block_pos];
+                self.block_pos += 1;
+                pipeline::step(self, &ctx, access, extra, profiler);
+            }
+        }
     }
 
     /// Runs until at least `instructions` more instructions have executed;
     /// returns cumulative results.
     pub fn run(&mut self, instructions: u64) -> RunResult {
-        let target = self.clock + instructions;
+        self.run_block(instructions, DEFAULT_BLOCK)
+    }
+
+    /// Like [`run`](Self::run) with an explicit block size (accesses
+    /// generated per buffer refill). Results are bit-identical for every
+    /// block size; see the crate's equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is zero.
+    pub fn run_block(&mut self, instructions: u64, block: usize) -> RunResult {
+        assert!(block > 0, "block size must be non-zero");
+        self.run_inner(instructions, block, &mut (), &mut ());
+        self.result_with(&mut ())
+    }
+
+    /// The unbatched reference implementation of [`run`](Self::run): pulls
+    /// one access at a time from the source. Kept public so the equivalence
+    /// tests (and any debugging session) can compare it against the batched
+    /// loop; results are bit-identical.
+    pub fn run_per_access(&mut self, instructions: u64) -> RunResult {
+        let ctx = self.step_ctx();
+        let target = self.clock.saturating_add(instructions);
         while self.clock < target {
-            let access = self.source.next_access();
-            pipeline::step(self, access);
+            // Drain any block leftovers first so mixing run flavours on one
+            // simulator never reorders the access stream.
+            let access = if self.block_pos < self.block_buf.len() {
+                let access = self.block_buf[self.block_pos];
+                self.block_pos += 1;
+                access
+            } else {
+                self.source.next_access()
+            };
+            pipeline::step(self, &ctx, access, &mut (), &mut ());
         }
-        self.result()
+        self.result_with(&mut ())
+    }
+
+    /// Like [`run_block`](Self::run_block) while attributing wall-clock
+    /// time to each pipeline stage. The profiling clocks add overhead, so
+    /// use an unprofiled run for headline throughput and this only for the
+    /// relative per-stage breakdown.
+    pub fn run_block_profiled(
+        &mut self,
+        instructions: u64,
+        block: usize,
+    ) -> (RunResult, StageProfile) {
+        assert!(block > 0, "block size must be non-zero");
+        let mut profiler = WallProfiler::new();
+        self.run_inner(instructions, block, &mut (), &mut profiler);
+        (self.result_with(&mut ()), profiler.finish())
     }
 
     /// Runs like [`run`](Self::run) while sampling an MPKI timeline every
     /// `bucket_instructions` (Figure 4).
+    ///
+    /// The timeline observer rides the pipeline's generic observer slot, so
+    /// runs without a timeline pay nothing for the capability.
     pub fn run_with_timeline(
         &mut self,
         instructions: u64,
@@ -157,19 +337,10 @@ impl Simulator {
     ) -> (RunResult, Timeline) {
         assert!(bucket_instructions > 0, "bucket must be non-zero");
         let initial_ways = self.hierarchy.l1_4k().map(|t| t.active_ways()).unwrap_or(0);
-        self.sinks.timeline = Some(TimelineObserver::new(
-            self.clock,
-            bucket_instructions,
-            initial_ways,
-        ));
-        let result = self.run(instructions);
-        let timeline = self
-            .sinks
-            .timeline
-            .take()
-            .expect("installed above")
-            .into_timeline();
-        (result, timeline)
+        let mut timeline = TimelineObserver::new(self.clock, bucket_instructions, initial_ways);
+        self.run_inner(instructions, DEFAULT_BLOCK, &mut timeline, &mut ());
+        let result = self.result_with(&mut timeline);
+        (result, timeline.into_timeline())
     }
 
     /// Static (leakage) energy of the translation structures over the run —
@@ -209,21 +380,15 @@ impl Simulator {
     /// The resulting miss burst is the event Lite's degradation guard
     /// responds to by re-activating all ways (paper §4.2.2).
     pub fn break_huge_pages(&mut self, max_pages: u64) -> u64 {
-        // Lowest-addressed huge pages first, so victim choice does not
-        // depend on HashMap iteration order.
-        let mut victims: Vec<u64> = self
-            .size_oracle
-            .iter()
-            .filter(|&(_, &size)| size == PageSize::Size2M)
-            .map(|(&key, _)| key)
-            .collect();
-        victims.sort_unstable();
+        // Lowest-addressed huge pages first; the oracle's key lane is
+        // already sorted ascending, so victim choice is deterministic.
+        let mut victims: Vec<u64> = self.size_oracle.huge_keys().collect();
         victims.truncate(max_pages as usize);
         let mut broken = 0;
         for key in victims {
             let va = VirtAddr::new(key << 21);
             if self.address_space.break_huge_page(va).is_some() {
-                self.size_oracle.insert(key, PageSize::Size4K);
+                self.size_oracle.set(key, PageSize::Size4K);
                 // invlpg semantics: only the demoted mapping (and its
                 // cached paging-structure entries) is shot down; unrelated
                 // translations survive.
@@ -237,9 +402,9 @@ impl Simulator {
 
     /// Assembles the cumulative result: settles pending resizable-L1 energy
     /// at the current sizes and snapshots every sink.
-    fn result(&mut self) -> RunResult {
+    fn result_with<E: Observer>(&mut self, extra: &mut E) -> RunResult {
         let settle = epoch::settle_event(&self.hierarchy);
-        self.sinks.emit(settle);
+        self.sinks.emit(extra, settle);
         RunResult {
             stats: *self.sinks.stats.stats(),
             energy: self.sinks.energy.snapshot(),

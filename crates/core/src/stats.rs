@@ -192,6 +192,7 @@ impl StatsObserver {
 }
 
 impl Observer for StatsObserver {
+    #[inline(always)]
     fn on_event(&mut self, event: &TranslationEvent) {
         let s = &mut self.stats;
         match *event {
@@ -284,6 +285,7 @@ impl TimelineObserver {
 }
 
 impl Observer for TimelineObserver {
+    #[inline]
     fn on_event(&mut self, event: &TranslationEvent) {
         match *event {
             TranslationEvent::Access { instruction_gap } => {

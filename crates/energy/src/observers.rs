@@ -175,6 +175,7 @@ impl EnergyObserver {
 }
 
 impl Observer for EnergyObserver {
+    #[inline(always)]
     fn on_event(&mut self, event: &TranslationEvent) {
         match *event {
             TranslationEvent::Probe { unit, .. } | TranslationEvent::SecondProbe { unit } => {
@@ -233,6 +234,7 @@ impl CycleObserver {
 }
 
 impl Observer for CycleObserver {
+    #[inline(always)]
     fn on_event(&mut self, event: &TranslationEvent) {
         match event {
             TranslationEvent::L1Miss => self.l1_misses += 1,

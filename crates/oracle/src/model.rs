@@ -77,8 +77,13 @@ pub struct OraclePageTlb {
 
 impl OraclePageTlb {
     /// Creates a model with `entries` slots and `ways` associativity.
+    ///
+    /// Shares the production rank-width bound: at most
+    /// [`eeat_tlb::MAX_WAYS`] ways, so the fuzzer can never build a
+    /// reference structure the production constructor rejects.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(ways > 0 && entries.is_multiple_of(ways));
+        assert!(ways <= eeat_tlb::MAX_WAYS, "oracle mirrors MAX_WAYS");
         Self {
             sets: vec![Vec::new(); entries / ways],
             ways,
@@ -281,8 +286,12 @@ pub struct OracleRangeTlb {
 
 impl OracleRangeTlb {
     /// Creates a model with `capacity` slots.
+    ///
+    /// Bounded by [`eeat_tlb::MAX_WAYS`] like the production
+    /// [`eeat_tlb::RangeTlb`] (full associativity: every slot is a way).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        assert!(capacity <= eeat_tlb::MAX_WAYS, "oracle mirrors MAX_WAYS");
         Self {
             entries: Vec::new(),
             capacity,

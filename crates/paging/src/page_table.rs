@@ -1,6 +1,5 @@
 //! A software model of the x86-64 four-level radix page table.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use eeat_tlb::PageTranslation;
@@ -35,9 +34,20 @@ impl std::error::Error for MapError {}
 
 /// One node of the radix tree: 512 slots, each empty, a terminal mapping, or
 /// a pointer to the next-level table.
-#[derive(Debug, Default)]
+///
+/// Slots are a direct-indexed array, like the hardware structure it models:
+/// a level index is 9 bits, so a walk step is a single load.
+#[derive(Debug)]
 struct Node {
-    slots: HashMap<u64, Slot>,
+    slots: Box<[Option<Slot>; 512]>,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Self {
+            slots: Box::new(std::array::from_fn(|_| None)),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -98,11 +108,8 @@ impl PageTable {
         let target_level = translation.size().mapping_level();
         let mut node = &mut self.root;
         for level in (target_level + 1..=4).rev() {
-            let idx = level_index(va, level);
-            let slot = node
-                .slots
-                .entry(idx)
-                .or_insert_with(|| Slot::Table(Box::default()));
+            let idx = level_index(va, level) as usize;
+            let slot = node.slots[idx].get_or_insert_with(|| Slot::Table(Box::default()));
             node = match slot {
                 Slot::Table(next) => next,
                 Slot::Page(existing) => {
@@ -112,10 +119,10 @@ impl PageTable {
                 }
             };
         }
-        let idx = level_index(va, target_level);
-        match node.slots.get(&idx) {
+        let idx = level_index(va, target_level) as usize;
+        match &node.slots[idx] {
             None => {
-                node.slots.insert(idx, Slot::Page(translation));
+                node.slots[idx] = Some(Slot::Page(translation));
                 self.mapped_pages += 1;
                 Ok(())
             }
@@ -140,11 +147,11 @@ impl PageTable {
     }
 
     fn unmap_rec(node: &mut Node, path: &[u64], depth: usize) -> Option<PageTranslation> {
-        let idx = path[depth];
-        match node.slots.get_mut(&idx)? {
+        let idx = path[depth] as usize;
+        match node.slots[idx].as_mut()? {
             Slot::Page(t) => {
                 let t = *t;
-                node.slots.remove(&idx);
+                node.slots[idx] = None;
                 Some(t)
             }
             Slot::Table(next) => Self::unmap_rec(next, path, depth + 1),
@@ -156,7 +163,7 @@ impl PageTable {
     pub fn translate(&self, va: VirtAddr) -> Option<PageTranslation> {
         let mut node = &self.root;
         for level in (1..=4u32).rev() {
-            match node.slots.get(&level_index(va, level))? {
+            match node.slots[level_index(va, level) as usize].as_ref()? {
                 Slot::Page(t) => {
                     debug_assert!(t.covers(va));
                     return Some(*t);

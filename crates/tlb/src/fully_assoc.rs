@@ -39,7 +39,9 @@ impl FullyAssocTlb {
     ///
     /// # Panics
     ///
-    /// Panics unless `entries` is a power of two no larger than 128.
+    /// Panics unless `entries` is a power of two no larger than
+    /// [`MAX_WAYS`](crate::MAX_WAYS) (every slot is a way of the single
+    /// set, so the way bound is the entry bound).
     pub fn new(name: &'static str, entries: usize, default_size: PageSize) -> Self {
         Self {
             inner: SetAssocTlb::new(name, entries, entries, default_size),

@@ -45,5 +45,5 @@ mod stats;
 pub use entry::{Hit, PageTranslation};
 pub use fully_assoc::FullyAssocTlb;
 pub use range_tlb::RangeTlb;
-pub use set_assoc::SetAssocTlb;
+pub use set_assoc::{SetAssocTlb, MAX_WAYS};
 pub use stats::TlbStats;

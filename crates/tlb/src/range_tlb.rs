@@ -4,6 +4,7 @@ use core::fmt;
 
 use eeat_types::{RangeTranslation, VirtAddr, VirtRange};
 
+use crate::set_assoc::MAX_WAYS;
 use crate::stats::TlbStats;
 
 /// A fully associative cache of [`RangeTranslation`] entries.
@@ -16,6 +17,16 @@ use crate::stats::TlbStats;
 /// ratios under eager paging.
 ///
 /// Entries are replaced with true LRU.
+///
+/// # Scan layout
+///
+/// Besides the authoritative slot array, the structure maintains a scan
+/// lane of `(base, end, slot)` triples sorted by range base, rebuilt on the
+/// cold mutation paths (insert / invalidate / flush). Lookups walk the
+/// sorted lane and stop at the first base above the probed address; since
+/// the range table keeps ranges disjoint, at most one entry can contain any
+/// address, so the sorted walk returns exactly what the slot-order walk
+/// would.
 ///
 /// # Examples
 ///
@@ -39,6 +50,10 @@ pub struct RangeTlb {
     entries: Vec<Option<RangeTranslation>>,
     /// `recency[i]` is the LRU rank of slot `i` (0 = MRU).
     recency: Vec<u8>,
+    /// Valid entries as `(base, end, slot)` sorted by base — the lane the
+    /// lookup scans. Rebuilt by [`rebuild_scan`](Self::rebuild_scan) after
+    /// any content mutation.
+    scan: Vec<(u64, u64, u8)>,
     stats: TlbStats,
 }
 
@@ -47,17 +62,19 @@ impl RangeTlb {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is zero or above 128.
+    /// Panics if `entries` is zero or above
+    /// [`MAX_WAYS`](crate::MAX_WAYS).
     pub fn new(name: &'static str, entries: usize) -> Self {
         assert!(entries > 0, "a range TLB needs at least one entry");
         assert!(
-            entries <= 128,
-            "rank counters are u8; entries above 128 unsupported"
+            entries <= MAX_WAYS,
+            "entries above MAX_WAYS ({MAX_WAYS}) unsupported: rank counters are u8"
         );
         Self {
             name,
             entries: vec![None; entries],
             recency: (0..entries).map(|i| i as u8).collect(),
+            scan: Vec::with_capacity(entries),
             stats: TlbStats::new(),
         }
     }
@@ -83,15 +100,21 @@ impl RangeTlb {
     }
 
     /// Looks up the range containing `va`; a hit is promoted to MRU.
+    #[inline]
     pub fn lookup(&mut self, va: VirtAddr) -> Option<RangeTranslation> {
-        for slot in 0..self.entries.len() {
-            if let Some(rt) = self.entries[slot] {
-                if rt.virt().contains(va) {
-                    let rank = self.recency[slot];
-                    self.touch(slot, rank);
-                    self.stats.record_hit();
-                    return Some(rt);
-                }
+        let raw = va.raw();
+        for i in 0..self.scan.len() {
+            let (base, end, slot) = self.scan[i];
+            if base > raw {
+                break; // sorted by base: no later entry can contain va
+            }
+            if raw < end {
+                let slot = slot as usize;
+                let rt = self.entries[slot].expect("scan lane points at valid slots");
+                let rank = self.recency[slot];
+                self.touch(slot, rank);
+                self.stats.record_hit();
+                return Some(rt);
             }
         }
         self.stats.record_miss();
@@ -100,12 +123,28 @@ impl RangeTlb {
 
     /// Probes for the range containing `va` without disturbing LRU state or
     /// counters.
+    #[inline]
     pub fn probe(&self, va: VirtAddr) -> Option<RangeTranslation> {
-        self.entries
+        let raw = va.raw();
+        self.scan
             .iter()
-            .flatten()
-            .copied()
-            .find(|rt| rt.virt().contains(va))
+            .take_while(|&&(base, _, _)| base <= raw)
+            .find(|&&(_, end, _)| raw < end)
+            .map(|&(_, _, slot)| self.entries[slot as usize].expect("valid slot"))
+    }
+
+    /// Rebuilds the sorted scan lane from the slot array. Called on the cold
+    /// mutation paths; bases are unique (ranges are disjoint), so the
+    /// unstable sort is deterministic.
+    fn rebuild_scan(&mut self) {
+        self.scan.clear();
+        for (slot, entry) in self.entries.iter().enumerate() {
+            if let Some(rt) = entry {
+                self.scan
+                    .push((rt.virt().start().raw(), rt.virt().end().raw(), slot as u8));
+            }
+        }
+        self.scan.sort_unstable_by_key(|&(base, _, _)| base);
     }
 
     /// Inserts `translation`, evicting the LRU entry when full.
@@ -135,6 +174,7 @@ impl RangeTlb {
         self.entries[slot] = Some(translation);
         let rank = self.recency[slot];
         self.touch(slot, rank);
+        self.rebuild_scan();
         self.stats.record_fill();
     }
 
@@ -183,6 +223,9 @@ impl RangeTlb {
             self.recency[slot] = (n - 1) as u8;
             removed += 1;
         }
+        if removed > 0 {
+            self.rebuild_scan();
+        }
         self.stats.record_invalidations(removed);
         removed
     }
@@ -195,11 +238,42 @@ impl RangeTlb {
             *e = None;
             self.recency[i] = i as u8;
         }
+        self.scan.clear();
     }
 
     /// Number of valid entries currently held.
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Checks internal invariants; meant for tests and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recency ranks are not a permutation of `0..capacity`,
+    /// or the sorted scan lane disagrees with the slot array.
+    pub fn assert_invariants(&self) {
+        let n = self.entries.len();
+        let mut seen = vec![false; n];
+        for &rank in &self.recency {
+            let rank = rank as usize;
+            assert!(rank < n, "rank out of range");
+            assert!(!seen[rank], "duplicate rank");
+            seen[rank] = true;
+        }
+        assert_eq!(
+            self.scan.len(),
+            self.occupancy(),
+            "scan lane covers every valid slot"
+        );
+        for (i, &(base, end, slot)) in self.scan.iter().enumerate() {
+            let rt = self.entries[slot as usize].expect("scan lane points at a valid slot");
+            assert_eq!(base, rt.virt().start().raw(), "stale scan base");
+            assert_eq!(end, rt.virt().end().raw(), "stale scan end");
+            if i > 0 {
+                assert!(self.scan[i - 1].0 < base, "scan lane not sorted by base");
+            }
+        }
     }
 }
 
@@ -322,5 +396,43 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = RangeTlb::new("t", 0);
+    }
+
+    #[test]
+    fn max_ways_boundary_accepted() {
+        use crate::MAX_WAYS;
+        let mut tlb = RangeTlb::new("t", MAX_WAYS);
+        for i in 0..MAX_WAYS as u64 {
+            tlb.insert(rt(16 * i, 1, 1000 + i));
+        }
+        assert_eq!(tlb.occupancy(), MAX_WAYS);
+        // Oldest entry is LRU; one more insert evicts it.
+        tlb.insert(rt(16 * MAX_WAYS as u64, 1, 9999));
+        assert!(tlb.probe(VirtAddr::new(0)).is_none());
+        assert_eq!(tlb.occupancy(), MAX_WAYS);
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_WAYS")]
+    fn above_max_ways_rejected() {
+        let _ = RangeTlb::new("t", crate::MAX_WAYS + 1);
+    }
+
+    #[test]
+    fn scan_lane_tracks_mutations() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.insert(rt(32, 16, 200));
+        tlb.insert(rt(0, 16, 100));
+        tlb.assert_invariants();
+        // Lookup in the middle range works through the sorted lane.
+        assert!(tlb.lookup(VirtAddr::new(40 << 20)).is_some());
+        tlb.invalidate(VirtAddr::new(40 << 20));
+        tlb.assert_invariants();
+        assert!(tlb.lookup(VirtAddr::new(40 << 20)).is_none());
+        assert!(tlb.lookup(VirtAddr::new(8 << 20)).is_some());
+        tlb.flush();
+        tlb.assert_invariants();
+        assert!(tlb.lookup(VirtAddr::new(8 << 20)).is_none());
     }
 }

@@ -2,10 +2,61 @@
 
 use core::fmt;
 
-use eeat_types::{PageSize, VirtAddr, VirtRange};
+use eeat_types::{PageSize, Pfn, VirtAddr, VirtRange, Vpn};
 
 use crate::entry::{Hit, PageTranslation};
 use crate::stats::TlbStats;
+
+/// Maximum physical associativity of a [`SetAssocTlb`] — and, since a
+/// fully associative structure is a single set whose every slot is a way,
+/// also the maximum entry count of [`FullyAssocTlb`](crate::FullyAssocTlb)
+/// and [`RangeTlb`](crate::RangeTlb).
+///
+/// LRU recency ranks are stored as one `u8` per slot, holding the
+/// permutation `0..active_ways` of each set. 128 is the largest power of
+/// two that leaves the upper half of the `u8` range as headroom for debug
+/// sentinels and keeps the rank-compaction arithmetic trivially
+/// overflow-free; it is far above any hardware TLB associativity (the
+/// paper's largest structure is the 512-entry 4-way L2). The differential
+/// oracle models in `eeat-oracle` mirror this bound so the fuzzer cannot
+/// construct a reference structure the production code rejects.
+pub const MAX_WAYS: usize = 128;
+
+/// Tag value of an empty slot. Valid tags encode the page-size code in
+/// their two low bits (`0..=2`), so `u64::MAX` (low bits `0b11`) can never
+/// collide with a real tag.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Packs a size-aligned VPN and its page size into one comparable word:
+/// `(vpn << 2) | size_code`. x86-64 VPNs fit 45 bits (57-bit VA space), so
+/// the shift cannot overflow.
+#[inline]
+fn encode_tag(vpn: Vpn, size: PageSize) -> u64 {
+    let code = match size {
+        PageSize::Size4K => 0u64,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    };
+    debug_assert!(vpn.raw() < (1 << 62), "vpn too large to tag-encode");
+    (vpn.raw() << 2) | code
+}
+
+/// The tag a lookup of `va` at `size` compares against.
+#[inline]
+fn lookup_tag(va: VirtAddr, size: PageSize) -> u64 {
+    encode_tag(va.vpn().align_down(size), size)
+}
+
+/// Recovers the page size from a valid tag's low bits.
+#[inline]
+fn tag_size(tag: u64) -> PageSize {
+    match tag & 3 {
+        0 => PageSize::Size4K,
+        1 => PageSize::Size2M,
+        2 => PageSize::Size1G,
+        _ => unreachable!("invalid slots are filtered before decoding"),
+    }
+}
 
 /// A set-associative page TLB with per-set true-LRU replacement and
 /// Albonesi-style *way-disabling*.
@@ -19,6 +70,16 @@ use crate::stats::TlbStats;
 /// Multiple page sizes may coexist in one structure (the unified L2 TLB and
 /// the TLB_PP organization); the lookup is then indexed by the actual page
 /// size of the reference, modelling a perfect page-size predictor.
+///
+/// # Storage layout
+///
+/// The slots are held structure-of-arrays: a packed `u64` tag lane (the
+/// size-aligned VPN fused with a 2-bit size code — one comparison replaces
+/// the `size() == size && covers(va)` pair), a `u8` recency lane, and a
+/// payload lane holding the PFNs. A probe therefore scans a contiguous run
+/// of at most `active_ways` tag words and touches the payload only on a
+/// hit, which is what makes the simulator's hot loop memory-bound on the
+/// trace, not on the TLB model.
 ///
 /// # Examples
 ///
@@ -38,11 +99,15 @@ use crate::stats::TlbStats;
 #[derive(Clone, Debug)]
 pub struct SetAssocTlb {
     name: &'static str,
-    entries: Vec<Option<PageTranslation>>,
+    /// Packed tag lane: `encode_tag(vpn, size)` per slot, [`INVALID_TAG`]
+    /// when empty. Scanned on every probe.
+    tags: Vec<u64>,
     /// `recency[i]` is the LRU rank of slot `i` among the active ways of its
     /// set: 0 = MRU … `active_ways - 1` = LRU. Values of inactive ways are
     /// meaningless.
     recency: Vec<u8>,
+    /// Payload lane: raw PFN per slot, read only after a tag match.
+    pfns: Vec<u64>,
     sets: usize,
     ways: usize,
     active_ways: usize,
@@ -59,16 +124,16 @@ impl SetAssocTlb {
     ///
     /// # Panics
     ///
-    /// Panics unless `ways` and `entries / ways` are non-zero powers of two
-    /// and `entries` is a multiple of `ways`.
+    /// Panics unless `ways` and `entries / ways` are non-zero powers of two,
+    /// `entries` is a multiple of `ways`, and `ways <= `[`MAX_WAYS`].
     pub fn new(name: &'static str, entries: usize, ways: usize, default_size: PageSize) -> Self {
         assert!(
             ways.is_power_of_two() && ways > 0,
             "ways must be a power of two"
         );
         assert!(
-            ways <= 128,
-            "rank counters are u8; ways above 128 unsupported"
+            ways <= MAX_WAYS,
+            "ways above MAX_WAYS ({MAX_WAYS}) unsupported: rank counters are u8"
         );
         assert!(
             entries.is_multiple_of(ways),
@@ -81,8 +146,9 @@ impl SetAssocTlb {
         );
         Self {
             name,
-            entries: vec![None; entries],
+            tags: vec![INVALID_TAG; entries],
             recency: (0..entries).map(|i| (i % ways) as u8).collect(),
+            pfns: vec![0; entries],
             sets,
             ways,
             active_ways: ways,
@@ -98,7 +164,7 @@ impl SetAssocTlb {
 
     /// Total number of slots (active or not).
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
     /// Number of sets (constant across resizing).
@@ -141,6 +207,20 @@ impl SetAssocTlb {
         ((va.raw() >> size.shift()) as usize) & (self.sets - 1)
     }
 
+    /// Reconstructs the translation held in `slot`, if any.
+    #[inline]
+    fn slot_translation(&self, slot: usize) -> Option<PageTranslation> {
+        let tag = self.tags[slot];
+        if tag == INVALID_TAG {
+            return None;
+        }
+        Some(PageTranslation::new(
+            Vpn::new(tag >> 2),
+            Pfn::new(self.pfns[slot]),
+            tag_size(tag),
+        ))
+    }
+
     /// Looks up `va` assuming the structure's default page size.
     ///
     /// On a hit the entry is promoted to MRU and its pre-promotion recency
@@ -153,21 +233,25 @@ impl SetAssocTlb {
     /// Looks up `va` as a reference to a page of `size` (mixed-size
     /// structures are indexed by the actual page size — the perfect
     /// prediction assumption of TLB_PP).
+    #[inline]
     pub fn lookup_for_size(&mut self, va: VirtAddr, size: PageSize) -> Option<Hit> {
+        let tag = lookup_tag(va, size);
         let base = self.set_index(va, size) * self.ways;
-        for way in 0..self.active_ways {
+        // One bounds check per lane instead of one per way probed.
+        let set_tags = &self.tags[base..base + self.active_ways];
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
             let slot = base + way;
-            if let Some(entry) = self.entries[slot] {
-                if entry.size() == size && entry.covers(va) {
-                    let rank = self.recency[slot];
-                    self.touch(base, slot, rank);
-                    self.stats.record_hit();
-                    return Some(Hit {
-                        translation: entry,
-                        rank,
-                    });
-                }
-            }
+            let rank = self.recency[slot];
+            self.touch(base, slot, rank);
+            self.stats.record_hit();
+            return Some(Hit {
+                translation: PageTranslation::new(
+                    Vpn::new(tag >> 2),
+                    Pfn::new(self.pfns[slot]),
+                    size,
+                ),
+                rank,
+            });
         }
         self.stats.record_miss();
         None
@@ -181,22 +265,34 @@ impl SetAssocTlb {
     ///
     /// Panics when the structure has more than one set: a set-associative
     /// lookup cannot be size-agnostic (the index depends on the size).
+    #[inline]
     pub fn lookup_any_size(&mut self, va: VirtAddr) -> Option<Hit> {
         assert_eq!(
             self.sets, 1,
             "size-agnostic lookup requires full associativity"
         );
+        // An entry of size `s` covers `va` exactly when its tag equals the
+        // size-`s` lookup tag, so three precomputed candidates cover every
+        // page size in a single pass over the tag lane.
+        let candidates = [
+            lookup_tag(va, PageSize::Size4K),
+            lookup_tag(va, PageSize::Size2M),
+            lookup_tag(va, PageSize::Size1G),
+        ];
         for way in 0..self.active_ways {
-            if let Some(entry) = self.entries[way] {
-                if entry.covers(va) {
-                    let rank = self.recency[way];
-                    self.touch(0, way, rank);
-                    self.stats.record_hit();
-                    return Some(Hit {
-                        translation: entry,
-                        rank,
-                    });
-                }
+            let tag = self.tags[way];
+            if tag == candidates[0] || tag == candidates[1] || tag == candidates[2] {
+                let rank = self.recency[way];
+                self.touch(0, way, rank);
+                self.stats.record_hit();
+                return Some(Hit {
+                    translation: PageTranslation::new(
+                        Vpn::new(tag >> 2),
+                        Pfn::new(self.pfns[way]),
+                        tag_size(tag),
+                    ),
+                    rank,
+                });
             }
         }
         self.stats.record_miss();
@@ -204,18 +300,23 @@ impl SetAssocTlb {
     }
 
     /// Probes for a matching entry without affecting LRU state or counters.
+    #[inline]
     pub fn probe(&self, va: VirtAddr, size: PageSize) -> Option<PageTranslation> {
+        let tag = lookup_tag(va, size);
         let base = self.set_index(va, size) * self.ways;
         (0..self.active_ways)
-            .filter_map(|way| self.entries[base + way])
-            .find(|entry| entry.size() == size && entry.covers(va))
+            .map(|way| base + way)
+            .find(|&slot| self.tags[slot] == tag)
+            .map(|slot| PageTranslation::new(Vpn::new(tag >> 2), Pfn::new(self.pfns[slot]), size))
     }
 
     /// Inserts `translation`, evicting the set's LRU active entry if needed.
     ///
     /// If an entry with the same tag is already present it is overwritten in
     /// place (and promoted), so the structure never holds duplicates.
+    #[inline]
     pub fn insert(&mut self, translation: PageTranslation) {
+        let tag = encode_tag(translation.vpn(), translation.size());
         let va = translation.vpn().base_addr();
         let base = self.set_index(va, translation.size()) * self.ways;
 
@@ -223,13 +324,12 @@ impl SetAssocTlb {
         let mut victim = None;
         for way in 0..self.active_ways {
             let slot = base + way;
-            match self.entries[slot] {
-                Some(e) if e.size() == translation.size() && e.vpn() == translation.vpn() => {
-                    victim = Some(slot);
-                    break;
-                }
-                None if victim.is_none() => victim = Some(slot),
-                _ => {}
+            if self.tags[slot] == tag {
+                victim = Some(slot);
+                break;
+            }
+            if victim.is_none() && self.tags[slot] == INVALID_TAG {
+                victim = Some(slot);
             }
         }
         let slot = victim.unwrap_or_else(|| {
@@ -239,7 +339,8 @@ impl SetAssocTlb {
                 .expect("one active slot always holds the LRU rank")
         });
 
-        self.entries[slot] = Some(translation);
+        self.tags[slot] = tag;
+        self.pfns[slot] = translation.pfn().raw();
         let rank = self.recency[slot];
         self.touch(base, slot, rank);
         self.stats.record_fill();
@@ -248,10 +349,9 @@ impl SetAssocTlb {
     /// Promotes `slot` (with pre-promotion `rank`) to MRU within its set.
     #[inline]
     fn touch(&mut self, base: usize, slot: usize, rank: u8) {
-        for s in base..base + self.active_ways {
-            if self.recency[s] < rank {
-                self.recency[s] += 1;
-            }
+        let set = &mut self.recency[base..base + self.active_ways];
+        for r in set.iter_mut() {
+            *r += u8::from(*r < rank);
         }
         self.recency[slot] = 0;
     }
@@ -283,27 +383,36 @@ impl SetAssocTlb {
                 // Keep the `ways` most recently used survivors in physical
                 // ways 0..ways (hardware would keep the enabled subarrays;
                 // reordering slots is equivalent for a behavioural model).
-                let mut keep: Vec<(u8, Option<PageTranslation>)> = (0..old_active)
-                    .map(|w| (self.recency[base + w], self.entries[base + w]))
+                // Ranks are a permutation per set, so the unstable sort is
+                // deterministic.
+                let mut keep: Vec<(u8, u64, u64)> = (0..old_active)
+                    .map(|w| {
+                        (
+                            self.recency[base + w],
+                            self.tags[base + w],
+                            self.pfns[base + w],
+                        )
+                    })
                     .collect();
-                keep.sort_unstable_by_key(|&(rank, _)| rank);
-                for (w, &(_, entry)) in keep.iter().take(ways).enumerate() {
-                    self.entries[base + w] = entry;
+                keep.sort_unstable_by_key(|&(rank, _, _)| rank);
+                for (w, &(_, tag, pfn)) in keep.iter().take(ways).enumerate() {
+                    self.tags[base + w] = tag;
+                    self.pfns[base + w] = pfn;
                     self.recency[base + w] = w as u8;
                 }
                 invalidated += keep
                     .iter()
                     .skip(ways)
-                    .filter(|&&(_, entry)| entry.is_some())
+                    .filter(|&&(_, tag, _)| tag != INVALID_TAG)
                     .count() as u64;
                 for w in ways..self.ways {
-                    self.entries[base + w] = None;
+                    self.tags[base + w] = INVALID_TAG;
                     self.recency[base + w] = w as u8;
                 }
             } else {
                 // Re-enable: fresh ways join empty at the LRU end.
                 for w in old_active..ways {
-                    self.entries[base + w] = None;
+                    self.tags[base + w] = INVALID_TAG;
                     self.recency[base + w] = w as u8;
                 }
             }
@@ -338,13 +447,13 @@ impl SetAssocTlb {
             let base = set * self.ways;
             for way in 0..self.active_ways {
                 let slot = base + way;
-                let Some(entry) = self.entries[slot] else {
+                let Some(entry) = self.slot_translation(slot) else {
                     continue;
                 };
                 if !pred(&entry) {
                     continue;
                 }
-                self.entries[slot] = None;
+                self.tags[slot] = INVALID_TAG;
                 let rank = self.recency[slot];
                 for s in base..base + self.active_ways {
                     if self.recency[s] > rank {
@@ -361,17 +470,17 @@ impl SetAssocTlb {
 
     /// Invalidates every entry (active ways stay as configured).
     pub fn flush(&mut self) {
-        let valid = self.entries.iter().filter(|e| e.is_some()).count() as u64;
+        let valid = self.tags.iter().filter(|&&t| t != INVALID_TAG).count() as u64;
         self.stats.record_invalidations(valid);
-        for (i, entry) in self.entries.iter_mut().enumerate() {
-            *entry = None;
+        for (i, tag) in self.tags.iter_mut().enumerate() {
+            *tag = INVALID_TAG;
             self.recency[i] = (i % self.ways) as u8;
         }
     }
 
     /// Number of valid entries currently held.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
     /// Checks internal invariants; meant for tests and debugging.
@@ -379,7 +488,8 @@ impl SetAssocTlb {
     /// # Panics
     ///
     /// Panics if the active ways of any set do not hold a permutation of the
-    /// LRU ranks `0..active_ways`, or an inactive way holds a valid entry.
+    /// LRU ranks `0..active_ways`, an inactive way holds a valid entry, or a
+    /// valid slot fails to decode into an aligned translation.
     pub fn assert_invariants(&self) {
         for set in 0..self.sets {
             let base = set * self.ways;
@@ -389,10 +499,12 @@ impl SetAssocTlb {
                 assert!(rank < self.active_ways, "rank out of range in set {set}");
                 assert!(!seen[rank], "duplicate rank in set {set}");
                 seen[rank] = true;
+                // PageTranslation::new re-checks VPN/PFN alignment.
+                let _ = self.slot_translation(base + w);
             }
             for w in self.active_ways..self.ways {
                 assert!(
-                    self.entries[base + w].is_none(),
+                    self.tags[base + w] == INVALID_TAG,
                     "inactive way {w} of set {set} holds a valid entry"
                 );
             }
@@ -641,6 +753,31 @@ mod tests {
     fn bad_resize_rejected() {
         let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
         tlb.set_active_ways(3);
+    }
+
+    #[test]
+    fn max_ways_boundary_accepted() {
+        // Exactly MAX_WAYS ways is the documented ceiling and must work,
+        // including LRU wraparound at the largest rank (MAX_WAYS - 1).
+        let mut tlb = SetAssocTlb::new("t", MAX_WAYS, MAX_WAYS, PageSize::Size4K);
+        for i in 0..MAX_WAYS as u64 {
+            tlb.insert(t4k(i));
+        }
+        assert_eq!(tlb.occupancy(), MAX_WAYS);
+        assert_eq!(
+            tlb.lookup(va4k(0)).unwrap().rank,
+            (MAX_WAYS - 1) as u8,
+            "oldest entry sits at the LRU rank"
+        );
+        tlb.insert(t4k(MAX_WAYS as u64)); // evicts the new LRU (vpn 1)
+        assert!(tlb.probe(va4k(1), PageSize::Size4K).is_none());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_WAYS")]
+    fn above_max_ways_rejected() {
+        let _ = SetAssocTlb::new("t", 2 * MAX_WAYS, 2 * MAX_WAYS, PageSize::Size4K);
     }
 
     #[test]

@@ -166,6 +166,7 @@ pub trait Observer {
 }
 
 impl Observer for () {
+    #[inline]
     fn on_event(&mut self, _event: &TranslationEvent) {}
 }
 

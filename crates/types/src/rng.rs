@@ -81,6 +81,42 @@ pub trait RngExt: RngCore {
             self.next_f64() < p
         }
     }
+
+    /// Integer-domain twin of [`random_bool`](Self::random_bool) for hot
+    /// loops with a fixed probability: consumes one draw and returns `true`
+    /// exactly when `random_bool(p)` would, given `t = bool_threshold(p)`,
+    /// but compares in `u64` instead of converting the draw to `f64`.
+    #[inline]
+    fn random_bool_thr(&mut self, t: u64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) < t
+    }
+}
+
+/// Precomputes the integer threshold for [`RngExt::random_bool_thr`].
+///
+/// [`RngCore::next_f64`] produces `x * 2^-53` for a 53-bit draw `x`; both
+/// that scaling and `p * 2^53` are exact (power-of-two exponent shifts), so
+/// `next_f64() < p` holds exactly when `x < ceil(p * 2^53)` — with the
+/// ceiling tightened to the integer itself when `p * 2^53` is one, matching
+/// the strict `<`. The clamped branches of `random_bool` map to thresholds
+/// `0` (never) and `2^53` (always: every draw is below it).
+pub fn bool_threshold(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        1 << 53
+    } else {
+        let t = p * (1u64 << 53) as f64; // exact: exponent shift
+        let floor = t as u64;
+        if t == floor as f64 {
+            floor
+        } else {
+            floor + 1
+        }
+    }
 }
 
 impl<T: RngCore> RngExt for T {}
@@ -293,6 +329,44 @@ mod tests {
         let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
         let frac = hits as f64 / 10_000.0;
         assert!((0.25..0.35).contains(&frac), "p=0.3 drew {frac}");
+    }
+
+    #[test]
+    fn threshold_bool_matches_f64_bool_exactly() {
+        // Two identically seeded generators must agree draw-for-draw,
+        // including probabilities that are exact in 2^-53 steps and ones
+        // that are not, and the clamped edges.
+        for p in [
+            0.0,
+            1.0,
+            0.5,
+            0.25,
+            0.3,
+            0.45,
+            0.85,
+            0.9985,
+            1e-12,
+            1.0 - 1e-12,
+        ] {
+            let t = bool_threshold(p);
+            let mut a = SmallRng::seed_from_u64(13);
+            let mut b = SmallRng::seed_from_u64(13);
+            for i in 0..10_000 {
+                assert_eq!(
+                    a.random_bool(p),
+                    b.random_bool_thr(t),
+                    "draw {i} diverged at p={p}"
+                );
+            }
+        }
+        // The clamped branches of random_bool consume no draw only via the
+        // p<=0 / p>=1 shortcuts; the threshold twin always draws, so the
+        // thresholds for those edges must still decide correctly.
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(!rng.random_bool_thr(bool_threshold(0.0)));
+            assert!(rng.random_bool_thr(bool_threshold(1.0)));
+        }
     }
 
     #[test]

@@ -2,7 +2,43 @@
 
 use core::fmt;
 
-use eeat_types::rng::{RngExt, SmallRng};
+use eeat_types::rng::{bool_threshold, RngExt, SmallRng};
+
+/// A probability precompiled for the hot loop: replicates
+/// `rng.random_bool(p)` exactly, including the clamped edges consuming no
+/// draw, but decides in the integer domain (see
+/// [`bool_threshold`]) so steady-state draws skip the `f64` conversion.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) enum ProbDraw {
+    /// `p <= 0`: always `false`, no draw consumed.
+    #[default]
+    Never,
+    /// `p >= 1`: always `true`, no draw consumed.
+    Always,
+    /// `0 < p < 1`: one draw against the precomputed threshold.
+    Thr(u64),
+}
+
+impl ProbDraw {
+    pub(crate) fn new(p: f64) -> Self {
+        if p <= 0.0 {
+            ProbDraw::Never
+        } else if p >= 1.0 {
+            ProbDraw::Always
+        } else {
+            ProbDraw::Thr(bool_threshold(p))
+        }
+    }
+
+    #[inline]
+    pub(crate) fn draw(self, rng: &mut SmallRng) -> bool {
+        match self {
+            ProbDraw::Never => false,
+            ProbDraw::Always => true,
+            ProbDraw::Thr(t) => rng.random_bool_thr(t),
+        }
+    }
+}
 
 /// How a stream walks the bytes of one region.
 ///
@@ -137,12 +173,42 @@ pub(crate) struct Cursor {
     /// as identical allocation layouts otherwise would).
     pub hot_base: u64,
     pub hot_init: bool,
+    /// Hot-set length in bytes, precomputed with `hot_base` (the `f64`
+    /// fraction-of-region product is loop-invariant per instance).
+    pub hot_len: u64,
+    /// Precompiled `hot_prob`, cached with `hot_base`.
+    pub hot_draw: ProbDraw,
 }
 
-/// Returns the start of the instance's hot region, drawing it on first use.
+/// `x % len`, avoiding the 64-bit divide when `x` is already in range or
+/// one subtraction away — the common case for stride advances, where the
+/// operand is a previous in-range offset plus one stride.
 #[inline]
-fn hot_base(cursor: &mut Cursor, len: u64, hot_len: u64, rng: &mut SmallRng) -> u64 {
+fn wrap(x: u64, len: u64) -> u64 {
+    if x < len {
+        x
+    } else if x - len < len {
+        x - len
+    } else {
+        x % len
+    }
+}
+
+/// Returns the instance's hot-region base and length, computing the
+/// instance-invariant hot state (length, compiled probability, base draw)
+/// on first use.
+#[inline]
+fn hot_state(
+    cursor: &mut Cursor,
+    len: u64,
+    hot_fraction: f64,
+    hot_prob: f64,
+    rng: &mut SmallRng,
+) -> (u64, u64) {
     if !cursor.hot_init {
+        let hot_len = ((len as f64 * hot_fraction) as u64).max(1);
+        cursor.hot_len = hot_len;
+        cursor.hot_draw = ProbDraw::new(hot_prob);
         let slack = len - hot_len;
         cursor.hot_base = if slack == 0 {
             0
@@ -151,7 +217,7 @@ fn hot_base(cursor: &mut Cursor, len: u64, hot_len: u64, rng: &mut SmallRng) -> 
         };
         cursor.hot_init = true;
     }
-    cursor.hot_base
+    (cursor.hot_base, cursor.hot_len)
 }
 
 impl Pattern {
@@ -164,8 +230,8 @@ impl Pattern {
         debug_assert!(len > 0);
         let offset = match *self {
             Pattern::Stream { stride } => {
-                let at = cursor.offset % len;
-                cursor.offset = (cursor.offset + stride) % len;
+                let at = wrap(cursor.offset, len);
+                cursor.offset = wrap(cursor.offset + stride, len);
                 at
             }
             Pattern::Random => rng.random_range(0..len),
@@ -173,9 +239,8 @@ impl Pattern {
                 hot_fraction,
                 hot_prob,
             } => {
-                let hot_len = ((len as f64 * hot_fraction) as u64).max(1);
-                let base = hot_base(cursor, len, hot_len, rng);
-                if rng.random_bool(hot_prob) {
+                let (base, hot_len) = hot_state(cursor, len, hot_fraction, hot_prob, rng);
+                if cursor.hot_draw.draw(rng) {
                     base + rng.random_range(0..hot_len)
                 } else {
                     rng.random_range(0..len)
@@ -198,9 +263,8 @@ impl Pattern {
                 burst_stride,
             } => {
                 if cursor.burst_left == 0 {
-                    let hot_len = ((len as f64 * hot_fraction) as u64).max(1);
-                    let base = hot_base(cursor, len, hot_len, rng);
-                    cursor.offset = if rng.random_bool(hot_prob) {
+                    let (base, hot_len) = hot_state(cursor, len, hot_fraction, hot_prob, rng);
+                    cursor.offset = if cursor.hot_draw.draw(rng) {
                         base + rng.random_range(0..hot_len)
                     } else {
                         rng.random_range(0..len)
@@ -208,7 +272,7 @@ impl Pattern {
                     cursor.burst_left = burst - 1;
                 } else {
                     cursor.burst_left -= 1;
-                    cursor.offset = (cursor.offset + burst_stride) % len;
+                    cursor.offset = wrap(cursor.offset + burst_stride, len);
                 }
                 cursor.offset
             }

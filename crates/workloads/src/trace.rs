@@ -1,14 +1,25 @@
 //! Turning a workload spec into a concrete memory-access trace.
 
-use eeat_types::rng::{RngExt, SeedableRng, SmallRng};
+use eeat_types::rng::{RngCore, RngExt, SeedableRng, SmallRng};
 use eeat_types::{AccessKind, MemAccess, VirtAddr, VirtRange};
 
-use crate::pattern::Cursor;
+use crate::pattern::{Cursor, ProbDraw};
 use crate::spec::WorkloadSpec;
 
-/// Per-stream runtime state.
+/// One stream's spec fields and runtime state, fused so the hot loop
+/// resolves a stream with a single indexed load.
 #[derive(Clone, Debug)]
 struct StreamState {
+    /// Start of the stream's region class in the flat range table, so
+    /// resolving an instance is one indexed load (`regions[base + i]`).
+    region_base: usize,
+    /// The stream's access pattern.
+    pattern: crate::Pattern,
+    /// Compiled per-access probability of hopping to another region
+    /// instance.
+    switch_draw: ProbDraw,
+    /// Instance count of the region class (cached from the spec).
+    instances: usize,
     /// Which region instance the stream currently works in.
     current_instance: usize,
     /// One cursor per region instance (streams resume where they left off).
@@ -20,9 +31,33 @@ struct StreamState {
 struct PhaseState {
     /// Length of the phase in instructions.
     instructions: u64,
-    /// Active streams with cumulative (unnormalized) weights for sampling.
-    cumulative: Vec<(usize, f64)>,
-    total_weight: f64,
+    /// Active streams with integer draw thresholds: entry `(s, t)` selects
+    /// stream `s` for 53-bit draws below `t` (and at or above the previous
+    /// entry's threshold). Compiled from the cumulative `f64` weights so
+    /// the per-access pick compares in `u64` — see [`pick_threshold`].
+    picks: Vec<(usize, u64)>,
+}
+
+/// Compiles one cumulative-weight boundary into a 53-bit draw threshold:
+/// the smallest draw `x` for which the weighted sample
+/// `(x as f64 * 2^-53) * total` reaches `acc`.
+///
+/// The sampled value is a single-rounded monotone function of `x`, so the
+/// f64 predicate `sample < acc` holds exactly for `x < pick_threshold(acc,
+/// total)` — the binary search evaluates the identical expression the f64
+/// path would, making the integer pick draw-for-draw equivalent.
+fn pick_threshold(acc: f64, total: f64) -> u64 {
+    let scale = 1.0 / (1u64 << 53) as f64;
+    let (mut lo, mut hi) = (0u64, 1u64 << 53);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if (mid as f64 * scale) * total < acc {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// A deterministic generator of [`MemAccess`]es for one workload.
@@ -37,14 +72,17 @@ struct PhaseState {
 /// harness scales this down).
 #[derive(Clone, Debug)]
 pub struct TraceGenerator {
-    /// Ranges per region class, in spec order.
-    regions: Vec<Vec<VirtRange>>,
+    /// All region instances flattened in spec order; each stream holds the
+    /// start index of its class (see [`StreamState::region_base`]).
+    regions: Vec<VirtRange>,
     streams: Vec<StreamState>,
-    stream_specs: Vec<(usize, crate::Pattern, f64)>,
     phases: Vec<PhaseState>,
     phase_idx: usize,
+    /// Instruction budget of the current phase (cached from
+    /// `phases[phase_idx]` so the per-access schedule check is load-free).
+    phase_budget: u64,
     instructions_in_phase: u64,
-    store_fraction: f64,
+    store_draw: ProbDraw,
     /// Mean instructions per access, dithered to an integer per access.
     mean_gap: f64,
     gap_carry: f64,
@@ -82,45 +120,56 @@ impl TraceGenerator {
             }
         }
 
+        let mut region_starts = Vec::with_capacity(regions.len());
+        let mut next = 0usize;
+        for ranges in &regions {
+            region_starts.push(next);
+            next += ranges.len();
+        }
+
         let streams = spec
             .streams
             .iter()
             .map(|s| StreamState {
+                region_base: region_starts[s.region],
+                pattern: s.pattern,
+                switch_draw: ProbDraw::new(s.region_switch_prob),
+                instances: spec.regions[s.region].count as usize,
                 current_instance: 0,
                 cursors: vec![Cursor::default(); spec.regions[s.region].count as usize],
             })
             .collect();
 
-        let phases = spec
+        let phases: Vec<PhaseState> = spec
             .phases
             .iter()
             .map(|p| {
-                let mut cumulative = Vec::with_capacity(p.weights.len());
+                let total: f64 = p.weights.iter().map(|&(_, w)| w).sum();
                 let mut acc = 0.0;
-                for &(stream, w) in &p.weights {
-                    acc += w;
-                    cumulative.push((stream, acc));
-                }
+                let picks = p
+                    .weights
+                    .iter()
+                    .map(|&(stream, w)| {
+                        acc += w;
+                        (stream, pick_threshold(acc, total))
+                    })
+                    .collect();
                 PhaseState {
                     instructions: u64::from(p.duration_units) * spec.phase_unit_instructions,
-                    cumulative,
-                    total_weight: acc,
+                    picks,
                 }
             })
             .collect();
 
+        let phase_budget = phases[0].instructions;
         Self {
-            regions,
+            regions: regions.into_iter().flatten().collect(),
             streams,
-            stream_specs: spec
-                .streams
-                .iter()
-                .map(|s| (s.region, s.pattern, s.region_switch_prob))
-                .collect(),
             phases,
             phase_idx: 0,
+            phase_budget,
             instructions_in_phase: 0,
-            store_fraction: spec.store_fraction,
+            store_draw: ProbDraw::new(spec.store_fraction),
             mean_gap: spec.mean_gap(),
             gap_carry: 0.0,
             instructions: 0,
@@ -139,49 +188,85 @@ impl TraceGenerator {
     }
 
     /// Generates the next memory access.
+    ///
+    /// Single-access twin of [`fill`](Self::fill); both feed off the same
+    /// generation routine, so interleaving the two APIs (or draining the
+    /// [`Iterator`] adapter) produces the identical access stream.
+    #[inline]
     pub fn next_access(&mut self) -> MemAccess {
+        self.generate()
+    }
+
+    /// Fills `buf` with the next `buf.len()` accesses and returns how many
+    /// were written — always `buf.len()`, since the generator is infinite.
+    /// (The `usize` return keeps the contract open for future finite
+    /// sources, e.g. file-backed traces.)
+    ///
+    /// This is the block-mode entry point of the hot loop: callers own and
+    /// reuse the buffer, so steady-state generation allocates nothing, and
+    /// the per-access dispatch through the [`Iterator`] adapter is amortized
+    /// over the whole block.
+    pub fn fill(&mut self, buf: &mut [MemAccess]) -> usize {
+        for slot in buf.iter_mut() {
+            *slot = self.generate();
+        }
+        buf.len()
+    }
+
+    /// The one true generation routine behind [`next_access`](Self::next_access),
+    /// [`fill`](Self::fill), and the [`Iterator`] impl. The RNG draw sequence
+    /// here is load-bearing: any reordering changes every downstream golden
+    /// fixture.
+    #[inline]
+    fn generate(&mut self) -> MemAccess {
         // Dither the instruction gap so the long-run mean matches the spec.
+        // `as u32` truncates like `floor` for the positive gaps drawn here
+        // (and saturates identically otherwise) without the libm call the
+        // baseline x86-64 target emits for `f64::floor`.
         let want = self.mean_gap + self.gap_carry;
-        let gap = (want.floor() as u32).max(1);
+        let gap = (want as u32).max(1);
         self.gap_carry = want - f64::from(gap);
 
         // Advance the phase schedule.
         self.instructions += u64::from(gap);
         self.instructions_in_phase += u64::from(gap);
-        while self.instructions_in_phase >= self.phases[self.phase_idx].instructions {
-            self.instructions_in_phase -= self.phases[self.phase_idx].instructions;
+        while self.instructions_in_phase >= self.phase_budget {
+            self.instructions_in_phase -= self.phase_budget;
             self.phase_idx = (self.phase_idx + 1) % self.phases.len();
+            self.phase_budget = self.phases[self.phase_idx].instructions;
         }
 
-        // Pick a stream by phase weight.
+        // Pick a stream by phase weight (integer draw against the compiled
+        // cumulative thresholds; single-stream phases consume no draw).
         let phase = &self.phases[self.phase_idx];
-        let stream_idx = if phase.cumulative.len() == 1 {
-            phase.cumulative[0].0
+        let stream_idx = if phase.picks.len() == 1 {
+            phase.picks[0].0
         } else {
-            let draw = self.rng.random_range(0.0..phase.total_weight);
+            let draw = self.rng.next_u64() >> 11;
             phase
-                .cumulative
+                .picks
                 .iter()
-                .find(|&&(_, acc)| draw < acc)
+                .find(|&&(_, thr)| draw < thr)
                 .map(|&(s, _)| s)
-                .unwrap_or(phase.cumulative[phase.cumulative.len() - 1].0)
+                .unwrap_or(phase.picks[phase.picks.len() - 1].0)
         };
 
         // Possibly migrate the stream to another region instance.
-        let (region_class, pattern, switch_prob) = self.stream_specs[stream_idx];
-        let instances = self.regions[region_class].len();
         let state = &mut self.streams[stream_idx];
-        if instances > 1 && switch_prob > 0.0 && self.rng.random_bool(switch_prob) {
-            state.current_instance = self.rng.random_range(0..instances);
+        if state.instances > 1 && state.switch_draw.draw(&mut self.rng) {
+            state.current_instance = self.rng.random_range(0..state.instances);
         }
         let instance = state.current_instance;
-        let range = self.regions[region_class][instance];
+        let range = self.regions[state.region_base + instance];
 
         // Advance the pattern within the instance.
-        let offset = pattern.next_offset(range.len(), &mut state.cursors[instance], &mut self.rng);
+        let offset =
+            state
+                .pattern
+                .next_offset(range.len(), &mut state.cursors[instance], &mut self.rng);
         let vaddr = VirtAddr::new(range.start().raw() + offset);
 
-        let kind = if self.store_fraction > 0.0 && self.rng.random_bool(self.store_fraction) {
+        let kind = if self.store_draw.draw(&mut self.rng) {
             AccessKind::Store
         } else {
             AccessKind::Load
@@ -193,6 +278,8 @@ impl TraceGenerator {
 impl Iterator for TraceGenerator {
     type Item = MemAccess;
 
+    /// Thin adapter over [`TraceGenerator::next_access`]; never `None`.
+    #[inline]
     fn next(&mut self) -> Option<MemAccess> {
         Some(self.next_access())
     }
@@ -262,6 +349,23 @@ mod tests {
                 },
             ],
             phase_unit_instructions: 10_000,
+        }
+    }
+
+    #[test]
+    fn fill_matches_per_access_stream() {
+        let spec = two_phase_spec();
+        let mut by_one = TraceGenerator::new(&spec, layout(&spec), 3);
+        let mut by_block = TraceGenerator::new(&spec, layout(&spec), 3);
+        let mut buf = vec![MemAccess::new(VirtAddr::new(0), AccessKind::Load, 1); 97];
+        let mut block_stream = Vec::new();
+        while block_stream.len() < 500 {
+            let n = by_block.fill(&mut buf);
+            assert_eq!(n, buf.len(), "infinite generator always fills fully");
+            block_stream.extend_from_slice(&buf[..n]);
+        }
+        for acc in &block_stream {
+            assert_eq!(*acc, by_one.next_access());
         }
     }
 

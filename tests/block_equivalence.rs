@@ -1,0 +1,151 @@
+//! Batched-loop equivalence: `run_block` ≡ `run_per_access`, bit for bit.
+//!
+//! The block-driven hot loop (PR 4) must be a pure throughput optimization:
+//! for every configuration, every block size, and every run-flavour mix,
+//! the `RunResult` — stats counters, per-structure energy as raw IEEE-754
+//! bit patterns, and the cycle split — must equal the unbatched reference
+//! implementation exactly. The profiled and timeline flavours ride the same
+//! generic pipeline and are held to the same standard.
+
+use eeat_core::{Config, RunResult, Simulator, DEFAULT_BLOCK};
+use eeat_energy::Structure;
+use eeat_workloads::Workload;
+
+const INSTRUCTIONS: u64 = 300_000;
+const SEED: u64 = 42;
+
+/// Block sizes worth pinning: degenerate (1), odd (3), and two powers of
+/// two including the default.
+const BLOCKS: [usize; 4] = [1, 3, 256, DEFAULT_BLOCK];
+
+/// The canonical configurations of the golden-parity suite.
+fn cases() -> Vec<(&'static str, Simulator)> {
+    let sim = |config: Config| Simulator::from_workload(config, Workload::Mcf, SEED);
+    let mut with_flush = sim(Config::tlb_lite());
+    with_flush.set_flush_interval(Some(230_000));
+    vec![
+        ("four_k", sim(Config::four_k())),
+        ("thp", sim(Config::thp())),
+        ("tlb_lite", sim(Config::tlb_lite())),
+        ("rmm", sim(Config::rmm())),
+        ("rmm_lite", sim(Config::rmm_lite())),
+        ("tlb_pp", sim(Config::tlb_pp())),
+        ("tlb_pred", sim(Config::tlb_pred())),
+        ("fa_lite", sim(Config::fa_lite())),
+        ("tlb_lite_flush", with_flush),
+    ]
+}
+
+/// Rebuilds the named case from scratch (fresh simulator, same seed).
+fn rebuild(name: &str) -> Simulator {
+    cases()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, sim)| sim)
+        .expect("known case name")
+}
+
+/// Asserts two results identical: integer counters by equality, energy by
+/// raw bit pattern (stricter than `f64` equality: rules out `-0.0`/`0.0`
+/// and NaN aliasing).
+fn assert_identical(label: &str, got: &RunResult, want: &RunResult) {
+    assert_eq!(got.stats, want.stats, "[{label}] stats diverged");
+    assert_eq!(got.cycles, want.cycles, "[{label}] cycles diverged");
+    for structure in Structure::ALL {
+        assert_eq!(
+            got.energy.pj(structure).to_bits(),
+            want.energy.pj(structure).to_bits(),
+            "[{label}] energy({structure}) diverged: {} vs {}",
+            got.energy.pj(structure),
+            want.energy.pj(structure),
+        );
+    }
+}
+
+#[test]
+fn run_block_matches_per_access_for_all_cases_and_block_sizes() {
+    for (name, mut reference) in cases() {
+        let want = reference.run_per_access(INSTRUCTIONS);
+        for block in BLOCKS {
+            let got = rebuild(name).run_block(INSTRUCTIONS, block);
+            assert_identical(&format!("{name} block={block}"), &got, &want);
+        }
+    }
+}
+
+#[test]
+fn profiled_run_matches_per_access() {
+    for (name, mut reference) in cases() {
+        let want = reference.run_per_access(INSTRUCTIONS);
+        let (got, profile) = rebuild(name).run_block_profiled(INSTRUCTIONS, DEFAULT_BLOCK);
+        assert_identical(&format!("{name} profiled"), &got, &want);
+        // A run this size spends measurable time in the L1 stage.
+        assert!(profile.seconds(eeat_core::Stage::L1Probe) > 0.0);
+        assert!(profile.total_seconds() >= profile.seconds(eeat_core::Stage::L1Probe));
+    }
+}
+
+#[test]
+fn timeline_run_matches_per_access() {
+    // The timeline observer rides the generic observer slot; it must not
+    // perturb the simulation.
+    for (name, mut reference) in cases() {
+        let want = reference.run_per_access(INSTRUCTIONS);
+        let (got, timeline) = rebuild(name).run_with_timeline(INSTRUCTIONS, 50_000);
+        assert_identical(&format!("{name} timeline"), &got, &want);
+        assert!(!timeline.is_empty(), "[{name}] timeline sampled");
+    }
+}
+
+#[test]
+fn mixed_flavours_drain_block_leftovers_in_order() {
+    // Alternating run flavours on one simulator must consume the exact
+    // same access stream as either flavour alone: buffered leftovers are
+    // drained before the source is consulted again.
+    for (name, mut reference) in cases() {
+        let _ = reference.run_per_access(INSTRUCTIONS);
+        let want = reference.run_per_access(INSTRUCTIONS);
+
+        let mut mixed = rebuild(name);
+        // An odd block size guarantees leftovers at the handoff.
+        let _ = mixed.run_block(INSTRUCTIONS, 777);
+        let got = mixed.run_per_access(INSTRUCTIONS);
+        assert_identical(&format!("{name} mixed"), &got, &want);
+    }
+}
+
+#[test]
+fn equivalence_survives_huge_page_demotion_and_flushes() {
+    // Fuzz-seeded sweep over run/demote/run schedules: the mid-run
+    // break_huge_pages shootdown and context-switch flushes must commute
+    // with batching exactly.
+    type ConfigCtor = fn() -> Config;
+    let configs: [(&str, ConfigCtor); 3] = [
+        ("thp", Config::thp),
+        ("rmm_lite", Config::rmm_lite),
+        ("tlb_pp", Config::tlb_pp),
+    ];
+    for (cname, config) in configs {
+        for seed in [1, 7, 99] {
+            let schedule = |mut sim: Simulator, batched: bool| {
+                sim.set_flush_interval(Some(90_000 + seed * 1_000));
+                let run = |sim: &mut Simulator, n: u64| {
+                    if batched {
+                        sim.run_block(n, 64)
+                    } else {
+                        sim.run_per_access(n)
+                    }
+                };
+                let _ = run(&mut sim, 120_000);
+                let demoted = sim.break_huge_pages(8 + seed);
+                let result = run(&mut sim, 120_000);
+                (demoted, result)
+            };
+            let workload = Workload::Mcf;
+            let (d1, want) = schedule(Simulator::from_workload(config(), workload, seed), false);
+            let (d2, got) = schedule(Simulator::from_workload(config(), workload, seed), true);
+            assert_eq!(d1, d2, "[{cname} seed={seed}] demotion count diverged");
+            assert_identical(&format!("{cname} seed={seed} demote"), &got, &want);
+        }
+    }
+}
