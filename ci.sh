@@ -20,12 +20,40 @@ cargo test --workspace -q --offline
 echo "==> golden-fixture parity (fails on any drift in simulation results)"
 cargo test --release -q --offline --test golden_parity --test block_equivalence
 
+# Smoke runs write their artifacts to a scratch results dir so the
+# checked-in results/ stays pristine.
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
 echo "==> differential fuzz smoke (8 seeds x 10k steps per target)"
-EEAT_FUZZ_SEEDS=8 cargo run --release --offline -p eeat-bench --bin fuzz -- \
-    --instructions 10_000 --seed 1
+EEAT_FUZZ_SEEDS=8 EEAT_RESULTS="$SCRATCH" cargo run --release --offline \
+    -p eeat-bench --bin fuzz -- --instructions 10_000 --seed 1
 
 echo "==> throughput harness smoke"
-cargo run --release --offline -p eeat-bench --bin throughput -- \
+EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin throughput -- \
     --smoke --out BENCH_throughput_smoke.json
+
+echo "==> telemetry smoke (fig2 with per-epoch series + sampled trace)"
+EEAT_RESULTS="$SCRATCH" EEAT_SERIES=1 EEAT_TRACE=1 cargo run --release --offline \
+    -p eeat-bench --bin fig2 -- --instructions 200_000
+ls "$SCRATCH"/fig2.*.series.jsonl "$SCRATCH"/fig2.*.trace.jsonl > /dev/null
+
+echo "==> run-artifact schema validation (checked-in and smoke artifacts)"
+cargo run --release --offline -p eeat-bench --bin report_diff -- \
+    --validate results/*.json "$SCRATCH"/*.json
+
+echo "==> report_diff regression gate (injected 8% energy regression must be flagged)"
+if cargo run --release --offline -p eeat-bench --bin report_diff -- \
+    crates/bench/fixtures/report_diff/base.json \
+    crates/bench/fixtures/report_diff/regressed.json \
+    --tolerance 0.01; then
+    echo "report_diff failed to flag the injected regression" >&2
+    exit 1
+fi
+# The same pair is clean inside a generous tolerance.
+cargo run --release --offline -p eeat-bench --bin report_diff -- \
+    crates/bench/fixtures/report_diff/base.json \
+    crates/bench/fixtures/report_diff/regressed.json \
+    --tolerance 0.25
 
 echo "==> ci.sh: all checks passed"

@@ -3,12 +3,17 @@
 //! interacts with each organization — and that range translations refill
 //! far faster than page entries (one entry re-covers a whole VMA).
 
-use eeat_bench::Cli;
+use eeat_bench::{Cli, Runner};
 use eeat_core::{Config, Simulator, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Extension: context-switch flush pressure vs timeslice length");
+    let mut runner = Runner::new(
+        "context_switch",
+        &cli,
+        &cli.configs(&[Config::tlb_lite(), Config::rmm_lite()]),
+    );
     // Timeslices in instructions; None = no multiprogramming.
     let slices: [Option<u64>; 4] = [None, Some(5_000_000), Some(1_000_000), Some(200_000)];
 
@@ -44,9 +49,10 @@ fn main() {
                 ]);
             }
         }
-        println!("{table}");
+        runner.table(&table);
     }
-    println!("Short timeslices revive page walks everywhere, but RMM_Lite recovers");
-    println!("with a handful of range-table walks (one per VMA) instead of one walk");
-    println!("per page — flush pressure widens its advantage.");
+    runner.line("Short timeslices revive page walks everywhere, but RMM_Lite recovers");
+    runner.line("with a handful of range-table walks (one per VMA) instead of one walk");
+    runner.line("per page — flush pressure widens its advantage.");
+    runner.finish();
 }

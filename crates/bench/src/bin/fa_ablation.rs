@@ -6,7 +6,7 @@
 //! are generally more energy-efficient as compared to fully associative",
 //! and shows Lite's clustering applies to fully associative structures too.
 
-use eeat_bench::{norm, Cli};
+use eeat_bench::{norm, Cli, Runner};
 use eeat_core::{mean_normalized, Config, Table};
 use eeat_workloads::Workload;
 
@@ -19,13 +19,14 @@ fn main() {
         Config::fa_lite(),
     ];
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+    let mut runner = Runner::new("fa_ablation", &cli, &configs);
 
     let mut table = Table::new(
         "FA ablation: dynamic energy, normalized to THP",
         &[&["workload"], &names[..], &["FA mean entries"]].concat(),
     );
     let workloads = cli.workloads(&Workload::TLB_INTENSIVE);
-    let results = cli.experiment().run_matrix(&workloads, &configs);
+    let results = runner.run_matrix(&cli, &workloads, &configs);
     for r in &results {
         let mut row = vec![r.workload.name().to_string()];
         for name in &names {
@@ -41,21 +42,25 @@ fn main() {
         ));
         table.add_row(&row);
     }
-    println!("{table}");
+    runner.table(&table);
 
     for name in ["TLB_Lite", "FA", "FA_Lite"] {
         let e = mean_normalized(&results, name, "THP", |x| x.energy.total_pj());
         let c = mean_normalized(&results, name, "THP", |x| x.cycles.total() as f64);
-        println!(
+        runner.line(&format!(
             "  {name:<9} energy {:+.1}%  miss-cycles {:+.1}% vs THP",
             (e - 1.0) * 100.0,
             (c - 1.0) * 100.0
-        );
+        ));
+        runner.metric(format!("headline/{name}/energy_vs_thp"), e);
+        runner.metric(format!("headline/{name}/cycles_vs_thp"), c);
     }
-    println!("\nStructure-for-structure the FA search costs more than a same-capacity");
-    println!("set-associative lookup (8.1 vs 5.9 pJ at 64 entries) — the paper's");
-    println!("baseline rationale; the organization can still compete because it");
-    println!("probes one structure instead of two. Lite's power-of-two clustering");
-    println!("applies to it unchanged (§4.4), recovering energy when the working");
-    println!("set is small.");
+    runner.blank();
+    runner.line("Structure-for-structure the FA search costs more than a same-capacity");
+    runner.line("set-associative lookup (8.1 vs 5.9 pJ at 64 entries) — the paper's");
+    runner.line("baseline rationale; the organization can still compete because it");
+    runner.line("probes one structure instead of two. Lite's power-of-two clustering");
+    runner.line("applies to it unchanged (§4.4), recovering energy when the working");
+    runner.line("set is small.");
+    runner.finish();
 }

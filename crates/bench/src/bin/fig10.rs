@@ -3,20 +3,21 @@
 //!
 //! Also prints the Figure 9 configuration summary as a header.
 
-use eeat_bench::{baseline, norm, Cli};
+use eeat_bench::{baseline, norm, Cli, Runner};
 use eeat_core::{mean_normalized, Config, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Figure 10: dynamic energy and TLB-miss cycles, normalized to 4KB");
     let configs = cli.configs(&Config::all_six());
-    println!("Simulated configurations (Figure 9):");
+    let mut runner = Runner::new("fig10", &cli, &configs);
+    runner.line("Simulated configurations (Figure 9):");
     for config in &configs {
-        println!("  {config}");
+        runner.line(&format!("  {config}"));
     }
-    println!();
+    runner.blank();
 
-    let results = cli.run_matrix(&Workload::TLB_INTENSIVE, &configs);
+    let results = runner.run_matrix(&cli, &Workload::TLB_INTENSIVE, &configs);
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
     let base = baseline(&names);
 
@@ -38,7 +39,7 @@ fn main() {
         })));
     }
     energy.add_row(&avg);
-    println!("{energy}");
+    runner.table(&energy);
 
     let mut cycles = Table::new(
         &format!("Figure 10 (bottom): cycles spent in TLB misses, normalized to {base}"),
@@ -58,23 +59,26 @@ fn main() {
         })));
     }
     cycles.add_row(&avg);
-    println!("{cycles}");
+    runner.table(&cycles);
 
     // The paper's headline comparisons are against THP (skipped when a
     // --configs subset leaves either side out).
     if names.contains(&"THP") {
-        println!("Headline numbers (vs THP; paper: TLB_Lite -23% energy, RMM -8%, TLB_PP -43%, RMM_Lite -71%):");
+        runner.line("Headline numbers (vs THP; paper: TLB_Lite -23% energy, RMM -8%, TLB_PP -43%, RMM_Lite -71%):");
         for name in ["TLB_Lite", "RMM", "TLB_PP", "RMM_Lite"] {
             if !names.contains(&name) {
                 continue;
             }
             let e = mean_normalized(&results, name, "THP", |x| x.energy.total_pj());
             let c = mean_normalized(&results, name, "THP", |x| x.cycles.total() as f64);
-            println!(
+            runner.line(&format!(
                 "  {name:<9} energy {:+.1}%  miss-cycles {:+.1}%",
                 (e - 1.0) * 100.0,
                 (c - 1.0) * 100.0
-            );
+            ));
+            runner.metric(format!("headline/{name}/energy_vs_thp"), e);
+            runner.metric(format!("headline/{name}/cycles_vs_thp"), c);
         }
     }
+    runner.finish();
 }

@@ -1,14 +1,15 @@
 //! Figure 11: L1 and L2 TLB misses per thousand instructions for every
 //! configuration on the TLB-intensive workloads.
 
-use eeat_bench::Cli;
+use eeat_bench::{Cli, Runner};
 use eeat_core::{Config, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Figure 11: L1 and L2 TLB MPKI for every configuration");
     let configs = cli.configs(&Config::all_six());
-    let results = cli.run_matrix(&Workload::TLB_INTENSIVE, &configs);
+    let mut runner = Runner::new("fig11", &cli, &configs);
+    let results = runner.run_matrix(&cli, &Workload::TLB_INTENSIVE, &configs);
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
 
     for (title, metric) in [
@@ -29,6 +30,7 @@ fn main() {
             }
             table.add_row(&row);
         }
-        println!("{table}");
+        runner.table(&table);
     }
+    runner.finish();
 }

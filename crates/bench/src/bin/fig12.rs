@@ -1,22 +1,17 @@
 //! Figure 12: dynamic-energy reduction for the remaining Spec2006 and
 //! Parsec workloads (the non-TLB-intensive set).
 
-use eeat_bench::{baseline, norm, Cli};
+use eeat_bench::{baseline, norm, Cli, Runner};
 use eeat_core::{mean_normalized, Config, Table, WorkloadResults};
 use eeat_workloads::Workload;
 
-fn run_set(cli: &Cli, title: &str, set: &[Workload]) -> Vec<WorkloadResults> {
+fn run_set(runner: &mut Runner, cli: &Cli, title: &str, set: &[Workload]) -> Vec<WorkloadResults> {
     let configs = cli.configs(&Config::all_six());
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
 
     // The Spec/Parsec split is the figure's structure, so the workload
     // sets stay fixed here (--workloads does not apply).
-    eprintln!(
-        "running {} workloads x {} configs...",
-        set.len(),
-        names.len()
-    );
-    let results = cli.experiment().run_matrix(set, &configs);
+    let results = runner.run_matrix(cli, set, &configs);
     let base = baseline(&names);
     let mut table = Table::new(title, &[&["workload"], &names[..]].concat());
     for r in &results {
@@ -26,18 +21,22 @@ fn run_set(cli: &Cli, title: &str, set: &[Workload]) -> Vec<WorkloadResults> {
         }
         table.add_row(&row);
     }
-    println!("{table}");
+    runner.table(&table);
     results
 }
 
 fn main() {
     let cli = Cli::parse("Figure 12: energy reduction for the non-TLB-intensive workloads");
+    let configs = cli.configs(&Config::all_six());
+    let mut runner = Runner::new("fig12", &cli, &configs);
     let spec = run_set(
+        &mut runner,
         &cli,
         "Figure 12 (top/middle): remaining Spec2006 — energy normalized to 4KB",
         &Workload::OTHER_SPEC,
     );
     let parsec = run_set(
+        &mut runner,
         &cli,
         "Figure 12 (bottom): remaining Parsec — energy normalized to 4KB",
         &Workload::OTHER_PARSEC,
@@ -45,11 +44,7 @@ fn main() {
 
     // The paper's summary compares against THP (skipped when a --configs
     // subset leaves either side out).
-    let names: Vec<&str> = cli
-        .configs(&Config::all_six())
-        .iter()
-        .map(|c| c.name)
-        .collect();
+    let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
     if names.contains(&"THP") && names.contains(&"TLB_Lite") && names.contains(&"RMM_Lite") {
         for (label, results, lite_target, rmml_target) in [
             ("Spec2006", &spec, -26.0, -72.0),
@@ -57,11 +52,14 @@ fn main() {
         ] {
             let lite = mean_normalized(results, "TLB_Lite", "THP", |x| x.energy.total_pj());
             let rmml = mean_normalized(results, "RMM_Lite", "THP", |x| x.energy.total_pj());
-            println!(
+            runner.line(&format!(
                 "{label}: TLB_Lite {:+.0}% vs THP (paper {lite_target:+.0}%), RMM_Lite {:+.0}% (paper {rmml_target:+.0}%)",
                 (lite - 1.0) * 100.0,
                 (rmml - 1.0) * 100.0,
-            );
+            ));
+            runner.metric(format!("summary/{label}/tlb_lite_energy_vs_thp"), lite);
+            runner.metric(format!("summary/{label}/rmm_lite_energy_vs_thp"), rmml);
         }
     }
+    runner.finish();
 }

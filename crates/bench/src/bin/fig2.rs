@@ -1,7 +1,7 @@
 //! Figure 2: (a) dynamic-energy breakdown and (b) TLB-miss cycles for the
 //! 4KB / THP / RMM configurations, normalized to 4KB per workload.
 
-use eeat_bench::{norm, Cli};
+use eeat_bench::{norm, Cli, Runner};
 use eeat_core::{mean_normalized, Config, Table};
 use eeat_energy::Structure;
 use eeat_workloads::Workload;
@@ -12,13 +12,8 @@ fn main() {
     // configuration set stays fixed here (--configs does not apply).
     let configs = [Config::four_k(), Config::thp(), Config::rmm()];
     let workloads = cli.workloads(&Workload::TLB_INTENSIVE);
-    eprintln!(
-        "running {} workloads x {} configs at {} instructions...",
-        workloads.len(),
-        configs.len(),
-        cli.instructions,
-    );
-    let results = cli.experiment().run_matrix(&workloads, &configs);
+    let mut runner = Runner::new("fig2", &cli, &configs);
+    let results = runner.run_matrix(&cli, &workloads, &configs);
 
     let mut energy = Table::new(
         "Figure 2a: dynamic energy, normalized to 4KB (with L1-TLB / L2 / walk shares)",
@@ -49,7 +44,7 @@ fn main() {
             share(&thp.energy, thp.energy.pj(Structure::PageWalk)),
         ]);
     }
-    println!("{energy}");
+    runner.table(&energy);
 
     let mut cycles = Table::new(
         "Figure 2b: cycles in TLB misses, normalized to 4KB",
@@ -63,15 +58,19 @@ fn main() {
             norm(r.normalized("RMM", "4KB", |x| x.cycles.total() as f64)),
         ]);
     }
-    println!("{cycles}");
+    runner.table(&cycles);
 
     let thp_e = mean_normalized(&results, "THP", "4KB", |x| x.energy.total_pj());
     let thp_c = mean_normalized(&results, "THP", "4KB", |x| x.cycles.total() as f64);
     let rmm_c = mean_normalized(&results, "RMM", "4KB", |x| x.cycles.total() as f64);
-    println!(
+    runner.line(&format!(
         "Averages: THP energy {:+.0}% (paper +4%), THP cycles {:+.0}% (paper -83%), RMM cycles {:+.0}% (paper -96%)",
         (thp_e - 1.0) * 100.0,
         (thp_c - 1.0) * 100.0,
         (rmm_c - 1.0) * 100.0
-    );
+    ));
+    runner.metric("avg/thp_energy_norm", thp_e);
+    runner.metric("avg/thp_cycles_norm", thp_c);
+    runner.metric("avg/rmm_cycles_norm", rmm_c);
+    runner.finish();
 }

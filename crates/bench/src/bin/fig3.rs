@@ -1,12 +1,13 @@
 //! Figure 3: sensitivity of 4KB-page dynamic energy to the L1-cache hit
 //! ratio of page-walk references (100 % → 0 %).
 
-use eeat_bench::{norm, Cli};
+use eeat_bench::{norm, Cli, Runner};
 use eeat_core::{fig3_walk_locality, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Figure 3: energy sensitivity to page-walk L1-cache locality");
+    let mut runner = Runner::new("fig3", &cli, &[]);
     let ratios = [1.0, 0.75, 0.5, 0.25, 0.0];
 
     let mut headers: Vec<String> = vec!["workload".into()];
@@ -24,6 +25,7 @@ fn main() {
         row.extend(points.iter().map(|&(_, e)| norm(e)));
         table.add_row(&row);
     }
-    println!("{table}");
-    println!("Paper: poor walk locality increases dynamic energy by up to 91% (mcf).");
+    runner.table(&table);
+    runner.line("Paper: poor walk locality increases dynamic energy by up to 91% (mcf).");
+    runner.finish();
 }

@@ -3,13 +3,19 @@
 //!
 //! `--instructions` is reinterpreted as fuzz steps per (seed, target) and
 //! `--seed` as the first seed; `EEAT_FUZZ_SEEDS` (default 8) sets how many
-//! consecutive seeds run. Any divergence prints a minimized replay —
-//! check it in under `crates/oracle/replays/` — and exits non-zero.
+//! consecutive seeds run. Progress heartbeats go to stderr after every
+//! completed target, so an overnight campaign is visibly alive. Any
+//! divergence writes the minimized replay — stamped with the run manifest
+//! as `#` comments — to `results/fuzz.repro.txt`, prints it, and exits
+//! non-zero.
 //!
 //! CI runs `--instructions 10_000 --seed 1` with `EEAT_FUZZ_SEEDS=8`; the
 //! default 20 M budget is the overnight setting.
 
-use eeat_bench::Cli;
+use std::time::Instant;
+
+use eeat_bench::{Cli, Runner};
+use eeat_core::provenance_header;
 
 fn main() {
     let cli = Cli::parse(
@@ -17,22 +23,57 @@ fn main() {
          reference models (--instructions = steps per seed and target; --seed = first \
          seed; EEAT_FUZZ_SEEDS = seed count, default 8)",
     );
+    let mut runner = Runner::new("fuzz", &cli, &[]);
     let seeds: u64 = std::env::var("EEAT_FUZZ_SEEDS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
     let steps = usize::try_from(cli.instructions).unwrap_or(usize::MAX);
+    let start = Instant::now();
     eprintln!(
         "fuzzing seeds {}..{} at {steps} steps per target...",
         cli.seed,
         cli.seed + seeds
     );
     for seed in cli.seed..cli.seed + seeds {
-        if let Err(failure) = eeat_oracle::fuzz_seed(seed, steps) {
+        let outcome = eeat_oracle::fuzz_seed_with(seed, steps, |target, sub| {
+            eprintln!(
+                "seed {seed} target {target} (sub-seed {sub:#018x}): clean, \
+                 {steps} steps, {:.1}s elapsed",
+                start.elapsed().as_secs_f64()
+            );
+        });
+        if let Err(failure) = outcome {
             eprintln!("{failure}");
+            // Stamp the repro with this run's provenance so a checked-in
+            // replay records exactly which build produced it.
+            let mut repro = format!(
+                "{}\n# target={} seed={} step={}\n# detail={}\n",
+                provenance_header(&runner.manifest().summary_fields()),
+                failure.target,
+                failure.seed,
+                failure.step,
+                failure.detail.replace('\n', " "),
+            );
+            repro.push_str(&failure.replay);
+            runner.sidecar("fuzz.repro.txt", repro);
+            runner.line(&format!(
+                "fuzz: DIVERGENCE in {} (seed {}); minimized replay in results/fuzz.repro.txt",
+                failure.target, failure.seed
+            ));
+            runner.metric("fuzz/divergences", 1.0);
+            runner.metric("fuzz/seeds", (seed - cli.seed) as f64);
+            runner.metric("fuzz/steps_per_target", steps as f64);
+            runner.finish();
             std::process::exit(1);
         }
         eprintln!("seed {seed}: clean");
     }
-    println!("fuzz: {seeds} seeds x {steps} steps per target, zero divergences");
+    runner.line(&format!(
+        "fuzz: {seeds} seeds x {steps} steps per target, zero divergences"
+    ));
+    runner.metric("fuzz/divergences", 0.0);
+    runner.metric("fuzz/seeds", seeds as f64);
+    runner.metric("fuzz/steps_per_target", steps as f64);
+    runner.finish();
 }

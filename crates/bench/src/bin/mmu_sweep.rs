@@ -5,7 +5,7 @@
 //! cache size drives the average memory references per walk — the `Mem`
 //! term of the walk-energy equation.
 
-use eeat_bench::Cli;
+use eeat_bench::{Cli, Runner};
 use eeat_core::Table;
 use eeat_paging::{MmuCaches, PageWalker};
 use eeat_types::VirtAddr;
@@ -13,6 +13,7 @@ use eeat_workloads::{TraceGenerator, Workload};
 
 fn main() {
     let cli = Cli::parse("Ablation: MMU (PDE) cache geometry vs memory references per walk");
+    let mut runner = Runner::new("mmu_sweep", &cli, &[]);
     let pde_sizes = [(4usize, 2usize), (16, 2), (32, 2), (128, 4)];
 
     let mut table = Table::new(
@@ -59,8 +60,9 @@ fn main() {
         }
         table.add_row(&row);
     }
-    println!("{table}");
-    println!("Sequential scans keep even a tiny PDE cache warm (~1 ref/walk);");
-    println!("pointer chases over gigabytes defeat all realistic sizes, which is");
-    println!("why range translations (no walk at all) beat bigger MMU caches.");
+    runner.table(&table);
+    runner.line("Sequential scans keep even a tiny PDE cache warm (~1 ref/walk);");
+    runner.line("pointer chases over gigabytes defeat all realistic sizes, which is");
+    runner.line("why range translations (no walk at all) beat bigger MMU caches.");
+    runner.finish();
 }

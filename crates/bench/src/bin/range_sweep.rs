@@ -3,12 +3,13 @@
 //! requirements") and the L2-range TLB at 32. This sweep quantifies what
 //! those choices cost and buy.
 
-use eeat_bench::{norm, Cli};
+use eeat_bench::{norm, Cli, Runner};
 use eeat_core::{Config, Simulator, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Ablation: L1/L2 range-TLB sizing for RMM_Lite");
+    let mut runner = Runner::new("range_sweep", &cli, &[Config::rmm_lite()]);
     let l1_sizes = [2usize, 4, 8, 16];
     let l2_sizes = [8usize, 32, 128];
 
@@ -35,7 +36,7 @@ fn main() {
         row.extend(energies.iter().map(|&e| norm(e / baseline)));
         l1_table.add_row(&row);
     }
-    println!("{l1_table}");
+    runner.table(&l1_table);
 
     // L2-range sweep on the workload with the most ranges (omnetpp).
     let mut l2_table = Table::new(
@@ -54,8 +55,9 @@ fn main() {
             format!("{:.2}", r.energy.total_pj() / 1e6),
         ]);
     }
-    println!("{l2_table}");
-    println!("Doubling the L1-range TLB beyond 4 entries buys little for most");
-    println!("workloads (few live ranges) but helps the many-arena ones; the");
-    println!("32-entry L2-range TLB is already past the knee for every workload.");
+    runner.table(&l2_table);
+    runner.line("Doubling the L1-range TLB beyond 4 entries buys little for most");
+    runner.line("workloads (few live ranges) but helps the many-arena ones; the");
+    runner.line("32-entry L2-range TLB is already past the knee for every workload.");
+    runner.finish();
 }

@@ -1,0 +1,114 @@
+//! Compare two `results/*.json` run artifacts, or schema-validate them.
+//!
+//! ```text
+//! report_diff A.json B.json [--tolerance T]   # exit 1 when metrics differ
+//! report_diff --validate FILE...              # exit 1 when any file is invalid
+//! ```
+//!
+//! The diff flags every metric whose symmetric relative delta
+//! `|a-b| / max(|a|,|b|)` exceeds the tolerance (default 0, i.e. bit-exact)
+//! and every key present on only one side, largest delta first. Artifacts
+//! from different experiments (config-hash mismatch) still diff, with a
+//! note — usually that means the comparison itself is a category error.
+
+use std::process::ExitCode;
+
+use eeat_obs::{diff_artifacts, json, validate, RunArtifact};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: report_diff A.json B.json [--tolerance T]");
+    eprintln!("       report_diff --validate FILE...");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn run_validate(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut failures = 0usize;
+    for path in paths {
+        let text = match read(path) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        let problems = match json::parse(&text) {
+            Ok(doc) => validate(&doc),
+            Err(e) => vec![e],
+        };
+        if problems.is_empty() {
+            println!("{path}: ok");
+        } else {
+            failures += 1;
+            println!("{path}: INVALID");
+            for p in &problems {
+                println!("  {p}");
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} of {} files invalid", paths.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_diff(a_path: &str, b_path: &str, tolerance: f64) -> ExitCode {
+    let parse = |path: &str| -> Result<RunArtifact, ExitCode> {
+        RunArtifact::parse(&read(path)?).map_err(|e| {
+            eprintln!("{path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let (a, b) = match (parse(a_path), parse(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    println!(
+        "comparing {a_path} ({}, commit {}) vs {b_path} ({}, commit {}), tolerance {tolerance}",
+        a.manifest.bench, a.manifest.commit, b.manifest.bench, b.manifest.commit
+    );
+    let report = diff_artifacts(&a, &b, tolerance);
+    print!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        return run_validate(&args[1..]);
+    }
+    let mut tolerance = 0.0f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" | "-t" => {
+                let Some(value) = iter.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                tolerance = value;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    match files.as_slice() {
+        [a, b] => run_diff(a, b, tolerance),
+        _ => usage(),
+    }
+}

@@ -1,12 +1,13 @@
 //! §6.2 sensitivity analysis: Lite's interval size (1–10 M instructions)
 //! and random re-activation probability (1/8 – 1/128).
 
-use eeat_bench::Cli;
+use eeat_bench::{Cli, Runner};
 use eeat_core::{lite_sensitivity, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Lite sensitivity (§6.2): interval size x re-activation probability");
+    let mut runner = Runner::new("sensitivity", &cli, &[]);
     let intervals = [1_000_000u64, 2_000_000, 5_000_000, 10_000_000];
     let probs = [1.0 / 8.0, 1.0 / 32.0, 1.0 / 128.0];
 
@@ -36,8 +37,9 @@ fn main() {
                 format!("{}", p.result.cycles.total()),
             ]);
         }
-        println!("{t}");
+        runner.table(&t);
     }
-    println!("Paper: Lite performs slightly better with shorter intervals and lower");
-    println!("re-activation probability (faster response, fewer forced re-enables).");
+    runner.line("Paper: Lite performs slightly better with shorter intervals and lower");
+    runner.line("re-activation probability (faster response, fewer forced re-enables).");
+    runner.finish();
 }

@@ -4,13 +4,14 @@
 //! of the normalized energies so every figure can be quoted with its
 //! run-to-run variation.
 
-use eeat_bench::{baseline, Cli};
+use eeat_bench::{baseline, Cli, Runner};
 use eeat_core::{mean_normalized, Config, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Seed stability: headline ratios across 5 independent seeds");
     let exp = cli.experiment();
+    let mut runner = Runner::new("stability", &cli, &cli.configs(&Config::all_six()));
     let seeds: Vec<u64> = (0..5).map(|i| cli.seed + i * 1000).collect();
     let configs = cli.configs(&Config::all_six());
     let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
@@ -49,5 +50,6 @@ fn main() {
             format!("{:.1}%", 100.0 * (max - min) / mean),
         ]);
     }
-    println!("{table}");
+    runner.table(&table);
+    runner.finish();
 }

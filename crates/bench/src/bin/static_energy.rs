@@ -1,7 +1,7 @@
 //! §6.2 extension: static (leakage) energy of the translation structures,
 //! with and without power-gating of Lite-disabled ways.
 
-use eeat_bench::Cli;
+use eeat_bench::{Cli, Runner};
 use eeat_core::{Config, Simulator, Table};
 use eeat_energy::PowerGating;
 use eeat_workloads::Workload;
@@ -9,6 +9,7 @@ use eeat_workloads::Workload;
 fn main() {
     let cli = Cli::parse("Static energy (§6.2): leakage with and without power-gating");
     let configs = [Config::thp(), Config::tlb_lite(), Config::rmm_lite()];
+    let mut runner = Runner::new("static_energy", &cli, &configs);
 
     let mut table = Table::new(
         "Static energy (uJ) — translation structures, 3 GHz",
@@ -47,7 +48,8 @@ fn main() {
             ),
         ]);
     }
-    println!("{table}");
-    println!("Paper §6.2: way-disabling also reduces static energy when combined");
-    println!("with power-gating schemes (gated-Vdd); this quantifies that claim.");
+    runner.table(&table);
+    runner.line("Paper §6.2: way-disabling also reduces static energy when combined");
+    runner.line("with power-gating schemes (gated-Vdd); this quantifies that claim.");
+    runner.finish();
 }

@@ -1,13 +1,14 @@
 //! Table 2: the energy model — per-structure read/write energies and
 //! leakage, plus the calibrated surrogate values this reproduction adds.
 
-use eeat_bench::Cli;
+use eeat_bench::{Cli, Runner};
 use eeat_core::Table;
 use eeat_energy::{table2, CacheEnergyModel, EnergyModel};
 
 fn main() {
     // No simulation here, but parse anyway so --help works uniformly.
-    let _ = Cli::parse("Table 2: the per-operation energy model");
+    let cli = Cli::parse("Table 2: the per-operation energy model");
+    let mut runner = Runner::new("table2", &cli, &[]);
     let mut t = Table::new(
         "Table 2: dynamic energy per operation (32 nm, from the paper)",
         &[
@@ -44,7 +45,7 @@ fn main() {
             format!("{:.4}", e.leakage_mw),
         ]);
     }
-    println!("{t}");
+    runner.table(&t);
 
     let mut s = Table::new(
         "Surrogate values added by this reproduction (see DESIGN.md §3)",
@@ -67,5 +68,6 @@ fn main() {
         format!("{:.1} pJ", model.with_walk_l1_hit_ratio(0.0).walk_ref_pj()),
         "Figure 3 sweep endpoint".into(),
     ]);
-    println!("{s}");
+    runner.table(&s);
+    runner.finish();
 }

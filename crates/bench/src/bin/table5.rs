@@ -1,13 +1,14 @@
 //! Table 5: (i) the share of L1 page-TLB lookups at 4/2/1 active ways and
 //! (ii) the share of L1 hits per structure, for TLB_Lite and RMM_Lite.
 
-use eeat_bench::{pct, Cli};
+use eeat_bench::{pct, Cli, Runner};
 use eeat_core::{Config, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Table 5: lookup shares by active ways and L1 hit shares");
     let configs = [Config::tlb_lite(), Config::rmm_lite()];
+    let mut runner = Runner::new("table5", &cli, &configs);
 
     let mut ways = Table::new(
         "Table 5 (left): % of lookups at 4/2/1 active ways",
@@ -32,7 +33,7 @@ fn main() {
     let mut way_sums = [0.0f64; 9];
     let mut hit_sums = [0.0f64; 4];
     let workloads = cli.workloads(&Workload::TLB_INTENSIVE);
-    for results in cli.experiment().run_matrix(&workloads, &configs) {
+    for results in runner.run_matrix(&cli, &workloads, &configs) {
         let workload = results.workload;
         let lite = &results.get("TLB_Lite").expect("ran").result.stats;
         let rmml = &results.get("RMM_Lite").expect("ran").result.stats;
@@ -68,10 +69,11 @@ fn main() {
     row.extend(hit_sums.iter().map(|&s| pct(s / n)));
     hits.add_row(&row);
 
-    println!("{ways}");
-    println!("{hits}");
-    println!(
-        "Paper averages: Lite-4KB 51.2/32.9/15.9, Lite-2MB 81.1/9.0/9.9, RMML-4KB 25.9/10.4/63.7;"
+    runner.table(&ways);
+    runner.table(&hits);
+    runner.line(
+        "Paper averages: Lite-4KB 51.2/32.9/15.9, Lite-2MB 81.1/9.0/9.9, RMML-4KB 25.9/10.4/63.7;",
     );
-    println!("hits: Lite 64.4% 4KB / 35.6% 2MB; RMM_Lite 15.9% 4KB / 84.1% range.");
+    runner.line("hits: Lite 64.4% 4KB / 35.6% 2MB; RMM_Lite 15.9% 4KB / 84.1% range.");
+    runner.finish();
 }

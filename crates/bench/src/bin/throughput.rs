@@ -29,7 +29,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use eeat_bench::Runner;
 use eeat_core::{Config, Simulator, Stage, DEFAULT_BLOCK};
+use eeat_obs::EpochSeries;
 use eeat_workloads::Workload;
 
 /// Pre-batching baseline, measured on this machine at the parent commit of
@@ -95,6 +97,38 @@ fn measure(config: &Config, instructions: u64, best_of: u32) -> ConfigResult {
         seconds,
         stage_seconds,
     }
+}
+
+/// Observer-overhead check: the same unprofiled measurement with a full
+/// [`EpochSeries`] telemetry observer (energy embedded) attached. The ratio
+/// against the plain run is the acceptance criterion that telemetry stays
+/// within noise.
+fn measure_observed(config: &Config, instructions: u64, best_of: u32) -> (u64, f64) {
+    let bucket = (instructions / 20).max(1);
+    let mut accesses = 0u64;
+    let mut seconds = 0.0f64;
+    for &workload in &Workload::TLB_INTENSIVE {
+        let mut best = f64::INFINITY;
+        let mut cell_accesses = 0u64;
+        for _ in 0..best_of.max(1) {
+            let mut sim = Simulator::from_workload(config.clone(), workload, SEED);
+            let ways = sim
+                .hierarchy()
+                .l1_4k()
+                .map(|t| t.active_ways())
+                .unwrap_or(0);
+            let mut series =
+                EpochSeries::new(0, bucket, ways, Some(sim.telemetry_energy_observer()));
+            let t = Instant::now();
+            let r = sim.run_with_observer(instructions, &mut series);
+            best = best.min(t.elapsed().as_secs_f64());
+            cell_accesses = r.stats.accesses;
+            std::hint::black_box(series.rows().len());
+        }
+        seconds += best;
+        accesses += cell_accesses;
+    }
+    (accesses, seconds)
 }
 
 fn baseline_for(name: &str) -> Option<f64> {
@@ -185,6 +219,7 @@ fn main() {
         });
 
     let configs = [Config::four_k(), Config::thp(), Config::rmm()];
+    let mut runner = Runner::with_params("throughput", SEED, instructions, 1, &configs);
     let mut results = Vec::new();
     for config in &configs {
         let r = measure(config, instructions, best_of);
@@ -208,7 +243,7 @@ fn main() {
                 )
             })
             .collect();
-        println!(
+        runner.line(&format!(
             "{:4} {:>12} accesses  {:>8.3} s  {:>12.0} acc/s{}  [{}]",
             r.name,
             r.accesses,
@@ -216,11 +251,40 @@ fn main() {
             acc_per_sec,
             speedup,
             shares.join(", ")
+        ));
+        runner.metric(format!("config/{}/accesses_per_sec", r.name), acc_per_sec);
+        if !smoke {
+            if let Some(before) = baseline_for(r.name) {
+                runner.metric(
+                    format!("config/{}/speedup_vs_baseline", r.name),
+                    acc_per_sec / before,
+                );
+            }
+        }
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            runner.metric(
+                format!("config/{}/stage_share/{}", r.name, stage.name()),
+                r.stage_seconds[i] / total.max(f64::MIN_POSITIVE),
+            );
+        }
+
+        let (obs_accesses, obs_seconds) = measure_observed(config, instructions, best_of);
+        let obs_per_sec = obs_accesses as f64 / obs_seconds;
+        let ratio = obs_per_sec / acc_per_sec;
+        runner.line(&format!(
+            "{:4} observed: {:>12.0} acc/s with EpochSeries telemetry ({:.3}x plain)",
+            r.name, obs_per_sec, ratio
+        ));
+        runner.metric(
+            format!("config/{}/observed_accesses_per_sec", r.name),
+            obs_per_sec,
         );
+        runner.metric(format!("config/{}/observer_rate_ratio", r.name), ratio);
         results.push(r);
     }
 
     let json = render_json(&results, instructions, smoke, best_of);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    println!("wrote {out_path}");
+    runner.line(&format!("wrote {out_path}"));
+    runner.finish();
 }

@@ -6,12 +6,13 @@
 //! binary quantifies the gap with an actual region-hashed predictor whose
 //! first-probe misses cost a second L1 access.
 
-use eeat_bench::{norm, Cli};
+use eeat_bench::{norm, Cli, Runner};
 use eeat_core::{Config, Simulator, Table};
 use eeat_workloads::Workload;
 
 fn main() {
     let cli = Cli::parse("Extension: perfect TLB_PP vs realizable TLB_Pred by predictor size");
+    let mut runner = Runner::new("tlb_pred", &cli, &[Config::thp(), Config::tlb_pp()]);
     let table_sizes = [64usize, 256, 1024];
 
     let mut table = Table::new(
@@ -54,8 +55,9 @@ fn main() {
         row.push(mispredict);
         table.add_row(&row);
     }
-    println!("{table}");
-    println!("The realizable predictor tracks TLB_PP closely on hits (region-level");
-    println!("page sizes are stable) but pays a second probe on every L1 miss —");
-    println!("the gap grows with the workload's miss rate.");
+    runner.table(&table);
+    runner.line("The realizable predictor tracks TLB_PP closely on hits (region-level");
+    runner.line("page sizes are stable) but pays a second probe on every L1 miss —");
+    runner.line("the gap grows with the workload's miss rate.");
+    runner.finish();
 }

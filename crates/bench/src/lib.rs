@@ -12,11 +12,13 @@
 //!   trace generator. Default 42.
 
 pub mod cli;
+pub mod runner;
 pub mod timing;
 
 use eeat_core::Experiment;
 
 pub use cli::{baseline, Cli};
+pub use runner::Runner;
 
 /// Reads the instruction budget from `EEAT_INSTRUCTIONS` (default 20 M).
 pub fn instruction_budget() -> u64 {

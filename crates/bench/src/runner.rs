@@ -1,0 +1,331 @@
+//! The artifact-writing report runner every bench binary routes through.
+//!
+//! A [`Runner`] wraps one benchmark invocation: it stamps a
+//! [`RunManifest`] at construction, captures every report line the binary
+//! prints, harvests numeric table cells and matrix results into flat
+//! metrics, and on [`Runner::finish`] writes
+//!
+//! * `results/<bench>.txt` — the captured text report, prefixed with the
+//!   `# eeat-run` provenance line, and
+//! * `results/<bench>.json` — the machine-readable
+//!   [`RunArtifact`] (manifest + metrics + series index), the input to
+//!   `report_diff`.
+//!
+//! Optional telemetry rides along per matrix cell: `EEAT_SERIES` attaches
+//! an [`EpochSeries`] observer (per-epoch JSONL/CSV sidecars) and
+//! `EEAT_TRACE` a sampled [`TraceRing`] (flight-recorder JSONL). Both are
+//! off by default, so the hot path stays untouched.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use eeat_core::{provenance_header, Config, ConfigRun, Table, WorkloadResults};
+use eeat_obs::{EpochSeries, RunArtifact, RunManifest, TraceRing};
+use eeat_workloads::Workload;
+
+use crate::Cli;
+
+/// Captures a benchmark's report and writes its `results/` artifacts.
+pub struct Runner {
+    start: Instant,
+    artifact: RunArtifact,
+    captured: String,
+    sidecars: Vec<(String, String)>,
+}
+
+impl Runner {
+    /// Creates a runner for benchmark `name`, fingerprinting `configs`
+    /// (pass `&[]` for benches without a configuration matrix). Prints the
+    /// provenance line as the report's first line.
+    pub fn new(name: &str, cli: &Cli, configs: &[Config]) -> Self {
+        Self::with_params(
+            name,
+            cli.seed,
+            cli.instructions,
+            cli.threads.unwrap_or(0),
+            configs,
+        )
+    }
+
+    /// [`Runner::new`] for binaries with their own argument handling (the
+    /// throughput harness): explicit seed/budget/threads instead of a
+    /// [`Cli`].
+    pub fn with_params(
+        name: &str,
+        seed: u64,
+        instructions: u64,
+        threads: usize,
+        configs: &[Config],
+    ) -> Self {
+        let descriptions: Vec<String> = configs.iter().map(|c| format!("{c:?}")).collect();
+        let manifest = RunManifest::discover(name, &descriptions, seed, instructions, threads);
+        let mut runner = Self {
+            start: Instant::now(),
+            artifact: RunArtifact::new(manifest),
+            captured: String::new(),
+            sidecars: Vec::new(),
+        };
+        let header = provenance_header(&runner.artifact.manifest.summary_fields());
+        runner.line(&header);
+        runner
+    }
+
+    /// The manifest stamped into every artifact of this run.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.artifact.manifest
+    }
+
+    /// Prints one report line (and captures it for `results/<bench>.txt`).
+    pub fn line(&mut self, text: &str) {
+        println!("{text}");
+        self.captured.push_str(text);
+        self.captured.push('\n');
+    }
+
+    /// Prints a blank report line.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Prints a table (exactly like `println!("{table}")`: the rendered
+    /// table plus a trailing blank line) and harvests every numeric cell
+    /// as a `table/<title>/<row>/<column>` metric.
+    pub fn table(&mut self, table: &Table) {
+        self.line(&table.to_string());
+        let title = slug(table.title());
+        let headers = table.headers();
+        let mut seen: Vec<String> = Vec::new();
+        for row in table.rows() {
+            // Repeated row labels (sweep tables) get an ordinal suffix so
+            // metric keys stay unique.
+            let base = slug(&row[0]);
+            let occurrence = seen.iter().filter(|k| **k == base).count();
+            seen.push(base.clone());
+            let row_key = if occurrence == 0 {
+                base
+            } else {
+                format!("{base}_{}", occurrence + 1)
+            };
+            for (header, cell) in headers.iter().zip(row).skip(1) {
+                if let Some(value) = numeric(cell) {
+                    self.metric(format!("table/{title}/{row_key}/{}", slug(header)), value);
+                }
+            }
+        }
+    }
+
+    /// Records one metric in the artifact.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) {
+        self.artifact.push_metric(key, value);
+    }
+
+    /// Registers a sidecar file written next to the artifact on
+    /// [`finish`](Self::finish).
+    pub fn sidecar(&mut self, file_name: impl Into<String>, contents: String) {
+        let file_name = file_name.into();
+        self.artifact.series.push(file_name.clone());
+        self.sidecars.push((file_name, contents));
+    }
+
+    /// Runs the workload × configuration matrix with telemetry attached:
+    /// like `Cli::run_matrix`, plus per-cell headline metrics in the
+    /// artifact, and — when `EEAT_SERIES` / `EEAT_TRACE` are set —
+    /// per-cell series and trace sidecars.
+    pub fn run_matrix(
+        &mut self,
+        cli: &Cli,
+        workloads: &[Workload],
+        configs: &[Config],
+    ) -> Vec<WorkloadResults> {
+        eprintln!(
+            "running {} workloads x {} configs at {} instructions...",
+            workloads.len(),
+            configs.len(),
+            cli.instructions,
+        );
+        let bucket = series_bucket(cli.instructions);
+        let cells = cli
+            .experiment()
+            .run_matrix_with(workloads, configs, |sim, instructions| {
+                let series = bucket.map(|b| {
+                    let ways = sim
+                        .hierarchy()
+                        .l1_4k()
+                        .map(|t| t.active_ways())
+                        .unwrap_or(0);
+                    EpochSeries::new(0, b, ways, Some(sim.telemetry_energy_observer()))
+                });
+                let mut extra = (series, TraceRing::from_env());
+                let result = sim.run_with_observer(instructions, &mut extra);
+                (result, extra.0, extra.1)
+            });
+
+        let bench = self.artifact.manifest.bench.clone();
+        let mut out = Vec::with_capacity(workloads.len());
+        for (&workload, row) in workloads.iter().zip(cells) {
+            let mut runs = Vec::with_capacity(configs.len());
+            for (config, (result, series, trace)) in configs.iter().zip(row) {
+                self.harvest_cell(workload.name(), config.name, &result);
+                let cell = format!("{bench}.{}.{}", workload.name(), config.name);
+                if let Some(series) = series {
+                    let manifest_line = format!(
+                        "{{\"schema\":\"eeat-series/v1\",\"manifest\":{}}}\n",
+                        self.artifact.manifest.to_json().to_compact()
+                    );
+                    self.sidecar(
+                        format!("{cell}.series.jsonl"),
+                        manifest_line + &series.to_jsonl(),
+                    );
+                    let header = provenance_header(&self.artifact.manifest.summary_fields());
+                    self.sidecar(
+                        format!("{cell}.series.csv"),
+                        header + "\n" + &series.to_csv(),
+                    );
+                }
+                if let Some(trace) = trace {
+                    self.sidecar(format!("{cell}.trace.jsonl"), trace.dump_jsonl());
+                }
+                runs.push(ConfigRun {
+                    config_name: config.name,
+                    result,
+                });
+            }
+            out.push(WorkloadResults { workload, runs });
+        }
+        out
+    }
+
+    fn harvest_cell(&mut self, workload: &str, config: &str, result: &eeat_core::RunResult) {
+        let key = |metric: &str| format!("cell/{workload}/{config}/{metric}");
+        let stats = &result.stats;
+        self.metric(key("l1_mpki"), stats.l1_mpki());
+        self.metric(key("l2_mpki"), stats.l2_mpki());
+        self.metric(key("accesses"), stats.accesses as f64);
+        self.metric(key("l1_misses"), stats.l1_misses as f64);
+        self.metric(key("l2_misses"), stats.l2_misses as f64);
+        self.metric(key("walk_refs"), stats.walk_memory_refs as f64);
+        self.metric(key("range_walks"), stats.range_table_walks as f64);
+        self.metric(key("lite_intervals"), stats.lite_intervals as f64);
+        self.metric(key("lite_reactivations"), stats.lite_reactivations as f64);
+        self.metric(key("energy_pj"), result.energy.total_pj());
+        self.metric(key("miss_cycles"), result.cycles.total() as f64);
+    }
+
+    /// Stamps the wall time and writes `results/<bench>.txt`,
+    /// `results/<bench>.json`, and every registered sidecar. The directory
+    /// defaults to `results/` and is overridable with `EEAT_RESULTS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the results directory or a file cannot be written.
+    pub fn finish(mut self) {
+        self.artifact.manifest.stamp_wall(self.start);
+        let dir = results_dir();
+        fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        let bench = self.artifact.manifest.bench.clone();
+        let write = |path: PathBuf, contents: &str| {
+            fs::write(&path, contents)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        };
+        write(dir.join(format!("{bench}.txt")), &self.captured);
+        write(
+            dir.join(format!("{bench}.json")),
+            &self.artifact.to_pretty(),
+        );
+        for (file_name, contents) in &self.sidecars {
+            write(dir.join(file_name), contents);
+        }
+        eprintln!(
+            "wrote {}/{bench}.txt and {}/{bench}.json ({} metrics, {} sidecars)",
+            dir.display(),
+            dir.display(),
+            self.artifact.metrics.len(),
+            self.sidecars.len(),
+        );
+    }
+}
+
+/// The per-epoch series bucket from `EEAT_SERIES`: unset or `0` disables,
+/// `1` samples 20 buckets over the budget (the Figure 4 granularity), any
+/// other integer is the bucket size in instructions.
+fn series_bucket(instructions: u64) -> Option<u64> {
+    let raw = std::env::var("EEAT_SERIES").ok()?;
+    match raw.trim() {
+        "" | "0" => None,
+        "1" => Some((instructions / 20).max(1)),
+        other => other.parse().ok().filter(|&b| b > 0),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    std::env::var("EEAT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Lowercases and collapses every non-alphanumeric run to one `_`, so
+/// table titles and row labels become stable metric-key segments.
+fn slug(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_sep = false;
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    out
+}
+
+/// Parses a table cell as a number, tolerating the harness's decorations:
+/// a leading `+`, a trailing `%` or `x`, and `_` digit separators.
+fn numeric(cell: &str) -> Option<f64> {
+    let mut text = cell.trim();
+    text = text.strip_suffix('%').unwrap_or(text);
+    text = text.strip_suffix('x').unwrap_or(text);
+    text = text.strip_prefix('+').unwrap_or(text);
+    let text = text.replace('_', "");
+    if text.is_empty() {
+        return None;
+    }
+    text.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_stable_key_segments() {
+        assert_eq!(slug("Figure 2: L1 MPKI"), "figure_2_l1_mpki");
+        assert_eq!(slug("RMM_Lite"), "rmm_lite");
+        assert_eq!(slug("pJ/access"), "pj_access");
+        assert_eq!(slug("  edge  "), "edge");
+    }
+
+    #[test]
+    fn numeric_tolerates_report_decorations() {
+        assert_eq!(numeric("12.5"), Some(12.5));
+        assert_eq!(numeric("23.4%"), Some(23.4));
+        assert_eq!(numeric("1.08x"), Some(1.08));
+        assert_eq!(numeric("+0.3"), Some(0.3));
+        assert_eq!(numeric("5_000"), Some(5000.0));
+        assert_eq!(numeric("mcf"), None);
+        assert_eq!(numeric(""), None);
+    }
+
+    #[test]
+    fn series_bucket_scales_with_budget() {
+        // Reads process-global env; exercise only the unset path plus the
+        // pure arithmetic to avoid cross-test races.
+        if std::env::var("EEAT_SERIES").is_err() {
+            assert_eq!(series_bucket(20_000_000), None);
+        }
+    }
+}

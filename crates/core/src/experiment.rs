@@ -154,6 +154,41 @@ impl Experiment {
             .collect()
     }
 
+    /// Runs the full matrix with a caller-supplied cell body: `run` gets a
+    /// fresh simulator and the instruction budget and returns whatever it
+    /// likes (e.g. a `RunResult` plus a telemetry series). Cells fan out
+    /// over the same scoped worker threads as [`run_matrix`](Self::run_matrix);
+    /// the outer `Vec` is per workload, the inner per configuration, both in
+    /// input order.
+    ///
+    /// This is the seam external observability layers use to attach per-run
+    /// observers without the experiment runner knowing about them.
+    pub fn run_matrix_with<T, F>(
+        &self,
+        workloads: &[Workload],
+        configs: &[Config],
+        run: F,
+    ) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Simulator, u64) -> T + Sync,
+    {
+        let cells: Vec<(Workload, &Config)> = workloads
+            .iter()
+            .flat_map(|&w| configs.iter().map(move |c| (w, c)))
+            .collect();
+        let threads = par::thread_count(cells.len(), self.threads);
+        let outputs = par::parallel_map(&cells, threads, |&(w, config)| {
+            let mut sim = Simulator::from_workload(config.clone(), w, self.seed);
+            run(&mut sim, self.instructions)
+        });
+        let mut outputs = outputs.into_iter();
+        workloads
+            .iter()
+            .map(|_| outputs.by_ref().take(configs.len()).collect())
+            .collect()
+    }
+
     /// One matrix cell: a fresh simulator, run to the budget.
     fn run_cell(&self, workload: Workload, config: &Config) -> ConfigRun {
         let mut sim = Simulator::from_workload(config.clone(), workload, self.seed);

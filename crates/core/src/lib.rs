@@ -52,7 +52,7 @@ pub use hierarchy::{MonitorIndices, TlbHierarchy};
 pub use lite::{LiteController, LiteDecision, WayMonitor};
 pub use predictor::SizePredictor;
 pub use profile::{Stage, StageProfile};
-pub use report::{format_row, format_table, Table};
+pub use report::{format_row, format_table, provenance_header, Table};
 pub use simulator::{RunResult, Simulator, DEFAULT_BLOCK};
 pub use stats::{SimStats, Timeline, TimelinePoint};
 pub use sweep::{fig3_walk_locality, fig4_fixed_sizes, lite_sensitivity, SensitivityPoint};

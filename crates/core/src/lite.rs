@@ -178,6 +178,12 @@ impl LiteController {
         self.degradation_reactivations
     }
 
+    /// The per-structure LRU-distance monitors, in dense monitor order
+    /// (the order of [`crate::TlbHierarchy::monitor_indices`]).
+    pub fn monitors(&self) -> &[WayMonitor] {
+        &self.monitors
+    }
+
     /// Records a hit in monitored TLB `idx` at LRU recency `rank`.
     ///
     /// The paper notes the monitoring circuitry is idle when a TLB runs at

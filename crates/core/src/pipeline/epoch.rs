@@ -2,7 +2,7 @@
 //! decision, including the settle events that let energy observers charge
 //! resizable-L1 operations at their outgoing sizes.
 
-use eeat_types::events::{Observer, TranslationEvent};
+use eeat_types::events::{Observer, ResizableUnit, TranslationEvent};
 
 use crate::hierarchy::TlbHierarchy;
 use crate::lite::LiteDecision;
@@ -51,7 +51,30 @@ pub(crate) fn interval_check<E: Observer>(sim: &mut Simulator, ctx: &StepCtx, ex
     if !lite.interval_due(sim.clock) {
         return;
     }
+    // Export the interval's LRU-distance counters before the decision
+    // resets them: one event per monitored structure, in monitor order.
+    let idx = ctx.monitors;
+    let units = [
+        (idx.l1_4k, ResizableUnit::L1FourK),
+        (idx.l1_2m, ResizableUnit::L1TwoM),
+        (idx.l1_fa, ResizableUnit::L1FullyAssoc),
+    ];
+    let mut monitor_events = [None; 3];
+    for (slot, unit) in units {
+        let Some(slot) = slot else { continue };
+        let raw = lite.monitors()[slot].counters();
+        let mut counters = [0u64; 7];
+        counters[..raw.len()].copy_from_slice(raw);
+        monitor_events[slot] = Some(TranslationEvent::EpochMonitor {
+            unit,
+            counters,
+            len: raw.len() as u8,
+        });
+    }
     let decision = lite.end_interval(sim.clock);
+    for event in monitor_events.into_iter().flatten() {
+        sim.sinks.emit(extra, event);
+    }
     // The per-operation L1 energies are about to change: settle the
     // pending operations at the outgoing way configuration.
     let settle = settle_event(&sim.hierarchy);
@@ -78,7 +101,6 @@ pub(crate) fn interval_check<E: Observer>(sim: &mut Simulator, ctx: &StepCtx, ex
     // One source of truth for which decision slot belongs to which
     // structure: the hierarchy's dense monitor order (shared with the L1
     // probe stage via the precomputed step context).
-    let idx = ctx.monitors;
     if let (Some(i), Some(t)) = (idx.l1_fa, sim.hierarchy.l1_fa.as_mut()) {
         t.set_active_entries(new_ways[i]);
     }

@@ -47,6 +47,21 @@ impl Table {
         self.rows.len()
     }
 
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table as CSV (header row first). Cells containing
     /// commas or quotes are quoted per RFC 4180.
     ///
@@ -126,6 +141,35 @@ pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     out
 }
 
+/// Formats the run-manifest summary line every text report starts with.
+///
+/// The line is a `#`-prefixed comment of `key=value` pairs so regenerated
+/// `results/*.txt` files carry their provenance (config hash, seed, commit,
+/// …) without disturbing table parsers or diff tools that skip comments.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_core::provenance_header;
+///
+/// let line = provenance_header(&[
+///     ("bench", "fig2".to_string()),
+///     ("seed", "42".to_string()),
+/// ]);
+/// assert_eq!(line, "# eeat-run bench=fig2 seed=42");
+/// ```
+pub fn provenance_header(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("# eeat-run");
+    for (key, value) in fields {
+        out.push(' ');
+        out.push_str(key);
+        out.push('=');
+        // Whitespace inside a value would split the pair when parsed back.
+        out.push_str(&value.replace(char::is_whitespace, "_"));
+    }
+    out
+}
+
 /// Formats a complete table in one call.
 pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut t = Table::new(title, headers);
@@ -170,6 +214,13 @@ mod tests {
         assert_eq!(lines[0], "name,value");
         assert_eq!(lines[1], "plain,1");
         assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn provenance_header_escapes_whitespace() {
+        let line = provenance_header(&[("rustc", "rustc 1.95.0 (abc)".to_string())]);
+        assert_eq!(line, "# eeat-run rustc=rustc_1.95.0_(abc)");
+        assert!(!line[1..].contains(|c: char| c.is_whitespace() && c != ' '));
     }
 
     #[test]

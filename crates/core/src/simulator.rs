@@ -23,7 +23,7 @@
 use eeat_energy::{CycleBreakdown, EnergyBreakdown, EnergyModel, LeakageInputs};
 use eeat_os::AddressSpace;
 use eeat_paging::PageWalker;
-use eeat_types::events::Observer;
+use eeat_types::events::{Observer, TranslationEvent};
 use eeat_types::{MemAccess, PageSize, VirtAddr};
 
 use crate::config::Config;
@@ -310,6 +310,24 @@ impl Simulator {
         self.result_with(&mut ())
     }
 
+    /// Like [`run`](Self::run) with an arbitrary extra [`Observer`] riding
+    /// the pipeline's generic observer slot (the same slot
+    /// [`run_with_timeline`](Self::run_with_timeline) uses). The observer
+    /// sees every [`eeat_types::events::TranslationEvent`] of the run plus
+    /// the final settle event; runs without an extra observer pay nothing
+    /// for the capability.
+    ///
+    /// This is how external telemetry (e.g. `eeat-obs` epoch recorders and
+    /// trace rings) attaches without the simulator knowing about it.
+    pub fn run_with_observer<E: Observer>(
+        &mut self,
+        instructions: u64,
+        extra: &mut E,
+    ) -> RunResult {
+        self.run_inner(instructions, DEFAULT_BLOCK, extra, &mut ());
+        self.result_with(extra)
+    }
+
     /// Like [`run_block`](Self::run_block) while attributing wall-clock
     /// time to each pipeline stage. The profiling clocks add overhead, so
     /// use an unprofiled run for headline throughput and this only for the
@@ -341,6 +359,17 @@ impl Simulator {
         self.run_inner(instructions, DEFAULT_BLOCK, &mut timeline, &mut ());
         let result = self.result_with(&mut timeline);
         (result, timeline.into_timeline())
+    }
+
+    /// A zeroed [`eeat_energy::EnergyObserver`] configured identically to
+    /// the simulator's own accounting sink (same model, same L1-1GB
+    /// geometry) — what external telemetry recorders embed so their
+    /// per-epoch energy deltas use bit-identical arithmetic.
+    pub fn telemetry_energy_observer(&self) -> eeat_energy::EnergyObserver {
+        eeat_energy::EnergyObserver::new(
+            *self.sinks.energy.model(),
+            self.hierarchy.l1_1g().map(|t| t.active_entries()),
+        )
     }
 
     /// Static (leakage) energy of the translation structures over the run —
@@ -394,6 +423,7 @@ impl Simulator {
                 // translations survive.
                 self.hierarchy.shootdown(va);
                 self.walker.caches_mut().invalidate(va);
+                self.sinks.emit(&mut (), TranslationEvent::Shootdown);
                 broken += 1;
             }
         }

@@ -1,0 +1,234 @@
+//! The run artifact: the JSON file every benchmark writes next to its text
+//! report.
+//!
+//! Layout (`eeat-run-artifact/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "eeat-run-artifact/v1",
+//!   "manifest": { "bench": "...", "config_hash": "...", ... },
+//!   "metrics": { "<key>": <number>, ... },
+//!   "series": ["fig4.series.jsonl", ...]
+//! }
+//! ```
+//!
+//! Metric keys are slash-separated paths (`cell/<workload>/<config>/l1_mpki`,
+//! `table/<title>/<row>/<col>`); `series` lists sidecar files written next
+//! to the artifact.
+
+use crate::json::{self, Json};
+use crate::manifest::{RunManifest, SCHEMA};
+
+/// A benchmark run's diffable artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArtifact {
+    /// Provenance.
+    pub manifest: RunManifest,
+    /// Flat metrics, in emission order.
+    pub metrics: Vec<(String, f64)>,
+    /// Sidecar series files (relative to the artifact).
+    pub series: Vec<String>,
+}
+
+impl RunArtifact {
+    /// Creates an artifact with no metrics yet.
+    pub fn new(manifest: RunManifest) -> Self {
+        Self {
+            manifest,
+            metrics: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Records one metric. Keys should be unique; the last write wins on
+    /// lookup.
+    pub fn push_metric(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
+    }
+
+    /// Looks up a metric by key (last write wins).
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// The artifact as a JSON document.
+    pub fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("schema", json::str(SCHEMA)),
+            ("manifest", self.manifest.to_json()),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), json::num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "series",
+                Json::Arr(self.series.iter().map(json::str).collect()),
+            ),
+        ])
+    }
+
+    /// Pretty JSON text, as written to `results/<bench>.json`.
+    pub fn to_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parses an artifact document.
+    ///
+    /// # Errors
+    ///
+    /// Errors on JSON syntax errors or schema violations (every violation
+    /// [`validate`] reports).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let problems = validate(&doc);
+        if !problems.is_empty() {
+            return Err(problems.join("; "));
+        }
+        let manifest = RunManifest::from_json(doc.get("manifest").expect("validated"))?;
+        let metrics = doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .expect("validated")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().expect("validated")))
+            .collect();
+        let series = doc
+            .get("series")
+            .and_then(Json::as_arr)
+            .expect("validated")
+            .iter()
+            .map(|s| s.as_str().expect("validated").to_string())
+            .collect();
+        Ok(Self {
+            manifest,
+            metrics,
+            series,
+        })
+    }
+}
+
+/// Schema-checks a parsed document, returning every violation found
+/// (empty = valid).
+pub fn validate(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    if doc.as_obj().is_none() {
+        return vec!["document is not an object".to_string()];
+    }
+    match doc.get("schema").and_then(Json::as_str) {
+        None => problems.push("schema: missing or not a string".to_string()),
+        Some(s) if s != SCHEMA => {
+            problems.push(format!("schema: expected {SCHEMA:?}, found {s:?}"))
+        }
+        Some(_) => {}
+    }
+    match doc.get("manifest") {
+        None => problems.push("manifest: missing".to_string()),
+        Some(m) => {
+            if let Err(e) = RunManifest::from_json(m) {
+                problems.push(e);
+            }
+        }
+    }
+    match doc.get("metrics").and_then(Json::as_obj) {
+        None => problems.push("metrics: missing or not an object".to_string()),
+        Some(members) => {
+            for (key, value) in members {
+                if value.as_f64().is_none() {
+                    problems.push(format!("metrics.{key}: not a number"));
+                }
+            }
+        }
+    }
+    match doc.get("series").and_then(Json::as_arr) {
+        None => problems.push("series: missing or not an array".to_string()),
+        Some(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if item.as_str().is_none() {
+                    problems.push(format!("series[{i}]: not a string"));
+                }
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::config_hash;
+
+    fn sample() -> RunArtifact {
+        let manifest = RunManifest {
+            bench: "fig2".to_string(),
+            config_hash: config_hash(&["4KB".to_string()], 42, 1000),
+            seed: 42,
+            instructions: 1000,
+            threads: 1,
+            commit: "abc1234".to_string(),
+            rustc: "rustc 1.95.0".to_string(),
+            wall_seconds: 0.5,
+        };
+        let mut a = RunArtifact::new(manifest);
+        a.push_metric("cell/mcf/4KB/l1_mpki", 15.25);
+        a.push_metric("cell/mcf/4KB/energy_pj", 1.0 / 3.0);
+        a.series.push("fig2.series.jsonl".to_string());
+        a
+    }
+
+    #[test]
+    fn round_trips_bit_for_bit() {
+        let a = sample();
+        let back = RunArtifact::parse(&a.to_pretty()).expect("parses");
+        assert_eq!(back, a);
+        // Including the non-terminating float.
+        assert_eq!(
+            back.metric("cell/mcf/4KB/energy_pj")
+                .expect("present")
+                .to_bits(),
+            (1.0f64 / 3.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        let doc = json::parse(&sample().to_pretty()).expect("parses");
+        assert!(validate(&doc).is_empty());
+
+        let problems = validate(&json::parse("[1,2]").expect("parses"));
+        assert_eq!(problems, vec!["document is not an object".to_string()]);
+
+        let problems = validate(&json::parse(r#"{"schema": "wrong/v9"}"#).expect("parses"));
+        assert!(problems.iter().any(|p| p.contains("schema")));
+        assert!(problems.iter().any(|p| p.contains("manifest")));
+        assert!(problems.iter().any(|p| p.contains("metrics")));
+        assert!(problems.iter().any(|p| p.contains("series")));
+
+        let mut bad = json::parse(&sample().to_pretty()).expect("parses");
+        if let Json::Obj(members) = &mut bad {
+            for (k, v) in members.iter_mut() {
+                if k == "metrics" {
+                    *v = json::obj(vec![("x", json::str("not-a-number"))]);
+                }
+            }
+        }
+        assert!(validate(&bad).iter().any(|p| p.contains("metrics.x")));
+    }
+
+    #[test]
+    fn metric_lookup_last_write_wins() {
+        let mut a = sample();
+        a.push_metric("dup", 1.0);
+        a.push_metric("dup", 2.0);
+        assert_eq!(a.metric("dup"), Some(2.0));
+        assert_eq!(a.metric("absent"), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Comparing two run artifacts: the engine behind the `report_diff` tool.
+//!
+//! The comparison is symmetric and relative: a metric is flagged when
+//! `|a - b| / max(|a|, |b|)` exceeds the tolerance, and when a key exists
+//! on only one side. Config-hash mismatches are reported separately — a
+//! metric diff between different experiments is usually a category error,
+//! not a regression.
+
+use core::fmt;
+
+use crate::artifact::RunArtifact;
+
+/// One metric whose values differ beyond tolerance (or exist on one side
+/// only).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// The metric key.
+    pub key: String,
+    /// Value in the first artifact (`None` = missing).
+    pub a: Option<f64>,
+    /// Value in the second artifact.
+    pub b: Option<f64>,
+    /// Relative difference (`f64::INFINITY` when one side is missing).
+    pub rel: f64,
+}
+
+/// The outcome of comparing two artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Metrics flagged beyond tolerance, largest relative delta first.
+    pub flagged: Vec<MetricDelta>,
+    /// Metrics compared (present in both artifacts).
+    pub compared: usize,
+    /// `true` when the two runs have different config hashes (different
+    /// experiments — deltas are expected, not regressions).
+    pub config_mismatch: bool,
+}
+
+impl DiffReport {
+    /// `true` when nothing was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.flagged.is_empty()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.config_mismatch {
+            writeln!(
+                f,
+                "note: config hashes differ — comparing different experiments"
+            )?;
+        }
+        if self.is_clean() {
+            return writeln!(f, "clean: {} metrics within tolerance", self.compared);
+        }
+        writeln!(
+            f,
+            "{} of {} metrics beyond tolerance:",
+            self.flagged.len(),
+            self.compared + self.flagged.iter().filter(|d| d.rel.is_infinite()).count()
+        )?;
+        for d in &self.flagged {
+            let fmt_side = |v: Option<f64>| match v {
+                Some(v) => format!("{v}"),
+                None => "missing".to_string(),
+            };
+            writeln!(
+                f,
+                "  {}: {} -> {} (rel {:.4})",
+                d.key,
+                fmt_side(d.a),
+                fmt_side(d.b),
+                d.rel
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Relative difference used for flagging: `|a - b| / max(|a|, |b|)`,
+/// 0 when both are zero (or bit-identical, including NaN-free equality).
+pub fn relative_delta(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+/// Compares two artifacts, flagging every metric whose relative delta
+/// exceeds `tolerance` and every key present on only one side.
+pub fn diff_artifacts(a: &RunArtifact, b: &RunArtifact, tolerance: f64) -> DiffReport {
+    let mut report = DiffReport {
+        config_mismatch: a.manifest.config_hash != b.manifest.config_hash,
+        ..DiffReport::default()
+    };
+    // Walk a's keys in order, then b-only keys in order.
+    for (key, &va) in a.metrics.iter().map(|(k, v)| (k, v)) {
+        match b.metric(key) {
+            Some(vb) => {
+                report.compared += 1;
+                let rel = relative_delta(va, vb);
+                if rel > tolerance {
+                    report.flagged.push(MetricDelta {
+                        key: key.clone(),
+                        a: Some(va),
+                        b: Some(vb),
+                        rel,
+                    });
+                }
+            }
+            None => report.flagged.push(MetricDelta {
+                key: key.clone(),
+                a: Some(va),
+                b: None,
+                rel: f64::INFINITY,
+            }),
+        }
+    }
+    for (key, &vb) in b.metrics.iter().map(|(k, v)| (k, v)) {
+        if a.metric(key).is_none() {
+            report.flagged.push(MetricDelta {
+                key: key.clone(),
+                a: None,
+                b: Some(vb),
+                rel: f64::INFINITY,
+            });
+        }
+    }
+    report
+        .flagged
+        .sort_by(|x, y| y.rel.partial_cmp(&x.rel).expect("rel is never NaN"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::RunManifest;
+
+    fn artifact(hash: &str, metrics: &[(&str, f64)]) -> RunArtifact {
+        let mut a = RunArtifact::new(RunManifest {
+            bench: "t".to_string(),
+            config_hash: hash.to_string(),
+            seed: 42,
+            instructions: 1000,
+            threads: 1,
+            commit: "abc".to_string(),
+            rustc: "rustc".to_string(),
+            wall_seconds: 0.0,
+        });
+        for &(k, v) in metrics {
+            a.push_metric(k, v);
+        }
+        a
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let a = artifact("h", &[("x", 1.0), ("y", 0.0)]);
+        let report = diff_artifacts(&a, &a.clone(), 0.0);
+        assert!(report.is_clean());
+        assert_eq!(report.compared, 2);
+        assert!(!report.config_mismatch);
+        assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn flags_beyond_tolerance_only() {
+        let a = artifact("h", &[("x", 100.0), ("y", 100.0)]);
+        let b = artifact("h", &[("x", 100.5), ("y", 120.0)]);
+        let report = diff_artifacts(&a, &b, 0.01);
+        assert_eq!(report.flagged.len(), 1);
+        assert_eq!(report.flagged[0].key, "y");
+        assert!((report.flagged[0].rel - 20.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_keys_are_flagged_infinite() {
+        let a = artifact("h", &[("only_a", 1.0), ("both", 2.0)]);
+        let b = artifact("h", &[("both", 2.0), ("only_b", 3.0)]);
+        let report = diff_artifacts(&a, &b, 0.5);
+        assert_eq!(report.compared, 1);
+        assert_eq!(report.flagged.len(), 2);
+        assert!(report.flagged.iter().all(|d| d.rel.is_infinite()));
+        assert!(report.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn relative_delta_edge_cases() {
+        assert_eq!(relative_delta(0.0, 0.0), 0.0);
+        assert_eq!(relative_delta(-0.0, 0.0), 0.0);
+        assert_eq!(relative_delta(1.0, 1.0), 0.0);
+        assert_eq!(relative_delta(0.0, 2.0), 1.0);
+        assert!((relative_delta(90.0, 100.0) - 0.1).abs() < 1e-12);
+        // Symmetric.
+        assert_eq!(relative_delta(3.0, 5.0), relative_delta(5.0, 3.0));
+    }
+
+    #[test]
+    fn config_mismatch_is_noted() {
+        let a = artifact("h1", &[("x", 1.0)]);
+        let b = artifact("h2", &[("x", 1.0)]);
+        let report = diff_artifacts(&a, &b, 0.0);
+        assert!(report.config_mismatch);
+        assert!(report.to_string().contains("config hashes differ"));
+    }
+
+    #[test]
+    fn flagged_sorted_by_severity() {
+        let a = artifact("h", &[("small", 100.0), ("big", 100.0), ("gone", 1.0)]);
+        let b = artifact("h", &[("small", 101.0), ("big", 200.0)]);
+        let report = diff_artifacts(&a, &b, 0.001);
+        let keys: Vec<&str> = report.flagged.iter().map(|d| d.key.as_str()).collect();
+        assert_eq!(keys, ["gone", "big", "small"]);
+    }
+}

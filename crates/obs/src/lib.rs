@@ -1,0 +1,60 @@
+//! Observability for the translation simulator: metrics, telemetry,
+//! manifests, traces, and diffable run artifacts.
+//!
+//! Everything here rides the existing [`Observer`](eeat_types::events::Observer)
+//! seam — the pipeline stays oblivious, and the hot path pays only integer
+//! accumulation (the same settle-per-epoch discipline as the energy
+//! observer). The pieces:
+//!
+//! * [`Registry`] — typed counters/gauges/histograms behind integer ids.
+//! * [`EpochSeries`] — per-epoch telemetry rows (MPKI, hit mix, range-TLB
+//!   hit ratio, shootdowns, Lite activity, LRU utility histograms, pJ),
+//!   bit-compatible with the Figure 4 timeline, exported as JSONL/CSV.
+//! * [`RunManifest`] — provenance (config hash, seed, toolchain, commit,
+//!   wall time) stamped into every artifact and text report.
+//! * [`TraceRing`] — an `EEAT_TRACE`-gated sampled event flight recorder.
+//! * [`RunArtifact`] / [`diff_artifacts`] — the `results/<bench>.json`
+//!   schema and the comparison engine behind the `report_diff` tool.
+//!
+//! The crate carries its own [`json`] support because the workspace is
+//! dependency-free by design.
+//!
+//! # Examples
+//!
+//! ```
+//! use eeat_obs::{diff_artifacts, RunArtifact, RunManifest};
+//!
+//! let manifest = RunManifest::discover("demo", &["4KB".to_string()], 42, 1000, 1);
+//! let mut a = RunArtifact::new(manifest);
+//! a.push_metric("l1_mpki", 15.0);
+//!
+//! let mut b = a.clone();
+//! b.metrics[0].1 = 18.0; // a regression
+//!
+//! let report = diff_artifacts(&a, &b, 0.01);
+//! assert_eq!(report.flagged.len(), 1);
+//!
+//! // The artifact round-trips through its JSON form exactly.
+//! let back = RunArtifact::parse(&a.to_pretty()).unwrap();
+//! assert_eq!(back, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod artifact;
+mod diff;
+mod manifest;
+mod registry;
+mod series;
+mod trace;
+
+pub use artifact::{validate, RunArtifact};
+pub use diff::{diff_artifacts, relative_delta, DiffReport, MetricDelta};
+pub use json::Json;
+pub use manifest::{config_hash, fnv1a_64, RunManifest, SCHEMA};
+pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry};
+pub use series::{EpochRow, EpochSeries};
+pub use trace::{TraceRecord, TraceRing, DEFAULT_CAPACITY};

@@ -1,0 +1,239 @@
+//! Run manifests: the provenance block stamped into every artifact.
+//!
+//! A manifest answers "what produced this file?" — bench name, config hash,
+//! seed, instruction budget, thread count, toolchain, commit, wall time —
+//! so any two `results/` artifacts can be compared knowing whether they
+//! came from the same experiment.
+
+use std::process::Command;
+use std::time::Instant;
+
+use crate::json::{self, Json};
+
+/// The artifact schema identifier; bumped on incompatible layout changes.
+pub const SCHEMA: &str = "eeat-run-artifact/v1";
+
+/// 64-bit FNV-1a over a byte string — the workspace's dependency-free
+/// stable hash, used to fingerprint configurations.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprints an experiment: the `Debug` rendering of every config in the
+/// matrix, plus seed and instruction budget, hashed with FNV-1a.
+///
+/// Two runs with the same hash simulated the same machine configurations on
+/// the same inputs; only then is a metric-level diff meaningful.
+pub fn config_hash(config_descriptions: &[String], seed: u64, instructions: u64) -> String {
+    let mut text = String::new();
+    for d in config_descriptions {
+        text.push_str(d);
+        text.push('\n');
+    }
+    text.push_str(&format!("seed={seed}\ninstructions={instructions}\n"));
+    format!("{:016x}", fnv1a_64(text.as_bytes()))
+}
+
+/// Provenance of one benchmark run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// Benchmark name (`fig2`, `throughput`, …).
+    pub bench: String,
+    /// [`config_hash`] of the experiment matrix.
+    pub config_hash: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Instruction budget per simulation.
+    pub instructions: u64,
+    /// Worker threads (0 = automatic).
+    pub threads: usize,
+    /// Source commit (short hash, or `unknown` outside a git checkout).
+    pub commit: String,
+    /// Toolchain (`rustc --version`, or `unknown`).
+    pub rustc: String,
+    /// Wall-clock seconds the run took (0 until [`RunManifest::stamp_wall`]).
+    pub wall_seconds: f64,
+}
+
+impl RunManifest {
+    /// Builds a manifest for `bench`, discovering commit and toolchain from
+    /// the environment (`EEAT_COMMIT` / `EEAT_RUSTC` override discovery,
+    /// which keeps golden tests hermetic).
+    pub fn discover(
+        bench: &str,
+        config_descriptions: &[String],
+        seed: u64,
+        instructions: u64,
+        threads: usize,
+    ) -> Self {
+        Self {
+            bench: bench.to_string(),
+            config_hash: config_hash(config_descriptions, seed, instructions),
+            seed,
+            instructions,
+            threads,
+            commit: discover_commit(),
+            rustc: discover_rustc(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Records the elapsed wall time since `start`.
+    pub fn stamp_wall(&mut self, start: Instant) {
+        self.wall_seconds = start.elapsed().as_secs_f64();
+    }
+
+    /// The manifest as a JSON object.
+    pub fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("bench", json::str(&self.bench)),
+            ("config_hash", json::str(&self.config_hash)),
+            ("seed", json::num(self.seed as f64)),
+            ("instructions", json::num(self.instructions as f64)),
+            ("threads", json::num(self.threads as f64)),
+            ("commit", json::str(&self.commit)),
+            ("rustc", json::str(&self.rustc)),
+            ("wall_seconds", json::num(self.wall_seconds)),
+        ])
+    }
+
+    /// Parses a manifest object produced by [`RunManifest::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Errors when a required field is missing or mistyped.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest.{key}: missing or not a string"))
+        };
+        let number = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("manifest.{key}: missing or not a number"))
+        };
+        Ok(Self {
+            bench: text("bench")?,
+            config_hash: text("config_hash")?,
+            seed: number("seed")? as u64,
+            instructions: number("instructions")? as u64,
+            threads: number("threads")? as usize,
+            commit: text("commit")?,
+            rustc: text("rustc")?,
+            wall_seconds: number("wall_seconds")?,
+        })
+    }
+
+    /// The fields of the `# eeat-run` provenance line prepended to text
+    /// reports (formatted by `eeat_core::provenance_header`).
+    pub fn summary_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("bench", self.bench.clone()),
+            ("config_hash", self.config_hash.clone()),
+            ("seed", self.seed.to_string()),
+            ("instructions", self.instructions.to_string()),
+            ("threads", self.threads.to_string()),
+            ("commit", self.commit.clone()),
+        ]
+    }
+}
+
+fn discover_commit() -> String {
+    if let Ok(commit) = std::env::var("EEAT_COMMIT") {
+        return commit;
+    }
+    command_line("git", &["rev-parse", "--short", "HEAD"]).unwrap_or_else(|| "unknown".to_string())
+}
+
+fn discover_rustc() -> String {
+    if let Ok(rustc) = std::env::var("EEAT_RUSTC") {
+        return rustc;
+    }
+    command_line("rustc", &["--version"]).unwrap_or_else(|| "unknown".to_string())
+}
+
+fn command_line(program: &str, args: &[&str]) -> Option<String> {
+    let output = Command::new(program).args(args).output().ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let line = String::from_utf8(output.stdout).ok()?;
+    let line = line.trim();
+    (!line.is_empty()).then(|| line.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            bench: "fig2".to_string(),
+            config_hash: config_hash(&["4KB".to_string(), "THP".to_string()], 42, 1000),
+            seed: 42,
+            instructions: 1000,
+            threads: 0,
+            commit: "abc1234".to_string(),
+            rustc: "rustc 1.95.0".to_string(),
+            wall_seconds: 1.25,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        let back = RunManifest::from_json(&m.to_json()).expect("parses");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let configs = vec!["4KB".to_string(), "THP".to_string()];
+        let a = config_hash(&configs, 42, 1000);
+        assert_eq!(a, config_hash(&configs, 42, 1000), "deterministic");
+        assert_eq!(a.len(), 16, "16 hex chars");
+        assert_ne!(a, config_hash(&configs, 43, 1000), "seed changes hash");
+        assert_ne!(a, config_hash(&configs, 42, 2000), "budget changes hash");
+        assert_ne!(
+            a,
+            config_hash(&configs[..1], 42, 1000),
+            "matrix changes hash"
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Canonical FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn summary_fields_feed_the_provenance_line() {
+        let m = sample();
+        let fields = m.summary_fields();
+        assert_eq!(fields[0], ("bench", "fig2".to_string()));
+        assert!(fields.iter().any(|(k, _)| *k == "config_hash"));
+        assert!(fields.iter().any(|(k, _)| *k == "commit"));
+    }
+
+    #[test]
+    fn missing_fields_error() {
+        let mut m = sample().to_json();
+        if let Json::Obj(members) = &mut m {
+            members.retain(|(k, _)| k != "seed");
+        }
+        let err = RunManifest::from_json(&m).unwrap_err();
+        assert!(err.contains("seed"));
+    }
+}

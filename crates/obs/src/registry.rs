@@ -1,0 +1,343 @@
+//! A typed metrics registry: counters, gauges, and histograms.
+//!
+//! Hot-path updates are integer adds through pre-registered ids (no string
+//! hashing, no allocation, no float math), following the same discipline as
+//! the energy observer: accumulate raw integers while the simulation runs,
+//! settle to derived values once per epoch or at export time.
+
+use crate::json::{self, Json};
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Clone, Debug, Default)]
+struct Counter {
+    total: u64,
+    settled: u64,
+}
+
+/// A fixed-bound histogram: `bounds.len() + 1` buckets, where bucket `i`
+/// counts observations `x` with `bounds[i-1] <= x < bounds[i]` (the first
+/// bucket is `x < bounds[0]`, the last is `x >= bounds.last()`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, value: f64) {
+        let bucket = self.bounds.partition_point(|&b| b <= value);
+        self.counts[bucket] += 1;
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The bucket counts (`bounds().len() + 1` entries).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds another histogram's counts into this one.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the bucket bounds differ — merging histograms with
+    /// different shapes would silently misattribute counts.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bound mismatch: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        Ok(())
+    }
+}
+
+/// The registry: named metrics behind integer-indexed handles.
+///
+/// Register every metric up front, keep the ids, and update through them on
+/// the hot path; render names only at export time.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a monotone counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.counters.push((name.to_string(), Counter::default()));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge (a point-in-time value, set rather than added).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram over the given upper bounds.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        self.histograms
+            .push((name.to_string(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    #[inline(always)]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1.total += 1;
+    }
+
+    /// Adds to a counter.
+    #[inline(always)]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1.total += n;
+    }
+
+    /// Sets a gauge.
+    #[inline(always)]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Records a histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].1.observe(value);
+    }
+
+    /// A counter's cumulative total.
+    pub fn counter_total(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1.total
+    }
+
+    /// A gauge's current value.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// A histogram's current state.
+    pub fn histogram_state(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Settles the epoch: returns each counter's delta since the previous
+    /// settle (name, delta) and marks the current totals as settled.
+    pub fn settle(&mut self) -> Vec<(String, u64)> {
+        self.counters
+            .iter_mut()
+            .map(|(name, c)| {
+                let delta = c.total - c.settled;
+                c.settled = c.total;
+                (name.clone(), delta)
+            })
+            .collect()
+    }
+
+    /// Flat `(name, value)` export of every metric: counters as totals,
+    /// gauges as-is, histogram buckets as `<name>/le_<bound>` counts (last
+    /// bucket `<name>/le_inf`).
+    pub fn export(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (name, c) in &self.counters {
+            out.push((name.clone(), c.total as f64));
+        }
+        for (name, v) in &self.gauges {
+            out.push((name.clone(), *v));
+        }
+        for (name, h) in &self.histograms {
+            for (i, &count) in h.counts.iter().enumerate() {
+                let label = match h.bounds.get(i) {
+                    Some(b) => format!("{name}/le_{b}"),
+                    None => format!("{name}/le_inf"),
+                };
+                out.push((label, count as f64));
+            }
+        }
+        out
+    }
+
+    /// JSON export: `{"counters": {...}, "gauges": {...}, "histograms":
+    /// {name: {"bounds": [...], "counts": [...]}}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(n, c)| (n.clone(), json::num(c.total as f64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), json::num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        json::obj(vec![
+                            (
+                                "bounds",
+                                Json::Arr(h.bounds.iter().map(|&b| json::num(b)).collect()),
+                            ),
+                            (
+                                "counts",
+                                Json::Arr(h.counts.iter().map(|&c| json::num(c as f64)).collect()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        json::obj(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_settle_as_deltas() {
+        let mut r = Registry::new();
+        let hits = r.counter("hits");
+        let misses = r.counter("misses");
+        r.add(hits, 10);
+        r.inc(misses);
+        assert_eq!(
+            r.settle(),
+            vec![("hits".to_string(), 10), ("misses".to_string(), 1)]
+        );
+        // Second epoch only sees new activity.
+        r.add(hits, 5);
+        assert_eq!(
+            r.settle(),
+            vec![("hits".to_string(), 5), ("misses".to_string(), 0)]
+        );
+        // Totals are cumulative regardless of settling.
+        assert_eq!(r.counter_total(hits), 15);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // < 1
+        h.observe(1.0); // [1, 2): lower bound is inclusive
+        h.observe(1.9);
+        h.observe(3.0); // [2, 4)
+        h.observe(4.0); // >= 4
+        h.observe(100.0);
+        assert_eq!(h.counts(), &[1, 2, 1, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_merge_requires_same_bounds() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.0);
+        b.observe(1.5);
+        b.observe(9.0);
+        a.merge(&b).expect("same bounds merge");
+        assert_eq!(a.counts(), &[1, 1, 1]);
+
+        let c = Histogram::new(&[1.0, 3.0]);
+        assert!(a.merge(&c).is_err(), "bound mismatch must be an error");
+        // A failed merge leaves the receiver untouched.
+        assert_eq!(a.counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn export_flattens_everything() {
+        let mut r = Registry::new();
+        let c = r.counter("walks");
+        let g = r.gauge("ways");
+        let h = r.histogram("lat", &[10.0]);
+        r.add(c, 3);
+        r.set(g, 4.0);
+        r.observe(h, 5.0);
+        r.observe(h, 50.0);
+        let flat = r.export();
+        assert!(flat.contains(&("walks".to_string(), 3.0)));
+        assert!(flat.contains(&("ways".to_string(), 4.0)));
+        assert!(flat.contains(&("lat/le_10".to_string(), 1.0)));
+        assert!(flat.contains(&("lat/le_inf".to_string(), 1.0)));
+        assert_eq!(r.gauge_value(g), 4.0);
+        assert_eq!(r.histogram_state(h).total(), 2);
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let mut r = Registry::new();
+        let c = r.counter("n");
+        r.add(c, 7);
+        r.histogram("h", &[1.0, 2.0]);
+        let text = r.to_json().to_compact();
+        let back = crate::json::parse(&text).expect("parses");
+        assert_eq!(
+            back.get("counters").and_then(|c| c.get("n")),
+            Some(&json::num(7.0))
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! A sampled translation-event trace ring, gated by `EEAT_TRACE`.
+//!
+//! When enabled, the ring keeps the last N sampled events (with their
+//! access and step indices) and dumps them as JSONL at the end of a run —
+//! the "flight recorder" view for debugging a surprising metric. Sampling
+//! is decided once per memory access (every event of a sampled access is
+//! kept, so a step's probe/hit/walk sequence stays intact), and the ring
+//! overwrites oldest-first, so memory use is bounded no matter the budget.
+
+use eeat_types::events::{Observer, TranslationEvent};
+
+use crate::json::{self, Json};
+
+/// Default ring capacity when `EEAT_TRACE=1`.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Global event sequence number (counts every event seen, sampled or
+    /// not, so gaps reveal the sampling stride).
+    pub seq: u64,
+    /// Memory-access index the event belongs to (0 before the first
+    /// access).
+    pub access: u64,
+    /// The event.
+    pub event: TranslationEvent,
+}
+
+/// The ring buffer observer.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    stride: u64,
+    seq: u64,
+    accesses: u64,
+    sampling: bool,
+    buf: Vec<TraceRecord>,
+    next: usize,
+    recorded: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding `capacity` events, sampling every `stride`-th
+    /// access (1 = every access).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` or `stride` is zero.
+    pub fn new(capacity: usize, stride: u64) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        assert!(stride > 0, "stride must be non-zero");
+        Self {
+            capacity,
+            stride,
+            seq: 0,
+            accesses: 0,
+            sampling: true,
+            buf: Vec::with_capacity(capacity.min(4096)),
+            next: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Builds a ring from the environment, or `None` when tracing is off.
+    ///
+    /// * `EEAT_TRACE` — unset or `0`: disabled; `1`: enabled at
+    ///   [`DEFAULT_CAPACITY`]; any other integer: enabled at that capacity.
+    /// * `EEAT_TRACE_SAMPLE` — sampling stride in accesses (default 1).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("EEAT_TRACE").ok()?;
+        let capacity = match raw.trim() {
+            "" | "0" => return None,
+            "1" => DEFAULT_CAPACITY,
+            other => other.parse().ok().filter(|&c| c > 0)?,
+        };
+        let stride = std::env::var("EEAT_TRACE_SAMPLE")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(1);
+        Some(Self::new(capacity, stride))
+    }
+
+    /// Total events recorded (including any already overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        if self.buf.len() < self.capacity {
+            return self.buf.clone();
+        }
+        let mut out = Vec::with_capacity(self.capacity);
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// JSONL dump: a `#`-prefixed header describing the ring, then one
+    /// JSON object per retained event, oldest first.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = format!(
+            "# eeat-trace stride={} capacity={} recorded={} retained={}\n",
+            self.stride,
+            self.capacity,
+            self.recorded,
+            self.buf.len()
+        );
+        for rec in self.records() {
+            let mut members = vec![
+                ("seq", json::num(rec.seq as f64)),
+                ("access", json::num(rec.access as f64)),
+            ];
+            let (name, fields) = event_json(&rec.event);
+            members.push(("event", json::str(name)));
+            members.extend(fields);
+            out.push_str(&json::obj(members).to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn push(&mut self, event: &TranslationEvent) {
+        let rec = TraceRecord {
+            seq: self.seq,
+            access: self.accesses,
+            event: *event,
+        };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.recorded += 1;
+    }
+}
+
+impl Observer for TraceRing {
+    #[inline]
+    fn on_event(&mut self, event: &TranslationEvent) {
+        self.seq += 1;
+        if let TranslationEvent::Access { .. } = event {
+            self.sampling = self.accesses.is_multiple_of(self.stride);
+            self.accesses += 1;
+        }
+        if self.sampling {
+            self.push(event);
+        }
+    }
+}
+
+/// Renders an event as `(variant name, payload fields)` for JSON export.
+fn event_json(event: &TranslationEvent) -> (&'static str, Vec<(&'static str, Json)>) {
+    use TranslationEvent as E;
+    let n = |v: f64| json::num(v);
+    match *event {
+        E::Access { instruction_gap } => (
+            "Access",
+            vec![("instruction_gap", n(f64::from(instruction_gap)))],
+        ),
+        E::ContextSwitch => ("ContextSwitch", vec![]),
+        E::Probe { unit, active } => (
+            "Probe",
+            vec![
+                ("unit", json::str(format!("{unit:?}"))),
+                ("active", n(f64::from(active))),
+            ],
+        ),
+        E::SecondProbe { unit } => (
+            "SecondProbe",
+            vec![("unit", json::str(format!("{unit:?}")))],
+        ),
+        E::Fill { unit } => ("Fill", vec![("unit", json::str(format!("{unit:?}")))]),
+        E::FixedOps {
+            unit,
+            lookups,
+            fills,
+        } => (
+            "FixedOps",
+            vec![
+                ("unit", json::str(format!("{unit:?}"))),
+                ("lookups", n(lookups as f64)),
+                ("fills", n(fills as f64)),
+            ],
+        ),
+        E::L1Hit { column } => ("L1Hit", vec![("column", json::str(format!("{column:?}")))]),
+        E::L1Miss => ("L1Miss", vec![]),
+        E::L2Hit { range } => ("L2Hit", vec![("range", Json::Bool(range))]),
+        E::L2Miss => ("L2Miss", vec![]),
+        E::PageWalk { memory_refs } => {
+            ("PageWalk", vec![("memory_refs", n(f64::from(memory_refs)))])
+        }
+        E::RangeTableWalk { memory_refs } => (
+            "RangeTableWalk",
+            vec![("memory_refs", n(f64::from(memory_refs)))],
+        ),
+        E::EpochSettle {
+            l1_4k_ways,
+            l1_2m_ways,
+            l1_fa_entries,
+        } => (
+            "EpochSettle",
+            vec![
+                ("l1_4k_ways", opt(l1_4k_ways)),
+                ("l1_2m_ways", opt(l1_2m_ways)),
+                ("l1_fa_entries", opt(l1_fa_entries)),
+            ],
+        ),
+        E::Shootdown => ("Shootdown", vec![]),
+        E::EpochMonitor {
+            unit,
+            counters,
+            len,
+        } => (
+            "EpochMonitor",
+            vec![
+                ("unit", json::str(format!("{unit:?}"))),
+                (
+                    "counters",
+                    Json::Arr(
+                        counters[..len as usize]
+                            .iter()
+                            .map(|&c| n(c as f64))
+                            .collect(),
+                    ),
+                ),
+            ],
+        ),
+        E::EpochEnd {
+            reactivated,
+            l1_4k_ways,
+        } => (
+            "EpochEnd",
+            vec![
+                ("reactivated", Json::Bool(reactivated)),
+                ("l1_4k_ways", opt(l1_4k_ways)),
+            ],
+        ),
+        E::StepEnd => ("StepEnd", vec![]),
+    }
+}
+
+fn opt(value: Option<u32>) -> Json {
+    match value {
+        Some(v) => json::num(f64::from(v)),
+        None => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access() -> TranslationEvent {
+        TranslationEvent::Access { instruction_gap: 1 }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut ring = TraceRing::new(3, 1);
+        for _ in 0..5 {
+            ring.on_event(&TranslationEvent::L1Miss);
+        }
+        assert_eq!(ring.recorded(), 5);
+        let recs = ring.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "oldest two overwritten"
+        );
+    }
+
+    #[test]
+    fn stride_keeps_whole_accesses() {
+        let mut ring = TraceRing::new(100, 2);
+        for _ in 0..4 {
+            ring.on_event(&access());
+            ring.on_event(&TranslationEvent::L1Miss);
+            ring.on_event(&TranslationEvent::StepEnd);
+        }
+        // Accesses 0 and 2 sampled (3 events each); 1 and 3 skipped.
+        let recs = ring.records();
+        assert_eq!(recs.len(), 6);
+        assert!(recs.iter().all(|r| r.access == 1 || r.access == 3));
+        // Every sampled access keeps its full event group.
+        assert_eq!(
+            recs.iter()
+                .filter(|r| matches!(r.event, TranslationEvent::StepEnd))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn dump_is_parseable_jsonl() {
+        let mut ring = TraceRing::new(10, 1);
+        ring.on_event(&access());
+        ring.on_event(&TranslationEvent::L2Hit { range: true });
+        ring.on_event(&TranslationEvent::EpochSettle {
+            l1_4k_ways: Some(4),
+            l1_2m_ways: None,
+            l1_fa_entries: None,
+        });
+        let dump = ring.dump_jsonl();
+        let mut lines = dump.lines();
+        assert!(lines.next().expect("header").starts_with("# eeat-trace "));
+        for line in lines {
+            let parsed = crate::json::parse(line).expect("event line parses");
+            assert!(parsed.get("event").is_some());
+        }
+        assert!(dump.contains("\"L2Hit\""));
+        assert!(dump.contains("\"range\":true"));
+    }
+
+    #[test]
+    fn from_env_gating() {
+        // from_env reads process-global state; run all cases in one test to
+        // avoid cross-test races.
+        std::env::remove_var("EEAT_TRACE");
+        std::env::remove_var("EEAT_TRACE_SAMPLE");
+        assert!(TraceRing::from_env().is_none());
+        std::env::set_var("EEAT_TRACE", "0");
+        assert!(TraceRing::from_env().is_none());
+        std::env::set_var("EEAT_TRACE", "1");
+        let ring = TraceRing::from_env().expect("enabled");
+        assert_eq!(ring.capacity, DEFAULT_CAPACITY);
+        assert_eq!(ring.stride, 1);
+        std::env::set_var("EEAT_TRACE", "128");
+        std::env::set_var("EEAT_TRACE_SAMPLE", "64");
+        let ring = TraceRing::from_env().expect("enabled");
+        assert_eq!(ring.capacity, 128);
+        assert_eq!(ring.stride, 64);
+        std::env::remove_var("EEAT_TRACE");
+        std::env::remove_var("EEAT_TRACE_SAMPLE");
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end artifact plumbing: manifests discovered from the
+//! environment, metrics with awkward floats, series sidecar text — written
+//! to disk, read back, validated, and diffed, with every value bit-exact.
+
+use eeat_obs::{diff_artifacts, json, validate, Json, RunArtifact, RunManifest};
+
+fn manifest() -> RunManifest {
+    RunManifest {
+        bench: "roundtrip".to_string(),
+        config_hash: eeat_obs::config_hash(&["A".to_string(), "B".to_string()], 7, 1_000_000),
+        seed: 7,
+        instructions: 1_000_000,
+        threads: 2,
+        commit: "deadbee".to_string(),
+        rustc: "rustc 1.95.0".to_string(),
+        wall_seconds: 12.5,
+    }
+}
+
+#[test]
+fn file_round_trip_is_bit_exact() {
+    let mut artifact = RunArtifact::new(manifest());
+    // Values chosen to stress the float writer: non-terminating binary
+    // fractions, subnormal-ish magnitudes, negatives, exact integers.
+    let awkward = [
+        ("third", 1.0 / 3.0),
+        ("tenth", 0.1),
+        ("pi", std::f64::consts::PI),
+        ("tiny", 2.2250738585072014e-308),
+        ("negative", -123.456e-7),
+        ("big", 9.007199254740991e15),
+        ("zero", 0.0),
+        ("int", 42.0),
+    ];
+    for (k, v) in awkward {
+        artifact.push_metric(k, v);
+    }
+    artifact
+        .series
+        .push("roundtrip.mcf.A.series.jsonl".to_string());
+
+    let path = std::env::temp_dir().join(format!("eeat_obs_roundtrip_{}.json", std::process::id()));
+    std::fs::write(&path, artifact.to_pretty()).expect("write");
+    let text = std::fs::read_to_string(&path).expect("read");
+    std::fs::remove_file(&path).ok();
+
+    let back = RunArtifact::parse(&text).expect("parses");
+    assert_eq!(back, artifact);
+    for (k, v) in awkward {
+        assert_eq!(
+            back.metric(k).expect("present").to_bits(),
+            v.to_bits(),
+            "{k} must survive bit-exact"
+        );
+    }
+}
+
+#[test]
+fn validation_pinpoints_schema_violations() {
+    let good = json::parse(&RunArtifact::new(manifest()).to_pretty()).expect("parses");
+    assert!(validate(&good).is_empty());
+
+    // Corrupt each section and check the violation names it.
+    let corrupt = |key: &str, value: Json| {
+        let mut doc = json::parse(&RunArtifact::new(manifest()).to_pretty()).expect("parses");
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == key {
+                    *v = value.clone();
+                }
+            }
+        }
+        validate(&doc)
+    };
+    assert!(corrupt("schema", json::str("eeat-run-artifact/v99"))
+        .iter()
+        .any(|p| p.contains("schema")));
+    assert!(corrupt("manifest", Json::Null)
+        .iter()
+        .any(|p| p.contains("manifest")));
+    assert!(corrupt("metrics", Json::Arr(vec![]))
+        .iter()
+        .any(|p| p.contains("metrics")));
+    assert!(corrupt("series", json::num(1.0))
+        .iter()
+        .any(|p| p.contains("series")));
+}
+
+#[test]
+fn injected_regression_is_flagged_and_identical_runs_are_clean() {
+    let mut a = RunArtifact::new(manifest());
+    a.push_metric("cell/mcf/4KB/l1_mpki", 15.25);
+    a.push_metric("cell/mcf/4KB/energy_pj", 1.0e9);
+
+    // Identical artifacts diff clean at zero tolerance.
+    let clean = diff_artifacts(&a, &a.clone(), 0.0);
+    assert!(clean.is_clean());
+    assert_eq!(clean.compared, 2);
+
+    // A 5% energy regression must be flagged at 1% tolerance...
+    let mut b = a.clone();
+    b.metrics[1].1 = 1.05e9;
+    let report = diff_artifacts(&a, &b, 0.01);
+    assert!(!report.is_clean());
+    assert_eq!(report.flagged.len(), 1);
+    assert_eq!(report.flagged[0].key, "cell/mcf/4KB/energy_pj");
+
+    // ...and tolerated at 10%.
+    assert!(diff_artifacts(&a, &b, 0.10).is_clean());
+}
+
+#[test]
+fn manifest_discovery_honours_env_overrides() {
+    // EEAT_COMMIT / EEAT_RUSTC keep golden tests hermetic: no git or rustc
+    // subprocess when set. Run both cases in one test (process-global env).
+    std::env::set_var("EEAT_COMMIT", "cafef00d");
+    std::env::set_var("EEAT_RUSTC", "rustc 9.9.9-test");
+    let m = RunManifest::discover("envtest", &["C".to_string()], 1, 2, 3);
+    std::env::remove_var("EEAT_COMMIT");
+    std::env::remove_var("EEAT_RUSTC");
+    assert_eq!(m.commit, "cafef00d");
+    assert_eq!(m.rustc, "rustc 9.9.9-test");
+    assert_eq!(m.bench, "envtest");
+    let back = RunManifest::from_json(&m.to_json()).expect("parses");
+    assert_eq!(back, m);
+}

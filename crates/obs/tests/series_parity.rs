@@ -1,0 +1,97 @@
+//! The telemetry recorder must not perturb or disagree with the existing
+//! accounting: [`EpochSeries`]'s MPKI columns reproduce the Figure 4
+//! `TimelineObserver` *bit for bit* on real simulations, across the fixed
+//! Figure 4 sizes and the Lite configurations whose ways change mid-run.
+
+use eeat_core::{Config, Simulator};
+use eeat_obs::EpochSeries;
+use eeat_workloads::Workload;
+
+const INSTRUCTIONS: u64 = 300_000;
+const BUCKET: u64 = 50_000;
+const SEED: u64 = 42;
+
+/// Runs `config` twice from the same seed — once under the built-in
+/// timeline observer, once under the telemetry series — and demands
+/// bit-identical buckets.
+fn assert_parity(config: Config, workload: Workload) {
+    let name = config.name;
+    let mut reference = Simulator::from_workload(config.clone(), workload, SEED);
+    let (ref_result, timeline) = reference.run_with_timeline(INSTRUCTIONS, BUCKET);
+
+    let mut observed = Simulator::from_workload(config, workload, SEED);
+    let ways = observed
+        .hierarchy()
+        .l1_4k()
+        .map(|t| t.active_ways())
+        .unwrap_or(0);
+    let mut series = EpochSeries::new(0, BUCKET, ways, Some(observed.telemetry_energy_observer()));
+    let obs_result = observed.run_with_observer(INSTRUCTIONS, &mut series);
+
+    // The observer is a pure accumulator: the simulation itself is
+    // unchanged.
+    assert_eq!(obs_result.stats, ref_result.stats, "{name}: stats");
+
+    let rows = series.rows();
+    assert_eq!(rows.len(), timeline.len(), "{name}: bucket count");
+    for (i, (row, point)) in rows.iter().zip(&timeline).enumerate() {
+        assert_eq!(
+            row.instructions, point.instructions,
+            "{name} bucket {i}: instructions"
+        );
+        assert_eq!(
+            row.l1_mpki.to_bits(),
+            point.l1_mpki.to_bits(),
+            "{name} bucket {i}: l1_mpki {} vs {}",
+            row.l1_mpki,
+            point.l1_mpki
+        );
+        assert_eq!(
+            row.l2_mpki.to_bits(),
+            point.l2_mpki.to_bits(),
+            "{name} bucket {i}: l2_mpki {} vs {}",
+            row.l2_mpki,
+            point.l2_mpki
+        );
+        assert_eq!(
+            row.l1_4k_ways, point.l1_4k_ways,
+            "{name} bucket {i}: active ways"
+        );
+    }
+
+    // Per-bucket deltas never exceed the run totals (the tail after the
+    // last closed bucket is the remainder).
+    let bucket_misses: u64 = rows.iter().map(|r| r.l1_misses).sum();
+    assert!(
+        bucket_misses <= obs_result.stats.l1_misses,
+        "{name}: misses"
+    );
+    let bucket_pj: f64 = rows.iter().map(|r| r.energy_pj).sum();
+    assert!(
+        bucket_pj <= obs_result.energy.total_pj() + 1e-6,
+        "{name}: bucketed energy {bucket_pj} exceeds total {}",
+        obs_result.energy.total_pj()
+    );
+    assert!(bucket_pj >= 0.0, "{name}: energy deltas non-negative");
+}
+
+#[test]
+fn fig4_fixed_sizes_match_the_timeline_bit_for_bit() {
+    // The Figure 4 configuration set: Base plus the three THP sizes.
+    for config in [
+        Config::four_k(),
+        Config::thp_with_l1_4k(64, 4),
+        Config::thp_with_l1_4k(32, 2),
+        Config::thp_with_l1_4k(16, 1),
+    ] {
+        assert_parity(config, Workload::Mcf);
+    }
+}
+
+#[test]
+fn lite_configs_match_while_resizing() {
+    // Lite resizes ways mid-run: the series must track EpochEnd exactly
+    // like the timeline, and RMM_Lite adds range hits and epoch settles.
+    assert_parity(Config::tlb_lite(), Workload::Astar);
+    assert_parity(Config::rmm_lite(), Workload::Omnetpp);
+}

@@ -1086,10 +1086,22 @@ pub fn fuzz_target(target: Target, seed: u64, steps: usize) -> Result<(), FuzzFa
 /// Fuzzes every target with sub-seeds derived from `seed`, `steps`
 /// operations each. Stops at the first failure.
 pub fn fuzz_seed(seed: u64, steps: usize) -> Result<(), FuzzFailure> {
+    fuzz_seed_with(seed, steps, |_, _| ())
+}
+
+/// [`fuzz_seed`] with a progress callback: `progress(target, sub_seed)` is
+/// invoked after each target completes cleanly, so long campaigns can emit
+/// heartbeats without the harness guessing at sub-seed derivation.
+pub fn fuzz_seed_with<F: FnMut(Target, u64)>(
+    seed: u64,
+    steps: usize,
+    mut progress: F,
+) -> Result<(), FuzzFailure> {
     let mut mix = SplitMix64::new(seed);
     for &target in &Target::ALL {
         let sub = mix.next_u64();
         fuzz_target(target, sub, steps)?;
+        progress(target, sub);
     }
     Ok(())
 }

@@ -34,8 +34,8 @@ mod lite;
 mod model;
 
 pub use fuzz::{
-    format_replay, fuzz_seed, fuzz_target, minimize, parse_replay, run_ops, run_replay, Divergence,
-    FuzzFailure, Op, Target,
+    format_replay, fuzz_seed, fuzz_seed_with, fuzz_target, minimize, parse_replay, run_ops,
+    run_replay, Divergence, FuzzFailure, Op, Target,
 };
 pub use lite::OracleLite;
 pub use model::{

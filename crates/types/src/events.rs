@@ -142,6 +142,26 @@ pub enum TranslationEvent {
         /// Active entries of the fully associative L1, if present.
         l1_fa_entries: Option<u32>,
     },
+    /// A precise TLB shootdown (`invlpg` semantics) removed one mapping —
+    /// and its cached paging-structure entries — from the hierarchy.
+    Shootdown,
+    /// A Lite interval is ending: the LRU-distance counters of one
+    /// monitored structure, *before* they are reset for the next interval.
+    ///
+    /// Emitted once per monitored structure per interval, ahead of
+    /// [`TranslationEvent::EpochSettle`], so telemetry observers can export
+    /// the paper's per-way utility histograms (Figure 6) without reaching
+    /// into the Lite controller.
+    EpochMonitor {
+        /// The monitored structure.
+        unit: ResizableUnit,
+        /// LRU-distance counters; only `counters[..len]` are meaningful
+        /// (`log2(ways) + 1` counters — up to 7 for the 64-entry fully
+        /// associative L1).
+        counters: [u64; 7],
+        /// Number of meaningful counters.
+        len: u8,
+    },
     /// A Lite interval ended and its decision has been applied.
     EpochEnd {
         /// `true` when the decision re-activated all ways (degradation
@@ -168,6 +188,27 @@ pub trait Observer {
 impl Observer for () {
     #[inline]
     fn on_event(&mut self, _event: &TranslationEvent) {}
+}
+
+/// Fan-out: both observers see every event, in tuple order. Nests for
+/// wider compositions: `((a, b), c)`.
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    #[inline]
+    fn on_event(&mut self, event: &TranslationEvent) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+/// A conditional observer: `None` is a no-op sink, so optional telemetry
+/// composes without branching at every call site.
+impl<O: Observer> Observer for Option<O> {
+    #[inline]
+    fn on_event(&mut self, event: &TranslationEvent) {
+        if let Some(inner) = self {
+            inner.on_event(event);
+        }
+    }
 }
 
 #[cfg(test)]
