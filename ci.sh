@@ -11,6 +11,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> pipeline dispatch lint (org policy flows through StepCtx, never raw config reads)"
+if grep -rn 'unified_l1\|config\.' crates/core/src/pipeline/ | grep -v ':[[:space:]]*//'; then
+    echo "pipeline stages must not branch on Config directly; extend ProbePlan/StepCtx instead" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
 
@@ -18,6 +24,10 @@ echo "==> cargo test -q"
 cargo test --workspace -q --offline
 
 echo "==> golden-fixture parity (fails on any drift in simulation results)"
+test -f tests/fixtures/golden/colt.txt || {
+    echo "missing CoLT golden fixture; run EEAT_BLESS=1 cargo test --test golden_parity" >&2
+    exit 1
+}
 cargo test --release -q --offline --test golden_parity --test block_equivalence
 
 # Smoke runs write their artifacts to a scratch results dir so the
@@ -27,7 +37,17 @@ trap 'rm -rf "$SCRATCH"' EXIT
 
 echo "==> differential fuzz smoke (8 seeds x 10k steps per target)"
 EEAT_FUZZ_SEEDS=8 EEAT_RESULTS="$SCRATCH" cargo run --release --offline \
-    -p eeat-bench --bin fuzz -- --instructions 10_000 --seed 1
+    -p eeat-bench --bin fuzz -- --instructions 10_000 --seed 1 \
+    2> "$SCRATCH/fuzz.stderr" || { cat "$SCRATCH/fuzz.stderr" >&2; exit 1; }
+cat "$SCRATCH/fuzz.stderr" >&2
+grep -q "target colt" "$SCRATCH/fuzz.stderr" || {
+    echo "fuzz smoke never exercised the colt target" >&2
+    exit 1
+}
+
+echo "==> CoLT head-to-head smoke"
+EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin colt -- \
+    --instructions 200_000 --workloads mcf,canneal
 
 echo "==> throughput harness smoke"
 EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin throughput -- \

@@ -1,0 +1,76 @@
+//! The organization registry and the run-artifact pipeline stay in sync:
+//! every registered organization's name survives an `eeat-run-artifact/v1`
+//! round trip back to the same configuration hash, and every one produces
+//! a cell when the experiment matrix runs over `Config::all_registered()`.
+
+use eeat_core::{Config, Experiment, Org};
+use eeat_obs::{config_hash, json, validate, RunArtifact, RunManifest};
+use eeat_workloads::Workload;
+
+const SEED: u64 = 42;
+const INSTRUCTIONS: u64 = 1_000_000;
+
+#[test]
+fn every_org_round_trips_through_the_artifact_schema() {
+    // Hermetic manifest discovery: no git/rustc subprocesses.
+    std::env::set_var("EEAT_COMMIT", "0000000");
+    std::env::set_var("EEAT_RUSTC", "rustc 0.0.0-test");
+    for org in Org::all() {
+        let descriptions = vec![format!("{:?}", org.config())];
+        let manifest = RunManifest::discover(org.name(), &descriptions, SEED, INSTRUCTIONS, 1);
+        let artifact = RunArtifact::new(manifest);
+
+        let text = artifact.to_pretty();
+        let doc = json::parse(&text).expect("artifact is well-formed JSON");
+        assert!(
+            validate(&doc).is_empty(),
+            "{}: artifact violates eeat-run-artifact/v1",
+            org.name()
+        );
+
+        // Name → registry → recomputed hash must land on the same value
+        // the artifact was stamped with, so a report consumer can resolve
+        // an org from an artifact and verify it ran the right config.
+        let back = RunArtifact::parse(&text).expect("artifact parses back");
+        let resolved = Org::by_name(&back.manifest.bench)
+            .unwrap_or_else(|| panic!("{} not resolvable from artifact", back.manifest.bench));
+        let recomputed = config_hash(
+            &[format!("{:?}", resolved.config())],
+            back.manifest.seed,
+            back.manifest.instructions,
+        );
+        assert_eq!(
+            recomputed,
+            back.manifest.config_hash,
+            "{}: config hash drifted across the round trip",
+            org.name()
+        );
+    }
+    std::env::remove_var("EEAT_COMMIT");
+    std::env::remove_var("EEAT_RUSTC");
+}
+
+#[test]
+fn every_org_appears_in_the_experiment_matrix() {
+    let configs = Config::all_registered();
+    let results = Experiment::new()
+        .with_instructions(200_000)
+        .with_seed(SEED)
+        .with_threads(2)
+        .run_matrix(&[Workload::by_name("mcf").expect("catalog")], &configs);
+
+    assert_eq!(results.len(), 1);
+    let runs = &results[0].runs;
+    assert_eq!(runs.len(), configs.len());
+    for org in Org::all() {
+        let run = runs
+            .iter()
+            .find(|r| r.config_name == org.name())
+            .unwrap_or_else(|| panic!("{} missing from the matrix", org.name()));
+        assert!(
+            run.result.stats.accesses > 0,
+            "{} produced an empty run",
+            org.name()
+        );
+    }
+}

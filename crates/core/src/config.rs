@@ -125,6 +125,10 @@ pub struct Config {
     pub l1_1g: Option<TlbGeometry>,
     /// Entries of the L1-range TLB (RMM_Lite).
     pub l1_range_entries: Option<usize>,
+    /// The coalesced L1 TLB (CoLT): set-associative entries each covering
+    /// up to [`eeat_tlb::COLT_GROUP`] contiguous 4 KiB mappings. Replaces
+    /// the per-size L1 page TLBs when set.
+    pub l1_colt: Option<TlbGeometry>,
     /// The unified L2 page TLB.
     pub l2_page: TlbGeometry,
     /// Entries of the L2-range TLB (RMM / RMM_Lite).
@@ -164,6 +168,7 @@ impl Config {
             l1_2m: None,
             l1_1g: None,
             l1_range_entries: None,
+            l1_colt: None,
             l2_page: Self::L2,
             l2_range_entries: None,
             unified_l1: false,
@@ -225,6 +230,20 @@ impl Config {
             l1_range_entries: Some(4),
             l2_range_entries: Some(32),
             lite: Some(LiteParams::rmm_lite()),
+            ..Self::four_k()
+        }
+    }
+
+    /// *CoLT*: a coalesced L1 TLB over 4 KiB pages — each entry covers a
+    /// run of up to eight contiguous VPN→PFN mappings with a presence
+    /// mask, exploiting the allocation contiguity the buddy allocator
+    /// produces naturally. No OS cooperation (THP/RMM) and no Lite; the
+    /// reach multiplication alone carries it.
+    pub fn colt() -> Self {
+        Self {
+            name: "CoLT",
+            l1_4k: None,
+            l1_colt: Some(TlbGeometry::new(64, 4)),
             ..Self::four_k()
         }
     }
@@ -291,16 +310,17 @@ impl Config {
         }
     }
 
-    /// All six named configurations in the order Figure 10 plots them.
+    /// All six paper configurations in the order Figure 10 plots them —
+    /// drawn from the organization registry, so the registry is the single
+    /// source of the list.
     pub fn all_six() -> [Config; 6] {
-        [
-            Self::four_k(),
-            Self::thp(),
-            Self::tlb_lite(),
-            Self::rmm(),
-            Self::tlb_pp(),
-            Self::rmm_lite(),
-        ]
+        crate::org::Org::paper_six().map(|org| org.config())
+    }
+
+    /// Every registered organization's configuration, in report order (the
+    /// six paper organizations followed by the extensions, currently CoLT).
+    pub fn all_registered() -> [Config; crate::org::Org::COUNT] {
+        crate::org::Org::all().map(|org| org.config())
     }
 
     /// `true` when any range TLB exists.
@@ -323,6 +343,9 @@ impl fmt::Display for Config {
         }
         if let Some(n) = self.l1_range_entries {
             write!(f, ", L1-range {n}e")?;
+        }
+        if let Some(g) = self.l1_colt {
+            write!(f, ", L1-CoLT {g} x{}", eeat_tlb::COLT_GROUP)?;
         }
         write!(f, ", L2 {}", self.l2_page)?;
         if let Some(n) = self.l2_range_entries {

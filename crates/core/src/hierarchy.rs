@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use eeat_tlb::{FullyAssocTlb, RangeTlb, SetAssocTlb, TlbStats};
+use eeat_tlb::{CoalescedTlb, FullyAssocTlb, RangeTlb, SetAssocTlb, TlbStats};
 use eeat_types::{PageSize, VirtAddr};
 
 use crate::config::Config;
@@ -35,6 +35,8 @@ pub struct TlbHierarchy {
     pub(crate) l1_1g: Option<FullyAssocTlb>,
     /// §4.4 extension: a single fully associative L1 for all page sizes.
     pub(crate) l1_fa: Option<FullyAssocTlb>,
+    /// CoLT: a coalesced L1 whose entries cover contiguous 4 KiB runs.
+    pub(crate) l1_colt: Option<CoalescedTlb>,
     pub(crate) l1_range: Option<RangeTlb>,
     pub(crate) l2_page: SetAssocTlb,
     pub(crate) l2_range: Option<RangeTlb>,
@@ -67,6 +69,9 @@ impl TlbHierarchy {
                 .l1_1g
                 .filter(|_| fa.is_none())
                 .map(|g| FullyAssocTlb::new("L1-1GB", g.entries, PageSize::Size1G)),
+            l1_colt: config
+                .l1_colt
+                .map(|g| CoalescedTlb::new("L1-CoLT", g.entries, g.ways)),
             l1_range: config
                 .l1_range_entries
                 .map(|n| RangeTlb::new("L1-range", n)),
@@ -109,6 +114,11 @@ impl TlbHierarchy {
         self.l1_fa.as_ref()
     }
 
+    /// The coalesced (CoLT) L1 TLB, if present.
+    pub fn l1_colt(&self) -> Option<&CoalescedTlb> {
+        self.l1_colt.as_ref()
+    }
+
     /// The L1-range TLB, if present.
     pub fn l1_range(&self) -> Option<&RangeTlb> {
         self.l1_range.as_ref()
@@ -147,6 +157,15 @@ impl TlbHierarchy {
     /// source of truth tying a structure to its Lite monitor/decision slot;
     /// the probe and resize paths must both use it so a configuration with,
     /// say, only an L1-2MB TLB credits monitor 0, not a hard-coded 1.
+    ///
+    /// The fallback ordering is deterministic and documented: the fully
+    /// associative L1 (when present) owns the only slot; otherwise slots
+    /// are claimed in the fixed order **L1-4KB, then L1-2MB**, skipping
+    /// absent structures — so an organization with no L1-4KB TLB assigns
+    /// slot 0 to its L1-2MB TLB, and an organization with no resizable
+    /// structure at all (e.g. CoLT, whose coalesced L1 is fixed-geometry)
+    /// gets every slot `None`. Pinned by the
+    /// `monitor_indices_fallback_is_deterministic` test.
     pub fn monitor_indices(&self) -> MonitorIndices {
         if self.l1_fa.is_some() {
             return MonitorIndices {
@@ -188,6 +207,9 @@ impl TlbHierarchy {
         if let Some(t) = &mut self.l1_fa {
             removed += t.invalidate(va);
         }
+        if let Some(t) = &mut self.l1_colt {
+            removed += t.invalidate(va);
+        }
         if let Some(t) = &mut self.l1_range {
             removed += t.invalidate(va);
         }
@@ -214,6 +236,9 @@ impl TlbHierarchy {
         if let Some(t) = &mut self.l1_fa {
             t.flush();
         }
+        if let Some(t) = &mut self.l1_colt {
+            t.flush();
+        }
         if let Some(t) = &mut self.l1_range {
             t.flush();
         }
@@ -236,6 +261,9 @@ impl TlbHierarchy {
             total += *t.stats();
         }
         if let Some(t) = &self.l1_fa {
+            total += *t.stats();
+        }
+        if let Some(t) = &self.l1_colt {
             total += *t.stats();
         }
         if let Some(t) = &self.l1_range {
@@ -264,6 +292,10 @@ impl fmt::Display for TlbHierarchy {
             write!(f, "{t}")?;
         }
         if let Some(t) = &self.l1_fa {
+            sep(f)?;
+            write!(f, "{t}")?;
+        }
+        if let Some(t) = &self.l1_colt {
             sep(f)?;
             write!(f, "{t}")?;
         }
@@ -393,6 +425,67 @@ mod tests {
         assert_eq!(idx.l1_4k, None);
         assert_eq!(idx.l1_2m, Some(0));
         assert_eq!(h.resizable_ways().len(), 1);
+    }
+
+    #[test]
+    fn monitor_indices_fallback_is_deterministic() {
+        // No resizable structure at all (CoLT's coalesced L1 is
+        // fixed-geometry): every slot is None and nothing is monitored.
+        let h = TlbHierarchy::from_config(&Config::colt());
+        let idx = h.monitor_indices();
+        assert_eq!(
+            idx,
+            MonitorIndices {
+                l1_fa: None,
+                l1_4k: None,
+                l1_2m: None,
+            }
+        );
+        assert!(h.resizable_ways().is_empty());
+
+        // No L1-4KB TLB: the L1-2MB TLB deterministically claims slot 0
+        // (the documented fixed claim order, not a hard-coded 1).
+        let mut config = Config::thp();
+        config.l1_4k = None;
+        let idx = TlbHierarchy::from_config(&config).monitor_indices();
+        assert_eq!(
+            idx,
+            MonitorIndices {
+                l1_fa: None,
+                l1_4k: None,
+                l1_2m: Some(0),
+            }
+        );
+
+        // The fully associative L1 owns the only slot when present, even
+        // if the config also names per-size geometries.
+        let mut config = Config::thp();
+        config.l1_fa_entries = Some(64);
+        let idx = TlbHierarchy::from_config(&config).monitor_indices();
+        assert_eq!(
+            idx,
+            MonitorIndices {
+                l1_fa: Some(0),
+                l1_4k: None,
+                l1_2m: None,
+            }
+        );
+    }
+
+    #[test]
+    fn colt_hierarchy_builds_and_invalidates() {
+        use eeat_types::{Pfn, Vpn};
+        let mut h = TlbHierarchy::from_config(&Config::colt());
+        assert!(h.l1_4k().is_none() && h.l1_2m().is_none());
+        let colt = h.l1_colt.as_mut().expect("CoLT builds a coalesced L1");
+        assert_eq!(colt.capacity(), 64);
+        assert_eq!(colt.ways(), 4);
+        colt.insert_group(Vpn::new(0), Pfn::new(64), 0b0011);
+        assert_eq!(h.shootdown(VirtAddr::new(0)), 1);
+        assert_eq!(h.l1_colt().unwrap().coverage_pages(), 1);
+        h.flush_all();
+        assert_eq!(h.l1_colt().unwrap().occupancy(), 0);
+        assert!(h.to_string().contains("L1-CoLT"));
     }
 
     #[test]

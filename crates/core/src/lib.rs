@@ -36,6 +36,7 @@ mod config;
 mod experiment;
 mod hierarchy;
 mod lite;
+mod org;
 mod par;
 mod pipeline;
 mod predictor;
@@ -50,6 +51,10 @@ pub use config::{Config, LiteParams, ThresholdEpsilon, TlbGeometry};
 pub use experiment::{mean_normalized, ConfigRun, Experiment, WorkloadResults};
 pub use hierarchy::{MonitorIndices, TlbHierarchy};
 pub use lite::{LiteController, LiteDecision, WayMonitor};
+pub use org::{
+    ColtOrg, FourKOrg, Org, ProbePlan, RmmLiteOrg, RmmOrg, ThpOrg, TlbLiteOrg, TlbPpOrg,
+    TranslationOrg,
+};
 pub use predictor::SizePredictor;
 pub use profile::{Stage, StageProfile};
 pub use report::{format_row, format_table, provenance_header, Table};

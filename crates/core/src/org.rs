@@ -1,0 +1,334 @@
+//! The organization registry: trait-based dispatch over the simulated TLB
+//! organizations.
+//!
+//! A [`TranslationOrg`] owns everything that used to be smeared across
+//! flag checks: the display name and description, the [`Config`] the
+//! organization runs under, the hierarchy construction, the per-stage
+//! probe/refill plan the pipeline hoists into its step context, the Lite
+//! monitor wiring, and the Table 2 energy-model selection. [`Org::all`]
+//! enumerates the registered organizations in report order, so matrices,
+//! sweeps, bench CLIs, and the run-artifact `org` field all draw from one
+//! list — registering a new organization is one `impl` plus one entry
+//! here.
+//!
+//! The dispatch is **construction-time only**: the trait hands the
+//! simulator plain data (a `Config`, a [`TlbHierarchy`], a [`ProbePlan`],
+//! an [`EnergyModel`]) and the per-access pipeline stays monomorphized
+//! over that data, exactly as before. No virtual call runs inside the hot
+//! loop.
+
+use eeat_energy::EnergyModel;
+
+use crate::config::Config;
+use crate::hierarchy::{MonitorIndices, TlbHierarchy};
+
+/// The per-stage probe/refill policy of an organization, as plain data.
+///
+/// Derived once per run (never per access) and hoisted into the pipeline's
+/// step context; every former `config.unified_l1`-style conditional inside
+/// the pipeline reads one of these precomputed flags instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbePlan {
+    /// The L1 page TLB mixes 4 KiB and 2 MiB entries (TLB_PP / TLB_Pred):
+    /// lookups index by the (predicted) actual page size, and 2 MiB fills
+    /// land in the mixed structure.
+    pub mixed_l1: bool,
+    /// Range TLBs exist: L2 misses trigger the background range-table walk.
+    pub uses_ranges: bool,
+    /// The §4.4 single fully associative L1 replaces the per-size L1s.
+    pub fully_assoc_l1: bool,
+    /// A coalesced (CoLT) L1 replaces the per-size L1 page TLBs; 4 KiB
+    /// refills probe neighbouring PTEs and install coalesced runs.
+    pub coalesced_l1: bool,
+}
+
+impl ProbePlan {
+    /// The plan a configuration implies.
+    pub fn from_config(config: &Config) -> Self {
+        Self {
+            mixed_l1: config.unified_l1,
+            uses_ranges: config.uses_ranges(),
+            fully_assoc_l1: config.l1_fa_entries.is_some(),
+            coalesced_l1: config.l1_colt.is_some(),
+        }
+    }
+}
+
+/// One pluggable TLB organization.
+///
+/// Every method has a default deriving the behaviour from
+/// [`config`](Self::config), so a paper-standard organization is a
+/// two-method `impl`; an exotic one overrides exactly the stages it
+/// changes.
+pub trait TranslationOrg: Sync {
+    /// The display name, as the figures label it (`"RMM_Lite"`).
+    fn name(&self) -> &'static str {
+        self.config().name
+    }
+
+    /// One sentence on what the organization does.
+    fn description(&self) -> &'static str;
+
+    /// The configuration (structures, geometry, paging policy, Lite).
+    fn config(&self) -> Config;
+
+    /// Builds the TLB hierarchy the simulator runs on.
+    fn build_hierarchy(&self) -> TlbHierarchy {
+        TlbHierarchy::from_config(&self.config())
+    }
+
+    /// The per-stage probe/refill policy (hoisted into the step context).
+    fn probe_plan(&self) -> ProbePlan {
+        ProbePlan::from_config(&self.config())
+    }
+
+    /// The Lite monitor slots of the resizable L1 structures.
+    fn monitor_plan(&self) -> MonitorIndices {
+        self.build_hierarchy().monitor_indices()
+    }
+
+    /// The Table 2 energy parameters the organization is charged with.
+    fn energy_model(&self) -> EnergyModel {
+        EnergyModel::sandy_bridge()
+    }
+}
+
+/// *4KB*: base pages only — the normalization baseline of every figure.
+pub struct FourKOrg;
+
+impl TranslationOrg for FourKOrg {
+    fn description(&self) -> &'static str {
+        "4 KiB pages only; the baseline every figure normalizes to"
+    }
+
+    fn config(&self) -> Config {
+        Config::four_k()
+    }
+}
+
+/// *THP*: transparent huge pages — the state of practice.
+pub struct ThpOrg;
+
+impl TranslationOrg for ThpOrg {
+    fn description(&self) -> &'static str {
+        "transparent 2 MiB huge pages; the state of practice"
+    }
+
+    fn config(&self) -> Config {
+        Config::thp()
+    }
+}
+
+/// *TLB_Lite*: THP plus the Lite mechanism on the L1 page TLBs.
+pub struct TlbLiteOrg;
+
+impl TranslationOrg for TlbLiteOrg {
+    fn description(&self) -> &'static str {
+        "THP plus Lite way-disabling on the L1 page TLBs"
+    }
+
+    fn config(&self) -> Config {
+        Config::tlb_lite()
+    }
+}
+
+/// *RMM*: THP plus an L2-range TLB with eager paging.
+pub struct RmmOrg;
+
+impl TranslationOrg for RmmOrg {
+    fn description(&self) -> &'static str {
+        "THP plus a 32-entry L2-range TLB over eagerly paged ranges"
+    }
+
+    fn config(&self) -> Config {
+        Config::rmm()
+    }
+}
+
+/// *TLB_PP*: 4 KiB and 2 MiB entries mixed in one L1, perfectly predicted.
+pub struct TlbPpOrg;
+
+impl TranslationOrg for TlbPpOrg {
+    fn description(&self) -> &'static str {
+        "mixed-size L1 with perfect page-size prediction"
+    }
+
+    fn config(&self) -> Config {
+        Config::tlb_pp()
+    }
+}
+
+/// *RMM_Lite*: range translations at both levels plus Lite — the paper's
+/// flagship.
+pub struct RmmLiteOrg;
+
+impl TranslationOrg for RmmLiteOrg {
+    fn description(&self) -> &'static str {
+        "range TLBs at both levels plus Lite; the paper's proposal"
+    }
+
+    fn config(&self) -> Config {
+        Config::rmm_lite()
+    }
+}
+
+/// *CoLT*: coalesced L1 TLB entries over contiguous 4 KiB mappings.
+pub struct ColtOrg;
+
+impl TranslationOrg for ColtOrg {
+    fn description(&self) -> &'static str {
+        "coalesced L1 entries covering up to 8 contiguous 4 KiB mappings"
+    }
+
+    fn config(&self) -> Config {
+        Config::colt()
+    }
+}
+
+/// The organization registry.
+pub struct Org;
+
+impl Org {
+    /// Number of registered organizations.
+    pub const COUNT: usize = 7;
+
+    /// Every registered organization, in report order: the six paper
+    /// organizations of Figure 9 first, then the extensions.
+    pub fn all() -> [&'static dyn TranslationOrg; Self::COUNT] {
+        [
+            &FourKOrg,
+            &ThpOrg,
+            &TlbLiteOrg,
+            &RmmOrg,
+            &TlbPpOrg,
+            &RmmLiteOrg,
+            &ColtOrg,
+        ]
+    }
+
+    /// The six organizations of the paper's Figure 9, in plot order.
+    pub fn paper_six() -> [&'static dyn TranslationOrg; 6] {
+        [
+            &FourKOrg,
+            &ThpOrg,
+            &TlbLiteOrg,
+            &RmmOrg,
+            &TlbPpOrg,
+            &RmmLiteOrg,
+        ]
+    }
+
+    /// Finds a registered organization by display name, case-insensitively.
+    pub fn by_name(name: &str) -> Option<&'static dyn TranslationOrg> {
+        Self::all()
+            .into_iter()
+            .find(|o| o.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// The hierarchy for a configuration, routed through the registry: a
+/// config carrying a registered organization's name *and* its exact
+/// parameters builds via that organization's
+/// [`build_hierarchy`](TranslationOrg::build_hierarchy); anything else
+/// (sweep variants, test configs) takes the default construction.
+pub(crate) fn hierarchy_for(config: &Config) -> TlbHierarchy {
+    match Org::by_name(config.name) {
+        Some(org) if org.config() == *config => org.build_hierarchy(),
+        _ => TlbHierarchy::from_config(config),
+    }
+}
+
+/// The energy model for a configuration, routed through the registry the
+/// same way as [`hierarchy_for`].
+pub(crate) fn energy_model_for(config: &Config) -> EnergyModel {
+    match Org::by_name(config.name) {
+        Some(org) if org.config() == *config => org.energy_model(),
+        _ => EnergyModel::sandy_bridge(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_in_report_order() {
+        let names: Vec<&str> = Org::all().iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            ["4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite", "CoLT"]
+        );
+    }
+
+    #[test]
+    fn paper_six_is_the_registry_prefix() {
+        let all = Org::all();
+        for (a, b) in Org::paper_six().iter().zip(all.iter()) {
+            assert_eq!(a.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive_and_total() {
+        for org in Org::all() {
+            let found = Org::by_name(&org.name().to_lowercase()).expect("registered");
+            assert_eq!(found.name(), org.name());
+            assert_eq!(found.config(), org.config());
+            assert!(!found.description().is_empty());
+        }
+        assert!(Org::by_name("no_such_org").is_none());
+    }
+
+    #[test]
+    fn probe_plans_match_the_flag_soup_they_replace() {
+        for org in Org::all() {
+            let config = org.config();
+            let plan = org.probe_plan();
+            assert_eq!(plan.mixed_l1, config.unified_l1, "{}", org.name());
+            assert_eq!(plan.uses_ranges, config.uses_ranges(), "{}", org.name());
+            assert_eq!(
+                plan.fully_assoc_l1,
+                config.l1_fa_entries.is_some(),
+                "{}",
+                org.name()
+            );
+            assert_eq!(
+                plan.coalesced_l1,
+                config.l1_colt.is_some(),
+                "{}",
+                org.name()
+            );
+        }
+    }
+
+    #[test]
+    fn colt_org_registered_end_to_end() {
+        let org = Org::by_name("CoLT").expect("registered");
+        let config = org.config();
+        assert!(config.l1_colt.is_some());
+        assert!(config.l1_4k.is_none() && config.l1_2m.is_none());
+        assert!(config.lite.is_none(), "CoLT is not Lite-resizable");
+        let h = org.build_hierarchy();
+        assert!(h.l1_colt().is_some());
+        assert!(h.l1_4k().is_none());
+        // Not resizable: no Lite monitors at all.
+        let monitors = org.monitor_plan();
+        assert_eq!(monitors.l1_4k, None);
+        assert_eq!(monitors.l1_2m, None);
+        assert_eq!(monitors.l1_fa, None);
+    }
+
+    #[test]
+    fn registry_routing_falls_back_for_modified_configs() {
+        // An exact registered config routes through the registry...
+        let h = hierarchy_for(&Config::colt());
+        assert!(h.l1_colt().is_some());
+        // ...while a same-named but altered config takes the default path
+        // (and still builds what its fields say).
+        let mut tweaked = Config::colt();
+        tweaked.l2_page = crate::config::TlbGeometry::new(256, 4);
+        let h = hierarchy_for(&tweaked);
+        assert_eq!(h.l2_page().capacity(), 256);
+        let _ = energy_model_for(&tweaked);
+    }
+}

@@ -147,6 +147,23 @@ pub(crate) fn probe<E: Observer>(
             page_hit = Some((PageSize::Size1G, h.rank, None));
         }
     }
+    if let Some(t) = sim.hierarchy.l1_colt.as_mut() {
+        // CoLT: one tag compare plus a presence-mask test covers a whole
+        // contiguous run; fixed geometry, so no Lite monitor is credited.
+        let hit = t.lookup(va);
+        sim.sinks.emit(
+            extra,
+            TranslationEvent::FixedOps {
+                unit: FixedUnit::L1Colt,
+                lookups: 1,
+                fills: 0,
+            },
+        );
+        if let Some(h) = hit {
+            debug_assert!(page_hit.is_none(), "page sizes are disjoint");
+            page_hit = Some((PageSize::Size4K, h.rank, None));
+        }
+    }
 
     if range_hit.is_some() {
         return L1Outcome::RangeHit;

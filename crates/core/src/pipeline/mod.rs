@@ -73,6 +73,9 @@ pub(crate) struct StepCtx {
     pub(crate) uses_ranges: bool,
     /// `sim.hierarchy.l1_fa.is_some()`, for the hit-column mapping.
     pub(crate) has_l1_fa: bool,
+    /// Whether a coalesced (CoLT) L1 is present: 4 KiB page-walk refills
+    /// probe the fetched PTE line's neighbours and install coalesced runs.
+    pub(crate) has_colt: bool,
 }
 
 /// The simulator's always-on accounting sinks, fanned out per event
@@ -157,7 +160,7 @@ pub(crate) fn step<E: Observer, P: StageProfiler>(
                 let range = l2.page.is_none();
                 sim.sinks.emit(extra, TranslationEvent::L2Hit { range });
                 profiler.enter(Stage::Refill);
-                refill::after_l2_hit(sim, &l2, va, size, extra);
+                refill::after_l2_hit(sim, ctx, &l2, va, size, extra);
                 profiler.exit(Stage::Refill);
                 TranslationOutcome::L2Hit { range }
             } else {
@@ -167,7 +170,7 @@ pub(crate) fn step<E: Observer, P: StageProfiler>(
                 let translation = walk::translate(sim, va, extra);
                 profiler.exit(Stage::Walk);
                 profiler.enter(Stage::Refill);
-                refill::after_walk(sim, translation, extra);
+                refill::after_walk(sim, ctx, translation, extra);
                 profiler.exit(Stage::Refill);
                 profiler.enter(Stage::Walk);
                 walk::range_walk_background(sim, ctx, va, extra);

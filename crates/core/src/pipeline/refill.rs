@@ -1,11 +1,12 @@
 //! Refill stage: installs translations into the structures on the way back
 //! from an L2 hit or a page walk.
 
-use eeat_tlb::PageTranslation;
+use eeat_tlb::{PageTranslation, COLT_GROUP};
 use eeat_types::events::{FixedUnit, Observer, ResizableUnit, TranslationEvent};
-use eeat_types::{PageSize, RangeTranslation, VirtAddr};
+use eeat_types::{PageSize, Pfn, RangeTranslation, VirtAddr, Vpn};
 
 use crate::pipeline::l2_probe::L2Outcome;
+use crate::pipeline::StepCtx;
 use crate::simulator::Simulator;
 
 /// Refills after an L2 hit: the page hit (or a page entry derived from the
@@ -14,17 +15,22 @@ use crate::simulator::Simulator;
 #[inline]
 pub(crate) fn after_l2_hit<E: Observer>(
     sim: &mut Simulator,
+    ctx: &StepCtx,
     l2: &L2Outcome,
     va: VirtAddr,
     size: PageSize,
     extra: &mut E,
 ) {
+    // An L2 hit hands back one translation, not a PTE cache line, so a
+    // coalesced L1 can only learn the single mapping here (runs still grow
+    // entry-by-entry through the merge on insert).
+    let coalesce = false;
     if let Some(translation) = l2.page {
-        fill_l1_page(sim, translation, extra);
+        fill_l1_page(sim, ctx, translation, coalesce, extra);
     } else if let Some(rt) = &l2.range {
         // Derive the page-table entry from the range translation
         // (base + offset) and refill the L1 page TLB, as RMM does.
-        fill_l1_page(sim, derive_page_entry(rt, va, size), extra);
+        fill_l1_page(sim, ctx, derive_page_entry(rt, va, size), coalesce, extra);
     }
     if let Some(rt) = l2.range {
         if let Some(l1r) = sim.hierarchy.l1_range.as_mut() {
@@ -42,10 +48,12 @@ pub(crate) fn after_l2_hit<E: Observer>(
 }
 
 /// Refills after a page walk: the walked entry goes to the L2 page TLB and
-/// the L1 page structure.
+/// the L1 page structure. The walk fetched a full PTE cache line, so a
+/// coalesced L1 may inspect the neighbouring PTEs.
 #[inline]
 pub(crate) fn after_walk<E: Observer>(
     sim: &mut Simulator,
+    ctx: &StepCtx,
     translation: PageTranslation,
     extra: &mut E,
 ) {
@@ -58,7 +66,7 @@ pub(crate) fn after_walk<E: Observer>(
             fills: 1,
         },
     );
-    fill_l1_page(sim, translation, extra);
+    fill_l1_page(sim, ctx, translation, true, extra);
 }
 
 /// Installs a range found by the background range-table walk into both
@@ -93,8 +101,18 @@ pub(crate) fn after_range_walk<E: Observer>(
 }
 
 /// Inserts a translation into the L1 page structure for its size.
+///
+/// `coalesce` is true when the translation arrived with its PTE cache line
+/// in hand (a page walk), letting a coalesced L1 widen the fill to the
+/// whole contiguous run around it.
 #[inline]
-fn fill_l1_page<E: Observer>(sim: &mut Simulator, translation: PageTranslation, extra: &mut E) {
+fn fill_l1_page<E: Observer>(
+    sim: &mut Simulator,
+    ctx: &StepCtx,
+    translation: PageTranslation,
+    coalesce: bool,
+    extra: &mut E,
+) {
     if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
         t.insert(translation);
         sim.sinks.emit(
@@ -107,6 +125,9 @@ fn fill_l1_page<E: Observer>(sim: &mut Simulator, translation: PageTranslation, 
     }
     match translation.size() {
         PageSize::Size4K => {
+            if ctx.has_colt {
+                fill_colt(sim, translation, coalesce, extra);
+            }
             if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
                 t.insert(translation);
                 sim.sinks.emit(
@@ -118,7 +139,7 @@ fn fill_l1_page<E: Observer>(sim: &mut Simulator, translation: PageTranslation, 
             }
         }
         PageSize::Size2M => {
-            if sim.hierarchy.unified_l1() {
+            if ctx.unified {
                 if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
                     t.insert(translation);
                     sim.sinks.emit(
@@ -152,6 +173,60 @@ fn fill_l1_page<E: Observer>(sim: &mut Simulator, translation: PageTranslation, 
             }
         }
     }
+}
+
+/// Installs a 4 KiB translation into the coalesced L1.
+///
+/// With `coalesce` set the walk's PTE cache line is in hand: the group's
+/// other PTEs are inspected and every neighbour whose frame continues the
+/// same contiguous run joins the entry's presence mask — the CoLT fill
+/// path. Without it only the translated page's bit is set (the entry still
+/// merges with an existing run for its group).
+fn fill_colt<E: Observer>(
+    sim: &mut Simulator,
+    translation: PageTranslation,
+    coalesce: bool,
+    extra: &mut E,
+) {
+    debug_assert_eq!(translation.size(), PageSize::Size4K);
+    let vpn = translation.vpn();
+    let group_vpn = Vpn::new(vpn.raw() & !(COLT_GROUP as u64 - 1));
+    let offset = vpn.raw() - group_vpn.raw();
+    // The mask encodes "bit i maps to base_pfn + i", so the run's base
+    // frame must sit `offset` frames below the translated one; a frame
+    // that low in physical memory cannot anchor a representable run.
+    let Some(base_pfn) = translation.pfn().raw().checked_sub(offset) else {
+        return;
+    };
+    let mut mask: u8 = 1 << offset;
+    if coalesce {
+        let page_table = sim.address_space.page_table();
+        for i in 0..COLT_GROUP as u64 {
+            if i == offset {
+                continue;
+            }
+            let neighbour = page_table.translate(group_vpn.add(i).base_addr());
+            if let Some(pte) = neighbour {
+                if pte.size() == PageSize::Size4K && pte.pfn().raw() == base_pfn + i {
+                    mask |= 1 << i;
+                }
+            }
+        }
+    }
+    let colt = sim
+        .hierarchy
+        .l1_colt
+        .as_mut()
+        .expect("guarded by ctx.has_colt");
+    colt.insert_group(group_vpn, Pfn::new(base_pfn), mask);
+    sim.sinks.emit(
+        extra,
+        TranslationEvent::FixedOps {
+            unit: FixedUnit::L1Colt,
+            lookups: 0,
+            fills: 1,
+        },
+    );
 }
 
 /// Derives the page-table entry covering `va` from a range translation.

@@ -1,14 +1,13 @@
 //! Simulator construction: access sources, address-space assembly, and the
 //! page-size oracle. The run/result API lives in [`crate::simulator`].
 
-use eeat_energy::{CycleModel, CycleObserver, EnergyModel, EnergyObserver};
+use eeat_energy::{CycleModel, CycleObserver, EnergyObserver};
 use eeat_os::AddressSpace;
 use eeat_paging::{MmuCaches, PageWalker};
 use eeat_types::{MemAccess, VirtAddr, VirtRange};
 use eeat_workloads::{trace_file, TraceGenerator, Workload, WorkloadSpec};
 
 use crate::config::Config;
-use crate::hierarchy::TlbHierarchy;
 use crate::lite::LiteController;
 use crate::pipeline::Sinks;
 use crate::predictor::SizePredictor;
@@ -69,6 +68,7 @@ impl Simulator {
     /// Panics when the spec is invalid or exceeds physical memory.
     pub fn from_spec(config: Config, spec: &WorkloadSpec, seed: u64) -> Self {
         let mut address_space = AddressSpace::new(config.policy, seed);
+        address_space.set_alloc_contiguity(spec.alloc_contiguity);
         let regions: Vec<Vec<VirtRange>> = spec
             .regions
             .iter()
@@ -129,7 +129,9 @@ fn assemble_with_source(
     source: AccessSource,
     seed: u64,
 ) -> Simulator {
-    let hierarchy = TlbHierarchy::from_config(&config);
+    // Registered organizations build (and pick their energy model) through
+    // the registry; ad-hoc configs take the equivalent default path.
+    let hierarchy = crate::org::hierarchy_for(&config);
     let lite = config
         .lite
         .map(|params| LiteController::new(params, &hierarchy.resizable_ways(), seed));
@@ -160,7 +162,7 @@ fn assemble_with_source(
     let sinks = Sinks {
         stats: StatsObserver::new(),
         energy: EnergyObserver::new(
-            EnergyModel::sandy_bridge(),
+            crate::org::energy_model_for(&config),
             hierarchy.l1_1g().map(|t| t.active_entries()),
         ),
         cycles: CycleObserver::new(CycleModel::sandy_bridge()),

@@ -225,13 +225,17 @@ impl Simulator {
     }
 
     /// The per-run invariant step context (structure presence, monitor
-    /// slots, range usage) — all fixed after construction.
+    /// slots, range usage) — all fixed after construction. The probe/refill
+    /// flags come from the organization's [`crate::org::ProbePlan`]; the
+    /// monitor slots from the hierarchy's dense order.
     fn step_ctx(&self) -> StepCtx {
+        let plan = crate::org::ProbePlan::from_config(&self.config);
         StepCtx {
-            unified: self.hierarchy.unified_l1(),
+            unified: plan.mixed_l1,
             monitors: self.hierarchy.monitor_indices(),
-            uses_ranges: self.config.uses_ranges(),
-            has_l1_fa: self.hierarchy.l1_fa.is_some(),
+            uses_ranges: plan.uses_ranges,
+            has_l1_fa: plan.fully_assoc_l1,
+            has_colt: plan.coalesced_l1,
         }
     }
 

@@ -48,6 +48,7 @@ fn thp_heavy_spec(mem_ops_per_kilo_instr: u32) -> WorkloadSpec {
             weights: vec![(0, 0.85), (1, 0.15)],
         }],
         phase_unit_instructions: 100_000,
+        alloc_contiguity: 1.0,
     }
 }
 

@@ -47,6 +47,7 @@ fn spec() -> WorkloadSpec {
             weights: vec![(0, 0.8), (1, 0.2)],
         }],
         phase_unit_instructions: 100_000,
+        alloc_contiguity: 1.0,
     }
 }
 

@@ -47,6 +47,7 @@ fn small_spec() -> WorkloadSpec {
             weights: vec![(0, 0.8), (1, 0.2)],
         }],
         phase_unit_instructions: 100_000,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -336,6 +337,7 @@ fn fa_lite_downsizes_in_powers_of_two() {
             weights: vec![(0, 1.0)],
         }],
         phase_unit_instructions: 100_000,
+        alloc_contiguity: 1.0,
     };
     let mut sim = Simulator::from_spec(Config::fa_lite(), &spec, 1);
     let r = sim.run(2_000_000);

@@ -124,6 +124,7 @@ fn lite_never_loses_more_than_epsilon_would_allow() {
                 weights: vec![(0, 1.0)],
             }],
             phase_unit_instructions: 100_000,
+            alloc_contiguity: 1.0,
         };
         let instructions = 600_000;
         let mut thp = Simulator::from_spec(Config::thp(), &spec, seed);

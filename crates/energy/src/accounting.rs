@@ -19,6 +19,9 @@ pub enum Structure {
     L1FullyAssoc,
     /// L1-range TLB (RMM_Lite).
     L1Range,
+    /// Coalesced L1 TLB (CoLT): set-associative entries covering up to
+    /// eight contiguous 4 KiB mappings each.
+    L1Colt,
     /// Unified L2 page TLB.
     L2Page,
     /// L2-range TLB (RMM).
@@ -37,12 +40,13 @@ pub enum Structure {
 
 impl Structure {
     /// All categories, in report order.
-    pub const ALL: [Structure; 12] = [
+    pub const ALL: [Structure; 13] = [
         Structure::L1Page4K,
         Structure::L1Page2M,
         Structure::L1Page1G,
         Structure::L1FullyAssoc,
         Structure::L1Range,
+        Structure::L1Colt,
         Structure::L2Page,
         Structure::L2Range,
         Structure::MmuPde,
@@ -60,6 +64,7 @@ impl Structure {
             Structure::L1Page1G => "L1-1GB",
             Structure::L1FullyAssoc => "L1-FA",
             Structure::L1Range => "L1-range",
+            Structure::L1Colt => "L1-CoLT",
             Structure::L2Page => "L2-page",
             Structure::L2Range => "L2-range",
             Structure::MmuPde => "MMU-PDE",
@@ -79,6 +84,7 @@ impl Structure {
                 | Structure::L1Page1G
                 | Structure::L1FullyAssoc
                 | Structure::L1Range
+                | Structure::L1Colt
         )
     }
 
@@ -96,6 +102,9 @@ impl Structure {
             Structure::MmuPml4 => 9,
             Structure::PageWalk => 10,
             Structure::RangeWalk => 11,
+            // Appended past the original twelve so the existing indices —
+            // and with them every committed energy fixture — stay put.
+            Structure::L1Colt => 12,
         }
     }
 }
@@ -120,7 +129,7 @@ impl fmt::Display for Structure {
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
-    pj: [f64; 12],
+    pj: [f64; 13],
 }
 
 impl EnergyBreakdown {

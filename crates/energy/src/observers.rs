@@ -42,9 +42,10 @@ fn resizable_index(unit: ResizableUnit) -> usize {
     }
 }
 
-const FIXED_UNITS: [(FixedUnit, Structure); 7] = [
+const FIXED_UNITS: [(FixedUnit, Structure); 8] = [
     (FixedUnit::L1OneG, Structure::L1Page1G),
     (FixedUnit::L1Range, Structure::L1Range),
+    (FixedUnit::L1Colt, Structure::L1Colt),
     (FixedUnit::L2Page, Structure::L2Page),
     (FixedUnit::L2Range, Structure::L2Range),
     (FixedUnit::MmuPde, Structure::MmuPde),
@@ -69,7 +70,7 @@ pub struct EnergyObserver {
     /// Resizable-L1 energy settled at epoch boundaries.
     settled: EnergyBreakdown,
     pending: [PendingOps; 3],
-    fixed: [FixedCounts; 7],
+    fixed: [FixedCounts; 8],
     walk_refs: u64,
     range_walk_refs: u64,
 }
@@ -85,7 +86,7 @@ impl EnergyObserver {
             one_g_entries,
             settled: EnergyBreakdown::new(),
             pending: [PendingOps::default(); 3],
-            fixed: [FixedCounts::default(); 7],
+            fixed: [FixedCounts::default(); 8],
             walk_refs: 0,
             range_walk_refs: 0,
         }
@@ -119,6 +120,7 @@ impl EnergyObserver {
         }
         for (unit, structure, e) in [
             (FixedUnit::L1Range, Structure::L1Range, m.l1_range()),
+            (FixedUnit::L1Colt, Structure::L1Colt, m.l1_colt()),
             (FixedUnit::L2Page, Structure::L2Page, m.l2_page()),
             (FixedUnit::L2Range, Structure::L2Range, m.l2_range()),
             (FixedUnit::MmuPde, Structure::MmuPde, m.mmu_pde()),

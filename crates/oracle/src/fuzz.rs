@@ -16,14 +16,14 @@
 
 use std::fmt;
 
-use eeat_core::{LiteController, LiteParams, ThresholdEpsilon};
+use eeat_core::{LiteController, LiteParams, ThresholdEpsilon, TranslationOrg};
 use eeat_paging::{MmuCaches, PageTable, PageWalker};
-use eeat_tlb::{FullyAssocTlb, PageTranslation, RangeTlb, SetAssocTlb, TlbStats};
+use eeat_tlb::{CoalescedTlb, FullyAssocTlb, PageTranslation, RangeTlb, SetAssocTlb, TlbStats};
 use eeat_types::rng::{RngCore, RngExt, SeedableRng, SmallRng, SplitMix64};
 use eeat_types::{PageSize, Pfn, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
 
 use crate::lite::OracleLite;
-use crate::model::{OraclePageTlb, OracleRangeTlb, OracleStats, OracleWalker};
+use crate::model::{OracleColtTlb, OraclePageTlb, OracleRangeTlb, OracleStats, OracleWalker};
 
 /// The production structure a fuzz run drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,16 +38,19 @@ pub enum Target {
     Mmu,
     /// [`LiteController`] versus the full-log [`OracleLite`].
     Lite,
+    /// [`CoalescedTlb`], 16 entries × 2 ways over a 32-group universe.
+    Colt,
 }
 
 impl Target {
     /// Every target, in the order [`fuzz_seed`] drives them.
-    pub const ALL: [Target; 5] = [
+    pub const ALL: [Target; 6] = [
         Target::SetAssoc,
         Target::FullyAssoc,
         Target::Range,
         Target::Mmu,
         Target::Lite,
+        Target::Colt,
     ];
 
     /// The replay-file token naming this target.
@@ -58,6 +61,7 @@ impl Target {
             Target::Range => "range",
             Target::Mmu => "mmu",
             Target::Lite => "lite",
+            Target::Colt => "colt",
         }
     }
 
@@ -100,6 +104,17 @@ pub enum Op {
     InsertRange {
         /// Index into the 8-entry range pool.
         index: usize,
+    },
+    /// Insert a coalesced run into the CoLT target: `mask` bit `i` maps
+    /// page `group + i` to the run's derived base frame plus `i`.
+    InsertGroup {
+        /// Group-aligned first VPN of the coalesced group.
+        group: u64,
+        /// Presence mask (non-zero).
+        mask: u8,
+        /// Derive the alternate base frame, exercising the
+        /// same-group-different-base replacement path.
+        alt_base: bool,
     },
     /// Resize to `ways` active ways (or entries, for fully associative).
     Resize {
@@ -212,6 +227,17 @@ fn range_pool(index: usize) -> RangeTranslation {
         VirtRange::new(VirtAddr::new(i * (32 << 20)), 16 << 20),
         PhysAddr::new((i + 1) << 30),
     )
+}
+
+/// Groups in the CoLT target's universe: 32 groups over a 16-entry 2-way
+/// structure, so sets see eviction pressure and groups alias.
+const COLT_GROUPS: u64 = 32;
+
+/// The derived base frame of a CoLT group insert. The alternate base is a
+/// different physical run for the same group, exercising the
+/// replace-on-different-base path.
+fn colt_base(group: u64, alt_base: bool) -> Pfn {
+    Pfn::new(group + (1 << 20) + if alt_base { 1 << 22 } else { 0 })
 }
 
 /// The fixed page table of the MMU target: a 4 KiB cluster, pages one
@@ -413,6 +439,33 @@ fn gen_lite(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
     ops
 }
 
+fn gen_colt(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    let span = COLT_GROUPS * eeat_tlb::COLT_GROUP as u64 * KB4;
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u64) {
+            0..35 => Op::LookupAny {
+                va: rng.random_range(0..span),
+            },
+            35..70 => Op::InsertGroup {
+                group: rng.random_range(0..COLT_GROUPS) * eeat_tlb::COLT_GROUP as u64,
+                mask: rng.random_range(1..256u64) as u8,
+                alt_base: rng.random_range(0..6u64) == 0,
+            },
+            70..80 => Op::Invalidate {
+                va: rng.random_range(0..span),
+            },
+            80..87 => Op::InvalidateRange {
+                start: rng.random_range(0..span / KB4) * KB4,
+                len: (1 + rng.random_range(0..64u64)) * KB4,
+            },
+            87..92 => Op::Flush,
+            _ => Op::LookupAny {
+                va: rng.random_range(0..span),
+            },
+        })
+        .collect()
+}
+
 fn gen_ops(target: Target, seed: u64, steps: usize) -> Vec<Op> {
     let mut rng = SmallRng::seed_from_u64(seed);
     match target {
@@ -421,6 +474,7 @@ fn gen_ops(target: Target, seed: u64, steps: usize) -> Vec<Op> {
         Target::Range => gen_range(&mut rng, steps),
         Target::Mmu => gen_mmu(&mut rng, steps),
         Target::Lite => gen_lite(&mut rng, steps),
+        Target::Colt => gen_colt(&mut rng, steps),
     }
 }
 
@@ -628,6 +682,8 @@ fn range_step(prod: &mut RangeTlb, oracle: &mut OracleRangeTlb, op: Op) -> Resul
         }
         other => panic!("op {other:?} not applicable to range"),
     }
+    // Translation consistency: overlapping resident ranges must agree.
+    oracle.assert_invariants();
     check_stats(&oracle.stats, prod.stats(), "range")?;
     occupancy_check(prod.occupancy(), oracle.occupancy())?;
     for i in 0..8u64 {
@@ -637,6 +693,68 @@ fn range_step(prod: &mut RangeTlb, oracle: &mut OracleRangeTlb, op: Op) -> Resul
                 format!("contents diverged at range {i} offset {off:#x}")
             })?;
         }
+    }
+    Ok(())
+}
+
+fn colt_step(prod: &mut CoalescedTlb, oracle: &mut OracleColtTlb, op: Op) -> Result<(), String> {
+    match op {
+        Op::LookupAny { va } => {
+            let va = VirtAddr::new(va);
+            let p = prod.lookup(va).map(|h| (h.translation, h.rank));
+            let o = oracle.lookup(va);
+            check(p == o, || {
+                format!("lookup diverged: prod {p:?} vs oracle {o:?}")
+            })?;
+        }
+        Op::InsertGroup {
+            group,
+            mask,
+            alt_base,
+        } => {
+            let base = colt_base(group, alt_base);
+            prod.insert_group(Vpn::new(group), base, mask);
+            oracle.insert_group(Vpn::new(group), base, mask);
+        }
+        Op::Flush => {
+            prod.flush();
+            oracle.flush();
+        }
+        Op::Invalidate { va } => {
+            let va = VirtAddr::new(va);
+            let p = prod.invalidate(va);
+            let o = oracle.invalidate(va);
+            check(p == o, || {
+                format!("invalidate removed prod {p} vs oracle {o}")
+            })?;
+        }
+        Op::InvalidateRange { start, len } => {
+            let r = VirtRange::new(VirtAddr::new(start), len);
+            let p = prod.invalidate_range(r);
+            let o = oracle.invalidate_range(r);
+            check(p == o, || {
+                format!("invalidate_range removed prod {p} vs oracle {o}")
+            })?;
+        }
+        other => panic!("op {other:?} not applicable to colt"),
+    }
+    // Both sides check that no VA is resident with two translations.
+    prod.assert_invariants();
+    oracle.assert_invariants();
+    check_stats(&oracle.stats, prod.stats(), "colt")?;
+    occupancy_check(prod.occupancy(), oracle.occupancy())?;
+    check(prod.coverage_pages() == oracle.coverage_pages(), || {
+        format!(
+            "coverage diverged: prod {} vs oracle {}",
+            prod.coverage_pages(),
+            oracle.coverage_pages()
+        )
+    })?;
+    for vpn in 0..COLT_GROUPS * eeat_tlb::COLT_GROUP as u64 {
+        let va = VirtAddr::new(vpn * KB4);
+        check(prod.probe(va) == oracle.probe(va), || {
+            format!("contents diverged at vpn {vpn}")
+        })?;
     }
     Ok(())
 }
@@ -860,6 +978,13 @@ pub fn run_ops(target: Target, ops: &[Op]) -> Result<(), Divergence> {
                 wrap(step, op, h.step(op))?;
             }
         }
+        Target::Colt => {
+            let mut prod = CoalescedTlb::new("fuzz-colt", 16, 2);
+            let mut oracle = OracleColtTlb::new(16, 2);
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, colt_step(&mut prod, &mut oracle, op))?;
+            }
+        }
     }
     Ok(())
 }
@@ -932,6 +1057,11 @@ pub fn format_replay(target: Target, ops: &[Op]) -> String {
             Op::LookupAny { va } => format!("lookup_any {va:#x}"),
             Op::Insert { vpn, size } => format!("insert {vpn} {}", size_token(size)),
             Op::InsertRange { index } => format!("insert_range {index}"),
+            Op::InsertGroup {
+                group,
+                mask,
+                alt_base,
+            } => format!("insert_group {group} {mask:#04x} {}", u8::from(alt_base)),
             Op::Resize { ways } => format!("resize {ways}"),
             Op::Flush => "flush".to_string(),
             Op::Invalidate { va } => format!("invalidate {va:#x}"),
@@ -1011,6 +1141,11 @@ pub fn parse_replay(text: &str) -> Result<(Target, Vec<Op>), String> {
             },
             "insert_range" => Op::InsertRange {
                 index: parse_u64(arg(0)?).map_err(&fail)? as usize,
+            },
+            "insert_group" => Op::InsertGroup {
+                group: parse_u64(arg(0)?).map_err(&fail)?,
+                mask: parse_u64(arg(1)?).map_err(&fail)? as u8,
+                alt_base: parse_u64(arg(2)?).map_err(&fail)? != 0,
             },
             "resize" => Op::Resize {
                 ways: parse_u64(arg(0)?).map_err(&fail)? as usize,
@@ -1106,9 +1241,66 @@ pub fn fuzz_seed_with<F: FnMut(Target, u64)>(
     Ok(())
 }
 
+/// The fuzz targets exercising the structures a registered organization
+/// actually builds — the oracle-side counterpart of the
+/// [`eeat_core::Org`] registry. Every org walks (so [`Target::Mmu`] is
+/// always covered) and owns at least one set-associative TLB (the L2);
+/// range, fully associative, coalesced, and Lite coverage follow from the
+/// org's probe plan and configuration.
+pub fn targets_for_org(org: &'static dyn TranslationOrg) -> Vec<Target> {
+    let config = org.config();
+    let plan = org.probe_plan();
+    let mut targets = vec![Target::SetAssoc, Target::Mmu];
+    if plan.fully_assoc_l1 {
+        targets.push(Target::FullyAssoc);
+    }
+    if plan.uses_ranges {
+        targets.push(Target::Range);
+    }
+    if config.lite.is_some() {
+        targets.push(Target::Lite);
+    }
+    if plan.coalesced_l1 {
+        targets.push(Target::Colt);
+    }
+    targets
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_registered_org_is_fuzz_covered() {
+        // The registry-to-oracle factory: each org names at least the
+        // set-associative and MMU targets, CoLT's org names the coalesced
+        // target, and the registry as a whole exercises every target.
+        let mut covered = Vec::new();
+        for org in eeat_core::Org::all() {
+            let targets = targets_for_org(org);
+            assert!(
+                targets.contains(&Target::SetAssoc) && targets.contains(&Target::Mmu),
+                "{} must cover the L2 and walker",
+                org.name()
+            );
+            covered.extend(targets);
+        }
+        for target in Target::ALL {
+            // The fully associative L1 belongs to the §4.4 extension
+            // configs (fa_thp / fa_lite), which ride outside the paper-org
+            // registry; every other target must be owned by some org.
+            if target == Target::FullyAssoc {
+                assert!(!covered.contains(&target), "no registered org is FA");
+                continue;
+            }
+            assert!(covered.contains(&target), "{target} covered by no org");
+        }
+        let colt = eeat_core::Org::by_name("CoLT").unwrap();
+        assert!(targets_for_org(colt).contains(&Target::Colt));
+        let rmm_lite = eeat_core::Org::by_name("RMM_Lite").unwrap();
+        let t = targets_for_org(rmm_lite);
+        assert!(t.contains(&Target::Range) && t.contains(&Target::Lite));
+    }
 
     #[test]
     fn replay_round_trips() {

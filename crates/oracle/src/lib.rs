@@ -11,6 +11,9 @@
 //!   the number of more recently used valid entries in its set.
 //! * [`OracleRangeTlb`] — a linear list of range translations with the same
 //!   timestamp LRU.
+//! * [`OracleColtTlb`] — the coalesced (CoLT) TLB as timestamp-LRU sets of
+//!   `(group, base frame, presence mask)` entries, with a
+//!   translation-consistency invariant (no virtual page resident twice).
 //! * [`OracleTagCache`] / [`OracleMmuCaches`] / [`OracleWalker`] — the
 //!   paging-structure caches and a page walker whose memory-reference count
 //!   is one arithmetic expression over the deepest cached level.
@@ -35,9 +38,10 @@ mod model;
 
 pub use fuzz::{
     format_replay, fuzz_seed, fuzz_seed_with, fuzz_target, minimize, parse_replay, run_ops,
-    run_replay, Divergence, FuzzFailure, Op, Target,
+    run_replay, targets_for_org, Divergence, FuzzFailure, Op, Target,
 };
 pub use lite::OracleLite;
 pub use model::{
-    OracleMmuCaches, OraclePageTlb, OracleRangeTlb, OracleStats, OracleTagCache, OracleWalker,
+    OracleColtTlb, OracleMmuCaches, OraclePageTlb, OracleRangeTlb, OracleStats, OracleTagCache,
+    OracleWalker,
 };

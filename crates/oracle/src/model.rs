@@ -7,8 +7,10 @@
 //! recomputed from scratch on demand, so each operation is a few lines of
 //! obviously-correct code.
 
-use eeat_tlb::{PageTranslation, TlbStats};
-use eeat_types::{PageSize, RangeTranslation, VirtAddr, VirtRange};
+use std::collections::HashMap;
+
+use eeat_tlb::{PageTranslation, TlbStats, COLT_GROUP};
+use eeat_types::{PageSize, Pfn, RangeTranslation, VirtAddr, VirtRange, Vpn};
 
 /// Mirror of [`TlbStats`] with public fields, so tests can compare counter
 /// by counter and print a readable diff.
@@ -391,6 +393,274 @@ impl OracleRangeTlb {
     pub fn occupancy(&self) -> usize {
         self.entries.len()
     }
+
+    /// Checks the translation-consistency invariant: no two resident
+    /// ranges may translate the same virtual address differently. Two
+    /// entries whose virtual ranges overlap must agree byte-for-byte on
+    /// the shared span (same virtual-to-physical offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics when two overlapping resident ranges disagree.
+    pub fn assert_invariants(&self) {
+        for (i, a) in self.entries.iter().enumerate() {
+            for b in &self.entries[i + 1..] {
+                let (a, b) = (a.translation, b.translation);
+                if !a.virt().overlaps(b.virt()) {
+                    continue;
+                }
+                let va = a.virt().start().max(b.virt().start());
+                assert_eq!(
+                    a.translate(va),
+                    b.translate(va),
+                    "overlapping resident ranges {:?} and {:?} disagree at {va:?}",
+                    a.virt(),
+                    b.virt()
+                );
+            }
+        }
+    }
+}
+
+/// One coalesced group plus its last-used tick.
+#[derive(Clone, Copy, Debug)]
+struct TimedGroup {
+    group: u64,
+    base_pfn: u64,
+    mask: u8,
+    last_used: u64,
+}
+
+/// Timestamp-LRU reference model of [`eeat_tlb::CoalescedTlb`].
+///
+/// Each set is an unordered list of `(group, base_pfn, mask)` entries with
+/// a last-used timestamp; ranks, victims, and survivor sets are recomputed
+/// from the timestamps on demand, exactly like [`OraclePageTlb`].
+#[derive(Clone, Debug)]
+pub struct OracleColtTlb {
+    sets: Vec<Vec<TimedGroup>>,
+    ways: usize,
+    tick: u64,
+    /// Event counters, mirroring the production structure's stats.
+    pub stats: OracleStats,
+}
+
+impl OracleColtTlb {
+    /// Creates a model with `entries` slots and `ways` associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries.is_multiple_of(ways));
+        assert!(ways <= eeat_tlb::MAX_WAYS, "oracle mirrors MAX_WAYS");
+        Self {
+            sets: vec![Vec::new(); entries / ways],
+            ways,
+            tick: 0,
+            stats: OracleStats::default(),
+        }
+    }
+
+    fn group_of(va: VirtAddr) -> (u64, u64) {
+        let vpn = va.vpn().raw();
+        let group = vpn & !(COLT_GROUP as u64 - 1);
+        (group, vpn - group)
+    }
+
+    fn set_index(&self, group: u64) -> usize {
+        ((group / COLT_GROUP as u64) as usize) & (self.sets.len() - 1)
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `va`; a covered page hits, is promoted, and reports its
+    /// pre-promotion rank. A tag match with the page's presence bit clear
+    /// is a miss, like production.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<(PageTranslation, u8)> {
+        let (group, offset) = Self::group_of(va);
+        let s = self.set_index(group);
+        let tick = self.next_tick();
+        let set = &mut self.sets[s];
+        let hit = set
+            .iter_mut()
+            .find(|e| e.group == group && e.mask & (1 << offset) != 0)
+            .map(|e| {
+                let old = e.last_used;
+                e.last_used = tick;
+                (e.base_pfn, old)
+            });
+        match hit {
+            Some((base_pfn, old)) => {
+                let rank = set
+                    .iter()
+                    .filter(|e| e.last_used > old && e.last_used != tick)
+                    .count() as u8;
+                self.stats.hits += 1;
+                Some((
+                    PageTranslation::new(va.vpn(), Pfn::new(base_pfn + offset), PageSize::Size4K),
+                    rank,
+                ))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probes for a covering entry without touching LRU state or counters.
+    pub fn probe(&self, va: VirtAddr) -> Option<PageTranslation> {
+        let (group, offset) = Self::group_of(va);
+        self.sets[self.set_index(group)]
+            .iter()
+            .find(|e| e.group == group && e.mask & (1 << offset) != 0)
+            .map(|e| {
+                PageTranslation::new(va.vpn(), Pfn::new(e.base_pfn + offset), PageSize::Size4K)
+            })
+    }
+
+    /// Inserts a coalesced run: merges the mask into a resident entry with
+    /// the same group and base frame, replaces a same-group entry with a
+    /// different base outright, else fills/evicts like production.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `group_vpn` is group-aligned and `mask` is non-zero.
+    pub fn insert_group(&mut self, group_vpn: Vpn, base_pfn: Pfn, mask: u8) {
+        let group = group_vpn.raw();
+        assert!(
+            group.is_multiple_of(COLT_GROUP as u64),
+            "group_vpn must be aligned"
+        );
+        assert!(mask != 0, "a coalesced entry must cover at least one page");
+        let s = self.set_index(group);
+        let tick = self.next_tick();
+        let active = self.ways;
+        let set = &mut self.sets[s];
+        if let Some(e) = set.iter_mut().find(|e| e.group == group) {
+            if e.base_pfn == base_pfn.raw() {
+                e.mask |= mask;
+            } else {
+                e.base_pfn = base_pfn.raw();
+                e.mask = mask;
+            }
+            e.last_used = tick;
+        } else {
+            if set.len() >= active {
+                let oldest = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("set is non-empty when full");
+                set.swap_remove(oldest);
+            }
+            set.push(TimedGroup {
+                group,
+                base_pfn: base_pfn.raw(),
+                mask,
+                last_used: tick,
+            });
+        }
+        self.stats.fills += 1;
+    }
+
+    /// Clears the presence bit covering `va`; an entry losing its last bit
+    /// is removed. Returns entries removed or shrunk.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        let (group, offset) = Self::group_of(va);
+        let bit = 1u8 << offset;
+        self.rewrite_masks(|g, m| if g == group { m & !bit } else { m })
+    }
+
+    /// Clears coverage overlapping `range`. Returns entries removed or
+    /// shrunk.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.rewrite_masks(|group, mask| {
+            let mut keep = mask;
+            for i in 0..COLT_GROUP as u64 {
+                if mask & (1 << i) != 0 {
+                    let page = VirtRange::new(Vpn::new(group + i).base_addr(), 4096);
+                    if page.overlaps(range) {
+                        keep &= !(1 << i);
+                    }
+                }
+            }
+            keep
+        })
+    }
+
+    fn rewrite_masks(&mut self, mut keep: impl FnMut(u64, u8) -> u8) -> u64 {
+        let mut touched = 0u64;
+        for set in &mut self.sets {
+            set.retain_mut(|e| {
+                let kept = keep(e.group, e.mask);
+                if kept != e.mask {
+                    touched += 1;
+                    e.mask = kept;
+                }
+                e.mask != 0
+            });
+        }
+        self.stats.invalidations += touched;
+        touched
+    }
+
+    /// Empties the model, counting every valid entry as invalidated.
+    pub fn flush(&mut self) {
+        let valid: u64 = self.sets.iter().map(|s| s.len() as u64).sum();
+        self.stats.invalidations += valid;
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total 4 KiB pages covered by the resident entries.
+    pub fn coverage_pages(&self) -> u64 {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|e| u64::from(e.mask.count_ones()))
+            .sum()
+    }
+
+    /// Checks the translation-consistency invariant: no virtual page may
+    /// be resident in two entries (a duplicate could translate the same VA
+    /// two ways), every entry covers at least one page with a group-aligned
+    /// tag, and every entry sits in the set its group indexes to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any of the above is violated.
+    pub fn assert_invariants(&self) {
+        let mut translations: HashMap<u64, u64> = HashMap::new();
+        for (s, set) in self.sets.iter().enumerate() {
+            for e in set {
+                assert!(e.mask != 0, "resident entry covers no page");
+                assert!(
+                    e.group % COLT_GROUP as u64 == 0,
+                    "group {:#x} not aligned",
+                    e.group
+                );
+                assert_eq!(self.set_index(e.group), s, "entry in wrong set");
+                for i in 0..COLT_GROUP as u64 {
+                    if e.mask & (1 << i) != 0 {
+                        let prev = translations.insert(e.group + i, e.base_pfn + i);
+                        assert!(
+                            prev.is_none(),
+                            "vpn {:#x} resident in two coalesced entries",
+                            e.group + i
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// One cached tag plus its last-used tick.
@@ -692,6 +962,53 @@ mod tests {
         assert!(o.probe(VirtAddr::new(10 << 20)).is_none());
         assert_eq!(o.invalidate(VirtAddr::new(5)), 1);
         assert_eq!(o.occupancy(), 1);
+    }
+
+    #[test]
+    fn colt_model_basics() {
+        let mut o = OracleColtTlb::new(4, 2);
+        o.insert_group(Vpn::new(8), Pfn::new(100), 0b0000_0111);
+        // Covered page hits with the run-derived frame.
+        let (t, _) = o.lookup(VirtAddr::new(9 * 4096 + 5)).unwrap();
+        assert_eq!(t.pfn().raw(), 101);
+        // Same group, bit clear: miss.
+        assert!(o.lookup(VirtAddr::new(11 * 4096)).is_none());
+        // Merge on same base grows the run.
+        o.insert_group(Vpn::new(8), Pfn::new(100), 0b0000_1000);
+        assert_eq!(o.coverage_pages(), 4);
+        assert_eq!(o.occupancy(), 1);
+        // A different base replaces the run outright.
+        o.insert_group(Vpn::new(8), Pfn::new(500), 0b0000_0001);
+        assert_eq!(o.coverage_pages(), 1);
+        let (t, _) = o.lookup(VirtAddr::new(8 * 4096)).unwrap();
+        assert_eq!(t.pfn().raw(), 500);
+        // Bit-level shootdown removes the last page and the entry.
+        assert_eq!(o.invalidate(VirtAddr::new(8 * 4096)), 1);
+        assert_eq!(o.occupancy(), 0);
+        o.assert_invariants();
+    }
+
+    #[test]
+    fn range_overlap_invariant_catches_disagreement() {
+        use eeat_types::PhysAddr;
+        let mut o = OracleRangeTlb::new(4);
+        // Two overlapping ranges that agree on the shared span pass.
+        o.insert(RangeTranslation::new(
+            VirtRange::new(VirtAddr::new(0), 2 << 20),
+            PhysAddr::new(1 << 30),
+        ));
+        o.insert(RangeTranslation::new(
+            VirtRange::new(VirtAddr::new(1 << 20), 2 << 20),
+            PhysAddr::new((1 << 30) + (1 << 20)),
+        ));
+        o.assert_invariants();
+        // A conflicting overlap panics.
+        o.insert(RangeTranslation::new(
+            VirtRange::new(VirtAddr::new(1 << 20), 1 << 20),
+            PhysAddr::new(7 << 30),
+        ));
+        let err = std::panic::catch_unwind(|| o.assert_invariants());
+        assert!(err.is_err(), "disagreeing overlap must be caught");
     }
 
     #[test]

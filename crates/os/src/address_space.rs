@@ -44,6 +44,7 @@ pub struct AddressSpace {
     next_mmap: VirtAddr,
     rng: SmallRng,
     huge_success_prob: f64,
+    alloc_contiguity: f64,
     huge_pages: u64,
     base_pages: u64,
 }
@@ -65,6 +66,7 @@ impl AddressSpace {
             next_mmap: VirtAddr::new(MMAP_BASE),
             rng: SmallRng::seed_from_u64(seed ^ 0x05ce_a110_c871),
             huge_success_prob: 1.0,
+            alloc_contiguity: 1.0,
             huge_pages: 0,
             base_pages: 0,
         }
@@ -79,6 +81,19 @@ impl AddressSpace {
     pub fn set_huge_success_prob(&mut self, prob: f64) {
         assert!((0.0..=1.0).contains(&prob), "probability out of range");
         self.huge_success_prob = prob;
+    }
+
+    /// Sets the probability that a 4 KiB allocation continues the physically
+    /// contiguous frame run of its predecessor (1.0 = perfectly contiguous,
+    /// the default — no randomness is drawn). Lower values punch holes into
+    /// the frame sequence, shortening the runs a coalesced TLB can merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prob` is within `[0, 1]`.
+    pub fn set_alloc_contiguity(&mut self, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.alloc_contiguity = prob;
     }
 
     /// The paging policy in effect.
@@ -243,6 +258,13 @@ impl AddressSpace {
                 self.map_page(vpn, pfn, PageSize::Size2M);
                 offset += PageSize::Size2M.base_pages();
             } else {
+                // The allocator hands out frames bump-style, so consecutive
+                // 4 KiB allocations are physically contiguous by default;
+                // skipping a frame breaks the run the way an interleaving
+                // allocation from another process would.
+                if self.alloc_contiguity < 1.0 && !self.rng.random_bool(self.alloc_contiguity) {
+                    let _ = self.frames.alloc_frame();
+                }
                 let pfn = self
                     .frames
                     .alloc_frame()
@@ -376,6 +398,39 @@ mod tests {
         assert!(asp.huge_pages() > 0, "some huge pages expected");
         assert!(asp.huge_pages() < 32, "some fallbacks expected");
         assert_eq!(asp.huge_pages() * 512 + asp.base_pages(), (64 << 20) / 4096);
+    }
+
+    #[test]
+    fn alloc_contiguity_breaks_frame_runs() {
+        let contiguous_runs = |asp: &AddressSpace, r: VirtRange| {
+            let mut runs = 1u64;
+            let mut prev = asp.page_table().translate(r.start()).unwrap().pfn().raw();
+            for i in 1..(r.len() >> 12) {
+                let pfn = asp
+                    .page_table()
+                    .translate(VirtAddr::new(r.start().raw() + (i << 12)))
+                    .unwrap()
+                    .pfn()
+                    .raw();
+                if pfn != prev + 1 {
+                    runs += 1;
+                }
+                prev = pfn;
+            }
+            runs
+        };
+
+        // Default: one unbroken run per VMA.
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 9);
+        let r = asp.mmap(4 << 20, true, "heap");
+        assert_eq!(contiguous_runs(&asp, r), 1);
+
+        // Fragmented: many short runs.
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 9);
+        asp.set_alloc_contiguity(0.5);
+        let r = asp.mmap(4 << 20, true, "heap");
+        let runs = contiguous_runs(&asp, r);
+        assert!(runs > 100, "expected heavy fragmentation, got {runs} runs");
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Coalesced set-associative TLB (CoLT): one entry covers up to a group of
+//! contiguous 4 KiB mappings.
+
+use core::fmt;
+
+use eeat_types::{PageSize, Pfn, VirtAddr, VirtRange, Vpn};
+
+use crate::entry::{Hit, PageTranslation};
+use crate::stats::TlbStats;
+
+/// Pages per coalesced entry: CoLT's default coalescing degree. The
+/// presence mask is a `u8`, so eight is also the structural maximum.
+pub const COLT_GROUP: usize = 8;
+
+/// Tag value of an empty slot (a real group tag always fits 45 − 3 bits).
+const INVALID_TAG: u64 = u64::MAX;
+
+/// A CoLT-style coalesced set-associative TLB.
+///
+/// Each entry anchors one *group* of [`COLT_GROUP`] virtually consecutive
+/// 4 KiB pages (the group-aligned VPN is the tag) and stores a base PFN
+/// plus an 8-bit presence mask: bit `i` set means page `group_vpn + i`
+/// maps to `base_pfn + i`. A single entry therefore covers an entire
+/// physically contiguous run within its group — up to 8× the reach of a
+/// plain 4 KiB entry for the same entry count — while a lookup stays one
+/// tag compare plus one mask test ("Coalesced TLB to Exploit Diverse
+/// Contiguity of Memory Mapping", the CoLT-SA design).
+///
+/// Storage follows the workspace's structure-of-arrays idiom
+/// ([`SetAssocTlb`](crate::SetAssocTlb)): a `u64` tag lane scanned on every
+/// probe, a `u8` recency lane holding each set's true-LRU permutation, and
+/// payload lanes (base PFN, presence mask) read only after a tag match.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_tlb::{CoalescedTlb, COLT_GROUP};
+/// use eeat_types::{Pfn, VirtAddr, Vpn};
+///
+/// let mut tlb = CoalescedTlb::new("L1-CoLT", 64, 4);
+/// // Three contiguous pages starting at the group base:
+/// tlb.insert_group(Vpn::new(8), Pfn::new(100), 0b0000_0111);
+/// assert!(tlb.lookup(VirtAddr::new(9 * 4096 + 5)).is_some());
+/// assert!(tlb.lookup(VirtAddr::new(11 * 4096)).is_none()); // bit clear
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoalescedTlb {
+    name: &'static str,
+    /// Tag lane: the group-aligned VPN per slot, [`INVALID_TAG`] when empty.
+    tags: Vec<u64>,
+    /// `recency[i]` is the LRU rank of slot `i` within its set (0 = MRU).
+    recency: Vec<u8>,
+    /// Payload lane: base PFN of the group's contiguous run.
+    base_pfns: Vec<u64>,
+    /// Payload lane: presence mask, bit `i` covers page `group_vpn + i`.
+    masks: Vec<u8>,
+    sets: usize,
+    ways: usize,
+    stats: TlbStats,
+}
+
+impl CoalescedTlb {
+    /// Creates an empty coalesced TLB with `entries` slots and `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` and `entries / ways` are non-zero powers of two
+    /// and `entries` is a multiple of `ways`.
+    pub fn new(name: &'static str, entries: usize, ways: usize) -> Self {
+        assert!(
+            ways.is_power_of_two() && ways > 0,
+            "ways must be a power of two"
+        );
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide evenly into ways"
+        );
+        let sets = entries / ways;
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
+        Self {
+            name,
+            tags: vec![INVALID_TAG; entries],
+            recency: (0..entries).map(|i| (i % ways) as u8).collect(),
+            base_pfns: vec![0; entries],
+            masks: vec![0; entries],
+            sets,
+            ways,
+            stats: TlbStats::new(),
+        }
+    }
+
+    /// The structure's display name (e.g. `"L1-CoLT"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total number of entry slots.
+    pub fn capacity(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets the event counters (the contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The group-aligned VPN covering `vpn`.
+    #[inline]
+    fn group_base(vpn: Vpn) -> u64 {
+        vpn.raw() & !(COLT_GROUP as u64 - 1)
+    }
+
+    #[inline]
+    fn set_of(&self, group_vpn_raw: u64) -> usize {
+        ((group_vpn_raw / COLT_GROUP as u64) as usize) & (self.sets - 1)
+    }
+
+    /// Looks up `va` (4 KiB references only — CoLT coalesces base pages).
+    ///
+    /// On a hit the entry is promoted to MRU; the reported rank is its
+    /// pre-promotion LRU recency, as with the plain set-associative TLB.
+    #[inline]
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<Hit> {
+        let vpn = va.vpn();
+        let group = Self::group_base(vpn);
+        let offset = (vpn.raw() - group) as u32;
+        let base = self.set_of(group) * self.ways;
+        let set_tags = &self.tags[base..base + self.ways];
+        if let Some(way) = set_tags.iter().position(|&t| t == group) {
+            let slot = base + way;
+            if self.masks[slot] & (1 << offset) != 0 {
+                let rank = self.recency[slot];
+                self.touch(base, slot, rank);
+                self.stats.record_hit();
+                return Some(Hit {
+                    translation: PageTranslation::new(
+                        vpn,
+                        Pfn::new(self.base_pfns[slot] + u64::from(offset)),
+                        PageSize::Size4K,
+                    ),
+                    rank,
+                });
+            }
+        }
+        self.stats.record_miss();
+        None
+    }
+
+    /// Probes for a covering entry without affecting LRU state or counters.
+    #[inline]
+    pub fn probe(&self, va: VirtAddr) -> Option<PageTranslation> {
+        let vpn = va.vpn();
+        let group = Self::group_base(vpn);
+        let offset = (vpn.raw() - group) as u32;
+        let base = self.set_of(group) * self.ways;
+        (base..base + self.ways)
+            .find(|&slot| self.tags[slot] == group && self.masks[slot] & (1 << offset) != 0)
+            .map(|slot| {
+                PageTranslation::new(
+                    vpn,
+                    Pfn::new(self.base_pfns[slot] + u64::from(offset)),
+                    PageSize::Size4K,
+                )
+            })
+    }
+
+    /// Inserts a coalesced run: mask bit `i` maps page `group_vpn + i` to
+    /// `base_pfn + i`. Evicts the set's LRU entry when the group is new;
+    /// a matching group with the same base PFN grows its mask in place,
+    /// and a matching group with a *different* base PFN is replaced
+    /// outright (the old run's translations are superseded), so no VPN is
+    /// ever resident with two different translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `group_vpn` is group-aligned and `mask` is non-zero.
+    pub fn insert_group(&mut self, group_vpn: Vpn, base_pfn: Pfn, mask: u8) {
+        assert!(
+            group_vpn.raw() == Self::group_base(group_vpn),
+            "group_vpn must be aligned to the coalescing group"
+        );
+        assert!(mask != 0, "a coalesced entry must cover at least one page");
+        let group = group_vpn.raw();
+        let base = self.set_of(group) * self.ways;
+
+        // Merge into a duplicate, or pick an invalid slot, else evict LRU.
+        let mut victim = None;
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.tags[slot] == group {
+                victim = Some(slot);
+                break;
+            }
+            if victim.is_none() && self.tags[slot] == INVALID_TAG {
+                victim = Some(slot);
+            }
+        }
+        let slot = victim.unwrap_or_else(|| {
+            let lru_rank = (self.ways - 1) as u8;
+            (base..base + self.ways)
+                .find(|&s| self.recency[s] == lru_rank)
+                .expect("one slot always holds the LRU rank")
+        });
+
+        if self.tags[slot] == group && self.base_pfns[slot] == base_pfn.raw() {
+            self.masks[slot] |= mask;
+        } else {
+            self.tags[slot] = group;
+            self.base_pfns[slot] = base_pfn.raw();
+            self.masks[slot] = mask;
+        }
+        let rank = self.recency[slot];
+        self.touch(base, slot, rank);
+        self.stats.record_fill();
+    }
+
+    /// Promotes `slot` (with pre-promotion `rank`) to MRU within its set.
+    #[inline]
+    fn touch(&mut self, base: usize, slot: usize, rank: u8) {
+        let set = &mut self.recency[base..base + self.ways];
+        for r in set.iter_mut() {
+            *r += u8::from(*r < rank);
+        }
+        self.recency[slot] = 0;
+    }
+
+    /// The per-page TLB shootdown (`invlpg`): clears the presence bit
+    /// covering `va`; an entry whose last bit goes invalidates entirely.
+    /// Returns the number of entries removed or shrunk (counted as
+    /// invalidations in the stats).
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        let vpn = va.vpn();
+        let group = Self::group_base(vpn);
+        let bit = 1u8 << (vpn.raw() - group);
+        self.invalidate_matching(|g, mask| if g == group { mask & !bit } else { mask })
+    }
+
+    /// Invalidates coverage overlapping `range` (multi-page shootdown).
+    /// Returns the number of entries removed or shrunk.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.invalidate_matching(|group, mask| {
+            let mut keep = mask;
+            for i in 0..COLT_GROUP as u64 {
+                if mask & (1 << i) != 0 {
+                    let page = VirtRange::new(Vpn::new(group + i).base_addr(), 4096);
+                    if page.overlaps(range) {
+                        keep &= !(1 << i);
+                    }
+                }
+            }
+            keep
+        })
+    }
+
+    /// Rewrites each valid entry's mask through `keep(group, mask)`; an
+    /// entry whose mask shrinks counts as one invalidation, and an entry
+    /// whose mask empties is removed (slot demoted to the LRU end).
+    fn invalidate_matching(&mut self, mut keep: impl FnMut(u64, u8) -> u8) -> u64 {
+        let mut removed = 0u64;
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            for way in 0..self.ways {
+                let slot = base + way;
+                let tag = self.tags[slot];
+                if tag == INVALID_TAG {
+                    continue;
+                }
+                let mask = self.masks[slot];
+                let kept = keep(tag, mask);
+                if kept == mask {
+                    continue;
+                }
+                removed += 1;
+                if kept != 0 {
+                    self.masks[slot] = kept;
+                    continue;
+                }
+                self.tags[slot] = INVALID_TAG;
+                self.masks[slot] = 0;
+                let rank = self.recency[slot];
+                for s in base..base + self.ways {
+                    if self.recency[s] > rank {
+                        self.recency[s] -= 1;
+                    }
+                }
+                self.recency[slot] = (self.ways - 1) as u8;
+            }
+        }
+        self.stats.record_invalidations(removed);
+        removed
+    }
+
+    /// Invalidates every entry.
+    pub fn flush(&mut self) {
+        let valid = self.tags.iter().filter(|&&t| t != INVALID_TAG).count() as u64;
+        self.stats.record_invalidations(valid);
+        for (i, tag) in self.tags.iter_mut().enumerate() {
+            *tag = INVALID_TAG;
+            self.recency[i] = (i % self.ways) as u8;
+        }
+        self.masks.fill(0);
+    }
+
+    /// Number of valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+    }
+
+    /// Total 4 KiB pages covered by the resident entries (the reach the
+    /// coalescing buys; equals [`occupancy`](Self::occupancy) when nothing
+    /// coalesced).
+    pub fn coverage_pages(&self) -> u64 {
+        self.masks.iter().map(|&m| u64::from(m.count_ones())).sum()
+    }
+
+    /// Checks internal invariants; meant for tests and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any set's recency lane is not a permutation of
+    /// `0..ways`, a group tag appears twice in one set (two resident
+    /// entries could then translate the same VA differently), a valid
+    /// entry has an empty mask, an invalid slot a non-empty one, or a
+    /// tag indexes into the wrong set.
+    pub fn assert_invariants(&self) {
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            let mut seen = vec![false; self.ways];
+            for w in 0..self.ways {
+                let slot = base + w;
+                let rank = self.recency[slot] as usize;
+                assert!(rank < self.ways, "rank out of range in set {set}");
+                assert!(!seen[rank], "duplicate rank in set {set}");
+                seen[rank] = true;
+                let tag = self.tags[slot];
+                if tag == INVALID_TAG {
+                    assert!(self.masks[slot] == 0, "empty slot holds coverage");
+                    continue;
+                }
+                assert!(self.masks[slot] != 0, "valid entry covers no page");
+                assert!(
+                    tag == tag & !(COLT_GROUP as u64 - 1),
+                    "tag not group-aligned in set {set}"
+                );
+                assert!(self.set_of(tag) == set, "tag indexed into wrong set");
+                for other in base + w + 1..base + self.ways {
+                    assert!(
+                        self.tags[other] != tag,
+                        "group {tag:#x} resident twice in set {set}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for CoalescedTlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} entries x{} pages, {} resident covering {} pages, {}",
+            self.name,
+            self.capacity(),
+            COLT_GROUP,
+            self.occupancy(),
+            self.coverage_pages(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CoalescedTlb {
+        CoalescedTlb::new("colt", 8, 2) // 4 sets x 2 ways
+    }
+
+    #[test]
+    fn lookup_covers_only_masked_pages() {
+        let mut t = small();
+        t.insert_group(Vpn::new(16), Pfn::new(300), 0b0000_1101);
+        for (page, expect) in [(16u64, true), (17, false), (18, true), (19, true)] {
+            let hit = t.lookup(VirtAddr::new(page * 4096 + 7));
+            assert_eq!(hit.is_some(), expect, "page {page}");
+            if let Some(h) = hit {
+                assert_eq!(h.translation.pfn().raw(), 300 + (page - 16));
+            }
+        }
+        assert_eq!(t.stats().hits(), 3);
+        assert_eq!(t.stats().misses(), 1);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn one_entry_reaches_a_whole_group() {
+        let mut t = small();
+        t.insert_group(Vpn::new(0), Pfn::new(64), 0xff);
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.coverage_pages(), 8);
+        for page in 0..8u64 {
+            let h = t.lookup(VirtAddr::new(page * 4096)).expect("covered");
+            assert_eq!(h.translation.pfn().raw(), 64 + page);
+        }
+    }
+
+    #[test]
+    fn same_group_same_base_merges_masks() {
+        let mut t = small();
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b0011);
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b1100);
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.coverage_pages(), 4);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn same_group_new_base_replaces_entirely() {
+        let mut t = small();
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b0011);
+        // The group was remapped elsewhere: the stale run must go.
+        t.insert_group(Vpn::new(8), Pfn::new(500), 0b0100);
+        assert_eq!(t.occupancy(), 1);
+        assert!(t.lookup(VirtAddr::new(8 * 4096)).is_none());
+        let h = t.lookup(VirtAddr::new(10 * 4096)).expect("new run");
+        assert_eq!(h.translation.pfn().raw(), 502);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn lru_evicts_within_set() {
+        let mut t = small(); // 4 sets, 2 ways: groups 0, 32, 64 share set 0
+        t.insert_group(Vpn::new(0), Pfn::new(10), 1);
+        t.insert_group(Vpn::new(32), Pfn::new(20), 1);
+        t.lookup(VirtAddr::new(0)); // promote group 0
+        t.insert_group(Vpn::new(64), Pfn::new(30), 1); // evicts group 32
+        assert!(t.lookup(VirtAddr::new(0)).is_some());
+        assert!(t.lookup(VirtAddr::new(32 * 4096)).is_none());
+        assert!(t.lookup(VirtAddr::new(64 * 4096)).is_some());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_clears_one_bit_then_entry() {
+        let mut t = small();
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b0011);
+        assert_eq!(t.invalidate(VirtAddr::new(8 * 4096)), 1);
+        assert_eq!(t.occupancy(), 1, "one page still covered");
+        assert!(t.lookup(VirtAddr::new(8 * 4096)).is_none());
+        assert!(t.lookup(VirtAddr::new(9 * 4096)).is_some());
+        assert_eq!(t.invalidate(VirtAddr::new(9 * 4096)), 1);
+        assert_eq!(t.occupancy(), 0, "last bit removes the entry");
+        assert_eq!(t.invalidate(VirtAddr::new(9 * 4096)), 0);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_range_trims_overlap() {
+        let mut t = small();
+        t.insert_group(Vpn::new(0), Pfn::new(64), 0xff);
+        // Shoot down pages 2..6.
+        let n = t.invalidate_range(VirtRange::new(VirtAddr::new(2 * 4096), 4 * 4096));
+        assert_eq!(n, 1);
+        assert_eq!(t.coverage_pages(), 4);
+        assert!(t.lookup(VirtAddr::new(4096)).is_some());
+        assert!(t.lookup(VirtAddr::new(3 * 4096)).is_none());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut t = small();
+        t.insert_group(Vpn::new(0), Pfn::new(64), 0xff);
+        t.insert_group(Vpn::new(8), Pfn::new(80), 0x01);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.coverage_pages(), 0);
+        assert_eq!(t.stats().invalidations(), 2);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut t = small();
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b0001);
+        let before = *t.stats();
+        assert!(t.probe(VirtAddr::new(8 * 4096)).is_some());
+        assert!(t.probe(VirtAddr::new(9 * 4096)).is_none());
+        assert_eq!(*t.stats(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "group_vpn must be aligned")]
+    fn unaligned_group_rejected() {
+        small().insert_group(Vpn::new(3), Pfn::new(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn empty_mask_rejected() {
+        small().insert_group(Vpn::new(8), Pfn::new(0), 0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut t = small();
+        t.insert_group(Vpn::new(0), Pfn::new(64), 0b0111);
+        let s = t.to_string();
+        assert!(s.contains("colt"));
+        assert!(s.contains("covering 3 pages"));
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`RangeTlb`] — a fully associative cache of RMM range translations,
 //!   performing base/limit comparisons instead of tag equality (the L2-range
 //!   TLB of RMM and the 4-entry L1-range TLB of RMM_Lite).
+//! * [`CoalescedTlb`] — a CoLT-style set-associative TLB whose entries each
+//!   cover up to [`COLT_GROUP`] contiguous 4 KiB mappings via a presence
+//!   mask, trading a slightly wider entry for multiplied reach.
 //! * [`TlbStats`] — lookup/hit/miss/fill accounting shared by all of them.
 //!
 //! All structures are deterministic and allocation-free on the lookup path.
@@ -36,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coalesced;
 mod entry;
 mod fully_assoc;
 mod range_tlb;
 mod set_assoc;
 mod stats;
 
+pub use coalesced::{CoalescedTlb, COLT_GROUP};
 pub use entry::{Hit, PageTranslation};
 pub use fully_assoc::FullyAssocTlb;
 pub use range_tlb::RangeTlb;

@@ -38,6 +38,8 @@ pub enum FixedUnit {
     L1OneG,
     /// The L1-range TLB (RMM_Lite).
     L1Range,
+    /// The coalesced L1 TLB (CoLT).
+    L1Colt,
     /// The unified L2 page TLB.
     L2Page,
     /// The L2-range TLB (RMM).

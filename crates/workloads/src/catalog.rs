@@ -522,6 +522,7 @@ fn astar() -> WorkloadSpec {
             },
         ],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -574,6 +575,7 @@ fn cactus_adm() -> WorkloadSpec {
             weights: vec![(0, 0.12), (1, 0.88)],
         }],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -656,6 +658,7 @@ fn gems_fdtd() -> WorkloadSpec {
             },
         ],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -720,6 +723,7 @@ fn mcf() -> WorkloadSpec {
             },
         ],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -790,6 +794,7 @@ fn omnetpp() -> WorkloadSpec {
             weights: vec![(0, 0.68), (1, 0.17), (2, 0.15)],
         }],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -849,6 +854,7 @@ fn zeusmp() -> WorkloadSpec {
             },
         ],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -930,6 +936,7 @@ fn mummer() -> WorkloadSpec {
             },
         ],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -984,6 +991,7 @@ fn canneal() -> WorkloadSpec {
             weights: vec![(0, 0.92), (1, 0.08)],
         }],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 
@@ -1067,6 +1075,7 @@ fn light(p: Light) -> WorkloadSpec {
             },
         ],
         phase_unit_instructions: PHASE_UNIT,
+        alloc_contiguity: 1.0,
     }
 }
 

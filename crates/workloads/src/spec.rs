@@ -63,6 +63,11 @@ pub struct WorkloadSpec {
     pub phases: Vec<PhaseSpec>,
     /// Instructions per phase duration unit.
     pub phase_unit_instructions: u64,
+    /// Probability that a 4 KiB allocation continues the physically
+    /// contiguous frame run of its predecessor (1.0 = perfectly contiguous
+    /// demand paging, the default; lower values fragment physical memory
+    /// and shrink the runs a coalesced TLB can cover).
+    pub alloc_contiguity: f64,
 }
 
 /// Validation errors for a [`WorkloadSpec`].
@@ -122,6 +127,9 @@ impl WorkloadSpec {
         }
         if !(0.0..=1.0).contains(&self.store_fraction) {
             return Err(SpecError("store_fraction out of [0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.alloc_contiguity) {
+            return Err(SpecError("alloc_contiguity out of [0, 1]".into()));
         }
         if self.phase_unit_instructions == 0 {
             return Err(SpecError("phase_unit_instructions must be non-zero".into()));
@@ -207,6 +215,7 @@ mod tests {
                 weights: vec![(0, 1.0)],
             }],
             phase_unit_instructions: 1_000_000,
+            alloc_contiguity: 1.0,
         }
     }
 
@@ -246,6 +255,10 @@ mod tests {
 
         let mut s = minimal();
         s.store_fraction = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal();
+        s.alloc_contiguity = -0.1;
         assert!(s.validate().is_err());
 
         let mut s = minimal();

@@ -349,6 +349,7 @@ mod tests {
                 },
             ],
             phase_unit_instructions: 10_000,
+            alloc_contiguity: 1.0,
         }
     }
 

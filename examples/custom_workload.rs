@@ -81,6 +81,7 @@ fn kv_store() -> WorkloadSpec {
             },
         ],
         phase_unit_instructions: 5_000_000,
+        alloc_contiguity: 1.0,
     }
 }
 

@@ -13,19 +13,16 @@ use std::process::ExitCode;
 use eeat::core::{Config, Simulator};
 use eeat::workloads::Workload;
 
+/// Every named configuration: the organization registry plus the
+/// extension configs that ride outside it.
+fn config_catalog() -> Vec<Config> {
+    let mut named = Config::all_registered().to_vec();
+    named.extend([Config::tlb_pred(), Config::fa_thp(), Config::fa_lite()]);
+    named
+}
+
 fn config_by_name(name: &str) -> Option<Config> {
-    let named = [
-        Config::four_k(),
-        Config::thp(),
-        Config::tlb_lite(),
-        Config::rmm(),
-        Config::tlb_pp(),
-        Config::tlb_pred(),
-        Config::rmm_lite(),
-        Config::fa_thp(),
-        Config::fa_lite(),
-    ];
-    named.into_iter().find(|c| {
+    config_catalog().into_iter().find(|c| {
         c.name.eq_ignore_ascii_case(name) || c.name.replace('_', "-").eq_ignore_ascii_case(name)
     })
 }
@@ -104,10 +101,8 @@ fn cmd_list() {
             return;
         }
     }
-    let _ = writeln!(
-        out,
-        "\nconfigs: 4KB THP TLB_Lite RMM TLB_PP TLB_Pred RMM_Lite FA FA_Lite"
-    );
+    let names: Vec<&str> = config_catalog().iter().map(|c| c.name).collect();
+    let _ = writeln!(out, "\nconfigs: {}", names.join(" "));
 }
 
 fn cmd_run(args: Args) -> Result<(), String> {
@@ -147,7 +142,7 @@ fn cmd_compare(args: Args) -> Result<(), String> {
         "config", "L1 MPKI", "L2 MPKI", "energy (uJ)", "miss cycles", "vs 4KB"
     );
     let mut baseline = None;
-    for config in Config::all_six() {
+    for config in Config::all_registered() {
         let name = config.name;
         let mut sim = Simulator::from_workload(config, workload, args.seed);
         let r = sim.run(args.instructions);
