@@ -44,6 +44,27 @@ grep -q "target colt" "$SCRATCH/fuzz.stderr" || {
     echo "fuzz smoke never exercised the colt target" >&2
     exit 1
 }
+grep -q "target multicore" "$SCRATCH/fuzz.stderr" || {
+    echo "fuzz smoke never exercised the multicore target" >&2
+    exit 1
+}
+
+echo "==> multi-core scaling smoke + thread determinism (parallel == sequential)"
+mkdir -p "$SCRATCH/cores_seq" "$SCRATCH/cores_par"
+EEAT_THREADS=1 EEAT_SERIES=1 EEAT_RESULTS="$SCRATCH/cores_seq" cargo run --release --offline \
+    -p eeat-bench --bin cores -- --instructions 200_000 --seed 1
+EEAT_THREADS=4 EEAT_SERIES=1 EEAT_RESULTS="$SCRATCH/cores_par" cargo run --release --offline \
+    -p eeat-bench --bin cores -- --instructions 200_000 --seed 1 > /dev/null
+diff "$SCRATCH/cores_seq/cores.txt" "$SCRATCH/cores_par/cores.txt" || {
+    echo "EEAT_THREADS=4 cores run diverged from the sequential run" >&2
+    exit 1
+}
+for f in "$SCRATCH"/cores_seq/*.series.jsonl; do
+    diff "$f" "$SCRATCH/cores_par/$(basename "$f")" || {
+        echo "per-core series diverged between sequential and parallel runs" >&2
+        exit 1
+    }
+done
 
 echo "==> CoLT head-to-head smoke"
 EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin colt -- \

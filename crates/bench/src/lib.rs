@@ -18,7 +18,7 @@ pub mod timing;
 use eeat_core::Experiment;
 
 pub use cli::{baseline, Cli};
-pub use runner::Runner;
+pub use runner::{series_bucket, Runner};
 
 /// Reads the instruction budget from `EEAT_INSTRUCTIONS` (default 20 M).
 pub fn instruction_budget() -> u64 {

@@ -249,7 +249,10 @@ impl Runner {
 /// The per-epoch series bucket from `EEAT_SERIES`: unset or `0` disables,
 /// `1` samples 20 buckets over the budget (the Figure 4 granularity), any
 /// other integer is the bucket size in instructions.
-fn series_bucket(instructions: u64) -> Option<u64> {
+/// The `EEAT_SERIES` bucket size for an instruction budget: unset/`0`
+/// disables telemetry, `1` picks 20 buckets per run, anything else is the
+/// bucket size in instructions.
+pub fn series_bucket(instructions: u64) -> Option<u64> {
     let raw = std::env::var("EEAT_SERIES").ok()?;
     match raw.trim() {
         "" | "0" => None,

@@ -220,6 +220,95 @@ impl TlbHierarchy {
         removed
     }
 
+    /// Retags every structure with `asid` — the multi-core context switch
+    /// that replaces [`flush_all`](Self::flush_all): entries of other ASIDs
+    /// stay resident and become visible again when their tenant returns.
+    pub fn set_current_asid(&mut self, asid: u16) {
+        if let Some(t) = &mut self.l1_4k {
+            t.set_current_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_2m {
+            t.set_current_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_1g {
+            t.set_current_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_fa {
+            t.set_current_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_colt {
+            t.set_current_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_range {
+            t.set_current_asid(asid);
+        }
+        self.l2_page.set_current_asid(asid);
+        if let Some(t) = &mut self.l2_range {
+            t.set_current_asid(asid);
+        }
+    }
+
+    /// The shootdown an IPI delivers on a *remote* core: invalidates only
+    /// the non-global entries of `asid` covering `va`, sparing whatever the
+    /// core's current tenant has cached. Returns the total number of
+    /// entries removed across all structures.
+    pub fn shootdown_asid(&mut self, asid: u16, va: VirtAddr) -> u64 {
+        let mut removed = 0u64;
+        if let Some(t) = &mut self.l1_4k {
+            removed += t.invalidate_asid(asid, va);
+        }
+        if let Some(t) = &mut self.l1_2m {
+            removed += t.invalidate_asid(asid, va);
+        }
+        if let Some(t) = &mut self.l1_1g {
+            removed += t.invalidate_asid(asid, va);
+        }
+        if let Some(t) = &mut self.l1_fa {
+            removed += t.invalidate_asid(asid, va);
+        }
+        if let Some(t) = &mut self.l1_colt {
+            removed += t.invalidate_asid(asid, va);
+        }
+        if let Some(t) = &mut self.l1_range {
+            removed += t.invalidate_asid(asid, va);
+        }
+        removed += self.l2_page.invalidate_asid(asid, va);
+        if let Some(t) = &mut self.l2_range {
+            removed += t.invalidate_asid(asid, va);
+        }
+        removed
+    }
+
+    /// Removes every non-global entry of `asid` from every structure — the
+    /// teardown of an exiting tenant (ASID recycling). Returns the total
+    /// number of entries removed.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        let mut removed = 0u64;
+        if let Some(t) = &mut self.l1_4k {
+            removed += t.flush_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_2m {
+            removed += t.flush_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_1g {
+            removed += t.flush_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_fa {
+            removed += t.flush_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_colt {
+            removed += t.flush_asid(asid);
+        }
+        if let Some(t) = &mut self.l1_range {
+            removed += t.flush_asid(asid);
+        }
+        removed += self.l2_page.flush_asid(asid);
+        if let Some(t) = &mut self.l2_range {
+            removed += t.flush_asid(asid);
+        }
+        removed
+    }
+
     /// Flushes every structure — the full-context invalidation of an
     /// address-space switch without ASIDs. Per-page shootdowns use the
     /// precise [`shootdown`](Self::shootdown) instead.

@@ -36,8 +36,9 @@ mod config;
 mod experiment;
 mod hierarchy;
 mod lite;
+mod multicore;
 mod org;
-mod par;
+pub mod par;
 mod pipeline;
 mod predictor;
 mod profile;
@@ -51,6 +52,7 @@ pub use config::{Config, LiteParams, ThresholdEpsilon, TlbGeometry};
 pub use experiment::{mean_normalized, ConfigRun, Experiment, WorkloadResults};
 pub use hierarchy::{MonitorIndices, TlbHierarchy};
 pub use lite::{LiteController, LiteDecision, WayMonitor};
+pub use multicore::{CoreResult, MultiCoreParams, MultiCoreResult, MultiCoreSim};
 pub use org::{
     ColtOrg, FourKOrg, Org, ProbePlan, RmmLiteOrg, RmmOrg, ThpOrg, TlbLiteOrg, TlbPpOrg,
     TranslationOrg,

@@ -7,7 +7,7 @@ use std::thread;
 /// The number of worker threads to use for `items` independent jobs:
 /// `available_parallelism` capped by the job count, or `requested` when
 /// given. `EEAT_THREADS` overrides both (useful for benchmarks).
-pub(crate) fn thread_count(items: usize, requested: Option<usize>) -> usize {
+pub fn thread_count(items: usize, requested: Option<usize>) -> usize {
     let hw = || {
         thread::available_parallelism()
             .map(|n| n.get())
@@ -32,7 +32,7 @@ pub(crate) fn thread_count(items: usize, requested: Option<usize>) -> usize {
 /// # Panics
 ///
 /// Propagates a panic from any worker.
-pub(crate) fn parallel_map<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+pub fn parallel_map<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,

@@ -67,18 +67,8 @@ impl Simulator {
     ///
     /// Panics when the spec is invalid or exceeds physical memory.
     pub fn from_spec(config: Config, spec: &WorkloadSpec, seed: u64) -> Self {
-        let mut address_space = AddressSpace::new(config.policy, seed);
-        address_space.set_alloc_contiguity(spec.alloc_contiguity);
-        let regions: Vec<Vec<VirtRange>> = spec
-            .regions
-            .iter()
-            .map(|r| {
-                (0..r.count)
-                    .map(|_| address_space.mmap(r.bytes, r.thp_eligible, r.name))
-                    .collect()
-            })
-            .collect();
-        let generator = TraceGenerator::new(spec, regions, seed);
+        let address_space = AddressSpace::new(config.policy, seed);
+        let (address_space, generator) = populate_spec(address_space, spec, seed);
         Self::assemble(config, address_space, generator, seed)
     }
 
@@ -123,7 +113,52 @@ impl Simulator {
     }
 }
 
-fn assemble_with_source(
+/// Maps a spec's regions into `address_space` and builds its trace
+/// generator — the workload-construction half of [`Simulator::from_spec`],
+/// shared with the multi-core path where each tenant brings its own
+/// (sharded) address space.
+pub(crate) fn populate_spec(
+    mut address_space: AddressSpace,
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> (AddressSpace, TraceGenerator) {
+    address_space.set_alloc_contiguity(spec.alloc_contiguity);
+    let regions: Vec<Vec<VirtRange>> = spec
+        .regions
+        .iter()
+        .map(|r| {
+            (0..r.count)
+                .map(|_| address_space.mmap(r.bytes, r.thp_eligible, r.name))
+                .collect()
+        })
+        .collect();
+    let generator = TraceGenerator::new(spec, regions, seed);
+    (address_space, generator)
+}
+
+/// Builds the page-size oracle of an address space: one entry per
+/// 2 MiB-aligned region of every VMA (sizes are uniform within such
+/// regions by construction).
+pub(crate) fn size_oracle_for(address_space: &AddressSpace) -> SizeOracle {
+    let mut size_pairs = Vec::new();
+    for vma in address_space.vmas() {
+        let start = vma.range().start().raw();
+        let end = vma.range().end().raw();
+        let mut at = start;
+        while at < end {
+            let size = address_space
+                .page_table()
+                .translate(VirtAddr::new(at))
+                .expect("VMAs are fully mapped")
+                .size();
+            size_pairs.push((at >> 21, size));
+            at = (at & !((2 << 20) - 1)) + (2 << 20);
+        }
+    }
+    SizeOracle::new(size_pairs)
+}
+
+pub(crate) fn assemble_with_source(
     config: Config,
     address_space: AddressSpace,
     source: AccessSource,
@@ -140,24 +175,7 @@ fn assemble_with_source(
         .filter(|_| config.unified_l1)
         .map(SizePredictor::new);
 
-    // Build the page-size oracle: one entry per 2 MiB-aligned region of
-    // every VMA (sizes are uniform within such regions by construction).
-    let mut size_pairs = Vec::new();
-    for vma in address_space.vmas() {
-        let start = vma.range().start().raw();
-        let end = vma.range().end().raw();
-        let mut at = start;
-        while at < end {
-            let size = address_space
-                .page_table()
-                .translate(VirtAddr::new(at))
-                .expect("VMAs are fully mapped")
-                .size();
-            size_pairs.push((at >> 21, size));
-            at = (at & !((2 << 20) - 1)) + (2 << 20);
-        }
-    }
-    let size_oracle = SizeOracle::new(size_pairs);
+    let size_oracle = size_oracle_for(&address_space);
 
     let sinks = Sinks {
         stats: StatsObserver::new(),

@@ -88,7 +88,7 @@ impl SizeOracle {
     }
 
     /// Rewrites the size of an existing region (huge-page demotion).
-    fn set(&mut self, key: u64, size: PageSize) {
+    pub(crate) fn set(&mut self, key: u64, size: PageSize) {
         let i = self
             .keys
             .binary_search(&key)
@@ -97,7 +97,7 @@ impl SizeOracle {
     }
 
     /// Region keys currently backed by 2 MiB pages, ascending.
-    fn huge_keys(&self) -> impl Iterator<Item = u64> + '_ {
+    pub(crate) fn huge_keys(&self) -> impl Iterator<Item = u64> + '_ {
         self.keys
             .iter()
             .zip(&self.sizes)
@@ -250,7 +250,7 @@ impl Simulator {
     }
 
     /// The batched run loop shared by every public run flavour.
-    fn run_inner<E: Observer, P: StageProfiler>(
+    pub(crate) fn run_inner<E: Observer, P: StageProfiler>(
         &mut self,
         instructions: u64,
         block: usize,
@@ -436,7 +436,7 @@ impl Simulator {
 
     /// Assembles the cumulative result: settles pending resizable-L1 energy
     /// at the current sizes and snapshots every sink.
-    fn result_with<E: Observer>(&mut self, extra: &mut E) -> RunResult {
+    pub(crate) fn result_with<E: Observer>(&mut self, extra: &mut E) -> RunResult {
         let settle = epoch::settle_event(&self.hierarchy);
         self.sinks.emit(extra, settle);
         RunResult {

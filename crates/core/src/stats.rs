@@ -53,6 +53,14 @@ pub struct SimStats {
     pub lite_intervals: u64,
     /// Lite full re-activations (random + degradation).
     pub lite_reactivations: u64,
+    /// ASID-retagging context switches (multi-core mode; no flush).
+    pub asid_switches: u64,
+    /// Cross-core shootdown IPIs this core sent.
+    pub ipis_sent: u64,
+    /// Cross-core shootdown IPIs this core received and processed.
+    pub ipis_received: u64,
+    /// Entries removed from this core's structures by received IPIs.
+    pub ipi_invalidations: u64,
 }
 
 impl SimStats {
@@ -231,6 +239,14 @@ impl Observer for StatsObserver {
                 if reactivated {
                     s.lite_reactivations += 1;
                 }
+            }
+            TranslationEvent::AsidSwitch { .. } => s.asid_switches += 1,
+            TranslationEvent::ShootdownIpi { recipients } => {
+                s.ipis_sent += u64::from(recipients);
+            }
+            TranslationEvent::IpiDelivered { invalidations } => {
+                s.ipis_received += 1;
+                s.ipi_invalidations += invalidations;
             }
             _ => {}
         }

@@ -1,0 +1,151 @@
+//! Multi-core scheduler, ASID, and shootdown-IPI behaviour.
+//!
+//! Golden bit-parity of the degenerate (1 core, 1 tenant) topology lives in
+//! the workspace-root `multicore_parity` suite; these tests cover the
+//! genuinely multi-core semantics: ASID context switches without flushes,
+//! tenant isolation across cores, IPI fan-out on THP demotion, and
+//! determinism of the whole driver.
+
+use eeat_core::{Config, MultiCoreParams, MultiCoreSim};
+use eeat_workloads::Workload;
+
+const SEED: u64 = 42;
+
+fn params(cores: usize, tenants: usize, quantum: u64) -> MultiCoreParams {
+    MultiCoreParams {
+        cores,
+        tenants,
+        quantum,
+        demotions_per_quantum: 0,
+    }
+}
+
+#[test]
+fn context_switches_retag_instead_of_flushing() {
+    // One core alternating two tenants: every quantum boundary is a
+    // switch, and switches are ASID retags — no flush events, no IPIs.
+    let mut mc = MultiCoreSim::from_workload(
+        Config::tlb_lite(),
+        Workload::Mcf,
+        params(1, 2, 50_000),
+        SEED,
+    );
+    let result = mc.run(500_000);
+    let core = &result.per_core[0];
+    // 10 quanta, reschedules from the second on: 9 switches.
+    assert_eq!(core.run.stats.asid_switches, 9);
+    assert_eq!(core.ipi.asid_switches, 9);
+    assert_eq!(core.ipi.ipis_sent, 0);
+    assert_eq!(core.ipi.ipis_delivered, 0);
+    assert_eq!(result.total_ipi().invalidations, 0);
+    // The ASID-tagged structures kept both tenants' entries warm: the run
+    // still hits in the L1 after hundreds of switches.
+    assert!(core.run.stats.l1_hits_4k + core.run.stats.l1_hits_2m > 0);
+}
+
+#[test]
+fn pinned_tenants_never_exchange_ipis() {
+    // Two cores, two tenants: the round-robin queue is empty, tenants stay
+    // pinned, and no core is ever resident for the other's tenant — so a
+    // demotion storm on core 0 must not send a single IPI, and core 1's
+    // structures (which cache the *same virtual addresses* under its own
+    // ASID) are untouched.
+    let mut mc =
+        MultiCoreSim::from_workload(Config::thp(), Workload::Mcf, params(2, 2, 50_000), SEED);
+    mc.run(200_000);
+    assert_eq!(mc.current_tenant(0), 0);
+    assert_eq!(mc.current_tenant(1), 1);
+    let core1_l2_before = mc.simulator(1).hierarchy().l2_page().occupancy();
+    let broken = mc.demote_huge_pages(0, 64);
+    assert!(broken > 0, "THP policy should leave huge pages to demote");
+    assert_eq!(mc.core_ipi(0).ipis_sent, 0, "no remote core holds ASID 0");
+    assert_eq!(mc.pending_ipis(), 0);
+    assert_eq!(
+        mc.simulator(1).hierarchy().l2_page().occupancy(),
+        core1_l2_before,
+        "core 1's entries for the same VAs belong to ASID 1 and must survive"
+    );
+}
+
+#[test]
+fn thp_demotion_fans_out_to_resident_cores() {
+    // Two cores, three tenants: the odd tenant count makes tenants migrate
+    // between cores, so each core becomes resident for ASIDs it no longer
+    // runs — exactly the set a demotion must fan out to.
+    let mut mc =
+        MultiCoreSim::from_workload(Config::thp(), Workload::Mcf, params(2, 3, 20_000), SEED);
+    mc.run(200_000);
+    let broken = mc.demote_huge_pages(0, 16);
+    assert!(broken > 0);
+    let sent = mc.core_ipi(0).ipis_sent;
+    assert!(sent > 0, "core 1 hosted this tenant and must be notified");
+    assert_eq!(
+        mc.pending_ipis() as u64,
+        sent,
+        "IPIs queue until the boundary"
+    );
+    assert_eq!(
+        mc.core_ipi(1).ipis_delivered,
+        0,
+        "delivery waits for the quantum"
+    );
+    // The next quantum boundary drains the queue on the receiving core.
+    mc.run(20_000);
+    assert_eq!(mc.core_ipi(1).ipis_delivered, sent);
+    assert_eq!(mc.pending_ipis(), 0);
+    let received = mc.core_stats(1);
+    assert_eq!(received.ipis_received, sent);
+}
+
+#[test]
+fn background_demotion_raises_coherence_traffic() {
+    let mut with_demotion = MultiCoreSim::from_workload(
+        Config::thp(),
+        Workload::Mcf,
+        MultiCoreParams {
+            demotions_per_quantum: 2,
+            ..params(2, 3, 25_000)
+        },
+        SEED,
+    );
+    let result = with_demotion.run(300_000);
+    let ipi = result.total_ipi();
+    assert!(ipi.ipis_sent > 0);
+    assert!(ipi.ipis_delivered > 0);
+    assert!(ipi.cycles > 0);
+    assert!(ipi.energy_pj > 0.0);
+    // Sent and delivered balance up to the still-queued tail.
+    assert_eq!(
+        ipi.ipis_sent,
+        ipi.ipis_delivered + with_demotion.pending_ipis() as u64
+    );
+}
+
+#[test]
+fn multicore_runs_are_deterministic() {
+    let build = || {
+        MultiCoreSim::from_workload(
+            Config::rmm_lite(),
+            Workload::Mcf,
+            MultiCoreParams {
+                demotions_per_quantum: 1,
+                ..params(2, 3, 30_000)
+            },
+            SEED,
+        )
+    };
+    let a = build().run(240_000);
+    let b = build().run(240_000);
+    for (ca, cb) in a.per_core.iter().zip(&b.per_core) {
+        assert_eq!(ca.tenant, cb.tenant);
+        assert_eq!(ca.ipi, cb.ipi);
+        assert_eq!(format!("{:?}", ca.run), format!("{:?}", cb.run));
+    }
+}
+
+#[test]
+#[should_panic(expected = "every core needs a tenant")]
+fn fewer_tenants_than_cores_is_rejected() {
+    let _ =
+        MultiCoreSim::from_workload(Config::four_k(), Workload::Mcf, params(4, 2, 10_000), SEED);
+}

@@ -36,6 +36,7 @@
 mod accounting;
 mod analytical;
 mod cycles;
+mod ipi;
 mod observers;
 mod static_energy;
 pub mod table2;
@@ -43,6 +44,10 @@ pub mod table2;
 pub use accounting::{EnergyBreakdown, Structure};
 pub use analytical::{CacheEnergyModel, CamEnergyModel};
 pub use cycles::{CycleBreakdown, CycleModel};
+pub use ipi::{
+    IpiBreakdown, IpiObserver, ASID_SWITCH_CYCLES, ASID_SWITCH_PJ, IPI_DELIVER_CYCLES,
+    IPI_DELIVER_PJ, IPI_INVALIDATE_PJ, IPI_SEND_CYCLES, IPI_SEND_PJ,
+};
 pub use observers::{CycleObserver, EnergyObserver};
 pub use static_energy::{
     leakage_energy, LeakageInputs, PowerGating, StaticEnergy, DEFAULT_CLOCK_GHZ,

@@ -56,5 +56,5 @@ pub use diff::{diff_artifacts, relative_delta, DiffReport, MetricDelta};
 pub use json::Json;
 pub use manifest::{config_hash, fnv1a_64, RunManifest, SCHEMA};
 pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry};
-pub use series::{EpochRow, EpochSeries};
+pub use series::{per_core_jsonl, EpochRow, EpochSeries};
 pub use trace::{TraceRecord, TraceRing, DEFAULT_CAPACITY};

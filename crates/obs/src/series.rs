@@ -3,9 +3,14 @@
 //!
 //! [`EpochSeries`] samples one [`EpochRow`] per instruction bucket, like the
 //! Figure 4 timeline observer but wider: MPKI, per-structure hit counts,
-//! range-TLB hit ratio, walk traffic, shootdowns, Lite activity, the
+//! range-TLB hit ratio, walk traffic, shootdowns, multi-core coherence
+//! traffic (ASID retags, shootdown IPIs sent/delivered), Lite activity, the
 //! LRU-distance utility histograms of every monitored structure, and —
 //! when an energy observer is embedded — per-bucket picojoules.
+//!
+//! In a multi-core simulation each core carries its own `EpochSeries`
+//! (attached through `MultiCoreSim::run_with`); [`per_core_jsonl`] merges
+//! the per-core series into one stream with a `core` tag on every row.
 //!
 //! The MPKI columns reproduce `eeat_core::TimelineObserver` *bit for bit*
 //! (same bucket-close condition, same delta arithmetic, same division), so
@@ -48,6 +53,10 @@ struct Counters {
     range_walks: u64,
     shootdowns: u64,
     context_switches: u64,
+    asid_switches: u64,
+    ipis_sent: u64,
+    ipis_delivered: u64,
+    ipi_invalidations: u64,
     lite_epochs: u64,
     lite_reactivations: u64,
 }
@@ -94,6 +103,15 @@ pub struct EpochRow {
     pub shootdowns: u64,
     /// Context switches in the bucket.
     pub context_switches: u64,
+    /// ASID-retagging context switches (multi-core scheduler) in the bucket.
+    pub asid_switches: u64,
+    /// Cross-core shootdown IPIs sent in the bucket (one per remote core
+    /// signalled).
+    pub ipis_sent: u64,
+    /// Shootdown IPIs received and processed in the bucket.
+    pub ipis_delivered: u64,
+    /// Entries invalidated by delivered IPIs in the bucket.
+    pub ipi_invalidations: u64,
     /// Lite intervals completed in the bucket.
     pub lite_epochs: u64,
     /// Lite full re-activations in the bucket.
@@ -133,6 +151,13 @@ impl EpochRow {
             ("range_walks", json::num(self.range_walks as f64)),
             ("shootdowns", json::num(self.shootdowns as f64)),
             ("context_switches", json::num(self.context_switches as f64)),
+            ("asid_switches", json::num(self.asid_switches as f64)),
+            ("ipis_sent", json::num(self.ipis_sent as f64)),
+            ("ipis_delivered", json::num(self.ipis_delivered as f64)),
+            (
+                "ipi_invalidations",
+                json::num(self.ipi_invalidations as f64),
+            ),
             ("lite_epochs", json::num(self.lite_epochs as f64)),
             (
                 "lite_reactivations",
@@ -276,6 +301,10 @@ impl EpochSeries {
             range_walks: d(self.cum.range_walks, self.last.range_walks),
             shootdowns: d(self.cum.shootdowns, self.last.shootdowns),
             context_switches: d(self.cum.context_switches, self.last.context_switches),
+            asid_switches: d(self.cum.asid_switches, self.last.asid_switches),
+            ipis_sent: d(self.cum.ipis_sent, self.last.ipis_sent),
+            ipis_delivered: d(self.cum.ipis_delivered, self.last.ipis_delivered),
+            ipi_invalidations: d(self.cum.ipi_invalidations, self.last.ipi_invalidations),
             lite_epochs: d(self.cum.lite_epochs, self.last.lite_epochs),
             lite_reactivations: d(self.cum.lite_reactivations, self.last.lite_reactivations),
             lru: self.lru,
@@ -306,11 +335,12 @@ impl EpochSeries {
             "instructions,l1_mpki,l2_mpki,l1_4k_ways,accesses,l1_misses,l2_misses,\
              l1_hits_4k,l1_hits_2m,l1_hits_1g,l1_hits_range,l2_hits_page,l2_hits_range,\
              range_hit_ratio,walk_refs,range_walks,shootdowns,context_switches,\
+             asid_switches,ipis_sent,ipis_delivered,ipi_invalidations,\
              lite_epochs,lite_reactivations,energy_pj,pj_per_access\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.instructions,
                 r.l1_mpki,
                 r.l2_mpki,
@@ -329,6 +359,10 @@ impl EpochSeries {
                 r.range_walks,
                 r.shootdowns,
                 r.context_switches,
+                r.asid_switches,
+                r.ipis_sent,
+                r.ipis_delivered,
+                r.ipi_invalidations,
                 r.lite_epochs,
                 r.lite_reactivations,
                 r.energy_pj,
@@ -337,6 +371,24 @@ impl EpochSeries {
         }
         out
     }
+}
+
+/// JSONL export of several cores' series as one stream: every row carries a
+/// leading `core` member naming the series it came from. Rows are grouped
+/// by core (core 0's rows first), so per-core slices stay contiguous.
+pub fn per_core_jsonl(cores: &[EpochSeries]) -> String {
+    let mut out = String::new();
+    for (core, series) in cores.iter().enumerate() {
+        for row in series.rows() {
+            let mut json = row.to_json();
+            if let Json::Obj(members) = &mut json {
+                members.insert(0, ("core".to_string(), json::num(core as f64)));
+            }
+            out.push_str(&json.to_compact());
+            out.push('\n');
+        }
+    }
+    out
 }
 
 impl Observer for EpochSeries {
@@ -369,6 +421,14 @@ impl Observer for EpochSeries {
             TranslationEvent::RangeTableWalk { .. } => self.cum.range_walks += 1,
             TranslationEvent::Shootdown => self.cum.shootdowns += 1,
             TranslationEvent::ContextSwitch => self.cum.context_switches += 1,
+            TranslationEvent::AsidSwitch { .. } => self.cum.asid_switches += 1,
+            TranslationEvent::ShootdownIpi { recipients } => {
+                self.cum.ipis_sent += u64::from(recipients);
+            }
+            TranslationEvent::IpiDelivered { invalidations } => {
+                self.cum.ipis_delivered += 1;
+                self.cum.ipi_invalidations += invalidations;
+            }
             TranslationEvent::EpochMonitor {
                 unit,
                 counters,
@@ -511,6 +571,48 @@ mod tests {
         let row = &s.rows()[0];
         assert_eq!(row.shootdowns, 1);
         assert_eq!(row.context_switches, 1);
+    }
+
+    #[test]
+    fn coherence_events_are_counted() {
+        let mut s = EpochSeries::new(0, 10, 0, None);
+        s.on_event(&TranslationEvent::AsidSwitch { asid: 3 });
+        s.on_event(&TranslationEvent::ShootdownIpi { recipients: 3 });
+        s.on_event(&TranslationEvent::ShootdownIpi { recipients: 0 });
+        s.on_event(&TranslationEvent::IpiDelivered { invalidations: 2 });
+        s.on_event(&TranslationEvent::IpiDelivered { invalidations: 0 });
+        s.on_event(&access(20));
+        s.on_event(&TranslationEvent::StepEnd);
+        let row = &s.rows()[0];
+        assert_eq!(row.asid_switches, 1);
+        assert_eq!(row.ipis_sent, 3, "one IPI per remote core signalled");
+        assert_eq!(row.ipis_delivered, 2);
+        assert_eq!(row.ipi_invalidations, 2);
+        // The next bucket differences back to zero.
+        s.on_event(&access(10));
+        s.on_event(&TranslationEvent::StepEnd);
+        assert_eq!(s.rows()[1].ipis_delivered, 0);
+    }
+
+    #[test]
+    fn per_core_jsonl_tags_every_row() {
+        let mut cores = vec![
+            EpochSeries::new(0, 10, 0, None),
+            EpochSeries::new(0, 10, 0, None),
+        ];
+        for (i, s) in cores.iter_mut().enumerate() {
+            for _ in 0..=i {
+                s.on_event(&access(20));
+                s.on_event(&TranslationEvent::StepEnd);
+            }
+        }
+        let jsonl = per_core_jsonl(&cores);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (line, want_core) in lines.iter().zip([0.0, 1.0, 1.0]) {
+            let parsed = crate::json::parse(line).expect("row parses");
+            assert_eq!(parsed.get("core").and_then(Json::as_f64), Some(want_core));
+        }
     }
 
     #[test]

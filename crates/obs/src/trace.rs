@@ -239,6 +239,15 @@ fn event_json(event: &TranslationEvent) -> (&'static str, Vec<(&'static str, Jso
                 ("l1_4k_ways", opt(l1_4k_ways)),
             ],
         ),
+        E::AsidSwitch { asid } => ("AsidSwitch", vec![("asid", n(f64::from(asid)))]),
+        E::ShootdownIpi { recipients } => (
+            "ShootdownIpi",
+            vec![("recipients", n(f64::from(recipients)))],
+        ),
+        E::IpiDelivered { invalidations } => (
+            "IpiDelivered",
+            vec![("invalidations", n(invalidations as f64))],
+        ),
         E::StepEnd => ("StepEnd", vec![]),
     }
 }

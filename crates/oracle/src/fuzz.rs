@@ -14,6 +14,7 @@
 //! freshly built structures — so a divergence found once can be checked in
 //! under `replays/` as a permanent regression test.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use eeat_core::{LiteController, LiteParams, ThresholdEpsilon, TranslationOrg};
@@ -23,7 +24,9 @@ use eeat_types::rng::{RngCore, RngExt, SeedableRng, SmallRng, SplitMix64};
 use eeat_types::{PageSize, Pfn, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
 
 use crate::lite::OracleLite;
-use crate::model::{OracleColtTlb, OraclePageTlb, OracleRangeTlb, OracleStats, OracleWalker};
+use crate::model::{
+    OracleAsidTlb, OracleColtTlb, OraclePageTlb, OracleRangeTlb, OracleStats, OracleWalker,
+};
 
 /// The production structure a fuzz run drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,17 +43,23 @@ pub enum Target {
     Lite,
     /// [`CoalescedTlb`], 16 entries × 2 ways over a 32-group universe.
     Colt,
+    /// Two ASID-tagged [`SetAssocTlb`] "cores" behind a seq-numbered
+    /// shootdown-IPI queue, versus per-core [`OracleAsidTlb`] models:
+    /// context switches, global entries, cross-core shootdowns, delivery
+    /// ordering, and shootdown-vs-refill races.
+    Multicore,
 }
 
 impl Target {
     /// Every target, in the order [`fuzz_seed`] drives them.
-    pub const ALL: [Target; 6] = [
+    pub const ALL: [Target; 7] = [
         Target::SetAssoc,
         Target::FullyAssoc,
         Target::Range,
         Target::Mmu,
         Target::Lite,
         Target::Colt,
+        Target::Multicore,
     ];
 
     /// The replay-file token naming this target.
@@ -62,6 +71,7 @@ impl Target {
             Target::Mmu => "mmu",
             Target::Lite => "lite",
             Target::Colt => "colt",
+            Target::Multicore => "multicore",
         }
     }
 
@@ -154,6 +164,75 @@ pub enum Op {
     EndInterval {
         /// Instructions past the interval boundary.
         extra: u64,
+    },
+    /// Context-switch core `core` to `asid` (multicore target).
+    SwitchAsid {
+        /// Core index.
+        core: usize,
+        /// The ASID subsequent lookups and fills on that core run under.
+        asid: u16,
+    },
+    /// Insert the page of `size` at `vpn` on `core` under its current ASID
+    /// (the frame is derived from both the VPN and the ASID, so a mix-up
+    /// surfaces as a wrong translation, not just wrong bookkeeping).
+    InsertAt {
+        /// Core index.
+        core: usize,
+        /// First virtual page number of the page.
+        vpn: u64,
+        /// Page size of the mapping.
+        size: PageSize,
+        /// Insert with the global bit: visible to every ASID.
+        global: bool,
+    },
+    /// Size-aware lookup of `va` on `core` under its current ASID.
+    LookupAt {
+        /// Core index.
+        core: usize,
+        /// Raw virtual address.
+        va: u64,
+        /// Page size assumed by the lookup.
+        size: PageSize,
+    },
+    /// Resize core `core` to `ways` active ways.
+    ResizeAt {
+        /// Core index.
+        core: usize,
+        /// New power-of-two way count.
+        ways: usize,
+    },
+    /// Shootdown of `va` under `core`'s current ASID: invalidate locally
+    /// and enqueue a seq-numbered IPI against every other core.
+    ShootdownVa {
+        /// Initiating core index.
+        core: usize,
+        /// Raw virtual address being unmapped.
+        va: u64,
+    },
+    /// Deliver the oldest pending IPI queued against `core` (no-op when
+    /// the queue is empty).
+    DeliverIpi {
+        /// Receiving core index.
+        core: usize,
+    },
+    /// Flush every non-global entry of `asid` on `core` (ASID recycling).
+    FlushAsid {
+        /// Core index.
+        core: usize,
+        /// The ASID being recycled.
+        asid: u16,
+    },
+    /// ASID-targeted multi-page shootdown of `[start, start + len)` on
+    /// `core` (an `munmap` of `asid`'s region observed by one core).
+    InvalidateRangeAsid {
+        /// Core index.
+        core: usize,
+        /// The owning ASID.
+        asid: u16,
+        /// Raw start address.
+        start: u64,
+        /// Length in bytes.
+        len: u64,
     },
     /// (Re)build both Lite controllers with these parameters.
     LiteConfig {
@@ -466,6 +545,100 @@ fn gen_colt(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
         .collect()
 }
 
+/// Cores in the multicore target's universe. Two is the smallest count
+/// with a remote side to shoot down.
+const MC_CORES: usize = 2;
+
+/// ASIDs in play per core: three tenants sharing one virtual-address
+/// universe, so the same VA is routinely cached under several lanes.
+const MC_ASIDS: u16 = 3;
+
+/// 4 KiB VPNs of the multicore universe (the 2 MiB regions are 8..12, as
+/// in the fully associative target).
+const MC_VPNS_4K: u64 = 48;
+
+/// The derived frame of a multicore insert: distinct per (VPN, ASID), so
+/// an ASID mix-up returns a visibly wrong frame instead of merely
+/// corrupting lane bookkeeping.
+fn mc_translation(vpn: u64, size: PageSize, asid: u16) -> PageTranslation {
+    PageTranslation::new(
+        Vpn::new(vpn),
+        Pfn::new(vpn + (1 << 20) + ((asid as u64) << 24)),
+        size,
+    )
+}
+
+fn gen_mc_va(rng: &mut SmallRng) -> (u64, PageSize) {
+    if rng.random_range(0..4u64) < 3 {
+        let vpn = rng.random_range(0..MC_VPNS_4K);
+        (vpn * KB4 + rng.random_range(0..KB4), PageSize::Size4K)
+    } else {
+        let region = rng.random_range(8..12u64);
+        (region * MB2 + rng.random_range(0..MB2), PageSize::Size2M)
+    }
+}
+
+fn gen_multicore(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    let core = |rng: &mut SmallRng| rng.random_range(0..MC_CORES as u64) as usize;
+    let asid = |rng: &mut SmallRng| rng.random_range(0..MC_ASIDS as u64) as u16;
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u64) {
+            0..28 => {
+                let (va, size) = gen_mc_va(rng);
+                Op::LookupAt {
+                    core: core(rng),
+                    va,
+                    size,
+                }
+            }
+            28..52 => {
+                let (vpn, size) = if rng.random_range(0..10u64) < 7 {
+                    (rng.random_range(0..MC_VPNS_4K), PageSize::Size4K)
+                } else {
+                    (rng.random_range(8..12u64) * 512, PageSize::Size2M)
+                };
+                Op::InsertAt {
+                    core: core(rng),
+                    vpn,
+                    size,
+                    global: rng.random_range(0..8u64) == 0,
+                }
+            }
+            52..60 => Op::SwitchAsid {
+                core: core(rng),
+                asid: asid(rng),
+            },
+            60..70 => Op::ShootdownVa {
+                core: core(rng),
+                va: gen_mc_va(rng).0,
+            },
+            70..80 => Op::DeliverIpi { core: core(rng) },
+            80..85 => Op::FlushAsid {
+                core: core(rng),
+                asid: asid(rng),
+            },
+            85..90 => Op::InvalidateRangeAsid {
+                core: core(rng),
+                asid: asid(rng),
+                start: rng.random_range(0..6144u64) * KB4,
+                len: (1 + rng.random_range(0..2048u64)) * KB4,
+            },
+            90..95 => Op::ResizeAt {
+                core: core(rng),
+                ways: 1 << rng.random_range(0..3u64),
+            },
+            _ => {
+                let (va, size) = gen_mc_va(rng);
+                Op::LookupAt {
+                    core: core(rng),
+                    va,
+                    size,
+                }
+            }
+        })
+        .collect()
+}
+
 fn gen_ops(target: Target, seed: u64, steps: usize) -> Vec<Op> {
     let mut rng = SmallRng::seed_from_u64(seed);
     match target {
@@ -475,6 +648,7 @@ fn gen_ops(target: Target, seed: u64, steps: usize) -> Vec<Op> {
         Target::Mmu => gen_mmu(&mut rng, steps),
         Target::Lite => gen_lite(&mut rng, steps),
         Target::Colt => gen_colt(&mut rng, steps),
+        Target::Multicore => gen_multicore(&mut rng, steps),
     }
 }
 
@@ -929,6 +1103,180 @@ impl LiteHarness {
     }
 }
 
+/// One pending cross-core shootdown: a total-order sequence number plus
+/// the (ASID, VA) to invalidate on delivery.
+struct McIpi {
+    seq: u64,
+    asid: u16,
+    va: u64,
+}
+
+/// The multicore harness: [`MC_CORES`] ASID-tagged production TLBs and
+/// their oracle models, plus per-core FIFO queues of seq-numbered
+/// shootdown IPIs. A shootdown invalidates the initiator immediately and
+/// fans out to every other core's queue; `DeliverIpi` drains one message,
+/// checking that deliveries observe the global sequence order and that
+/// production and oracle agree on how many entries each delivery kills
+/// (the shootdown-vs-refill race: a refill between send and delivery
+/// resurrects the page, and the delivery must kill it again).
+struct MulticoreHarness {
+    prod: Vec<SetAssocTlb>,
+    oracle: Vec<OracleAsidTlb>,
+    queues: Vec<VecDeque<McIpi>>,
+    delivered_seq: Vec<u64>,
+    next_seq: u64,
+}
+
+impl MulticoreHarness {
+    fn new() -> Self {
+        Self {
+            prod: (0..MC_CORES)
+                .map(|_| SetAssocTlb::new("fuzz-mc", 64, 4, PageSize::Size4K))
+                .collect(),
+            oracle: (0..MC_CORES).map(|_| OracleAsidTlb::new(64, 4)).collect(),
+            queues: (0..MC_CORES).map(|_| VecDeque::new()).collect(),
+            delivered_seq: vec![0; MC_CORES],
+            next_seq: 1,
+        }
+    }
+
+    fn step(&mut self, op: Op) -> Result<(), String> {
+        match op {
+            Op::SwitchAsid { core, asid } => {
+                self.prod[core].set_current_asid(asid);
+                self.oracle[core].set_current_asid(asid);
+            }
+            Op::InsertAt {
+                core,
+                vpn,
+                size,
+                global,
+            } => {
+                let t = mc_translation(vpn, size, self.prod[core].current_asid());
+                if global {
+                    self.prod[core].insert_global(t);
+                    self.oracle[core].insert_global(t);
+                } else {
+                    self.prod[core].insert(t);
+                    self.oracle[core].insert(t);
+                }
+            }
+            Op::LookupAt { core, va, size } => {
+                let va = VirtAddr::new(va);
+                let p = self.prod[core]
+                    .lookup_for_size(va, size)
+                    .map(|h| (h.translation, h.rank));
+                let o = self.oracle[core].lookup_for_size(va, size);
+                check(p == o, || {
+                    format!("core {core} lookup diverged: prod {p:?} vs oracle {o:?}")
+                })?;
+            }
+            Op::ResizeAt { core, ways } => {
+                self.prod[core].set_active_ways(ways);
+                self.oracle[core].set_active_ways(ways);
+            }
+            Op::ShootdownVa { core, va } => {
+                let asid = self.prod[core].current_asid();
+                let addr = VirtAddr::new(va);
+                let p = self.prod[core].invalidate_asid(asid, addr);
+                let o = self.oracle[core].invalidate_asid(asid, addr);
+                check(p == o, || {
+                    format!("core {core} local shootdown removed prod {p} vs oracle {o}")
+                })?;
+                for other in 0..MC_CORES {
+                    if other == core {
+                        continue;
+                    }
+                    self.queues[other].push_back(McIpi {
+                        seq: self.next_seq,
+                        asid,
+                        va,
+                    });
+                    self.next_seq += 1;
+                }
+            }
+            Op::DeliverIpi { core } => {
+                if let Some(ipi) = self.queues[core].pop_front() {
+                    check(ipi.seq > self.delivered_seq[core], || {
+                        format!(
+                            "core {core} delivered IPI seq {} after seq {}",
+                            ipi.seq, self.delivered_seq[core]
+                        )
+                    })?;
+                    self.delivered_seq[core] = ipi.seq;
+                    let addr = VirtAddr::new(ipi.va);
+                    let p = self.prod[core].invalidate_asid(ipi.asid, addr);
+                    let o = self.oracle[core].invalidate_asid(ipi.asid, addr);
+                    check(p == o, || {
+                        format!(
+                            "core {core} IPI (asid {}, va {:#x}) removed prod {p} vs oracle {o}",
+                            ipi.asid, ipi.va
+                        )
+                    })?;
+                }
+            }
+            Op::FlushAsid { core, asid } => {
+                let p = self.prod[core].flush_asid(asid);
+                let o = self.oracle[core].flush_asid(asid);
+                check(p == o, || {
+                    format!("core {core} flush_asid {asid} removed prod {p} vs oracle {o}")
+                })?;
+            }
+            Op::InvalidateRangeAsid {
+                core,
+                asid,
+                start,
+                len,
+            } => {
+                let r = VirtRange::new(VirtAddr::new(start), len);
+                let p = self.prod[core].invalidate_range_asid(asid, r);
+                let o = self.oracle[core].invalidate_range_asid(asid, r);
+                check(p == o, || {
+                    format!("core {core} ranged shootdown removed prod {p} vs oracle {o}")
+                })?;
+            }
+            other => panic!("op {other:?} not applicable to multicore"),
+        }
+        // Full cross-check of every core after every op: invariants, stats,
+        // occupancy, and the contents as seen by *every* ASID in play.
+        for core in 0..MC_CORES {
+            let prod = &mut self.prod[core];
+            let oracle = &mut self.oracle[core];
+            prod.assert_invariants();
+            check_stats(&oracle.stats, prod.stats(), "multicore")
+                .map_err(|e| format!("core {core} {e}"))?;
+            occupancy_check(prod.occupancy(), oracle.occupancy())
+                .map_err(|e| format!("core {core} {e}"))?;
+            let resume = prod.current_asid();
+            for asid in 0..MC_ASIDS {
+                prod.set_current_asid(asid);
+                oracle.set_current_asid(asid);
+                for vpn in 0..MC_VPNS_4K {
+                    let va = VirtAddr::new(vpn * KB4);
+                    check(
+                        prod.probe(va, PageSize::Size4K) == oracle.probe(va, PageSize::Size4K),
+                        || format!("core {core} contents diverged at 4K vpn {vpn} (asid {asid})"),
+                    )?;
+                }
+                for region in 8..12u64 {
+                    let va = VirtAddr::new(region * MB2);
+                    check(
+                        prod.probe(va, PageSize::Size2M) == oracle.probe(va, PageSize::Size2M),
+                        || {
+                            format!(
+                                "core {core} contents diverged at 2M region {region} (asid {asid})"
+                            )
+                        },
+                    )?;
+                }
+            }
+            prod.set_current_asid(resume);
+            oracle.set_current_asid(resume);
+        }
+        Ok(())
+    }
+}
+
 fn wrap(step: usize, op: Op, result: Result<(), String>) -> Result<(), Divergence> {
     result.map_err(|detail| Divergence {
         step,
@@ -983,6 +1331,12 @@ pub fn run_ops(target: Target, ops: &[Op]) -> Result<(), Divergence> {
             let mut oracle = OracleColtTlb::new(16, 2);
             for (step, &op) in ops.iter().enumerate() {
                 wrap(step, op, colt_step(&mut prod, &mut oracle, op))?;
+            }
+        }
+        Target::Multicore => {
+            let mut h = MulticoreHarness::new();
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, h.step(op))?;
             }
         }
     }
@@ -1069,6 +1423,30 @@ pub fn format_replay(target: Target, ops: &[Op]) -> String {
                 format!("invalidate_range {start:#x} {len:#x}")
             }
             Op::Walk { va } => format!("walk {va:#x}"),
+            Op::SwitchAsid { core, asid } => format!("switch {core} {asid}"),
+            Op::InsertAt {
+                core,
+                vpn,
+                size,
+                global,
+            } => format!(
+                "insert_at {core} {vpn} {} {}",
+                size_token(size),
+                u8::from(global)
+            ),
+            Op::LookupAt { core, va, size } => {
+                format!("lookup_at {core} {va:#x} {}", size_token(size))
+            }
+            Op::ResizeAt { core, ways } => format!("resize_at {core} {ways}"),
+            Op::ShootdownVa { core, va } => format!("shootdown {core} {va:#x}"),
+            Op::DeliverIpi { core } => format!("deliver {core}"),
+            Op::FlushAsid { core, asid } => format!("flush_asid {core} {asid}"),
+            Op::InvalidateRangeAsid {
+                core,
+                asid,
+                start,
+                len,
+            } => format!("invalidate_range_asid {core} {asid} {start:#x} {len:#x}"),
             Op::LiteHit { monitor, rank } => format!("lite_hit {monitor} {rank}"),
             Op::LiteMiss => "lite_miss".to_string(),
             Op::EndInterval { extra } => format!("end_interval {extra}"),
@@ -1161,6 +1539,42 @@ pub fn parse_replay(text: &str) -> Result<(Target, Vec<Op>), String> {
             "walk" => Op::Walk {
                 va: parse_u64(arg(0)?).map_err(&fail)?,
             },
+            "switch" => Op::SwitchAsid {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                asid: parse_u64(arg(1)?).map_err(&fail)? as u16,
+            },
+            "insert_at" => Op::InsertAt {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                vpn: parse_u64(arg(1)?).map_err(&fail)?,
+                size: parse_size(arg(2)?).map_err(&fail)?,
+                global: parse_u64(arg(3)?).map_err(&fail)? != 0,
+            },
+            "lookup_at" => Op::LookupAt {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                va: parse_u64(arg(1)?).map_err(&fail)?,
+                size: parse_size(arg(2)?).map_err(&fail)?,
+            },
+            "resize_at" => Op::ResizeAt {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                ways: parse_u64(arg(1)?).map_err(&fail)? as usize,
+            },
+            "shootdown" => Op::ShootdownVa {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                va: parse_u64(arg(1)?).map_err(&fail)?,
+            },
+            "deliver" => Op::DeliverIpi {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+            },
+            "flush_asid" => Op::FlushAsid {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                asid: parse_u64(arg(1)?).map_err(&fail)? as u16,
+            },
+            "invalidate_range_asid" => Op::InvalidateRangeAsid {
+                core: parse_u64(arg(0)?).map_err(&fail)? as usize,
+                asid: parse_u64(arg(1)?).map_err(&fail)? as u16,
+                start: parse_u64(arg(2)?).map_err(&fail)?,
+                len: parse_u64(arg(3)?).map_err(&fail)?,
+            },
             "lite_hit" => Op::LiteHit {
                 monitor: parse_u64(arg(0)?).map_err(&fail)? as usize,
                 rank: parse_u64(arg(1)?).map_err(&fail)? as u8,
@@ -1243,14 +1657,26 @@ pub fn fuzz_seed_with<F: FnMut(Target, u64)>(
 
 /// The fuzz targets exercising the structures a registered organization
 /// actually builds — the oracle-side counterpart of the
-/// [`eeat_core::Org`] registry. Every org walks (so [`Target::Mmu`] is
-/// always covered) and owns at least one set-associative TLB (the L2);
-/// range, fully associative, coalesced, and Lite coverage follow from the
-/// org's probe plan and configuration.
+/// [`eeat_core::Org`] registry. Each target is derived from a structural
+/// fact of the configuration: a unified L2 implies the set-associative
+/// target, its ASID lanes the multicore target, and its miss path the MMU
+/// walker; range, fully associative, coalesced, and Lite coverage follow
+/// from the org's probe plan and configuration.
+///
+/// # Panics
+///
+/// Panics, naming the org, when none of its structures map to a fuzz
+/// target — an org without differential coverage must not be registered
+/// silently.
 pub fn targets_for_org(org: &'static dyn TranslationOrg) -> Vec<Target> {
     let config = org.config();
     let plan = org.probe_plan();
-    let mut targets = vec![Target::SetAssoc, Target::Mmu];
+    let mut targets = Vec::new();
+    if config.l2_page.entries > 0 {
+        targets.push(Target::SetAssoc);
+        targets.push(Target::Multicore);
+        targets.push(Target::Mmu);
+    }
     if plan.fully_assoc_l1 {
         targets.push(Target::FullyAssoc);
     }
@@ -1263,6 +1689,12 @@ pub fn targets_for_org(org: &'static dyn TranslationOrg) -> Vec<Target> {
     if plan.coalesced_l1 {
         targets.push(Target::Colt);
     }
+    assert!(
+        !targets.is_empty(),
+        "org {:?} has no oracle fuzz target: none of its structures map to \
+         a Target — extend the oracle (and targets_for_org) before registering it",
+        org.name()
+    );
     targets
 }
 
@@ -1273,14 +1705,17 @@ mod tests {
     #[test]
     fn every_registered_org_is_fuzz_covered() {
         // The registry-to-oracle factory: each org names at least the
-        // set-associative and MMU targets, CoLT's org names the coalesced
-        // target, and the registry as a whole exercises every target.
+        // set-associative, multicore (ASID), and MMU targets, CoLT's org
+        // names the coalesced target, and the registry as a whole
+        // exercises every target.
         let mut covered = Vec::new();
         for org in eeat_core::Org::all() {
             let targets = targets_for_org(org);
             assert!(
-                targets.contains(&Target::SetAssoc) && targets.contains(&Target::Mmu),
-                "{} must cover the L2 and walker",
+                targets.contains(&Target::SetAssoc)
+                    && targets.contains(&Target::Multicore)
+                    && targets.contains(&Target::Mmu),
+                "{} must cover the L2, its ASID lanes, and the walker",
                 org.name()
             );
             covered.extend(targets);
@@ -1300,6 +1735,32 @@ mod tests {
         let rmm_lite = eeat_core::Org::by_name("RMM_Lite").unwrap();
         let t = targets_for_org(rmm_lite);
         assert!(t.contains(&Target::Range) && t.contains(&Target::Lite));
+    }
+
+    /// An org whose configuration builds none of the fuzz-covered
+    /// structures: no L1s, a zero-entry L2, no ranges, no Lite.
+    struct UncoveredOrg;
+
+    impl TranslationOrg for UncoveredOrg {
+        fn description(&self) -> &'static str {
+            "test-only: no fuzz-covered structures"
+        }
+
+        fn config(&self) -> eeat_core::Config {
+            eeat_core::Config {
+                name: "Uncovered",
+                l1_4k: None,
+                l2_page: eeat_core::TlbGeometry::new(0, 1),
+                ..eeat_core::Config::four_k()
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "org \"Uncovered\" has no oracle fuzz target")]
+    fn org_without_oracle_target_fails_loudly() {
+        static UNCOVERED: UncoveredOrg = UncoveredOrg;
+        let _ = targets_for_org(&UNCOVERED);
     }
 
     #[test]

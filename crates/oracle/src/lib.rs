@@ -9,6 +9,10 @@
 //!   timestamp LRU: each entry remembers when it was last used; the LRU
 //!   victim is the oldest timestamp and an entry's reported rank is simply
 //!   the number of more recently used valid entries in its set.
+//! * [`OracleAsidTlb`] — the ASID-tagged set-associative TLB: timestamp
+//!   LRU plus a lane word per entry, visibility-filtered lookups, shadow
+//!   collapsing, and the ASID-targeted shootdown surface; the multi-core
+//!   fuzz target runs one per core behind a seq-numbered IPI queue.
 //! * [`OracleRangeTlb`] — a linear list of range translations with the same
 //!   timestamp LRU.
 //! * [`OracleColtTlb`] — the coalesced (CoLT) TLB as timestamp-LRU sets of
@@ -42,6 +46,6 @@ pub use fuzz::{
 };
 pub use lite::OracleLite;
 pub use model::{
-    OracleColtTlb, OracleMmuCaches, OraclePageTlb, OracleRangeTlb, OracleStats, OracleTagCache,
-    OracleWalker,
+    OracleAsidTlb, OracleColtTlb, OracleMmuCaches, OraclePageTlb, OracleRangeTlb, OracleStats,
+    OracleTagCache, OracleWalker,
 };

@@ -269,6 +269,293 @@ impl OraclePageTlb {
     }
 }
 
+/// One cached translation with its ASID lane word and last-used tick.
+#[derive(Clone, Copy, Debug)]
+struct TimedAsidEntry {
+    translation: PageTranslation,
+    lane: u16,
+    last_used: u64,
+}
+
+/// `true` when an entry tagged `lane` is visible to a lookup under ASID
+/// `current`: the lane's ASID matches, or the entry is global.
+fn lane_visible(lane: u16, current: u16) -> bool {
+    lane & eeat_tlb::ASID_GLOBAL != 0 || lane & eeat_tlb::ASID_MASK == current
+}
+
+/// `true` when two stored lanes can shadow each other for some lookup:
+/// either is global, or both carry the same ASID.
+fn lanes_overlap(a: u16, b: u16) -> bool {
+    a & eeat_tlb::ASID_GLOBAL != 0
+        || b & eeat_tlb::ASID_GLOBAL != 0
+        || a & eeat_tlb::ASID_MASK == b & eeat_tlb::ASID_MASK
+}
+
+/// `true` when the page of `t` overlaps `range`, with inclusive last-address
+/// arithmetic so the topmost page of the address space does not overflow.
+fn page_in_range(t: &PageTranslation, range: VirtRange) -> bool {
+    let base = t.vpn().base_addr().raw();
+    let last = base.saturating_add(t.size().bytes() - 1);
+    !range.is_empty() && base < range.end().raw() && last >= range.start().raw()
+}
+
+/// Timestamp-LRU reference model of the ASID-tagged
+/// [`eeat_tlb::SetAssocTlb`] — [`OraclePageTlb`] plus a lane word per
+/// entry, visibility filtering on lookups, shadow collapsing on inserts,
+/// and the ASID-targeted shootdown surface (`invalidate_asid`,
+/// `invalidate_range_asid`, `flush_asid`).
+///
+/// LRU ranks remain ASID-agnostic, like production: recency is a property
+/// of the physical slot, not of the address space that filled it.
+#[derive(Clone, Debug)]
+pub struct OracleAsidTlb {
+    sets: Vec<Vec<TimedAsidEntry>>,
+    ways: usize,
+    active_ways: usize,
+    current_asid: u16,
+    tick: u64,
+    /// Event counters, mirroring the production structure's stats.
+    pub stats: OracleStats,
+}
+
+impl OracleAsidTlb {
+    /// Creates a model with `entries` slots and `ways` associativity,
+    /// running under ASID 0.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries.is_multiple_of(ways));
+        assert!(ways <= eeat_tlb::MAX_WAYS, "oracle mirrors MAX_WAYS");
+        Self {
+            sets: vec![Vec::new(); entries / ways],
+            ways,
+            active_ways: ways,
+            current_asid: 0,
+            tick: 0,
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Sets the ASID subsequent lookups and fills run under.
+    pub fn set_current_asid(&mut self, asid: u16) {
+        assert!(asid <= eeat_tlb::ASID_MASK, "ASID exceeds the lane width");
+        self.current_asid = asid;
+    }
+
+    /// The ASID lookups currently run under.
+    pub fn current_asid(&self) -> u16 {
+        self.current_asid
+    }
+
+    fn set_index(&self, va: VirtAddr, size: PageSize) -> usize {
+        ((va.raw() >> size.shift()) as usize) & (self.sets.len() - 1)
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `va` as a page of `size` under the current ASID; hits
+    /// report `(translation, rank)` and are promoted to MRU.
+    pub fn lookup_for_size(
+        &mut self,
+        va: VirtAddr,
+        size: PageSize,
+    ) -> Option<(PageTranslation, u8)> {
+        let s = self.set_index(va, size);
+        let cur = self.current_asid;
+        let tick = self.next_tick();
+        let set = &mut self.sets[s];
+        let hit = set
+            .iter_mut()
+            .find(|e| {
+                e.translation.size() == size
+                    && e.translation.covers(va)
+                    && lane_visible(e.lane, cur)
+            })
+            .map(|e| {
+                let old = e.last_used;
+                e.last_used = tick;
+                (e.translation, old)
+            });
+        match hit {
+            Some((t, old)) => {
+                let rank = set
+                    .iter()
+                    .filter(|e| e.last_used > old && e.last_used != tick)
+                    .count() as u8;
+                self.stats.hits += 1;
+                Some((t, rank))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probes for an entry visible to the current ASID without touching
+    /// LRU state or counters.
+    pub fn probe(&self, va: VirtAddr, size: PageSize) -> Option<PageTranslation> {
+        let s = self.set_index(va, size);
+        self.sets[s]
+            .iter()
+            .find(|e| {
+                e.translation.size() == size
+                    && e.translation.covers(va)
+                    && lane_visible(e.lane, self.current_asid)
+            })
+            .map(|e| e.translation)
+    }
+
+    /// Inserts `translation` under the current ASID.
+    pub fn insert(&mut self, translation: PageTranslation) {
+        self.insert_lane(translation, self.current_asid);
+    }
+
+    /// Inserts `translation` with the global bit set: visible to every
+    /// ASID, shadowing every same-page entry.
+    pub fn insert_global(&mut self, translation: PageTranslation) {
+        self.insert_lane(translation, self.current_asid | eeat_tlb::ASID_GLOBAL);
+    }
+
+    /// Shared insert path: collapse every shadowing duplicate — same page,
+    /// overlapping lane — into one entry carrying the new translation and
+    /// lane (extra duplicates count as invalidations, as in production),
+    /// else fill a free active slot, else evict the set's oldest entry.
+    fn insert_lane(&mut self, translation: PageTranslation, lane: u16) {
+        let va = translation.vpn().base_addr();
+        let s = self.set_index(va, translation.size());
+        let tick = self.next_tick();
+        let active = self.active_ways;
+        let set = &mut self.sets[s];
+        let mut kept = false;
+        let mut shadowed = 0u64;
+        set.retain_mut(|e| {
+            let dup = e.translation.size() == translation.size()
+                && e.translation.vpn() == translation.vpn()
+                && lanes_overlap(e.lane, lane);
+            if !dup {
+                return true;
+            }
+            if kept {
+                shadowed += 1;
+                return false;
+            }
+            kept = true;
+            e.translation = translation;
+            e.lane = lane;
+            e.last_used = tick;
+            true
+        });
+        self.stats.invalidations += shadowed;
+        if !kept {
+            if set.len() >= active {
+                let oldest = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("set is non-empty when full");
+                set.swap_remove(oldest);
+            }
+            set.push(TimedAsidEntry {
+                translation,
+                lane,
+                last_used: tick,
+            });
+        }
+        self.stats.fills += 1;
+    }
+
+    /// Resizes to `ways` active ways; downsizing keeps each set's most
+    /// recently used entries (with their lanes) and counts the rest as
+    /// invalidated.
+    pub fn set_active_ways(&mut self, ways: usize) {
+        assert!(ways >= 1 && ways <= self.ways);
+        if ways < self.active_ways {
+            let mut dropped = 0u64;
+            for set in &mut self.sets {
+                while set.len() > ways {
+                    let oldest = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    set.swap_remove(oldest);
+                    dropped += 1;
+                }
+            }
+            self.stats.invalidations += dropped;
+        }
+        self.active_ways = ways;
+    }
+
+    /// Removes every entry covering `va`, any size or ASID (including
+    /// globals). Returns the count.
+    pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
+        self.remove_matching(|t, _| t.covers(va))
+    }
+
+    /// Removes every entry overlapping `range`, any ASID. Returns the
+    /// count.
+    pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
+        self.remove_matching(|t, _| page_in_range(t, range))
+    }
+
+    /// The ASID-targeted shootdown: removes `asid`'s non-global entries
+    /// covering `va`. Returns the count.
+    pub fn invalidate_asid(&mut self, asid: u16, va: VirtAddr) -> u64 {
+        self.remove_matching(|t, lane| {
+            lane & eeat_tlb::ASID_GLOBAL == 0 && lane & eeat_tlb::ASID_MASK == asid && t.covers(va)
+        })
+    }
+
+    /// The ASID-targeted multi-page shootdown: removes `asid`'s non-global
+    /// entries overlapping `range`. Returns the count.
+    pub fn invalidate_range_asid(&mut self, asid: u16, range: VirtRange) -> u64 {
+        self.remove_matching(|t, lane| {
+            lane & eeat_tlb::ASID_GLOBAL == 0
+                && lane & eeat_tlb::ASID_MASK == asid
+                && page_in_range(t, range)
+        })
+    }
+
+    /// Removes every non-global entry of `asid` (ASID recycling); globals
+    /// survive. Returns the count.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        self.remove_matching(|_, lane| {
+            lane & eeat_tlb::ASID_GLOBAL == 0 && lane & eeat_tlb::ASID_MASK == asid
+        })
+    }
+
+    fn remove_matching(&mut self, pred: impl Fn(&PageTranslation, u16) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|e| !pred(&e.translation, e.lane));
+            removed += (before - set.len()) as u64;
+        }
+        self.stats.invalidations += removed;
+        removed
+    }
+
+    /// Empties the model — globals included — counting every entry as
+    /// invalidated.
+    pub fn flush(&mut self) {
+        let valid: u64 = self.sets.iter().map(|s| s.len() as u64).sum();
+        self.stats.invalidations += valid;
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Valid entries currently held, across all ASIDs.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
 /// One cached range translation plus its last-used tick.
 #[derive(Clone, Copy, Debug)]
 struct TimedRange {

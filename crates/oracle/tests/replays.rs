@@ -17,7 +17,7 @@ fn all_checked_in_replays_pass() {
         .collect();
     paths.sort();
     assert!(
-        paths.len() >= 5,
+        paths.len() >= 8,
         "expected the checked-in replay fixtures, found {}",
         paths.len()
     );

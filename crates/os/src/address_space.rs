@@ -57,11 +57,19 @@ impl AddressSpace {
 
     /// Creates an address space managing `total_frames` physical frames.
     pub fn with_frames(policy: PagingPolicy, total_frames: u64, seed: u64) -> Self {
+        Self::with_allocator(policy, FrameAllocator::new(total_frames), seed)
+    }
+
+    /// Creates an address space over a caller-built frame allocator — the
+    /// multi-tenant path, where each tenant receives one disjoint shard of
+    /// the machine's physical memory (see
+    /// [`ShardedFrameAllocator`](crate::ShardedFrameAllocator)).
+    pub fn with_allocator(policy: PagingPolicy, frames: FrameAllocator, seed: u64) -> Self {
         Self {
             policy,
             page_table: PageTable::new(),
             range_table: RangeTable::new(),
-            frames: FrameAllocator::new(total_frames),
+            frames,
             vmas: Vec::new(),
             next_mmap: VirtAddr::new(MMAP_BASE),
             rng: SmallRng::seed_from_u64(seed ^ 0x05ce_a110_c871),

@@ -31,7 +31,8 @@ use eeat_types::{PageSize, Pfn};
 /// ```
 #[derive(Clone, Debug)]
 pub struct FrameAllocator {
-    total_frames: u64,
+    base_frame: u64,
+    end_frame: u64,
     next_free: u64,
     free_4k: Vec<Pfn>,
     free_2m: Vec<Pfn>,
@@ -42,18 +43,32 @@ impl FrameAllocator {
     /// Creates an allocator managing `total_frames` 4 KiB frames starting at
     /// physical address 0.
     pub fn new(total_frames: u64) -> Self {
+        Self::with_base(0, total_frames)
+    }
+
+    /// Creates an allocator managing `total_frames` frames starting at frame
+    /// number `base_frame` — one shard of a machine whose physical memory is
+    /// partitioned between tenants (see [`ShardedFrameAllocator`]). PFNs it
+    /// hands out never collide with those of a sibling shard.
+    pub fn with_base(base_frame: u64, total_frames: u64) -> Self {
         Self {
-            total_frames,
-            next_free: 0,
+            base_frame,
+            end_frame: base_frame + total_frames,
+            next_free: base_frame,
             free_4k: Vec::new(),
             free_2m: Vec::new(),
             allocated: 0,
         }
     }
 
+    /// First frame number this allocator hands out (0 unless sharded).
+    pub fn base_frame(&self) -> u64 {
+        self.base_frame
+    }
+
     /// Frames managed in total.
     pub fn total_frames(&self) -> u64 {
-        self.total_frames
+        self.end_frame - self.base_frame
     }
 
     /// Frames currently allocated.
@@ -63,7 +78,7 @@ impl FrameAllocator {
 
     /// Frames still available (free lists plus untouched frontier).
     pub fn free_frames(&self) -> u64 {
-        self.total_frames - self.allocated
+        self.total_frames() - self.allocated
     }
 
     /// Allocates one 4 KiB frame.
@@ -133,11 +148,82 @@ impl FrameAllocator {
     fn bump(&mut self, frames: u64, align_pages: u64) -> Option<Pfn> {
         let start = self.next_free.next_multiple_of(align_pages);
         let end = start.checked_add(frames)?;
-        if end > self.total_frames {
+        if end > self.end_frame {
             return None;
         }
         self.next_free = end;
         Some(Pfn::new(start))
+    }
+}
+
+/// Partitions a machine's physical frames into disjoint per-tenant shards.
+///
+/// Multi-tenant simulation gives each tenant its own [`FrameAllocator`]
+/// carved from one physical frame space: tenants never contend on a shared
+/// free list (each allocation path stays single-owner and lock-free), and
+/// the PFNs of different tenants never collide, so a cross-core oracle can
+/// attribute any cached translation to exactly one tenant.
+///
+/// # Examples
+///
+/// ```
+/// use eeat_os::ShardedFrameAllocator;
+///
+/// let mut sharder = ShardedFrameAllocator::new(1 << 20, 4);
+/// let a = sharder.take_shard();
+/// let b = sharder.take_shard();
+/// assert_eq!(a.base_frame(), 0);
+/// assert_eq!(b.base_frame(), 1 << 18);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedFrameAllocator {
+    shard_frames: u64,
+    shards: u64,
+    taken: u64,
+}
+
+impl ShardedFrameAllocator {
+    /// Splits `total_frames` into `shards` equal shards, each 2 MiB-aligned
+    /// so huge pages and eager ranges can align inside every shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or the per-shard slice would be smaller
+    /// than one 2 MiB block.
+    pub fn new(total_frames: u64, shards: u64) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        let shard_frames = (total_frames / shards) & !(PageSize::Size2M.base_pages() - 1);
+        assert!(
+            shard_frames >= PageSize::Size2M.base_pages(),
+            "shards too small: {shard_frames} frames each cannot hold a 2 MiB block"
+        );
+        Self {
+            shard_frames,
+            shards,
+            taken: 0,
+        }
+    }
+
+    /// Number of shards in total.
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Frames per shard.
+    pub fn shard_frames(&self) -> u64 {
+        self.shard_frames
+    }
+
+    /// Hands out the next disjoint shard as an independent allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every shard has been taken.
+    pub fn take_shard(&mut self) -> FrameAllocator {
+        assert!(self.taken < self.shards, "all shards taken");
+        let base = self.taken * self.shard_frames;
+        self.taken += 1;
+        FrameAllocator::with_base(base, self.shard_frames)
     }
 }
 
@@ -147,7 +233,7 @@ impl fmt::Display for FrameAllocator {
             f,
             "frames: {}/{} allocated ({} free-listed 4K, {} free-listed 2M)",
             self.allocated,
-            self.total_frames,
+            self.total_frames(),
             self.free_4k.len(),
             self.free_2m.len()
         )
@@ -226,5 +312,59 @@ mod tests {
         let mut fa = FrameAllocator::new(10);
         fa.alloc_frame().unwrap();
         assert!(fa.to_string().contains("1/10"));
+    }
+
+    #[test]
+    fn based_allocator_stays_in_its_window() {
+        let mut fa = FrameAllocator::with_base(1024, 512);
+        let first = fa.alloc_frame().unwrap();
+        assert_eq!(first.raw(), 1024);
+        assert!(
+            fa.alloc_huge(PageSize::Size2M).is_none(),
+            "window too small"
+        );
+        assert_eq!(fa.total_frames(), 512);
+        // Exhaust the window: every PFN stays inside [1024, 1536).
+        let mut last = first.raw();
+        while let Some(p) = fa.alloc_frame() {
+            assert!(p.raw() >= 1024 && p.raw() < 1536);
+            last = p.raw();
+        }
+        assert_eq!(last, 1535);
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_aligned() {
+        let mut sharder = ShardedFrameAllocator::new(1 << 20, 3);
+        let mut bases = Vec::new();
+        for _ in 0..3 {
+            let mut shard = sharder.take_shard();
+            assert!(shard
+                .base_frame()
+                .is_multiple_of(PageSize::Size2M.base_pages()));
+            let huge = shard.alloc_huge(PageSize::Size2M).unwrap();
+            assert!(huge.is_aligned(PageSize::Size2M));
+            bases.push((
+                shard.base_frame(),
+                shard.base_frame() + shard.total_frames(),
+            ));
+        }
+        for i in 0..bases.len() {
+            for j in i + 1..bases.len() {
+                assert!(
+                    bases[i].1 <= bases[j].0 || bases[j].1 <= bases[i].0,
+                    "shards {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all shards taken")]
+    fn extra_shard_rejected() {
+        let mut sharder = ShardedFrameAllocator::new(1 << 16, 2);
+        let _ = sharder.take_shard();
+        let _ = sharder.take_shard();
+        let _ = sharder.take_shard();
     }
 }

@@ -43,7 +43,7 @@ mod range_table;
 mod vma;
 
 pub use address_space::AddressSpace;
-pub use frame_alloc::FrameAllocator;
+pub use frame_alloc::{FrameAllocator, ShardedFrameAllocator};
 pub use policy::PagingPolicy;
 pub use range_table::{RangeTable, RangeTableError, RANGE_TABLE_WALK_REFS};
 pub use vma::Vma;

@@ -6,6 +6,7 @@ use core::fmt;
 use eeat_types::{PageSize, Pfn, VirtAddr, VirtRange, Vpn};
 
 use crate::entry::{Hit, PageTranslation};
+use crate::set_assoc::{asid_overlaps, asid_visible, ASID_GLOBAL, ASID_MASK};
 use crate::stats::TlbStats;
 
 /// Pages per coalesced entry: CoLT's default coalescing degree. The
@@ -54,8 +55,13 @@ pub struct CoalescedTlb {
     base_pfns: Vec<u64>,
     /// Payload lane: presence mask, bit `i` covers page `group_vpn + i`.
     masks: Vec<u8>,
+    /// ASID lane: the owning address-space tag of each slot, with the
+    /// [`ASID_GLOBAL`] bit for entries visible to every ASID.
+    asids: Vec<u16>,
     sets: usize,
     ways: usize,
+    /// The ASID lookups and inserts currently run under.
+    current_asid: u16,
     stats: TlbStats,
 }
 
@@ -87,10 +93,27 @@ impl CoalescedTlb {
             recency: (0..entries).map(|i| (i % ways) as u8).collect(),
             base_pfns: vec![0; entries],
             masks: vec![0; entries],
+            asids: vec![0; entries],
             sets,
             ways,
+            current_asid: 0,
             stats: TlbStats::new(),
         }
+    }
+
+    /// Switches the ASID that subsequent lookups and inserts run under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asid` exceeds [`ASID_BITS`](crate::ASID_BITS) bits.
+    pub fn set_current_asid(&mut self, asid: u16) {
+        assert!(asid <= ASID_MASK, "ASID exceeds {} bits", crate::ASID_BITS);
+        self.current_asid = asid;
+    }
+
+    /// The ASID lookups currently run under.
+    pub fn current_asid(&self) -> u16 {
+        self.current_asid
     }
 
     /// The structure's display name (e.g. `"L1-CoLT"`).
@@ -144,9 +167,10 @@ impl CoalescedTlb {
         let group = Self::group_base(vpn);
         let offset = (vpn.raw() - group) as u32;
         let base = self.set_of(group) * self.ways;
-        let set_tags = &self.tags[base..base + self.ways];
-        if let Some(way) = set_tags.iter().position(|&t| t == group) {
-            let slot = base + way;
+        let cur = self.current_asid;
+        if let Some(slot) = (base..base + self.ways)
+            .find(|&slot| self.tags[slot] == group && asid_visible(self.asids[slot], cur))
+        {
             if self.masks[slot] & (1 << offset) != 0 {
                 let rank = self.recency[slot];
                 self.touch(base, slot, rank);
@@ -172,8 +196,13 @@ impl CoalescedTlb {
         let group = Self::group_base(vpn);
         let offset = (vpn.raw() - group) as u32;
         let base = self.set_of(group) * self.ways;
+        let cur = self.current_asid;
         (base..base + self.ways)
-            .find(|&slot| self.tags[slot] == group && self.masks[slot] & (1 << offset) != 0)
+            .find(|&slot| {
+                self.tags[slot] == group
+                    && asid_visible(self.asids[slot], cur)
+                    && self.masks[slot] & (1 << offset) != 0
+            })
             .map(|slot| {
                 PageTranslation::new(
                     vpn,
@@ -183,17 +212,31 @@ impl CoalescedTlb {
             })
     }
 
-    /// Inserts a coalesced run: mask bit `i` maps page `group_vpn + i` to
-    /// `base_pfn + i`. Evicts the set's LRU entry when the group is new;
-    /// a matching group with the same base PFN grows its mask in place,
-    /// and a matching group with a *different* base PFN is replaced
-    /// outright (the old run's translations are superseded), so no VPN is
-    /// ever resident with two different translations.
+    /// Inserts a coalesced run under the current ASID: mask bit `i` maps
+    /// page `group_vpn + i` to `base_pfn + i`. Evicts the set's LRU entry
+    /// when the group is new to this ASID; a matching group with the same
+    /// base PFN grows its mask in place, and a matching group with a
+    /// *different* base PFN is replaced outright (the old run's translations
+    /// are superseded), so no VPN is ever resident with two different
+    /// translations visible to one ASID.
     ///
     /// # Panics
     ///
     /// Panics unless `group_vpn` is group-aligned and `mask` is non-zero.
     pub fn insert_group(&mut self, group_vpn: Vpn, base_pfn: Pfn, mask: u8) {
+        self.insert_group_tagged(group_vpn, base_pfn, mask, self.current_asid);
+    }
+
+    /// Inserts a coalesced run as a *global* entry, visible to every ASID.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `group_vpn` is group-aligned and `mask` is non-zero.
+    pub fn insert_group_global(&mut self, group_vpn: Vpn, base_pfn: Pfn, mask: u8) {
+        self.insert_group_tagged(group_vpn, base_pfn, mask, self.current_asid | ASID_GLOBAL);
+    }
+
+    fn insert_group_tagged(&mut self, group_vpn: Vpn, base_pfn: Pfn, mask: u8, lane: u16) {
         assert!(
             group_vpn.raw() == Self::group_base(group_vpn),
             "group_vpn must be aligned to the coalescing group"
@@ -202,35 +245,62 @@ impl CoalescedTlb {
         let group = group_vpn.raw();
         let base = self.set_of(group) * self.ways;
 
-        // Merge into a duplicate, or pick an invalid slot, else evict LRU.
-        let mut victim = None;
+        // Merge into an overlapping duplicate (clearing any extra copy this
+        // lane shadows), or pick an invalid slot, else evict LRU.
+        let mut dup = None;
+        let mut invalid = None;
+        let mut shadowed = 0u64;
         for way in 0..self.ways {
             let slot = base + way;
-            if self.tags[slot] == group {
-                victim = Some(slot);
-                break;
-            }
-            if victim.is_none() && self.tags[slot] == INVALID_TAG {
-                victim = Some(slot);
+            if self.tags[slot] == group && asid_overlaps(self.asids[slot], lane) {
+                if dup.is_none() {
+                    dup = Some(slot);
+                } else {
+                    self.clear_slot(base, slot);
+                    shadowed += 1;
+                }
+            } else if invalid.is_none() && self.tags[slot] == INVALID_TAG {
+                invalid = Some(slot);
             }
         }
-        let slot = victim.unwrap_or_else(|| {
+        if shadowed > 0 {
+            self.stats.record_invalidations(shadowed);
+        }
+        let slot = dup.or(invalid).unwrap_or_else(|| {
             let lru_rank = (self.ways - 1) as u8;
             (base..base + self.ways)
                 .find(|&s| self.recency[s] == lru_rank)
                 .expect("one slot always holds the LRU rank")
         });
 
-        if self.tags[slot] == group && self.base_pfns[slot] == base_pfn.raw() {
+        if self.tags[slot] == group
+            && self.base_pfns[slot] == base_pfn.raw()
+            && self.asids[slot] == lane
+        {
             self.masks[slot] |= mask;
         } else {
             self.tags[slot] = group;
             self.base_pfns[slot] = base_pfn.raw();
             self.masks[slot] = mask;
+            self.asids[slot] = lane;
         }
         let rank = self.recency[slot];
         self.touch(base, slot, rank);
         self.stats.record_fill();
+    }
+
+    /// Empties `slot` and demotes it to its set's LRU end, keeping the
+    /// ranks a permutation.
+    fn clear_slot(&mut self, base: usize, slot: usize) {
+        self.tags[slot] = INVALID_TAG;
+        self.masks[slot] = 0;
+        let rank = self.recency[slot];
+        for s in base..base + self.ways {
+            if self.recency[s] > rank {
+                self.recency[s] -= 1;
+            }
+        }
+        self.recency[slot] = (self.ways - 1) as u8;
     }
 
     /// Promotes `slot` (with pre-promotion `rank`) to MRU within its set.
@@ -251,30 +321,76 @@ impl CoalescedTlb {
         let vpn = va.vpn();
         let group = Self::group_base(vpn);
         let bit = 1u8 << (vpn.raw() - group);
-        self.invalidate_matching(|g, mask| if g == group { mask & !bit } else { mask })
+        self.invalidate_matching(|g, mask, _| if g == group { mask & !bit } else { mask })
     }
 
-    /// Invalidates coverage overlapping `range` (multi-page shootdown).
-    /// Returns the number of entries removed or shrunk.
+    /// Invalidates coverage overlapping `range` (multi-page shootdown),
+    /// regardless of ASID. Returns the number of entries removed or shrunk.
     pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
-        self.invalidate_matching(|group, mask| {
-            let mut keep = mask;
-            for i in 0..COLT_GROUP as u64 {
-                if mask & (1 << i) != 0 {
-                    let page = VirtRange::new(Vpn::new(group + i).base_addr(), 4096);
-                    if page.overlaps(range) {
-                        keep &= !(1 << i);
-                    }
-                }
+        self.invalidate_matching(|group, mask, _| Self::mask_outside(group, mask, range))
+    }
+
+    /// Invalidates coverage of `va` held by non-global entries of `asid`
+    /// (the targeted shootdown an IPI delivers). Returns the number of
+    /// entries removed or shrunk.
+    pub fn invalidate_asid(&mut self, asid: u16, va: VirtAddr) -> u64 {
+        let vpn = va.vpn();
+        let group = Self::group_base(vpn);
+        let bit = 1u8 << (vpn.raw() - group);
+        self.invalidate_matching(|g, mask, lane| {
+            if g == group && lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid {
+                mask & !bit
+            } else {
+                mask
             }
-            keep
         })
     }
 
-    /// Rewrites each valid entry's mask through `keep(group, mask)`; an
-    /// entry whose mask shrinks counts as one invalidation, and an entry
+    /// Invalidates coverage overlapping `range` held by non-global entries
+    /// of `asid`. Returns the number of entries removed or shrunk.
+    pub fn invalidate_range_asid(&mut self, asid: u16, range: VirtRange) -> u64 {
+        self.invalidate_matching(|group, mask, lane| {
+            if lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid {
+                Self::mask_outside(group, mask, range)
+            } else {
+                mask
+            }
+        })
+    }
+
+    /// Invalidates every non-global entry of `asid`; globals survive.
+    /// Returns the number removed.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        self.invalidate_matching(|_, mask, lane| {
+            if lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid {
+                0
+            } else {
+                mask
+            }
+        })
+    }
+
+    /// The bits of `mask` whose pages fall entirely outside `range`.
+    fn mask_outside(group: u64, mask: u8, range: VirtRange) -> u8 {
+        let mut keep = mask;
+        for i in 0..COLT_GROUP as u64 {
+            if mask & (1 << i) != 0
+                && crate::set_assoc::page_overlaps(
+                    Vpn::new(group + i).base_addr().raw(),
+                    4096,
+                    range,
+                )
+            {
+                keep &= !(1 << i);
+            }
+        }
+        keep
+    }
+
+    /// Rewrites each valid entry's mask through `keep(group, mask, lane)`;
+    /// an entry whose mask shrinks counts as one invalidation, and an entry
     /// whose mask empties is removed (slot demoted to the LRU end).
-    fn invalidate_matching(&mut self, mut keep: impl FnMut(u64, u8) -> u8) -> u64 {
+    fn invalidate_matching(&mut self, mut keep: impl FnMut(u64, u8, u16) -> u8) -> u64 {
         let mut removed = 0u64;
         for set in 0..self.sets {
             let base = set * self.ways;
@@ -285,7 +401,7 @@ impl CoalescedTlb {
                     continue;
                 }
                 let mask = self.masks[slot];
-                let kept = keep(tag, mask);
+                let kept = keep(tag, mask, self.asids[slot]);
                 if kept == mask {
                     continue;
                 }
@@ -294,15 +410,7 @@ impl CoalescedTlb {
                     self.masks[slot] = kept;
                     continue;
                 }
-                self.tags[slot] = INVALID_TAG;
-                self.masks[slot] = 0;
-                let rank = self.recency[slot];
-                for s in base..base + self.ways {
-                    if self.recency[s] > rank {
-                        self.recency[s] -= 1;
-                    }
-                }
-                self.recency[slot] = (self.ways - 1) as u8;
+                self.clear_slot(base, slot);
             }
         }
         self.stats.record_invalidations(removed);
@@ -318,6 +426,7 @@ impl CoalescedTlb {
             self.recency[i] = (i % self.ways) as u8;
         }
         self.masks.fill(0);
+        self.asids.fill(0);
     }
 
     /// Number of valid entries currently held.
@@ -337,10 +446,10 @@ impl CoalescedTlb {
     /// # Panics
     ///
     /// Panics if any set's recency lane is not a permutation of
-    /// `0..ways`, a group tag appears twice in one set (two resident
-    /// entries could then translate the same VA differently), a valid
-    /// entry has an empty mask, an invalid slot a non-empty one, or a
-    /// tag indexes into the wrong set.
+    /// `0..ways`, a group tag appears twice in one set under overlapping
+    /// ASID lanes (two resident entries could then translate the same VA
+    /// differently for one lookup), a valid entry has an empty mask, an
+    /// invalid slot a non-empty one, or a tag indexes into the wrong set.
     pub fn assert_invariants(&self) {
         for set in 0..self.sets {
             let base = set * self.ways;
@@ -364,8 +473,9 @@ impl CoalescedTlb {
                 assert!(self.set_of(tag) == set, "tag indexed into wrong set");
                 for other in base + w + 1..base + self.ways {
                     assert!(
-                        self.tags[other] != tag,
-                        "group {tag:#x} resident twice in set {set}"
+                        self.tags[other] != tag
+                            || !asid_overlaps(self.asids[slot], self.asids[other]),
+                        "group {tag:#x} resident twice in set {set} for overlapping ASID lanes"
                     );
                 }
             }
@@ -475,6 +585,23 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_range_handles_topmost_group() {
+        // The COLT group containing the last page of the address space:
+        // per-page overlap checks must not overflow past `u64::MAX`.
+        let mut t = small();
+        let top_group = ((1u64 << 52) - 1) & !(COLT_GROUP as u64 - 1);
+        t.insert_group(Vpn::new(top_group), Pfn::new(64), 0xff);
+        let shot = VirtRange::new(VirtAddr::new(u64::MAX - 4095), 4095);
+        assert_eq!(t.invalidate_range(shot), 1);
+        // Only the topmost page's bit was trimmed; the rest survive.
+        assert!(t.lookup(Vpn::new(top_group).base_addr()).is_some());
+        assert!(t
+            .lookup(Vpn::new(top_group + COLT_GROUP as u64 - 1).base_addr())
+            .is_none());
+        t.assert_invariants();
+    }
+
+    #[test]
     fn invalidate_range_trims_overlap() {
         let mut t = small();
         t.insert_group(Vpn::new(0), Pfn::new(64), 0xff);
@@ -507,6 +634,81 @@ mod tests {
         assert!(t.probe(VirtAddr::new(8 * 4096)).is_some());
         assert!(t.probe(VirtAddr::new(9 * 4096)).is_none());
         assert_eq!(*t.stats(), before);
+    }
+
+    #[test]
+    fn asid_isolates_groups() {
+        let mut t = small();
+        t.set_current_asid(1);
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b0001);
+        t.set_current_asid(2);
+        assert!(t.lookup(VirtAddr::new(8 * 4096)).is_none(), "other ASID");
+        // Same group under a second ASID coexists with the first copy.
+        t.insert_group(Vpn::new(8), Pfn::new(500), 0b0001);
+        assert_eq!(t.occupancy(), 2);
+        assert_eq!(
+            t.lookup(VirtAddr::new(8 * 4096))
+                .unwrap()
+                .translation
+                .pfn()
+                .raw(),
+            500
+        );
+        t.set_current_asid(1);
+        assert_eq!(
+            t.lookup(VirtAddr::new(8 * 4096))
+                .unwrap()
+                .translation
+                .pfn()
+                .raw(),
+            100
+        );
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn global_group_shadows_and_survives() {
+        let mut t = small();
+        t.set_current_asid(1);
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b0001);
+        // A global insert of the same group supersedes the per-ASID copy.
+        t.insert_group_global(Vpn::new(8), Pfn::new(100), 0b0011);
+        assert_eq!(t.occupancy(), 1);
+        t.set_current_asid(7);
+        assert!(
+            t.lookup(VirtAddr::new(9 * 4096)).is_some(),
+            "global visible"
+        );
+        assert_eq!(t.flush_asid(1), 0, "global untouched by ASID flush");
+        assert!(t.probe(VirtAddr::new(8 * 4096)).is_some());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_asid_trims_only_that_asid() {
+        let mut t = small();
+        t.set_current_asid(1);
+        t.insert_group(Vpn::new(8), Pfn::new(100), 0b0011);
+        t.set_current_asid(2);
+        t.insert_group(Vpn::new(8), Pfn::new(500), 0b0011);
+        assert_eq!(t.invalidate_asid(1, VirtAddr::new(8 * 4096)), 1);
+        assert!(
+            t.lookup(VirtAddr::new(8 * 4096)).is_some(),
+            "ASID 2 copy stays"
+        );
+        t.set_current_asid(1);
+        assert!(t.lookup(VirtAddr::new(8 * 4096)).is_none());
+        assert!(
+            t.lookup(VirtAddr::new(9 * 4096)).is_some(),
+            "other bit stays"
+        );
+        let shot = VirtRange::new(VirtAddr::new(8 * 4096), 2 * 4096);
+        assert_eq!(t.invalidate_range_asid(2, shot), 1);
+        assert!(
+            t.lookup(VirtAddr::new(9 * 4096)).is_some(),
+            "ASID 1 bit stays"
+        );
+        t.assert_invariants();
     }
 
     #[test]

@@ -106,6 +106,25 @@ impl FullyAssocTlb {
         self.inner.insert(translation);
     }
 
+    /// Inserts `translation` as a *global* mapping, visible to every ASID.
+    pub fn insert_global(&mut self, translation: PageTranslation) {
+        self.inner.insert_global(translation);
+    }
+
+    /// Switches the ASID that subsequent lookups and inserts run under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asid` exceeds [`ASID_BITS`](crate::ASID_BITS) bits.
+    pub fn set_current_asid(&mut self, asid: u16) {
+        self.inner.set_current_asid(asid);
+    }
+
+    /// The ASID lookups currently run under.
+    pub fn current_asid(&self) -> u16 {
+        self.inner.current_asid()
+    }
+
     /// Resizes to `entries` active slots (Lite's power-of-two downsizing of
     /// fully associative structures). Disabled slots are invalidated.
     ///
@@ -126,6 +145,24 @@ impl FullyAssocTlb {
     /// number of entries removed.
     pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
         self.inner.invalidate_range(range)
+    }
+
+    /// Invalidates every non-global entry of `asid` covering `va` (the
+    /// targeted shootdown an IPI delivers). Returns the number removed.
+    pub fn invalidate_asid(&mut self, asid: u16, va: VirtAddr) -> u64 {
+        self.inner.invalidate_asid(asid, va)
+    }
+
+    /// Invalidates every non-global entry of `asid` whose page overlaps
+    /// `range`. Returns the number removed.
+    pub fn invalidate_range_asid(&mut self, asid: u16, range: VirtRange) -> u64 {
+        self.inner.invalidate_range_asid(asid, range)
+    }
+
+    /// Invalidates every non-global entry of `asid`; globals survive.
+    /// Returns the number removed.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        self.inner.flush_asid(asid)
     }
 
     /// Invalidates every entry.
@@ -266,6 +303,22 @@ mod tests {
         for i in [0, 1, 3] {
             assert!(tlb.probe(va1g(i), PageSize::Size1G).is_some());
         }
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn asid_delegation_isolates_and_spares_globals() {
+        let mut tlb = FullyAssocTlb::new("t", 4, PageSize::Size1G);
+        tlb.set_current_asid(1);
+        tlb.insert(t1g(0));
+        tlb.insert_global(t1g(1));
+        tlb.set_current_asid(2);
+        assert!(tlb.lookup(va1g(0)).is_none(), "ASID 1 entry hidden");
+        assert!(tlb.lookup(va1g(1)).is_some(), "global entry visible");
+        assert_eq!(tlb.flush_asid(1), 1);
+        assert!(tlb.probe(va1g(1), PageSize::Size1G).is_some());
+        tlb.set_current_asid(1);
+        assert!(tlb.lookup(va1g(0)).is_none());
         tlb.assert_invariants();
     }
 

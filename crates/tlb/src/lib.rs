@@ -20,6 +20,13 @@
 //!
 //! All structures are deterministic and allocation-free on the lookup path.
 //!
+//! Every structure carries an [`ASID_BITS`]-bit ASID lane per entry plus a
+//! *global* bit ([`ASID_GLOBAL`]), so a multi-tenant simulation can switch
+//! address spaces with `set_current_asid` instead of flushing, and targeted
+//! shootdowns (`invalidate_asid`, `flush_asid`) spare unrelated tenants.
+//! The default ASID is 0, making single-context use bit-identical to an
+//! untagged TLB.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,5 +57,5 @@ pub use coalesced::{CoalescedTlb, COLT_GROUP};
 pub use entry::{Hit, PageTranslation};
 pub use fully_assoc::FullyAssocTlb;
 pub use range_tlb::RangeTlb;
-pub use set_assoc::{SetAssocTlb, MAX_WAYS};
+pub use set_assoc::{SetAssocTlb, ASID_BITS, ASID_GLOBAL, ASID_MASK, MAX_WAYS};
 pub use stats::TlbStats;

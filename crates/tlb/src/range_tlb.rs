@@ -4,7 +4,7 @@ use core::fmt;
 
 use eeat_types::{RangeTranslation, VirtAddr, VirtRange};
 
-use crate::set_assoc::MAX_WAYS;
+use crate::set_assoc::{asid_overlaps, asid_visible, ASID_GLOBAL, ASID_MASK, MAX_WAYS};
 use crate::stats::TlbStats;
 
 /// A fully associative cache of [`RangeTranslation`] entries.
@@ -50,10 +50,17 @@ pub struct RangeTlb {
     entries: Vec<Option<RangeTranslation>>,
     /// `recency[i]` is the LRU rank of slot `i` (0 = MRU).
     recency: Vec<u8>,
-    /// Valid entries as `(base, end, slot)` sorted by base — the lane the
-    /// lookup scans. Rebuilt by [`rebuild_scan`](Self::rebuild_scan) after
-    /// any content mutation.
+    /// ASID lane: the owning address-space tag of each slot, with the
+    /// [`ASID_GLOBAL`] bit for entries visible to every ASID.
+    asids: Vec<u16>,
+    /// Valid entries as `(base, end, slot)` sorted by `(base, slot)` — the
+    /// lane the lookup scans. Rebuilt by [`rebuild_scan`](Self::rebuild_scan)
+    /// after any content mutation. Bases are unique per ASID (the range
+    /// table keeps ranges disjoint), but distinct ASIDs may cache the same
+    /// virtual range, so the lookup filters by ASID visibility as it walks.
     scan: Vec<(u64, u64, u8)>,
+    /// The ASID lookups and inserts currently run under.
+    current_asid: u16,
     stats: TlbStats,
 }
 
@@ -74,9 +81,26 @@ impl RangeTlb {
             name,
             entries: vec![None; entries],
             recency: (0..entries).map(|i| i as u8).collect(),
+            asids: vec![0; entries],
             scan: Vec::with_capacity(entries),
+            current_asid: 0,
             stats: TlbStats::new(),
         }
+    }
+
+    /// Switches the ASID that subsequent lookups and inserts run under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asid` exceeds [`ASID_BITS`](crate::ASID_BITS) bits.
+    pub fn set_current_asid(&mut self, asid: u16) {
+        assert!(asid <= ASID_MASK, "ASID exceeds {} bits", crate::ASID_BITS);
+        self.current_asid = asid;
+    }
+
+    /// The ASID lookups currently run under.
+    pub fn current_asid(&self) -> u16 {
+        self.current_asid
     }
 
     /// The structure's display name.
@@ -103,12 +127,13 @@ impl RangeTlb {
     #[inline]
     pub fn lookup(&mut self, va: VirtAddr) -> Option<RangeTranslation> {
         let raw = va.raw();
+        let cur = self.current_asid;
         for i in 0..self.scan.len() {
             let (base, end, slot) = self.scan[i];
             if base > raw {
                 break; // sorted by base: no later entry can contain va
             }
-            if raw < end {
+            if raw < end && asid_visible(self.asids[slot as usize], cur) {
                 let slot = slot as usize;
                 let rt = self.entries[slot].expect("scan lane points at valid slots");
                 let rank = self.recency[slot];
@@ -126,16 +151,18 @@ impl RangeTlb {
     #[inline]
     pub fn probe(&self, va: VirtAddr) -> Option<RangeTranslation> {
         let raw = va.raw();
+        let cur = self.current_asid;
         self.scan
             .iter()
             .take_while(|&&(base, _, _)| base <= raw)
-            .find(|&&(_, end, _)| raw < end)
+            .find(|&&(_, end, slot)| raw < end && asid_visible(self.asids[slot as usize], cur))
             .map(|&(_, _, slot)| self.entries[slot as usize].expect("valid slot"))
     }
 
     /// Rebuilds the sorted scan lane from the slot array. Called on the cold
-    /// mutation paths; bases are unique (ranges are disjoint), so the
-    /// unstable sort is deterministic.
+    /// mutation paths; the `(base, slot)` key is a total order (bases are
+    /// unique per ASID but may repeat across ASIDs), so the unstable sort is
+    /// deterministic.
     fn rebuild_scan(&mut self) {
         self.scan.clear();
         for (slot, entry) in self.entries.iter().enumerate() {
@@ -144,27 +171,50 @@ impl RangeTlb {
                     .push((rt.virt().start().raw(), rt.virt().end().raw(), slot as u8));
             }
         }
-        self.scan.sort_unstable_by_key(|&(base, _, _)| base);
+        self.scan
+            .sort_unstable_by_key(|&(base, _, slot)| (base, slot));
     }
 
-    /// Inserts `translation`, evicting the LRU entry when full.
+    /// Inserts `translation` under the current ASID, evicting the LRU entry
+    /// when full.
     ///
-    /// An entry with the same virtual range is overwritten in place, so the
-    /// structure never holds duplicates. (Overlapping-but-unequal ranges are
-    /// the range table's responsibility to prevent.)
+    /// An entry with the same virtual range whose ASID lane overlaps the
+    /// current one is overwritten in place, so no lookup ever sees two
+    /// entries for one range. (Overlapping-but-unequal ranges are the range
+    /// table's responsibility to prevent.)
     pub fn insert(&mut self, translation: RangeTranslation) {
-        let mut victim = None;
+        self.insert_tagged(translation, self.current_asid);
+    }
+
+    /// Inserts `translation` as a *global* range, visible to every ASID.
+    pub fn insert_global(&mut self, translation: RangeTranslation) {
+        self.insert_tagged(translation, self.current_asid | ASID_GLOBAL);
+    }
+
+    fn insert_tagged(&mut self, translation: RangeTranslation, lane: u16) {
+        let mut dup = None;
+        let mut invalid = None;
+        let mut shadowed = 0u64;
         for slot in 0..self.entries.len() {
             match self.entries[slot] {
-                Some(rt) if rt.virt() == translation.virt() => {
-                    victim = Some(slot);
-                    break;
+                Some(rt)
+                    if rt.virt() == translation.virt() && asid_overlaps(self.asids[slot], lane) =>
+                {
+                    if dup.is_none() {
+                        dup = Some(slot);
+                    } else {
+                        self.clear_slot(slot);
+                        shadowed += 1;
+                    }
                 }
-                None if victim.is_none() => victim = Some(slot),
+                None if invalid.is_none() => invalid = Some(slot),
                 _ => {}
             }
         }
-        let slot = victim.unwrap_or_else(|| {
+        if shadowed > 0 {
+            self.stats.record_invalidations(shadowed);
+        }
+        let slot = dup.or(invalid).unwrap_or_else(|| {
             let lru_rank = (self.entries.len() - 1) as u8;
             self.recency
                 .iter()
@@ -172,10 +222,24 @@ impl RangeTlb {
                 .expect("one slot always holds the LRU rank")
         });
         self.entries[slot] = Some(translation);
+        self.asids[slot] = lane;
         let rank = self.recency[slot];
         self.touch(slot, rank);
         self.rebuild_scan();
         self.stats.record_fill();
+    }
+
+    /// Empties `slot` and demotes it to the LRU end, keeping the ranks a
+    /// permutation. Does not rebuild the scan lane.
+    fn clear_slot(&mut self, slot: usize) {
+        self.entries[slot] = None;
+        let rank = self.recency[slot];
+        for r in self.recency.iter_mut() {
+            if *r > rank {
+                *r -= 1;
+            }
+        }
+        self.recency[slot] = (self.entries.len() - 1) as u8;
     }
 
     #[inline]
@@ -189,38 +253,54 @@ impl RangeTlb {
     }
 
     /// Invalidates every entry whose range contains `va` (the shootdown of a
-    /// single page unmaps any range covering it). Returns the number of
-    /// entries removed.
+    /// single page unmaps any range covering it), regardless of ASID.
+    /// Returns the number of entries removed.
     pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
-        self.invalidate_matching(|rt| rt.virt().contains(va))
+        self.invalidate_matching(|rt, _| rt.virt().contains(va))
     }
 
-    /// Invalidates every entry whose range overlaps `range`. Returns the
-    /// number of entries removed.
+    /// Invalidates every entry whose range overlaps `range`, regardless of
+    /// ASID. Returns the number of entries removed.
     pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
-        self.invalidate_matching(|rt| rt.virt().overlaps(range))
+        self.invalidate_matching(|rt, _| rt.virt().overlaps(range))
     }
 
-    /// Removes every entry matching `pred`, demoting each vacated slot to
-    /// the LRU end so the ranks stay a permutation.
-    fn invalidate_matching(&mut self, mut pred: impl FnMut(&RangeTranslation) -> bool) -> u64 {
+    /// Invalidates every non-global entry of `asid` whose range contains
+    /// `va` (the targeted shootdown an IPI delivers). Returns the number
+    /// removed.
+    pub fn invalidate_asid(&mut self, asid: u16, va: VirtAddr) -> u64 {
+        self.invalidate_matching(|rt, lane| {
+            lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid && rt.virt().contains(va)
+        })
+    }
+
+    /// Invalidates every non-global entry of `asid` whose range overlaps
+    /// `range`. Returns the number removed.
+    pub fn invalidate_range_asid(&mut self, asid: u16, range: VirtRange) -> u64 {
+        self.invalidate_matching(|rt, lane| {
+            lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid && rt.virt().overlaps(range)
+        })
+    }
+
+    /// Invalidates every non-global entry of `asid`; globals survive.
+    /// Returns the number removed.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        self.invalidate_matching(|_, lane| lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid)
+    }
+
+    /// Removes every entry matching `pred` (which sees the translation and
+    /// its ASID lane), demoting each vacated slot to the LRU end so the
+    /// ranks stay a permutation.
+    fn invalidate_matching(&mut self, mut pred: impl FnMut(&RangeTranslation, u16) -> bool) -> u64 {
         let mut removed = 0u64;
-        let n = self.entries.len();
-        for slot in 0..n {
+        for slot in 0..self.entries.len() {
             let Some(rt) = self.entries[slot] else {
                 continue;
             };
-            if !pred(&rt) {
+            if !pred(&rt, self.asids[slot]) {
                 continue;
             }
-            self.entries[slot] = None;
-            let rank = self.recency[slot];
-            for r in self.recency.iter_mut() {
-                if *r > rank {
-                    *r -= 1;
-                }
-            }
-            self.recency[slot] = (n - 1) as u8;
+            self.clear_slot(slot);
             removed += 1;
         }
         if removed > 0 {
@@ -237,6 +317,7 @@ impl RangeTlb {
         for (i, e) in self.entries.iter_mut().enumerate() {
             *e = None;
             self.recency[i] = i as u8;
+            self.asids[i] = 0;
         }
         self.scan.clear();
     }
@@ -271,7 +352,22 @@ impl RangeTlb {
             assert_eq!(base, rt.virt().start().raw(), "stale scan base");
             assert_eq!(end, rt.virt().end().raw(), "stale scan end");
             if i > 0 {
-                assert!(self.scan[i - 1].0 < base, "scan lane not sorted by base");
+                let (pb, _, ps) = self.scan[i - 1];
+                assert!(
+                    (pb, ps) < (base, slot),
+                    "scan lane not sorted by (base, slot)"
+                );
+            }
+        }
+        for a in 0..n {
+            let Some(ra) = self.entries[a] else { continue };
+            for b in a + 1..n {
+                let Some(rb) = self.entries[b] else { continue };
+                assert!(
+                    !(ra.virt() == rb.virt() && asid_overlaps(self.asids[a], self.asids[b])),
+                    "range {:?} resident twice for overlapping ASID lanes",
+                    ra.virt()
+                );
             }
         }
     }
@@ -417,6 +513,71 @@ mod tests {
     #[should_panic(expected = "MAX_WAYS")]
     fn above_max_ways_rejected() {
         let _ = RangeTlb::new("t", crate::MAX_WAYS + 1);
+    }
+
+    #[test]
+    fn asid_isolates_ranges() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.set_current_asid(1);
+        tlb.insert(rt(0, 16, 100));
+        tlb.set_current_asid(2);
+        assert!(tlb.lookup(VirtAddr::new(8 << 20)).is_none(), "other ASID");
+        // The same virtual range may be cached under both ASIDs at once.
+        tlb.insert(rt(0, 16, 900));
+        assert_eq!(tlb.occupancy(), 2);
+        assert_eq!(
+            tlb.probe(VirtAddr::new(0)).unwrap().phys_base().raw(),
+            900 << 20
+        );
+        tlb.set_current_asid(1);
+        assert_eq!(
+            tlb.probe(VirtAddr::new(0)).unwrap().phys_base().raw(),
+            100 << 20
+        );
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn global_range_visible_to_every_asid() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.set_current_asid(3);
+        tlb.insert_global(rt(64, 16, 700));
+        tlb.set_current_asid(5);
+        assert!(tlb.lookup(VirtAddr::new(70 << 20)).is_some());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn flush_asid_spares_globals_and_other_asids() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.set_current_asid(1);
+        tlb.insert(rt(0, 16, 100));
+        tlb.insert_global(rt(64, 16, 700));
+        tlb.set_current_asid(2);
+        tlb.insert(rt(32, 16, 200));
+        assert_eq!(tlb.flush_asid(1), 1);
+        assert!(tlb.probe(VirtAddr::new(70 << 20)).is_some(), "global stays");
+        assert!(tlb.probe(VirtAddr::new(40 << 20)).is_some(), "ASID 2 stays");
+        tlb.set_current_asid(1);
+        assert!(tlb.probe(VirtAddr::new(0)).is_none());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_asid_is_targeted() {
+        let mut tlb = RangeTlb::new("t", 4);
+        tlb.set_current_asid(1);
+        tlb.insert(rt(0, 16, 100));
+        tlb.set_current_asid(2);
+        tlb.insert(rt(0, 16, 900));
+        assert_eq!(tlb.invalidate_asid(1, VirtAddr::new(8 << 20)), 1);
+        assert!(
+            tlb.probe(VirtAddr::new(8 << 20)).is_some(),
+            "ASID 2 copy stays"
+        );
+        tlb.set_current_asid(1);
+        assert!(tlb.probe(VirtAddr::new(8 << 20)).is_none());
+        tlb.assert_invariants();
     }
 
     #[test]

@@ -27,6 +27,43 @@ pub const MAX_WAYS: usize = 128;
 /// collide with a real tag.
 const INVALID_TAG: u64 = u64::MAX;
 
+/// Number of ASID bits carried per entry (x86 PCIDs are 12 bits; 15 leaves
+/// headroom while keeping the lane one `u16` with the global flag).
+pub const ASID_BITS: u32 = 15;
+
+/// Mask of the ASID value within a stored lane word.
+pub const ASID_MASK: u16 = (1 << ASID_BITS) - 1;
+
+/// Lane flag marking an entry visible to every ASID (the PTE global bit:
+/// kernel text/data that survives context switches).
+pub const ASID_GLOBAL: u16 = 1 << ASID_BITS;
+
+/// `true` when an entry tagged `lane` is visible to a lookup under
+/// `current` — its ASID matches or the entry is global.
+#[inline]
+pub(crate) fn asid_visible(lane: u16, current: u16) -> bool {
+    lane & ASID_GLOBAL != 0 || lane & ASID_MASK == current
+}
+
+/// `true` when two stored lanes can shadow each other for some lookup:
+/// either is global, or both carry the same ASID. Insert uses this to keep
+/// at most one entry visible per (tag, ASID) pair.
+#[inline]
+pub(crate) fn asid_overlaps(a: u16, b: u16) -> bool {
+    a & ASID_GLOBAL != 0 || b & ASID_GLOBAL != 0 || a & ASID_MASK == b & ASID_MASK
+}
+
+/// `true` when the page `[base, base + bytes)` overlaps `range`, computed
+/// with inclusive last-address arithmetic so the topmost page of the
+/// address space (where `base + bytes` wraps to zero) is handled instead of
+/// overflowing.
+#[inline]
+pub(crate) fn page_overlaps(base: u64, bytes: u64, range: VirtRange) -> bool {
+    debug_assert!(bytes > 0, "pages are never empty");
+    let page_last = base.saturating_add(bytes - 1);
+    !range.is_empty() && base < range.end().raw() && page_last >= range.start().raw()
+}
+
 /// Packs a size-aligned VPN and its page size into one comparable word:
 /// `(vpn << 2) | size_code`. x86-64 VPNs fit 45 bits (57-bit VA space), so
 /// the shift cannot overflow.
@@ -108,10 +145,17 @@ pub struct SetAssocTlb {
     recency: Vec<u8>,
     /// Payload lane: raw PFN per slot, read only after a tag match.
     pfns: Vec<u64>,
+    /// ASID lane: `asid | ASID_GLOBAL?` per slot, meaningful only where the
+    /// tag is valid. All zeros (ASID 0, non-global) in single-context use.
+    asids: Vec<u16>,
     sets: usize,
     ways: usize,
     active_ways: usize,
     default_size: PageSize,
+    /// The ASID lookups and fills run under (the CR3 PCID). Defaults to 0,
+    /// which keeps single-context behaviour bit-identical to the pre-ASID
+    /// structure.
+    current_asid: u16,
     stats: TlbStats,
 }
 
@@ -149,12 +193,31 @@ impl SetAssocTlb {
             tags: vec![INVALID_TAG; entries],
             recency: (0..entries).map(|i| (i % ways) as u8).collect(),
             pfns: vec![0; entries],
+            asids: vec![0; entries],
             sets,
             ways,
             active_ways: ways,
             default_size,
+            current_asid: 0,
             stats: TlbStats::new(),
         }
+    }
+
+    /// Sets the ASID subsequent lookups and fills run under (an ASID-tagged
+    /// context switch: the structure's contents survive, only visibility
+    /// changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `asid` exceeds [`ASID_MASK`].
+    pub fn set_current_asid(&mut self, asid: u16) {
+        assert!(asid <= ASID_MASK, "ASID exceeds {ASID_BITS} bits");
+        self.current_asid = asid;
+    }
+
+    /// The ASID lookups currently run under.
+    pub fn current_asid(&self) -> u16 {
+        self.current_asid
     }
 
     /// The structure's display name (e.g. `"L1-4KB"`).
@@ -237,9 +300,16 @@ impl SetAssocTlb {
     pub fn lookup_for_size(&mut self, va: VirtAddr, size: PageSize) -> Option<Hit> {
         let tag = lookup_tag(va, size);
         let base = self.set_index(va, size) * self.ways;
-        // One bounds check per lane instead of one per way probed.
+        let cur = self.current_asid;
+        // One bounds check per lane instead of one per way probed; the ASID
+        // lane is consulted only on a tag match, so the hot miss path still
+        // scans one contiguous `u64` run.
         let set_tags = &self.tags[base..base + self.active_ways];
-        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+        if let Some(way) = set_tags
+            .iter()
+            .enumerate()
+            .position(|(way, &t)| t == tag && asid_visible(self.asids[base + way], cur))
+        {
             let slot = base + way;
             let rank = self.recency[slot];
             self.touch(base, slot, rank);
@@ -281,7 +351,9 @@ impl SetAssocTlb {
         ];
         for way in 0..self.active_ways {
             let tag = self.tags[way];
-            if tag == candidates[0] || tag == candidates[1] || tag == candidates[2] {
+            if (tag == candidates[0] || tag == candidates[1] || tag == candidates[2])
+                && asid_visible(self.asids[way], self.current_asid)
+            {
                 let rank = self.recency[way];
                 self.touch(0, way, rank);
                 self.stats.record_hit();
@@ -306,33 +378,62 @@ impl SetAssocTlb {
         let base = self.set_index(va, size) * self.ways;
         (0..self.active_ways)
             .map(|way| base + way)
-            .find(|&slot| self.tags[slot] == tag)
+            .find(|&slot| {
+                self.tags[slot] == tag && asid_visible(self.asids[slot], self.current_asid)
+            })
             .map(|slot| PageTranslation::new(Vpn::new(tag >> 2), Pfn::new(self.pfns[slot]), size))
     }
 
-    /// Inserts `translation`, evicting the set's LRU active entry if needed.
+    /// Inserts `translation` under the current ASID, evicting the set's LRU
+    /// active entry if needed.
     ///
-    /// If an entry with the same tag is already present it is overwritten in
-    /// place (and promoted), so the structure never holds duplicates.
+    /// If an entry with the same tag is already visible to this ASID it is
+    /// overwritten in place (and promoted), so no lookup ever sees two
+    /// matching entries. Entries of *other* ASIDs with the same tag are left
+    /// alone — each address space owns its own copy.
     #[inline]
     pub fn insert(&mut self, translation: PageTranslation) {
+        self.insert_tagged(translation, self.current_asid);
+    }
+
+    /// Inserts `translation` with the global bit set: the entry is visible
+    /// to (and shadows the tag for) every ASID, like a kernel mapping with
+    /// the PTE global flag.
+    pub fn insert_global(&mut self, translation: PageTranslation) {
+        self.insert_tagged(translation, self.current_asid | ASID_GLOBAL);
+    }
+
+    fn insert_tagged(&mut self, translation: PageTranslation, lane: u16) {
         let tag = encode_tag(translation.vpn(), translation.size());
         let va = translation.vpn().base_addr();
         let base = self.set_index(va, translation.size()) * self.ways;
 
-        // Overwrite a duplicate or pick an invalid slot, else evict true LRU.
-        let mut victim = None;
+        // Overwrite a shadowing duplicate or pick an invalid slot, else
+        // evict true LRU. A global insert may shadow same-tag entries of
+        // several ASIDs at once; the first is overwritten in place (the
+        // single-context path, bit-identical to the pre-ASID structure) and
+        // the rest are invalidated so at most one entry stays visible per
+        // (tag, ASID).
+        let mut dup = None;
+        let mut invalid = None;
+        let mut shadowed = 0u64;
         for way in 0..self.active_ways {
             let slot = base + way;
-            if self.tags[slot] == tag {
-                victim = Some(slot);
-                break;
-            }
-            if victim.is_none() && self.tags[slot] == INVALID_TAG {
-                victim = Some(slot);
+            if self.tags[slot] == tag && asid_overlaps(self.asids[slot], lane) {
+                if dup.is_none() {
+                    dup = Some(slot);
+                } else {
+                    self.clear_slot(base, slot);
+                    shadowed += 1;
+                }
+            } else if invalid.is_none() && self.tags[slot] == INVALID_TAG {
+                invalid = Some(slot);
             }
         }
-        let slot = victim.unwrap_or_else(|| {
+        if shadowed > 0 {
+            self.stats.record_invalidations(shadowed);
+        }
+        let slot = dup.or(invalid).unwrap_or_else(|| {
             let lru_rank = (self.active_ways - 1) as u8;
             (base..base + self.active_ways)
                 .find(|&s| self.recency[s] == lru_rank)
@@ -341,6 +442,7 @@ impl SetAssocTlb {
 
         self.tags[slot] = tag;
         self.pfns[slot] = translation.pfn().raw();
+        self.asids[slot] = lane;
         let rank = self.recency[slot];
         self.touch(base, slot, rank);
         self.stats.record_fill();
@@ -354,6 +456,20 @@ impl SetAssocTlb {
             *r += u8::from(*r < rank);
         }
         self.recency[slot] = 0;
+    }
+
+    /// Invalidates `slot`, demoting it to the LRU end of its set while the
+    /// survivors close ranks (the rank permutation stays intact). Does not
+    /// touch the stats.
+    fn clear_slot(&mut self, base: usize, slot: usize) {
+        self.tags[slot] = INVALID_TAG;
+        let rank = self.recency[slot];
+        for s in base..base + self.active_ways {
+            if self.recency[s] > rank {
+                self.recency[s] -= 1;
+            }
+        }
+        self.recency[slot] = (self.active_ways - 1) as u8;
     }
 
     /// Resizes the structure to `ways` active ways (way-disabling /
@@ -385,25 +501,27 @@ impl SetAssocTlb {
                 // reordering slots is equivalent for a behavioural model).
                 // Ranks are a permutation per set, so the unstable sort is
                 // deterministic.
-                let mut keep: Vec<(u8, u64, u64)> = (0..old_active)
+                let mut keep: Vec<(u8, u64, u64, u16)> = (0..old_active)
                     .map(|w| {
                         (
                             self.recency[base + w],
                             self.tags[base + w],
                             self.pfns[base + w],
+                            self.asids[base + w],
                         )
                     })
                     .collect();
-                keep.sort_unstable_by_key(|&(rank, _, _)| rank);
-                for (w, &(_, tag, pfn)) in keep.iter().take(ways).enumerate() {
+                keep.sort_unstable_by_key(|&(rank, _, _, _)| rank);
+                for (w, &(_, tag, pfn, lane)) in keep.iter().take(ways).enumerate() {
                     self.tags[base + w] = tag;
                     self.pfns[base + w] = pfn;
+                    self.asids[base + w] = lane;
                     self.recency[base + w] = w as u8;
                 }
                 invalidated += keep
                     .iter()
                     .skip(ways)
-                    .filter(|&&(_, tag, _)| tag != INVALID_TAG)
+                    .filter(|&&(_, tag, _, _)| tag != INVALID_TAG)
                     .count() as u64;
                 for w in ways..self.ways {
                     self.tags[base + w] = INVALID_TAG;
@@ -421,27 +539,55 @@ impl SetAssocTlb {
         self.active_ways = ways;
     }
 
-    /// Invalidates every entry covering `va`, regardless of page size — the
-    /// per-page TLB shootdown (`invlpg`). Entries of any size whose page
-    /// contains `va` are removed; everything else survives. Returns the
-    /// number of entries removed (counted as invalidations in the stats).
+    /// Invalidates every entry covering `va`, regardless of page size or
+    /// ASID — the per-page TLB shootdown (`invlpg`). Entries of any size
+    /// whose page contains `va` are removed; everything else survives.
+    /// Returns the number of entries removed (counted as invalidations in
+    /// the stats).
     pub fn invalidate(&mut self, va: VirtAddr) -> u64 {
-        self.invalidate_matching(|e| e.covers(va))
+        self.invalidate_matching(|e, _| e.covers(va))
     }
 
     /// Invalidates every entry whose page overlaps `range` (the multi-page
-    /// shootdown of e.g. an `munmap`). Returns the number of entries
-    /// removed.
+    /// shootdown of e.g. an `munmap`), regardless of ASID. Returns the
+    /// number of entries removed.
     pub fn invalidate_range(&mut self, range: VirtRange) -> u64 {
-        self.invalidate_matching(|e| {
-            VirtRange::new(e.vpn().base_addr(), e.size().bytes()).overlaps(range)
+        self.invalidate_matching(|e, _| {
+            page_overlaps(e.vpn().base_addr().raw(), e.size().bytes(), range)
         })
     }
 
-    /// Removes every active entry matching `pred`, keeping each set's LRU
-    /// ranks a permutation: the vacated slot is demoted to the LRU end and
-    /// the survivors close ranks.
-    fn invalidate_matching(&mut self, mut pred: impl FnMut(&PageTranslation) -> bool) -> u64 {
+    /// The ASID-targeted shootdown a cross-core invalidation IPI delivers:
+    /// removes entries covering `va` that belong to `asid`. Global entries
+    /// survive — they are not owned by any one address space. Returns the
+    /// number of entries removed.
+    pub fn invalidate_asid(&mut self, asid: u16, va: VirtAddr) -> u64 {
+        self.invalidate_matching(|e, lane| {
+            lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid && e.covers(va)
+        })
+    }
+
+    /// The ASID-targeted multi-page shootdown: removes `asid`'s non-global
+    /// entries whose page overlaps `range`. Returns the number removed.
+    pub fn invalidate_range_asid(&mut self, asid: u16, range: VirtRange) -> u64 {
+        self.invalidate_matching(|e, lane| {
+            lane & ASID_GLOBAL == 0
+                && lane & ASID_MASK == asid
+                && page_overlaps(e.vpn().base_addr().raw(), e.size().bytes(), range)
+        })
+    }
+
+    /// Removes every non-global entry of `asid` (ASID recycling: the ASID
+    /// space wrapped and the identifier is being handed to a new address
+    /// space). Global entries survive. Returns the number removed.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        self.invalidate_matching(|_, lane| lane & ASID_GLOBAL == 0 && lane & ASID_MASK == asid)
+    }
+
+    /// Removes every active entry matching `pred` (which sees the entry and
+    /// its ASID lane word), keeping each set's LRU ranks a permutation: the
+    /// vacated slot is demoted to the LRU end and the survivors close ranks.
+    fn invalidate_matching(&mut self, mut pred: impl FnMut(&PageTranslation, u16) -> bool) -> u64 {
         let mut removed = 0u64;
         for set in 0..self.sets {
             let base = set * self.ways;
@@ -450,17 +596,10 @@ impl SetAssocTlb {
                 let Some(entry) = self.slot_translation(slot) else {
                     continue;
                 };
-                if !pred(&entry) {
+                if !pred(&entry, self.asids[slot]) {
                     continue;
                 }
-                self.tags[slot] = INVALID_TAG;
-                let rank = self.recency[slot];
-                for s in base..base + self.active_ways {
-                    if self.recency[s] > rank {
-                        self.recency[s] -= 1;
-                    }
-                }
-                self.recency[slot] = (self.active_ways - 1) as u8;
+                self.clear_slot(base, slot);
                 removed += 1;
             }
         }
@@ -468,13 +607,15 @@ impl SetAssocTlb {
         removed
     }
 
-    /// Invalidates every entry (active ways stay as configured).
+    /// Invalidates every entry — including globals — with active ways
+    /// staying as configured (a full flush, e.g. a CR4 toggle).
     pub fn flush(&mut self) {
         let valid = self.tags.iter().filter(|&&t| t != INVALID_TAG).count() as u64;
         self.stats.record_invalidations(valid);
         for (i, tag) in self.tags.iter_mut().enumerate() {
             *tag = INVALID_TAG;
             self.recency[i] = (i % self.ways) as u8;
+            self.asids[i] = 0;
         }
     }
 
@@ -507,6 +648,19 @@ impl SetAssocTlb {
                     self.tags[base + w] == INVALID_TAG,
                     "inactive way {w} of set {set} holds a valid entry"
                 );
+            }
+            // No two valid entries of one set may shadow each other: a
+            // lookup under any ASID must match at most one slot.
+            for a in 0..self.active_ways {
+                for b in a + 1..self.active_ways {
+                    let (sa, sb) = (base + a, base + b);
+                    assert!(
+                        self.tags[sa] == INVALID_TAG
+                            || self.tags[sa] != self.tags[sb]
+                            || !asid_overlaps(self.asids[sa], self.asids[sb]),
+                        "set {set}: ways {a} and {b} hold shadowing entries for one tag"
+                    );
+                }
             }
         }
     }
@@ -709,6 +863,39 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_range_handles_topmost_page() {
+        // The last 4 KiB page of the address space: `base + 4096` wraps to
+        // zero, which the inclusive overlap arithmetic must tolerate.
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        let top = (1u64 << 52) - 1;
+        tlb.insert(t4k(top));
+        tlb.insert(t4k(3));
+        // [u64::MAX - 8191, u64::MAX): covers the top page, not vpn 3.
+        let shot = VirtRange::new(VirtAddr::new(u64::MAX - 8191), 8191);
+        assert_eq!(tlb.invalidate_range(shot), 1);
+        assert!(tlb.probe(va4k(top), PageSize::Size4K).is_none());
+        assert!(tlb.probe(va4k(3), PageSize::Size4K).is_some());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_range_asid_handles_topmost_page() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        let top = (1u64 << 52) - 1;
+        tlb.set_current_asid(2);
+        tlb.insert(t4k(top));
+        tlb.set_current_asid(5);
+        tlb.insert(t4k(top));
+        let shot = VirtRange::new(VirtAddr::new(u64::MAX - 8191), 8191);
+        // Only ASID 2's copy of the top page goes.
+        assert_eq!(tlb.invalidate_range_asid(2, shot), 1);
+        assert!(tlb.probe(va4k(top), PageSize::Size4K).is_some());
+        tlb.set_current_asid(2);
+        assert!(tlb.probe(va4k(top), PageSize::Size4K).is_none());
+        tlb.assert_invariants();
+    }
+
+    #[test]
     fn invalidate_miss_is_a_no_op() {
         let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
         tlb.insert(t4k(1));
@@ -787,5 +974,145 @@ mod tests {
         let before = *tlb.stats();
         tlb.probe(va4k(0), PageSize::Size4K);
         assert_eq!(*tlb.stats(), before);
+    }
+
+    #[test]
+    fn asid_isolates_address_spaces() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_current_asid(1);
+        tlb.insert(t4k(5));
+        // ASID 2 does not see ASID 1's entry — and may hold its own copy of
+        // the same VPN with a different frame.
+        tlb.set_current_asid(2);
+        assert!(tlb.lookup(va4k(5)).is_none());
+        let other = PageTranslation::new(Vpn::new(5), Pfn::new(7777), PageSize::Size4K);
+        tlb.insert(other);
+        assert_eq!(tlb.lookup(va4k(5)).unwrap().translation, other);
+        // Switching back, ASID 1 still sees its original mapping: the
+        // context switch cost no flush.
+        tlb.set_current_asid(1);
+        assert_eq!(tlb.lookup(va4k(5)).unwrap().translation, t4k(5));
+        assert_eq!(tlb.occupancy(), 2);
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn global_entries_visible_to_every_asid() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_current_asid(1);
+        tlb.insert_global(t4k(9));
+        tlb.set_current_asid(2);
+        assert!(
+            tlb.lookup(va4k(9)).is_some(),
+            "global entry survives switch"
+        );
+        // A global shootdown removes it; an ASID-targeted one does not.
+        assert_eq!(tlb.invalidate_asid(1, va4k(9)), 0);
+        assert!(tlb.lookup(va4k(9)).is_some());
+        assert_eq!(tlb.invalidate(va4k(9)), 1);
+        assert!(tlb.lookup(va4k(9)).is_none());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn global_insert_shadows_per_asid_copies() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_current_asid(1);
+        tlb.insert(t4k(3));
+        tlb.set_current_asid(2);
+        tlb.insert(PageTranslation::new(
+            Vpn::new(3),
+            Pfn::new(500),
+            PageSize::Size4K,
+        ));
+        assert_eq!(tlb.occupancy(), 2);
+        // A global insert of the same page replaces both per-ASID copies —
+        // no lookup may ever match two slots.
+        let global = PageTranslation::new(Vpn::new(3), Pfn::new(600), PageSize::Size4K);
+        tlb.insert_global(global);
+        assert_eq!(tlb.occupancy(), 1);
+        for asid in [1u16, 2, 3] {
+            tlb.set_current_asid(asid);
+            assert_eq!(tlb.lookup(va4k(3)).unwrap().translation, global);
+        }
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn shootdown_of_va_present_under_two_asids() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_current_asid(1);
+        tlb.insert(t4k(5));
+        tlb.set_current_asid(2);
+        tlb.insert(PageTranslation::new(
+            Vpn::new(5),
+            Pfn::new(7777),
+            PageSize::Size4K,
+        ));
+        // The ASID-targeted shootdown removes exactly one copy.
+        assert_eq!(tlb.invalidate_asid(1, va4k(5)), 1);
+        assert!(tlb.lookup(va4k(5)).is_some(), "ASID 2's copy survives");
+        tlb.set_current_asid(1);
+        assert!(tlb.lookup(va4k(5)).is_none());
+        // The ASID-blind shootdown takes every remaining copy.
+        assert_eq!(tlb.invalidate(va4k(5)), 1);
+        assert_eq!(tlb.occupancy(), 0);
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn flush_asid_spares_globals_and_other_asids() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_current_asid(1);
+        tlb.insert(t4k(1));
+        tlb.insert(t4k(2));
+        tlb.insert_global(t4k(3));
+        tlb.set_current_asid(2);
+        tlb.insert(t4k(4));
+        assert_eq!(tlb.flush_asid(1), 2);
+        assert!(tlb.lookup(va4k(3)).is_some(), "global survives");
+        assert!(tlb.lookup(va4k(4)).is_some(), "other ASID survives");
+        tlb.set_current_asid(1);
+        assert!(tlb.lookup(va4k(1)).is_none());
+        assert!(tlb.lookup(va4k(2)).is_none());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_range_asid_is_targeted() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_current_asid(1);
+        for vpn in [3u64, 4, 5] {
+            tlb.insert(t4k(vpn));
+        }
+        tlb.set_current_asid(2);
+        tlb.insert(t4k(4));
+        let range = VirtRange::new(va4k(4), 2 * 4096);
+        assert_eq!(tlb.invalidate_range_asid(1, range), 2);
+        assert!(tlb.lookup(va4k(4)).is_some(), "ASID 2's page 4 survives");
+        tlb.set_current_asid(1);
+        assert!(tlb.lookup(va4k(3)).is_some());
+        assert!(tlb.lookup(va4k(4)).is_none());
+        assert!(tlb.lookup(va4k(5)).is_none());
+        tlb.assert_invariants();
+    }
+
+    #[test]
+    fn default_asid_preserves_legacy_behaviour() {
+        // With no ASID calls at all, the structure behaves exactly like the
+        // pre-ASID version: everything lives under ASID 0, non-global.
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        assert_eq!(tlb.current_asid(), 0);
+        tlb.insert(t4k(5));
+        assert!(tlb.lookup(va4k(5)).is_some());
+        assert_eq!(tlb.flush_asid(0), 1);
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ASID exceeds")]
+    fn oversized_asid_rejected() {
+        let mut tlb = SetAssocTlb::new("t", 64, 4, PageSize::Size4K);
+        tlb.set_current_asid(ASID_GLOBAL);
     }
 }

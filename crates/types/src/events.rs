@@ -173,6 +173,26 @@ pub enum TranslationEvent {
         /// the hierarchy has no L1-4KB TLB).
         l1_4k_ways: Option<u32>,
     },
+    /// The core switched to another address space by retagging (writing a
+    /// new ASID/PCID) instead of flushing — the multi-core scheduler's
+    /// context switch. Entries of other ASIDs stay resident.
+    AsidSwitch {
+        /// The ASID now active on this core.
+        asid: u16,
+    },
+    /// This core initiated a cross-core TLB shootdown: after invalidating
+    /// locally, it sent `recipients` IPIs to the cores whose ASID residency
+    /// sets may hold the mapping.
+    ShootdownIpi {
+        /// Remote cores signalled (0 when no other core ever ran the ASID).
+        recipients: u32,
+    },
+    /// This core received and processed one shootdown IPI, invalidating
+    /// `invalidations` stale entries across its hierarchy.
+    IpiDelivered {
+        /// Entries (and cached paging structures) the delivery removed.
+        invalidations: u64,
+    },
     /// The memory operation left the pipeline (all events for it are out).
     StepEnd,
 }
@@ -199,6 +219,15 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_event(&mut self, event: &TranslationEvent) {
         self.0.on_event(event);
         self.1.on_event(event);
+    }
+}
+
+/// Observers forward through mutable references, so a driver can fan out
+/// to observers it merely borrows: `(&mut a, &mut b)`.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn on_event(&mut self, event: &TranslationEvent) {
+        (**self).on_event(event);
     }
 }
 

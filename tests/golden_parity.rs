@@ -15,73 +15,14 @@
 //!
 //! and commit the rewritten fixtures together with the change.
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
+mod common;
 
-use eeat_core::{Config, RunResult, Simulator};
-use eeat_energy::Structure;
+use common::{dump, fixture_path};
+use eeat_core::{Config, Simulator};
 use eeat_workloads::Workload;
 
 const INSTRUCTIONS: u64 = 1_000_000;
 const SEED: u64 = 42;
-
-fn fixture_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures/golden")
-        .join(format!("{name}.txt"))
-}
-
-/// Renders a `RunResult` as stable `key = value` lines; floats are stored
-/// as their IEEE-754 bit patterns so equality is exact, with a readable
-/// decimal echo in a trailing comment.
-fn dump(r: &RunResult) -> String {
-    let mut out = String::new();
-    let s = &r.stats;
-    let mut kv = |k: &str, v: u64| writeln!(out, "{k} = {v}").unwrap();
-    kv("stats.instructions", s.instructions);
-    kv("stats.accesses", s.accesses);
-    kv("stats.l1_misses", s.l1_misses);
-    kv("stats.l2_misses", s.l2_misses);
-    kv("stats.l1_hits_4k", s.l1_hits_4k);
-    kv("stats.l1_hits_2m", s.l1_hits_2m);
-    kv("stats.l1_hits_1g", s.l1_hits_1g);
-    kv("stats.l1_hits_range", s.l1_hits_range);
-    kv("stats.l2_hits_page", s.l2_hits_page);
-    kv("stats.l2_hits_range", s.l2_hits_range);
-    kv("stats.walk_memory_refs", s.walk_memory_refs);
-    kv("stats.range_table_walks", s.range_table_walks);
-    for (i, &n) in s.l1_4k_lookups_by_ways.iter().enumerate() {
-        kv(&format!("stats.l1_4k_lookups_by_ways[{i}]"), n);
-    }
-    for (i, &n) in s.l1_2m_lookups_by_ways.iter().enumerate() {
-        kv(&format!("stats.l1_2m_lookups_by_ways[{i}]"), n);
-    }
-    for (i, &n) in s.l1_fa_lookups_by_entries.iter().enumerate() {
-        kv(&format!("stats.l1_fa_lookups_by_entries[{i}]"), n);
-    }
-    kv("stats.predictor_second_probes", s.predictor_second_probes);
-    kv("stats.lite_intervals", s.lite_intervals);
-    kv("stats.lite_reactivations", s.lite_reactivations);
-    for structure in Structure::ALL {
-        let pj = r.energy.pj(structure);
-        // L1-CoLT postdates the original fixtures; omit its line when the
-        // structure is absent (charged nothing) so the six paper
-        // organizations' fixtures stay byte-identical.
-        if structure == Structure::L1Colt && pj == 0.0 {
-            continue;
-        }
-        writeln!(
-            out,
-            "energy.{} = {:016x}  # {pj:.6} pJ",
-            structure.label(),
-            pj.to_bits()
-        )
-        .unwrap();
-    }
-    writeln!(out, "cycles.l1_miss_cycles = {}", r.cycles.l1_miss_cycles).unwrap();
-    writeln!(out, "cycles.l2_miss_cycles = {}", r.cycles.l2_miss_cycles).unwrap();
-    out
-}
 
 /// The canonical runs: name → freshly configured simulator.
 fn cases() -> Vec<(&'static str, Simulator)> {

@@ -1,0 +1,96 @@
+//! Multi-core bit-parity: a `MultiCoreSim` with one core and one tenant is
+//! the plain single-core simulator, byte for byte.
+//!
+//! The multi-core driver threads every run through the sharded frame
+//! allocator, the ASID-tagged structures (under ASID 0), the round-robin
+//! scheduler (a no-op at `tenants == cores`), and the IPI bus (empty) — so
+//! reproducing the committed golden fixtures here pins the entire
+//! degenerate path, for *any* quantum (energy settles once per `run`, not
+//! per quantum).
+
+mod common;
+
+use common::{dump, fixture_path};
+use eeat_core::{Config, MultiCoreParams, MultiCoreSim};
+use eeat_workloads::Workload;
+
+const INSTRUCTIONS: u64 = 1_000_000;
+const SEED: u64 = 42;
+
+/// The nine golden organizations (the tenth fixture, `tlb_lite_flush`,
+/// exercises the ASID-less flush interval the multi-core mode replaces).
+fn orgs() -> Vec<(&'static str, Config)> {
+    vec![
+        ("four_k", Config::four_k()),
+        ("thp", Config::thp()),
+        ("tlb_lite", Config::tlb_lite()),
+        ("rmm", Config::rmm()),
+        ("rmm_lite", Config::rmm_lite()),
+        ("tlb_pp", Config::tlb_pp()),
+        ("tlb_pred", Config::tlb_pred()),
+        ("fa_lite", Config::fa_lite()),
+        ("colt", Config::colt()),
+    ]
+}
+
+#[test]
+fn single_core_single_tenant_matches_golden_fixtures() {
+    // A quantum that divides 1M unevenly, so the run spans several
+    // quantum-sized `run_inner` slices plus a ragged tail.
+    let params = MultiCoreParams {
+        cores: 1,
+        tenants: 1,
+        quantum: 137_000,
+        demotions_per_quantum: 0,
+    };
+    let mut mismatches = Vec::new();
+    for (name, config) in orgs() {
+        let mut mc = MultiCoreSim::from_workload(config, Workload::Mcf, params, SEED);
+        let result = mc.run(INSTRUCTIONS);
+        let core = &result.per_core[0];
+        // The degenerate topology produces zero coherence traffic.
+        assert_eq!(core.ipi.asid_switches, 0, "[{name}] spurious ASID switch");
+        assert_eq!(core.ipi.ipis_sent, 0, "[{name}] spurious IPI");
+        assert_eq!(core.run.stats.asid_switches, 0, "[{name}]");
+        assert_eq!(core.run.stats.ipis_received, 0, "[{name}]");
+        let got = dump(&core.run);
+        let path = fixture_path(name);
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        if got != want {
+            let diff: Vec<String> = want
+                .lines()
+                .zip(got.lines())
+                .filter(|(w, g)| w != g)
+                .map(|(w, g)| format!("  - {w}\n  + {g}"))
+                .collect();
+            mismatches.push(format!("[{name}] diverged:\n{}", diff.join("\n")));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "multi-core degenerate path broke golden parity:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn results_are_quantum_invariant_in_the_degenerate_topology() {
+    // With one tenant on one core, the quantum is pure bookkeeping: the
+    // access stream, scheduling (none), and settle cadence (once per run)
+    // are identical for any slicing.
+    for quantum in [1_000, 333_333, u64::MAX] {
+        let params = MultiCoreParams {
+            cores: 1,
+            tenants: 1,
+            quantum,
+            demotions_per_quantum: 0,
+        };
+        let mut mc = MultiCoreSim::from_workload(Config::tlb_lite(), Workload::Mcf, params, SEED);
+        let got = dump(&mc.run(200_000).per_core[0].run);
+        let mut plain =
+            eeat_core::Simulator::from_workload(Config::tlb_lite(), Workload::Mcf, SEED);
+        let want = dump(&plain.run(200_000));
+        assert_eq!(got, want, "quantum {quantum} diverged");
+    }
+}
