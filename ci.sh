@@ -17,6 +17,14 @@ if grep -rn 'unified_l1\|config\.' crates/core/src/pipeline/ | grep -v ':[[:spac
     exit 1
 fi
 
+echo "==> hot-path emission lint (probe stages bump BlockDeltas, never emit per access)"
+if grep -n 'sinks\.emit' \
+    crates/core/src/pipeline/l1_probe.rs \
+    crates/core/src/pipeline/l2_probe.rs | grep -v ':[[:space:]]*//'; then
+    echo "per-access sinks.emit reappeared in a probe stage; accumulate in BlockDeltas and let flush_deltas settle it" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
 
@@ -29,6 +37,7 @@ test -f tests/fixtures/golden/colt.txt || {
     exit 1
 }
 cargo test --release -q --offline --test golden_parity --test block_equivalence
+cargo test --release -q --offline -p eeat-core --test delta_settle_equivalence
 
 # Smoke runs write their artifacts to a scratch results dir so the
 # checked-in results/ stays pristine.
@@ -71,8 +80,22 @@ EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin colt -
     --instructions 200_000 --workloads mcf,canneal
 
 echo "==> throughput harness smoke"
+# The BENCH_* summary deliberately isn't an eeat-run-artifact/v1 file, so it
+# lives in a subdir the schema-validation glob below doesn't sweep up.
+mkdir -p "$SCRATCH/bench"
 EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin throughput -- \
-    --smoke --out BENCH_throughput_smoke.json
+    --smoke --out "$SCRATCH/bench/BENCH_throughput_smoke.json"
+
+echo "==> throughput floor (smoke; catches hot-loop regressions, e.g. per-access settling)"
+# Conservative bar: the smoke cells measure ~12-15M acc/s on this box;
+# 7M leaves ~2x headroom for CI noise while still failing well before the
+# hot loop regresses to per-access event emission territory.
+awk -F'[:,]' '/"accesses_per_sec"/ {
+    if ($2 + 0 < 7000000) { printf "accesses_per_sec%s is below the 7M floor\n", $2; bad = 1 }
+} END { exit bad }' "$SCRATCH/bench/BENCH_throughput_smoke.json" || {
+    echo "throughput smoke fell below the floor; profile before raising the budget" >&2
+    exit 1
+}
 
 echo "==> telemetry smoke (fig2 with per-epoch series + sampled trace)"
 EEAT_RESULTS="$SCRATCH" EEAT_SERIES=1 EEAT_TRACE=1 cargo run --release --offline \

@@ -8,8 +8,17 @@
 //! The headline accesses/sec number comes from *unprofiled* runs (the
 //! `()`-monomorphized pipeline, zero instrumentation); the per-stage
 //! breakdown comes from separate profiled runs, whose own throughput is
-//! pessimistic by the cost of two clock reads per stage boundary and is
-//! reported only as relative shares.
+//! pessimistic by the cost of two clock reads per stage boundary. Stage
+//! shares are attributed against the *instrumented pass's own wall time*,
+//! measured around the very same run that produced the stage timers —
+//! never against the plain wall, which a slower instrumented pass would
+//! overrun (stage sums above 100% of wall). The profiler self-calibrates
+//! its clock-pair cost and reports it as `profiler_overhead_seconds`; the
+//! share denominator is the instrumented wall *minus* that self-time, so
+//! shares approximate the plain run's composition. Time the stage brackets
+//! don't cover (trace generation, step dispatch, residual clock cost) is
+//! reported as the `unattributed` share. Both walls land in the artifact:
+//! `seconds` (plain, the headline) and `instrumented_seconds`.
 //!
 //! Usage:
 //!
@@ -57,8 +66,34 @@ const SMOKE_INSTRUCTIONS: u64 = 200_000;
 struct ConfigResult {
     name: &'static str,
     accesses: u64,
+    /// Plain (unprofiled) wall time: best-of-N, the headline denominator.
     seconds: f64,
+    /// Wall time of the instrumented pass, bracketing the same runs that
+    /// filled `stage_seconds` — the only valid denominator for stage
+    /// shares.
+    instrumented_seconds: f64,
+    /// Profiler self-time subtracted from the stage totals (calibrated
+    /// clock-pair cost x brackets); removed from the share denominator too.
+    profiler_overhead_seconds: f64,
     stage_seconds: [f64; 5],
+}
+
+impl ConfigResult {
+    /// Per-stage share of the instrumented wall net of profiler self-time,
+    /// with the final element being the unattributed remainder (work
+    /// outside the stage brackets).
+    fn shares(&self) -> [f64; 6] {
+        let wall =
+            (self.instrumented_seconds - self.profiler_overhead_seconds).max(f64::MIN_POSITIVE);
+        let mut shares = [0.0; 6];
+        let mut attributed = 0.0;
+        for (i, s) in self.stage_seconds.iter().enumerate() {
+            shares[i] = s / wall;
+            attributed += s;
+        }
+        shares[5] = ((wall - attributed) / wall).max(0.0);
+        shares
+    }
 }
 
 fn measure(config: &Config, instructions: u64, best_of: u32) -> ConfigResult {
@@ -82,11 +117,19 @@ fn measure(config: &Config, instructions: u64, best_of: u32) -> ConfigResult {
         accesses += cell_accesses;
     }
     // Per-stage attribution: separate profiled runs (fresh simulators, so
-    // the profiled run sees the identical access stream).
+    // the profiled run sees the identical access stream). The instrumented
+    // wall is clocked around the same runs that fill the stage timers, so
+    // stages and their denominator come from one pass and shares are
+    // guaranteed consistent.
     let mut stage_seconds = [0.0f64; 5];
+    let mut instrumented_seconds = 0.0f64;
+    let mut profiler_overhead_seconds = 0.0f64;
     for &workload in &Workload::TLB_INTENSIVE {
         let mut sim = Simulator::from_workload(config.clone(), workload, SEED);
+        let t = Instant::now();
         let (_, profile) = sim.run_block_profiled(instructions, DEFAULT_BLOCK);
+        instrumented_seconds += t.elapsed().as_secs_f64();
+        profiler_overhead_seconds += profile.overhead_seconds();
         for (i, stage) in Stage::ALL.into_iter().enumerate() {
             stage_seconds[i] += profile.seconds(stage);
         }
@@ -95,6 +138,8 @@ fn measure(config: &Config, instructions: u64, best_of: u32) -> ConfigResult {
         name: config.name,
         accesses,
         seconds,
+        instrumented_seconds,
+        profiler_overhead_seconds,
         stage_seconds,
     }
 }
@@ -155,6 +200,18 @@ fn render_json(results: &[ConfigResult], instructions: u64, smoke: bool, best_of
         writeln!(out, "      \"name\": \"{}\",", r.name).unwrap();
         writeln!(out, "      \"accesses\": {},", r.accesses).unwrap();
         writeln!(out, "      \"seconds\": {:.6},", r.seconds).unwrap();
+        writeln!(
+            out,
+            "      \"instrumented_seconds\": {:.6},",
+            r.instrumented_seconds
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "      \"profiler_overhead_seconds\": {:.6},",
+            r.profiler_overhead_seconds
+        )
+        .unwrap();
         writeln!(out, "      \"accesses_per_sec\": {acc_per_sec:.0},").unwrap();
         if !smoke {
             if let Some(before) = baseline_for(r.name) {
@@ -162,7 +219,6 @@ fn render_json(results: &[ConfigResult], instructions: u64, smoke: bool, best_of
                 writeln!(out, "      \"speedup\": {:.3},", acc_per_sec / before).unwrap();
             }
         }
-        let total: f64 = r.stage_seconds.iter().sum();
         writeln!(out, "      \"stage_seconds\": {{").unwrap();
         for (i, stage) in Stage::ALL.into_iter().enumerate() {
             let comma = if i + 1 < Stage::ALL.len() { "," } else { "" };
@@ -175,16 +231,14 @@ fn render_json(results: &[ConfigResult], instructions: u64, smoke: bool, best_of
             .unwrap();
         }
         writeln!(out, "      }},").unwrap();
+        // Shares against the instrumented wall (same pass): always sum to
+        // at most 1, with the remainder reported as `unattributed`.
+        let shares = r.shares();
         writeln!(out, "      \"stage_share\": {{").unwrap();
         for (i, stage) in Stage::ALL.into_iter().enumerate() {
-            let comma = if i + 1 < Stage::ALL.len() { "," } else { "" };
-            let share = if total > 0.0 {
-                r.stage_seconds[i] / total
-            } else {
-                0.0
-            };
-            writeln!(out, "        \"{}\": {share:.4}{comma}", stage.name()).unwrap();
+            writeln!(out, "        \"{}\": {:.4},", stage.name(), shares[i]).unwrap();
         }
+        writeln!(out, "        \"unattributed\": {:.4}", shares[5]).unwrap();
         writeln!(out, "      }}").unwrap();
         let comma = if ci + 1 < results.len() { "," } else { "" };
         writeln!(out, "    }}{comma}").unwrap();
@@ -231,28 +285,32 @@ fn main() {
                 .map(|b| format!("  {:>5.2}x vs baseline", acc_per_sec / b))
                 .unwrap_or_default()
         };
-        let total: f64 = r.stage_seconds.iter().sum();
-        let shares: Vec<String> = Stage::ALL
+        let shares = r.shares();
+        let mut share_strs: Vec<String> = Stage::ALL
             .into_iter()
             .enumerate()
-            .map(|(i, s)| {
-                format!(
-                    "{} {:.0}%",
-                    s.name(),
-                    100.0 * r.stage_seconds[i] / total.max(f64::MIN_POSITIVE)
-                )
-            })
+            .map(|(i, s)| format!("{} {:.0}%", s.name(), 100.0 * shares[i]))
             .collect();
+        share_strs.push(format!("other {:.0}%", 100.0 * shares[5]));
         runner.line(&format!(
-            "{:4} {:>12} accesses  {:>8.3} s  {:>12.0} acc/s{}  [{}]",
+            "{:4} {:>12} accesses  {:>8.3} s  {:>12.0} acc/s{}  [{} of {:.3} s attributable]",
             r.name,
             r.accesses,
             r.seconds,
             acc_per_sec,
             speedup,
-            shares.join(", ")
+            share_strs.join(", "),
+            (r.instrumented_seconds - r.profiler_overhead_seconds).max(0.0),
         ));
         runner.metric(format!("config/{}/accesses_per_sec", r.name), acc_per_sec);
+        runner.metric(
+            format!("config/{}/instrumented_seconds", r.name),
+            r.instrumented_seconds,
+        );
+        runner.metric(
+            format!("config/{}/profiler_overhead_seconds", r.name),
+            r.profiler_overhead_seconds,
+        );
         if !smoke {
             if let Some(before) = baseline_for(r.name) {
                 runner.metric(
@@ -264,9 +322,13 @@ fn main() {
         for (i, stage) in Stage::ALL.into_iter().enumerate() {
             runner.metric(
                 format!("config/{}/stage_share/{}", r.name, stage.name()),
-                r.stage_seconds[i] / total.max(f64::MIN_POSITIVE),
+                shares[i],
             );
         }
+        runner.metric(
+            format!("config/{}/stage_share/unattributed", r.name),
+            shares[5],
+        );
 
         let (obs_accesses, obs_seconds) = measure_observed(config, instructions, best_of);
         let obs_per_sec = obs_accesses as f64 / obs_seconds;

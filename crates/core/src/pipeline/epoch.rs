@@ -16,6 +16,9 @@ pub(crate) fn context_switch_if_due<E: Observer>(sim: &mut Simulator, extra: &mu
     if sim.clock < sim.next_flush_at {
         return;
     }
+    // A decision boundary: settle the pending delta counters so observers
+    // attribute every prior access's probes before the switch is recorded.
+    sim.sinks.flush_deltas(extra);
     // Context switch: everything translation-related is lost.
     sim.hierarchy.flush_all();
     sim.walker.caches_mut().flush();
@@ -45,12 +48,18 @@ pub(crate) fn settle_event(hierarchy: &TlbHierarchy) -> TranslationEvent {
 /// Runs the Lite decision at interval boundaries and applies resizes.
 #[inline]
 pub(crate) fn interval_check<E: Observer>(sim: &mut Simulator, ctx: &StepCtx, extra: &mut E) {
-    let Some(lite) = sim.lite.as_mut() else {
-        return;
-    };
-    if !lite.interval_due(sim.clock) {
+    let due = sim
+        .lite
+        .as_ref()
+        .is_some_and(|lite| lite.interval_due(sim.clock));
+    if !due {
         return;
     }
+    // Settle the pending delta counters before anything below reads
+    // observer totals or resizes a structure: pending probes must be
+    // charged at the sizes they actually ran at.
+    sim.sinks.flush_deltas(extra);
+    let lite = sim.lite.as_mut().expect("checked due above");
     // Export the interval's LRU-distance counters before the decision
     // resets them: one event per monitored structure, in monitor order.
     let idx = ctx.monitors;

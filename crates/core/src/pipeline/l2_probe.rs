@@ -1,7 +1,7 @@
 //! L2 stage: on an all-L1 miss, the L2 page and range TLBs are probed.
 
 use eeat_tlb::PageTranslation;
-use eeat_types::events::{FixedUnit, Observer, TranslationEvent};
+use eeat_types::events::FixedUnit;
 use eeat_types::{PageSize, RangeTranslation, VirtAddr};
 
 use crate::simulator::Simulator;
@@ -17,36 +17,20 @@ pub(crate) struct L2Outcome {
 }
 
 /// Probes the L2 structures for `va` (backed by a page of `size`).
+///
+/// Like the L1 stage this only bumps the per-block delta counters; the
+/// lookups surface as count-carrying `FixedOps` events at the next flush.
 #[inline]
-pub(crate) fn probe<E: Observer>(
-    sim: &mut Simulator,
-    va: VirtAddr,
-    size: PageSize,
-    extra: &mut E,
-) -> L2Outcome {
+pub(crate) fn probe(sim: &mut Simulator, va: VirtAddr, size: PageSize) -> L2Outcome {
     let page = sim
         .hierarchy
         .l2_page
         .lookup_for_size(va, size)
         .map(|h| h.translation);
-    sim.sinks.emit(
-        extra,
-        TranslationEvent::FixedOps {
-            unit: FixedUnit::L2Page,
-            lookups: 1,
-            fills: 0,
-        },
-    );
+    sim.sinks.deltas.fixed_lookup(FixedUnit::L2Page);
     let range = sim.hierarchy.l2_range.as_mut().and_then(|t| t.lookup(va));
     if sim.hierarchy.l2_range.is_some() {
-        sim.sinks.emit(
-            extra,
-            TranslationEvent::FixedOps {
-                unit: FixedUnit::L2Range,
-                lookups: 1,
-                fills: 0,
-            },
-        );
+        sim.sinks.deltas.fixed_lookup(FixedUnit::L2Range);
     }
     L2Outcome { page, range }
 }

@@ -35,7 +35,7 @@ pub(crate) mod refill;
 pub(crate) mod walk;
 
 use eeat_energy::{CycleObserver, EnergyObserver};
-use eeat_types::events::{HitColumn, Observer, TranslationEvent};
+use eeat_types::events::{FixedUnit, HitColumn, Observer, ResizableUnit, TranslationEvent};
 use eeat_types::MemAccess;
 
 use crate::hierarchy::MonitorIndices;
@@ -78,12 +78,128 @@ pub(crate) struct StepCtx {
     pub(crate) has_colt: bool,
 }
 
+/// Per-span counters for one resizable L1 structure.
+#[derive(Clone, Copy, Debug, Default)]
+struct ResizableDelta {
+    probes: u64,
+    second_probes: u64,
+    fills: u64,
+    /// Active ways/entries at probe time. Sizes change only at flush
+    /// boundaries (the interval check flushes before resizing), so one
+    /// value covers every probe of the span.
+    active: u32,
+}
+
+/// Per-span lookup/fill counters for one hot fixed-geometry structure.
+#[derive(Clone, Copy, Debug, Default)]
+struct FixedDelta {
+    lookups: u64,
+    fills: u64,
+}
+
+/// Slots of [`BlockDeltas::fixed`], in [`FLUSH_FIXED_UNITS`] order.
+const FD_L1_ONE_G: usize = 0;
+const FD_L1_RANGE: usize = 1;
+const FD_L1_COLT: usize = 2;
+const FD_L2_PAGE: usize = 3;
+const FD_L2_RANGE: usize = 4;
+
+const FLUSH_RESIZABLE_UNITS: [ResizableUnit; 3] = [
+    ResizableUnit::L1FourK,
+    ResizableUnit::L1TwoM,
+    ResizableUnit::L1FullyAssoc,
+];
+
+const FLUSH_FIXED_UNITS: [FixedUnit; 5] = [
+    FixedUnit::L1OneG,
+    FixedUnit::L1Range,
+    FixedUnit::L1Colt,
+    FixedUnit::L2Page,
+    FixedUnit::L2Range,
+];
+
+/// The hot path's per-block delta scratch.
+///
+/// The probe/refill stages run every access but only bump these plain
+/// integers; [`Sinks::flush_deltas`] turns the accumulated counts into
+/// count-carrying [`TranslationEvent`]s once per block and at every
+/// decision boundary (Lite interval, context-switch flush, result
+/// collection). Observers therefore see totals identical to per-access
+/// emission at every point where accounting is read. Cold-path events
+/// (MMU-cache ops, walks, outcomes, epoch markers) stay per-access.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct BlockDeltas {
+    resizable: [ResizableDelta; 3],
+    fixed: [FixedDelta; 5],
+}
+
+#[inline]
+fn resizable_slot(unit: ResizableUnit) -> usize {
+    match unit {
+        ResizableUnit::L1FourK => 0,
+        ResizableUnit::L1TwoM => 1,
+        ResizableUnit::L1FullyAssoc => 2,
+    }
+}
+
+impl BlockDeltas {
+    /// Records one probe of a resizable structure at its current size.
+    #[inline]
+    pub(crate) fn probe(&mut self, unit: ResizableUnit, active: u32) {
+        let d = &mut self.resizable[resizable_slot(unit)];
+        debug_assert!(
+            d.probes == 0 || d.active == active,
+            "active size changed without a delta flush"
+        );
+        d.active = active;
+        d.probes += 1;
+    }
+
+    /// Records one predictor second probe of a resizable structure.
+    #[inline]
+    pub(crate) fn second_probe(&mut self, unit: ResizableUnit) {
+        self.resizable[resizable_slot(unit)].second_probes += 1;
+    }
+
+    /// Records one fill of a resizable structure.
+    #[inline]
+    pub(crate) fn fill(&mut self, unit: ResizableUnit) {
+        self.resizable[resizable_slot(unit)].fills += 1;
+    }
+
+    #[inline]
+    fn fixed_slot(unit: FixedUnit) -> usize {
+        match unit {
+            FixedUnit::L1OneG => FD_L1_ONE_G,
+            FixedUnit::L1Range => FD_L1_RANGE,
+            FixedUnit::L1Colt => FD_L1_COLT,
+            FixedUnit::L2Page => FD_L2_PAGE,
+            FixedUnit::L2Range => FD_L2_RANGE,
+            _ => unreachable!("MMU-cache ops are emitted directly by the walk stage"),
+        }
+    }
+
+    /// Records one lookup of a hot fixed-geometry structure.
+    #[inline]
+    pub(crate) fn fixed_lookup(&mut self, unit: FixedUnit) {
+        self.fixed[Self::fixed_slot(unit)].lookups += 1;
+    }
+
+    /// Records one fill of a hot fixed-geometry structure.
+    #[inline]
+    pub(crate) fn fixed_fill(&mut self, unit: FixedUnit) {
+        self.fixed[Self::fixed_slot(unit)].fills += 1;
+    }
+}
+
 /// The simulator's always-on accounting sinks, fanned out per event
-/// together with one generic extra observer.
+/// together with one generic extra observer, plus the hot path's
+/// per-block delta scratch.
 pub(crate) struct Sinks {
     pub(crate) stats: StatsObserver,
     pub(crate) energy: EnergyObserver,
     pub(crate) cycles: CycleObserver,
+    pub(crate) deltas: BlockDeltas,
 }
 
 impl Sinks {
@@ -95,6 +211,60 @@ impl Sinks {
         self.energy.on_event(&event);
         self.cycles.on_event(&event);
         extra.on_event(&event);
+    }
+
+    /// Drains the delta scratch through the observer chain as
+    /// count-carrying events (zero counts are skipped).
+    ///
+    /// Must run before anything reads observer totals or resizes a
+    /// structure: block boundaries, the Lite interval check (ahead of its
+    /// settle/resize), context-switch flushes, and result collection.
+    pub(crate) fn flush_deltas<E: Observer>(&mut self, extra: &mut E) {
+        let deltas = std::mem::take(&mut self.deltas);
+        for (slot, unit) in FLUSH_RESIZABLE_UNITS.into_iter().enumerate() {
+            let d = deltas.resizable[slot];
+            if d.probes > 0 {
+                self.emit(
+                    extra,
+                    TranslationEvent::Probe {
+                        unit,
+                        active: d.active,
+                        count: d.probes,
+                    },
+                );
+            }
+            if d.second_probes > 0 {
+                self.emit(
+                    extra,
+                    TranslationEvent::SecondProbe {
+                        unit,
+                        count: d.second_probes,
+                    },
+                );
+            }
+            if d.fills > 0 {
+                self.emit(
+                    extra,
+                    TranslationEvent::Fill {
+                        unit,
+                        count: d.fills,
+                    },
+                );
+            }
+        }
+        for (slot, unit) in FLUSH_FIXED_UNITS.into_iter().enumerate() {
+            let d = deltas.fixed[slot];
+            if d.lookups > 0 || d.fills > 0 {
+                self.emit(
+                    extra,
+                    TranslationEvent::FixedOps {
+                        unit,
+                        lookups: d.lookups,
+                        fills: d.fills,
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -120,7 +290,7 @@ pub(crate) fn step<E: Observer, P: StageProfiler>(
     profiler.exit(Stage::Epoch);
 
     profiler.enter(Stage::L1Probe);
-    let l1 = l1_probe::probe(sim, ctx, va, extra);
+    let l1 = l1_probe::probe(sim, ctx, va);
     profiler.exit(Stage::L1Probe);
     let outcome = match l1 {
         l1_probe::L1Outcome::RangeHit => {
@@ -154,13 +324,13 @@ pub(crate) fn step<E: Observer, P: StageProfiler>(
             }
             let size = sim.actual_size(va);
             profiler.enter(Stage::L2Probe);
-            let l2 = l2_probe::probe(sim, va, size, extra);
+            let l2 = l2_probe::probe(sim, va, size);
             profiler.exit(Stage::L2Probe);
             if l2.page.is_some() || l2.range.is_some() {
                 let range = l2.page.is_none();
                 sim.sinks.emit(extra, TranslationEvent::L2Hit { range });
                 profiler.enter(Stage::Refill);
-                refill::after_l2_hit(sim, ctx, &l2, va, size, extra);
+                refill::after_l2_hit(sim, ctx, &l2, va, size);
                 profiler.exit(Stage::Refill);
                 TranslationOutcome::L2Hit { range }
             } else {
@@ -170,7 +340,7 @@ pub(crate) fn step<E: Observer, P: StageProfiler>(
                 let translation = walk::translate(sim, va, extra);
                 profiler.exit(Stage::Walk);
                 profiler.enter(Stage::Refill);
-                refill::after_walk(sim, ctx, translation, extra);
+                refill::after_walk(sim, ctx, translation);
                 profiler.exit(Stage::Refill);
                 profiler.enter(Stage::Walk);
                 walk::range_walk_background(sim, ctx, va, extra);

@@ -1,8 +1,12 @@
 //! Refill stage: installs translations into the structures on the way back
 //! from an L2 hit or a page walk.
+//!
+//! Refill accounting (resizable-L1 fills, fixed-structure fill counts) only
+//! bumps the per-block delta counters; the counts surface as batched events
+//! at the next flush boundary.
 
 use eeat_tlb::{PageTranslation, COLT_GROUP};
-use eeat_types::events::{FixedUnit, Observer, ResizableUnit, TranslationEvent};
+use eeat_types::events::{FixedUnit, ResizableUnit};
 use eeat_types::{PageSize, Pfn, RangeTranslation, VirtAddr, Vpn};
 
 use crate::pipeline::l2_probe::L2Outcome;
@@ -13,36 +17,28 @@ use crate::simulator::Simulator;
 /// range hit) goes to the L1 page structure; a range hit also installs
 /// into the L1-range TLB.
 #[inline]
-pub(crate) fn after_l2_hit<E: Observer>(
+pub(crate) fn after_l2_hit(
     sim: &mut Simulator,
     ctx: &StepCtx,
     l2: &L2Outcome,
     va: VirtAddr,
     size: PageSize,
-    extra: &mut E,
 ) {
     // An L2 hit hands back one translation, not a PTE cache line, so a
     // coalesced L1 can only learn the single mapping here (runs still grow
     // entry-by-entry through the merge on insert).
     let coalesce = false;
     if let Some(translation) = l2.page {
-        fill_l1_page(sim, ctx, translation, coalesce, extra);
+        fill_l1_page(sim, ctx, translation, coalesce);
     } else if let Some(rt) = &l2.range {
         // Derive the page-table entry from the range translation
         // (base + offset) and refill the L1 page TLB, as RMM does.
-        fill_l1_page(sim, ctx, derive_page_entry(rt, va, size), coalesce, extra);
+        fill_l1_page(sim, ctx, derive_page_entry(rt, va, size), coalesce);
     }
     if let Some(rt) = l2.range {
         if let Some(l1r) = sim.hierarchy.l1_range.as_mut() {
             l1r.insert(rt);
-            sim.sinks.emit(
-                extra,
-                TranslationEvent::FixedOps {
-                    unit: FixedUnit::L1Range,
-                    lookups: 0,
-                    fills: 1,
-                },
-            );
+            sim.sinks.deltas.fixed_fill(FixedUnit::L1Range);
         }
     }
 }
@@ -51,52 +47,22 @@ pub(crate) fn after_l2_hit<E: Observer>(
 /// the L1 page structure. The walk fetched a full PTE cache line, so a
 /// coalesced L1 may inspect the neighbouring PTEs.
 #[inline]
-pub(crate) fn after_walk<E: Observer>(
-    sim: &mut Simulator,
-    ctx: &StepCtx,
-    translation: PageTranslation,
-    extra: &mut E,
-) {
+pub(crate) fn after_walk(sim: &mut Simulator, ctx: &StepCtx, translation: PageTranslation) {
     sim.hierarchy.l2_page.insert(translation);
-    sim.sinks.emit(
-        extra,
-        TranslationEvent::FixedOps {
-            unit: FixedUnit::L2Page,
-            lookups: 0,
-            fills: 1,
-        },
-    );
-    fill_l1_page(sim, ctx, translation, true, extra);
+    sim.sinks.deltas.fixed_fill(FixedUnit::L2Page);
+    fill_l1_page(sim, ctx, translation, true);
 }
 
 /// Installs a range found by the background range-table walk into both
 /// range TLBs.
-pub(crate) fn after_range_walk<E: Observer>(
-    sim: &mut Simulator,
-    rt: RangeTranslation,
-    extra: &mut E,
-) {
+pub(crate) fn after_range_walk(sim: &mut Simulator, rt: RangeTranslation) {
     if let Some(t) = sim.hierarchy.l2_range.as_mut() {
         t.insert(rt);
-        sim.sinks.emit(
-            extra,
-            TranslationEvent::FixedOps {
-                unit: FixedUnit::L2Range,
-                lookups: 0,
-                fills: 1,
-            },
-        );
+        sim.sinks.deltas.fixed_fill(FixedUnit::L2Range);
     }
     if let Some(t) = sim.hierarchy.l1_range.as_mut() {
         t.insert(rt);
-        sim.sinks.emit(
-            extra,
-            TranslationEvent::FixedOps {
-                unit: FixedUnit::L1Range,
-                lookups: 0,
-                fills: 1,
-            },
-        );
+        sim.sinks.deltas.fixed_fill(FixedUnit::L1Range);
     }
 }
 
@@ -106,70 +72,37 @@ pub(crate) fn after_range_walk<E: Observer>(
 /// in hand (a page walk), letting a coalesced L1 widen the fill to the
 /// whole contiguous run around it.
 #[inline]
-fn fill_l1_page<E: Observer>(
-    sim: &mut Simulator,
-    ctx: &StepCtx,
-    translation: PageTranslation,
-    coalesce: bool,
-    extra: &mut E,
-) {
+fn fill_l1_page(sim: &mut Simulator, ctx: &StepCtx, translation: PageTranslation, coalesce: bool) {
     if let Some(t) = sim.hierarchy.l1_fa.as_mut() {
         t.insert(translation);
-        sim.sinks.emit(
-            extra,
-            TranslationEvent::Fill {
-                unit: ResizableUnit::L1FullyAssoc,
-            },
-        );
+        sim.sinks.deltas.fill(ResizableUnit::L1FullyAssoc);
         return;
     }
     match translation.size() {
         PageSize::Size4K => {
             if ctx.has_colt {
-                fill_colt(sim, translation, coalesce, extra);
+                fill_colt(sim, translation, coalesce);
             }
             if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
                 t.insert(translation);
-                sim.sinks.emit(
-                    extra,
-                    TranslationEvent::Fill {
-                        unit: ResizableUnit::L1FourK,
-                    },
-                );
+                sim.sinks.deltas.fill(ResizableUnit::L1FourK);
             }
         }
         PageSize::Size2M => {
             if ctx.unified {
                 if let Some(t) = sim.hierarchy.l1_4k.as_mut() {
                     t.insert(translation);
-                    sim.sinks.emit(
-                        extra,
-                        TranslationEvent::Fill {
-                            unit: ResizableUnit::L1FourK,
-                        },
-                    );
+                    sim.sinks.deltas.fill(ResizableUnit::L1FourK);
                 }
             } else if let Some(t) = sim.hierarchy.l1_2m.as_mut() {
                 t.insert(translation);
-                sim.sinks.emit(
-                    extra,
-                    TranslationEvent::Fill {
-                        unit: ResizableUnit::L1TwoM,
-                    },
-                );
+                sim.sinks.deltas.fill(ResizableUnit::L1TwoM);
             }
         }
         PageSize::Size1G => {
             if let Some(t) = sim.hierarchy.l1_1g.as_mut() {
                 t.insert(translation);
-                sim.sinks.emit(
-                    extra,
-                    TranslationEvent::FixedOps {
-                        unit: FixedUnit::L1OneG,
-                        lookups: 0,
-                        fills: 1,
-                    },
-                );
+                sim.sinks.deltas.fixed_fill(FixedUnit::L1OneG);
             }
         }
     }
@@ -182,12 +115,7 @@ fn fill_l1_page<E: Observer>(
 /// same contiguous run joins the entry's presence mask — the CoLT fill
 /// path. Without it only the translated page's bit is set (the entry still
 /// merges with an existing run for its group).
-fn fill_colt<E: Observer>(
-    sim: &mut Simulator,
-    translation: PageTranslation,
-    coalesce: bool,
-    extra: &mut E,
-) {
+fn fill_colt(sim: &mut Simulator, translation: PageTranslation, coalesce: bool) {
     debug_assert_eq!(translation.size(), PageSize::Size4K);
     let vpn = translation.vpn();
     let group_vpn = Vpn::new(vpn.raw() & !(COLT_GROUP as u64 - 1));
@@ -219,14 +147,7 @@ fn fill_colt<E: Observer>(
         .as_mut()
         .expect("guarded by ctx.has_colt");
     colt.insert_group(group_vpn, Pfn::new(base_pfn), mask);
-    sim.sinks.emit(
-        extra,
-        TranslationEvent::FixedOps {
-            unit: FixedUnit::L1Colt,
-            lookups: 0,
-            fills: 1,
-        },
-    );
+    sim.sinks.deltas.fixed_fill(FixedUnit::L1Colt);
 }
 
 /// Derives the page-table entry covering `va` from a range translation.

@@ -63,7 +63,7 @@ pub(crate) fn range_walk_background<E: Observer>(
         TranslationEvent::RangeTableWalk { memory_refs: refs },
     );
     if let Some(rt) = range {
-        super::refill::after_range_walk(sim, rt, extra);
+        super::refill::after_range_walk(sim, rt);
     }
 }
 

@@ -12,6 +12,15 @@
 //! run for the headline accesses/sec number and a profiled run only for the
 //! relative per-stage breakdown (this is what the `throughput` bench bin
 //! does).
+//!
+//! The clock reads themselves are not free: an empty enter/exit pair costs
+//! tens of nanoseconds, which swamps stages whose real work is a couple of
+//! instructions (the delta-settled epoch checks). [`WallProfiler`]
+//! therefore calibrates the minimum cost of an empty bracket at
+//! construction, counts brackets per stage, and subtracts
+//! `brackets x pair_cost` from each stage's total when finishing — so a
+//! stage that does nearly nothing reports nearly nothing instead of pure
+//! profiler self-time.
 
 use std::time::{Duration, Instant};
 
@@ -73,6 +82,7 @@ impl StageProfiler for () {}
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageProfile {
     seconds: [f64; 5],
+    overhead_seconds: f64,
 }
 
 impl StageProfile {
@@ -86,6 +96,15 @@ impl StageProfile {
     pub fn total_seconds(&self) -> f64 {
         self.seconds.iter().sum()
     }
+
+    /// Estimated profiler self-time subtracted from the stage totals
+    /// (`brackets x calibrated empty-pair cost`). Consumers comparing the
+    /// stage totals against the profiled run's wall clock should subtract
+    /// this from the wall too — it is time the profiler added, not time the
+    /// pipeline spent.
+    pub fn overhead_seconds(&self) -> f64 {
+        self.overhead_seconds
+    }
 }
 
 /// Accumulates wall time per stage. Stages never nest in the pipeline, so a
@@ -93,19 +112,48 @@ impl StageProfile {
 pub(crate) struct WallProfiler {
     entered: Instant,
     totals: [Duration; 5],
+    brackets: [u64; 5],
+    /// Minimum observed cost of an empty `Instant::now()`/`elapsed()` pair,
+    /// calibrated at construction and subtracted per bracket on `finish`.
+    pair_cost: Duration,
 }
 
 impl WallProfiler {
     pub(crate) fn new() -> Self {
+        // Calibrate with the exact clock pattern `enter`/`exit` uses. The
+        // *minimum* over many empty pairs is the intrinsic clock latency;
+        // using the mean would over-subtract whenever calibration catches
+        // scheduler noise that real brackets did not pay.
+        let mut pair_cost = Duration::MAX;
+        for _ in 0..4096 {
+            let t = Instant::now();
+            let d = t.elapsed();
+            if d < pair_cost {
+                pair_cost = d;
+            }
+        }
         Self {
             entered: Instant::now(),
             totals: [Duration::ZERO; 5],
+            brackets: [0; 5],
+            pair_cost,
         }
     }
 
     pub(crate) fn finish(self) -> StageProfile {
+        let mut seconds = [0.0; 5];
+        let mut overhead_seconds = 0.0;
+        for (i, total) in self.totals.iter().enumerate() {
+            let overhead = self.pair_cost.as_secs_f64() * self.brackets[i] as f64;
+            // Clamp at zero: what a near-empty stage measured *was* clock
+            // latency, so everything subtracted was genuinely overhead.
+            let kept = (total.as_secs_f64() - overhead).max(0.0);
+            overhead_seconds += total.as_secs_f64() - kept;
+            seconds[i] = kept;
+        }
         StageProfile {
-            seconds: self.totals.map(|d| d.as_secs_f64()),
+            seconds,
+            overhead_seconds,
         }
     }
 }
@@ -119,6 +167,7 @@ impl StageProfiler for WallProfiler {
     #[inline]
     fn exit(&mut self, stage: Stage) {
         self.totals[stage as usize] += self.entered.elapsed();
+        self.brackets[stage as usize] += 1;
     }
 }
 

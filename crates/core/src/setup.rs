@@ -184,6 +184,7 @@ pub(crate) fn assemble_with_source(
             hierarchy.l1_1g().map(|t| t.active_entries()),
         ),
         cycles: CycleObserver::new(CycleModel::sandy_bridge()),
+        deltas: Default::default(),
     };
 
     Simulator {

@@ -228,7 +228,7 @@ impl Simulator {
     /// slots, range usage) — all fixed after construction. The probe/refill
     /// flags come from the organization's [`crate::org::ProbePlan`]; the
     /// monitor slots from the hierarchy's dense order.
-    fn step_ctx(&self) -> StepCtx {
+    pub(crate) fn step_ctx(&self) -> StepCtx {
         let plan = crate::org::ProbePlan::from_config(&self.config);
         StepCtx {
             unified: plan.mixed_l1,
@@ -270,6 +270,10 @@ impl Simulator {
                 self.block_pos += 1;
                 pipeline::step(self, &ctx, access, extra, profiler);
             }
+            // Per-block settle of the hot-path delta counters, so external
+            // observers (and multi-core quantum boundaries, which run one
+            // `run_inner` per quantum) never see stale totals.
+            self.sinks.flush_deltas(extra);
         }
     }
 
@@ -310,6 +314,9 @@ impl Simulator {
                 self.source.next_access()
             };
             pipeline::step(self, &ctx, access, &mut (), &mut ());
+            // Flushing after every step makes this the genuine per-access
+            // reference for the delta-settle equivalence tests.
+            self.sinks.flush_deltas(&mut ());
         }
         self.result_with(&mut ())
     }
@@ -437,6 +444,7 @@ impl Simulator {
     /// Assembles the cumulative result: settles pending resizable-L1 energy
     /// at the current sizes and snapshots every sink.
     pub(crate) fn result_with<E: Observer>(&mut self, extra: &mut E) -> RunResult {
+        self.sinks.flush_deltas(extra);
         let settle = epoch::settle_event(&self.hierarchy);
         self.sinks.emit(extra, settle);
         RunResult {

@@ -208,18 +208,22 @@ impl Observer for StatsObserver {
                 s.instructions += u64::from(instruction_gap);
                 s.accesses += 1;
             }
-            TranslationEvent::Probe { unit, active } => {
+            TranslationEvent::Probe {
+                unit,
+                active,
+                count,
+            } => {
                 let log = active.ilog2() as usize;
                 match unit {
-                    ResizableUnit::L1FourK => s.l1_4k_lookups_by_ways[log] += 1,
-                    ResizableUnit::L1TwoM => s.l1_2m_lookups_by_ways[log] += 1,
-                    ResizableUnit::L1FullyAssoc => s.l1_fa_lookups_by_entries[log] += 1,
+                    ResizableUnit::L1FourK => s.l1_4k_lookups_by_ways[log] += count,
+                    ResizableUnit::L1TwoM => s.l1_2m_lookups_by_ways[log] += count,
+                    ResizableUnit::L1FullyAssoc => s.l1_fa_lookups_by_entries[log] += count,
                 }
             }
             // A second probe re-reads the same structure at the same size;
             // it is an extra energy event, not a second way-residency
             // sample, so the ways histogram is not credited.
-            TranslationEvent::SecondProbe { .. } => s.predictor_second_probes += 1,
+            TranslationEvent::SecondProbe { count, .. } => s.predictor_second_probes += count,
             TranslationEvent::L1Hit { column } => match column {
                 HitColumn::FourK => s.l1_hits_4k += 1,
                 HitColumn::TwoM => s.l1_hits_2m += 1,

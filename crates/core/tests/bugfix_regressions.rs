@@ -5,6 +5,7 @@
 //! the LRU-rank bounds assert, and fixed-grid context-switch scheduling.
 
 use eeat_core::{Config, LiteParams, Simulator, ThresholdEpsilon, WayMonitor};
+use eeat_types::events::{Observer, TranslationEvent};
 use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
 
 /// A workload whose traffic is mostly 2 MiB pages (one THP-eligible hot
@@ -129,5 +130,72 @@ fn context_switch_flushes_stay_on_the_fixed_grid() {
     assert!(
         got.abs_diff(expected) <= 1,
         "flushes must track the grid: got {got}, expected ~{expected}"
+    );
+}
+
+/// One access can jump the clock over *several* flush deadlines (sparse
+/// traffic, small interval). The catch-up loop in
+/// `epoch::context_switch_if_due` must then perform exactly one flush and
+/// re-anchor `next_flush_at` to the first grid point past the clock —
+/// flushing an already-empty hierarchy once per missed grid point would be
+/// busywork, and stopping one grid point short would double-flush the next
+/// access. This pins the exact flush count against an arithmetic replay of
+/// the captured access stream.
+#[test]
+fn multi_interval_skips_collapse_to_one_flush_each() {
+    // Mean access gap ~100 instructions against a 40-instruction interval:
+    // most accesses land two or more grid points past their deadline.
+    const INTERVAL: u64 = 40;
+    const INSTRUCTIONS: u64 = 100_000;
+    const SEED: u64 = 5;
+
+    /// Captures every access's instruction gap from a twin run. The trace
+    /// is independent of simulator state, so the twin (no flush interval)
+    /// sees the identical stream the flushing run consumes.
+    struct Gaps(Vec<u64>);
+    impl Observer for Gaps {
+        fn on_event(&mut self, event: &TranslationEvent) {
+            if let TranslationEvent::Access { instruction_gap } = *event {
+                self.0.push(u64::from(instruction_gap));
+            }
+        }
+    }
+
+    let spec = thp_heavy_spec(10);
+    let mut twin = Simulator::from_spec(Config::thp(), &spec, SEED);
+    let mut gaps = Gaps(Vec::new());
+    twin.run_with_observer(INSTRUCTIONS, &mut gaps);
+
+    let mut sim = Simulator::from_spec(Config::thp(), &spec, SEED);
+    sim.set_flush_interval(Some(INTERVAL));
+    sim.run(INSTRUCTIONS);
+
+    // Replay the fixed-grid arithmetic over the captured gaps.
+    let mut clock = 0u64;
+    let mut next = INTERVAL;
+    let mut expected = 0u64;
+    let mut multi_skips = 0u64;
+    for &gap in &gaps.0 {
+        clock += gap;
+        if clock >= next {
+            expected += 1;
+            if clock >= next + INTERVAL {
+                multi_skips += 1;
+            }
+            next += INTERVAL;
+            while next <= clock {
+                next += INTERVAL;
+            }
+        }
+    }
+    assert!(
+        multi_skips > expected / 2,
+        "the scenario must actually skip >=2 intervals per flush on most \
+         accesses: {multi_skips} multi-skips of {expected} flushes"
+    );
+    assert_eq!(
+        sim.flushes(),
+        expected,
+        "flush count must equal the grid replay exactly"
     );
 }

@@ -107,6 +107,7 @@ fn pending_energy_settles_at_outgoing_sizes_across_resize() {
     let probe = TranslationEvent::Probe {
         unit: ResizableUnit::L1FourK,
         active: 4,
+        count: 1,
     };
     for _ in 0..10 {
         obs.on_event(&probe);
@@ -123,6 +124,7 @@ fn pending_energy_settles_at_outgoing_sizes_across_resize() {
     let probe2 = TranslationEvent::Probe {
         unit: ResizableUnit::L1FourK,
         active: 2,
+        count: 1,
     };
     for _ in 0..7 {
         obs.on_event(&probe2);
@@ -130,6 +132,7 @@ fn pending_energy_settles_at_outgoing_sizes_across_resize() {
     for _ in 0..3 {
         obs.on_event(&TranslationEvent::Fill {
             unit: ResizableUnit::L1FourK,
+            count: 1,
         });
     }
     obs.on_event(&TranslationEvent::EpochSettle {

@@ -180,11 +180,12 @@ impl Observer for EnergyObserver {
     #[inline(always)]
     fn on_event(&mut self, event: &TranslationEvent) {
         match *event {
-            TranslationEvent::Probe { unit, .. } | TranslationEvent::SecondProbe { unit } => {
-                self.pending[resizable_index(unit)].lookups += 1;
+            TranslationEvent::Probe { unit, count, .. }
+            | TranslationEvent::SecondProbe { unit, count } => {
+                self.pending[resizable_index(unit)].lookups += count;
             }
-            TranslationEvent::Fill { unit } => {
-                self.pending[resizable_index(unit)].fills += 1;
+            TranslationEvent::Fill { unit, count } => {
+                self.pending[resizable_index(unit)].fills += count;
             }
             TranslationEvent::FixedOps {
                 unit,
@@ -258,10 +259,12 @@ mod tests {
             obs.on_event(&TranslationEvent::Probe {
                 unit: ResizableUnit::L1FourK,
                 active: 4,
+                count: 1,
             });
         }
         obs.on_event(&TranslationEvent::Fill {
             unit: ResizableUnit::L1FourK,
+            count: 1,
         });
         // Nothing charged until the settle event.
         assert_eq!(obs.snapshot().pj(Structure::L1Page4K), 0.0);
@@ -329,9 +332,11 @@ mod tests {
         obs.on_event(&TranslationEvent::Probe {
             unit: ResizableUnit::L1FourK,
             active: 4,
+            count: 1,
         });
         obs.on_event(&TranslationEvent::SecondProbe {
             unit: ResizableUnit::L1FourK,
+            count: 1,
         });
         obs.on_event(&TranslationEvent::EpochSettle {
             l1_4k_ways: Some(4),

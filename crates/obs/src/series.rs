@@ -402,7 +402,7 @@ impl Observer for EpochSeries {
                 self.instructions += u64::from(instruction_gap);
                 self.cum.accesses += 1;
             }
-            TranslationEvent::Probe { unit, active } => {
+            TranslationEvent::Probe { unit, active, .. } => {
                 self.active[unit_index(unit)] = Some(active);
             }
             TranslationEvent::L1Hit { column } => match column {

@@ -162,18 +162,32 @@ fn event_json(event: &TranslationEvent) -> (&'static str, Vec<(&'static str, Jso
             vec![("instruction_gap", n(f64::from(instruction_gap)))],
         ),
         E::ContextSwitch => ("ContextSwitch", vec![]),
-        E::Probe { unit, active } => (
+        E::Probe {
+            unit,
+            active,
+            count,
+        } => (
             "Probe",
             vec![
                 ("unit", json::str(format!("{unit:?}"))),
                 ("active", n(f64::from(active))),
+                ("count", n(count as f64)),
             ],
         ),
-        E::SecondProbe { unit } => (
+        E::SecondProbe { unit, count } => (
             "SecondProbe",
-            vec![("unit", json::str(format!("{unit:?}")))],
+            vec![
+                ("unit", json::str(format!("{unit:?}"))),
+                ("count", n(count as f64)),
+            ],
         ),
-        E::Fill { unit } => ("Fill", vec![("unit", json::str(format!("{unit:?}")))]),
+        E::Fill { unit, count } => (
+            "Fill",
+            vec![
+                ("unit", json::str(format!("{unit:?}"))),
+                ("count", n(count as f64)),
+            ],
+        ),
         E::FixedOps {
             unit,
             lookups,

@@ -683,11 +683,27 @@ fn sa_probe_sweep(
             || format!("contents diverged at 4K vpn {vpn}"),
         )?;
     }
-    for region in regions_2m {
+    for region in regions_2m.clone() {
         let va = VirtAddr::new(region * MB2);
         check(
             prod.probe(va, PageSize::Size2M) == oracle.probe(va, PageSize::Size2M),
             || format!("contents diverged at 2M region {region}"),
+        )?;
+    }
+    // Page-size disjointness, checked in every build: the generators keep
+    // the 4 KiB and 2 MiB insert universes address-disjoint, so no VA may
+    // ever be covered by entries of both size classes — a double hit means
+    // a lookup matched a tag of the wrong size class (the invariant the L1
+    // probe stage's all-build asserts rely on).
+    for va in (0..vpns_4k)
+        .map(|vpn| vpn * KB4)
+        .chain(regions_2m.map(|region| region * MB2))
+    {
+        let va = VirtAddr::new(va);
+        check(
+            prod.probe(va, PageSize::Size4K).is_none()
+                || prod.probe(va, PageSize::Size2M).is_none(),
+            || format!("size classes overlap at va {:#x}", va.raw()),
         )?;
     }
     Ok(())

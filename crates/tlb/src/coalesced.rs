@@ -30,7 +30,8 @@ const INVALID_TAG: u64 = u64::MAX;
 /// Storage follows the workspace's structure-of-arrays idiom
 /// ([`SetAssocTlb`](crate::SetAssocTlb)): a `u64` tag lane scanned on every
 /// probe, a `u8` recency lane holding each set's true-LRU permutation, and
-/// payload lanes (base PFN, presence mask) read only after a tag match.
+/// payload lanes (wrapping base-PFN delta, presence mask) read only after a
+/// tag match.
 ///
 /// # Examples
 ///
@@ -51,8 +52,11 @@ pub struct CoalescedTlb {
     tags: Vec<u64>,
     /// `recency[i]` is the LRU rank of slot `i` within its set (0 = MRU).
     recency: Vec<u8>,
-    /// Payload lane: base PFN of the group's contiguous run.
-    base_pfns: Vec<u64>,
+    /// Payload lane: wrapping `base_pfn - group_vpn` delta of the group's
+    /// contiguous run (a hit reconstructs the page's PFN as
+    /// `vpn.wrapping_add(delta)` — the run is PFN-contiguous, so one delta
+    /// serves every covered page).
+    pfn_deltas: Vec<u64>,
     /// Payload lane: presence mask, bit `i` covers page `group_vpn + i`.
     masks: Vec<u8>,
     /// ASID lane: the owning address-space tag of each slot, with the
@@ -62,6 +66,9 @@ pub struct CoalescedTlb {
     ways: usize,
     /// The ASID lookups and inserts currently run under.
     current_asid: u16,
+    /// Total valid entries, kept incrementally so the empty-structure
+    /// early-out and [`occupancy`](Self::occupancy) are O(1).
+    valid: u32,
     stats: TlbStats,
 }
 
@@ -91,12 +98,13 @@ impl CoalescedTlb {
             name,
             tags: vec![INVALID_TAG; entries],
             recency: (0..entries).map(|i| (i % ways) as u8).collect(),
-            base_pfns: vec![0; entries],
+            pfn_deltas: vec![0; entries],
             masks: vec![0; entries],
             asids: vec![0; entries],
             sets,
             ways,
             current_asid: 0,
+            valid: 0,
             stats: TlbStats::new(),
         }
     }
@@ -163,6 +171,11 @@ impl CoalescedTlb {
     /// pre-promotion LRU recency, as with the plain set-associative TLB.
     #[inline]
     pub fn lookup(&mut self, va: VirtAddr) -> Option<Hit> {
+        // Skip mask: an empty structure is a guaranteed miss.
+        if self.valid == 0 {
+            self.stats.record_miss();
+            return None;
+        }
         let vpn = va.vpn();
         let group = Self::group_base(vpn);
         let offset = (vpn.raw() - group) as u32;
@@ -178,7 +191,7 @@ impl CoalescedTlb {
                 return Some(Hit {
                     translation: PageTranslation::new(
                         vpn,
-                        Pfn::new(self.base_pfns[slot] + u64::from(offset)),
+                        Pfn::new(vpn.raw().wrapping_add(self.pfn_deltas[slot])),
                         PageSize::Size4K,
                     ),
                     rank,
@@ -192,6 +205,9 @@ impl CoalescedTlb {
     /// Probes for a covering entry without affecting LRU state or counters.
     #[inline]
     pub fn probe(&self, va: VirtAddr) -> Option<PageTranslation> {
+        if self.valid == 0 {
+            return None;
+        }
         let vpn = va.vpn();
         let group = Self::group_base(vpn);
         let offset = (vpn.raw() - group) as u32;
@@ -206,7 +222,7 @@ impl CoalescedTlb {
             .map(|slot| {
                 PageTranslation::new(
                     vpn,
-                    Pfn::new(self.base_pfns[slot] + u64::from(offset)),
+                    Pfn::new(vpn.raw().wrapping_add(self.pfn_deltas[slot])),
                     PageSize::Size4K,
                 )
             })
@@ -273,14 +289,16 @@ impl CoalescedTlb {
                 .expect("one slot always holds the LRU rank")
         });
 
-        if self.tags[slot] == group
-            && self.base_pfns[slot] == base_pfn.raw()
-            && self.asids[slot] == lane
-        {
+        // Equal deltas under an equal group tag means an equal base PFN.
+        let delta = base_pfn.raw().wrapping_sub(group);
+        if self.tags[slot] == INVALID_TAG {
+            self.valid += 1;
+        }
+        if self.tags[slot] == group && self.pfn_deltas[slot] == delta && self.asids[slot] == lane {
             self.masks[slot] |= mask;
         } else {
             self.tags[slot] = group;
-            self.base_pfns[slot] = base_pfn.raw();
+            self.pfn_deltas[slot] = delta;
             self.masks[slot] = mask;
             self.asids[slot] = lane;
         }
@@ -292,6 +310,11 @@ impl CoalescedTlb {
     /// Empties `slot` and demotes it to its set's LRU end, keeping the
     /// ranks a permutation.
     fn clear_slot(&mut self, base: usize, slot: usize) {
+        debug_assert!(
+            self.tags[slot] != INVALID_TAG,
+            "clear_slot expects a valid entry"
+        );
+        self.valid -= 1;
         self.tags[slot] = INVALID_TAG;
         self.masks[slot] = 0;
         let rank = self.recency[slot];
@@ -419,19 +442,20 @@ impl CoalescedTlb {
 
     /// Invalidates every entry.
     pub fn flush(&mut self) {
-        let valid = self.tags.iter().filter(|&&t| t != INVALID_TAG).count() as u64;
-        self.stats.record_invalidations(valid);
+        self.stats.record_invalidations(u64::from(self.valid));
         for (i, tag) in self.tags.iter_mut().enumerate() {
             *tag = INVALID_TAG;
             self.recency[i] = (i % self.ways) as u8;
         }
         self.masks.fill(0);
         self.asids.fill(0);
+        self.valid = 0;
     }
 
-    /// Number of valid entries currently held.
+    /// Number of valid entries currently held (O(1): maintained
+    /// incrementally).
     pub fn occupancy(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+        self.valid as usize
     }
 
     /// Total 4 KiB pages covered by the resident entries (the reach the
@@ -451,6 +475,11 @@ impl CoalescedTlb {
     /// differently for one lookup), a valid entry has an empty mask, an
     /// invalid slot a non-empty one, or a tag indexes into the wrong set.
     pub fn assert_invariants(&self) {
+        assert_eq!(
+            self.valid,
+            self.tags.iter().filter(|&&t| t != INVALID_TAG).count() as u32,
+            "valid count diverged from the tag lane"
+        );
         for set in 0..self.sets {
             let base = set * self.ways;
             let mut seen = vec![false; self.ways];

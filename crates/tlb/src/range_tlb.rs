@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use eeat_types::{RangeTranslation, VirtAddr, VirtRange};
+use eeat_types::{PhysAddr, RangeTranslation, VirtAddr, VirtRange};
 
 use crate::set_assoc::{asid_overlaps, asid_visible, ASID_GLOBAL, ASID_MASK, MAX_WAYS};
 use crate::stats::TlbStats;
@@ -53,12 +53,16 @@ pub struct RangeTlb {
     /// ASID lane: the owning address-space tag of each slot, with the
     /// [`ASID_GLOBAL`] bit for entries visible to every ASID.
     asids: Vec<u16>,
-    /// Valid entries as `(base, end, slot)` sorted by `(base, slot)` — the
-    /// lane the lookup scans. Rebuilt by [`rebuild_scan`](Self::rebuild_scan)
-    /// after any content mutation. Bases are unique per ASID (the range
-    /// table keeps ranges disjoint), but distinct ASIDs may cache the same
-    /// virtual range, so the lookup filters by ASID visibility as it walks.
-    scan: Vec<(u64, u64, u8)>,
+    /// Valid entries as `(base, end, delta, slot)` sorted by `(base, slot)`
+    /// — the lane the lookup scans, where `delta` is the wrapping
+    /// `phys_base - virt_base` offset. A hit reconstructs the full
+    /// translation from the scan tuple alone (one wrapping add), never
+    /// touching the slot array. Rebuilt by
+    /// [`rebuild_scan`](Self::rebuild_scan) after any content mutation.
+    /// Bases are unique per ASID (the range table keeps ranges disjoint),
+    /// but distinct ASIDs may cache the same virtual range, so the lookup
+    /// filters by ASID visibility as it walks.
+    scan: Vec<(u64, u64, u64, u8)>,
     /// The ASID lookups and inserts currently run under.
     current_asid: u16,
     stats: TlbStats,
@@ -129,17 +133,21 @@ impl RangeTlb {
         let raw = va.raw();
         let cur = self.current_asid;
         for i in 0..self.scan.len() {
-            let (base, end, slot) = self.scan[i];
+            let (base, end, delta, slot) = self.scan[i];
             if base > raw {
                 break; // sorted by base: no later entry can contain va
             }
             if raw < end && asid_visible(self.asids[slot as usize], cur) {
                 let slot = slot as usize;
-                let rt = self.entries[slot].expect("scan lane points at valid slots");
                 let rank = self.recency[slot];
                 self.touch(slot, rank);
                 self.stats.record_hit();
-                return Some(rt);
+                // Reconstructed from the scan tuple: exact, since the
+                // wrapping delta round-trips the physical base.
+                return Some(RangeTranslation::new(
+                    VirtRange::new(VirtAddr::new(base), end - base),
+                    PhysAddr::new(base.wrapping_add(delta)),
+                ));
             }
         }
         self.stats.record_miss();
@@ -154,9 +162,14 @@ impl RangeTlb {
         let cur = self.current_asid;
         self.scan
             .iter()
-            .take_while(|&&(base, _, _)| base <= raw)
-            .find(|&&(_, end, slot)| raw < end && asid_visible(self.asids[slot as usize], cur))
-            .map(|&(_, _, slot)| self.entries[slot as usize].expect("valid slot"))
+            .take_while(|&&(base, _, _, _)| base <= raw)
+            .find(|&&(_, end, _, slot)| raw < end && asid_visible(self.asids[slot as usize], cur))
+            .map(|&(base, end, delta, _)| {
+                RangeTranslation::new(
+                    VirtRange::new(VirtAddr::new(base), end - base),
+                    PhysAddr::new(base.wrapping_add(delta)),
+                )
+            })
     }
 
     /// Rebuilds the sorted scan lane from the slot array. Called on the cold
@@ -167,12 +180,17 @@ impl RangeTlb {
         self.scan.clear();
         for (slot, entry) in self.entries.iter().enumerate() {
             if let Some(rt) = entry {
-                self.scan
-                    .push((rt.virt().start().raw(), rt.virt().end().raw(), slot as u8));
+                let base = rt.virt().start().raw();
+                self.scan.push((
+                    base,
+                    rt.virt().end().raw(),
+                    rt.phys_base().raw().wrapping_sub(base),
+                    slot as u8,
+                ));
             }
         }
         self.scan
-            .sort_unstable_by_key(|&(base, _, slot)| (base, slot));
+            .sort_unstable_by_key(|&(base, _, _, slot)| (base, slot));
     }
 
     /// Inserts `translation` under the current ASID, evicting the LRU entry
@@ -347,12 +365,17 @@ impl RangeTlb {
             self.occupancy(),
             "scan lane covers every valid slot"
         );
-        for (i, &(base, end, slot)) in self.scan.iter().enumerate() {
+        for (i, &(base, end, delta, slot)) in self.scan.iter().enumerate() {
             let rt = self.entries[slot as usize].expect("scan lane points at a valid slot");
             assert_eq!(base, rt.virt().start().raw(), "stale scan base");
             assert_eq!(end, rt.virt().end().raw(), "stale scan end");
+            assert_eq!(
+                base.wrapping_add(delta),
+                rt.phys_base().raw(),
+                "stale scan delta"
+            );
             if i > 0 {
-                let (pb, _, ps) = self.scan[i - 1];
+                let (pb, _, _, ps) = self.scan[i - 1];
                 assert!(
                     (pb, ps) < (base, slot),
                     "scan lane not sorted by (base, slot)"

@@ -64,18 +64,24 @@ pub(crate) fn page_overlaps(base: u64, bytes: u64, range: VirtRange) -> bool {
     !range.is_empty() && base < range.end().raw() && page_last >= range.start().raw()
 }
 
+/// The 2-bit size-class code fused into tags — also the index into the
+/// per-size occupancy skip counts.
+#[inline]
+fn size_code(size: PageSize) -> usize {
+    match size {
+        PageSize::Size4K => 0,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    }
+}
+
 /// Packs a size-aligned VPN and its page size into one comparable word:
 /// `(vpn << 2) | size_code`. x86-64 VPNs fit 45 bits (57-bit VA space), so
 /// the shift cannot overflow.
 #[inline]
 fn encode_tag(vpn: Vpn, size: PageSize) -> u64 {
-    let code = match size {
-        PageSize::Size4K => 0u64,
-        PageSize::Size2M => 1,
-        PageSize::Size1G => 2,
-    };
     debug_assert!(vpn.raw() < (1 << 62), "vpn too large to tag-encode");
-    (vpn.raw() << 2) | code
+    (vpn.raw() << 2) | size_code(size) as u64
 }
 
 /// The tag a lookup of `va` at `size` compares against.
@@ -93,6 +99,57 @@ fn tag_size(tag: u64) -> PageSize {
         2 => PageSize::Size1G,
         _ => unreachable!("invalid slots are filtered before decoding"),
     }
+}
+
+/// Bitmask of lanes in `tags` equal to `tag` (bit `i` set ⇔ `tags[i] ==
+/// tag`).
+///
+/// The scan runs over fixed-width 8-lane chunks so LLVM autovectorizes the
+/// compares; `tags.len()` is bounded by [`MAX_WAYS`], so the mask fits a
+/// `u128`.
+#[inline]
+fn match_mask(tags: &[u64], tag: u64) -> u128 {
+    debug_assert!(tags.len() <= MAX_WAYS);
+    let mut mask = 0u128;
+    let mut lane = 0u32;
+    let mut chunks = tags.chunks_exact(8);
+    for chunk in &mut chunks {
+        let c: [u64; 8] = chunk.try_into().expect("exact 8-lane chunk");
+        let mut m = 0u32;
+        for (i, &t) in c.iter().enumerate() {
+            m |= u32::from(t == tag) << i;
+        }
+        mask |= u128::from(m) << lane;
+        lane += 8;
+    }
+    for (i, &t) in chunks.remainder().iter().enumerate() {
+        mask |= u128::from(t == tag) << (lane + i as u32);
+    }
+    mask
+}
+
+/// Like [`match_mask`] against any of three candidate tags in one pass
+/// (the size-agnostic fully associative lookup).
+#[inline]
+fn match_mask3(tags: &[u64], candidates: [u64; 3]) -> u128 {
+    debug_assert!(tags.len() <= MAX_WAYS);
+    let [c0, c1, c2] = candidates;
+    let mut mask = 0u128;
+    let mut lane = 0u32;
+    let mut chunks = tags.chunks_exact(8);
+    for chunk in &mut chunks {
+        let c: [u64; 8] = chunk.try_into().expect("exact 8-lane chunk");
+        let mut m = 0u32;
+        for (i, &t) in c.iter().enumerate() {
+            m |= u32::from(t == c0 || t == c1 || t == c2) << i;
+        }
+        mask |= u128::from(m) << lane;
+        lane += 8;
+    }
+    for (i, &t) in chunks.remainder().iter().enumerate() {
+        mask |= u128::from(t == c0 || t == c1 || t == c2) << (lane + i as u32);
+    }
+    mask
 }
 
 /// A set-associative page TLB with per-set true-LRU replacement and
@@ -113,10 +170,18 @@ fn tag_size(tag: u64) -> PageSize {
 /// The slots are held structure-of-arrays: a packed `u64` tag lane (the
 /// size-aligned VPN fused with a 2-bit size code — one comparison replaces
 /// the `size() == size && covers(va)` pair), a `u8` recency lane, and a
-/// payload lane holding the PFNs. A probe therefore scans a contiguous run
-/// of at most `active_ways` tag words and touches the payload only on a
-/// hit, which is what makes the simulator's hot loop memory-bound on the
-/// trace, not on the TLB model.
+/// payload lane holding wrapping `pfn - vpn` deltas (a hit reconstructs
+/// the PFN with one wrapping add from the tag it already matched). A probe
+/// therefore scans a contiguous run of at most `active_ways` tag words and
+/// touches the payload only on a hit, which is what makes the simulator's
+/// hot loop memory-bound on the trace, not on the TLB model.
+///
+/// The structure additionally keeps per-size-class occupancy counts (the
+/// page-size *skip masks*): a lookup for a size class the structure holds
+/// zero entries of is a guaranteed miss and skips the tag scan entirely.
+/// Energy accounting is unaffected — the pipeline layer charges the
+/// paper's parallel-probe energy per structure regardless of whether the
+/// model shortcut the scan.
 ///
 /// # Examples
 ///
@@ -143,8 +208,10 @@ pub struct SetAssocTlb {
     /// set: 0 = MRU … `active_ways - 1` = LRU. Values of inactive ways are
     /// meaningless.
     recency: Vec<u8>,
-    /// Payload lane: raw PFN per slot, read only after a tag match.
-    pfns: Vec<u64>,
+    /// Payload lane: wrapping `pfn - vpn` delta per slot, read only after a
+    /// tag match (the PFN is `(tag >> 2).wrapping_add(delta)` — exact,
+    /// since wrapping subtraction/addition round-trip on `u64`).
+    pfn_deltas: Vec<u64>,
     /// ASID lane: `asid | ASID_GLOBAL?` per slot, meaningful only where the
     /// tag is valid. All zeros (ASID 0, non-global) in single-context use.
     asids: Vec<u16>,
@@ -156,6 +223,14 @@ pub struct SetAssocTlb {
     /// which keeps single-context behaviour bit-identical to the pre-ASID
     /// structure.
     current_asid: u16,
+    /// Valid-entry count per page-size class, indexed by [`size_code`]:
+    /// the skip masks. A lookup whose class counts zero is a guaranteed
+    /// miss and skips the tag scan.
+    size_occupancy: [u32; 3],
+    /// Total valid entries (the sum of `size_occupancy`), kept separately
+    /// so [`occupancy`](Self::occupancy) and the size-agnostic early-out
+    /// are O(1).
+    valid: u32,
     stats: TlbStats,
 }
 
@@ -192,13 +267,15 @@ impl SetAssocTlb {
             name,
             tags: vec![INVALID_TAG; entries],
             recency: (0..entries).map(|i| (i % ways) as u8).collect(),
-            pfns: vec![0; entries],
+            pfn_deltas: vec![0; entries],
             asids: vec![0; entries],
             sets,
             ways,
             active_ways: ways,
             default_size,
             current_asid: 0,
+            size_occupancy: [0; 3],
+            valid: 0,
             stats: TlbStats::new(),
         }
     }
@@ -279,7 +356,7 @@ impl SetAssocTlb {
         }
         Some(PageTranslation::new(
             Vpn::new(tag >> 2),
-            Pfn::new(self.pfns[slot]),
+            Pfn::new((tag >> 2).wrapping_add(self.pfn_deltas[slot])),
             tag_size(tag),
         ))
     }
@@ -298,30 +375,39 @@ impl SetAssocTlb {
     /// prediction assumption of TLB_PP).
     #[inline]
     pub fn lookup_for_size(&mut self, va: VirtAddr, size: PageSize) -> Option<Hit> {
+        // Page-size skip mask: a structure holding zero entries of this
+        // size class cannot hit, so skip the indexing and tag scan. The
+        // miss is still recorded — behaviourally this is the same probe,
+        // just resolved without reading the arrays.
+        if self.size_occupancy[size_code(size)] == 0 {
+            self.stats.record_miss();
+            return None;
+        }
         let tag = lookup_tag(va, size);
         let base = self.set_index(va, size) * self.ways;
         let cur = self.current_asid;
-        // One bounds check per lane instead of one per way probed; the ASID
-        // lane is consulted only on a tag match, so the hot miss path still
-        // scans one contiguous `u64` run.
-        let set_tags = &self.tags[base..base + self.active_ways];
-        if let Some(way) = set_tags
-            .iter()
-            .enumerate()
-            .position(|(way, &t)| t == tag && asid_visible(self.asids[base + way], cur))
-        {
+        // The tag compare runs as a branch-free mask build over one
+        // contiguous `u64` run (see `match_mask`); the ASID lane is
+        // consulted per matching way in ascending way order, preserving
+        // first-match semantics.
+        let mut mask = match_mask(&self.tags[base..base + self.active_ways], tag);
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
             let slot = base + way;
-            let rank = self.recency[slot];
-            self.touch(base, slot, rank);
-            self.stats.record_hit();
-            return Some(Hit {
-                translation: PageTranslation::new(
-                    Vpn::new(tag >> 2),
-                    Pfn::new(self.pfns[slot]),
-                    size,
-                ),
-                rank,
-            });
+            if asid_visible(self.asids[slot], cur) {
+                let rank = self.recency[slot];
+                self.touch(base, slot, rank);
+                self.stats.record_hit();
+                return Some(Hit {
+                    translation: PageTranslation::new(
+                        Vpn::new(tag >> 2),
+                        Pfn::new((tag >> 2).wrapping_add(self.pfn_deltas[slot])),
+                        size,
+                    ),
+                    rank,
+                });
+            }
+            mask &= mask - 1;
         }
         self.stats.record_miss();
         None
@@ -341,6 +427,11 @@ impl SetAssocTlb {
             self.sets, 1,
             "size-agnostic lookup requires full associativity"
         );
+        // Skip mask: an empty structure is a guaranteed miss.
+        if self.valid == 0 {
+            self.stats.record_miss();
+            return None;
+        }
         // An entry of size `s` covers `va` exactly when its tag equals the
         // size-`s` lookup tag, so three precomputed candidates cover every
         // page size in a single pass over the tag lane.
@@ -349,23 +440,24 @@ impl SetAssocTlb {
             lookup_tag(va, PageSize::Size2M),
             lookup_tag(va, PageSize::Size1G),
         ];
-        for way in 0..self.active_ways {
-            let tag = self.tags[way];
-            if (tag == candidates[0] || tag == candidates[1] || tag == candidates[2])
-                && asid_visible(self.asids[way], self.current_asid)
-            {
+        let mut mask = match_mask3(&self.tags[..self.active_ways], candidates);
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            if asid_visible(self.asids[way], self.current_asid) {
+                let tag = self.tags[way];
                 let rank = self.recency[way];
                 self.touch(0, way, rank);
                 self.stats.record_hit();
                 return Some(Hit {
                     translation: PageTranslation::new(
                         Vpn::new(tag >> 2),
-                        Pfn::new(self.pfns[way]),
+                        Pfn::new((tag >> 2).wrapping_add(self.pfn_deltas[way])),
                         tag_size(tag),
                     ),
                     rank,
                 });
             }
+            mask &= mask - 1;
         }
         self.stats.record_miss();
         None
@@ -374,6 +466,9 @@ impl SetAssocTlb {
     /// Probes for a matching entry without affecting LRU state or counters.
     #[inline]
     pub fn probe(&self, va: VirtAddr, size: PageSize) -> Option<PageTranslation> {
+        if self.size_occupancy[size_code(size)] == 0 {
+            return None;
+        }
         let tag = lookup_tag(va, size);
         let base = self.set_index(va, size) * self.ways;
         (0..self.active_ways)
@@ -381,7 +476,13 @@ impl SetAssocTlb {
             .find(|&slot| {
                 self.tags[slot] == tag && asid_visible(self.asids[slot], self.current_asid)
             })
-            .map(|slot| PageTranslation::new(Vpn::new(tag >> 2), Pfn::new(self.pfns[slot]), size))
+            .map(|slot| {
+                PageTranslation::new(
+                    Vpn::new(tag >> 2),
+                    Pfn::new((tag >> 2).wrapping_add(self.pfn_deltas[slot])),
+                    size,
+                )
+            })
     }
 
     /// Inserts `translation` under the current ASID, evicting the set's LRU
@@ -440,8 +541,22 @@ impl SetAssocTlb {
                 .expect("one active slot always holds the LRU rank")
         });
 
+        // Skip-mask bookkeeping: retire the outgoing entry's class (a dup
+        // of the same tag nets out; an evicted victim may be of another
+        // class) and count the incoming one.
+        let old = self.tags[slot];
+        if old == INVALID_TAG {
+            self.valid += 1;
+        } else {
+            self.size_occupancy[(old & 3) as usize] -= 1;
+        }
+        self.size_occupancy[(tag & 3) as usize] += 1;
+
         self.tags[slot] = tag;
-        self.pfns[slot] = translation.pfn().raw();
+        self.pfn_deltas[slot] = translation
+            .pfn()
+            .raw()
+            .wrapping_sub(translation.vpn().raw());
         self.asids[slot] = lane;
         let rank = self.recency[slot];
         self.touch(base, slot, rank);
@@ -462,6 +577,10 @@ impl SetAssocTlb {
     /// survivors close ranks (the rank permutation stays intact). Does not
     /// touch the stats.
     fn clear_slot(&mut self, base: usize, slot: usize) {
+        let old = self.tags[slot];
+        debug_assert!(old != INVALID_TAG, "clear_slot expects a valid entry");
+        self.size_occupancy[(old & 3) as usize] -= 1;
+        self.valid -= 1;
         self.tags[slot] = INVALID_TAG;
         let rank = self.recency[slot];
         for s in base..base + self.active_ways {
@@ -506,15 +625,15 @@ impl SetAssocTlb {
                         (
                             self.recency[base + w],
                             self.tags[base + w],
-                            self.pfns[base + w],
+                            self.pfn_deltas[base + w],
                             self.asids[base + w],
                         )
                     })
                     .collect();
                 keep.sort_unstable_by_key(|&(rank, _, _, _)| rank);
-                for (w, &(_, tag, pfn, lane)) in keep.iter().take(ways).enumerate() {
+                for (w, &(_, tag, delta, lane)) in keep.iter().take(ways).enumerate() {
                     self.tags[base + w] = tag;
-                    self.pfns[base + w] = pfn;
+                    self.pfn_deltas[base + w] = delta;
                     self.asids[base + w] = lane;
                     self.recency[base + w] = w as u8;
                 }
@@ -537,6 +656,24 @@ impl SetAssocTlb {
         }
         self.stats.record_invalidations(invalidated);
         self.active_ways = ways;
+        // Resizes are rare (epoch boundaries): a full recount is simpler
+        // than threading per-class decrements through the keep-sort.
+        self.recount_occupancy();
+    }
+
+    /// Rebuilds the skip-mask counters from the tag lane — for the cold
+    /// bulk-mutation paths where incremental maintenance isn't worth it.
+    fn recount_occupancy(&mut self) {
+        let mut size_occupancy = [0u32; 3];
+        let mut valid = 0u32;
+        for &tag in &self.tags {
+            if tag != INVALID_TAG {
+                size_occupancy[(tag & 3) as usize] += 1;
+                valid += 1;
+            }
+        }
+        self.size_occupancy = size_occupancy;
+        self.valid = valid;
     }
 
     /// Invalidates every entry covering `va`, regardless of page size or
@@ -610,18 +747,20 @@ impl SetAssocTlb {
     /// Invalidates every entry — including globals — with active ways
     /// staying as configured (a full flush, e.g. a CR4 toggle).
     pub fn flush(&mut self) {
-        let valid = self.tags.iter().filter(|&&t| t != INVALID_TAG).count() as u64;
-        self.stats.record_invalidations(valid);
+        self.stats.record_invalidations(u64::from(self.valid));
         for (i, tag) in self.tags.iter_mut().enumerate() {
             *tag = INVALID_TAG;
             self.recency[i] = (i % self.ways) as u8;
             self.asids[i] = 0;
         }
+        self.size_occupancy = [0; 3];
+        self.valid = 0;
     }
 
-    /// Number of valid entries currently held.
+    /// Number of valid entries currently held (O(1): maintained as the
+    /// skip-mask counters' total).
     pub fn occupancy(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+        self.valid as usize
     }
 
     /// Checks internal invariants; meant for tests and debugging.
@@ -629,9 +768,27 @@ impl SetAssocTlb {
     /// # Panics
     ///
     /// Panics if the active ways of any set do not hold a permutation of the
-    /// LRU ranks `0..active_ways`, an inactive way holds a valid entry, or a
-    /// valid slot fails to decode into an aligned translation.
+    /// LRU ranks `0..active_ways`, an inactive way holds a valid entry, a
+    /// valid slot fails to decode into an aligned translation, or the
+    /// skip-mask occupancy counters disagree with the tag lane.
     pub fn assert_invariants(&self) {
+        // Skip-mask counters must track the tag lane exactly: a stale
+        // zero would turn real hits into guaranteed misses.
+        let mut size_occupancy = [0u32; 3];
+        for &tag in &self.tags {
+            if tag != INVALID_TAG {
+                size_occupancy[(tag & 3) as usize] += 1;
+            }
+        }
+        assert_eq!(
+            self.size_occupancy, size_occupancy,
+            "size-class occupancy counters diverged from the tag lane"
+        );
+        assert_eq!(
+            self.valid,
+            size_occupancy.iter().sum::<u32>(),
+            "total valid count diverged from the tag lane"
+        );
         for set in 0..self.sets {
             let base = set * self.ways;
             let mut seen = vec![false; self.active_ways];

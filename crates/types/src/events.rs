@@ -80,24 +80,37 @@ pub enum TranslationEvent {
     },
     /// An ASID-less context switch flushed every TLB and MMU cache.
     ContextSwitch,
-    /// A resizable L1 structure was probed at its current size.
+    /// A resizable L1 structure was probed `count` times at its current
+    /// size.
+    ///
+    /// The pipeline batches probes into per-block delta counters and emits
+    /// one count-carrying event per flush boundary (block end, Lite
+    /// interval, context switch, result collection). Active sizes only
+    /// change at those same boundaries, so a batched event is exactly
+    /// equivalent to `count` single-probe events.
     Probe {
         /// The structure probed.
         unit: ResizableUnit,
         /// Active ways (set-associative) or entries (fully associative) at
         /// probe time.
         active: u32,
+        /// Probes performed at this size since the last flush (≥ 1).
+        count: u64,
     },
     /// The TLB_Pred predictor's first probe missed and the alternate index
     /// was probed too (an extra read, not a second way-time sample).
     SecondProbe {
         /// The structure probed again.
         unit: ResizableUnit,
+        /// Second probes performed since the last flush (≥ 1).
+        count: u64,
     },
-    /// A translation was inserted into a resizable L1 structure.
+    /// Translations were inserted into a resizable L1 structure.
     Fill {
         /// The structure filled.
         unit: ResizableUnit,
+        /// Fills performed since the last flush (≥ 1).
+        count: u64,
     },
     /// Lookups/fills performed on a fixed-geometry structure.
     FixedOps {
@@ -269,11 +282,13 @@ mod tests {
         assert_eq!(
             TranslationEvent::Probe {
                 unit: ResizableUnit::L1FourK,
-                active: 4
+                active: 4,
+                count: 1
             },
             TranslationEvent::Probe {
                 unit: ResizableUnit::L1FourK,
-                active: 4
+                active: 4,
+                count: 1
             }
         );
         assert_ne!(TranslationEvent::L1Miss, TranslationEvent::L2Miss);

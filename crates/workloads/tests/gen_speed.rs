@@ -1,0 +1,52 @@
+//! Manual timing probe: how fast is trace generation alone?
+//!
+//! Run with:
+//! `cargo test --release -p eeat-workloads --test gen_speed -- --ignored --nocapture`
+
+use std::time::Instant;
+
+use eeat_types::{AccessKind, MemAccess, VirtAddr, VirtRange};
+use eeat_workloads::{TraceGenerator, Workload};
+
+#[test]
+#[ignore = "manual timing probe, not a correctness test"]
+fn trace_generation_rate() {
+    for workload in Workload::TLB_INTENSIVE {
+        let spec = workload.spec();
+        // Synthetic layout (timing only; addresses need not match the OS
+        // model's placement).
+        let mut at = 0x10_0000_0000u64;
+        let regions: Vec<Vec<VirtRange>> = spec
+            .regions
+            .iter()
+            .map(|r| {
+                (0..r.count)
+                    .map(|_| {
+                        let range = VirtRange::new(VirtAddr::new(at), r.bytes);
+                        at += r.bytes + (2 << 20);
+                        range
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut generator = TraceGenerator::new(&spec, regions, 42);
+        let mut buf = vec![MemAccess::new(VirtAddr::new(0), AccessKind::Load, 1); 1024];
+        let total = 5_000_000u64;
+        let t = Instant::now();
+        let mut done = 0u64;
+        let mut sink = 0u64;
+        while done < total {
+            generator.fill(&mut buf);
+            done += buf.len() as u64;
+            sink ^= buf[0].vaddr().raw();
+        }
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        println!(
+            "{:20} {:>12.0} acc/s  ({:.1} ns/access)",
+            format!("{workload:?}"),
+            done as f64 / secs,
+            1e9 * secs / done as f64
+        );
+    }
+}
