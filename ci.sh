@@ -57,6 +57,10 @@ grep -q "target multicore" "$SCRATCH/fuzz.stderr" || {
     echo "fuzz smoke never exercised the multicore target" >&2
     exit 1
 }
+grep -q "target nested" "$SCRATCH/fuzz.stderr" || {
+    echo "fuzz smoke never exercised the nested (virtualized) target" >&2
+    exit 1
+}
 
 echo "==> multi-core scaling smoke + thread determinism (parallel == sequential)"
 mkdir -p "$SCRATCH/cores_seq" "$SCRATCH/cores_par"
@@ -78,6 +82,19 @@ done
 echo "==> CoLT head-to-head smoke"
 EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin colt -- \
     --instructions 200_000 --workloads mcf,canneal
+
+echo "==> virtualized (nested walk) smoke"
+# Native bit-parity under virtualized configs is asserted inside the bin
+# (identical L1/L2 miss counts per cell); here we additionally pin the
+# cold-walk protocol: a fresh 2D 4K walk must out-cost a native one.
+EEAT_RESULTS="$SCRATCH" cargo run --release --offline -p eeat-bench --bin virt -- \
+    --instructions 200_000 --workloads mcf,canneal
+awk -F'[:,]' '/"cold\/nested_4k_refs"/ { found = 1
+    if ($2 + 0 <= 4) { printf "cold nested walk cost %s refs, expected > 4\n", $2; bad = 1 }
+} END { exit (bad || !found) }' "$SCRATCH/virt.json" || {
+    echo "virt smoke missing or failing the cold nested-walk cost check" >&2
+    exit 1
+}
 
 echo "==> throughput harness smoke"
 # The BENCH_* summary deliberately isn't an eeat-run-artifact/v1 file, so it

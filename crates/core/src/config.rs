@@ -105,6 +105,36 @@ impl LiteParams {
     }
 }
 
+/// How many dimensions a page walk traverses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TranslationDepth {
+    /// One dimension: virtual → physical through the process page table.
+    #[default]
+    Native,
+    /// Two dimensions: guest-virtual → guest-physical through the guest
+    /// page table, with every guest paging-structure reference (and the
+    /// data page itself) translated guest-physical → host-physical through
+    /// the EPT. A cold 4-level × 4-level walk costs up to 24 memory
+    /// references instead of 4.
+    Virtualized,
+}
+
+impl TranslationDepth {
+    /// `true` for the two-dimensional (guest/host) mode.
+    pub const fn is_virtualized(self) -> bool {
+        matches!(self, TranslationDepth::Virtualized)
+    }
+}
+
+impl fmt::Display for TranslationDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslationDepth::Native => f.write_str("native"),
+            TranslationDepth::Virtualized => f.write_str("virtualized"),
+        }
+    }
+}
+
 /// One simulated configuration: which structures exist, their geometry, the
 /// paging policy backing the address space, and whether Lite runs.
 ///
@@ -149,6 +179,8 @@ pub struct Config {
     pub l1_fa_entries: Option<usize>,
     /// The Lite mechanism, if enabled.
     pub lite: Option<LiteParams>,
+    /// One-dimensional (native) or two-dimensional (virtualized) walks.
+    pub depth: TranslationDepth,
 }
 
 impl Config {
@@ -175,6 +207,7 @@ impl Config {
             predictor_entries: None,
             l1_fa_entries: None,
             lite: None,
+            depth: TranslationDepth::Native,
         }
     }
 
@@ -327,6 +360,22 @@ impl Config {
     pub fn uses_ranges(&self) -> bool {
         self.l1_range_entries.is_some() || self.l2_range_entries.is_some()
     }
+
+    /// This configuration run inside a virtual machine: identical
+    /// structures, but every page walk is two-dimensional (guest + host).
+    pub fn virtualized(mut self) -> Self {
+        self.depth = TranslationDepth::Virtualized;
+        self
+    }
+
+    /// This configuration with its translation depth reset to native —
+    /// the registry key, since virtualization changes the walk engine, not
+    /// which organization the structures belong to.
+    pub(crate) fn native_key(&self) -> Config {
+        let mut key = self.clone();
+        key.depth = TranslationDepth::Native;
+        key
+    }
 }
 
 impl fmt::Display for Config {
@@ -353,6 +402,9 @@ impl fmt::Display for Config {
         }
         if let Some(lite) = self.lite {
             write!(f, ", Lite ε={}", lite.epsilon)?;
+        }
+        if self.depth.is_virtualized() {
+            write!(f, ", {}", self.depth)?;
         }
         write!(f, "]")
     }
@@ -426,6 +478,18 @@ mod tests {
             names,
             ["4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite"]
         );
+    }
+
+    #[test]
+    fn virtualized_changes_depth_only() {
+        let native = Config::thp();
+        assert_eq!(native.depth, TranslationDepth::Native);
+        let virt = Config::thp().virtualized();
+        assert_eq!(virt.depth, TranslationDepth::Virtualized);
+        assert!(virt.depth.is_virtualized());
+        assert_eq!(virt.native_key(), native);
+        assert!(virt.to_string().contains("virtualized"));
+        assert!(!native.to_string().contains("virtualized"));
     }
 
     #[test]

@@ -217,11 +217,22 @@ impl MultiCoreSim {
             FRAMES_PER_TENANT * params.tenants as u64,
             params.tenants as u64,
         );
+        // Virtualized tenants additionally get a disjoint shard of *host*
+        // physical frames for their EPTs, laid out like the guest shards.
+        let mut host_shards = config.depth.is_virtualized().then(|| {
+            ShardedFrameAllocator::new(
+                FRAMES_PER_TENANT * params.tenants as u64,
+                params.tenants as u64,
+            )
+        });
         let mut parked: Vec<Option<TenantState>> = (0..params.tenants)
             .map(|t| {
                 let tseed = seed.wrapping_add(t as u64);
-                let address_space =
+                let mut address_space =
                     AddressSpace::with_allocator(config.policy, shards.take_shard(), tseed);
+                if let Some(host_shards) = &mut host_shards {
+                    address_space.virtualize_with(host_shards.take_shard());
+                }
                 let (address_space, generator) = setup::populate_spec(address_space, spec, tseed);
                 let size_oracle = setup::size_oracle_for(&address_space);
                 Some(TenantState {
@@ -320,7 +331,10 @@ impl MultiCoreSim {
             last_seq = Some(msg.seq);
             let mut invalidations = sim.hierarchy.shootdown_asid(msg.asid, msg.va);
             if msg.asid as usize == *tenant {
-                invalidations += sim.walker.caches_mut().invalidate(msg.va);
+                // Untagged walker state holds only the current tenant's
+                // entries; in virtualized mode the guest invalidation also
+                // flushes the walk's combined nested-TLB entries.
+                invalidations += sim.invalidate_walker(msg.va);
             }
             sim.sinks.emit(
                 &mut (&mut *ipi, &mut *extra),
@@ -356,7 +370,9 @@ impl MultiCoreSim {
         sim.hierarchy.set_current_asid(next as u16);
         // Paging-structure caches are not ASID-tagged; a switch flushes
         // them (the TLBs, which are tagged, keep every tenant's entries).
-        sim.walker.caches_mut().flush();
+        // Under virtualization a tenant switch is a VM switch: the host
+        // caches and the nested TLB's combined entries go too.
+        sim.walker.flush();
         sim.sinks.emit(
             &mut (&mut slot.ipi, extra),
             TranslationEvent::AsidSwitch { asid: next as u16 },
@@ -391,7 +407,7 @@ impl MultiCoreSim {
             // invlpg semantics, scoped to the owning ASID: other tenants'
             // translations of unrelated address spaces are untouched.
             sim.hierarchy.shootdown_asid(asid, va);
-            sim.walker.caches_mut().invalidate(va);
+            sim.invalidate_walker(va);
             sim.sinks
                 .emit(&mut (&mut *ipi, &mut *extra), TranslationEvent::Shootdown);
             broken += 1;

@@ -40,6 +40,9 @@ pub struct ProbePlan {
     /// A coalesced (CoLT) L1 replaces the per-size L1 page TLBs; 4 KiB
     /// refills probe neighbouring PTEs and install coalesced runs.
     pub coalesced_l1: bool,
+    /// Walks are two-dimensional (guest + host through the EPT): the walk
+    /// stage drives the nested walker and emits per-dimension events.
+    pub virtualized: bool,
 }
 
 impl ProbePlan {
@@ -50,6 +53,7 @@ impl ProbePlan {
             uses_ranges: config.uses_ranges(),
             fully_assoc_l1: config.l1_fa_entries.is_some(),
             coalesced_l1: config.l1_colt.is_some(),
+            virtualized: config.depth.is_virtualized(),
         }
     }
 }
@@ -232,8 +236,10 @@ impl Org {
 /// [`build_hierarchy`](TranslationOrg::build_hierarchy); anything else
 /// (sweep variants, test configs) takes the default construction.
 pub(crate) fn hierarchy_for(config: &Config) -> TlbHierarchy {
+    // Virtualization swaps the walk engine, not the TLB structures, so the
+    // registry is keyed on the depth-stripped configuration.
     match Org::by_name(config.name) {
-        Some(org) if org.config() == *config => org.build_hierarchy(),
+        Some(org) if org.config() == config.native_key() => org.build_hierarchy(),
         _ => TlbHierarchy::from_config(config),
     }
 }
@@ -242,7 +248,7 @@ pub(crate) fn hierarchy_for(config: &Config) -> TlbHierarchy {
 /// same way as [`hierarchy_for`].
 pub(crate) fn energy_model_for(config: &Config) -> EnergyModel {
     match Org::by_name(config.name) {
-        Some(org) if org.config() == *config => org.energy_model(),
+        Some(org) if org.config() == config.native_key() => org.energy_model(),
         _ => EnergyModel::sandy_bridge(),
     }
 }

@@ -19,9 +19,10 @@ pub(crate) fn context_switch_if_due<E: Observer>(sim: &mut Simulator, extra: &mu
     // A decision boundary: settle the pending delta counters so observers
     // attribute every prior access's probes before the switch is recorded.
     sim.sinks.flush_deltas(extra);
-    // Context switch: everything translation-related is lost.
+    // Context switch: everything translation-related is lost (including,
+    // in virtualized mode, the nested TLB's combined entries).
     sim.hierarchy.flush_all();
-    sim.walker.caches_mut().flush();
+    sim.walker.flush();
     sim.flushes += 1;
     // Advance on the fixed grid, not from the (possibly late) flush
     // instruction, so flush counts depend only on instructions executed.

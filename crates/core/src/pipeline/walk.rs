@@ -1,12 +1,20 @@
 //! Walk stage: the page walk through the MMU caches on an L2 miss, and the
 //! background range-table walk under RMM.
+//!
+//! Dispatch between the native and virtualized engines is on the
+//! [`WalkEngine`] variant the simulator was assembled with — the hot path
+//! never consults configuration flags. The native arm is byte-identical to
+//! the pre-virtualization stage; the virtualized arm additionally emits a
+//! [`TranslationEvent::NestedWalk`] splitting the combined reference count
+//! by dimension, plus per-dimension MMU-cache and nested-TLB deltas.
 
+use eeat_paging::{MmuCaches, NestedWalker};
 use eeat_tlb::PageTranslation;
 use eeat_types::events::{FixedUnit, Observer, TranslationEvent};
 use eeat_types::VirtAddr;
 
 use crate::pipeline::StepCtx;
-use crate::simulator::Simulator;
+use crate::simulator::{Simulator, WalkEngine};
 
 /// Walks the page table for `va` through the MMU paging-structure caches
 /// and emits the walk's energy events (memory references plus the
@@ -17,30 +25,79 @@ pub(crate) fn translate<E: Observer>(
     va: VirtAddr,
     extra: &mut E,
 ) -> PageTranslation {
-    let before = mmu_ops(sim);
-    let walk = sim.walker.walk(sim.address_space.page_table(), va);
-    let after = mmu_ops(sim);
-    sim.sinks.emit(
-        extra,
-        TranslationEvent::PageWalk {
-            memory_refs: walk.memory_refs,
-        },
-    );
-    for (unit, (lookups, fills), (prev_lookups, prev_fills)) in [
-        (FixedUnit::MmuPde, after[0], before[0]),
-        (FixedUnit::MmuPdpte, after[1], before[1]),
-        (FixedUnit::MmuPml4, after[2], before[2]),
-    ] {
-        sim.sinks.emit(
-            extra,
-            TranslationEvent::FixedOps {
-                unit,
-                lookups: lookups - prev_lookups,
-                fills: fills - prev_fills,
-            },
-        );
+    match &mut sim.walker {
+        WalkEngine::Native(walker) => {
+            let before = mmu_ops(walker.caches());
+            let walk = walker.walk(sim.address_space.page_table(), va);
+            let after = mmu_ops(walker.caches());
+            sim.sinks.emit(
+                extra,
+                TranslationEvent::PageWalk {
+                    memory_refs: walk.memory_refs,
+                },
+            );
+            for (unit, (lookups, fills), (prev_lookups, prev_fills)) in [
+                (FixedUnit::MmuPde, after[0], before[0]),
+                (FixedUnit::MmuPdpte, after[1], before[1]),
+                (FixedUnit::MmuPml4, after[2], before[2]),
+            ] {
+                sim.sinks.emit(
+                    extra,
+                    TranslationEvent::FixedOps {
+                        unit,
+                        lookups: lookups - prev_lookups,
+                        fills: fills - prev_fills,
+                    },
+                );
+            }
+            walk.translation.expect("trace addresses are always mapped")
+        }
+        WalkEngine::Virtualized(walker) => {
+            let before = nested_ops(walker);
+            let ept = sim
+                .address_space
+                .ept()
+                .expect("virtualized space has an EPT");
+            let walk = walker.walk(sim.address_space.page_table(), ept, va);
+            let after = nested_ops(walker);
+            // The PageWalk event keeps carrying the combined total so every
+            // reference-count consumer (stats, energy, cycles) sees one
+            // protocol; the NestedWalk event that follows splits it by
+            // dimension for the observers that care.
+            sim.sinks.emit(
+                extra,
+                TranslationEvent::PageWalk {
+                    memory_refs: walk.memory_refs,
+                },
+            );
+            sim.sinks.emit(
+                extra,
+                TranslationEvent::NestedWalk {
+                    guest_refs: walk.guest_refs,
+                    host_refs: walk.host_refs,
+                },
+            );
+            for (unit, (lookups, fills), (prev_lookups, prev_fills)) in [
+                (FixedUnit::MmuPde, after[0], before[0]),
+                (FixedUnit::MmuPdpte, after[1], before[1]),
+                (FixedUnit::MmuPml4, after[2], before[2]),
+                (FixedUnit::HostMmuPde, after[3], before[3]),
+                (FixedUnit::HostMmuPdpte, after[4], before[4]),
+                (FixedUnit::HostMmuPml4, after[5], before[5]),
+                (FixedUnit::NestedTlb, after[6], before[6]),
+            ] {
+                sim.sinks.emit(
+                    extra,
+                    TranslationEvent::FixedOps {
+                        unit,
+                        lookups: lookups - prev_lookups,
+                        fills: fills - prev_fills,
+                    },
+                );
+            }
+            walk.translation.expect("trace addresses are always mapped")
+        }
     }
-    walk.translation.expect("trace addresses are always mapped")
 }
 
 /// Performs the background range-table walk of RMM (energy only, no
@@ -68,7 +125,15 @@ pub(crate) fn range_walk_background<E: Observer>(
 }
 
 /// Cumulative (lookups, fills) of the PDE / PDPTE / PML4 caches.
-fn mmu_ops(sim: &Simulator) -> [(u64, u64); 3] {
-    let caches = sim.walker.caches();
+fn mmu_ops(caches: &MmuCaches) -> [(u64, u64); 3] {
     [caches.pde(), caches.pdpte(), caches.pml4()].map(|c| (c.stats().lookups(), c.stats().fills()))
+}
+
+/// Cumulative (lookups, fills) of both dimensions' paging-structure caches
+/// plus the nested TLB, in walk-stage emission order.
+fn nested_ops(walker: &NestedWalker) -> [(u64, u64); 7] {
+    let [g0, g1, g2] = mmu_ops(walker.guest_caches());
+    let [h0, h1, h2] = mmu_ops(walker.host_caches());
+    let nested = walker.nested_tlb().stats();
+    [g0, g1, g2, h0, h1, h2, (nested.lookups(), nested.fills())]
 }

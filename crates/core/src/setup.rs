@@ -3,7 +3,7 @@
 
 use eeat_energy::{CycleModel, CycleObserver, EnergyObserver};
 use eeat_os::AddressSpace;
-use eeat_paging::{MmuCaches, PageWalker};
+use eeat_paging::{MmuCaches, NestedWalker, PageWalker};
 use eeat_types::{MemAccess, VirtAddr, VirtRange};
 use eeat_workloads::{trace_file, TraceGenerator, Workload, WorkloadSpec};
 
@@ -11,7 +11,7 @@ use crate::config::Config;
 use crate::lite::LiteController;
 use crate::pipeline::Sinks;
 use crate::predictor::SizePredictor;
-use crate::simulator::{Simulator, SizeOracle};
+use crate::simulator::{Simulator, SizeOracle, WalkEngine};
 use crate::stats::StatsObserver;
 
 /// Where the simulator's accesses come from: a synthetic generator or a
@@ -67,7 +67,11 @@ impl Simulator {
     ///
     /// Panics when the spec is invalid or exceeds physical memory.
     pub fn from_spec(config: Config, spec: &WorkloadSpec, seed: u64) -> Self {
-        let address_space = AddressSpace::new(config.policy, seed);
+        let mut address_space = AddressSpace::new(config.policy, seed);
+        if config.depth.is_virtualized() {
+            // Before any mapping exists, so the EPT covers every frame.
+            address_space.virtualize();
+        }
         let (address_space, generator) = populate_spec(address_space, spec, seed);
         Self::assemble(config, address_space, generator, seed)
     }
@@ -83,6 +87,9 @@ impl Simulator {
     pub fn from_trace(config: Config, accesses: Vec<MemAccess>, seed: u64) -> Self {
         assert!(!accesses.is_empty(), "cannot replay an empty trace");
         let mut address_space = AddressSpace::new(config.policy, seed);
+        if config.depth.is_virtualized() {
+            address_space.virtualize();
+        }
         // Cover the trace with VMAs; merge touches within 16 MiB so a
         // sparse heap becomes a few arenas rather than thousands.
         for (start, len) in trace_file::covering_regions(&accesses, 16 << 20) {
@@ -177,6 +184,18 @@ pub(crate) fn assemble_with_source(
 
     let size_oracle = size_oracle_for(&address_space);
 
+    // The walk engine follows the configured translation depth; the
+    // address space must have been virtualized (EPT built) to match.
+    let walker = if config.depth.is_virtualized() {
+        assert!(
+            address_space.is_virtualized(),
+            "virtualized config requires a virtualized address space"
+        );
+        WalkEngine::Virtualized(Box::new(NestedWalker::sandy_bridge()))
+    } else {
+        WalkEngine::Native(PageWalker::new(MmuCaches::sandy_bridge()))
+    };
+
     let sinks = Sinks {
         stats: StatsObserver::new(),
         energy: EnergyObserver::new(
@@ -190,7 +209,7 @@ pub(crate) fn assemble_with_source(
     Simulator {
         config,
         hierarchy,
-        walker: PageWalker::new(MmuCaches::sandy_bridge()),
+        walker,
         address_space,
         source,
         lite,

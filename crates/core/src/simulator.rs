@@ -22,7 +22,7 @@
 
 use eeat_energy::{CycleBreakdown, EnergyBreakdown, EnergyModel, LeakageInputs};
 use eeat_os::AddressSpace;
-use eeat_paging::PageWalker;
+use eeat_paging::{NestedWalker, PageWalker};
 use eeat_types::events::{Observer, TranslationEvent};
 use eeat_types::{MemAccess, PageSize, VirtAddr};
 
@@ -106,6 +106,37 @@ impl SizeOracle {
     }
 }
 
+/// The walk engine behind the L2 TLBs: one radix descent in native mode,
+/// or the two-dimensional nested walk (guest + host through the EPT) in
+/// virtualized mode. Selected once at construction from
+/// [`Config::depth`](crate::TranslationDepth); the walk stage dispatches on
+/// the variant, never on the config.
+// The native walker stays inline by design: it is the default depth and
+// walks on every L2 miss, so it should not pay a pointer chase to spare
+// the enum a few hundred bytes. The rare virtualized variant is boxed.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum WalkEngine {
+    /// One-dimensional: the classic four-level walk through the MMU caches.
+    Native(PageWalker),
+    /// Two-dimensional: every guest paging-structure reference (and the
+    /// data page) is itself translated through the host dimension. Boxed:
+    /// the second dimension's caches would otherwise dominate the enum
+    /// (and every native simulator's footprint).
+    Virtualized(Box<NestedWalker>),
+}
+
+impl WalkEngine {
+    /// Flushes every paging-structure cache — and, in virtualized mode, the
+    /// host dimension and the nested TLB of combined entries (a VM switch
+    /// invalidates combined translations wholesale).
+    pub(crate) fn flush(&mut self) {
+        match self {
+            WalkEngine::Native(w) => w.caches_mut().flush(),
+            WalkEngine::Virtualized(w) => w.flush(),
+        }
+    }
+}
+
 /// The result of a simulation run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -138,7 +169,7 @@ pub struct RunResult {
 pub struct Simulator {
     pub(crate) config: Config,
     pub(crate) hierarchy: TlbHierarchy,
-    pub(crate) walker: PageWalker,
+    pub(crate) walker: WalkEngine,
     pub(crate) address_space: AddressSpace,
     pub(crate) source: AccessSource,
     pub(crate) lite: Option<LiteController>,
@@ -222,6 +253,29 @@ impl Simulator {
     #[inline]
     pub(crate) fn actual_size(&self, va: VirtAddr) -> PageSize {
         self.size_oracle.get(va)
+    }
+
+    /// Precise (`invlpg`-style) walker invalidation for `va`. Native mode
+    /// drops the cached paging-structure entries along `va`'s path; in
+    /// virtualized mode a guest invalidation additionally flushes the
+    /// nested TLB's combined entries for the walk's structure pages and the
+    /// data page (HATRIC-style: combined entries are tagged with the guest
+    /// translation they were built from).
+    pub(crate) fn invalidate_walker(&mut self, va: VirtAddr) -> u64 {
+        match &mut self.walker {
+            WalkEngine::Native(w) => w.caches_mut().invalidate(va),
+            WalkEngine::Virtualized(w) => {
+                // The data page's gPN survives demotion (same guest frames),
+                // but a shootdown must still drop its combined entry: the
+                // guest mapping it was built from is gone.
+                let data_gpn = self
+                    .address_space
+                    .page_table()
+                    .translate(va)
+                    .map(|t| t.translate(va).raw() >> 12);
+                w.invalidate_guest(va, data_gpn)
+            }
+        }
     }
 
     /// The per-run invariant step context (structure presence, monitor
@@ -433,7 +487,7 @@ impl Simulator {
                 // cached paging-structure entries) is shot down; unrelated
                 // translations survive.
                 self.hierarchy.shootdown(va);
-                self.walker.caches_mut().invalidate(va);
+                self.invalidate_walker(va);
                 self.sinks.emit(&mut (), TranslationEvent::Shootdown);
                 broken += 1;
             }

@@ -37,6 +37,11 @@ pub struct SimStats {
     pub walk_memory_refs: u64,
     /// Background range-table walks.
     pub range_table_walks: u64,
+    /// Guest-dimension references of nested walks (virtualized mode; zero
+    /// natively, where `walk_memory_refs` carries everything).
+    pub guest_walk_refs: u64,
+    /// Host-dimension (EPT) references of nested walks (virtualized mode).
+    pub host_walk_refs: u64,
     /// L1-4KB TLB lookups performed at 4 / 2 / 1 active ways
     /// (indices 2 / 1 / 0 — `lookups_by_ways[log2(ways)]`).
     pub l1_4k_lookups_by_ways: [u64; 3],
@@ -238,6 +243,13 @@ impl Observer for StatsObserver {
                 s.walk_memory_refs += u64::from(memory_refs);
             }
             TranslationEvent::RangeTableWalk { .. } => s.range_table_walks += 1,
+            TranslationEvent::NestedWalk {
+                guest_refs,
+                host_refs,
+            } => {
+                s.guest_walk_refs += u64::from(guest_refs);
+                s.host_walk_refs += u64::from(host_refs);
+            }
             TranslationEvent::EpochEnd { reactivated, .. } => {
                 s.lite_intervals += 1;
                 if reactivated {

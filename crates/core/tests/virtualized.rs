@@ -1,0 +1,130 @@
+//! End-to-end behaviour of virtualized (two-dimensional) translation at
+//! the simulator level. The walker-level mechanics (cold 24-ref nested
+//! walks, per-dimension MMU caches, nested-TLB shortcuts) are covered in
+//! `eeat_paging`; these tests check that a full `Simulator` built with
+//! `Config::virtualized()` threads the depth through setup, the walk
+//! stage, stats, and energy — and that it perturbs nothing else.
+
+use eeat_core::{Config, MultiCoreParams, MultiCoreSim, Simulator};
+use eeat_energy::Structure;
+use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
+
+const SEED: u64 = 42;
+
+/// Small random workload with enough footprint to miss the L2 TLB.
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "virt-unit",
+        mem_ops_per_kilo_instr: 300,
+        store_fraction: 0.2,
+        regions: vec![RegionSpec {
+            name: "heap",
+            bytes: 64 << 20,
+            count: 1,
+            thp_eligible: false,
+        }],
+        streams: vec![StreamSpec {
+            region: 0,
+            pattern: Pattern::Random,
+            region_switch_prob: 0.0,
+        }],
+        phases: vec![PhaseSpec {
+            duration_units: 1,
+            weights: vec![(0, 1.0)],
+        }],
+        phase_unit_instructions: 100_000,
+        alloc_contiguity: 1.0,
+    }
+}
+
+#[test]
+fn virtualization_taxes_walks_without_touching_tlb_behaviour() {
+    let mut native = Simulator::from_spec(Config::four_k(), &spec(), SEED);
+    let mut virt = Simulator::from_spec(Config::four_k().virtualized(), &spec(), SEED);
+    let n = native.run(300_000);
+    let v = virt.run(300_000);
+
+    // The TLB hierarchy sees identical guest translations either way:
+    // every hit/miss counter is bit-identical across depths.
+    assert_eq!(n.stats.accesses, v.stats.accesses);
+    assert_eq!(n.stats.l1_misses, v.stats.l1_misses);
+    assert_eq!(n.stats.l2_misses, v.stats.l2_misses);
+    assert_eq!(n.stats.l2_hits_page, v.stats.l2_hits_page);
+    assert!(v.stats.l2_misses > 0, "workload must actually walk");
+
+    // Native runs report no second dimension at all.
+    assert_eq!(n.stats.guest_walk_refs, 0);
+    assert_eq!(n.stats.host_walk_refs, 0);
+
+    // Virtualized walks split the total into guest + host references,
+    // and the host dimension is what makes them strictly costlier.
+    assert_eq!(
+        v.stats.walk_memory_refs,
+        v.stats.guest_walk_refs + v.stats.host_walk_refs
+    );
+    assert!(v.stats.guest_walk_refs > 0);
+    assert!(v.stats.host_walk_refs > 0);
+    assert!(v.stats.walk_memory_refs > n.stats.walk_memory_refs);
+    // ...but never beyond the architectural 6x bound per walk.
+    assert!(v.stats.walk_memory_refs <= 24 * v.stats.l2_misses);
+
+    // Energy: the host dimension shows up in its own buckets, guest-side
+    // buckets are unchanged, and the total strictly grows.
+    assert!(v.energy.pj(Structure::HostWalk) > 0.0);
+    assert!(v.energy.pj(Structure::NestedTlb) > 0.0);
+    assert_eq!(n.energy.pj(Structure::HostWalk), 0.0);
+    assert_eq!(n.energy.pj(Structure::NestedTlb), 0.0);
+    assert_eq!(
+        n.energy.pj(Structure::L1Page4K),
+        v.energy.pj(Structure::L1Page4K)
+    );
+    assert!(v.energy.total_pj() > n.energy.total_pj());
+}
+
+#[test]
+fn first_virtualized_walk_is_cold_in_both_dimensions() {
+    // Run just far enough for the very first access: one compulsory L2
+    // miss whose nested walk finds every cache cold. A 4 KiB walk then
+    // costs g*(h+1) + h = 24 references, 4 guest + 20 host.
+    let mut sim = Simulator::from_spec(Config::four_k().virtualized(), &spec(), SEED);
+    let r = sim.run(1);
+    assert_eq!(r.stats.l2_misses, 1);
+    assert_eq!(r.stats.walk_memory_refs, 24);
+    assert_eq!(r.stats.guest_walk_refs, 4);
+    assert_eq!(r.stats.host_walk_refs, 20);
+}
+
+#[test]
+fn virtualized_multicore_runs_and_reports_host_refs_on_every_core() {
+    // Two cores, two tenants, each with its own EPT shard: the host
+    // dimension must be live on both cores, and the driver stays
+    // deterministic under virtualization.
+    let params = MultiCoreParams {
+        cores: 2,
+        tenants: 2,
+        quantum: 50_000,
+        demotions_per_quantum: 0,
+    };
+    let run = |seed| {
+        let mut mc = MultiCoreSim::from_spec(Config::four_k().virtualized(), &spec(), params, seed);
+        mc.run(200_000)
+    };
+    let a = run(SEED);
+    for core in &a.per_core {
+        assert!(core.run.stats.l2_misses > 0);
+        assert!(core.run.stats.host_walk_refs > 0);
+        assert_eq!(
+            core.run.stats.walk_memory_refs,
+            core.run.stats.guest_walk_refs + core.run.stats.host_walk_refs
+        );
+    }
+    let b = run(SEED);
+    assert_eq!(
+        a.per_core[0].run.stats.walk_memory_refs,
+        b.per_core[0].run.stats.walk_memory_refs
+    );
+    assert_eq!(
+        a.per_core[1].run.stats.host_walk_refs,
+        b.per_core[1].run.stats.host_walk_refs
+    );
+}

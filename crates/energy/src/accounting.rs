@@ -32,15 +32,27 @@ pub enum Structure {
     MmuPdpte,
     /// MMU PML4 paging-structure cache.
     MmuPml4,
-    /// Page-walk memory references into the cache hierarchy.
+    /// Page-walk memory references into the cache hierarchy. In virtualized
+    /// mode this is the *guest-dimension* share of each nested walk; the
+    /// host share is reported under [`Structure::HostWalk`].
     PageWalk,
     /// Background range-table walk references (RMM).
     RangeWalk,
+    /// Host-dimension MMU PDE paging-structure cache (virtualized mode).
+    HostMmuPde,
+    /// Host-dimension MMU PDPTE paging-structure cache (virtualized mode).
+    HostMmuPdpte,
+    /// Host-dimension MMU PML4 paging-structure cache (virtualized mode).
+    HostMmuPml4,
+    /// Nested TLB of combined gPA → hPA entries (virtualized mode).
+    NestedTlb,
+    /// Host-dimension (EPT) memory references of nested walks.
+    HostWalk,
 }
 
 impl Structure {
     /// All categories, in report order.
-    pub const ALL: [Structure; 13] = [
+    pub const ALL: [Structure; 18] = [
         Structure::L1Page4K,
         Structure::L1Page2M,
         Structure::L1Page1G,
@@ -53,6 +65,11 @@ impl Structure {
         Structure::MmuPdpte,
         Structure::MmuPml4,
         Structure::PageWalk,
+        Structure::HostMmuPde,
+        Structure::HostMmuPdpte,
+        Structure::HostMmuPml4,
+        Structure::NestedTlb,
+        Structure::HostWalk,
         Structure::RangeWalk,
     ];
 
@@ -72,6 +89,11 @@ impl Structure {
             Structure::MmuPml4 => "MMU-PML4",
             Structure::PageWalk => "page-walks",
             Structure::RangeWalk => "range-walks",
+            Structure::HostMmuPde => "hMMU-PDE",
+            Structure::HostMmuPdpte => "hMMU-PDPTE",
+            Structure::HostMmuPml4 => "hMMU-PML4",
+            Structure::NestedTlb => "nested-TLB",
+            Structure::HostWalk => "host-walks",
         }
     }
 
@@ -105,6 +127,11 @@ impl Structure {
             // Appended past the original twelve so the existing indices —
             // and with them every committed energy fixture — stay put.
             Structure::L1Colt => 12,
+            Structure::HostMmuPde => 13,
+            Structure::HostMmuPdpte => 14,
+            Structure::HostMmuPml4 => 15,
+            Structure::NestedTlb => 16,
+            Structure::HostWalk => 17,
         }
     }
 }
@@ -129,7 +156,7 @@ impl fmt::Display for Structure {
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
-    pj: [f64; 13],
+    pj: [f64; 18],
 }
 
 impl EnergyBreakdown {
@@ -181,9 +208,9 @@ impl EnergyBreakdown {
             .sum()
     }
 
-    /// Energy of page walks plus range-table walks, pJ.
+    /// Energy of page walks (both dimensions) plus range-table walks, pJ.
     pub fn walks_pj(&self) -> f64 {
-        self.pj(Structure::PageWalk) + self.pj(Structure::RangeWalk)
+        self.pj(Structure::PageWalk) + self.pj(Structure::HostWalk) + self.pj(Structure::RangeWalk)
     }
 
     /// This breakdown's total as a fraction of `baseline`'s total

@@ -42,7 +42,7 @@ fn resizable_index(unit: ResizableUnit) -> usize {
     }
 }
 
-const FIXED_UNITS: [(FixedUnit, Structure); 8] = [
+const FIXED_UNITS: [(FixedUnit, Structure); 12] = [
     (FixedUnit::L1OneG, Structure::L1Page1G),
     (FixedUnit::L1Range, Structure::L1Range),
     (FixedUnit::L1Colt, Structure::L1Colt),
@@ -51,6 +51,10 @@ const FIXED_UNITS: [(FixedUnit, Structure); 8] = [
     (FixedUnit::MmuPde, Structure::MmuPde),
     (FixedUnit::MmuPdpte, Structure::MmuPdpte),
     (FixedUnit::MmuPml4, Structure::MmuPml4),
+    (FixedUnit::HostMmuPde, Structure::HostMmuPde),
+    (FixedUnit::HostMmuPdpte, Structure::HostMmuPdpte),
+    (FixedUnit::HostMmuPml4, Structure::HostMmuPml4),
+    (FixedUnit::NestedTlb, Structure::NestedTlb),
 ];
 
 fn fixed_index(unit: FixedUnit) -> usize {
@@ -70,8 +74,9 @@ pub struct EnergyObserver {
     /// Resizable-L1 energy settled at epoch boundaries.
     settled: EnergyBreakdown,
     pending: [PendingOps; 3],
-    fixed: [FixedCounts; 8],
+    fixed: [FixedCounts; 12],
     walk_refs: u64,
+    host_walk_refs: u64,
     range_walk_refs: u64,
 }
 
@@ -86,8 +91,9 @@ impl EnergyObserver {
             one_g_entries,
             settled: EnergyBreakdown::new(),
             pending: [PendingOps::default(); 3],
-            fixed: [FixedCounts::default(); 8],
+            fixed: [FixedCounts::default(); 12],
             walk_refs: 0,
+            host_walk_refs: 0,
             range_walk_refs: 0,
         }
     }
@@ -126,12 +132,38 @@ impl EnergyObserver {
             (FixedUnit::MmuPde, Structure::MmuPde, m.mmu_pde()),
             (FixedUnit::MmuPdpte, Structure::MmuPdpte, m.mmu_pdpte()),
             (FixedUnit::MmuPml4, Structure::MmuPml4, m.mmu_pml4()),
+            (
+                FixedUnit::HostMmuPde,
+                Structure::HostMmuPde,
+                m.host_mmu_pde(),
+            ),
+            (
+                FixedUnit::HostMmuPdpte,
+                Structure::HostMmuPdpte,
+                m.host_mmu_pdpte(),
+            ),
+            (
+                FixedUnit::HostMmuPml4,
+                Structure::HostMmuPml4,
+                m.host_mmu_pml4(),
+            ),
+            (FixedUnit::NestedTlb, Structure::NestedTlb, m.nested_tlb()),
         ] {
             let ops = self.fixed[fixed_index(unit)];
             energy.add_reads(structure, ops.lookups, e.read_pj);
             energy.add_writes(structure, ops.fills, e.write_pj);
         }
-        energy.add_pj(Structure::PageWalk, self.walk_refs as f64 * m.walk_ref_pj());
+        // `PageWalk { memory_refs }` carries the combined total in
+        // virtualized mode; the `NestedWalk` events split out the host share
+        // so the guest remainder lands in the native page-walk bucket.
+        energy.add_pj(
+            Structure::PageWalk,
+            (self.walk_refs - self.host_walk_refs) as f64 * m.walk_ref_pj(),
+        );
+        energy.add_pj(
+            Structure::HostWalk,
+            self.host_walk_refs as f64 * m.walk_ref_pj(),
+        );
         energy.add_pj(
             Structure::RangeWalk,
             self.range_walk_refs as f64 * m.walk_ref_pj(),
@@ -198,6 +230,9 @@ impl Observer for EnergyObserver {
             }
             TranslationEvent::PageWalk { memory_refs } => {
                 self.walk_refs += u64::from(memory_refs);
+            }
+            TranslationEvent::NestedWalk { host_refs, .. } => {
+                self.host_walk_refs += u64::from(host_refs);
             }
             TranslationEvent::RangeTableWalk { memory_refs } => {
                 self.range_walk_refs += u64::from(memory_refs);
@@ -323,6 +358,32 @@ mod tests {
         let s = obs.snapshot();
         assert!((s.pj(Structure::PageWalk) - 5.0 * model.walk_ref_pj()).abs() < 1e-12);
         assert!((s.pj(Structure::RangeWalk) - 3.0 * model.walk_ref_pj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_walks_split_host_share_out_of_walk_energy() {
+        let model = EnergyModel::sandy_bridge();
+        let mut obs = EnergyObserver::new(model, None);
+        // A cold virtualized 4x4 walk: PageWalk carries the 24-ref total,
+        // NestedWalk splits it 4 guest + 20 host.
+        obs.on_event(&TranslationEvent::PageWalk { memory_refs: 24 });
+        obs.on_event(&TranslationEvent::NestedWalk {
+            guest_refs: 4,
+            host_refs: 20,
+        });
+        obs.on_event(&TranslationEvent::FixedOps {
+            unit: FixedUnit::NestedTlb,
+            lookups: 5,
+            fills: 5,
+        });
+        let s = obs.snapshot();
+        assert!((s.pj(Structure::PageWalk) - 4.0 * model.walk_ref_pj()).abs() < 1e-9);
+        assert!((s.pj(Structure::HostWalk) - 20.0 * model.walk_ref_pj()).abs() < 1e-9);
+        let nt = model.nested_tlb();
+        let want = 5.0 * nt.read_pj + 5.0 * nt.write_pj;
+        assert!((s.pj(Structure::NestedTlb) - want).abs() < 1e-9);
+        // Both dimensions count as walk energy.
+        assert!((s.walks_pj() - 24.0 * model.walk_ref_pj()).abs() < 1e-9);
     }
 
     #[test]

@@ -83,6 +83,16 @@ pub const MMU_PML4: ReadWritePj = ReadWritePj::new(0.473, 0.158, 0.0296);
 /// when the walk hits the L1 cache (the paper's optimistic default).
 pub const L1_CACHE: ReadWritePj = ReadWritePj::new(174.171, 186.723, 13.3364);
 
+/// Nested TLB of combined gPA → hPA entries, 32 entries fully associative
+/// (virtualized mode).
+///
+/// Table 2 of the paper predates the virtualized extension, so this is a
+/// Cacti-style surrogate scaled from the 32-entry fully associative L2-range
+/// TLB row: same entry count and associativity, but a single-field tag
+/// (one gPN, no base/limit double comparison) — roughly half the tag array —
+/// applied uniformly to read, write, and leakage.
+pub const NESTED_TLB: ReadWritePj = ReadWritePj::new(1.653, 0.784, 0.1201);
+
 /// L1-1GB TLB, 4 entries fully associative.
 ///
 /// Table 2 of the paper omits this structure (no workload uses 1 GiB
@@ -213,6 +223,29 @@ impl EnergyModel {
     /// Energy of the MMU PML4 cache.
     pub fn mmu_pml4(&self) -> ReadWritePj {
         MMU_PML4
+    }
+
+    /// Energy of the host-dimension MMU PDE cache (virtualized mode). The
+    /// host paging-structure caches replicate the guest geometries, so the
+    /// Table 2 rows apply unchanged.
+    pub fn host_mmu_pde(&self) -> ReadWritePj {
+        MMU_PDE
+    }
+
+    /// Energy of the host-dimension MMU PDPTE cache (virtualized mode).
+    pub fn host_mmu_pdpte(&self) -> ReadWritePj {
+        MMU_PDPTE
+    }
+
+    /// Energy of the host-dimension MMU PML4 cache (virtualized mode).
+    pub fn host_mmu_pml4(&self) -> ReadWritePj {
+        MMU_PML4
+    }
+
+    /// Energy of the 32-entry fully associative nested TLB (virtualized
+    /// mode).
+    pub fn nested_tlb(&self) -> ReadWritePj {
+        NESTED_TLB
     }
 
     /// Energy of one page-walk memory reference under the configured walk

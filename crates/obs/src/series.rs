@@ -50,6 +50,8 @@ struct Counters {
     l2_hits_page: u64,
     l2_hits_range: u64,
     walk_refs: u64,
+    guest_walk_refs: u64,
+    host_walk_refs: u64,
     range_walks: u64,
     shootdowns: u64,
     context_switches: u64,
@@ -95,8 +97,15 @@ pub struct EpochRow {
     pub l2_hits_range: u64,
     /// Fraction of the bucket's accesses served by a range TLB (L1 or L2).
     pub range_hit_ratio: f64,
-    /// Page-walk memory references in the bucket.
+    /// Page-walk memory references in the bucket (total; in virtualized
+    /// mode this includes the host dimension).
     pub walk_refs: u64,
+    /// Guest-dimension references of nested walks in the bucket (0 in
+    /// native mode, where walks carry no `NestedWalk` breakdown).
+    pub guest_walk_refs: u64,
+    /// Host-dimension references of nested walks in the bucket (EPT
+    /// fetches for guest paging structures and data frames).
+    pub host_walk_refs: u64,
     /// Background range-table walks in the bucket.
     pub range_walks: u64,
     /// Precise TLB shootdowns in the bucket.
@@ -148,6 +157,8 @@ impl EpochRow {
             ("l2_hits_range", json::num(self.l2_hits_range as f64)),
             ("range_hit_ratio", json::num(self.range_hit_ratio)),
             ("walk_refs", json::num(self.walk_refs as f64)),
+            ("guest_walk_refs", json::num(self.guest_walk_refs as f64)),
+            ("host_walk_refs", json::num(self.host_walk_refs as f64)),
             ("range_walks", json::num(self.range_walks as f64)),
             ("shootdowns", json::num(self.shootdowns as f64)),
             ("context_switches", json::num(self.context_switches as f64)),
@@ -298,6 +309,8 @@ impl EpochSeries {
             l2_hits_range,
             range_hit_ratio,
             walk_refs: d(self.cum.walk_refs, self.last.walk_refs),
+            guest_walk_refs: d(self.cum.guest_walk_refs, self.last.guest_walk_refs),
+            host_walk_refs: d(self.cum.host_walk_refs, self.last.host_walk_refs),
             range_walks: d(self.cum.range_walks, self.last.range_walks),
             shootdowns: d(self.cum.shootdowns, self.last.shootdowns),
             context_switches: d(self.cum.context_switches, self.last.context_switches),
@@ -334,13 +347,14 @@ impl EpochSeries {
         let mut out = String::from(
             "instructions,l1_mpki,l2_mpki,l1_4k_ways,accesses,l1_misses,l2_misses,\
              l1_hits_4k,l1_hits_2m,l1_hits_1g,l1_hits_range,l2_hits_page,l2_hits_range,\
-             range_hit_ratio,walk_refs,range_walks,shootdowns,context_switches,\
+             range_hit_ratio,walk_refs,guest_walk_refs,host_walk_refs,range_walks,\
+             shootdowns,context_switches,\
              asid_switches,ipis_sent,ipis_delivered,ipi_invalidations,\
              lite_epochs,lite_reactivations,energy_pj,pj_per_access\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.instructions,
                 r.l1_mpki,
                 r.l2_mpki,
@@ -356,6 +370,8 @@ impl EpochSeries {
                 r.l2_hits_range,
                 r.range_hit_ratio,
                 r.walk_refs,
+                r.guest_walk_refs,
+                r.host_walk_refs,
                 r.range_walks,
                 r.shootdowns,
                 r.context_switches,
@@ -417,6 +433,13 @@ impl Observer for EpochSeries {
             TranslationEvent::L2Miss => self.cum.l2_misses += 1,
             TranslationEvent::PageWalk { memory_refs } => {
                 self.cum.walk_refs += u64::from(memory_refs);
+            }
+            TranslationEvent::NestedWalk {
+                guest_refs,
+                host_refs,
+            } => {
+                self.cum.guest_walk_refs += u64::from(guest_refs);
+                self.cum.host_walk_refs += u64::from(host_refs);
             }
             TranslationEvent::RangeTableWalk { .. } => self.cum.range_walks += 1,
             TranslationEvent::Shootdown => self.cum.shootdowns += 1,
@@ -559,6 +582,31 @@ mod tests {
         assert_eq!(row.l1_4k_ways, 2);
         assert_eq!(row.lite_epochs, 1);
         assert_eq!(row.lite_reactivations, 1);
+    }
+
+    #[test]
+    fn nested_walk_dimensions_are_split_out() {
+        let mut s = EpochSeries::new(0, 10, 0, None);
+        // A cold virtualized 4K walk: 24 total references, 4 of them in
+        // the guest dimension and 20 in the host dimension.
+        s.on_event(&TranslationEvent::PageWalk { memory_refs: 24 });
+        s.on_event(&TranslationEvent::NestedWalk {
+            guest_refs: 4,
+            host_refs: 20,
+        });
+        s.on_event(&access(20));
+        s.on_event(&TranslationEvent::StepEnd);
+        let row = &s.rows()[0];
+        assert_eq!(row.walk_refs, 24);
+        assert_eq!(row.guest_walk_refs, 4);
+        assert_eq!(row.host_walk_refs, 20);
+        // Native walks leave the per-dimension columns at zero.
+        s.on_event(&TranslationEvent::PageWalk { memory_refs: 4 });
+        s.on_event(&access(10));
+        s.on_event(&TranslationEvent::StepEnd);
+        let row = &s.rows()[1];
+        assert_eq!(row.walk_refs, 4);
+        assert_eq!((row.guest_walk_refs, row.host_walk_refs), (0, 0));
     }
 
     #[test]

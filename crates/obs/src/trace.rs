@@ -211,6 +211,16 @@ fn event_json(event: &TranslationEvent) -> (&'static str, Vec<(&'static str, Jso
             "RangeTableWalk",
             vec![("memory_refs", n(f64::from(memory_refs)))],
         ),
+        E::NestedWalk {
+            guest_refs,
+            host_refs,
+        } => (
+            "NestedWalk",
+            vec![
+                ("guest_refs", n(f64::from(guest_refs))),
+                ("host_refs", n(f64::from(host_refs))),
+            ],
+        ),
         E::EpochSettle {
             l1_4k_ways,
             l1_2m_ways,

@@ -18,14 +18,15 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use eeat_core::{LiteController, LiteParams, ThresholdEpsilon, TranslationOrg};
-use eeat_paging::{MmuCaches, PageTable, PageWalker};
+use eeat_paging::{MmuCaches, NestedWalker, PageTable, PageWalker};
 use eeat_tlb::{CoalescedTlb, FullyAssocTlb, PageTranslation, RangeTlb, SetAssocTlb, TlbStats};
 use eeat_types::rng::{RngCore, RngExt, SeedableRng, SmallRng, SplitMix64};
 use eeat_types::{PageSize, Pfn, PhysAddr, RangeTranslation, VirtAddr, VirtRange, Vpn};
 
 use crate::lite::OracleLite;
 use crate::model::{
-    OracleAsidTlb, OracleColtTlb, OraclePageTlb, OracleRangeTlb, OracleStats, OracleWalker,
+    OracleAsidTlb, OracleColtTlb, OracleNestedWalker, OraclePageTlb, OracleRangeTlb, OracleStats,
+    OracleWalker,
 };
 
 /// The production structure a fuzz run drives.
@@ -48,11 +49,16 @@ pub enum Target {
     /// context switches, global entries, cross-core shootdowns, delivery
     /// ordering, and shootdown-vs-refill races.
     Multicore,
+    /// [`NestedWalker`] over fixed guest + EPT tables versus
+    /// [`OracleNestedWalker`]: per-dimension reference counts and cache
+    /// refills, nested-TLB combined entries, guest/host shootdowns racing
+    /// walks, and VM-switch flushes.
+    Nested,
 }
 
 impl Target {
     /// Every target, in the order [`fuzz_seed`] drives them.
-    pub const ALL: [Target; 7] = [
+    pub const ALL: [Target; 8] = [
         Target::SetAssoc,
         Target::FullyAssoc,
         Target::Range,
@@ -60,6 +66,7 @@ impl Target {
         Target::Lite,
         Target::Colt,
         Target::Multicore,
+        Target::Nested,
     ];
 
     /// The replay-file token naming this target.
@@ -72,6 +79,7 @@ impl Target {
             Target::Lite => "lite",
             Target::Colt => "colt",
             Target::Multicore => "multicore",
+            Target::Nested => "nested",
         }
     }
 
@@ -145,10 +153,17 @@ pub enum Op {
         /// Length in bytes.
         len: u64,
     },
-    /// Page-walk `va` through the MMU caches.
+    /// Page-walk `va` through the MMU caches (for the nested target, `va`
+    /// is a guest-virtual address and the walk spans both dimensions).
     Walk {
         /// Raw virtual address.
         va: u64,
+    },
+    /// Host-side shootdown of the guest-physical address `gpa` (an EPT
+    /// change; nested target only).
+    InvalidateHost {
+        /// Raw guest-physical address.
+        gpa: u64,
     },
     /// Record a hit at LRU `rank` in Lite monitor `monitor`.
     LiteHit {
@@ -337,6 +352,68 @@ fn mmu_mappings() -> Vec<PageTranslation> {
     m
 }
 
+/// The fixed guest table of the nested target (gVA → gPA): a 4 KiB
+/// cluster, 2 MiB runs, a 1 GiB page, and one page whose data frame has no
+/// EPT backing — so walks exercise every guest terminal level plus the
+/// host-fault path.
+fn nested_guest_mappings() -> Vec<PageTranslation> {
+    let mut m = Vec::new();
+    // 4 KiB cluster: data gPAs in the 8 GiB region (EPT-backed at 2 MiB).
+    for vpn in 0..16 {
+        m.push(PageTranslation::new(
+            Vpn::new(vpn),
+            Pfn::new((1 << 21) + vpn),
+            PageSize::Size4K,
+        ));
+    }
+    // 2 MiB runs, gPA-contiguous after the cluster's EPT region.
+    for region in 8..12u64 {
+        m.push(PageTranslation::new(
+            Vpn::new(region * 512),
+            Pfn::new((1 << 21) + region * 512),
+            PageSize::Size2M,
+        ));
+    }
+    // A 1 GiB guest page backed by a 1 GiB EPT entry.
+    m.push(PageTranslation::new(
+        Vpn::new(8 * 262_144),
+        Pfn::new(1 << 23),
+        PageSize::Size1G,
+    ));
+    // Data frame outside every EPT entry: the host-fault path.
+    m.push(PageTranslation::new(
+        Vpn::new(64),
+        Pfn::new(3 << 21),
+        PageSize::Size4K,
+    ));
+    m
+}
+
+/// The fixed EPT of the nested target (gPA → hPA): a 2 MiB entry under the
+/// 4 KiB cluster, 2 MiB entries under the guest runs, and a 1 GiB entry
+/// under the guest's 1 GiB page. The `3 << 21` data region is deliberately
+/// unmapped.
+fn nested_ept_mappings() -> Vec<PageTranslation> {
+    let mut m = vec![PageTranslation::new(
+        Vpn::new(1 << 21),
+        Pfn::new(1 << 22),
+        PageSize::Size2M,
+    )];
+    for region in 8..12u64 {
+        m.push(PageTranslation::new(
+            Vpn::new((1 << 21) + region * 512),
+            Pfn::new((1 << 22) + region * 512),
+            PageSize::Size2M,
+        ));
+    }
+    m.push(PageTranslation::new(
+        Vpn::new(1 << 23),
+        Pfn::new(1 << 24),
+        PageSize::Size1G,
+    ));
+    m
+}
+
 // ---------------------------------------------------------------------------
 // Sequence generation
 // ---------------------------------------------------------------------------
@@ -496,6 +573,58 @@ fn gen_mmu(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
         .collect()
 }
 
+fn gen_nested_gva(rng: &mut SmallRng) -> u64 {
+    match rng.random_range(0..7u64) {
+        // The 4 KiB cluster.
+        0 => rng.random_range(0..16u64) * KB4 + rng.random_range(0..KB4),
+        // The 2 MiB runs.
+        1 => (8 + rng.random_range(0..4u64)) * MB2 + rng.random_range(0..MB2),
+        // Inside the 1 GiB page at 8 GiB.
+        2 => (8u64 << 30) + rng.random_range(0..(1u64 << 30)),
+        // The EPT-hole page.
+        3 => 64 * KB4 + rng.random_range(0..KB4),
+        // Unmapped guest holes.
+        4 => (10u64 << 20) + rng.random_range(0..(6u64 << 20)),
+        5 => (5u64 << 30) + rng.random_range(0..(1u64 << 30)),
+        _ => rng.random_range(0..16u64) * KB4 + rng.random_range(0..KB4),
+    }
+}
+
+fn gen_nested_gpa(rng: &mut SmallRng) -> u64 {
+    match rng.random_range(0..4u64) {
+        // Data gPAs of the 4 KiB cluster / 2 MiB runs.
+        0 => ((1u64 << 21) + rng.random_range(0..16u64)) * KB4,
+        1 => {
+            ((1u64 << 21) + (8 + rng.random_range(0..4u64)) * 512) * KB4 + rng.random_range(0..MB2)
+        }
+        // Inside the 1 GiB host mapping.
+        2 => (1u64 << 23) * KB4 + rng.random_range(0..(1u64 << 30)),
+        // A synthesized structure-page gPA (combined-entry shootdown).
+        _ => {
+            let level = 1 + rng.random_range(0..4u64) as u32;
+            let gva = VirtAddr::new(gen_nested_gva(rng));
+            ((u64::from(level) << 45) | (gva.raw() >> (12 + 9 * level))) << 12
+        }
+    }
+}
+
+fn gen_nested(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u64) {
+            0..70 => Op::Walk {
+                va: gen_nested_gva(rng),
+            },
+            70..84 => Op::Invalidate {
+                va: gen_nested_gva(rng),
+            },
+            84..96 => Op::InvalidateHost {
+                gpa: gen_nested_gpa(rng),
+            },
+            _ => Op::Flush,
+        })
+        .collect()
+}
+
 fn gen_lite(rng: &mut SmallRng, steps: usize) -> Vec<Op> {
     let relative = rng.random_bool(0.5);
     let mut ops = vec![Op::LiteConfig {
@@ -649,6 +778,7 @@ fn gen_ops(target: Target, seed: u64, steps: usize) -> Vec<Op> {
         Target::Lite => gen_lite(&mut rng, steps),
         Target::Colt => gen_colt(&mut rng, steps),
         Target::Multicore => gen_multicore(&mut rng, steps),
+        Target::Nested => gen_nested(&mut rng, steps),
     }
 }
 
@@ -1016,6 +1146,141 @@ impl MmuHarness {
     }
 }
 
+struct NestedHarness {
+    guest_table: PageTable,
+    ept: PageTable,
+    prod: NestedWalker,
+    oracle: OracleNestedWalker,
+}
+
+impl NestedHarness {
+    fn new() -> Self {
+        let mut guest_table = PageTable::new();
+        for t in nested_guest_mappings() {
+            guest_table
+                .map(t)
+                .expect("fixed guest mappings are disjoint");
+        }
+        let mut ept = PageTable::new();
+        for t in nested_ept_mappings() {
+            ept.map(t).expect("fixed EPT mappings are disjoint");
+        }
+        Self {
+            guest_table,
+            ept,
+            prod: NestedWalker::sandy_bridge(),
+            oracle: OracleNestedWalker::new(nested_guest_mappings(), nested_ept_mappings()),
+        }
+    }
+
+    fn step(&mut self, op: Op) -> Result<(), String> {
+        match op {
+            Op::Walk { va } => {
+                let gva = VirtAddr::new(va);
+                let r = self.prod.walk(&self.guest_table, &self.ept, gva);
+                let o = self.oracle.walk(gva);
+                check(r.translation == o.translation, || {
+                    format!(
+                        "guest translation diverged: prod {:?} vs oracle {:?}",
+                        r.translation, o.translation
+                    )
+                })?;
+                check(r.host_translation == o.host_translation, || {
+                    format!(
+                        "host translation diverged: prod {:?} vs oracle {:?}",
+                        r.host_translation, o.host_translation
+                    )
+                })?;
+                check(
+                    (r.memory_refs, r.guest_refs, r.host_refs)
+                        == (o.memory_refs, o.guest_refs, o.host_refs),
+                    || {
+                        format!(
+                            "refs diverged: prod {}={}g+{}h vs oracle {}={}g+{}h",
+                            r.memory_refs,
+                            r.guest_refs,
+                            r.host_refs,
+                            o.memory_refs,
+                            o.guest_refs,
+                            o.host_refs
+                        )
+                    },
+                )?;
+                check(r.guest_hit_level == o.guest_hit_level, || {
+                    format!(
+                        "guest hit level diverged: prod {:?} vs oracle {:?}",
+                        r.guest_hit_level, o.guest_hit_level
+                    )
+                })?;
+                check(r.nested_tlb_hits == o.nested_tlb_hits, || {
+                    format!(
+                        "nested-TLB hits diverged: prod {} vs oracle {}",
+                        r.nested_tlb_hits, o.nested_tlb_hits
+                    )
+                })?;
+            }
+            Op::Invalidate { va } => {
+                // A guest-side shootdown: the caller supplies the old data
+                // gPN when it knows it, exactly as the simulator derives it
+                // from the guest table before unmapping.
+                let gva = VirtAddr::new(va);
+                let data_gpn = self
+                    .guest_table
+                    .translate(gva)
+                    .map(|t| t.translate(gva).raw() >> 12);
+                let oracle_gpn = self
+                    .oracle
+                    .guest
+                    .translate(gva)
+                    .map(|t| t.translate(gva).raw() >> 12);
+                check(data_gpn == oracle_gpn, || {
+                    format!("data gPN diverged: prod {data_gpn:?} vs oracle {oracle_gpn:?}")
+                })?;
+                let p = self.prod.invalidate_guest(gva, data_gpn);
+                let o = self.oracle.invalidate_guest(gva, oracle_gpn);
+                check(p == o, || {
+                    format!("guest invalidate removed prod {p} vs oracle {o}")
+                })?;
+            }
+            Op::InvalidateHost { gpa } => {
+                let gpa = VirtAddr::new(gpa);
+                let p = self.prod.invalidate_host(gpa);
+                let o = self.oracle.invalidate_host(gpa);
+                check(p == o, || {
+                    format!("host invalidate removed prod {p} vs oracle {o}")
+                })?;
+            }
+            Op::Flush => {
+                self.prod.flush();
+                self.oracle.flush();
+            }
+            other => panic!("op {other:?} not applicable to nested"),
+        }
+        let pg = self.prod.guest_caches();
+        let ph = self.prod.host_caches();
+        let og = &self.oracle.guest.caches;
+        let oh = &self.oracle.host.caches;
+        let pairs = [
+            ("guest pde", pg.pde(), &og.pde),
+            ("guest pdpte", pg.pdpte(), &og.pdpte),
+            ("guest pml4", pg.pml4(), &og.pml4),
+            ("host pde", ph.pde(), &oh.pde),
+            ("host pdpte", ph.pdpte(), &oh.pdpte),
+            ("host pml4", ph.pml4(), &oh.pml4),
+            (
+                "nested tlb",
+                self.prod.nested_tlb(),
+                &self.oracle.nested_tlb,
+            ),
+        ];
+        for (name, p, o) in pairs {
+            check_stats(&o.stats, p.stats(), name)?;
+            occupancy_check(p.occupancy(), o.occupancy())?;
+        }
+        Ok(())
+    }
+}
+
 const LITE_MONITORS: [usize; 2] = [4, 4];
 
 struct LiteHarness {
@@ -1355,6 +1620,12 @@ pub fn run_ops(target: Target, ops: &[Op]) -> Result<(), Divergence> {
                 wrap(step, op, h.step(op))?;
             }
         }
+        Target::Nested => {
+            let mut h = NestedHarness::new();
+            for (step, &op) in ops.iter().enumerate() {
+                wrap(step, op, h.step(op))?;
+            }
+        }
     }
     Ok(())
 }
@@ -1435,6 +1706,7 @@ pub fn format_replay(target: Target, ops: &[Op]) -> String {
             Op::Resize { ways } => format!("resize {ways}"),
             Op::Flush => "flush".to_string(),
             Op::Invalidate { va } => format!("invalidate {va:#x}"),
+            Op::InvalidateHost { gpa } => format!("invalidate_host {gpa:#x}"),
             Op::InvalidateRange { start, len } => {
                 format!("invalidate_range {start:#x} {len:#x}")
             }
@@ -1547,6 +1819,9 @@ pub fn parse_replay(text: &str) -> Result<(Target, Vec<Op>), String> {
             "flush" => Op::Flush,
             "invalidate" => Op::Invalidate {
                 va: parse_u64(arg(0)?).map_err(&fail)?,
+            },
+            "invalidate_host" => Op::InvalidateHost {
+                gpa: parse_u64(arg(0)?).map_err(&fail)?,
             },
             "invalidate_range" => Op::InvalidateRange {
                 start: parse_u64(arg(0)?).map_err(&fail)?,
@@ -1705,6 +1980,9 @@ pub fn targets_for_org(org: &'static dyn TranslationOrg) -> Vec<Target> {
     if plan.coalesced_l1 {
         targets.push(Target::Colt);
     }
+    if config.depth.is_virtualized() {
+        targets.push(Target::Nested);
+    }
     assert!(
         !targets.is_empty(),
         "org {:?} has no oracle fuzz target: none of its structures map to \
@@ -1742,6 +2020,16 @@ mod tests {
             // registry; every other target must be owned by some org.
             if target == Target::FullyAssoc {
                 assert!(!covered.contains(&target), "no registered org is FA");
+                continue;
+            }
+            // Virtualized mode is a per-run depth switch layered over any
+            // org, not a registry entry of its own; the nested target is
+            // reached through `targets_for_org` only when a config opts in.
+            if target == Target::Nested {
+                assert!(
+                    !covered.contains(&target),
+                    "no registered org is virtualized"
+                );
                 continue;
             }
             assert!(covered.contains(&target), "{target} covered by no org");

@@ -21,6 +21,9 @@
 //! * [`OracleTagCache`] / [`OracleMmuCaches`] / [`OracleWalker`] — the
 //!   paging-structure caches and a page walker whose memory-reference count
 //!   is one arithmetic expression over the deepest cached level.
+//! * [`OracleNestedWalker`] — the two-dimensional (guest + host) walker:
+//!   two linear-scan dimensions joined by a nested TLB of combined gPN
+//!   entries, cross-checking the virtualized walk protocol step by step.
 //! * [`OracleLite`] — recomputes the Lite interval decision from the *full
 //!   log* of per-hit LRU ranks instead of the production controller's
 //!   compressed power-of-two counters.
@@ -46,6 +49,6 @@ pub use fuzz::{
 };
 pub use lite::OracleLite;
 pub use model::{
-    OracleAsidTlb, OracleColtTlb, OracleMmuCaches, OraclePageTlb, OracleRangeTlb, OracleStats,
-    OracleTagCache, OracleWalker,
+    OracleAsidTlb, OracleColtTlb, OracleMmuCaches, OracleNestedResult, OracleNestedWalker,
+    OraclePageTlb, OracleRangeTlb, OracleStats, OracleTagCache, OracleWalker,
 };

@@ -1160,21 +1160,205 @@ impl OracleWalker {
         self.mappings.iter().copied().find(|m| m.covers(va))
     }
 
+    /// The lowest level whose entry along `va`'s walk path is a present
+    /// non-terminal table pointer, derived by linear scan: the level-`L`
+    /// entry is a table iff some mapping shares `va`'s walk-path indices
+    /// down to `L` and terminates below `L` (a same-tag terminal *at* `L`
+    /// is a page entry and stops the descent without extending the floor).
+    fn present_table_floor(&self, va: VirtAddr) -> Option<u32> {
+        let mut floor = None;
+        for level in (2..=4u32).rev() {
+            let shift = 12 + 9 * (level - 1);
+            let tag = va.raw() >> shift;
+            let is_table = self.mappings.iter().any(|m| {
+                m.size().mapping_level() < level && m.vpn().base_addr().raw() >> shift == tag
+            });
+            if is_table {
+                floor = Some(level);
+            } else {
+                return floor;
+            }
+        }
+        floor
+    }
+
     /// Walks `va`: returns the translation (if mapped) and the number of
     /// memory references charged, refilling the cache models like the
-    /// production walker does.
+    /// production walker does — including, on a fault, the non-terminal
+    /// levels that exist above the hole.
     pub fn walk(&mut self, va: VirtAddr) -> (Option<PageTranslation>, u32) {
+        let (translation, refs, _) = self.walk_detailed(va);
+        (translation, refs)
+    }
+
+    /// [`walk`](Self::walk) additionally reporting the level of the deepest
+    /// MMU-cache hit (the nested model needs it to enumerate the structure
+    /// pages the guest descent fetched).
+    pub fn walk_detailed(&mut self, va: VirtAddr) -> (Option<PageTranslation>, u32, Option<u32>) {
         let hit_level = self.caches.deepest_cached_level(va);
         let start_level = hit_level.unwrap_or(5) - 1;
         let translation = self.translate(va);
         let terminal_level = translation.map(|t| t.size().mapping_level()).unwrap_or(1);
         let memory_refs = start_level - terminal_level + 1;
-        if translation.is_some() {
-            for level in (terminal_level + 1..=start_level).rev() {
-                self.caches.fill_level(va, level);
+        match translation {
+            Some(_) => {
+                for level in (terminal_level + 1..=start_level).rev() {
+                    self.caches.fill_level(va, level);
+                }
+            }
+            None => {
+                if let Some(floor) = self.present_table_floor(va) {
+                    for level in (floor..=start_level).rev() {
+                        self.caches.fill_level(va, level);
+                    }
+                }
             }
         }
-        (translation, memory_refs)
+        (translation, memory_refs, hit_level)
+    }
+
+    /// Mirror of [`RadixWalk::descend_fixed`](eeat_paging::RadixWalk): a
+    /// modeled descent for an address known to terminate at
+    /// `terminal_level`, with no backing mapping list.
+    pub fn descend_fixed(&mut self, va: VirtAddr, terminal_level: u32) -> u32 {
+        let hit_level = self.caches.deepest_cached_level(va);
+        let start_level = hit_level.unwrap_or(5) - 1;
+        let memory_refs = start_level - terminal_level + 1;
+        for level in (terminal_level + 1..=start_level).rev() {
+            self.caches.fill_level(va, level);
+        }
+        memory_refs
+    }
+}
+
+/// The outcome of one [`OracleNestedWalker`] walk, field-for-field
+/// comparable with [`eeat_paging::NestedWalkResult`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleNestedResult {
+    /// The guest translation (gVA → gPA), or `None` on a guest fault.
+    pub translation: Option<PageTranslation>,
+    /// The host translation of the data page (gPA → hPA), if any.
+    pub host_translation: Option<PageTranslation>,
+    /// Total memory references, both dimensions.
+    pub memory_refs: u32,
+    /// Guest-dimension references.
+    pub guest_refs: u32,
+    /// Host-dimension references.
+    pub host_refs: u32,
+    /// Deepest guest MMU-cache hit level.
+    pub guest_hit_level: Option<u32>,
+    /// Nested-TLB hits that skipped a host sub-walk.
+    pub nested_tlb_hits: u32,
+}
+
+/// Reference model of [`eeat_paging::NestedWalker`]: two linear-scan
+/// [`OracleWalker`] dimensions (guest mappings and the EPT) joined by a
+/// nested TLB of combined gPN entries, with the same synthesized
+/// structure-page layout as production.
+#[derive(Clone, Debug)]
+pub struct OracleNestedWalker {
+    /// Guest dimension: gVA-keyed caches over the guest mapping list.
+    pub guest: OracleWalker,
+    /// Host dimension: gPA-keyed caches over the EPT mapping list.
+    pub host: OracleWalker,
+    /// The nested TLB of combined gPN entries (32-entry fully associative).
+    pub nested_tlb: OracleTagCache,
+    structure_terminal: u32,
+}
+
+impl OracleNestedWalker {
+    /// Creates the model over fixed guest and EPT mapping lists, matching
+    /// [`eeat_paging::NestedWalker::sandy_bridge`].
+    pub fn new(guest_mappings: Vec<PageTranslation>, ept_mappings: Vec<PageTranslation>) -> Self {
+        Self {
+            guest: OracleWalker::new(guest_mappings),
+            host: OracleWalker::new(ept_mappings),
+            nested_tlb: OracleTagCache::new(32, 32),
+            structure_terminal: 1,
+        }
+    }
+
+    /// Mirror of [`eeat_paging::NestedWalker::structure_gpn`].
+    fn structure_gpn(gva: VirtAddr, level: u32) -> u64 {
+        (u64::from(level) << 45) | (gva.raw() >> (12 + 9 * level))
+    }
+
+    /// One nested walk of `gva`, mirroring the production walker step for
+    /// step: guest descent, a host sub-walk (or nested-TLB hit) per guest
+    /// structure reference, then the data frame through the EPT.
+    pub fn walk(&mut self, gva: VirtAddr) -> OracleNestedResult {
+        let (translation, guest_refs, guest_hit_level) = self.guest.walk_detailed(gva);
+        let start_level = guest_hit_level.unwrap_or(5) - 1;
+        let lowest_fetched = start_level - guest_refs + 1;
+
+        let mut host_refs = 0u32;
+        let mut nested_tlb_hits = 0u32;
+        for level in (lowest_fetched..=start_level).rev() {
+            let gpn = Self::structure_gpn(gva, level);
+            if self.nested_tlb.lookup(gpn) {
+                nested_tlb_hits += 1;
+            } else {
+                host_refs += self
+                    .host
+                    .descend_fixed(VirtAddr::new(gpn << 12), self.structure_terminal);
+                self.nested_tlb.insert(gpn);
+            }
+        }
+
+        let host_translation = match translation {
+            Some(t) => {
+                let gpa = VirtAddr::new(t.translate(gva).raw());
+                let gpn = gpa.raw() >> 12;
+                if self.nested_tlb.lookup(gpn) {
+                    nested_tlb_hits += 1;
+                    self.host.translate(gpa)
+                } else {
+                    let (ht, refs) = self.host.walk(gpa);
+                    host_refs += refs;
+                    if ht.is_some() {
+                        self.nested_tlb.insert(gpn);
+                    }
+                    ht
+                }
+            }
+            None => None,
+        };
+
+        OracleNestedResult {
+            translation,
+            host_translation,
+            memory_refs: guest_refs + host_refs,
+            guest_refs,
+            host_refs,
+            guest_hit_level,
+            nested_tlb_hits,
+        }
+    }
+
+    /// Mirror of [`eeat_paging::NestedWalker::invalidate_guest`].
+    pub fn invalidate_guest(&mut self, gva: VirtAddr, data_gpn: Option<u64>) -> u64 {
+        let mut removed = self.guest.caches.invalidate(gva);
+        for level in 1..=4 {
+            removed += u64::from(self.nested_tlb.invalidate(Self::structure_gpn(gva, level)));
+        }
+        if let Some(gpn) = data_gpn {
+            removed += u64::from(self.nested_tlb.invalidate(gpn));
+        }
+        removed
+    }
+
+    /// Mirror of [`eeat_paging::NestedWalker::invalidate_host`].
+    pub fn invalidate_host(&mut self, gpa: VirtAddr) -> u64 {
+        let mut removed = self.host.caches.invalidate(gpa);
+        removed += u64::from(self.nested_tlb.invalidate(gpa.raw() >> 12));
+        removed
+    }
+
+    /// Mirror of [`eeat_paging::NestedWalker::flush`].
+    pub fn flush(&mut self) {
+        self.guest.caches.flush();
+        self.host.caches.flush();
+        self.nested_tlb.flush();
     }
 }
 

@@ -23,6 +23,40 @@ const MMAP_BASE: u64 = 0x5000_0000_0000;
 /// Guard gap left between consecutive VMAs.
 const GUARD_BYTES: u64 = 2 << 20;
 
+/// The host (hypervisor) dimension of a virtualized address space: an
+/// extended page table (EPT) translating guest-physical frames to
+/// host-physical frames, backed by its own frame allocator (one shard of
+/// the machine under multi-tenancy, like the guest's).
+///
+/// The EPT reuses [`PageTable`] with guest-physical addresses as the lookup
+/// key: the host dimension of a nested walk is the same radix structure as
+/// the guest's, just keyed one address space over.
+struct HostDimension {
+    ept: PageTable,
+    frames: FrameAllocator,
+}
+
+impl HostDimension {
+    /// EPT-maps the guest frames behind one freshly mapped guest page,
+    /// allocating host frames at the same granularity. Idempotent per
+    /// guest-physical page: THP demotion remaps the same guest frames at
+    /// 4 KiB, and their gPA→hPA translation must not change.
+    fn map_frames(&mut self, gpfn: Pfn, size: PageSize) {
+        let gpa = VirtAddr::new(gpfn.base_addr().raw());
+        if self.ept.translate(gpa).is_some() {
+            return;
+        }
+        let hpfn = match size {
+            PageSize::Size4K => self.frames.alloc_frame(),
+            _ => self.frames.alloc_huge(size),
+        }
+        .expect("host physical memory exhausted");
+        self.ept
+            .map(PageTranslation::new(Vpn::new(gpfn.raw()), hpfn, size))
+            .expect("guest frames are allocated once, EPT cannot overlap");
+    }
+}
+
 /// A simulated process address space under one [`PagingPolicy`].
 ///
 /// Allocation requests ([`mmap`](Self::mmap)) install all mappings eagerly:
@@ -40,6 +74,7 @@ pub struct AddressSpace {
     page_table: PageTable,
     range_table: RangeTable,
     frames: FrameAllocator,
+    host: Option<HostDimension>,
     vmas: Vec<Vma>,
     next_mmap: VirtAddr,
     rng: SmallRng,
@@ -70,6 +105,7 @@ impl AddressSpace {
             page_table: PageTable::new(),
             range_table: RangeTable::new(),
             frames,
+            host: None,
             vmas: Vec::new(),
             next_mmap: VirtAddr::new(MMAP_BASE),
             rng: SmallRng::seed_from_u64(seed ^ 0x05ce_a110_c871),
@@ -102,6 +138,60 @@ impl AddressSpace {
     pub fn set_alloc_contiguity(&mut self, prob: f64) {
         assert!((0.0..=1.0).contains(&prob), "probability out of range");
         self.alloc_contiguity = prob;
+    }
+
+    /// Adds a host dimension: every guest-physical frame handed out from
+    /// here on is additionally mapped guest-physical → host-physical in an
+    /// EPT. Equivalent to [`virtualize_with`](Self::virtualize_with) over a
+    /// host shard the same size and shape as the guest's — host and guest
+    /// frame numbers live in different dimensions, so they may coincide.
+    pub fn virtualize(&mut self) {
+        let host = FrameAllocator::with_base(self.frames.base_frame(), self.frames.total_frames());
+        self.virtualize_with(host);
+    }
+
+    /// Adds a host dimension backed by a caller-built host frame allocator —
+    /// the multi-tenant path, where each virtual machine's physical memory
+    /// is one disjoint shard of the host machine (see
+    /// [`ShardedFrameAllocator`](crate::ShardedFrameAllocator)).
+    ///
+    /// Guest pages are EPT-mapped at the same granularity they are
+    /// guest-mapped (a 2 MiB guest page gets a 2 MiB EPT entry), so the host
+    /// dimension of a nested walk sees the same page-size mix as the guest
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or after any page has been mapped — the EPT
+    /// is built as guest frames are allocated, so late virtualization would
+    /// leave earlier frames untranslatable.
+    pub fn virtualize_with(&mut self, host_frames: FrameAllocator) {
+        assert!(self.host.is_none(), "address space is already virtualized");
+        assert!(
+            self.base_pages == 0 && self.huge_pages == 0,
+            "virtualize before populating the address space"
+        );
+        self.host = Some(HostDimension {
+            ept: PageTable::new(),
+            frames: host_frames,
+        });
+    }
+
+    /// `true` when a host dimension exists.
+    pub fn is_virtualized(&self) -> bool {
+        self.host.is_some()
+    }
+
+    /// The extended page table (guest-physical → host-physical), or `None`
+    /// for a native address space.
+    pub fn ept(&self) -> Option<&PageTable> {
+        self.host.as_ref().map(|h| &h.ept)
+    }
+
+    /// The host-physical frame allocator, or `None` for a native address
+    /// space.
+    pub fn host_frames(&self) -> Option<&FrameAllocator> {
+        self.host.as_ref().map(|h| &h.frames)
     }
 
     /// The paging policy in effect.
@@ -291,6 +381,9 @@ impl AddressSpace {
         self.page_table
             .map(PageTranslation::new(vpn, pfn, size))
             .expect("fresh VMA region cannot overlap");
+        if let Some(host) = &mut self.host {
+            host.map_frames(pfn, size);
+        }
         match size {
             PageSize::Size4K => self.base_pages += 1,
             PageSize::Size2M => self.huge_pages += 1,
@@ -555,6 +648,95 @@ mod tests {
     fn empty_mmap_rejected() {
         let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
         asp.mmap(0, true, "nothing");
+    }
+
+    /// Every guest-physical address reachable through the guest page table
+    /// must translate through the EPT.
+    fn assert_ept_covers(asp: &AddressSpace, r: VirtRange) {
+        let ept = asp.ept().expect("virtualized");
+        for i in 0..(r.len() >> 12) {
+            let va = VirtAddr::new(r.start().raw() + (i << 12));
+            let t = asp.page_table().translate(va).unwrap();
+            let gpa = VirtAddr::new(t.translate(va).raw());
+            assert!(
+                ept.translate(gpa).is_some(),
+                "gPA {gpa:?} has no EPT mapping"
+            );
+        }
+    }
+
+    #[test]
+    fn virtualized_space_builds_ept_alongside_guest_table() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        asp.virtualize();
+        let r = asp.mmap(8 << 20, true, "heap");
+        assert!(asp.is_virtualized());
+        assert_eq!(asp.huge_pages(), 4);
+        // Huge guest pages get huge EPT entries.
+        let t = asp.page_table().translate(r.start()).unwrap();
+        let gpa = VirtAddr::new(t.translate(r.start()).raw());
+        let h = asp.ept().unwrap().translate(gpa).unwrap();
+        assert_eq!(h.size(), PageSize::Size2M);
+        assert_ept_covers(&asp, r);
+        assert_eq!(asp.host_frames().unwrap().allocated_frames(), 4 * 512);
+    }
+
+    #[test]
+    fn ept_survives_huge_page_demotion() {
+        let mut asp = AddressSpace::new(PagingPolicy::Thp, 1);
+        asp.virtualize();
+        let r = asp.mmap(2 << 20, true, "heap");
+        let va = VirtAddr::new(r.start().raw() + 0x3000);
+        let t = asp.page_table().translate(va).unwrap();
+        let gpa = VirtAddr::new(t.translate(va).raw());
+        let hpa_before = asp.ept().unwrap().translate(gpa).unwrap().translate(gpa);
+        let host_allocated = asp.host_frames().unwrap().allocated_frames();
+
+        asp.break_huge_page(va).unwrap();
+        // Demotion changes the guest dimension only: same gPA, same hPA, no
+        // new host frames.
+        let t = asp.page_table().translate(va).unwrap();
+        assert_eq!(t.size(), PageSize::Size4K);
+        assert_eq!(VirtAddr::new(t.translate(va).raw()), gpa);
+        let after = asp.ept().unwrap().translate(gpa).unwrap();
+        assert_eq!(after.size(), PageSize::Size2M, "EPT entry left intact");
+        assert_eq!(after.translate(gpa), hpa_before);
+        assert_eq!(
+            asp.host_frames().unwrap().allocated_frames(),
+            host_allocated
+        );
+        assert_ept_covers(&asp, r);
+    }
+
+    #[test]
+    fn virtualized_eager_paging_covers_ranges() {
+        let mut asp = AddressSpace::new(PagingPolicy::Rmm4K, 1);
+        asp.virtualize_with(FrameAllocator::with_base(1 << 30, 1 << 20));
+        let r = asp.mmap(4 << 20, true, "heap");
+        assert_eq!(asp.range_table().len(), 1);
+        assert_ept_covers(&asp, r);
+        // Host frames come from the caller-provided shard.
+        let t = asp.page_table().translate(r.start()).unwrap();
+        let gpa = VirtAddr::new(t.translate(r.start()).raw());
+        let h = asp.ept().unwrap().translate(gpa).unwrap();
+        assert!(h.pfn().raw() >= 1 << 30);
+    }
+
+    #[test]
+    fn native_space_has_no_host_dimension() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        asp.mmap(1 << 20, true, "heap");
+        assert!(!asp.is_virtualized());
+        assert!(asp.ept().is_none());
+        assert!(asp.host_frames().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "before populating")]
+    fn late_virtualization_rejected() {
+        let mut asp = AddressSpace::new(PagingPolicy::FourK, 1);
+        asp.mmap(4096, true, "page");
+        asp.virtualize();
     }
 
     #[test]

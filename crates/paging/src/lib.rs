@@ -13,7 +13,13 @@
 //!   on every walk.
 //! * [`PageWalker`] — executes a walk: probes the MMU caches, counts the
 //!   memory references actually needed, refills the caches, and returns the
-//!   terminal translation.
+//!   terminal translation. It wraps [`RadixWalk`], the reusable
+//!   single-dimension descent core.
+//! * [`NestedWalker`] — the virtualized, two-dimensional walker: a guest
+//!   `RadixWalk` whose every paging-structure reference is translated
+//!   through a host `RadixWalk` over the EPT, with a nested TLB of combined
+//!   entries in between. A cold 4×4 walk costs `(4+1)·(4+1)−1 = 24` memory
+//!   references.
 //!
 //! # Examples
 //!
@@ -37,11 +43,13 @@
 #![warn(missing_docs)]
 
 mod mmu_cache;
+mod nested;
 mod page_table;
 mod tag_cache;
 mod walker;
 
 pub use mmu_cache::MmuCaches;
+pub use nested::{NestedWalkResult, NestedWalker};
 pub use page_table::{MapError, PageTable};
 pub use tag_cache::TagCache;
-pub use walker::{PageWalker, WalkResult};
+pub use walker::{PageWalker, RadixWalk, WalkResult};

@@ -1,0 +1,557 @@
+//! The two-dimensional (nested) page walker for virtualized mode.
+//!
+//! Under hardware-assisted virtualization the guest's page table holds
+//! guest-physical addresses, so every paging-structure reference of a guest
+//! walk must itself be translated through the host's extended page table
+//! (EPT). A cold g-level guest walk over an h-level host dimension costs
+//! `(g+1)·(h+1)−1` memory references — 24 for the 4×4 case — instead of the
+//! native 4 (AMD's nested-paging whitepaper; the HATRIC paper's setting).
+
+use core::fmt;
+
+use eeat_tlb::PageTranslation;
+use eeat_types::VirtAddr;
+
+use crate::mmu_cache::MmuCaches;
+use crate::page_table::PageTable;
+use crate::tag_cache::TagCache;
+use crate::walker::RadixWalk;
+
+/// The outcome of one nested (guest + host) page walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NestedWalkResult {
+    /// The guest translation (gVA → gPA), or `None` on a guest fault.
+    pub translation: Option<PageTranslation>,
+    /// The host translation of the data page (gPA → hPA), or `None` when
+    /// the guest faulted or the EPT has no mapping for the data frame.
+    pub host_translation: Option<PageTranslation>,
+    /// Total memory references: guest plus host dimension.
+    pub memory_refs: u32,
+    /// References spent in the guest dimension (1–4, as a native walk).
+    pub guest_refs: u32,
+    /// References spent in the host dimension (EPT sub-walks).
+    pub host_refs: u32,
+    /// Level of the deepest guest MMU-cache hit, as in a native walk.
+    pub guest_hit_level: Option<u32>,
+    /// Nested-TLB hits that skipped a host sub-walk entirely (0–5).
+    pub nested_tlb_hits: u32,
+}
+
+impl fmt::Display for NestedWalkResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.translation {
+            Some(t) => write!(
+                f,
+                "nested walk -> {t} ({} refs: {} guest + {} host)",
+                self.memory_refs, self.guest_refs, self.host_refs
+            ),
+            None => write!(f, "nested walk -> fault ({} refs)", self.memory_refs),
+        }
+    }
+}
+
+/// A two-dimensional page walker: a guest [`RadixWalk`] keyed by
+/// guest-virtual addresses, a host [`RadixWalk`] keyed by guest-physical
+/// addresses, and a nested TLB of combined entries in between.
+///
+/// Every guest paging-structure reference is a guest-physical access: the
+/// walker first probes the nested TLB with the structure page's gPN; a hit
+/// skips the host sub-walk, a miss descends the host dimension (shortened
+/// by the host MMU caches) and fills the nested TLB. The final data gPA is
+/// translated the same way, but against the real EPT, so EPT faults and
+/// shootdowns are visible.
+///
+/// Guest paging-structure pages are hypervisor-allocated frames outside the
+/// guest's data gPA range; the walker synthesizes their gPNs per
+/// [`NestedWalker::structure_gpn`] and models their host sub-walks with a
+/// fixed EPT mapping level (4 KiB by default).
+///
+/// # Examples
+///
+/// ```
+/// use eeat_paging::{NestedWalker, PageTable};
+/// use eeat_tlb::PageTranslation;
+/// use eeat_types::{PageSize, Pfn, VirtAddr, Vpn};
+///
+/// let mut guest = PageTable::new();
+/// guest.map(PageTranslation::new(Vpn::new(5), Pfn::new(9), PageSize::Size4K))?;
+/// let mut ept = PageTable::new();
+/// ept.map(PageTranslation::new(Vpn::new(9), Pfn::new(77), PageSize::Size4K))?;
+/// let mut walker = NestedWalker::sandy_bridge();
+/// let cold = walker.walk(&guest, &ept, VirtAddr::new(5 * 4096));
+/// assert_eq!(cold.memory_refs, 24); // (4+1)·(4+1)−1
+/// let warm = walker.walk(&guest, &ept, VirtAddr::new(5 * 4096 + 64));
+/// assert_eq!(warm.memory_refs, 1); // guest PDE hit + nested-TLB hits
+/// # Ok::<(), eeat_paging::MapError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NestedWalker {
+    guest: RadixWalk,
+    host: RadixWalk,
+    nested_tlb: TagCache,
+    structure_terminal: u32,
+    walks: u64,
+    total_memory_refs: u64,
+    total_guest_refs: u64,
+    total_host_refs: u64,
+}
+
+impl NestedWalker {
+    /// Nested-TLB geometry: 32 combined entries, fully associative
+    /// (HATRIC-scale; full associativity also keeps the synthesized
+    /// structure gPNs — whose low index bits are often zero — from
+    /// aliasing into one set).
+    pub const NESTED_TLB_ENTRIES: usize = 32;
+    /// Nested-TLB associativity (fully associative).
+    pub const NESTED_TLB_WAYS: usize = 32;
+
+    /// Creates a nested walker from per-dimension caches and a nested TLB.
+    ///
+    /// Guest paging-structure pages are modelled as EPT-mapped at 4 KiB;
+    /// use [`with_structure_terminal`](Self::with_structure_terminal) to
+    /// model huge-page EPT backing for them.
+    pub fn new(guest: MmuCaches, host: MmuCaches, nested_tlb: TagCache) -> Self {
+        Self {
+            guest: RadixWalk::new(guest),
+            host: RadixWalk::new(host),
+            nested_tlb,
+            structure_terminal: 1,
+            walks: 0,
+            total_memory_refs: 0,
+            total_guest_refs: 0,
+            total_host_refs: 0,
+        }
+    }
+
+    /// The Table-2 configuration in both dimensions plus the default
+    /// nested TLB.
+    pub fn sandy_bridge() -> Self {
+        Self::new(
+            MmuCaches::sandy_bridge(),
+            MmuCaches::sandy_bridge(),
+            TagCache::new(
+                "Nested-TLB",
+                Self::NESTED_TLB_ENTRIES,
+                Self::NESTED_TLB_WAYS,
+            ),
+        )
+    }
+
+    /// Sets the EPT mapping level assumed for guest paging-structure pages
+    /// (1 = 4 KiB, 2 = 2 MiB, 3 = 1 GiB), returning `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `level` is in `1..=3`.
+    pub fn with_structure_terminal(mut self, level: u32) -> Self {
+        assert!((1..=3).contains(&level), "EPT terminal level out of range");
+        self.structure_terminal = level;
+        self
+    }
+
+    /// Guest-physical page number of the guest paging-structure page read
+    /// at `level` (1 = PTE page … 4 = PML4 page) while walking `gva`.
+    ///
+    /// The synthesized layout places each level's table pages in a distinct
+    /// high gPA region (bit 45 upward), far above data frames, so the host
+    /// sub-walks of one cold nested walk share no host MMU-cache entries —
+    /// which is what makes the cold cost exactly `(g+1)·(h+1)−1`. Within a
+    /// level, table pages for adjacent regions have adjacent gPNs, as a
+    /// hypervisor's slab-style allocation would produce.
+    pub fn structure_gpn(gva: VirtAddr, level: u32) -> u64 {
+        debug_assert!((1..=4).contains(&level), "no structure page at {level}");
+        (u64::from(level) << 45) | (gva.raw() >> (12 + 9 * level))
+    }
+
+    /// The guest dimension's MMU caches.
+    pub fn guest_caches(&self) -> &MmuCaches {
+        self.guest.caches()
+    }
+
+    /// The host dimension's MMU caches.
+    pub fn host_caches(&self) -> &MmuCaches {
+        self.host.caches()
+    }
+
+    /// The nested TLB of combined entries.
+    pub fn nested_tlb(&self) -> &TagCache {
+        &self.nested_tlb
+    }
+
+    /// Number of nested walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Total memory references across all walks (both dimensions).
+    pub fn total_memory_refs(&self) -> u64 {
+        self.total_memory_refs
+    }
+
+    /// Total guest-dimension references.
+    pub fn total_guest_refs(&self) -> u64 {
+        self.total_guest_refs
+    }
+
+    /// Total host-dimension references.
+    pub fn total_host_refs(&self) -> u64 {
+        self.total_host_refs
+    }
+
+    /// Average total memory references per walk (0 when no walks).
+    pub fn avg_memory_refs(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.total_memory_refs as f64 / self.walks as f64
+        }
+    }
+
+    /// Resets walk counters and cache statistics (contents remain).
+    pub fn reset_stats(&mut self) {
+        self.walks = 0;
+        self.total_memory_refs = 0;
+        self.total_guest_refs = 0;
+        self.total_host_refs = 0;
+        self.guest.caches_mut().reset_stats();
+        self.host.caches_mut().reset_stats();
+        self.nested_tlb.reset_stats();
+    }
+
+    /// Performs one nested walk of `gva`: a guest descent through
+    /// `guest_table`, with every guest-physical reference (structure pages
+    /// and the final data frame) translated through `ept`.
+    pub fn walk(
+        &mut self,
+        guest_table: &PageTable,
+        ept: &PageTable,
+        gva: VirtAddr,
+    ) -> NestedWalkResult {
+        // Guest dimension: identical to a native walk, including MMU-cache
+        // refill and the worst-case fault charge.
+        let g = self.guest.descend(guest_table, gva);
+        let start_level = g.mmu_hit_level.unwrap_or(5) - 1;
+        let guest_refs = g.memory_refs;
+        let lowest_fetched = start_level - guest_refs + 1;
+
+        let mut host_refs = 0u32;
+        let mut nested_tlb_hits = 0u32;
+
+        // Each guest structure reference reads a guest-physical page that
+        // must itself be translated through the host dimension.
+        for level in (lowest_fetched..=start_level).rev() {
+            let gpn = Self::structure_gpn(gva, level);
+            if self.nested_tlb.lookup(gpn) {
+                nested_tlb_hits += 1;
+            } else {
+                let (refs, _) = self
+                    .host
+                    .descend_fixed(VirtAddr::new(gpn << 12), self.structure_terminal);
+                host_refs += refs;
+                self.nested_tlb.insert(gpn);
+            }
+        }
+
+        // Finally the data frame: its gPA goes through the real EPT, so
+        // host faults and shootdowns are observable here.
+        let host_translation = match g.translation {
+            Some(t) => {
+                let gpa = VirtAddr::new(t.translate(gva).raw());
+                let gpn = gpa.vpn().raw();
+                if self.nested_tlb.lookup(gpn) {
+                    nested_tlb_hits += 1;
+                    ept.translate(gpa)
+                } else {
+                    let h = self.host.descend(ept, gpa);
+                    host_refs += h.memory_refs;
+                    if h.translation.is_some() {
+                        self.nested_tlb.insert(gpn);
+                    }
+                    h.translation
+                }
+            }
+            None => None,
+        };
+
+        let memory_refs = guest_refs + host_refs;
+        self.walks += 1;
+        self.total_memory_refs += u64::from(memory_refs);
+        self.total_guest_refs += u64::from(guest_refs);
+        self.total_host_refs += u64::from(host_refs);
+        NestedWalkResult {
+            translation: g.translation,
+            host_translation,
+            memory_refs,
+            guest_refs,
+            host_refs,
+            guest_hit_level: g.mmu_hit_level,
+            nested_tlb_hits,
+        }
+    }
+
+    /// Guest-side shootdown for `gva`, HATRIC-style: invalidates the guest
+    /// MMU caches and conservatively drops the combined (nested-TLB)
+    /// entries the invalidated walk path created — its structure-page gPNs
+    /// and, when the caller knows it, the old data frame's gPN. Returns the
+    /// number of entries removed.
+    pub fn invalidate_guest(&mut self, gva: VirtAddr, data_gpn: Option<u64>) -> u64 {
+        let mut removed = self.guest.caches_mut().invalidate(gva);
+        for level in 1..=4 {
+            removed += u64::from(self.nested_tlb.invalidate(Self::structure_gpn(gva, level)));
+        }
+        if let Some(gpn) = data_gpn {
+            removed += u64::from(self.nested_tlb.invalidate(gpn));
+        }
+        removed
+    }
+
+    /// Host-side shootdown for a guest-physical address (an EPT change):
+    /// invalidates the host MMU caches and the nested-TLB entry for that
+    /// frame. Returns the number of entries removed.
+    pub fn invalidate_host(&mut self, gpa: VirtAddr) -> u64 {
+        let mut removed = self.host.caches_mut().invalidate(gpa);
+        removed += u64::from(self.nested_tlb.invalidate(gpa.vpn().raw()));
+        removed
+    }
+
+    /// Flushes both dimensions and the nested TLB (e.g. on a VM switch).
+    pub fn flush(&mut self) {
+        self.guest.caches_mut().flush();
+        self.host.caches_mut().flush();
+        self.nested_tlb.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::{PageSize, Pfn, Vpn};
+
+    /// Guest table with one page of `gsize` at `gvpn`, EPT covering its
+    /// data frames at `hsize`.
+    fn setup(gvpn: u64, gsize: PageSize, hsize: PageSize) -> (PageTable, PageTable) {
+        let mut guest = PageTable::new();
+        let gpfn = 1u64 << 21; // 8 GiB gPA: aligned for every page size
+        guest
+            .map(PageTranslation::new(Vpn::new(gvpn), Pfn::new(gpfn), gsize))
+            .unwrap();
+        let mut ept = PageTable::new();
+        ept.map(PageTranslation::new(
+            Vpn::new(gpfn).align_down(hsize),
+            Pfn::new(1 << 22),
+            hsize,
+        ))
+        .unwrap();
+        (guest, ept)
+    }
+
+    #[test]
+    fn cold_4x4_walk_costs_24_refs() {
+        let (guest, ept) = setup(
+            PageSize::Size4K.base_pages(),
+            PageSize::Size4K,
+            PageSize::Size4K,
+        );
+        let mut w = NestedWalker::sandy_bridge();
+        let r = w.walk(&guest, &ept, VirtAddr::new(4096));
+        assert_eq!(r.guest_refs, 4);
+        assert_eq!(r.host_refs, 20);
+        assert_eq!(r.memory_refs, 24);
+        assert_eq!(r.nested_tlb_hits, 0);
+        assert!(r.translation.is_some());
+        assert_eq!(r.host_translation.unwrap().pfn(), Pfn::new(1 << 22));
+    }
+
+    /// Cold cost is `g·(h+1) + h` at every (guest size × host size)
+    /// combination — `(g+1)·(h+1)−1` when the dimensions match.
+    #[test]
+    fn cold_cost_matrix_all_size_combinations() {
+        for gsize in PageSize::ALL {
+            for hsize in PageSize::ALL {
+                let gvpn = gsize.base_pages() * 3;
+                let (guest, ept) = setup(gvpn, gsize, hsize);
+                let mut w =
+                    NestedWalker::sandy_bridge().with_structure_terminal(hsize.mapping_level());
+                let r = w.walk(&guest, &ept, VirtAddr::new(gvpn * 4096));
+                let g = gsize.walk_memory_refs();
+                let h = hsize.walk_memory_refs();
+                assert_eq!(r.guest_refs, g, "{gsize}x{hsize}");
+                assert_eq!(r.host_refs, g * h + h, "{gsize}x{hsize}");
+                assert_eq!(r.memory_refs, g * (h + 1) + h, "{gsize}x{hsize}");
+                if gsize == hsize {
+                    assert_eq!(r.memory_refs, (g + 1) * (h + 1) - 1, "{gsize}x{hsize}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_walks_stay_cheap() {
+        let (guest, ept) = setup(1, PageSize::Size4K, PageSize::Size4K);
+        let mut w = NestedWalker::sandy_bridge();
+        assert_eq!(w.walk(&guest, &ept, VirtAddr::new(4096)).memory_refs, 24);
+        // Same page again: guest PDE hit, both gPAs in the nested TLB.
+        let again = w.walk(&guest, &ept, VirtAddr::new(4096 + 8));
+        assert_eq!(again.guest_hit_level, Some(2));
+        assert_eq!(again.guest_refs, 1);
+        assert_eq!(again.host_refs, 0);
+        assert_eq!(again.nested_tlb_hits, 2);
+        assert_eq!(again.memory_refs, 1);
+        assert!(
+            again.memory_refs <= 4,
+            "warm nested walks stay under native cost"
+        );
+    }
+
+    #[test]
+    fn neighbour_page_pays_only_the_data_subwalk() {
+        let mut guest = PageTable::new();
+        for vpn in 0..4u64 {
+            guest
+                .map(PageTranslation::new(
+                    Vpn::new(vpn),
+                    Pfn::new((1 << 21) + vpn),
+                    PageSize::Size4K,
+                ))
+                .unwrap();
+        }
+        let mut ept = PageTable::new();
+        for gpn in 0..4u64 {
+            ept.map(PageTranslation::new(
+                Vpn::new((1 << 21) + gpn),
+                Pfn::new((1 << 22) + gpn),
+                PageSize::Size4K,
+            ))
+            .unwrap();
+        }
+        let mut w = NestedWalker::sandy_bridge();
+        w.walk(&guest, &ept, VirtAddr::new(0));
+        // Neighbour page: guest PDE hit (1 ref), shared PTE structure page
+        // in the nested TLB, data frame differs but its EPT region is warm.
+        let r = w.walk(&guest, &ept, VirtAddr::new(4096));
+        assert_eq!(r.guest_refs, 1);
+        assert_eq!(r.host_refs, 1);
+        assert_eq!(r.memory_refs, 2);
+        assert!(r.memory_refs <= 4);
+    }
+
+    #[test]
+    fn guest_fault_charges_worst_case_and_skips_data_subwalk() {
+        let guest = PageTable::new();
+        let ept = PageTable::new();
+        let mut w = NestedWalker::sandy_bridge();
+        let r = w.walk(&guest, &ept, VirtAddr::new(0x1000));
+        assert!(r.translation.is_none());
+        assert!(r.host_translation.is_none());
+        assert_eq!(r.guest_refs, 4);
+        // 4 structure sub-walks, no data sub-walk.
+        assert_eq!(r.host_refs, 16);
+        assert_eq!(r.memory_refs, 20);
+    }
+
+    #[test]
+    fn ept_hole_reports_missing_host_translation() {
+        let mut guest = PageTable::new();
+        guest
+            .map(PageTranslation::new(
+                Vpn::new(1),
+                Pfn::new(1 << 21),
+                PageSize::Size4K,
+            ))
+            .unwrap();
+        let ept = PageTable::new();
+        let mut w = NestedWalker::sandy_bridge();
+        let r = w.walk(&guest, &ept, VirtAddr::new(4096));
+        assert!(r.translation.is_some());
+        assert!(r.host_translation.is_none());
+        // The EPT data sub-walk is charged its worst case even on a fault.
+        assert_eq!(r.memory_refs, 24);
+        // A faulting data frame must not enter the nested TLB.
+        let again = w.walk(&guest, &ept, VirtAddr::new(4096));
+        assert!(again.host_translation.is_none());
+        assert_eq!(again.host_refs, 4, "data sub-walk retried, not cached");
+    }
+
+    #[test]
+    fn guest_invalidation_flushes_combined_entries() {
+        let (guest, ept) = setup(1, PageSize::Size4K, PageSize::Size4K);
+        let gva = VirtAddr::new(4096);
+        // Roomy host MMU caches so the five host sub-walk footprints of one
+        // cold walk survive without set-aliasing evictions; the assertions
+        // below then pin the *protocol*, not eviction accidents.
+        let mut w = NestedWalker::new(
+            MmuCaches::sandy_bridge(),
+            MmuCaches::with_geometry((64, 8), (8, 8), (8, 8)),
+            TagCache::new("Nested-TLB", 32, 32),
+        );
+        let cold = w.walk(&guest, &ept, gva);
+        assert_eq!(cold.memory_refs, 24);
+        assert_eq!(w.walk(&guest, &ept, gva).memory_refs, 1);
+        // HATRIC-style guest shootdown: guest caches + combined entries for
+        // this walk path go; with the data gPN supplied, everything does.
+        let data_gpn = cold.translation.unwrap().pfn().raw();
+        let removed = w.invalidate_guest(gva, Some(data_gpn));
+        // 3 guest MMU-cache entries + 4 structure gPNs + the data gPN.
+        assert_eq!(removed, 3 + 4 + 1);
+        let r = w.walk(&guest, &ept, gva);
+        assert_eq!(r.guest_refs, 4);
+        // The host MMU caches survive a guest-side shootdown, so the host
+        // sub-walks are warm: 1 ref per structure page, 1 for the data.
+        assert_eq!(r.host_refs, 5);
+        assert_eq!(r.memory_refs, 9);
+    }
+
+    #[test]
+    fn host_invalidation_hits_only_the_data_path() {
+        let (guest, ept) = setup(1, PageSize::Size4K, PageSize::Size4K);
+        let gva = VirtAddr::new(4096);
+        let mut w = NestedWalker::sandy_bridge();
+        let cold = w.walk(&guest, &ept, gva);
+        let gpa = VirtAddr::new(cold.translation.unwrap().translate(gva).raw());
+        let removed = w.invalidate_host(gpa);
+        // 3 host MMU-cache entries for the data region + its nested entry.
+        assert_eq!(removed, 3 + 1);
+        let r = w.walk(&guest, &ept, gva);
+        assert_eq!(r.guest_refs, 1);
+        // Structure gPNs still hit the nested TLB; only the data sub-walk
+        // re-descends, cold again in the host dimension.
+        assert_eq!(r.host_refs, 4);
+        assert_eq!(r.nested_tlb_hits, 1);
+    }
+
+    #[test]
+    fn flush_resets_every_dimension() {
+        let (guest, ept) = setup(1, PageSize::Size4K, PageSize::Size4K);
+        let mut w = NestedWalker::sandy_bridge();
+        w.walk(&guest, &ept, VirtAddr::new(4096));
+        w.flush();
+        let r = w.walk(&guest, &ept, VirtAddr::new(4096));
+        assert_eq!(r.memory_refs, 24, "flush makes the next walk cold");
+    }
+
+    #[test]
+    fn structure_gpns_are_disjoint_across_levels() {
+        let gva = VirtAddr::new(0x7fff_ffff_f000);
+        let mut seen = Vec::new();
+        for level in 1..=4 {
+            let gpn = NestedWalker::structure_gpn(gva, level);
+            assert!(!seen.contains(&gpn), "level {level} gPN collides");
+            // Distinct host PML4 regions: no host MMU-cache sharing between
+            // the sub-walks of one cold walk.
+            for other in &seen {
+                assert_ne!(gpn >> 27, other >> 27, "level {level} shares a region");
+            }
+            seen.push(gpn);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let (guest, ept) = setup(1, PageSize::Size4K, PageSize::Size4K);
+        let mut w = NestedWalker::sandy_bridge();
+        let r = w.walk(&guest, &ept, VirtAddr::new(4096));
+        let s = r.to_string();
+        assert!(s.contains("24 refs"), "{s}");
+        assert!(s.contains("4 guest"), "{s}");
+    }
+}

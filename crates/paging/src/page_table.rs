@@ -179,6 +179,28 @@ impl PageTable {
     pub fn terminal_level(&self, va: VirtAddr) -> Option<u32> {
         self.translate(va).map(|t| t.size().mapping_level())
     }
+
+    /// The lowest level whose entry along `va`'s walk path is a present
+    /// *non-terminal* table pointer, or `None` when even the PML4 entry is
+    /// empty. A faulting walk still reads these entries on its way down, so
+    /// the walker caches them (see [`PageWalker`](crate::PageWalker)).
+    ///
+    /// Because [`map`](Self::map) only creates intermediate tables at
+    /// levels 2–4, the result is always in `2..=4`.
+    pub fn present_table_floor(&self, va: VirtAddr) -> Option<u32> {
+        let mut node = &self.root;
+        let mut floor = None;
+        for level in (2..=4u32).rev() {
+            match node.slots[level_index(va, level) as usize].as_ref() {
+                Some(Slot::Table(next)) => {
+                    floor = Some(level);
+                    node = next;
+                }
+                Some(Slot::Page(_)) | None => return floor,
+            }
+        }
+        floor
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +290,26 @@ mod tests {
         pt.map(t(far, PageSize::Size4K)).unwrap();
         assert!(pt.translate(VirtAddr::new(0)).is_some());
         assert!(pt.translate(VirtAddr::new(far << 12)).is_some());
+    }
+
+    #[test]
+    fn present_table_floor_tracks_existing_levels() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.present_table_floor(VirtAddr::new(0x1000)), None);
+        pt.map(t(5, PageSize::Size4K)).unwrap();
+        // Sibling 4 KiB page in the same PTE table: all three non-terminal
+        // levels exist even though the PTE itself does not.
+        assert_eq!(pt.present_table_floor(VirtAddr::new(6 * 4096)), Some(2));
+        // Same PDPT but different PD region: tables exist down to level 3.
+        let same_gig = VirtAddr::new(0x20_0000);
+        assert_eq!(pt.present_table_floor(same_gig), Some(3));
+        // Same PML4 subtree, different 1 GiB region: only the PML4 entry.
+        let same_512g = VirtAddr::new(1 << 30);
+        assert_eq!(pt.present_table_floor(same_512g), Some(4));
+        // A huge-page terminal stops the descent without extending the floor.
+        pt.map(t(512 * 512, PageSize::Size1G)).unwrap();
+        let inside_gig = VirtAddr::new((1 << 30) + 0x1000);
+        assert_eq!(pt.present_table_floor(inside_gig), Some(4));
     }
 
     #[test]

@@ -31,6 +31,112 @@ impl fmt::Display for WalkResult {
     }
 }
 
+/// The reusable single-dimension walk core: one radix descent through one
+/// page table, shortened by one set of paging-structure caches.
+///
+/// [`PageWalker`] wraps a single `RadixWalk` for the native case;
+/// [`NestedWalker`](crate::NestedWalker) composes two — a guest dimension
+/// keyed by guest-virtual addresses and a host dimension keyed by
+/// guest-physical addresses — plus a nested TLB on top.
+#[derive(Clone, Debug)]
+pub struct RadixWalk {
+    caches: MmuCaches,
+}
+
+impl RadixWalk {
+    /// Creates a walk core backed by the given MMU caches.
+    pub fn new(caches: MmuCaches) -> Self {
+        Self { caches }
+    }
+
+    /// The dimension's MMU caches.
+    pub fn caches(&self) -> &MmuCaches {
+        &self.caches
+    }
+
+    /// Mutable access to the dimension's MMU caches.
+    pub fn caches_mut(&mut self) -> &mut MmuCaches {
+        &mut self.caches
+    }
+
+    /// Performs one radix descent for `va` through `table`.
+    ///
+    /// Probes the MMU caches, starts below the deepest cached non-terminal
+    /// entry, counts one memory reference per level actually fetched, and
+    /// refills the caches with the non-terminal entries read — including, on
+    /// a fault, the levels that do exist above the first not-present entry
+    /// (the descent read them either way, and caching them keeps the retry
+    /// after the OS maps the page short). Unmapped addresses are charged a
+    /// worst-case descent to level 1.
+    pub fn descend(&mut self, table: &PageTable, va: VirtAddr) -> WalkResult {
+        let hit_level = self.caches.deepest_cached_level(va);
+        // The first level fetched from memory: below the cached entry, or
+        // the PML4 root on a complete miss.
+        let start_level = hit_level.unwrap_or(5) - 1;
+
+        let translation = table.translate(va);
+        let terminal_level = translation
+            .map(|t| t.size().mapping_level())
+            // A fault costs a descent to the first not-present entry; we
+            // charge the worst case (level 1).
+            .unwrap_or(1);
+        // Enforced in release builds too: a stale cached entry below the
+        // terminal level means a caller remapped at a larger size without
+        // shooting the paging-structure caches down first.
+        assert!(
+            start_level >= terminal_level,
+            "cached entry below terminal level"
+        );
+        let memory_refs = start_level - terminal_level + 1;
+
+        // Refill the paging-structure caches with the non-terminal entries
+        // this walk fetched (levels start..terminal, exclusive of terminal).
+        match translation {
+            Some(_) => {
+                for level in (terminal_level + 1..=start_level).rev() {
+                    self.caches.fill_level(va, level);
+                }
+            }
+            None => {
+                // The faulting descent still read the present non-terminal
+                // entries above the hole; refill those.
+                if let Some(floor) = table.present_table_floor(va) {
+                    for level in (floor..=start_level).rev() {
+                        self.caches.fill_level(va, level);
+                    }
+                }
+            }
+        }
+
+        WalkResult {
+            translation,
+            memory_refs,
+            mmu_hit_level: hit_level,
+        }
+    }
+
+    /// A modeled descent for an address known to be mapped at
+    /// `terminal_level`, with no backing table.
+    ///
+    /// The nested walker uses this for guest paging-structure pages: their
+    /// guest-physical frames are hypervisor-allocated and EPT-mapped at a
+    /// fixed size, so only the cache behaviour and the reference count need
+    /// modelling. Returns `(memory_refs, mmu_hit_level)`.
+    pub fn descend_fixed(&mut self, va: VirtAddr, terminal_level: u32) -> (u32, Option<u32>) {
+        let hit_level = self.caches.deepest_cached_level(va);
+        let start_level = hit_level.unwrap_or(5) - 1;
+        assert!(
+            start_level >= terminal_level,
+            "cached entry below terminal level"
+        );
+        let memory_refs = start_level - terminal_level + 1;
+        for level in (terminal_level + 1..=start_level).rev() {
+            self.caches.fill_level(va, level);
+        }
+        (memory_refs, hit_level)
+    }
+}
+
 /// The hardware state machine that walks the page table on an L2 TLB miss.
 ///
 /// On every walk it probes the three [`MmuCaches`] in parallel, starts the
@@ -56,7 +162,7 @@ impl fmt::Display for WalkResult {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PageWalker {
-    caches: MmuCaches,
+    core: RadixWalk,
     walks: u64,
     total_memory_refs: u64,
 }
@@ -65,7 +171,7 @@ impl PageWalker {
     /// Creates a walker backed by the given MMU caches.
     pub fn new(caches: MmuCaches) -> Self {
         Self {
-            caches,
+            core: RadixWalk::new(caches),
             walks: 0,
             total_memory_refs: 0,
         }
@@ -73,12 +179,12 @@ impl PageWalker {
 
     /// The MMU caches (for energy accounting of their lookups/fills).
     pub fn caches(&self) -> &MmuCaches {
-        &self.caches
+        self.core.caches()
     }
 
     /// Mutable access to the MMU caches (e.g. to flush them).
     pub fn caches_mut(&mut self) -> &mut MmuCaches {
-        &mut self.caches
+        self.core.caches_mut()
     }
 
     /// Number of walks performed.
@@ -104,7 +210,7 @@ impl PageWalker {
     pub fn reset_stats(&mut self) {
         self.walks = 0;
         self.total_memory_refs = 0;
-        self.caches.reset_stats();
+        self.core.caches_mut().reset_stats();
     }
 
     /// Walks the page table for `va`.
@@ -112,40 +218,13 @@ impl PageWalker {
     /// Unmapped addresses are charged a walk from the deepest cached level
     /// down to a not-present entry at the lowest level (the simulator's OS
     /// model maps pages on first touch, so this only happens when a caller
-    /// bypasses the OS).
+    /// bypasses the OS); the non-terminal entries that do exist along the
+    /// path are still cached.
     pub fn walk(&mut self, table: &PageTable, va: VirtAddr) -> WalkResult {
-        let hit_level = self.caches.deepest_cached_level(va);
-        // The first level fetched from memory: below the cached entry, or
-        // the PML4 root on a complete miss.
-        let start_level = hit_level.unwrap_or(5) - 1;
-
-        let translation = table.translate(va);
-        let terminal_level = translation
-            .map(|t| t.size().mapping_level())
-            // A fault costs a descent to the first not-present entry; we
-            // charge the worst case (level 1).
-            .unwrap_or(1);
-        debug_assert!(
-            start_level >= terminal_level,
-            "cached entry below terminal level"
-        );
-        let memory_refs = start_level - terminal_level + 1;
-
-        // Refill the paging-structure caches with the non-terminal entries
-        // this walk fetched (levels start..terminal, exclusive of terminal).
-        if translation.is_some() {
-            for level in (terminal_level + 1..=start_level).rev() {
-                self.caches.fill_level(va, level);
-            }
-        }
-
+        let result = self.core.descend(table, va);
         self.walks += 1;
-        self.total_memory_refs += u64::from(memory_refs);
-        WalkResult {
-            translation,
-            memory_refs,
-            mmu_hit_level: hit_level,
-        }
+        self.total_memory_refs += u64::from(result.memory_refs);
+        result
     }
 }
 
@@ -253,6 +332,98 @@ mod tests {
         let r = w.walk(&pt, VirtAddr::new(0x1000));
         assert!(r.translation.is_none());
         assert_eq!(r.memory_refs, 4);
+        // An empty table has no non-terminal entries to refill: the retry
+        // is another full-cost walk.
+        assert_eq!(w.walk(&pt, VirtAddr::new(0x1000)).memory_refs, 4);
+    }
+
+    /// Pins the fault-path refill: a faulting walk caches the non-terminal
+    /// entries that exist above the hole, so the post-fault retry (after
+    /// the OS maps the page) starts below them.
+    #[test]
+    fn faulting_walk_refills_existing_upper_levels() {
+        // Map a sibling 4 KiB page so levels 4..2 exist for the whole
+        // 2 MiB region, then fault on an unmapped neighbour.
+        let mut pt = table_with(5, PageSize::Size4K);
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        let fault = w.walk(&pt, VirtAddr::new(9 * 4096));
+        assert!(fault.translation.is_none());
+        assert_eq!(fault.memory_refs, 4, "fault still charges the descent");
+        // The PDE/PDPTE/PML4 entries it read are now cached: mapping the
+        // page and retrying costs only the PTE fetch.
+        pt.map(PageTranslation::new(
+            Vpn::new(9),
+            Pfn::new(109),
+            PageSize::Size4K,
+        ))
+        .unwrap();
+        let retry = w.walk(&pt, VirtAddr::new(9 * 4096));
+        assert_eq!(retry.mmu_hit_level, Some(2));
+        assert_eq!(retry.memory_refs, 1);
+    }
+
+    /// A fault below a partially built subtree refills only the levels that
+    /// exist, and the charge stays worst-case (descent to level 1).
+    #[test]
+    fn fault_refill_stops_at_the_hole() {
+        let mut pt = PageTable::new();
+        // Build tables down to level 2 only (a 2 MiB-distant 4 KiB page in
+        // the same 1 GiB region): for the faulting VA the PML4 and PDPTE
+        // entries exist, but its PD entry is a hole.
+        pt.map(PageTranslation::new(
+            Vpn::new((0x20_0000u64 >> 12) * 2),
+            Pfn::new(7),
+            PageSize::Size4K,
+        ))
+        .unwrap();
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        let fault = w.walk(&pt, VirtAddr::new(0x1000));
+        assert!(fault.translation.is_none());
+        assert_eq!(fault.memory_refs, 4);
+        // Only PML4 + PDPTE entries exist for this VA; the PDE level was a
+        // hole, so it must not have been cached.
+        assert_eq!(w.caches().pde().occupancy(), 0);
+        assert_eq!(w.caches().pdpte().occupancy(), 1);
+        assert_eq!(w.caches().pml4().occupancy(), 1);
+        // Retry resumes below the PDPTE entry.
+        let retry = w.walk(&pt, VirtAddr::new(0x1000));
+        assert!(retry.translation.is_none());
+        assert_eq!(retry.mmu_hit_level, Some(3));
+        assert_eq!(retry.memory_refs, 2);
+    }
+
+    /// MMU-cache invalidation between walks of the same subtree forces the
+    /// next walk to re-fetch exactly the invalidated levels.
+    #[test]
+    fn invalidate_between_walks_of_same_subtree() {
+        let pt = table_with(5, PageSize::Size4K);
+        let va = VirtAddr::new(5 * 4096);
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        assert_eq!(w.walk(&pt, va).memory_refs, 4);
+        assert_eq!(w.walk(&pt, va).memory_refs, 1);
+        // Shoot down the paging-structure entries for this VA: the next
+        // walk is cold again, and the one after that is warm again.
+        assert_eq!(w.caches_mut().invalidate(va), 3);
+        let r = w.walk(&pt, va);
+        assert_eq!(r.mmu_hit_level, None);
+        assert_eq!(r.memory_refs, 4);
+        assert_eq!(w.walk(&pt, va).memory_refs, 1);
+    }
+
+    /// The start-vs-terminal-level consistency check fires in release
+    /// builds too (it is an `assert!`, not a `debug_assert!`): remapping a
+    /// region at a larger size without invalidating first is a modelling
+    /// bug, not a tolerable race.
+    #[test]
+    #[should_panic(expected = "cached entry below terminal level")]
+    fn stale_cache_below_terminal_level_is_rejected() {
+        let pt4k = table_with(512, PageSize::Size4K);
+        let mut w = PageWalker::new(MmuCaches::sandy_bridge());
+        w.walk(&pt4k, VirtAddr::new(512 * 4096)); // caches the PDE entry
+        let pt2m = table_with(512, PageSize::Size2M);
+        // Same VA now terminates at level 2, above the cached level-2
+        // pointer — the walker must refuse rather than report 0 refs.
+        w.walk(&pt2m, VirtAddr::new(512 * 4096));
     }
 
     #[test]

@@ -50,6 +50,18 @@ pub enum FixedUnit {
     MmuPdpte,
     /// The PML4 paging-structure cache.
     MmuPml4,
+    // Virtualized-mode units follow their native counterparts at the end of
+    // the enum, so native event streams (and their golden fixtures) are
+    // untouched by the second dimension.
+    /// The host-dimension PDE paging-structure cache (virtualized mode).
+    HostMmuPde,
+    /// The host-dimension PDPTE paging-structure cache (virtualized mode).
+    HostMmuPdpte,
+    /// The host-dimension PML4 paging-structure cache (virtualized mode).
+    HostMmuPml4,
+    /// The nested TLB of combined guest-physical → host-physical entries
+    /// (virtualized mode).
+    NestedTlb,
 }
 
 /// The stats column an L1 hit is reported under.
@@ -145,6 +157,17 @@ pub enum TranslationEvent {
     RangeTableWalk {
         /// Memory references performed.
         memory_refs: u32,
+    },
+    /// A two-dimensional (virtualized) page walk completed. Emitted right
+    /// after the matching [`TranslationEvent::PageWalk`] — whose
+    /// `memory_refs` carries the combined total — to split the total into
+    /// its guest and host shares for per-dimension accounting.
+    NestedWalk {
+        /// Guest-dimension references (guest paging-structure fetches, 1–4).
+        guest_refs: u32,
+        /// Host-dimension references (EPT fetches for structure and data
+        /// pages, 0–20 for 4-level × 4-level).
+        host_refs: u32,
     },
     /// A Lite interval is ending: settle pending resizable-L1 operations at
     /// the *outgoing* sizes (`None` for absent structures). Also emitted

@@ -194,6 +194,50 @@ fn wrap(x: u64, len: u64) -> u64 {
     }
 }
 
+/// A region length with its precomputed division reciprocal: `rem(n)`
+/// returns exactly `n % len` (Lemire's fastmod, 128-bit magic) without
+/// the per-access 64-bit divide `PointerChase` otherwise pays on its
+/// full-width mixed offsets. Regions are fixed at generator construction,
+/// so the reciprocal is computed once per region instance.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RegionLen {
+    len: u64,
+    /// `ceil(2^128 / len)`; 0 for the degenerate `len <= 1`.
+    magic: u128,
+}
+
+impl RegionLen {
+    pub(crate) fn new(len: u64) -> Self {
+        let magic = if len <= 1 {
+            0
+        } else {
+            (u128::MAX / u128::from(len)) + 1
+        };
+        Self { len, magic }
+    }
+
+    #[inline]
+    pub(crate) fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Exactly `n % self.len()` for every `n` (and 0 when `len <= 1`):
+    /// `lowbits = magic * n mod 2^128` holds the fractional part of
+    /// `n / len` in fixed point, and multiplying it back by `len` (keeping
+    /// the high 128 bits of the 192-bit product) recovers the remainder.
+    #[inline]
+    pub(crate) fn rem(self, n: u64) -> u64 {
+        if self.magic == 0 {
+            return 0;
+        }
+        let lowbits = self.magic.wrapping_mul(u128::from(n));
+        let d = u128::from(self.len);
+        let hi = (lowbits >> 64) * d;
+        let lo = ((lowbits & u128::from(u64::MAX)) * d) >> 64;
+        ((hi + lo) >> 64) as u64
+    }
+}
+
 /// Returns the instance's hot-region base and length, computing the
 /// instance-invariant hot state (length, compiled probability, base draw)
 /// on first use.
@@ -221,12 +265,18 @@ fn hot_state(
 }
 
 impl Pattern {
-    /// Produces the next byte offset within a region of `len` bytes,
-    /// advancing `cursor` and drawing randomness from `rng`.
+    /// Produces the next byte offset within a region of `region.len()`
+    /// bytes, advancing `cursor` and drawing randomness from `rng`.
     ///
     /// Offsets are aligned down to 8 bytes (a word access never straddles a
     /// page in this model; sub-word behaviour is irrelevant to the TLB).
-    pub(crate) fn next_offset(&self, len: u64, cursor: &mut Cursor, rng: &mut SmallRng) -> u64 {
+    pub(crate) fn next_offset(
+        &self,
+        region: RegionLen,
+        cursor: &mut Cursor,
+        rng: &mut SmallRng,
+    ) -> u64 {
+        let len = region.len();
         debug_assert!(len > 0);
         let offset = match *self {
             Pattern::Stream { stride } => {
@@ -248,11 +298,13 @@ impl Pattern {
             }
             Pattern::PointerChase => {
                 // Dependent jump: hash the current offset into the next.
+                // `rem` is the precomputed-reciprocal `mixed % len`,
+                // bit-identical to the divide it replaces.
                 let mixed = cursor
                     .offset
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(rng.random_range(0..64u64));
-                let next = mixed % len;
+                let next = region.rem(mixed);
                 cursor.offset = next;
                 next
             }
@@ -291,12 +343,63 @@ mod tests {
     }
 
     #[test]
+    fn region_len_rem_is_exact() {
+        // The reciprocal remainder must be bit-identical to `%` for every
+        // operand, since PointerChase's trajectory (and with it every
+        // golden fixture) depends on it. Exercise realistic region sizes,
+        // adversarial lengths around power-of-two boundaries, and a
+        // pseudo-random sample of full-width operands.
+        let lens = [
+            2u64,
+            3,
+            4096,
+            4097,
+            (1 << 20) - 1,
+            1 << 20,
+            (1 << 20) + 1,
+            (1 << 30) + 12345,
+            (1 << 40) - 1,
+            u64::MAX,
+        ];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for &len in &lens {
+            let r = RegionLen::new(len);
+            assert_eq!(r.len(), len);
+            for n in [
+                0,
+                1,
+                len - 1,
+                len,
+                len.wrapping_add(1),
+                u64::MAX,
+                u64::MAX - 1,
+            ] {
+                assert_eq!(r.rem(n), n % len, "n={n} len={len}");
+            }
+            for _ in 0..10_000 {
+                // SplitMix64 step: a cheap full-width operand stream.
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                assert_eq!(r.rem(z), z % len, "n={z} len={len}");
+            }
+        }
+        // Degenerate lengths never index out of bounds.
+        assert_eq!(RegionLen::new(1).rem(u64::MAX), 0);
+        assert_eq!(RegionLen::new(0).rem(42), 0);
+    }
+
+    #[test]
     fn stream_wraps_and_is_sequential() {
         let p = Pattern::Stream { stride: 64 };
         let mut c = Cursor::default();
         let mut r = rng();
         let len = 256;
-        let offs: Vec<u64> = (0..6).map(|_| p.next_offset(len, &mut c, &mut r)).collect();
+        let offs: Vec<u64> = (0..6)
+            .map(|_| p.next_offset(RegionLen::new(len), &mut c, &mut r))
+            .collect();
         assert_eq!(offs, vec![0, 64, 128, 192, 0, 64]);
     }
 
@@ -307,7 +410,7 @@ mod tests {
         let mut r = rng();
         let len = 1 << 20;
         let offs: Vec<u64> = (0..100)
-            .map(|_| p.next_offset(len, &mut c, &mut r))
+            .map(|_| p.next_offset(RegionLen::new(len), &mut c, &mut r))
             .collect();
         assert!(offs.iter().all(|&o| o < len));
         let distinct_pages: std::collections::HashSet<u64> = offs.iter().map(|o| o >> 12).collect();
@@ -330,7 +433,7 @@ mod tests {
         // Hot region sits at a per-instance random base.
         let mut offsets = Vec::new();
         for _ in 0..1000 {
-            offsets.push(p.next_offset(len, &mut c, &mut r));
+            offsets.push(p.next_offset(RegionLen::new(len), &mut c, &mut r));
         }
         let base = c.hot_base;
         assert!(base + hot_len <= len, "hot region inside the instance");
@@ -351,7 +454,7 @@ mod tests {
             let mut c = Cursor::default();
             let mut r = rng();
             (0..20)
-                .map(|_| p.next_offset(1 << 20, &mut c, &mut r))
+                .map(|_| p.next_offset(RegionLen::new(1 << 20), &mut c, &mut r))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
@@ -367,7 +470,7 @@ mod tests {
             Pattern::PointerChase,
         ] {
             for _ in 0..50 {
-                assert_eq!(p.next_offset(4096, &mut c, &mut r) % 8, 0);
+                assert_eq!(p.next_offset(RegionLen::new(4096), &mut c, &mut r) % 8, 0);
             }
         }
     }
@@ -389,7 +492,7 @@ mod tests {
         let mut last_page = u64::MAX;
         let n = 4000;
         for _ in 0..n {
-            let page = p.next_offset(len, &mut c, &mut r) >> 12;
+            let page = p.next_offset(RegionLen::new(len), &mut c, &mut r) >> 12;
             if page == last_page {
                 same_page += 1;
             }

@@ -3,8 +3,18 @@
 use eeat_types::rng::{RngCore, RngExt, SeedableRng, SmallRng};
 use eeat_types::{AccessKind, MemAccess, VirtAddr, VirtRange};
 
-use crate::pattern::{Cursor, ProbDraw};
+use crate::pattern::{Cursor, ProbDraw, RegionLen};
 use crate::spec::WorkloadSpec;
+
+/// One region instance precomputed for the hot loop: its base address and
+/// its length with the division reciprocal `PointerChase` wraps with —
+/// derived once from the allocated [`VirtRange`]s at construction instead
+/// of per access.
+#[derive(Clone, Copy, Debug)]
+struct RegionSlot {
+    start: u64,
+    len: RegionLen,
+}
 
 /// One stream's spec fields and runtime state, fused so the hot loop
 /// resolves a stream with a single indexed load.
@@ -74,7 +84,7 @@ fn pick_threshold(acc: f64, total: f64) -> u64 {
 pub struct TraceGenerator {
     /// All region instances flattened in spec order; each stream holds the
     /// start index of its class (see [`StreamState::region_base`]).
-    regions: Vec<VirtRange>,
+    regions: Vec<RegionSlot>,
     streams: Vec<StreamState>,
     phases: Vec<PhaseState>,
     phase_idx: usize,
@@ -163,7 +173,14 @@ impl TraceGenerator {
 
         let phase_budget = phases[0].instructions;
         Self {
-            regions: regions.into_iter().flatten().collect(),
+            regions: regions
+                .into_iter()
+                .flatten()
+                .map(|r| RegionSlot {
+                    start: r.start().raw(),
+                    len: RegionLen::new(r.len()),
+                })
+                .collect(),
             streams,
             phases,
             phase_idx: 0,
@@ -257,14 +274,14 @@ impl TraceGenerator {
             state.current_instance = self.rng.random_range(0..state.instances);
         }
         let instance = state.current_instance;
-        let range = self.regions[state.region_base + instance];
+        let region = self.regions[state.region_base + instance];
 
         // Advance the pattern within the instance.
         let offset =
             state
                 .pattern
-                .next_offset(range.len(), &mut state.cursors[instance], &mut self.rng);
-        let vaddr = VirtAddr::new(range.start().raw() + offset);
+                .next_offset(region.len, &mut state.cursors[instance], &mut self.rng);
+        let vaddr = VirtAddr::new(region.start + offset);
 
         let kind = if self.store_draw.draw(&mut self.rng) {
             AccessKind::Store

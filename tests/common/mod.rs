@@ -48,10 +48,20 @@ pub fn dump(r: &RunResult) -> String {
     kv("stats.lite_reactivations", s.lite_reactivations);
     for structure in Structure::ALL {
         let pj = r.energy.pj(structure);
-        // L1-CoLT postdates the original fixtures; omit its line when the
-        // structure is absent (charged nothing) so the six paper
-        // organizations' fixtures stay byte-identical.
-        if structure == Structure::L1Colt && pj == 0.0 {
+        // L1-CoLT and the virtualized-mode structures postdate the
+        // original fixtures; omit their lines when the structure is absent
+        // (charged nothing) so the six paper organizations' fixtures stay
+        // byte-identical.
+        let postdates_fixtures = matches!(
+            structure,
+            Structure::L1Colt
+                | Structure::HostMmuPde
+                | Structure::HostMmuPdpte
+                | Structure::HostMmuPml4
+                | Structure::NestedTlb
+                | Structure::HostWalk
+        );
+        if postdates_fixtures && pj == 0.0 {
             continue;
         }
         writeln!(
