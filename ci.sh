@@ -119,6 +119,51 @@ EEAT_RESULTS="$SCRATCH" EEAT_SERIES=1 EEAT_TRACE=1 cargo run --release --offline
     -p eeat-bench --bin fig2 -- --instructions 200_000
 ls "$SCRATCH"/fig2.*.series.jsonl "$SCRATCH"/fig2.*.trace.jsonl > /dev/null
 
+echo "==> span + heartbeat smoke (chrome trace sidecars validate, heartbeat lines parse)"
+# Own subdir: .trace.json sidecars must not get swept up by the
+# run-artifact schema validation glob below.
+mkdir -p "$SCRATCH/spans"
+EEAT_RESULTS="$SCRATCH/spans" EEAT_SPANS=1 \
+    EEAT_HEARTBEAT="$SCRATCH/spans/heartbeat.jsonl" EEAT_HEARTBEAT_EVERY=50000 \
+    cargo run --release --offline -p eeat-bench --bin fig2 -- \
+    --instructions 200_000 --workloads mcf > /dev/null
+ls "$SCRATCH"/spans/fig2.*.trace.json > /dev/null
+cargo run --release --offline -p eeat-bench --bin report_diff -- \
+    --check-trace "$SCRATCH"/spans/fig2.*.trace.json
+grep -q '"schema":"eeat-heartbeat/v1"' "$SCRATCH/spans/heartbeat.jsonl" || {
+    echo "heartbeat smoke produced no eeat-heartbeat/v1 records" >&2
+    exit 1
+}
+grep -q '"final":true' "$SCRATCH/spans/heartbeat.jsonl" || {
+    echo "heartbeat smoke never emitted its final beat" >&2
+    exit 1
+}
+
+echo "==> tail-latency regression gate (tails p99 vs committed baseline)"
+# The same pinned cell as the committed baseline: simulation results are
+# deterministic, so any dist/*/p99 drift is a real behavior change.
+mkdir -p "$SCRATCH/tails"
+EEAT_RESULTS="$SCRATCH/tails" cargo run --release --offline -p eeat-bench --bin tails -- \
+    --instructions 300_000 --seed 42 --workloads mcf > /dev/null
+cargo run --release --offline -p eeat-bench --bin report_diff -- \
+    "$SCRATCH/tails/tails.json" crates/bench/fixtures/tails/baseline.json \
+    --tolerance 0.02 || {
+    echo "tail latencies drifted from the committed baseline; re-bless crates/bench/fixtures/tails/baseline.json if intended" >&2
+    exit 1
+}
+# And the gate must actually fire on an injected slowdown.
+if cargo run --release --offline -p eeat-bench --bin report_diff -- \
+    crates/bench/fixtures/tails/baseline.json \
+    crates/bench/fixtures/tails/regressed.json \
+    --tolerance 0.02 > "$SCRATCH/tails/regressed.out"; then
+    echo "tail-latency gate failed to flag the injected p99 regression" >&2
+    exit 1
+fi
+grep -q 'dist/cell/mcf/4KB/lat/all/p99' "$SCRATCH/tails/regressed.out" || {
+    echo "tail-latency gate fired but never named the regressed p99 metric" >&2
+    exit 1
+}
+
 echo "==> run-artifact schema validation (checked-in and smoke artifacts)"
 cargo run --release --offline -p eeat-bench --bin report_diff -- \
     --validate results/*.json "$SCRATCH"/*.json
@@ -136,5 +181,21 @@ cargo run --release --offline -p eeat-bench --bin report_diff -- \
     crates/bench/fixtures/report_diff/base.json \
     crates/bench/fixtures/report_diff/regressed.json \
     --tolerance 0.25
+
+echo "==> validator completeness (--validate reports every violation, not just the first)"
+if cargo run --release --offline -p eeat-bench --bin report_diff -- \
+    --validate crates/bench/fixtures/report_diff/invalid_two.json \
+    > "$SCRATCH/invalid_two.out"; then
+    echo "report_diff --validate accepted a known-invalid fixture" >&2
+    exit 1
+fi
+grep -q 'manifest.seed: missing or not a number' "$SCRATCH/invalid_two.out" || {
+    echo "--validate missed the manifest.seed violation" >&2
+    exit 1
+}
+grep -q 'metrics.cell/mcf/4KB/l1_mpki: not a number' "$SCRATCH/invalid_two.out" || {
+    echo "--validate missed the non-numeric metric violation" >&2
+    exit 1
+}
 
 echo "==> ci.sh: all checks passed"

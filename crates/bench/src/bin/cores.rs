@@ -9,14 +9,18 @@
 //! through the same work-stealing map as the experiment matrices; results
 //! are bit-identical to a sequential run (CI diffs the two reports).
 //! `EEAT_SERIES` attaches one `EpochSeries` per core and writes a
-//! core-tagged JSONL sidecar per multi-core cell.
+//! core-tagged JSONL sidecar per multi-core cell. A `LatencyObserver`
+//! rides on every core unconditionally: the per-core translation-latency
+//! table shows how shootdown-IPI stalls stretch the tail as cores scale,
+//! and each core's distribution lands in the artifact's `distributions`
+//! section keyed `cell/<w>/<config>/.../core<i>/lat/all`.
 
 use eeat_bench::{series_bucket, Cli, Runner};
 use eeat_core::{
     par, Config, MultiCoreParams, MultiCoreResult, MultiCoreSim, Org, Simulator, Table,
 };
 use eeat_energy::IpiBreakdown;
-use eeat_obs::{per_core_jsonl, EpochSeries};
+use eeat_obs::{per_core_jsonl, EpochSeries, LatencyHistogram, LatencyObserver};
 use eeat_workloads::Workload;
 
 /// Instructions per scheduling quantum (both modes switch at this period).
@@ -50,6 +54,8 @@ struct CellOut {
     ipi: IpiBreakdown,
     instructions: u64,
     series: Option<String>,
+    /// One latency observer per core (one element for the 1-core cells).
+    core_latency: Vec<LatencyObserver>,
 }
 
 fn multi_core(
@@ -69,9 +75,9 @@ fn multi_core(
     let mut mc = MultiCoreSim::from_workload(config.clone(), workload, params, cli.seed);
     let per_core_budget = (cli.instructions / cores as u64).max(1);
     let bucket = series_bucket(per_core_budget);
-    let mut taps: Vec<Option<EpochSeries>> = (0..cores)
+    let mut taps: Vec<(Option<EpochSeries>, LatencyObserver)> = (0..cores)
         .map(|c| {
-            bucket.map(|b| {
+            let series = bucket.map(|b| {
                 let sim = mc.simulator(c);
                 let ways = sim
                     .hierarchy()
@@ -79,18 +85,24 @@ fn multi_core(
                     .map(|t| t.active_ways())
                     .unwrap_or(0);
                 EpochSeries::new(0, b, ways, Some(sim.telemetry_energy_observer()))
-            })
+            });
+            (series, LatencyObserver::default())
         })
         .collect();
     let result = mc.run_with(per_core_budget, &mut taps);
+    let (series_taps, core_latency): (Vec<_>, Vec<_>) = taps.into_iter().unzip();
     let series = bucket.map(|_| {
-        let cores: Vec<EpochSeries> = taps.into_iter().flatten().collect();
+        let cores: Vec<EpochSeries> = series_taps.into_iter().flatten().collect();
         per_core_jsonl(&cores)
     });
-    summarize(&result, series)
+    summarize(&result, series, core_latency)
 }
 
-fn summarize(result: &MultiCoreResult, series: Option<String>) -> CellOut {
+fn summarize(
+    result: &MultiCoreResult,
+    series: Option<String>,
+    core_latency: Vec<LatencyObserver>,
+) -> CellOut {
     let l1_misses: u64 = result.per_core.iter().map(|c| c.run.stats.l1_misses).sum();
     let kilo = result.total_instructions() as f64 / 1000.0;
     CellOut {
@@ -104,13 +116,15 @@ fn summarize(result: &MultiCoreResult, series: Option<String>) -> CellOut {
         ipi: result.total_ipi(),
         instructions: result.total_instructions(),
         series,
+        core_latency,
     }
 }
 
 fn flush_baseline(config: &Config, workload: Workload, cli: &Cli) -> CellOut {
     let mut sim = Simulator::from_workload(config.clone(), workload, cli.seed);
     sim.set_flush_interval(Some(QUANTUM));
-    let r = sim.run(cli.instructions);
+    let mut latency = LatencyObserver::default();
+    let r = sim.run_with_observer(cli.instructions, &mut latency);
     CellOut {
         l1_mpki: r.stats.l1_mpki(),
         l2_mpki: r.stats.l2_mpki(),
@@ -118,6 +132,7 @@ fn flush_baseline(config: &Config, workload: Workload, cli: &Cli) -> CellOut {
         ipi: IpiBreakdown::default(),
         instructions: r.stats.instructions,
         series: None,
+        core_latency: vec![latency],
     }
 }
 
@@ -210,7 +225,65 @@ fn main() {
         }
         runner.table(&switch);
         runner.table(&scale);
+
+        // Per-core translation-latency tails: each core's histogram goes
+        // into the artifact, the table shows the merged distribution plus
+        // the p99 spread across cores (shootdown-IPI stalls land on the
+        // cores resident with the victim tenant, so the spread widens as
+        // tenants migrate).
+        let mut lat = Table::new(
+            &format!("{w}: translation latency tails per cell (cycles)"),
+            &[
+                "cell",
+                "mean",
+                "p50",
+                "p99",
+                "p999",
+                "max",
+                "core p99 spread",
+            ],
+        );
         for (cell, out) in cells.iter().zip(results) {
+            let (label, key_mid) = match *cell {
+                Cell::Flush { org } => (format!("{} flush", configs[org].name), "flush".into()),
+                Cell::Asid { org } => (format!("{} asid", configs[org].name), "asid".into()),
+                Cell::Scale { org, cores } => (
+                    format!("{} x{cores}", configs[org].name),
+                    format!("c{cores}"),
+                ),
+            };
+            let org = match *cell {
+                Cell::Flush { org } | Cell::Asid { org } | Cell::Scale { org, .. } => org,
+            };
+            let key = |suffix: &str| {
+                format!("cell/{}/{}/{key_mid}/{suffix}", w.name(), configs[org].name)
+            };
+            let mut merged = LatencyHistogram::new();
+            let mut p99 = (u64::MAX, 0u64);
+            let mut core_latency = out.core_latency;
+            let multi = core_latency.len() > 1;
+            for (i, core) in core_latency.iter_mut().enumerate() {
+                let h = core.merged();
+                if multi {
+                    runner.distribution(key(&format!("core{i}/lat/all")), h.summary_json(false));
+                }
+                p99 = (p99.0.min(h.percentile(0.99)), p99.1.max(h.percentile(0.99)));
+                merged.merge(&h);
+            }
+            runner.distribution(key("lat/all"), merged.summary_json(false));
+            lat.add_row(&[
+                label,
+                format!("{:.2}", merged.mean()),
+                merged.percentile(0.50).to_string(),
+                merged.percentile(0.99).to_string(),
+                merged.percentile(0.999).to_string(),
+                merged.max().to_string(),
+                if multi {
+                    (p99.1 - p99.0).to_string()
+                } else {
+                    "-".to_string()
+                },
+            ]);
             if let (Cell::Scale { org, cores }, Some(series)) = (cell, out.series) {
                 runner.sidecar(
                     format!(
@@ -222,6 +295,7 @@ fn main() {
                 );
             }
         }
+        runner.table(&lat);
     }
     runner.line("Flushing on every switch revives compulsory misses each quantum; ASID");
     runner.line("retagging keeps every tenant's entries warm, so the switch cost drops to");

@@ -3,21 +3,30 @@
 //! ```text
 //! report_diff A.json B.json [--tolerance T]   # exit 1 when metrics differ
 //! report_diff --validate FILE...              # exit 1 when any file is invalid
+//! report_diff --check-trace FILE...           # exit 1 on malformed .trace.json
 //! ```
 //!
 //! The diff flags every metric whose symmetric relative delta
 //! `|a-b| / max(|a|,|b|)` exceeds the tolerance (default 0, i.e. bit-exact)
-//! and every key present on only one side, largest delta first. Artifacts
-//! from different experiments (config-hash mismatch) still diff, with a
-//! note — usually that means the comparison itself is a category error.
+//! and every key present on only one side, largest delta first — including
+//! the `dist/<key>/<percentile>` virtual metrics from each artifact's
+//! `distributions` section, which is what the CI tail-latency gate diffs.
+//! Artifacts from different experiments (config-hash mismatch) still diff,
+//! with a note — usually that means the comparison itself is a category
+//! error.
+//!
+//! `--validate` reports **every** schema violation in each file, not just
+//! the first. `--check-trace` runs the in-repo chrome trace-event-format
+//! checker over `.trace.json` span sidecars.
 
 use std::process::ExitCode;
 
-use eeat_obs::{diff_artifacts, json, validate, RunArtifact};
+use eeat_obs::{diff_artifacts, json, validate, validate_chrome_trace, RunArtifact};
 
 fn usage() -> ExitCode {
     eprintln!("usage: report_diff A.json B.json [--tolerance T]");
     eprintln!("       report_diff --validate FILE...");
+    eprintln!("       report_diff --check-trace FILE...");
     ExitCode::from(2)
 }
 
@@ -60,6 +69,35 @@ fn run_validate(paths: &[String]) -> ExitCode {
     }
 }
 
+fn run_check_trace(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut failures = 0usize;
+    for path in paths {
+        let text = match read(path) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        let problems = validate_chrome_trace(&text);
+        if problems.is_empty() {
+            println!("{path}: ok");
+        } else {
+            failures += 1;
+            println!("{path}: INVALID");
+            for p in &problems {
+                println!("  {p}");
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} of {} trace files invalid", paths.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn run_diff(a_path: &str, b_path: &str, tolerance: f64) -> ExitCode {
     let parse = |path: &str| -> Result<RunArtifact, ExitCode> {
         RunArtifact::parse(&read(path)?).map_err(|e| {
@@ -88,6 +126,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--validate") {
         return run_validate(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("--check-trace") {
+        return run_check_trace(&args[1..]);
     }
     let mut tolerance = 0.0f64;
     let mut files: Vec<String> = Vec::new();

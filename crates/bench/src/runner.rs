@@ -12,16 +12,24 @@
 //!   `report_diff`.
 //!
 //! Optional telemetry rides along per matrix cell: `EEAT_SERIES` attaches
-//! an [`EpochSeries`] observer (per-epoch JSONL/CSV sidecars) and
-//! `EEAT_TRACE` a sampled [`TraceRing`] (flight-recorder JSONL). Both are
-//! off by default, so the hot path stays untouched.
+//! an [`EpochSeries`] observer (per-epoch JSONL/CSV sidecars), `EEAT_TRACE`
+//! a sampled [`TraceRing`] (flight-recorder JSONL), `EEAT_SPANS=1` a
+//! [`SpanTracer`] (chrome://tracing `.trace.json` sidecars), and
+//! `EEAT_HEARTBEAT` a [`Heartbeat`] (live JSONL progress records). All are
+//! off by default. A [`LatencyObserver`] is *always* attached — its hot
+//! path is a handful of integer bumps (the throughput bench gates its
+//! overhead below 3%) — so every matrix bench gets per-cell translation
+//! latency distributions in the artifact's `distributions` section and a
+//! p50/p99/p999 tails table next to its means.
 
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use eeat_core::{provenance_header, Config, ConfigRun, Table, WorkloadResults};
-use eeat_obs::{EpochSeries, RunArtifact, RunManifest, TraceRing};
+use eeat_obs::{
+    EpochSeries, Heartbeat, Json, LatencyObserver, RunArtifact, RunManifest, SpanTracer, TraceRing,
+};
 use eeat_workloads::Workload;
 
 use crate::Cli;
@@ -32,6 +40,7 @@ pub struct Runner {
     artifact: RunArtifact,
     captured: String,
     sidecars: Vec<(String, String)>,
+    latency_cells: Vec<(String, String, LatencyObserver)>,
 }
 
 impl Runner {
@@ -65,6 +74,7 @@ impl Runner {
             artifact: RunArtifact::new(manifest),
             captured: String::new(),
             sidecars: Vec::new(),
+            latency_cells: Vec::new(),
         };
         let header = provenance_header(&runner.artifact.manifest.summary_fields());
         runner.line(&header);
@@ -120,6 +130,14 @@ impl Runner {
         self.artifact.push_metric(key, value);
     }
 
+    /// Records one entry in the artifact's `distributions` section — for
+    /// bins that run outside [`run_matrix`](Self::run_matrix) (the
+    /// multi-core driver's per-core histograms) but still want their tails
+    /// diffable by `report_diff`.
+    pub fn distribution(&mut self, key: impl Into<String>, summary: Json) {
+        self.artifact.push_distribution(key, summary);
+    }
+
     /// Registers a sidecar file written next to the artifact on
     /// [`finish`](Self::finish).
     pub fn sidecar(&mut self, file_name: impl Into<String>, contents: String) {
@@ -145,6 +163,7 @@ impl Runner {
             cli.instructions,
         );
         let bucket = series_bucket(cli.instructions);
+        let bench_label = self.artifact.manifest.bench.clone();
         let cells = cli
             .experiment()
             .run_matrix_with(workloads, configs, |sim, instructions| {
@@ -156,18 +175,52 @@ impl Runner {
                         .unwrap_or(0);
                     EpochSeries::new(0, b, ways, Some(sim.telemetry_energy_observer()))
                 });
-                let mut extra = (series, TraceRing::from_env());
+                // Heartbeat lines from parallel cells interleave in the
+                // shared append-mode file; the label de-multiplexes them.
+                let heartbeat =
+                    Heartbeat::from_env(&format!("{bench_label}.{}", sim.config().name));
+                let mut extra = (
+                    (series, TraceRing::from_env()),
+                    (
+                        LatencyObserver::default(),
+                        (SpanTracer::from_env(), heartbeat),
+                    ),
+                );
                 let result = sim.run_with_observer(instructions, &mut extra);
-                (result, extra.0, extra.1)
+                let ((series, trace), (latency, (spans, mut heartbeat))) = extra;
+                if let Some(hb) = &mut heartbeat {
+                    hb.finish();
+                }
+                (result, series, trace, latency, spans)
             });
 
         let bench = self.artifact.manifest.bench.clone();
         let mut out = Vec::with_capacity(workloads.len());
         for (&workload, row) in workloads.iter().zip(cells) {
             let mut runs = Vec::with_capacity(configs.len());
-            for (config, (result, series, trace)) in configs.iter().zip(row) {
+            for (config, (result, series, trace, mut latency, spans)) in configs.iter().zip(row) {
                 self.harvest_cell(workload.name(), config.name, &result);
                 let cell = format!("{bench}.{}.{}", workload.name(), config.name);
+                // Distributions: one summary per outcome class, plus the
+                // merged "all" entry with its sparse buckets for CDFs.
+                let dist_key =
+                    |suffix: &str| format!("cell/{}/{}/lat/{suffix}", workload.name(), config.name);
+                for (class, hist) in latency.class_histograms() {
+                    if hist.count() > 0 {
+                        self.artifact
+                            .push_distribution(dist_key(class.name()), hist.summary_json(false));
+                    }
+                }
+                self.artifact
+                    .push_distribution(dist_key("all"), latency.merged().summary_json(true));
+                self.latency_cells.push((
+                    workload.name().to_string(),
+                    config.name.to_string(),
+                    latency,
+                ));
+                if let Some(spans) = spans {
+                    self.sidecar(format!("{cell}.trace.json"), spans.to_chrome_json(&cell));
+                }
                 if let Some(series) = series {
                     let manifest_line = format!(
                         "{{\"schema\":\"eeat-series/v1\",\"manifest\":{}}}\n",
@@ -193,7 +246,37 @@ impl Runner {
             }
             out.push(WorkloadResults { workload, runs });
         }
+        let tails = self.tails_table();
+        self.table(&tails);
         out
+    }
+
+    /// The per-cell latency observers captured by the last
+    /// [`run_matrix`](Self::run_matrix), as `(workload, config, observer)` —
+    /// for bins that print their own class-level breakdowns.
+    pub fn latency_cells(&mut self) -> &mut [(String, String, LatencyObserver)] {
+        &mut self.latency_cells
+    }
+
+    /// The p50/p99/p999 table printed next to every matrix bench's means.
+    fn tails_table(&mut self) -> Table {
+        let mut table = Table::new(
+            "Translation latency tails (cycles)",
+            &["cell", "mean", "p50", "p90", "p99", "p999", "max"],
+        );
+        for (workload, config, latency) in &mut self.latency_cells {
+            let all = latency.merged();
+            table.add_row(&[
+                format!("{workload}/{config}"),
+                format!("{:.2}", all.mean()),
+                all.percentile(0.50).to_string(),
+                all.percentile(0.90).to_string(),
+                all.percentile(0.99).to_string(),
+                all.percentile(0.999).to_string(),
+                all.max().to_string(),
+            ]);
+        }
+        table
     }
 
     fn harvest_cell(&mut self, workload: &str, config: &str, result: &eeat_core::RunResult) {

@@ -265,6 +265,7 @@ impl Sinks {
                 );
             }
         }
+        self.emit(extra, TranslationEvent::BlockEnd);
     }
 }
 

@@ -355,6 +355,18 @@ impl Simulator {
     /// tests (and any debugging session) can compare it against the batched
     /// loop; results are bit-identical.
     pub fn run_per_access(&mut self, instructions: u64) -> RunResult {
+        self.run_per_access_with(instructions, &mut ())
+    }
+
+    /// [`run_per_access`](Self::run_per_access) with an extra [`Observer`]
+    /// riding the pipeline's generic observer slot — the reference side of
+    /// observer-level equivalence tests (e.g. proving a latency histogram
+    /// built from block-settled events matches per-access settling).
+    pub fn run_per_access_with<E: Observer>(
+        &mut self,
+        instructions: u64,
+        extra: &mut E,
+    ) -> RunResult {
         let ctx = self.step_ctx();
         let target = self.clock.saturating_add(instructions);
         while self.clock < target {
@@ -367,12 +379,12 @@ impl Simulator {
             } else {
                 self.source.next_access()
             };
-            pipeline::step(self, &ctx, access, &mut (), &mut ());
+            pipeline::step(self, &ctx, access, extra, &mut ());
             // Flushing after every step makes this the genuine per-access
             // reference for the delta-settle equivalence tests.
-            self.sinks.flush_deltas(&mut ());
+            self.sinks.flush_deltas(extra);
         }
-        self.result_with(&mut ())
+        self.result_with(extra)
     }
 
     /// Like [`run`](Self::run) with an arbitrary extra [`Observer`] riding

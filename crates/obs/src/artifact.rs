@@ -8,6 +8,7 @@
 //!   "schema": "eeat-run-artifact/v1",
 //!   "manifest": { "bench": "...", "config_hash": "...", ... },
 //!   "metrics": { "<key>": <number>, ... },
+//!   "distributions": { "<key>": { "count": N, "p50": N, ... }, ... },
 //!   "series": ["fig4.series.jsonl", ...]
 //! }
 //! ```
@@ -15,6 +16,15 @@
 //! Metric keys are slash-separated paths (`cell/<workload>/<config>/l1_mpki`,
 //! `table/<title>/<row>/<col>`); `series` lists sidecar files written next
 //! to the artifact.
+//!
+//! `distributions` is **optional** (artifacts written before PR 10 stay
+//! valid): each entry is a latency-histogram summary — required numeric
+//! `count`/`total`/`max`/`mean`/`p50`/`p90`/`p99`/`p999`, plus an optional
+//! `buckets` array of `[lower_bound, count]` pairs for CDF reconstruction.
+//! Keys follow the metric convention, e.g.
+//! `cell/<workload>/<config>/lat/all` or `.../lat/native_walk`; the diff
+//! layer compares percentile fields under the same tolerance rules as
+//! metrics.
 
 use crate::json::{self, Json};
 use crate::manifest::{RunManifest, SCHEMA};
@@ -26,9 +36,18 @@ pub struct RunArtifact {
     pub manifest: RunManifest,
     /// Flat metrics, in emission order.
     pub metrics: Vec<(String, f64)>,
+    /// Latency-distribution summaries (key → summary object), in emission
+    /// order. Summaries are kept as JSON values so artifacts round-trip
+    /// bit-for-bit; [`LatencyHistogram::summary_json`] produces them.
+    ///
+    /// [`LatencyHistogram::summary_json`]: crate::LatencyHistogram::summary_json
+    pub distributions: Vec<(String, Json)>,
     /// Sidecar series files (relative to the artifact).
     pub series: Vec<String>,
 }
+
+/// Required numeric fields of a distribution summary.
+pub const DIST_FIELDS: [&str; 8] = ["count", "total", "max", "mean", "p50", "p90", "p99", "p999"];
 
 impl RunArtifact {
     /// Creates an artifact with no metrics yet.
@@ -36,6 +55,7 @@ impl RunArtifact {
         Self {
             manifest,
             metrics: Vec::new(),
+            distributions: Vec::new(),
             series: Vec::new(),
         }
     }
@@ -55,9 +75,26 @@ impl RunArtifact {
             .map(|&(_, v)| v)
     }
 
-    /// The artifact as a JSON document.
+    /// Records one distribution summary (see [`DIST_FIELDS`] for the
+    /// required shape).
+    pub fn push_distribution(&mut self, key: impl Into<String>, summary: Json) {
+        self.distributions.push((key.into(), summary));
+    }
+
+    /// Looks up a distribution summary by key (last write wins).
+    pub fn distribution(&self, key: &str) -> Option<&Json> {
+        self.distributions
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The artifact as a JSON document. The `distributions` member is
+    /// omitted when empty, so pre-PR-10 artifacts (and their golden
+    /// fixtures) are byte-identical.
     pub fn to_json(&self) -> Json {
-        json::obj(vec![
+        let mut members = vec![
             ("schema", json::str(SCHEMA)),
             ("manifest", self.manifest.to_json()),
             (
@@ -69,11 +106,15 @@ impl RunArtifact {
                         .collect(),
                 ),
             ),
-            (
-                "series",
-                Json::Arr(self.series.iter().map(json::str).collect()),
-            ),
-        ])
+        ];
+        if !self.distributions.is_empty() {
+            members.push(("distributions", Json::Obj(self.distributions.clone())));
+        }
+        members.push((
+            "series",
+            Json::Arr(self.series.iter().map(json::str).collect()),
+        ));
+        json::obj(members)
     }
 
     /// Pretty JSON text, as written to `results/<bench>.json`.
@@ -101,6 +142,10 @@ impl RunArtifact {
             .iter()
             .map(|(k, v)| (k.clone(), v.as_f64().expect("validated")))
             .collect();
+        let distributions = match doc.get("distributions") {
+            Some(d) => d.as_obj().expect("validated").to_vec(),
+            None => Vec::new(),
+        };
         let series = doc
             .get("series")
             .and_then(Json::as_arr)
@@ -111,6 +156,7 @@ impl RunArtifact {
         Ok(Self {
             manifest,
             metrics,
+            distributions,
             series,
         })
     }
@@ -132,11 +178,8 @@ pub fn validate(doc: &Json) -> Vec<String> {
     }
     match doc.get("manifest") {
         None => problems.push("manifest: missing".to_string()),
-        Some(m) => {
-            if let Err(e) = RunManifest::from_json(m) {
-                problems.push(e);
-            }
-        }
+        // validate_json reports every broken field, not just the first.
+        Some(m) => problems.extend(RunManifest::validate_json(m)),
     }
     match doc.get("metrics").and_then(Json::as_obj) {
         None => problems.push("metrics: missing or not an object".to_string()),
@@ -148,6 +191,49 @@ pub fn validate(doc: &Json) -> Vec<String> {
             }
         }
     }
+    // Optional section: absent is valid, present must be well-formed.
+    if let Some(dists) = doc.get("distributions") {
+        match dists.as_obj() {
+            None => problems.push("distributions: not an object".to_string()),
+            Some(members) => {
+                for (key, value) in members {
+                    problems.extend(validate_distribution(key, value));
+                }
+            }
+        }
+    }
+    fn validate_distribution(key: &str, value: &Json) -> Vec<String> {
+        if value.as_obj().is_none() {
+            return vec![format!("distributions.{key}: not an object")];
+        }
+        let mut problems = Vec::new();
+        for field in DIST_FIELDS {
+            if value.get(field).and_then(Json::as_f64).is_none() {
+                problems.push(format!(
+                    "distributions.{key}.{field}: missing or not a number"
+                ));
+            }
+        }
+        if let Some(buckets) = value.get("buckets") {
+            match buckets.as_arr() {
+                None => problems.push(format!("distributions.{key}.buckets: not an array")),
+                Some(pairs) => {
+                    for (i, pair) in pairs.iter().enumerate() {
+                        let ok = pair.as_arr().is_some_and(|p| {
+                            p.len() == 2 && p.iter().all(|v| v.as_f64().is_some())
+                        });
+                        if !ok {
+                            problems.push(format!(
+                                "distributions.{key}.buckets[{i}]: not a [value, count] pair"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        problems
+    }
+
     match doc.get("series").and_then(Json::as_arr) {
         None => problems.push("series: missing or not an array".to_string()),
         Some(items) => {
@@ -221,6 +307,68 @@ mod tests {
             }
         }
         assert!(validate(&bad).iter().any(|p| p.contains("metrics.x")));
+    }
+
+    #[test]
+    fn distributions_round_trip_and_stay_optional() {
+        let plain = sample();
+        assert!(
+            !plain.to_pretty().contains("distributions"),
+            "empty section omitted: pre-PR-10 artifact bytes unchanged"
+        );
+        let mut a = sample();
+        let mut h = crate::LatencyHistogram::new();
+        h.record_n(7, 100);
+        h.record(297);
+        a.push_distribution("cell/mcf/4KB/lat/all", h.summary_json(true));
+        let back = RunArtifact::parse(&a.to_pretty()).expect("parses");
+        assert_eq!(back, a);
+        let dist = back.distribution("cell/mcf/4KB/lat/all").expect("present");
+        assert_eq!(dist.get("count").and_then(Json::as_f64), Some(101.0));
+        assert_eq!(dist.get("max").and_then(Json::as_f64), Some(297.0));
+    }
+
+    #[test]
+    fn validate_checks_distribution_shape() {
+        let mut a = sample();
+        a.push_distribution(
+            "bad",
+            json::obj(vec![
+                ("count", json::num(1.0)),
+                ("buckets", Json::Arr(vec![json::num(3.0)])),
+            ]),
+        );
+        let doc = json::parse(&a.to_pretty()).expect("parses");
+        let problems = validate(&doc);
+        // Missing 7 of the 8 required fields + 1 malformed bucket pair.
+        assert_eq!(problems.len(), 8, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("distributions.bad.p99")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("distributions.bad.buckets[0]")));
+    }
+
+    #[test]
+    fn validate_reports_all_manifest_violations() {
+        // Satellite: a file with several manifest problems lists them all.
+        let mut doc = json::parse(&sample().to_pretty()).expect("parses");
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "manifest" {
+                    if let Json::Obj(fields) = v {
+                        fields.retain(|(f, _)| f != "seed");
+                        for (f, fv) in fields.iter_mut() {
+                            if f == "commit" {
+                                *fv = json::num(1.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("manifest.seed")));
+        assert!(problems.iter().any(|p| p.contains("manifest.commit")));
     }
 
     #[test]

@@ -5,10 +5,19 @@
 //! on only one side. Config-hash mismatches are reported separately — a
 //! metric diff between different experiments is usually a category error,
 //! not a regression.
+//!
+//! Distribution summaries diff under the same rules: each entry's
+//! count/max/mean and percentile fields are compared as virtual metrics
+//! named `dist/<key>/<field>` (so a p99 regression in
+//! `cell/mcf/4KB/lat/all` is flagged as
+//! `dist/cell/mcf/4KB/lat/all/p99`), and an entry present on one side only
+//! flags at infinite delta — which is what lets CI gate on tail latency
+//! with the same tolerance machinery it already uses for means.
 
 use core::fmt;
 
-use crate::artifact::RunArtifact;
+use crate::artifact::{RunArtifact, DIST_FIELDS};
+use crate::json::Json;
 
 /// One metric whose values differ beyond tolerance (or exist on one side
 /// only).
@@ -132,10 +141,58 @@ pub fn diff_artifacts(a: &RunArtifact, b: &RunArtifact, tolerance: f64) -> DiffR
             });
         }
     }
+    diff_distributions(a, b, tolerance, &mut report);
     report
         .flagged
         .sort_by(|x, y| y.rel.partial_cmp(&x.rel).expect("rel is never NaN"));
     report
+}
+
+/// The scalar fields of a distribution summary compared by the diff
+/// (`buckets` are reconstruction data, not a regression signal).
+const DIST_DIFF_FIELDS: [&str; 8] = DIST_FIELDS;
+
+fn dist_field(summary: &Json, field: &str) -> Option<f64> {
+    summary.get(field).and_then(Json::as_f64)
+}
+
+fn diff_distributions(a: &RunArtifact, b: &RunArtifact, tolerance: f64, report: &mut DiffReport) {
+    for (key, sa) in &a.distributions {
+        let Some(sb) = b.distribution(key) else {
+            report.flagged.push(MetricDelta {
+                key: format!("dist/{key}"),
+                a: Some(dist_field(sa, "count").unwrap_or(f64::NAN)),
+                b: None,
+                rel: f64::INFINITY,
+            });
+            continue;
+        };
+        for field in DIST_DIFF_FIELDS {
+            let (Some(va), Some(vb)) = (dist_field(sa, field), dist_field(sb, field)) else {
+                continue;
+            };
+            report.compared += 1;
+            let rel = relative_delta(va, vb);
+            if rel > tolerance {
+                report.flagged.push(MetricDelta {
+                    key: format!("dist/{key}/{field}"),
+                    a: Some(va),
+                    b: Some(vb),
+                    rel,
+                });
+            }
+        }
+    }
+    for (key, sb) in &b.distributions {
+        if a.distribution(key).is_none() {
+            report.flagged.push(MetricDelta {
+                key: format!("dist/{key}"),
+                a: None,
+                b: Some(dist_field(sb, "count").unwrap_or(f64::NAN)),
+                rel: f64::INFINITY,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +266,29 @@ mod tests {
         let report = diff_artifacts(&a, &b, 0.0);
         assert!(report.config_mismatch);
         assert!(report.to_string().contains("config hashes differ"));
+    }
+
+    #[test]
+    fn distribution_percentiles_diff_like_metrics() {
+        let mut a = artifact("h", &[]);
+        let mut b = artifact("h", &[]);
+        let mut ha = crate::LatencyHistogram::new();
+        let mut hb = crate::LatencyHistogram::new();
+        ha.record_n(7, 99);
+        ha.record(57);
+        hb.record_n(7, 99);
+        hb.record(297); // the tail moved: p999 and max regress
+        a.push_distribution("lat/all", ha.summary_json(false));
+        b.push_distribution("lat/all", hb.summary_json(false));
+        a.push_distribution("only_a", ha.summary_json(false));
+        let report = diff_artifacts(&a, &b, 0.05);
+        let keys: Vec<&str> = report.flagged.iter().map(|d| d.key.as_str()).collect();
+        assert!(keys.contains(&"dist/lat/all/p999"), "{keys:?}");
+        assert!(keys.contains(&"dist/lat/all/max"), "{keys:?}");
+        assert!(keys.contains(&"dist/only_a"), "{keys:?}");
+        assert!(!keys.iter().any(|k| k.ends_with("/p50")), "p50 unchanged");
+        // Same artifact, zero tolerance: clean.
+        assert!(diff_artifacts(&a, &a.clone(), 0.0).is_clean());
     }
 
     #[test]

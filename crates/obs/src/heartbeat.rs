@@ -1,0 +1,243 @@
+//! Live run heartbeats: periodic single-line JSON progress records.
+//!
+//! Long runs (full 20M-instruction matrices, future service-mode
+//! ingestion) are silent until they finish; a [`Heartbeat`] observer makes
+//! them watchable. Every `interval` accesses it appends one compact JSON
+//! line — schema `eeat-heartbeat/v1` — with cumulative progress
+//! (instructions, accesses, wall-clock `acc_per_sec`), the current-window
+//! L1 MPKI, and a settled latency-histogram snapshot (count, p50/p99/p999,
+//! max) plus the count delta since the previous beat. One record per line
+//! means `tail -f` and line-oriented collectors consume it directly.
+//!
+//! Gating: `EEAT_HEARTBEAT=<path>` opens the file in **append** mode
+//! (parallel bench cells may interleave whole lines — each line carries its
+//! cell label, so readers de-multiplex on `label`); `EEAT_HEARTBEAT_EVERY`
+//! overrides the default 1M-access beat interval. Writes are best-effort:
+//! a full disk degrades telemetry, never the simulation.
+
+use std::io::Write;
+
+use eeat_types::events::{Observer, TranslationEvent};
+
+use crate::json::{self, Json};
+use crate::latency::LatencyObserver;
+
+/// Schema tag stamped on every heartbeat line.
+pub const SCHEMA: &str = "eeat-heartbeat/v1";
+
+/// Default beat interval, in accesses.
+pub const DEFAULT_INTERVAL: u64 = 1_000_000;
+
+/// The heartbeat observer: wraps a [`LatencyObserver`] (so beats can report
+/// distribution snapshots) and a line writer.
+pub struct Heartbeat {
+    writer: Box<dyn Write + Send>,
+    label: String,
+    interval: u64,
+    started: std::time::Instant,
+    beat: u64,
+    accesses: u64,
+    instructions: u64,
+    l1_misses: u64,
+    // Previous-beat marks, for window MPKI and snapshot deltas.
+    last_instructions: u64,
+    last_l1_misses: u64,
+    last_lat_count: u64,
+    latency: LatencyObserver,
+}
+
+impl Heartbeat {
+    /// A heartbeat writing to `writer`, labelled `label` (bench/cell name),
+    /// beating every `interval` accesses.
+    pub fn new(writer: Box<dyn Write + Send>, label: &str, interval: u64) -> Self {
+        assert!(interval > 0, "interval must be non-zero");
+        Self {
+            writer,
+            label: label.to_string(),
+            interval,
+            started: std::time::Instant::now(),
+            beat: 0,
+            accesses: 0,
+            instructions: 0,
+            l1_misses: 0,
+            last_instructions: 0,
+            last_l1_misses: 0,
+            last_lat_count: 0,
+            latency: LatencyObserver::default(),
+        }
+    }
+
+    /// Builds a heartbeat from `EEAT_HEARTBEAT` (append-mode file path) and
+    /// `EEAT_HEARTBEAT_EVERY` (beat interval, default 1M accesses), or
+    /// `None` when unset.
+    pub fn from_env(label: &str) -> Option<Self> {
+        let path = std::env::var("EEAT_HEARTBEAT").ok()?;
+        let path = path.trim();
+        if path.is_empty() {
+            return None;
+        }
+        let interval = std::env::var("EEAT_HEARTBEAT_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_INTERVAL);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()?;
+        Some(Self::new(
+            Box::new(std::io::BufWriter::new(file)),
+            label,
+            interval,
+        ))
+    }
+
+    /// Beats emitted so far.
+    pub fn beats(&self) -> u64 {
+        self.beat
+    }
+
+    fn emit(&mut self, fin: bool) {
+        self.beat += 1;
+        let window_insns = self.instructions - self.last_instructions;
+        let window_misses = self.l1_misses - self.last_l1_misses;
+        let mpki = if window_insns == 0 {
+            0.0
+        } else {
+            window_misses as f64 * 1000.0 / window_insns as f64
+        };
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let acc_per_sec = if elapsed > 0.0 {
+            self.accesses as f64 / elapsed
+        } else {
+            0.0
+        };
+        let all = self.latency.merged();
+        let line = json::obj(vec![
+            ("schema", json::str(SCHEMA)),
+            ("label", json::str(self.label.clone())),
+            ("beat", json::num(self.beat as f64)),
+            ("final", Json::Bool(fin)),
+            ("instructions", json::num(self.instructions as f64)),
+            ("accesses", json::num(self.accesses as f64)),
+            ("elapsed_s", json::num(elapsed)),
+            ("acc_per_sec", json::num(acc_per_sec)),
+            ("mpki", json::num(mpki)),
+            ("lat_count", json::num(all.count() as f64)),
+            (
+                "lat_count_delta",
+                json::num((all.count() - self.last_lat_count) as f64),
+            ),
+            ("lat_p50", json::num(all.percentile(0.50) as f64)),
+            ("lat_p99", json::num(all.percentile(0.99) as f64)),
+            ("lat_p999", json::num(all.percentile(0.999) as f64)),
+            ("lat_max", json::num(all.max() as f64)),
+        ])
+        .to_compact();
+        // Telemetry is best-effort: never fail the run over a write error.
+        let _ = writeln!(self.writer, "{line}");
+        let _ = self.writer.flush();
+        self.last_instructions = self.instructions;
+        self.last_l1_misses = self.l1_misses;
+        self.last_lat_count = all.count();
+    }
+
+    /// Emits a final beat covering the tail window (call after the run; a
+    /// run shorter than one interval still produces this one record).
+    pub fn finish(&mut self) {
+        self.emit(true);
+    }
+}
+
+impl Observer for Heartbeat {
+    #[inline]
+    fn on_event(&mut self, event: &TranslationEvent) {
+        self.latency.on_event(event);
+        match *event {
+            TranslationEvent::Access { instruction_gap } => {
+                self.instructions += u64::from(instruction_gap);
+                self.accesses += 1;
+                if self.accesses.is_multiple_of(self.interval) {
+                    self.emit(false);
+                }
+            }
+            TranslationEvent::L1Miss => self.l1_misses += 1,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture() -> (SharedBuf, Arc<Mutex<Vec<u8>>>) {
+        let inner = Arc::new(Mutex::new(Vec::new()));
+        (SharedBuf(inner.clone()), inner)
+    }
+
+    #[test]
+    fn beats_every_interval_and_on_finish() {
+        let (w, buf) = capture();
+        let mut hb = Heartbeat::new(Box::new(w), "unit", 2);
+        for _ in 0..5 {
+            hb.on_event(&TranslationEvent::Access {
+                instruction_gap: 10,
+            });
+            hb.on_event(&TranslationEvent::L1Miss);
+            hb.on_event(&TranslationEvent::L2Hit { range: false });
+            hb.on_event(&TranslationEvent::StepEnd);
+        }
+        hb.finish();
+        assert_eq!(hb.beats(), 3, "2 interval beats + 1 final");
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = crate::json::parse(lines[0]).expect("line parses");
+        assert_eq!(first.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(first.get("label").and_then(Json::as_str), Some("unit"));
+        assert_eq!(first.get("accesses").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(first.get("instructions").and_then(Json::as_f64), Some(20.0));
+        // The beat fires on iteration 2's Access, before its L1Miss: the
+        // window holds 1 miss over 20 instructions = 50 MPKI.
+        assert_eq!(first.get("mpki").and_then(Json::as_f64), Some(50.0));
+        assert_eq!(first.get("lat_p50").and_then(Json::as_f64), Some(7.0));
+        let last = crate::json::parse(lines[2]).expect("final parses");
+        assert_eq!(last.get("final"), Some(&Json::Bool(true)));
+        assert_eq!(last.get("accesses").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(last.get("lat_count").and_then(Json::as_f64), Some(5.0));
+        // Beat 2 fired at iteration 4's Access (3 settled accesses); the
+        // final beat covers the remaining two.
+        assert_eq!(
+            last.get("lat_count_delta").and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn short_run_still_emits_final_beat() {
+        let (w, buf) = capture();
+        let mut hb = Heartbeat::new(Box::new(w), "short", 1_000_000);
+        hb.on_event(&TranslationEvent::Access { instruction_gap: 1 });
+        hb.on_event(&TranslationEvent::StepEnd);
+        hb.finish();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"final\":true"));
+    }
+}

@@ -13,8 +13,16 @@
 //! * [`RunManifest`] — provenance (config hash, seed, toolchain, commit,
 //!   wall time) stamped into every artifact and text report.
 //! * [`TraceRing`] — an `EEAT_TRACE`-gated sampled event flight recorder.
+//! * [`LatencyHistogram`] / [`LatencyObserver`] — log-bucketed per-access
+//!   translation-cycle distributions split by outcome class (L1/L2 hit,
+//!   native/nested walk, shootdown-stalled), the p50/p99/p999 layer.
+//! * [`SpanTracer`] — `EEAT_SPANS`-gated chrome://tracing span export
+//!   (`.trace.json` sidecars), built on the trace ring.
+//! * [`Heartbeat`] — `EEAT_HEARTBEAT`-gated single-line JSON progress
+//!   records for watching long runs live.
 //! * [`RunArtifact`] / [`diff_artifacts`] — the `results/<bench>.json`
-//!   schema and the comparison engine behind the `report_diff` tool.
+//!   schema (now with an optional `distributions` section) and the
+//!   comparison engine behind the `report_diff` tool.
 //!
 //! The crate carries its own [`json`] support because the workspace is
 //! dependency-free by design.
@@ -46,15 +54,23 @@ pub mod json;
 
 mod artifact;
 mod diff;
+mod heartbeat;
+mod latency;
 mod manifest;
 mod registry;
 mod series;
+mod spans;
 mod trace;
 
-pub use artifact::{validate, RunArtifact};
+pub use artifact::{validate, RunArtifact, DIST_FIELDS};
 pub use diff::{diff_artifacts, relative_delta, DiffReport, MetricDelta};
+pub use heartbeat::{
+    Heartbeat, DEFAULT_INTERVAL as HEARTBEAT_INTERVAL, SCHEMA as HEARTBEAT_SCHEMA,
+};
 pub use json::Json;
+pub use latency::{LatencyClass, LatencyHistogram, LatencyModel, LatencyObserver};
 pub use manifest::{config_hash, fnv1a_64, RunManifest, SCHEMA};
 pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Registry};
 pub use series::{per_core_jsonl, EpochRow, EpochSeries};
-pub use trace::{TraceRecord, TraceRing, DEFAULT_CAPACITY};
+pub use spans::{chrome_trace_json, spans_enabled, validate_chrome_trace, SpanTracer};
+pub use trace::{parse_sample_env, parse_trace_env, TraceRecord, TraceRing, DEFAULT_CAPACITY};

@@ -133,6 +133,43 @@ impl RunManifest {
         })
     }
 
+    /// Schema-checks a manifest object, returning **every** field problem
+    /// (empty = valid), in declaration order.
+    ///
+    /// [`RunManifest::from_json`] `?`-short-circuits at the first bad
+    /// field — correct for parsing, useless for diagnostics. Validators
+    /// (`artifact::validate`, `report_diff --validate`) call this instead,
+    /// so a file with three broken fields reports three problems in one
+    /// pass.
+    pub fn validate_json(value: &Json) -> Vec<String> {
+        if value.as_obj().is_none() {
+            return vec!["manifest: not an object".to_string()];
+        }
+        const FIELDS: [(&str, bool); 8] = [
+            ("bench", true),
+            ("config_hash", true),
+            ("seed", false),
+            ("instructions", false),
+            ("threads", false),
+            ("commit", true),
+            ("rustc", true),
+            ("wall_seconds", false),
+        ];
+        let mut problems = Vec::new();
+        for (key, is_string) in FIELDS {
+            let ok = if is_string {
+                value.get(key).and_then(Json::as_str).is_some()
+            } else {
+                value.get(key).and_then(Json::as_f64).is_some()
+            };
+            if !ok {
+                let kind = if is_string { "string" } else { "number" };
+                problems.push(format!("manifest.{key}: missing or not a {kind}"));
+            }
+        }
+        problems
+    }
+
     /// The fields of the `# eeat-run` provenance line prepended to text
     /// reports (formatted by `eeat_core::provenance_header`).
     pub fn summary_fields(&self) -> Vec<(&'static str, String)> {
@@ -235,5 +272,33 @@ mod tests {
         }
         let err = RunManifest::from_json(&m).unwrap_err();
         assert!(err.contains("seed"));
+    }
+
+    #[test]
+    fn validate_json_reports_every_problem() {
+        assert!(RunManifest::validate_json(&sample().to_json()).is_empty());
+        assert_eq!(
+            RunManifest::validate_json(&Json::Arr(vec![])),
+            vec!["manifest: not an object".to_string()]
+        );
+        // Two broken fields → two problems; from_json would stop at one.
+        let mut m = sample().to_json();
+        if let Json::Obj(members) = &mut m {
+            members.retain(|(k, _)| k != "seed");
+            for (k, v) in members.iter_mut() {
+                if k == "commit" {
+                    *v = json::num(7.0);
+                }
+            }
+        }
+        let problems = RunManifest::validate_json(&m);
+        assert_eq!(
+            problems,
+            vec![
+                "manifest.seed: missing or not a number".to_string(),
+                "manifest.commit: missing or not a string".to_string(),
+            ]
+        );
+        assert!(RunManifest::from_json(&m).is_err());
     }
 }

@@ -1,0 +1,441 @@
+//! Span export: translation-event streams rendered as chrome://tracing
+//! "trace event format" JSON.
+//!
+//! [`SpanTracer`] is an observer built on the [`TraceRing`] flight
+//! recorder: it records the same bounded, whole-access-sampled event ring
+//! and, at the end of a run, converts the retained records into a
+//! `{"traceEvents": [...]}` document that chrome://tracing, Perfetto, and
+//! speedscope all open directly. The conversion is a pure function over
+//! [`TraceRecord`]s ([`chrome_trace_json`]), so it is unit-testable
+//! without a simulator.
+//!
+//! The timeline axis is the ring's instruction clock (cumulative `Access`
+//! gaps), reported as microseconds — one instruction per "µs" keeps the
+//! viewer's zoom ergonomics sane. Lanes (`tid`s) are:
+//!
+//! | tid | lane | contents |
+//! |----:|------|----------|
+//! | 0 | `accesses` | one `X` span per retained access, named by outcome class, `dur` = modeled translation cycles; walked accesses get a nested `walk` child span |
+//! | 1 | `blocks` | one `X` span per hot-path delta-flush span, closed by [`BlockEnd`] |
+//! | 2 | `epochs` | `i` instants for Lite decisions ([`EpochEnd`], with reactivation args) and settle points |
+//! | 3 | `coherence` | `i` instants for shootdowns, IPIs sent/delivered, ASID/context switches |
+//!
+//! Gating: [`SpanTracer::from_env`] returns a tracer only when
+//! `EEAT_SPANS=1`; the bench runner then writes one `<bench>.trace.json`
+//! sidecar per run. `EEAT_TRACE_SAMPLE` applies to the underlying ring, so
+//! long runs can thin the access lane while keeping every boundary event's
+//! access group intact.
+//!
+//! [`BlockEnd`]: TranslationEvent::BlockEnd
+//! [`EpochEnd`]: TranslationEvent::EpochEnd
+
+use eeat_types::events::{Observer, TranslationEvent};
+
+use crate::json::{self, Json};
+use crate::latency::LatencyModel;
+use crate::trace::{parse_sample_env, TraceRecord, TraceRing, DEFAULT_CAPACITY};
+
+/// `true` when `EEAT_SPANS=1` requests span sidecars.
+pub fn spans_enabled() -> bool {
+    std::env::var("EEAT_SPANS").is_ok_and(|v| v.trim() == "1")
+}
+
+/// The span-recording observer: a [`TraceRing`] plus the conversion to
+/// chrome-trace JSON.
+#[derive(Clone, Debug)]
+pub struct SpanTracer {
+    ring: TraceRing,
+}
+
+impl SpanTracer {
+    /// A tracer retaining up to `capacity` events at sampling `stride`.
+    pub fn new(capacity: usize, stride: u64) -> Self {
+        Self {
+            ring: TraceRing::new(capacity, stride),
+        }
+    }
+
+    /// Builds a tracer when `EEAT_SPANS=1`, honouring `EEAT_TRACE_SAMPLE`
+    /// for the access-lane stride; `None` otherwise.
+    pub fn from_env() -> Option<Self> {
+        if !spans_enabled() {
+            return None;
+        }
+        let sample = std::env::var("EEAT_TRACE_SAMPLE").ok();
+        Some(Self::new(
+            DEFAULT_CAPACITY,
+            parse_sample_env(sample.as_deref()),
+        ))
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.ring.records()
+    }
+
+    /// Renders the retained records as a chrome-trace JSON document;
+    /// `process` names the trace in the viewer (bench/cell name).
+    pub fn to_chrome_json(&self, process: &str) -> String {
+        chrome_trace_json(&self.ring.records(), process)
+    }
+}
+
+impl Observer for SpanTracer {
+    #[inline]
+    fn on_event(&mut self, event: &TranslationEvent) {
+        self.ring.on_event(event);
+    }
+}
+
+const LANES: [(u32, &str); 4] = [
+    (0, "accesses"),
+    (1, "blocks"),
+    (2, "epochs"),
+    (3, "coherence"),
+];
+
+fn trace_event(name: &str, ph: &str, tid: u32, ts: u64, extra: Vec<(&'static str, Json)>) -> Json {
+    let mut members = vec![
+        ("name", json::str(name)),
+        ("ph", json::str(ph)),
+        ("pid", json::num(1.0)),
+        ("tid", json::num(f64::from(tid))),
+        ("ts", json::num(ts as f64)),
+    ];
+    members.extend(extra);
+    json::obj(members)
+}
+
+fn instant(name: &str, tid: u32, ts: u64, args: Vec<(&'static str, Json)>) -> Json {
+    let mut extra = vec![("s", json::str("t"))];
+    if !args.is_empty() {
+        extra.push(("args", json::obj(args)));
+    }
+    trace_event(name, "i", tid, ts, extra)
+}
+
+fn x_span(name: &str, tid: u32, ts: u64, dur: u64, args: Vec<(&'static str, Json)>) -> Json {
+    let mut extra = vec![("dur", json::num(dur as f64))];
+    if !args.is_empty() {
+        extra.push(("args", json::obj(args)));
+    }
+    trace_event(name, "X", tid, ts, extra)
+}
+
+/// Converts a record stream into a chrome-trace JSON document (see the
+/// module header for the lane layout). Pure: same records, same output.
+pub fn chrome_trace_json(records: &[TraceRecord], process: &str) -> String {
+    let model = LatencyModel::default();
+    let mut events = Vec::new();
+    events.push(trace_event(
+        "process_name",
+        "M",
+        0,
+        0,
+        vec![("args", json::obj(vec![("name", json::str(process))]))],
+    ));
+    for (tid, lane) in LANES {
+        events.push(trace_event(
+            "thread_name",
+            "M",
+            tid,
+            0,
+            vec![("args", json::obj(vec![("name", json::str(lane))]))],
+        ));
+    }
+
+    // In-flight access classification (mirrors obs::latency, but span
+    // durations are cosmetic so truncated rings just drop the open span).
+    let mut open: Option<(u64, u64)> = None; // (ts, cycles)
+    let mut class = "l1_hit";
+    let mut walk: Option<(u64, u32)> = None; // (walk cycles, refs)
+    let mut block_start: Option<u64> = None;
+
+    for rec in records {
+        let ts = rec.clock;
+        match rec.event {
+            TranslationEvent::Access { .. } => {
+                open = Some((ts, 0));
+                class = "l1_hit";
+                walk = None;
+                block_start.get_or_insert(ts);
+            }
+            TranslationEvent::L1Miss => {
+                if let Some((_, c)) = &mut open {
+                    *c += model.l2_lookup_cycles;
+                }
+            }
+            TranslationEvent::L2Hit { .. } => class = "l2_hit",
+            TranslationEvent::L2Miss => {
+                class = "native_walk";
+                if let Some((_, c)) = &mut open {
+                    *c += model.walk_base_cycles;
+                }
+            }
+            TranslationEvent::PageWalk { memory_refs } => {
+                let cycles =
+                    model.walk_base_cycles + model.walk_ref_cycles * u64::from(memory_refs);
+                if let Some((_, c)) = &mut open {
+                    *c += model.walk_ref_cycles * u64::from(memory_refs);
+                }
+                walk = Some((cycles, memory_refs));
+            }
+            TranslationEvent::NestedWalk {
+                guest_refs,
+                host_refs,
+            } => {
+                class = "nested_walk";
+                events.push(instant(
+                    "nested_walk",
+                    0,
+                    ts,
+                    vec![
+                        ("guest_refs", json::num(f64::from(guest_refs))),
+                        ("host_refs", json::num(f64::from(host_refs))),
+                    ],
+                ));
+            }
+            TranslationEvent::StepEnd => {
+                if let Some((start, cycles)) = open.take() {
+                    events.push(x_span(class, 0, start, cycles.max(1), vec![]));
+                    if let Some((wc, refs)) = walk.take() {
+                        // Child span: starts after the L2 lookup, nests
+                        // inside the access span on the same lane.
+                        events.push(x_span(
+                            "walk",
+                            0,
+                            start + model.l2_lookup_cycles,
+                            wc,
+                            vec![("memory_refs", json::num(f64::from(refs)))],
+                        ));
+                    }
+                }
+            }
+            TranslationEvent::BlockEnd => {
+                let start = block_start.take().unwrap_or(ts);
+                events.push(x_span("block", 1, start, (ts - start).max(1), vec![]));
+            }
+            TranslationEvent::EpochSettle { l1_4k_ways, .. } => {
+                events.push(instant(
+                    "epoch_settle",
+                    2,
+                    ts,
+                    vec![("l1_4k_ways", opt_num(l1_4k_ways))],
+                ));
+            }
+            TranslationEvent::EpochEnd {
+                reactivated,
+                l1_4k_ways,
+            } => {
+                events.push(instant(
+                    if reactivated {
+                        "lite_reactivate"
+                    } else {
+                        "lite_decision"
+                    },
+                    2,
+                    ts,
+                    vec![
+                        ("reactivated", Json::Bool(reactivated)),
+                        ("l1_4k_ways", opt_num(l1_4k_ways)),
+                    ],
+                ));
+            }
+            TranslationEvent::Shootdown => {
+                events.push(instant("shootdown", 3, ts, vec![]));
+            }
+            TranslationEvent::ShootdownIpi { recipients } => {
+                events.push(instant(
+                    "ipi_send",
+                    3,
+                    ts,
+                    vec![("recipients", json::num(f64::from(recipients)))],
+                ));
+            }
+            TranslationEvent::IpiDelivered { invalidations } => {
+                events.push(instant(
+                    "ipi_delivered",
+                    3,
+                    ts,
+                    vec![("invalidations", json::num(invalidations as f64))],
+                ));
+            }
+            TranslationEvent::AsidSwitch { asid } => {
+                events.push(instant(
+                    "asid_switch",
+                    3,
+                    ts,
+                    vec![("asid", json::num(f64::from(asid)))],
+                ));
+            }
+            TranslationEvent::ContextSwitch => {
+                events.push(instant("context_switch", 3, ts, vec![]));
+            }
+            _ => {}
+        }
+    }
+
+    json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", json::str("ns")),
+    ])
+    .to_compact()
+}
+
+fn opt_num(value: Option<u32>) -> Json {
+    match value {
+        Some(v) => json::num(f64::from(v)),
+        None => Json::Null,
+    }
+}
+
+/// A minimal trace-event-format checker: returns every violation found
+/// (empty = the document is a loadable chrome trace).
+///
+/// Checks the subset the exporter relies on: a top-level `traceEvents`
+/// array; every event an object with string `name`/`ph` and numeric
+/// `pid`/`tid`; `X` events carry numeric `ts` and non-negative `dur`;
+/// `i` events carry numeric `ts`; only `X`/`i`/`M` phases appear.
+pub fn validate_chrome_trace(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Ok(doc) = json::parse(text) else {
+        return vec!["document is not valid JSON".into()];
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        return vec!["missing top-level \"traceEvents\" array".into()];
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let mut fail = |msg: String| problems.push(format!("traceEvents[{i}]: {msg}"));
+        if ev.as_obj().is_none() {
+            fail("not an object".into());
+            continue;
+        }
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            fail("missing string \"name\"".into());
+        }
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(Json::as_f64).is_none() {
+                fail(format!("missing numeric \"{key}\""));
+            }
+        }
+        let Some(ph) = ev.get("ph").and_then(Json::as_str) else {
+            fail("missing string \"ph\"".into());
+            continue;
+        };
+        match ph {
+            "X" => {
+                if ev.get("ts").and_then(Json::as_f64).is_none() {
+                    fail("X event missing numeric \"ts\"".into());
+                }
+                match ev.get("dur").and_then(Json::as_f64) {
+                    Some(d) if d >= 0.0 => {}
+                    Some(_) => fail("X event has negative \"dur\"".into()),
+                    None => fail("X event missing numeric \"dur\"".into()),
+                }
+            }
+            "i" => {
+                if ev.get("ts").and_then(Json::as_f64).is_none() {
+                    fail("i event missing numeric \"ts\"".into());
+                }
+            }
+            "M" => {}
+            other => fail(format!("unsupported phase {other:?}")),
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eeat_types::events::HitColumn;
+
+    fn drive(tracer: &mut SpanTracer, events: &[TranslationEvent]) {
+        for e in events {
+            tracer.on_event(e);
+        }
+    }
+
+    #[test]
+    fn exports_access_block_and_epoch_spans() {
+        let mut t = SpanTracer::new(1024, 1);
+        drive(
+            &mut t,
+            &[
+                TranslationEvent::Access { instruction_gap: 4 },
+                TranslationEvent::L1Miss,
+                TranslationEvent::L2Miss,
+                TranslationEvent::PageWalk { memory_refs: 4 },
+                TranslationEvent::StepEnd,
+                TranslationEvent::Access { instruction_gap: 2 },
+                TranslationEvent::L1Hit {
+                    column: HitColumn::FourK,
+                },
+                TranslationEvent::StepEnd,
+                TranslationEvent::EpochEnd {
+                    reactivated: false,
+                    l1_4k_ways: Some(2),
+                },
+                TranslationEvent::BlockEnd,
+            ],
+        );
+        let out = t.to_chrome_json("unit-test");
+        assert!(validate_chrome_trace(&out).is_empty(), "{out}");
+        for needle in [
+            "\"native_walk\"",
+            "\"walk\"",
+            "\"l1_hit\"",
+            "\"block\"",
+            "\"lite_decision\"",
+            "\"unit-test\"",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+    }
+
+    #[test]
+    fn coherence_instants_are_exported() {
+        let mut t = SpanTracer::new(64, 1);
+        drive(
+            &mut t,
+            &[
+                TranslationEvent::AsidSwitch { asid: 7 },
+                TranslationEvent::ShootdownIpi { recipients: 3 },
+                TranslationEvent::IpiDelivered { invalidations: 12 },
+            ],
+        );
+        let out = t.to_chrome_json("coherence");
+        assert!(validate_chrome_trace(&out).is_empty());
+        assert!(out.contains("\"ipi_send\""));
+        assert!(out.contains("\"ipi_delivered\""));
+        assert!(out.contains("\"asid_switch\""));
+    }
+
+    #[test]
+    fn validator_flags_each_problem() {
+        assert_eq!(
+            validate_chrome_trace("nonsense"),
+            vec!["document is not valid JSON".to_string()]
+        );
+        assert_eq!(validate_chrome_trace("{}").len(), 1);
+        // One malformed X event (no dur), one unknown phase: both reported.
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":1,"tid":0,"ts":1},
+            {"name":"b","ph":"Z","pid":1,"tid":0}
+        ]}"#;
+        let problems = validate_chrome_trace(bad);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("dur"));
+        assert!(problems[1].contains("unsupported phase"));
+    }
+
+    #[test]
+    fn from_env_requires_spans_flag() {
+        // Process-global env: single test covers both branches.
+        std::env::remove_var("EEAT_SPANS");
+        assert!(SpanTracer::from_env().is_none());
+        std::env::set_var("EEAT_SPANS", "1");
+        assert!(SpanTracer::from_env().is_some());
+        std::env::remove_var("EEAT_SPANS");
+    }
+}

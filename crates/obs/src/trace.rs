@@ -6,6 +6,29 @@
 //! is decided once per memory access (every event of a sampled access is
 //! kept, so a step's probe/hit/walk sequence stays intact), and the ring
 //! overwrites oldest-first, so memory use is bounded no matter the budget.
+//!
+//! # Environment contract
+//!
+//! * `EEAT_TRACE` — unset, empty, or `0`: tracing disabled. `1`: enabled
+//!   at [`DEFAULT_CAPACITY`]. Any other positive integer: enabled at that
+//!   ring capacity. Anything else (non-numeric, negative) is a
+//!   configuration error and **panics** with a message naming the
+//!   variable — a typo must not silently run an untraced experiment.
+//! * `EEAT_TRACE_SAMPLE` — unset or empty: stride 1 (sample every
+//!   access). A positive integer: sample every N-th access. Zero,
+//!   negative, or non-numeric values **panic**: `0` in particular used to
+//!   be silently coerced to 1, which made "sampling off" (`=0` by analogy
+//!   with `EEAT_TRACE=0`) mean the opposite — the densest possible trace.
+//!
+//! Parsing lives in [`parse_trace_env`] / [`parse_sample_env`], pure
+//! functions over the raw string values so the contract is unit-testable
+//! without mutating process-global environment state.
+//!
+//! The ring also maintains a per-record instruction **clock** (cumulative
+//! [`Access`] gaps), which the span exporter (`crate::spans`) uses as the
+//! chrome-trace timestamp axis.
+//!
+//! [`Access`]: TranslationEvent::Access
 
 use eeat_types::events::{Observer, TranslationEvent};
 
@@ -23,6 +46,11 @@ pub struct TraceRecord {
     /// Memory-access index the event belongs to (0 before the first
     /// access).
     pub access: u64,
+    /// Instruction clock at the event: the cumulative sum of
+    /// [`TranslationEvent::Access`] gaps seen so far. Monotone across the
+    /// run (tracked for every event, sampled or not), so span exports can
+    /// use it as a timestamp.
+    pub clock: u64,
     /// The event.
     pub event: TranslationEvent,
 }
@@ -34,10 +62,55 @@ pub struct TraceRing {
     stride: u64,
     seq: u64,
     accesses: u64,
+    clock: u64,
     sampling: bool,
     buf: Vec<TraceRecord>,
     next: usize,
     recorded: u64,
+}
+
+/// Parses a raw `EEAT_TRACE` value (`None` = variable unset) into a ring
+/// capacity, or `None` when tracing is disabled.
+///
+/// # Panics
+///
+/// Panics on values that are neither a disable flag nor a positive
+/// integer — see the module header for the contract.
+pub fn parse_trace_env(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match raw.trim() {
+        "" | "0" => None,
+        "1" => Some(DEFAULT_CAPACITY),
+        other => match other.parse::<usize>() {
+            Ok(c) if c > 0 => Some(c),
+            _ => panic!(
+                "EEAT_TRACE={other:?} is invalid: expected 0 (off), 1 (default capacity), \
+                 or a positive ring capacity"
+            ),
+        },
+    }
+}
+
+/// Parses a raw `EEAT_TRACE_SAMPLE` value (`None` = variable unset) into a
+/// sampling stride (default 1).
+///
+/// # Panics
+///
+/// Panics on zero, negative, or non-numeric values — `0` is rejected
+/// loudly rather than silently coerced to "sample everything".
+pub fn parse_sample_env(raw: Option<&str>) -> u64 {
+    let Some(raw) = raw else { return 1 };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return 1;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(s) if s > 0 => s,
+        _ => panic!(
+            "EEAT_TRACE_SAMPLE={trimmed:?} is invalid: expected a positive sampling stride \
+             (1 = every access); use EEAT_TRACE=0 to disable tracing"
+        ),
+    }
 }
 
 impl TraceRing {
@@ -55,6 +128,7 @@ impl TraceRing {
             stride,
             seq: 0,
             accesses: 0,
+            clock: 0,
             sampling: true,
             buf: Vec::with_capacity(capacity.min(4096)),
             next: 0,
@@ -63,23 +137,14 @@ impl TraceRing {
     }
 
     /// Builds a ring from the environment, or `None` when tracing is off.
-    ///
-    /// * `EEAT_TRACE` — unset or `0`: disabled; `1`: enabled at
-    ///   [`DEFAULT_CAPACITY`]; any other integer: enabled at that capacity.
-    /// * `EEAT_TRACE_SAMPLE` — sampling stride in accesses (default 1).
+    /// See the module header for the `EEAT_TRACE` / `EEAT_TRACE_SAMPLE`
+    /// contract; invalid values panic via [`parse_trace_env`] and
+    /// [`parse_sample_env`].
     pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("EEAT_TRACE").ok()?;
-        let capacity = match raw.trim() {
-            "" | "0" => return None,
-            "1" => DEFAULT_CAPACITY,
-            other => other.parse().ok().filter(|&c| c > 0)?,
-        };
-        let stride = std::env::var("EEAT_TRACE_SAMPLE")
-            .ok()
-            .and_then(|s| s.trim().parse().ok())
-            .filter(|&s| s > 0)
-            .unwrap_or(1);
-        Some(Self::new(capacity, stride))
+        let trace = std::env::var("EEAT_TRACE").ok();
+        let capacity = parse_trace_env(trace.as_deref())?;
+        let sample = std::env::var("EEAT_TRACE_SAMPLE").ok();
+        Some(Self::new(capacity, parse_sample_env(sample.as_deref())))
     }
 
     /// Total events recorded (including any already overwritten).
@@ -112,6 +177,7 @@ impl TraceRing {
             let mut members = vec![
                 ("seq", json::num(rec.seq as f64)),
                 ("access", json::num(rec.access as f64)),
+                ("clock", json::num(rec.clock as f64)),
             ];
             let (name, fields) = event_json(&rec.event);
             members.push(("event", json::str(name)));
@@ -126,6 +192,7 @@ impl TraceRing {
         let rec = TraceRecord {
             seq: self.seq,
             access: self.accesses,
+            clock: self.clock,
             event: *event,
         };
         if self.buf.len() < self.capacity {
@@ -142,7 +209,8 @@ impl Observer for TraceRing {
     #[inline]
     fn on_event(&mut self, event: &TranslationEvent) {
         self.seq += 1;
-        if let TranslationEvent::Access { .. } = event {
+        if let TranslationEvent::Access { instruction_gap } = *event {
+            self.clock += u64::from(instruction_gap);
             self.sampling = self.accesses.is_multiple_of(self.stride);
             self.accesses += 1;
         }
@@ -273,6 +341,7 @@ fn event_json(event: &TranslationEvent) -> (&'static str, Vec<(&'static str, Jso
             vec![("invalidations", n(invalidations as f64))],
         ),
         E::StepEnd => ("StepEnd", vec![]),
+        E::BlockEnd => ("BlockEnd", vec![]),
     }
 }
 
@@ -347,6 +416,56 @@ mod tests {
         }
         assert!(dump.contains("\"L2Hit\""));
         assert!(dump.contains("\"range\":true"));
+    }
+
+    #[test]
+    fn parse_trace_env_contract() {
+        assert_eq!(parse_trace_env(None), None);
+        assert_eq!(parse_trace_env(Some("")), None);
+        assert_eq!(parse_trace_env(Some("0")), None);
+        assert_eq!(parse_trace_env(Some("1")), Some(DEFAULT_CAPACITY));
+        assert_eq!(parse_trace_env(Some(" 128 ")), Some(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "EEAT_TRACE=")]
+    fn parse_trace_env_rejects_garbage() {
+        parse_trace_env(Some("lots"));
+    }
+
+    #[test]
+    fn parse_sample_env_contract() {
+        assert_eq!(parse_sample_env(None), 1);
+        assert_eq!(parse_sample_env(Some("")), 1);
+        assert_eq!(parse_sample_env(Some("64")), 64);
+        assert_eq!(parse_sample_env(Some(" 7 ")), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "EEAT_TRACE_SAMPLE=\"0\" is invalid")]
+    fn parse_sample_env_rejects_zero() {
+        // Regression: 0 used to be silently coerced to stride 1.
+        parse_sample_env(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "EEAT_TRACE_SAMPLE=")]
+    fn parse_sample_env_rejects_negative() {
+        parse_sample_env(Some("-3"));
+    }
+
+    #[test]
+    fn clock_accumulates_access_gaps() {
+        let mut ring = TraceRing::new(10, 1);
+        ring.on_event(&TranslationEvent::Access { instruction_gap: 5 });
+        ring.on_event(&TranslationEvent::L1Miss);
+        ring.on_event(&TranslationEvent::Access { instruction_gap: 3 });
+        let recs = ring.records();
+        assert_eq!(
+            recs.iter().map(|r| r.clock).collect::<Vec<_>>(),
+            vec![5, 5, 8]
+        );
+        assert!(ring.dump_jsonl().contains("\"clock\":5"));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Bucketed-vs-exact equivalence for the latency histograms: the
+//! block-settled hot path (`run_with_observer`, per-block cycle-class
+//! accumulator) must produce bucket-for-bucket identical distributions to
+//! the per-access reference (`run_per_access_with`), for every registered
+//! organization — and the histogram totals must tie exactly to the stats
+//! observer's independent counters.
+
+use eeat_core::{Config, Org, Simulator};
+use eeat_obs::{LatencyClass, LatencyModel, LatencyObserver};
+use eeat_workloads::{Pattern, PhaseSpec, RegionSpec, StreamSpec, WorkloadSpec};
+
+const INSTRUCTIONS: u64 = 150_000;
+const SEED: u64 = 20160312;
+
+/// Mixed-size, hotspot-heavy traffic: real L1/L2 hits, walks, and (in THP
+/// orgs) both page sizes — the same shape the delta-settle tests use.
+fn mixed_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hist_diff",
+        mem_ops_per_kilo_instr: 250,
+        store_fraction: 0.3,
+        regions: vec![
+            RegionSpec {
+                name: "huge",
+                bytes: 128 << 20,
+                count: 2,
+                thp_eligible: true,
+            },
+            RegionSpec {
+                name: "base",
+                bytes: 24 << 20,
+                count: 2,
+                thp_eligible: false,
+            },
+        ],
+        streams: vec![
+            StreamSpec {
+                region: 0,
+                pattern: Pattern::Hotspot {
+                    hot_fraction: 0.1,
+                    hot_prob: 0.8,
+                },
+                region_switch_prob: 0.01,
+            },
+            StreamSpec {
+                region: 1,
+                pattern: Pattern::Random,
+                region_switch_prob: 0.0,
+            },
+        ],
+        phases: vec![PhaseSpec {
+            duration_units: 1,
+            weights: vec![(0, 0.6), (1, 0.4)],
+        }],
+        phase_unit_instructions: 50_000,
+        alloc_contiguity: 0.8,
+    }
+}
+
+/// Runs `config` through both accounting paths and demands identical
+/// distributions; returns the blocked observer for further checks.
+fn assert_equivalent(config: Config, what: &str) -> (LatencyObserver, eeat_core::RunResult) {
+    let spec = mixed_spec();
+
+    let mut blocked_sim = Simulator::from_spec(config.clone(), &spec, SEED);
+    let mut blocked = LatencyObserver::default();
+    let blocked_result = blocked_sim.run_with_observer(INSTRUCTIONS, &mut blocked);
+
+    let mut reference_sim = Simulator::from_spec(config, &spec, SEED);
+    let mut reference = LatencyObserver::default();
+    let reference_result = reference_sim.run_per_access_with(INSTRUCTIONS, &mut reference);
+
+    assert_eq!(
+        blocked_result.stats, reference_result.stats,
+        "{what}: the observer perturbed the simulation"
+    );
+    let b = blocked.histograms().clone();
+    let r = reference.histograms().clone();
+    for class in LatencyClass::ALL {
+        assert_eq!(
+            b[class as usize],
+            r[class as usize],
+            "{what}/{}: bucketed counts diverged from the per-access reference",
+            class.name()
+        );
+    }
+    (blocked, blocked_result)
+}
+
+/// The tentpole equivalence across the full catalog, plus the exact tie to
+/// the stats observer: summed over all classes,
+/// `Σ cycles = 7·l1_misses + 2·l2_misses + 12·walk_refs` (single core —
+/// no shootdown stalls).
+#[test]
+fn bucketed_counts_match_per_access_reference_for_every_org() {
+    let model = LatencyModel::default();
+    for org in Org::all() {
+        let (mut obs, result) = assert_equivalent(org.config(), org.name());
+
+        let all = obs.merged();
+        let s = &result.stats;
+        assert_eq!(
+            all.count(),
+            s.accesses,
+            "{}: every access classified exactly once",
+            org.name()
+        );
+        assert_eq!(
+            all.total(),
+            model.l2_lookup_cycles * s.l1_misses
+                + model.walk_base_cycles * s.l2_misses
+                + model.walk_ref_cycles * s.walk_memory_refs,
+            "{}: histogram cycles must tie to the stats counters",
+            org.name()
+        );
+        assert!(
+            s.accesses > 1_000,
+            "{}: workload must generate real traffic",
+            org.name()
+        );
+
+        // No IPIs in a single-core run.
+        let h = obs.histograms();
+        assert_eq!(h[LatencyClass::ShootdownStalled as usize].count(), 0);
+        // Walks exist and are the slow class: the merged p999 must sit at
+        // or above a full walk's cost.
+        assert!(
+            h[LatencyClass::NativeWalk as usize].count() > 0,
+            "{}",
+            org.name()
+        );
+    }
+}
+
+/// Virtualized mode: nested walks classify into their own histogram and
+/// stay equivalent across accounting paths.
+#[test]
+fn virtualized_nested_walks_have_their_own_class() {
+    let (mut obs, result) = assert_equivalent(Config::four_k().virtualized(), "4KB/virt");
+    let h = obs.histograms();
+    let nested = &h[LatencyClass::NestedWalk as usize];
+    assert!(nested.count() > 0, "virtualized runs must see nested walks");
+    assert_eq!(
+        h[LatencyClass::NativeWalk as usize].count(),
+        0,
+        "every walk in virtualized mode is two-dimensional"
+    );
+    // Cold 2D walks (up to 24 combined refs, 297 cycles) dwarf the flat
+    // native walk's 57: the nested tail must reach past it.
+    assert!(nested.max() > 57, "nested max {}", nested.max());
+    assert!(result.stats.walk_memory_refs > 0);
+}

@@ -1,0 +1,116 @@
+//! Export-format coverage for [`EpochSeries`]: the CSV header is pinned
+//! column-for-column (downstream notebooks index by position), the JSONL
+//! member order is pinned, and the virtualization (guest/host walk-ref)
+//! and coherence (shootdown/ASID/IPI) columns round-trip through both
+//! formats exactly.
+
+use eeat_obs::{json, EpochSeries, Json};
+use eeat_types::events::{Observer, TranslationEvent};
+
+/// The frozen CSV column order. Appending columns is fine; reordering or
+/// renaming breaks every consumer — this test is the tripwire.
+const CSV_HEADER: &str = "instructions,l1_mpki,l2_mpki,l1_4k_ways,accesses,l1_misses,l2_misses,\
+     l1_hits_4k,l1_hits_2m,l1_hits_1g,l1_hits_range,l2_hits_page,l2_hits_range,\
+     range_hit_ratio,walk_refs,guest_walk_refs,host_walk_refs,range_walks,\
+     shootdowns,context_switches,asid_switches,ipis_sent,ipis_delivered,\
+     ipi_invalidations,lite_epochs,lite_reactivations,energy_pj,pj_per_access";
+
+/// Drives one synthetic bucket holding virtualized walks and the full
+/// coherence event family, then closes it.
+fn sample_series() -> EpochSeries {
+    let mut s = EpochSeries::new(0, 1_000, 4, None);
+    // Two accesses: a cold nested walk, then an L1 hit.
+    s.on_event(&TranslationEvent::Access {
+        instruction_gap: 400,
+    });
+    s.on_event(&TranslationEvent::L1Miss);
+    s.on_event(&TranslationEvent::L2Miss);
+    s.on_event(&TranslationEvent::PageWalk { memory_refs: 24 });
+    s.on_event(&TranslationEvent::NestedWalk {
+        guest_refs: 4,
+        host_refs: 20,
+    });
+    s.on_event(&TranslationEvent::StepEnd);
+    // PR 7 coherence traffic.
+    s.on_event(&TranslationEvent::Shootdown);
+    s.on_event(&TranslationEvent::AsidSwitch { asid: 3 });
+    s.on_event(&TranslationEvent::ShootdownIpi { recipients: 2 });
+    s.on_event(&TranslationEvent::IpiDelivered { invalidations: 5 });
+    s.on_event(&TranslationEvent::ContextSwitch);
+    s.on_event(&TranslationEvent::Access {
+        instruction_gap: 600,
+    });
+    s.on_event(&TranslationEvent::L1Hit {
+        column: eeat_types::events::HitColumn::FourK,
+    });
+    s.on_event(&TranslationEvent::StepEnd); // instructions = 1000: bucket closes
+    s
+}
+
+#[test]
+fn csv_header_is_pinned_and_rows_round_trip() {
+    let s = sample_series();
+    assert_eq!(s.rows().len(), 1);
+    let csv = s.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some(CSV_HEADER), "column order is frozen");
+
+    let row = lines.next().expect("one data row");
+    let cols: Vec<&str> = row.split(',').collect();
+    let header: Vec<&str> = CSV_HEADER.split(',').collect();
+    assert_eq!(cols.len(), header.len(), "row width matches header");
+    let field = |name: &str| -> f64 {
+        let i = header
+            .iter()
+            .position(|h| *h == name)
+            .expect("known column");
+        cols[i].parse().expect("numeric cell")
+    };
+    // Virtualization columns (PR 9).
+    assert_eq!(field("walk_refs"), 24.0);
+    assert_eq!(field("guest_walk_refs"), 4.0);
+    assert_eq!(field("host_walk_refs"), 20.0);
+    // Coherence columns (PR 7).
+    assert_eq!(field("shootdowns"), 1.0);
+    assert_eq!(field("context_switches"), 1.0);
+    assert_eq!(field("asid_switches"), 1.0);
+    assert_eq!(field("ipis_sent"), 2.0);
+    assert_eq!(field("ipis_delivered"), 1.0);
+    assert_eq!(field("ipi_invalidations"), 5.0);
+    // Core accounting agrees.
+    assert_eq!(field("instructions"), 1000.0);
+    assert_eq!(field("accesses"), 2.0);
+    assert_eq!(field("l1_misses"), 1.0);
+    assert_eq!(field("l1_hits_4k"), 1.0);
+}
+
+#[test]
+fn jsonl_member_order_is_pinned_and_values_round_trip() {
+    let s = sample_series();
+    let jsonl = s.to_jsonl();
+    let line = jsonl.lines().next().expect("one row");
+    let doc = json::parse(line).expect("row parses");
+    let members = doc.as_obj().expect("row is an object");
+    let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+    // JSONL members mirror the CSV columns, in the same frozen order.
+    let expected: Vec<&str> = CSV_HEADER.split(',').collect();
+    assert_eq!(keys, expected, "JSONL member order is frozen");
+
+    let num = |name: &str| {
+        doc.get(name)
+            .and_then(Json::as_f64)
+            .expect("numeric member")
+    };
+    assert_eq!(num("guest_walk_refs"), 4.0);
+    assert_eq!(num("host_walk_refs"), 20.0);
+    assert_eq!(num("ipis_sent"), 2.0);
+    assert_eq!(num("ipi_invalidations"), 5.0);
+
+    // CSV and JSONL agree cell for cell on the numeric columns.
+    let csv = s.to_csv();
+    let row = csv.lines().nth(1).expect("data row");
+    for (key, cell) in expected.iter().zip(row.split(',')) {
+        let csv_val: f64 = cell.parse().expect("numeric cell");
+        assert_eq!(num(key), csv_val, "{key}: CSV and JSONL disagree");
+    }
+}

@@ -231,6 +231,12 @@ pub enum TranslationEvent {
     },
     /// The memory operation left the pipeline (all events for it are out).
     StepEnd,
+    /// A hot-path delta flush completed: every count-carrying event of the
+    /// span (block end, Lite interval, context switch, result collection)
+    /// has been emitted. Span-level observers (block spans in the chrome
+    /// tracer, histogram accumulator flushes) key off this boundary; the
+    /// always-on accounting sinks ignore it.
+    BlockEnd,
 }
 
 /// A sink consuming the pipeline's event stream.
